@@ -1,0 +1,115 @@
+//! Wall-clock cost of the consolidation algorithm and of applying a
+//! consolidated action vs. replaying the chain's actions sequentially —
+//! the real-time counterpart of Fig 4.
+
+use std::net::Ipv4Addr;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speedybox_mat::action::{EncapSpec, HeaderAction};
+use speedybox_mat::consolidate::consolidate;
+use speedybox_mat::OpCounter;
+use speedybox_packet::{HeaderField, Packet, PacketBuilder};
+use std::hint::black_box;
+
+fn action_list(n: usize) -> Vec<HeaderAction> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => HeaderAction::modify(HeaderField::DstIp, Ipv4Addr::new(10, 0, 0, i as u8)),
+            1 => HeaderAction::modify(HeaderField::DstPort, (8000 + i) as u16),
+            2 => HeaderAction::Forward,
+            _ => HeaderAction::modify2(
+                (HeaderField::SrcIp, Ipv4Addr::new(10, 1, 0, i as u8).into()),
+                (HeaderField::SrcPort, ((9000 + i) as u16).into()),
+            ),
+        })
+        .collect()
+}
+
+fn packet() -> Packet {
+    PacketBuilder::tcp().payload(&[0xab; 128]).build()
+}
+
+fn bench_consolidate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consolidate");
+    for n in [1usize, 3, 5, 9] {
+        let actions = action_list(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &actions, |b, actions| {
+            b.iter(|| consolidate(black_box(actions)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply");
+    for n in [1usize, 3, 9] {
+        let actions = action_list(n);
+        let merged = consolidate(&actions);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &actions, |b, actions| {
+            b.iter_batched(
+                packet,
+                |mut p| {
+                    let mut ops = OpCounter::default();
+                    for a in actions {
+                        a.apply(&mut p, &mut ops).unwrap();
+                    }
+                    p
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("consolidated", n), &merged, |b, merged| {
+            b.iter_batched(
+                packet,
+                |mut p| {
+                    let mut ops = OpCounter::default();
+                    merged.apply(&mut p, &mut ops).unwrap();
+                    p
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_encap_stack(c: &mut Criterion) {
+    // Encap/decap annihilation: the consolidated form does nothing at all.
+    let actions = vec![
+        HeaderAction::Encap(EncapSpec::new(1)),
+        HeaderAction::Encap(EncapSpec::new(2)),
+        HeaderAction::Decap(EncapSpec::new(2)),
+        HeaderAction::Decap(EncapSpec::new(1)),
+    ];
+    let merged = consolidate(&actions);
+    assert!(merged.is_noop());
+    let mut g = c.benchmark_group("vpn_in_out");
+    g.bench_function("sequential", |b| {
+        b.iter_batched(
+            packet,
+            |mut p| {
+                let mut ops = OpCounter::default();
+                for a in &actions {
+                    a.apply(&mut p, &mut ops).unwrap();
+                }
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("consolidated", |b| {
+        b.iter_batched(
+            packet,
+            |mut p| {
+                let mut ops = OpCounter::default();
+                merged.apply(&mut p, &mut ops).unwrap();
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_consolidate, bench_apply, bench_encap_stack);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Wall-clock state-function parallelism: the real-threads wave executor
+//! vs sequential execution on heavy payload-READ batches — the real-time
+//! counterpart of Fig 5(b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use speedybox_mat::state_fn::{PayloadAccess, SfBatch, StateFunction};
+use speedybox_mat::{parallel, ConsolidatedAction, GlobalRule, NfId, OpCounter};
+use speedybox_packet::{Packet, PacketBuilder};
+use speedybox_platform::parallel_exec::execute_parallel;
+use std::hint::black_box;
+
+/// A deliberately heavy READ state function (~tens of microseconds) so the
+/// thread-spawn overhead of the wave executor can amortize.
+fn heavy_read(tag: usize) -> StateFunction {
+    StateFunction::new(format!("read-{tag}"), PayloadAccess::Read, |ctx| {
+        let payload = ctx.packet.payload().unwrap_or(&[]);
+        let mut acc = 0u64;
+        for _ in 0..400 {
+            for &b in payload {
+                acc = acc.wrapping_mul(31).wrapping_add(u64::from(b));
+            }
+        }
+        black_box(acc);
+    })
+}
+
+fn rule(n: usize) -> GlobalRule {
+    let batches: Vec<SfBatch> =
+        (0..n).map(|i| SfBatch::new(NfId::new(i), vec![heavy_read(i)])).collect();
+    let schedule = parallel::schedule(&batches);
+    GlobalRule::new(ConsolidatedAction::default(), batches, schedule)
+}
+
+fn packet() -> (Packet, speedybox_packet::Fid) {
+    let mut p = PacketBuilder::tcp().payload(&[0x5a; 1024]).build();
+    let fid = p.five_tuple().unwrap().fid();
+    p.set_fid(fid);
+    (p, fid)
+}
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sf_batches");
+    g.sample_size(30);
+    for n in [1usize, 2, 3, 4] {
+        let r = rule(n);
+        g.bench_with_input(BenchmarkId::new("sequential", n), &r, |b, r| {
+            let (mut p, fid) = packet();
+            b.iter(|| {
+                let mut ops = OpCounter::default();
+                r.execute_batches(&mut p, fid, &mut ops);
+                black_box(ops.sf_invocations)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", n), &r, |b, r| {
+            let (mut p, fid) = packet();
+            b.iter(|| black_box(execute_parallel(r, &mut p, fid).sf_invocations));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_vs_sequential);
+criterion_main!(benches);

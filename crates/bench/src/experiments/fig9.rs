@@ -1,0 +1,210 @@
+//! Fig 9: CDF of flow processing time on real-world service chains over a
+//! (synthetic) datacenter trace.
+//!
+//! "We measure the flow processing time as the aggregated time spent
+//! processing all packets in a flow ... We use the popular datacenter
+//! trace as the input traffic. Since the payloads in the trace are null
+//! for anonymization, we synthesize the testing traffic with customized
+//! payloads according to the inspection rules in Snort."
+//!
+//! Chain 1: MazuNAT → Maglev → Monitor → IPFilter (p50 −39.6 % BESS,
+//! −40.2 % ONVM). Chain 2: IPFilter → Snort → Monitor (p50 −41.3 % BESS,
+//! −34.2 % ONVM).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use speedybox_packet::Fid;
+use speedybox_platform::chains::{chain1, chain2};
+use speedybox_stats::{table::pct_change, Cdf, Table};
+use speedybox_traffic::{Workload, WorkloadConfig};
+
+use crate::harness::{Env, Runner};
+
+/// Flows in the synthetic trace.
+pub const FLOWS: usize = 400;
+
+/// Which evaluation chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chain {
+    /// MazuNAT → Maglev → Monitor → IPFilter.
+    Chain1,
+    /// IPFilter → Snort → Monitor.
+    Chain2,
+}
+
+impl Chain {
+    /// Figure label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Chain::Chain1 => "Chain 1 (MazuNAT+Maglev+Monitor+IPFilter)",
+            Chain::Chain2 => "Chain 2 (IPFilter+Snort+Monitor)",
+        }
+    }
+}
+
+/// One CDF series.
+#[derive(Debug, Clone)]
+pub struct Fig9Series {
+    /// Chain.
+    pub chain: Chain,
+    /// Environment.
+    pub env: Env,
+    /// SpeedyBox enabled?
+    pub speedybox: bool,
+    /// Per-flow processing time CDF (µs).
+    pub cdf: Cdf,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// All eight series (2 chains × 2 envs × 2 modes).
+    pub series: Vec<Fig9Series>,
+}
+
+fn trace() -> Workload {
+    Workload::generate(&WorkloadConfig {
+        flows: FLOWS,
+        median_packets: 8.0,
+        sigma: 1.2,
+        payload_len: 200,
+        suspicious_fraction: 0.15,
+        seed: 0xf19_9999,
+        ..WorkloadConfig::default()
+    })
+}
+
+fn flow_times(chain: Chain, env: Env, speedybox: bool, w: &Workload) -> Cdf {
+    let nfs = match chain {
+        Chain::Chain1 => chain1(8).0,
+        Chain::Chain2 => chain2().0,
+    };
+    let mut runner = Runner::new(env, nfs, speedybox);
+    let model = *runner.model();
+    let mut per_flow: HashMap<Fid, u64> = HashMap::new();
+    for (_, pkt) in &w.arrivals {
+        let fid = pkt.five_tuple().unwrap().fid();
+        let out = runner.process(pkt.clone());
+        *per_flow.entry(fid).or_insert(0) += out.latency_cycles;
+    }
+    Cdf::new(per_flow.values().map(|&c| model.micros(c)))
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run() -> Fig9 {
+    let w = trace();
+    let mut series = Vec::new();
+    for chain in [Chain::Chain1, Chain::Chain2] {
+        for env in [Env::Bess, Env::Onvm] {
+            for sbox in [false, true] {
+                series.push(Fig9Series {
+                    chain,
+                    env,
+                    speedybox: sbox,
+                    cdf: flow_times(chain, env, sbox, &w),
+                });
+            }
+        }
+    }
+    Fig9 { series }
+}
+
+impl Fig9 {
+    /// Finds a series.
+    #[must_use]
+    pub fn get(&self, chain: Chain, env: Env, speedybox: bool) -> &Fig9Series {
+        self.series
+            .iter()
+            .find(|s| s.chain == chain && s.env == env && s.speedybox == speedybox)
+            .expect("all eight series present")
+    }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 9 — CDF of flow processing time, synthetic DC trace ({FLOWS} flows)\n")?;
+        for chain in [Chain::Chain1, Chain::Chain2] {
+            writeln!(f, "{}", chain.label())?;
+            let mut t = Table::new(vec!["percentile", "p25", "p50", "p75", "p90", "p99"]);
+            for env in [Env::Bess, Env::Onvm] {
+                for sbox in [false, true] {
+                    let s = self.get(chain, env, sbox);
+                    let name = if sbox {
+                        format!("{} w/ SBox (us)", env.label())
+                    } else {
+                        format!("{} (us)", env.label())
+                    };
+                    t.row(
+                        std::iter::once(name)
+                            .chain(
+                                [0.25, 0.5, 0.75, 0.9, 0.99]
+                                    .iter()
+                                    .map(|&p| format!("{:.1}", s.cdf.value_at(p))),
+                            )
+                            .collect(),
+                    );
+                }
+            }
+            writeln!(f, "{t}")?;
+            for env in [Env::Bess, Env::Onvm] {
+                let o = self.get(chain, env, false).cdf.value_at(0.5);
+                let s = self.get(chain, env, true).cdf.value_at(0.5);
+                writeln!(f, "  p50 change on {}: {}", env.label(), pct_change(o, s))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "paper p50: chain1 -39.6% (BESS) / -40.2% (ONVM); chain2 -41.3% / -34.2%"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let fig = run();
+        for chain in [Chain::Chain1, Chain::Chain2] {
+            for env in [Env::Bess, Env::Onvm] {
+                let orig = &fig.get(chain, env, false).cdf;
+                let fast = &fig.get(chain, env, true).cdf;
+                let reduction = 1.0 - fast.value_at(0.5) / orig.value_at(0.5);
+                // Paper band is 0.34-0.41; our ONVM model credits the
+                // removed ring-transit latency more aggressively (see
+                // EXPERIMENTS.md), so the acceptance band is wider while
+                // still requiring a large, SpeedyBox-favouring cut.
+                assert!(
+                    (0.20..=0.70).contains(&reduction),
+                    "{} on {}: p50 reduction {reduction:.2} (paper 0.34-0.41)",
+                    chain.label(),
+                    env.label()
+                );
+                // SpeedyBox dominates across the distribution, not just at
+                // the median.
+                for p in [0.25, 0.5, 0.75, 0.9] {
+                    assert!(
+                        fast.value_at(p) < orig.value_at(p),
+                        "{} on {}: p{} must improve",
+                        chain.label(),
+                        env.label(),
+                        (p * 100.0) as u32
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_series_are_plot_ready() {
+        let fig = run();
+        let s = fig.get(Chain::Chain1, Env::Bess, true).cdf.series(20);
+        assert_eq!(s.len(), 20);
+        assert!(s.windows(2).all(|w| w[1].0 >= w[0].0));
+    }
+}

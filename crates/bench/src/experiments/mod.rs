@@ -1,0 +1,11 @@
+//! One module per table/figure of the paper's evaluation (§VII).
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,165 @@
+//! Shared measurement helpers for the experiment modules.
+
+use speedybox_nf::Nf;
+use speedybox_packet::{Packet, PacketBuilder};
+use speedybox_platform::bess::BessChain;
+use speedybox_platform::cycles::CycleModel;
+use speedybox_platform::metrics::{ProcessedPacket, RunStats};
+use speedybox_platform::onvm::OnvmChain;
+use speedybox_platform::runtime::SboxConfig;
+
+/// Which execution environment an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Env {
+    /// BESS-style run-to-completion.
+    Bess,
+    /// OpenNetVM-style pipeline.
+    Onvm,
+}
+
+impl Env {
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Env::Bess => "BESS",
+            Env::Onvm => "ONVM",
+        }
+    }
+}
+
+/// A chain on either environment, with a uniform driving interface.
+#[derive(Debug)]
+pub enum Runner {
+    /// BESS chain.
+    Bess(BessChain),
+    /// OpenNetVM chain.
+    Onvm(OnvmChain),
+}
+
+impl Runner {
+    /// Builds a chain on `env`, original or SpeedyBox-enabled.
+    #[must_use]
+    pub fn new(env: Env, nfs: Vec<Box<dyn Nf>>, speedybox: bool) -> Self {
+        match (env, speedybox) {
+            (Env::Bess, false) => Runner::Bess(BessChain::original(nfs)),
+            (Env::Bess, true) => Runner::Bess(BessChain::speedybox(nfs)),
+            (Env::Onvm, false) => Runner::Onvm(OnvmChain::original(nfs)),
+            (Env::Onvm, true) => Runner::Onvm(OnvmChain::speedybox(nfs)),
+        }
+    }
+
+    /// Builds a SpeedyBox chain with explicit ablation knobs.
+    #[must_use]
+    pub fn with_config(env: Env, nfs: Vec<Box<dyn Nf>>, config: SboxConfig) -> Self {
+        match env {
+            Env::Bess => Runner::Bess(BessChain::speedybox_with(nfs, config)),
+            Env::Onvm => Runner::Onvm(OnvmChain::speedybox_with(nfs, config)),
+        }
+    }
+
+    /// Processes one packet.
+    pub fn process(&mut self, pkt: Packet) -> ProcessedPacket {
+        match self {
+            Runner::Bess(c) => c.process(pkt),
+            Runner::Onvm(c) => c.process(pkt),
+        }
+    }
+
+    /// Runs a packet sequence.
+    pub fn run(&mut self, pkts: impl IntoIterator<Item = Packet>) -> RunStats {
+        match self {
+            Runner::Bess(c) => c.run(pkts),
+            Runner::Onvm(c) => c.run(pkts),
+        }
+    }
+
+    /// The cycle model in use.
+    #[must_use]
+    pub fn model(&self) -> &CycleModel {
+        match self {
+            Runner::Bess(c) => c.model(),
+            Runner::Onvm(c) => c.model(),
+        }
+    }
+
+    /// The environment-appropriate processing rate for a run.
+    #[must_use]
+    pub fn rate_mpps(&self, stats: &RunStats) -> f64 {
+        match self {
+            Runner::Bess(c) => stats.run_to_completion_rate_mpps(c.model()),
+            Runner::Onvm(c) => stats.pipelined_rate_mpps(c.model()),
+        }
+    }
+}
+
+/// Builds an `n`-packet single-flow sequence with `payload_len`-byte
+/// payloads, padded to 64 B frames (the paper's micro-benchmark packets).
+#[must_use]
+pub fn flow_packets(n: usize, src_port: u16, payload_len: usize) -> Vec<Packet> {
+    let mut b = PacketBuilder::tcp();
+    b.src(format!("10.0.0.1:{src_port}").parse().unwrap())
+        .dst("10.0.0.2:80".parse().unwrap())
+        .pad_to(64);
+    (0..n)
+        .map(|i| {
+            let payload: Vec<u8> = (0..payload_len).map(|j| b'a' + ((i + j) % 23) as u8).collect();
+            b.seq(i as u32).payload(&payload).build()
+        })
+        .collect()
+}
+
+/// Steady-state measurements extracted from a run.
+#[derive(Debug, Clone, Copy)]
+pub struct SteadyState {
+    /// Mean CPU work per packet (ring-hop CPU cost included, ring transit
+    /// delay not — it is latency, not work).
+    pub work_cycles: f64,
+    /// Mean wall latency per packet, in cycles (transit included).
+    pub latency_cycles: f64,
+    /// Mean wall latency in microseconds.
+    pub latency_us: f64,
+}
+
+/// Computes steady-state per-packet numbers from a run's stats.
+#[must_use]
+pub fn steady_state(stats: &RunStats, model: &CycleModel) -> SteadyState {
+    let n = stats.sent.max(1) as f64;
+    let work = stats.work_cycles.iter().sum::<u64>() as f64 / n;
+    let latency = stats.mean_latency_cycles();
+    SteadyState { work_cycles: work, latency_cycles: latency, latency_us: model.micros(latency as u64) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_packets_share_a_flow() {
+        let pkts = flow_packets(5, 1000, 10);
+        let t0 = pkts[0].five_tuple().unwrap();
+        assert!(pkts.iter().all(|p| p.five_tuple().unwrap() == t0));
+        assert!(pkts.iter().all(|p| p.len() >= 64));
+    }
+
+    #[test]
+    fn steady_state_means_per_packet() {
+        use speedybox_mat::OpCounter;
+        use speedybox_platform::metrics::{PathKind, ProcessedPacket};
+        let model = CycleModel::new();
+        let mut stats = RunStats::default();
+        for work in [1000u64, 3000] {
+            stats.record(ProcessedPacket {
+                packet: None,
+                work_cycles: work,
+                latency_cycles: work + 500,
+                path: PathKind::Baseline,
+                ops: OpCounter::default(),
+            });
+        }
+        let ss = steady_state(&stats, &model);
+        assert!((ss.work_cycles - 2000.0).abs() < 1e-9);
+        assert!((ss.latency_cycles - 2500.0).abs() < 1e-9);
+        assert!((ss.latency_us - model.micros(2500)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! The SpeedyBox reproduction harness: one module per table/figure of the
+//! paper's evaluation (§VII), each regenerating the corresponding rows or
+//! series from the deterministic cycle model.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p speedybox-bench --bin repro -- all
+//! ```
+//!
+//! or a single experiment (`fig4`, `fig5`, `fig6`, `fig7`, `fig8`, `fig9`,
+//! `table2`, `table3`). Criterion wall-clock benches covering the same
+//! axes live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{flow_packets, steady_state, SteadyState};

@@ -1,0 +1,419 @@
+//! The Packet Classifier (paper §III, §VI-B).
+//!
+//! First touch for every packet: hash the 5-tuple to the 20-bit FID, attach
+//! it as metadata, and steer the packet — initial packets to the original
+//! chain (slow path), subsequent packets to the Global MAT (fast path).
+//! The classifier also watches TCP FIN/RST to garbage-collect rules.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use speedybox_packet::{Fid, FiveTuple, Packet};
+
+use crate::ops::OpCounter;
+
+/// How the classifier steers a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketClass {
+    /// First packet of the flow — traverse the original chain and record
+    /// rules into the Local MATs.
+    Initial,
+    /// Subsequent packet — take the consolidated fast path.
+    Subsequent,
+    /// The packet's FID collides with a *different* flow's (20-bit FID
+    /// space, paper §VI-B): the packet must take the original chain
+    /// uninstrumented so the colliding flow's rule is never corrupted.
+    /// The paper's prototype shares the rule slot silently; detecting the
+    /// 5-tuple mismatch is this reproduction's safety extension.
+    Collision,
+    /// TCP handshake packet of a not-yet-established flow (SYN/SYN-ACK).
+    /// Only emitted in handshake-aware mode
+    /// ([`PacketClassifier::handshake_aware`]), which implements the
+    /// paper's §III definition — "the initial packet \[is\] the first packet
+    /// after a connection is established (e.g., after the 3-way TCP
+    /// handshake)". Handshake packets traverse the original chain without
+    /// recording.
+    Handshake,
+}
+
+/// Per-flow classifier bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct FlowState {
+    packets: u64,
+    /// The 5-tuple that claimed this FID (collision detection).
+    owner: Option<FiveTuple>,
+    /// Classifier clock value when the flow last saw a packet (idle-flow
+    /// aging; see [`PacketClassifier::expire_idle`]).
+    last_seen: u64,
+    /// In handshake-aware mode: the flow's rule has been recorded (its
+    /// post-handshake initial packet already went down the slow path).
+    recorded: bool,
+}
+
+/// The SpeedyBox Packet Classifier.
+///
+/// ```
+/// use speedybox_mat::{OpCounter, PacketClass, PacketClassifier};
+/// use speedybox_packet::PacketBuilder;
+///
+/// let classifier = PacketClassifier::new();
+/// let mut ops = OpCounter::default();
+/// let mut first = PacketBuilder::tcp().build();
+/// let c = classifier.classify(&mut first, &mut ops)?;
+/// assert_eq!(c.class, PacketClass::Initial);
+/// assert_eq!(first.fid(), Some(c.fid)); // FID attached as metadata
+///
+/// let mut second = PacketBuilder::tcp().build();
+/// let c2 = classifier.classify(&mut second, &mut ops)?;
+/// assert_eq!(c2.class, PacketClass::Subsequent);
+/// # Ok::<(), speedybox_packet::PacketError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PacketClassifier {
+    flows: Mutex<HashMap<Fid, FlowState>>,
+    /// Monotonic packet clock: incremented per classified packet. Used as
+    /// the timebase for idle-flow expiry (deterministic, no wall clock).
+    clock: std::sync::atomic::AtomicU64,
+    /// Implement the paper's §III initial-packet definition: TCP SYN
+    /// packets of unestablished flows are steered as
+    /// [`PacketClass::Handshake`] and recording starts with the first
+    /// post-handshake packet. Off by default (record from the very first
+    /// packet, which is what synthetic pktgen-style traffic needs).
+    handshake_aware: bool,
+}
+
+/// Classifier verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// Assigned flow ID (also attached to the packet).
+    pub fid: Fid,
+    /// Steering decision.
+    pub class: PacketClass,
+    /// True if this packet closes the flow (FIN/RST): the caller must tear
+    /// down the flow's rules after processing it.
+    pub closes_flow: bool,
+}
+
+impl PacketClassifier {
+    /// Creates an empty classifier.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables the paper's §III handshake-aware initial-packet definition.
+    #[must_use]
+    pub fn handshake_aware(mut self) -> Self {
+        self.handshake_aware = true;
+        self
+    }
+
+    /// Whether handshake-aware steering is active.
+    #[must_use]
+    pub fn is_handshake_aware(&self) -> bool {
+        self.handshake_aware
+    }
+
+    /// Classifies a packet: computes and attaches the FID, decides
+    /// initial vs. subsequent, and flags flow teardown.
+    ///
+    /// The FID is derived from the packet's 5-tuple *at chain entry*; NFs
+    /// downstream may rewrite headers but the metadata FID stays put.
+    ///
+    /// # Errors
+    /// Propagates a parse failure for malformed packets.
+    pub fn classify(
+        &self,
+        packet: &mut Packet,
+        ops: &mut OpCounter,
+    ) -> Result<Classification, speedybox_packet::PacketError> {
+        let tuple = packet.five_tuple()?;
+        let fid = tuple.fid();
+        // One classification op covers the parse + hash + table probe +
+        // FID attach (priced as a unit by the cycle model).
+        ops.classifications += 1;
+        packet.set_fid(fid);
+        let now = self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let is_syn = packet.tcp_flags().syn();
+        let mut flows = self.flows.lock();
+        let state = flows.entry(fid).or_default();
+        state.last_seen = now;
+        let class = match state.owner {
+            Some(owner) if owner != tuple => PacketClass::Collision,
+            existing => {
+                if existing.is_none() {
+                    state.owner = Some(tuple);
+                }
+                if self.handshake_aware && is_syn && !state.recorded {
+                    // §III: handshake packets precede the "initial packet";
+                    // they ride the original chain without recording.
+                    PacketClass::Handshake
+                } else if !state.recorded {
+                    state.recorded = true;
+                    PacketClass::Initial
+                } else {
+                    PacketClass::Subsequent
+                }
+            }
+        };
+        if class != PacketClass::Collision {
+            state.packets += 1;
+        }
+        let closes_flow = packet.tcp_flags().closes_flow();
+        Ok(Classification { fid, class, closes_flow })
+    }
+
+    /// Classifies by 5-tuple only (no packet mutation) — used by tests and
+    /// by workload planners that need to predict steering.
+    #[must_use]
+    pub fn peek(&self, tuple: &FiveTuple) -> PacketClass {
+        let fid = tuple.fid();
+        let flows = self.flows.lock();
+        match flows.get(&fid) {
+            Some(s) if s.owner == Some(*tuple) && s.recorded => PacketClass::Subsequent,
+            Some(s) if s.owner == Some(*tuple) => PacketClass::Initial,
+            Some(_) => PacketClass::Collision,
+            None => PacketClass::Initial,
+        }
+    }
+
+    /// Forgets a flow (called together with `GlobalMat::remove_flow` when a
+    /// FIN/RST packet has finished processing). The next packet with this
+    /// FID is treated as initial again.
+    pub fn remove_flow(&self, fid: Fid) {
+        self.flows.lock().remove(&fid);
+    }
+
+    /// Number of tracked flows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flows.lock().len()
+    }
+
+    /// True if no flows are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flows.lock().is_empty()
+    }
+
+    /// Packets seen so far for a flow.
+    #[must_use]
+    pub fn packets_seen(&self, fid: Fid) -> u64 {
+        self.flows.lock().get(&fid).map_or(0, |s| s.packets)
+    }
+
+    /// The classifier's monotonic packet clock (one tick per classified
+    /// packet).
+    #[must_use]
+    pub fn clock(&self) -> u64 {
+        self.clock.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Expires flows idle for more than `max_idle` clock ticks, returning
+    /// the expired FIDs so the caller can tear down their MAT rules.
+    ///
+    /// TCP flows are normally garbage-collected on FIN/RST (§VI-B of the
+    /// paper); this extension reclaims UDP flows and half-dead TCP flows
+    /// that never close. The timebase is the deterministic packet clock,
+    /// so tests and the simulators stay reproducible.
+    pub fn expire_idle(&self, max_idle: u64) -> Vec<Fid> {
+        let now = self.clock();
+        let mut flows = self.flows.lock();
+        let expired: Vec<Fid> = flows
+            .iter()
+            .filter(|(_, s)| now.saturating_sub(s.last_seen) > max_idle)
+            .map(|(&fid, _)| fid)
+            .collect();
+        for fid in &expired {
+            flows.remove(fid);
+        }
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use speedybox_packet::{PacketBuilder, TcpFlags};
+
+    use super::*;
+
+    fn pkt(src_port: u16, flags: u8) -> Packet {
+        PacketBuilder::tcp()
+            .src(format!("10.0.0.1:{src_port}").parse().unwrap())
+            .dst("10.0.0.2:80".parse().unwrap())
+            .flags(flags)
+            .build()
+    }
+
+    #[test]
+    fn first_packet_is_initial_then_subsequent() {
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mut p1 = pkt(1000, TcpFlags::SYN);
+        let c1 = cl.classify(&mut p1, &mut ops).unwrap();
+        assert_eq!(c1.class, PacketClass::Initial);
+        let mut p2 = pkt(1000, TcpFlags::ACK);
+        let c2 = cl.classify(&mut p2, &mut ops).unwrap();
+        assert_eq!(c2.class, PacketClass::Subsequent);
+        assert_eq!(c1.fid, c2.fid);
+        assert_eq!(cl.packets_seen(c1.fid), 2);
+    }
+
+    #[test]
+    fn fid_is_attached_to_packet() {
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mut p = pkt(1000, TcpFlags::ACK);
+        assert!(p.fid().is_none());
+        let c = cl.classify(&mut p, &mut ops).unwrap();
+        assert_eq!(p.fid(), Some(c.fid));
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_state() {
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mut a = pkt(1000, TcpFlags::ACK);
+        let mut b = pkt(2000, TcpFlags::ACK);
+        cl.classify(&mut a, &mut ops).unwrap();
+        let cb = cl.classify(&mut b, &mut ops).unwrap();
+        assert_eq!(cb.class, PacketClass::Initial);
+        assert_eq!(cl.len(), 2);
+    }
+
+    #[test]
+    fn fin_and_rst_flag_teardown() {
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mut fin = pkt(1000, TcpFlags::FIN | TcpFlags::ACK);
+        assert!(cl.classify(&mut fin, &mut ops).unwrap().closes_flow);
+        let mut rst = pkt(1001, TcpFlags::RST);
+        assert!(cl.classify(&mut rst, &mut ops).unwrap().closes_flow);
+        let mut ack = pkt(1002, TcpFlags::ACK);
+        assert!(!cl.classify(&mut ack, &mut ops).unwrap().closes_flow);
+    }
+
+    #[test]
+    fn removed_flow_becomes_initial_again() {
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mut p = pkt(1000, TcpFlags::ACK);
+        let c = cl.classify(&mut p, &mut ops).unwrap();
+        cl.remove_flow(c.fid);
+        assert!(cl.is_empty());
+        let mut p2 = pkt(1000, TcpFlags::ACK);
+        assert_eq!(cl.classify(&mut p2, &mut ops).unwrap().class, PacketClass::Initial);
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let cl = PacketClassifier::new();
+        let p = pkt(1000, TcpFlags::ACK);
+        let t = p.five_tuple().unwrap();
+        assert_eq!(cl.peek(&t), PacketClass::Initial);
+        assert_eq!(cl.peek(&t), PacketClass::Initial);
+        assert!(cl.is_empty());
+    }
+
+    /// Finds two distinct 5-tuples with the same 20-bit FID (birthday
+    /// search over the address space).
+    fn colliding_tuples() -> (FiveTuple, FiveTuple) {
+        use std::collections::HashMap;
+        use std::net::Ipv4Addr;
+
+        use speedybox_packet::Protocol;
+
+        let mut seen: HashMap<Fid, FiveTuple> = HashMap::new();
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                for port in [1000u16, 2000, 3000, 4000] {
+                    let t = FiveTuple::new(
+                        Ipv4Addr::new(10, 5, a, b),
+                        port,
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        80,
+                        Protocol::Tcp,
+                    );
+                    if let Some(prev) = seen.insert(t.fid(), t) {
+                        if prev != t {
+                            return (prev, t);
+                        }
+                    }
+                }
+            }
+        }
+        panic!("no FID collision in search space (hash badly broken?)");
+    }
+
+    #[test]
+    fn fid_collision_is_detected() {
+        use std::net::SocketAddrV4;
+
+        let (ta, tb) = colliding_tuples();
+        assert_eq!(ta.fid(), tb.fid());
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mk = |t: &FiveTuple| {
+            let mut b = PacketBuilder::tcp();
+            b.src(SocketAddrV4::new(t.src_ip, t.src_port))
+                .dst(SocketAddrV4::new(t.dst_ip, t.dst_port));
+            b.build()
+        };
+        // First flow claims the FID.
+        let mut pa = mk(&ta);
+        assert_eq!(cl.classify(&mut pa, &mut ops).unwrap().class, PacketClass::Initial);
+        // The colliding flow is flagged, repeatedly.
+        let mut pb = mk(&tb);
+        assert_eq!(cl.classify(&mut pb, &mut ops).unwrap().class, PacketClass::Collision);
+        let mut pb2 = mk(&tb);
+        assert_eq!(cl.classify(&mut pb2, &mut ops).unwrap().class, PacketClass::Collision);
+        assert_eq!(cl.peek(&tb), PacketClass::Collision);
+        // The owner keeps normal service.
+        let mut pa2 = mk(&ta);
+        assert_eq!(cl.classify(&mut pa2, &mut ops).unwrap().class, PacketClass::Subsequent);
+        // Once the owner departs, the colliding flow can claim the slot.
+        cl.remove_flow(ta.fid());
+        let mut pb3 = mk(&tb);
+        assert_eq!(cl.classify(&mut pb3, &mut ops).unwrap().class, PacketClass::Initial);
+    }
+
+    #[test]
+    fn idle_flows_expire() {
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mut a = pkt(1000, TcpFlags::ACK);
+        let fid_a = cl.classify(&mut a, &mut ops).unwrap().fid;
+        // Busy flow b keeps ticking while a goes idle.
+        for _ in 0..20 {
+            let mut b = pkt(2000, TcpFlags::ACK);
+            cl.classify(&mut b, &mut ops).unwrap();
+        }
+        let expired = cl.expire_idle(10);
+        assert_eq!(expired, vec![fid_a]);
+        assert_eq!(cl.len(), 1, "busy flow survives");
+        // The expired flow is initial again.
+        let mut a2 = pkt(1000, TcpFlags::ACK);
+        assert_eq!(cl.classify(&mut a2, &mut ops).unwrap().class, PacketClass::Initial);
+    }
+
+    #[test]
+    fn expire_idle_with_no_idle_flows_is_noop() {
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mut p = pkt(1000, TcpFlags::ACK);
+        cl.classify(&mut p, &mut ops).unwrap();
+        assert!(cl.expire_idle(1000).is_empty());
+        assert_eq!(cl.len(), 1);
+        assert_eq!(cl.clock(), 1);
+    }
+
+    #[test]
+    fn classification_counts_ops() {
+        let cl = PacketClassifier::new();
+        let mut ops = OpCounter::default();
+        let mut p = pkt(1000, TcpFlags::ACK);
+        cl.classify(&mut p, &mut ops).unwrap();
+        assert_eq!(ops.classifications, 1);
+        assert_eq!(ops.parses, 0, "classification op covers its own parse");
+    }
+}

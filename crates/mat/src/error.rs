@@ -1,0 +1,75 @@
+//! Error type for MAT operations.
+
+use std::fmt;
+
+use speedybox_packet::{Fid, PacketError};
+
+/// Errors from Local/Global MAT operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatError {
+    /// No rule is installed for the flow.
+    NoRule(Fid),
+    /// A rule already exists where a fresh install was required.
+    RuleExists(Fid),
+    /// The referenced NF position does not exist in the chain.
+    UnknownNf(usize),
+    /// The underlying packet operation failed.
+    Packet(PacketError),
+    /// Consolidation hit an inconsistent action sequence.
+    InvalidActionSequence(&'static str),
+}
+
+impl fmt::Display for MatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatError::NoRule(fid) => write!(f, "no rule installed for {fid}"),
+            MatError::RuleExists(fid) => write!(f, "rule already installed for {fid}"),
+            MatError::UnknownNf(i) => write!(f, "no NF at chain position {i}"),
+            MatError::Packet(e) => write!(f, "packet error: {e}"),
+            MatError::InvalidActionSequence(what) => {
+                write!(f, "invalid action sequence: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatError::Packet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PacketError> for MatError {
+    fn from(e: PacketError) -> Self {
+        MatError::Packet(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs: Vec<MatError> = vec![
+            MatError::NoRule(Fid::new(1)),
+            MatError::RuleExists(Fid::new(2)),
+            MatError::UnknownNf(3),
+            MatError::Packet(PacketError::NothingToDecap),
+            MatError::InvalidActionSequence("x"),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn packet_error_is_source() {
+        use std::error::Error;
+        let e = MatError::from(PacketError::NothingToDecap);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,525 @@
+//! The Global MAT: the consolidated fast path (paper §V).
+//!
+//! After a flow's initial packet has traversed the original chain and every
+//! NF has populated its Local MAT, the Global MAT consolidates the per-NF
+//! rules into one [`GlobalRule`]: a single [`ConsolidatedAction`] for the
+//! headers plus the ordered state-function batches (with a precomputed
+//! parallel schedule). Subsequent packets are processed directly from here;
+//! the Event Table is consulted first so stateful updates take effect
+//! immediately (Fig 1's workflow).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use speedybox_packet::{Fid, Packet};
+
+use crate::consolidate::{consolidate, ConsolidatedAction};
+use crate::event::EventTable;
+use crate::local::LocalMat;
+use crate::ops::OpCounter;
+use crate::parallel::schedule;
+use crate::state_fn::SfBatch;
+use crate::{MatError, Result};
+
+/// A consolidated fast-path rule for one flow.
+#[derive(Debug)]
+pub struct GlobalRule {
+    /// The single header action equivalent to the whole chain's.
+    pub consolidated: ConsolidatedAction,
+    /// Per-NF state-function batches, in chain order (empty batches
+    /// omitted).
+    pub batches: Vec<SfBatch>,
+    /// Wavefront schedule over `batches` (Table I analysis), precomputed at
+    /// consolidation time.
+    pub schedule: Vec<Vec<usize>>,
+    /// Fast-path hits served by this rule (operational statistics).
+    hits: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for GlobalRule {
+    fn clone(&self) -> Self {
+        Self {
+            consolidated: self.consolidated.clone(),
+            batches: self.batches.clone(),
+            schedule: self.schedule.clone(),
+            hits: std::sync::atomic::AtomicU64::new(self.hits()),
+        }
+    }
+}
+
+impl GlobalRule {
+    /// Builds a rule (hit counter starts at zero).
+    #[must_use]
+    pub fn new(
+        consolidated: ConsolidatedAction,
+        batches: Vec<SfBatch>,
+        schedule: Vec<Vec<usize>>,
+    ) -> Self {
+        Self { consolidated, batches, schedule, hits: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Fast-path packets served by this rule so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Executes all state-function batches sequentially (the
+    /// non-parallel execution mode; the parallel executor in
+    /// `speedybox-platform` uses [`GlobalRule::schedule`] instead).
+    pub fn execute_batches(&self, packet: &mut Packet, fid: Fid, ops: &mut OpCounter) {
+        for batch in &self.batches {
+            batch.execute(packet, fid, ops);
+        }
+    }
+}
+
+/// Outcome of fast-path processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastPathOutcome {
+    /// The packet was processed and survives.
+    Forwarded,
+    /// The packet was dropped (early drop at the head of the chain).
+    Dropped,
+    /// No rule is installed; the caller must send the packet down the
+    /// original (slow) path.
+    NoRule,
+}
+
+/// The Global MAT, shared by the classifier and all NFs of one chain.
+///
+/// Holds the chain's Local MATs so that event-triggered rule patches can be
+/// written back and re-consolidated in place (Fig 3).
+#[derive(Debug)]
+pub struct GlobalMat {
+    locals: Vec<Arc<LocalMat>>,
+    rules: RwLock<HashMap<Fid, Arc<GlobalRule>>>,
+    events: Arc<EventTable>,
+}
+
+impl GlobalMat {
+    /// Creates a Global MAT over the chain's Local MATs (chain order).
+    #[must_use]
+    pub fn new(locals: Vec<Arc<LocalMat>>) -> Self {
+        Self { locals, rules: RwLock::new(HashMap::new()), events: Arc::new(EventTable::new()) }
+    }
+
+    /// The chain's Local MATs, in chain order.
+    #[must_use]
+    pub fn locals(&self) -> &[Arc<LocalMat>] {
+        &self.locals
+    }
+
+    /// The shared Event Table (NFs register events here via
+    /// [`crate::api::NfInstrument`]).
+    #[must_use]
+    pub fn events(&self) -> &Arc<EventTable> {
+        &self.events
+    }
+
+    /// Consolidates the flow's Local-MAT rules into a fast-path rule
+    /// ("As soon as the service chain finishes processing the packet,
+    /// SpeedyBox notifies the Global MAT to consolidate the rules for the
+    /// FID from all Local MATs", §III).
+    pub fn install(&self, fid: Fid, ops: &mut OpCounter) {
+        let mut actions = Vec::new();
+        let mut batches = Vec::new();
+        for local in &self.locals {
+            if let Some(rule) = local.rule(fid) {
+                actions.extend(rule.header_actions.iter().cloned());
+                if !rule.state_functions.is_empty() {
+                    batches.push(SfBatch::new(local.nf(), rule.state_functions));
+                }
+            }
+        }
+        let consolidated = consolidate(&actions);
+        let sched = schedule(&batches);
+        ops.consolidations += 1;
+        self.rules.write().insert(fid, Arc::new(GlobalRule::new(consolidated, batches, sched)));
+    }
+
+    /// The installed rule for a flow, if any.
+    #[must_use]
+    pub fn rule(&self, fid: Fid) -> Option<Arc<GlobalRule>> {
+        self.rules.read().get(&fid).cloned()
+    }
+
+    /// True if the flow has a fast-path rule.
+    #[must_use]
+    pub fn contains(&self, fid: Fid) -> bool {
+        self.rules.read().contains_key(&fid)
+    }
+
+    /// Number of installed fast-path rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.read().len()
+    }
+
+    /// True if no rules are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.read().is_empty()
+    }
+
+    /// Removes a flow everywhere: Global MAT, all Local MATs and the Event
+    /// Table ("we delete the corresponding rule from the Global MAT and all
+    /// Local MATs and free the associated memory space", §VI-B).
+    pub fn remove_flow(&self, fid: Fid) {
+        self.rules.write().remove(&fid);
+        for local in &self.locals {
+            local.remove(fid);
+        }
+        self.events.remove_flow(fid);
+    }
+
+    /// Fast-path step 1: consult the Event Table; if events fired, patch
+    /// the owning NFs' Local MATs and re-consolidate. Returns the
+    /// up-to-date rule, or `None` if the flow has no rule installed.
+    ///
+    /// Split from [`GlobalMat::process`] so executors that parallelize
+    /// state functions can reuse the event/lookup logic.
+    pub fn prepare(&self, fid: Fid, ops: &mut OpCounter) -> Option<Arc<GlobalRule>> {
+        ops.mat_lookups += 1;
+        if !self.contains(fid) {
+            return None;
+        }
+        let fired = self.events.check(fid, ops);
+        if !fired.is_empty() {
+            for (nf, patch) in fired {
+                if let Some(local) = self.locals.iter().find(|l| l.nf() == nf) {
+                    if let Some(actions) = patch.header_actions {
+                        local.set_header_actions(fid, actions);
+                    }
+                    if let Some(funcs) = patch.state_functions {
+                        local.set_state_functions(fid, funcs);
+                    }
+                }
+            }
+            // Fig 3: "a new consolidated global MAT is computed".
+            self.install(fid, ops);
+        }
+        let rule = self.rule(fid);
+        if let Some(r) = &rule {
+            r.record_hit();
+        }
+        rule
+    }
+
+    /// A human-readable dump of every installed rule — the operator's view
+    /// of the fast path (flow, consolidated action, batches, schedule,
+    /// hits).
+    #[must_use]
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let rules = self.rules.read();
+        let mut fids: Vec<&Fid> = rules.keys().collect();
+        fids.sort();
+        let mut out = String::new();
+        let _ = writeln!(out, "global MAT: {} rule(s)", rules.len());
+        for fid in fids {
+            let r = &rules[fid];
+            let action = if r.consolidated.is_drop() {
+                "drop".to_owned()
+            } else if r.consolidated.is_noop() {
+                "forward".to_owned()
+            } else {
+                let fields: Vec<String> = r
+                    .consolidated
+                    .modifies()
+                    .iter()
+                    .map(|(f, _)| f.to_string())
+                    .collect();
+                let mut a = format!("modify({})", fields.join(","));
+                if r.consolidated.net_decaps() > 0 || !r.consolidated.net_encaps().is_empty() {
+                    let _ = write!(
+                        a,
+                        " decap x{} encap x{}",
+                        r.consolidated.net_decaps(),
+                        r.consolidated.net_encaps().len()
+                    );
+                }
+                a
+            };
+            let batch_names: Vec<String> = r
+                .batches
+                .iter()
+                .map(|b| format!("{}[{}]", b.nf, b.access()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {fid}: {action}; batches=[{}] waves={:?} hits={}",
+                batch_names.join(", "),
+                r.schedule,
+                r.hits()
+            );
+        }
+        out
+    }
+
+    /// Processes a subsequent packet entirely on the fast path: event
+    /// check, consolidated header action, then sequential state-function
+    /// execution.
+    ///
+    /// # Errors
+    /// Returns [`MatError::Packet`] if header surgery fails (should not
+    /// happen for rules recorded from valid packets).
+    pub fn process(&self, packet: &mut Packet, ops: &mut OpCounter) -> Result<FastPathOutcome> {
+        let fid = packet.fid().ok_or(MatError::InvalidActionSequence("packet has no FID"))?;
+        let Some(rule) = self.prepare(fid, ops) else {
+            return Ok(FastPathOutcome::NoRule);
+        };
+        if !rule.consolidated.apply(packet, ops)? {
+            return Ok(FastPathOutcome::Dropped);
+        }
+        rule.execute_batches(packet, fid, ops);
+        Ok(FastPathOutcome::Forwarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use speedybox_packet::{HeaderField, PacketBuilder};
+
+    use super::*;
+    use crate::action::HeaderAction;
+    use crate::event::{Event, RulePatch};
+    use crate::local::NfId;
+    use crate::state_fn::{PayloadAccess, StateFunction};
+
+    fn mats(n: usize) -> Vec<Arc<LocalMat>> {
+        (0..n).map(|i| Arc::new(LocalMat::new(NfId::new(i)))).collect()
+    }
+
+    fn pkt_with_fid() -> (Packet, Fid) {
+        let mut p = PacketBuilder::tcp()
+            .src("10.0.0.1:1000".parse().unwrap())
+            .dst("10.0.0.2:80".parse().unwrap())
+            .payload(b"data")
+            .build();
+        let fid = p.five_tuple().unwrap().fid();
+        p.set_fid(fid);
+        (p, fid)
+    }
+
+    #[test]
+    fn no_rule_routes_to_slow_path() {
+        let gm = GlobalMat::new(mats(1));
+        let (mut p, _) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        assert_eq!(gm.process(&mut p, &mut ops).unwrap(), FastPathOutcome::NoRule);
+    }
+
+    #[test]
+    fn packet_without_fid_is_an_error() {
+        let gm = GlobalMat::new(mats(1));
+        let mut p = PacketBuilder::tcp().build();
+        let mut ops = OpCounter::default();
+        assert!(gm.process(&mut p, &mut ops).is_err());
+    }
+
+    #[test]
+    fn install_consolidates_chain_order() {
+        let locals = mats(2);
+        let gm = GlobalMat::new(locals.clone());
+        let (mut p, fid) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        locals[0].add_header_action(
+            fid,
+            HeaderAction::modify(HeaderField::DstIp, Ipv4Addr::new(1, 1, 1, 1)),
+            &mut ops,
+        );
+        locals[1].add_header_action(
+            fid,
+            HeaderAction::modify(HeaderField::DstIp, Ipv4Addr::new(2, 2, 2, 2)),
+            &mut ops,
+        );
+        gm.install(fid, &mut ops);
+        assert_eq!(gm.process(&mut p, &mut ops).unwrap(), FastPathOutcome::Forwarded);
+        // Latter NF's modify wins.
+        assert_eq!(
+            p.get_field(HeaderField::DstIp).unwrap().as_ipv4(),
+            Ipv4Addr::new(2, 2, 2, 2)
+        );
+        assert_eq!(ops.consolidations, 1);
+    }
+
+    #[test]
+    fn drop_rule_drops_early() {
+        let locals = mats(3);
+        let gm = GlobalMat::new(locals.clone());
+        let (mut p, fid) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        // {forward, forward, drop} — Table III's early-drop scenario.
+        locals[0].add_header_action(fid, HeaderAction::Forward, &mut ops);
+        locals[1].add_header_action(fid, HeaderAction::Forward, &mut ops);
+        locals[2].add_header_action(fid, HeaderAction::Drop, &mut ops);
+        // A state function that must NOT run for dropped packets.
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = ran.clone();
+        locals[0].add_state_function(
+            fid,
+            StateFunction::new("sf", PayloadAccess::Ignore, move |_| {
+                r.store(true, Ordering::Relaxed);
+            }),
+            &mut ops,
+        );
+        gm.install(fid, &mut ops);
+        assert_eq!(gm.process(&mut p, &mut ops).unwrap(), FastPathOutcome::Dropped);
+        assert!(!ran.load(Ordering::Relaxed), "SFs must not run after early drop");
+        assert_eq!(ops.drops, 1);
+    }
+
+    #[test]
+    fn state_function_batches_execute_in_chain_order() {
+        let locals = mats(2);
+        let gm = GlobalMat::new(locals.clone());
+        let (mut p, fid) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for (i, local) in locals.iter().enumerate() {
+            let o = order.clone();
+            local.add_state_function(
+                fid,
+                StateFunction::new(format!("sf{i}"), PayloadAccess::Ignore, move |_| {
+                    o.lock().push(i);
+                }),
+                &mut ops,
+            );
+        }
+        gm.install(fid, &mut ops);
+        gm.process(&mut p, &mut ops).unwrap();
+        assert_eq!(*order.lock(), vec![0, 1]);
+    }
+
+    #[test]
+    fn event_patches_rule_and_reconsolidates() {
+        // The paper's Fig 3 DoS-prevention workflow: modify -> drop once a
+        // counter crosses its threshold.
+        let locals = mats(1);
+        let gm = GlobalMat::new(locals.clone());
+        let (_, fid) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        let counter = Arc::new(AtomicU64::new(0));
+        locals[0].add_header_action(
+            fid,
+            HeaderAction::modify(HeaderField::DstIp, Ipv4Addr::new(7, 7, 7, 7)),
+            &mut ops,
+        );
+        let c = counter.clone();
+        locals[0].add_state_function(
+            fid,
+            StateFunction::new("count", PayloadAccess::Ignore, move |ctx| {
+                c.fetch_add(1, Ordering::Relaxed);
+                ctx.ops.state_updates += 1;
+            }),
+            &mut ops,
+        );
+        let c2 = counter.clone();
+        gm.events().register(Event::new(
+            fid,
+            NfId::new(0),
+            "dos-threshold",
+            move |_| c2.load(Ordering::Relaxed) > 3,
+            |_| RulePatch::set_action(HeaderAction::Drop),
+        ));
+        gm.install(fid, &mut ops);
+
+        let mut forwarded = 0;
+        let mut dropped = 0;
+        for _ in 0..10 {
+            let (mut p, _) = pkt_with_fid();
+            match gm.process(&mut p, &mut ops).unwrap() {
+                FastPathOutcome::Forwarded => forwarded += 1,
+                FastPathOutcome::Dropped => dropped += 1,
+                FastPathOutcome::NoRule => panic!("rule installed"),
+            }
+        }
+        // Counter increments only while packets are forwarded; once it
+        // exceeds 3 the event flips the rule to drop.
+        assert_eq!(forwarded, 4);
+        assert_eq!(dropped, 6);
+        // Re-consolidation happened exactly once (one-shot event).
+        assert_eq!(ops.consolidations, 2);
+    }
+
+    #[test]
+    fn remove_flow_cleans_all_tables() {
+        let locals = mats(2);
+        let gm = GlobalMat::new(locals.clone());
+        let (_, fid) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        locals[0].add_header_action(fid, HeaderAction::Forward, &mut ops);
+        gm.events().register(Event::new(fid, NfId::new(0), "e", |_| false, |_| RulePatch::default()));
+        gm.install(fid, &mut ops);
+        assert!(gm.contains(fid));
+        gm.remove_flow(fid);
+        assert!(!gm.contains(fid));
+        assert!(locals[0].rule(fid).is_none());
+        assert!(gm.events().is_empty());
+        assert!(gm.is_empty());
+    }
+
+    #[test]
+    fn hits_and_dump_reflect_traffic() {
+        let locals = mats(2);
+        let gm = GlobalMat::new(locals.clone());
+        let (_, fid) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        locals[0].add_header_action(
+            fid,
+            HeaderAction::modify(HeaderField::DstIp, Ipv4Addr::new(1, 2, 3, 4)),
+            &mut ops,
+        );
+        locals[1].add_state_function(
+            fid,
+            StateFunction::new("count", PayloadAccess::Ignore, |_| {}),
+            &mut ops,
+        );
+        gm.install(fid, &mut ops);
+        assert_eq!(gm.rule(fid).unwrap().hits(), 0);
+        for _ in 0..3 {
+            let (mut p, _) = pkt_with_fid();
+            gm.process(&mut p, &mut ops).unwrap();
+        }
+        assert_eq!(gm.rule(fid).unwrap().hits(), 3);
+        let dump = gm.dump();
+        assert!(dump.contains("1 rule(s)"), "{dump}");
+        assert!(dump.contains("modify(DIP)"), "{dump}");
+        assert!(dump.contains("hits=3"), "{dump}");
+        assert!(dump.contains("nf1[ignore]"), "{dump}");
+    }
+
+    #[test]
+    fn dump_of_empty_mat() {
+        let gm = GlobalMat::new(mats(1));
+        assert!(gm.dump().contains("0 rule(s)"));
+    }
+
+    #[test]
+    fn schedule_is_precomputed() {
+        let locals = mats(3);
+        let gm = GlobalMat::new(locals.clone());
+        let (_, fid) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        for local in &locals {
+            local.add_state_function(
+                fid,
+                StateFunction::new("read", PayloadAccess::Read, |_| {}),
+                &mut ops,
+            );
+        }
+        gm.install(fid, &mut ops);
+        let rule = gm.rule(fid).unwrap();
+        // Three READ batches form a single parallel wave.
+        assert_eq!(rule.schedule, vec![vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,244 @@
+//! State functions: the stateful half of the NF abstraction (paper §IV-A2).
+//!
+//! A state function is a callback an NF registers per flow — payload
+//! inspection, counter updates, connection tracking. SpeedyBox records the
+//! *handler* in the Local MAT and invokes it on the fast path, so the NF's
+//! stateful logic runs unchanged. Each function declares how it touches the
+//! packet payload ([`PayloadAccess`]), which drives the Table I parallelism
+//! analysis in [`crate::parallel`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use speedybox_packet::{Fid, Packet};
+
+use crate::local::NfId;
+use crate::ops::OpCounter;
+
+/// How a state function interacts with the packet payload (paper §IV-A2:
+/// READ / WRITE / IGNORE). Ordered by the paper's batch priority
+/// `WRITE > READ > IGNORE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PayloadAccess {
+    /// Does not read or modify the payload (counters, connection state).
+    Ignore,
+    /// Reads the payload (deep packet inspection).
+    Read,
+    /// Writes the payload (payload rewriting, scrubbing). A WRITE function
+    /// must leave the packet's checksums valid — the same obligation its
+    /// NF has on the original path — so that execution order relative to
+    /// consolidated header actions cannot change the final bytes.
+    Write,
+}
+
+impl fmt::Display for PayloadAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PayloadAccess::Ignore => f.write_str("ignore"),
+            PayloadAccess::Read => f.write_str("read"),
+            PayloadAccess::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Execution context handed to a state-function handler.
+#[derive(Debug)]
+pub struct SfContext<'a> {
+    /// The packet being processed. Handlers declared `Ignore` must not
+    /// touch the payload (enforced by convention and by the equivalence
+    /// test suite, as in the paper's prototype).
+    pub packet: &'a mut Packet,
+    /// Flow the packet belongs to.
+    pub fid: Fid,
+    /// Operation counter for cost accounting.
+    pub ops: &'a mut OpCounter,
+}
+
+/// Handler signature for state functions.
+pub type SfHandler = Arc<dyn Fn(&mut SfContext<'_>) + Send + Sync>;
+
+/// A recorded state function: named handler plus payload-access type.
+///
+/// Cloning is cheap (the handler is shared through an `Arc`), which is how
+/// the same handler is stored in a Local MAT and replayed from the Global
+/// MAT without duplication.
+#[derive(Clone)]
+pub struct StateFunction {
+    name: String,
+    access: PayloadAccess,
+    handler: SfHandler,
+}
+
+impl StateFunction {
+    /// Wraps `handler` as a state function with the given payload-access
+    /// declaration.
+    pub fn new(
+        name: impl Into<String>,
+        access: PayloadAccess,
+        handler: impl Fn(&mut SfContext<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        Self { name: name.into(), access, handler: Arc::new(handler) }
+    }
+
+    /// The function's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared payload access.
+    #[must_use]
+    pub fn access(&self) -> PayloadAccess {
+        self.access
+    }
+
+    /// Invokes the handler, accounting the invocation.
+    pub fn invoke(&self, ctx: &mut SfContext<'_>) {
+        ctx.ops.sf_invocations += 1;
+        (self.handler)(ctx);
+    }
+}
+
+impl fmt::Debug for StateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StateFunction")
+            .field("name", &self.name)
+            .field("access", &self.access)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All state functions one NF recorded for a flow — the paper's *state
+/// function batch* (§V-C1: "all state functions in a batch should be
+/// executed in sequence").
+#[derive(Debug, Clone, Default)]
+pub struct SfBatch {
+    /// The NF that owns this batch.
+    pub nf: NfId,
+    /// The functions, in registration order.
+    pub funcs: Vec<StateFunction>,
+}
+
+impl SfBatch {
+    /// Creates a batch for one NF.
+    #[must_use]
+    pub fn new(nf: NfId, funcs: Vec<StateFunction>) -> Self {
+        Self { nf, funcs }
+    }
+
+    /// The batch's effective payload access: "the action of the state
+    /// function that has the highest priority in the batch (priority:
+    /// WRITE > READ > IGNORE)" (paper §V-C2).
+    #[must_use]
+    pub fn access(&self) -> PayloadAccess {
+        self.funcs.iter().map(StateFunction::access).max().unwrap_or(PayloadAccess::Ignore)
+    }
+
+    /// Runs all functions in order against the packet.
+    pub fn execute(&self, packet: &mut Packet, fid: Fid, ops: &mut OpCounter) {
+        let mut ctx = SfContext { packet, fid, ops };
+        for f in &self.funcs {
+            f.invoke(&mut ctx);
+        }
+    }
+
+    /// True if the batch holds no functions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use speedybox_packet::PacketBuilder;
+
+    use super::*;
+
+    fn pkt() -> Packet {
+        PacketBuilder::tcp().payload(b"abc").build()
+    }
+
+    #[test]
+    fn priority_ordering_matches_paper() {
+        assert!(PayloadAccess::Write > PayloadAccess::Read);
+        assert!(PayloadAccess::Read > PayloadAccess::Ignore);
+    }
+
+    #[test]
+    fn invoke_runs_handler_and_counts() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let sf = StateFunction::new("count", PayloadAccess::Ignore, move |_ctx| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let mut p = pkt();
+        let mut ops = OpCounter::default();
+        let fid = p.five_tuple().unwrap().fid();
+        let mut ctx = SfContext { packet: &mut p, fid, ops: &mut ops };
+        sf.invoke(&mut ctx);
+        sf.invoke(&mut ctx);
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        assert_eq!(ops.sf_invocations, 2);
+    }
+
+    #[test]
+    fn batch_access_is_max_priority() {
+        let mk = |a| StateFunction::new("f", a, |_| {});
+        let batch = SfBatch::new(
+            NfId::new(0),
+            vec![mk(PayloadAccess::Read), mk(PayloadAccess::Read), mk(PayloadAccess::Write)],
+        );
+        assert_eq!(batch.access(), PayloadAccess::Write);
+        let batch2 = SfBatch::new(NfId::new(0), vec![mk(PayloadAccess::Ignore)]);
+        assert_eq!(batch2.access(), PayloadAccess::Ignore);
+        let empty = SfBatch::new(NfId::new(0), vec![]);
+        assert_eq!(empty.access(), PayloadAccess::Ignore);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn batch_executes_in_registration_order() {
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mk = |tag: u8, order: Arc<parking_lot::Mutex<Vec<u8>>>| {
+            StateFunction::new(format!("f{tag}"), PayloadAccess::Ignore, move |_| {
+                order.lock().push(tag);
+            })
+        };
+        let batch = SfBatch::new(
+            NfId::new(0),
+            vec![mk(1, order.clone()), mk(2, order.clone()), mk(3, order.clone())],
+        );
+        let mut p = pkt();
+        let fid = p.five_tuple().unwrap().fid();
+        let mut ops = OpCounter::default();
+        batch.execute(&mut p, fid, &mut ops);
+        assert_eq!(*order.lock(), vec![1, 2, 3]);
+        assert_eq!(ops.sf_invocations, 3);
+    }
+
+    #[test]
+    fn handlers_can_mutate_payload() {
+        let sf = StateFunction::new("upper", PayloadAccess::Write, |ctx| {
+            if let Ok(p) = ctx.packet.payload_mut() {
+                for b in p {
+                    *b = b.to_ascii_uppercase();
+                }
+            }
+        });
+        let mut p = pkt();
+        let fid = p.five_tuple().unwrap().fid();
+        let mut ops = OpCounter::default();
+        let mut ctx = SfContext { packet: &mut p, fid, ops: &mut ops };
+        sf.invoke(&mut ctx);
+        assert_eq!(p.payload().unwrap(), b"ABC");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let sf = StateFunction::new("dbg", PayloadAccess::Read, |_| {});
+        assert!(format!("{sf:?}").contains("dbg"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests for the consolidation algorithm and the parallel
+//! scheduler — the paper's central correctness claims.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use speedybox_mat::action::{EncapSpec, HeaderAction};
+use speedybox_mat::consolidate::{consolidate, xor_compose_all};
+use speedybox_mat::ops::OpCounter;
+use speedybox_mat::parallel::{can_parallelize, schedule_batches};
+use speedybox_mat::state_fn::PayloadAccess;
+use speedybox_packet::{HeaderField, Packet, PacketBuilder};
+
+fn arb_field() -> impl Strategy<Value = HeaderField> {
+    prop::sample::select(vec![
+        HeaderField::SrcIp,
+        HeaderField::DstIp,
+        HeaderField::SrcPort,
+        HeaderField::DstPort,
+        HeaderField::Ttl,
+        HeaderField::Tos,
+    ])
+}
+
+fn arb_action() -> impl Strategy<Value = HeaderAction> {
+    prop_oneof![
+        Just(HeaderAction::Forward),
+        // Drop handled in a dedicated test (it short-circuits everything).
+        (arb_field(), any::<u32>()).prop_map(|(f, v)| {
+            let value = match f {
+                HeaderField::SrcIp | HeaderField::DstIp => Ipv4Addr::from(v).into(),
+                HeaderField::SrcPort | HeaderField::DstPort => (v as u16).into(),
+                _ => (v as u8).into(),
+            };
+            HeaderAction::Modify(vec![(f, value)])
+        }),
+        (0u32..16).prop_map(|spi| HeaderAction::Encap(EncapSpec::new(spi))),
+    ]
+}
+
+fn base_packet() -> Packet {
+    PacketBuilder::tcp()
+        .src("10.1.2.3:5555".parse().unwrap())
+        .dst("10.4.5.6:80".parse().unwrap())
+        .payload(b"payload-bytes")
+        .build()
+}
+
+/// Applies actions one by one the way the original chain would, tracking
+/// whether the packet survives. Decaps that would fail (no header present)
+/// are skipped by construction of `arb_action` (we only generate encaps).
+fn apply_sequentially(actions: &[HeaderAction], pkt: &mut Packet) -> bool {
+    let mut ops = OpCounter::default();
+    for a in actions {
+        match a.apply(pkt, &mut ops) {
+            Ok(true) => {}
+            Ok(false) => return false,
+            Err(e) => panic!("sequential application failed: {e}"),
+        }
+    }
+    true
+}
+
+proptest! {
+    /// THE core claim: the consolidated action produces a byte-identical
+    /// packet to sequential application of the chain's actions.
+    #[test]
+    fn consolidation_equals_sequential(actions in prop::collection::vec(arb_action(), 0..6)) {
+        let mut seq = base_packet();
+        let survived_seq = apply_sequentially(&actions, &mut seq);
+        prop_assert!(survived_seq);
+
+        let mut fast = base_packet();
+        let mut ops = OpCounter::default();
+        let survived_fast = consolidate(&actions).apply(&mut fast, &mut ops).unwrap();
+        prop_assert!(survived_fast);
+        prop_assert_eq!(seq.as_bytes(), fast.as_bytes());
+    }
+
+    /// With balanced decaps mixed in, consolidation still matches (decaps
+    /// only ever pop headers pushed earlier in the same chain).
+    #[test]
+    fn consolidation_with_balanced_encap_decap(
+        spis in prop::collection::vec(0u32..8, 1..5),
+        modify_port in any::<u16>(),
+    ) {
+        let mut actions = Vec::new();
+        for &spi in &spis {
+            actions.push(HeaderAction::Encap(EncapSpec::new(spi)));
+        }
+        actions.push(HeaderAction::modify(HeaderField::DstPort, modify_port));
+        for &spi in spis.iter().rev() {
+            actions.push(HeaderAction::Decap(EncapSpec::new(spi)));
+        }
+        let mut seq = base_packet();
+        prop_assert!(apply_sequentially(&actions, &mut seq));
+        let mut fast = base_packet();
+        let mut ops = OpCounter::default();
+        let c = consolidate(&actions);
+        prop_assert_eq!(c.net_decaps(), 0);
+        prop_assert!(c.net_encaps().is_empty());
+        prop_assert!(c.apply(&mut fast, &mut ops).unwrap());
+        prop_assert_eq!(seq.as_bytes(), fast.as_bytes());
+    }
+
+    /// A drop anywhere in the chain makes the consolidated action a drop,
+    /// no matter what surrounds it.
+    #[test]
+    fn drop_dominates(
+        before in prop::collection::vec(arb_action(), 0..4),
+        after in prop::collection::vec(arb_action(), 0..4),
+    ) {
+        let mut actions = before;
+        actions.push(HeaderAction::Drop);
+        actions.extend(after);
+        prop_assert!(consolidate(&actions).is_drop());
+    }
+
+    /// The consolidated action performs at most one checksum fix, while the
+    /// sequential chain performs one per modifying NF (the R1/R3 saving).
+    #[test]
+    fn fast_path_fixes_checksums_once(actions in prop::collection::vec(arb_action(), 1..6)) {
+        let mut fast = base_packet();
+        let mut ops = OpCounter::default();
+        consolidate(&actions).apply(&mut fast, &mut ops).unwrap();
+        prop_assert!(ops.checksum_fixes <= 1);
+        prop_assert!(fast.verify_checksums().unwrap());
+    }
+
+    /// The paper's XOR/OR composition formula agrees with field-level merge
+    /// for disjoint-field modifies (pre-checksum state).
+    #[test]
+    fn xor_formula_matches_field_merge(
+        dst_ip in any::<u32>(),
+        src_port in any::<u16>(),
+        ttl in any::<u8>(),
+    ) {
+        let base = base_packet();
+        // Three single-field modifies on pairwise-distinct fields.
+        let writes: [(HeaderField, speedybox_packet::FieldValue); 3] = [
+            (HeaderField::DstIp, Ipv4Addr::from(dst_ip).into()),
+            (HeaderField::SrcPort, src_port.into()),
+            (HeaderField::Ttl, ttl.into()),
+        ];
+        // Per-modify outputs (no checksum fixing: compose raw states).
+        let outputs: Vec<Vec<u8>> = writes
+            .iter()
+            .map(|(f, v)| {
+                let mut p = base.clone();
+                p.set_field(*f, *v).unwrap();
+                p.as_bytes().to_vec()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = outputs.iter().map(Vec::as_slice).collect();
+        let composed = xor_compose_all(base.as_bytes(), &refs);
+
+        let mut merged = base.clone();
+        for (f, v) in writes {
+            merged.set_field(f, v).unwrap();
+        }
+        prop_assert_eq!(composed, merged.as_bytes().to_vec());
+    }
+
+    /// Scheduling invariants: order preserved, waves conflict-free, all
+    /// batches scheduled exactly once.
+    #[test]
+    fn schedule_invariants(accesses in prop::collection::vec(
+        prop::sample::select(vec![
+            PayloadAccess::Write,
+            PayloadAccess::Read,
+            PayloadAccess::Ignore,
+        ]),
+        0..12,
+    )) {
+        let waves = schedule_batches(&accesses);
+        let flat: Vec<usize> = waves.iter().flatten().copied().collect();
+        let expect: Vec<usize> = (0..accesses.len()).collect();
+        prop_assert_eq!(flat, expect, "every batch scheduled once, in order");
+        for wave in &waves {
+            for (x, &i) in wave.iter().enumerate() {
+                for &j in &wave[x + 1..] {
+                    prop_assert!(
+                        can_parallelize(accesses[i], accesses[j]),
+                        "conflicting batches {} and {} share a wave",
+                        i,
+                        j
+                    );
+                }
+            }
+        }
+        // A writer never shares a wave with a reader or another writer.
+        for wave in &waves {
+            let writers = wave.iter().filter(|&&i| accesses[i] == PayloadAccess::Write).count();
+            let readers = wave.iter().filter(|&&i| accesses[i] == PayloadAccess::Read).count();
+            prop_assert!(writers <= 1);
+            prop_assert!(writers == 0 || readers == 0);
+        }
+    }
+
+    /// Consolidation is idempotent in effect: applying the consolidated
+    /// action of an already-consolidated single modify equals the original.
+    #[test]
+    fn consolidate_single_action_faithful(port in any::<u16>()) {
+        let action = HeaderAction::modify(HeaderField::DstPort, port);
+        let mut direct = base_packet();
+        let mut ops = OpCounter::default();
+        action.apply(&mut direct, &mut ops).unwrap();
+        let mut via = base_packet();
+        consolidate(std::slice::from_ref(&action)).apply(&mut via, &mut ops).unwrap();
+        prop_assert_eq!(direct.as_bytes(), via.as_bytes());
+    }
+}

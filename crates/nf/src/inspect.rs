@@ -1,0 +1,269 @@
+//! Multi-pattern payload inspection: a from-scratch Aho–Corasick automaton.
+//!
+//! Snort's content matching is multi-pattern string search over the packet
+//! payload; this module provides the same primitive for [`crate::snort`]
+//! without pulling in a third-party matcher. Classic construction: a byte
+//! trie plus BFS failure links, with output sets merged along failure
+//! chains.
+
+use std::collections::VecDeque;
+
+/// A match found in the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Match {
+    /// Index of the matched pattern (as passed to [`AhoCorasick::new`]).
+    pub pattern: usize,
+    /// Byte offset one past the end of the match.
+    pub end: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    /// Child state per byte; sparse (most payload bytes miss).
+    children: Vec<(u8, u32)>,
+    /// Failure link.
+    fail: u32,
+    /// Patterns ending at this state.
+    outputs: Vec<usize>,
+}
+
+impl Node {
+    fn child(&self, byte: u8) -> Option<u32> {
+        self.children.iter().find(|(b, _)| *b == byte).map(|(_, s)| *s)
+    }
+}
+
+/// An Aho–Corasick multi-pattern matcher over byte strings.
+///
+/// ```
+/// use speedybox_nf::AhoCorasick;
+///
+/// let ac = AhoCorasick::new(&[b"evil".to_vec(), b"virus".to_vec()]);
+/// let matches = ac.find_all(b"an evil virus payload");
+/// assert_eq!(matches.len(), 2);
+/// assert!(ac.find_first(b"clean traffic").is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_count: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton from `patterns`. Empty patterns are ignored
+    /// (they would match everywhere and Snort forbids empty `content`).
+    #[must_use]
+    pub fn new(patterns: &[Vec<u8>]) -> Self {
+        let mut nodes = vec![Node::default()];
+        // Phase 1: trie.
+        for (id, pat) in patterns.iter().enumerate() {
+            if pat.is_empty() {
+                continue;
+            }
+            let mut state = 0u32;
+            for &byte in pat {
+                state = match nodes[state as usize].child(byte) {
+                    Some(next) => next,
+                    None => {
+                        let next = nodes.len() as u32;
+                        nodes.push(Node::default());
+                        nodes[state as usize].children.push((byte, next));
+                        next
+                    }
+                };
+            }
+            nodes[state as usize].outputs.push(id);
+        }
+        // Phase 2: BFS failure links + output merging.
+        let mut queue = VecDeque::new();
+        let root_children: Vec<(u8, u32)> = nodes[0].children.clone();
+        for (_, child) in &root_children {
+            nodes[*child as usize].fail = 0;
+            queue.push_back(*child);
+        }
+        while let Some(state) = queue.pop_front() {
+            let children: Vec<(u8, u32)> = nodes[state as usize].children.clone();
+            for (byte, child) in children {
+                queue.push_back(child);
+                // Walk failure links of the parent until a state with a
+                // `byte` transition (or the root) is found.
+                let mut f = nodes[state as usize].fail;
+                loop {
+                    if let Some(next) = nodes[f as usize].child(byte) {
+                        if next != child {
+                            nodes[child as usize].fail = next;
+                        }
+                        break;
+                    }
+                    if f == 0 {
+                        nodes[child as usize].fail = 0;
+                        break;
+                    }
+                    f = nodes[f as usize].fail;
+                }
+                let fail = nodes[child as usize].fail;
+                let inherited = nodes[fail as usize].outputs.clone();
+                nodes[child as usize].outputs.extend(inherited);
+            }
+        }
+        Self { nodes, pattern_count: patterns.len() }
+    }
+
+    /// Number of patterns the automaton was built from.
+    #[must_use]
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    fn step(&self, state: u32, byte: u8) -> u32 {
+        let mut s = state;
+        loop {
+            if let Some(next) = self.nodes[s as usize].child(byte) {
+                return next;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = self.nodes[s as usize].fail;
+        }
+    }
+
+    /// Finds all pattern occurrences in `haystack`, in end-offset order.
+    #[must_use]
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut state = 0u32;
+        for (i, &byte) in haystack.iter().enumerate() {
+            state = self.step(state, byte);
+            for &pattern in &self.nodes[state as usize].outputs {
+                out.push(Match { pattern, end: i + 1 });
+            }
+        }
+        out
+    }
+
+    /// Finds the first match, if any (cheaper than [`AhoCorasick::find_all`]
+    /// when presence is all that matters).
+    #[must_use]
+    pub fn find_first(&self, haystack: &[u8]) -> Option<Match> {
+        let mut state = 0u32;
+        for (i, &byte) in haystack.iter().enumerate() {
+            state = self.step(state, byte);
+            if let Some(&pattern) = self.nodes[state as usize].outputs.first() {
+                return Some(Match { pattern, end: i + 1 });
+            }
+        }
+        None
+    }
+
+    /// Returns the set of distinct pattern indices present in `haystack`,
+    /// sorted ascending.
+    #[must_use]
+    pub fn matching_patterns(&self, haystack: &[u8]) -> Vec<usize> {
+        let mut hits: Vec<usize> = self.find_all(haystack).into_iter().map(|m| m.pattern).collect();
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pats(ps: &[&str]) -> Vec<Vec<u8>> {
+        ps.iter().map(|p| p.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn finds_single_pattern() {
+        let ac = AhoCorasick::new(&pats(&["abc"]));
+        let m = ac.find_all(b"xxabcxx");
+        assert_eq!(m, vec![Match { pattern: 0, end: 5 }]);
+    }
+
+    #[test]
+    fn finds_overlapping_patterns() {
+        let ac = AhoCorasick::new(&pats(&["he", "she", "his", "hers"]));
+        let found = ac.matching_patterns(b"ushers");
+        // "ushers" contains "she", "he", "hers".
+        assert_eq!(found, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn suffix_pattern_found_via_failure_links() {
+        let ac = AhoCorasick::new(&pats(&["bc", "abcd"]));
+        let found = ac.matching_patterns(b"xabcdx");
+        assert_eq!(found, vec![0, 1]);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let ac = AhoCorasick::new(&pats(&["evil", "virus"]));
+        assert!(ac.find_all(b"perfectly clean payload").is_empty());
+        assert!(ac.find_first(b"perfectly clean payload").is_none());
+    }
+
+    #[test]
+    fn find_first_stops_early() {
+        let ac = AhoCorasick::new(&pats(&["aa"]));
+        let m = ac.find_first(b"aaaa").unwrap();
+        assert_eq!(m.end, 2);
+    }
+
+    #[test]
+    fn empty_patterns_ignored() {
+        let ac = AhoCorasick::new(&pats(&["", "x"]));
+        assert_eq!(ac.matching_patterns(b"x"), vec![1]);
+        assert!(ac.find_all(b"yyy").is_empty());
+    }
+
+    #[test]
+    fn empty_haystack() {
+        let ac = AhoCorasick::new(&pats(&["a"]));
+        assert!(ac.find_all(b"").is_empty());
+    }
+
+    #[test]
+    fn repeated_pattern_matches_each_occurrence() {
+        let ac = AhoCorasick::new(&pats(&["ab"]));
+        let m = ac.find_all(b"abab");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].end, 2);
+        assert_eq!(m[1].end, 4);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[vec![0x00, 0xff, 0x00]]);
+        assert!(ac.find_first(&[0x01, 0x00, 0xff, 0x00, 0x02]).is_some());
+    }
+
+    #[test]
+    fn identical_patterns_both_reported() {
+        let ac = AhoCorasick::new(&pats(&["dup", "dup"]));
+        let found = ac.matching_patterns(b"a dup here");
+        assert_eq!(found, vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_against_reference_naive_search() {
+        // Cross-check against naive substring search on pseudo-random data.
+        let patterns = pats(&["abc", "bca", "aab", "ccc", "cab"]);
+        let ac = AhoCorasick::new(&patterns);
+        let mut text = Vec::new();
+        let mut seed = 0x12345u32;
+        for _ in 0..2000 {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            text.push(b'a' + (seed >> 16) as u8 % 3);
+        }
+        let got = ac.matching_patterns(&text);
+        let want: Vec<usize> = patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| text.windows(p.len()).any(|w| w == p.as_slice()))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+    }
+}

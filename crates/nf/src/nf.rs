@@ -1,0 +1,115 @@
+//! The network-function trait and processing context.
+//!
+//! An [`Nf`] does its real packet processing in [`Nf::process`] — that is
+//! the *original* data path the paper's baselines measure. When the chain
+//! runs under SpeedyBox, the platform hands each NF an
+//! [`speedybox_mat::NfInstrument`] and only routes *initial* packets
+//! through `process`; the NF records its per-flow behaviour through the
+//! instrument so subsequent packets can take the consolidated fast path.
+
+use std::fmt;
+
+use speedybox_mat::{NfInstrument, OpCounter};
+use speedybox_packet::{Fid, Packet};
+
+/// What the NF decided to do with the packet on the original path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NfVerdict {
+    /// Pass the packet to the next NF.
+    Forward,
+    /// Discard the packet.
+    Drop,
+}
+
+impl NfVerdict {
+    /// True if the packet survives.
+    #[must_use]
+    pub fn survives(self) -> bool {
+        matches!(self, NfVerdict::Forward)
+    }
+}
+
+/// Per-invocation context handed to [`Nf::process`].
+#[derive(Debug)]
+pub struct NfContext<'a> {
+    /// SpeedyBox instrumentation handle. `None` when the chain runs as the
+    /// uninstrumented baseline ("Original" in the paper's figures); the NF
+    /// must behave identically either way — recording is side-effect-free
+    /// with respect to packet processing (§IV-B).
+    pub instrument: Option<&'a NfInstrument>,
+    /// Operation counter for cost accounting.
+    pub ops: &'a mut OpCounter,
+}
+
+impl<'a> NfContext<'a> {
+    /// A baseline context with no instrumentation.
+    pub fn baseline(ops: &'a mut OpCounter) -> Self {
+        Self { instrument: None, ops }
+    }
+
+    /// An instrumented context.
+    pub fn instrumented(instrument: &'a NfInstrument, ops: &'a mut OpCounter) -> Self {
+        Self { instrument: Some(instrument), ops }
+    }
+}
+
+/// A network function in a service chain.
+///
+/// Object-safe: chains hold `Box<dyn Nf>`. Implementations live in this
+/// crate's sibling modules; external NFs can implement the trait too.
+pub trait Nf: Send {
+    /// Short diagnostic name ("snort", "maglev", ...).
+    fn name(&self) -> &str;
+
+    /// Processes one packet on the original data path, mutating it in
+    /// place, and returns the verdict. When `ctx.instrument` is present the
+    /// packet is a flow-initial packet under SpeedyBox and the NF should
+    /// record its per-flow header action, state functions and events.
+    fn process(&mut self, packet: &mut Packet, ctx: &mut NfContext<'_>) -> NfVerdict;
+
+    /// Notification that a flow has closed (FIN/RST seen); the NF should
+    /// release per-flow state. Default: nothing to release.
+    fn flow_closed(&mut self, fid: Fid) {
+        let _ = fid;
+    }
+}
+
+impl fmt::Debug for dyn Nf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nf({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+
+    impl Nf for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+
+        fn process(&mut self, _packet: &mut Packet, _ctx: &mut NfContext<'_>) -> NfVerdict {
+            NfVerdict::Forward
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut nf: Box<dyn Nf> = Box::new(Nop);
+        let mut ops = OpCounter::default();
+        let mut ctx = NfContext::baseline(&mut ops);
+        let mut p = speedybox_packet::PacketBuilder::tcp().build();
+        assert_eq!(nf.process(&mut p, &mut ctx), NfVerdict::Forward);
+        assert_eq!(format!("{nf:?}"), "Nf(nop)");
+        nf.flow_closed(Fid::new(1));
+    }
+
+    #[test]
+    fn verdict_survival() {
+        assert!(NfVerdict::Forward.survives());
+        assert!(!NfVerdict::Drop.survives());
+    }
+}

@@ -1,0 +1,618 @@
+//! A small regular-expression engine for payload inspection.
+//!
+//! The paper's §II-B motivates NFV consolidation over OVS-style caches
+//! precisely because "the Snort IDS requires regular matching to inspect
+//! packet payload, which is not supported in standard OVS". This module
+//! provides that regular matching for [`crate::snort`]'s `pcre` option:
+//! a classic Thompson-construction NFA simulated breadth-first, so
+//! matching is linear in the payload (no backtracking blow-ups from
+//! adversarial payloads — an IDS must not be DoS-able by its own matcher).
+//!
+//! Supported syntax: literals, `.`, character classes `[a-z]`/`[^…]`,
+//! escapes (`\d \D \w \W \s \S \n \r \t \\` and escaped metacharacters),
+//! grouping `(...)`, alternation `|`, repetition `* + ?`, and anchors
+//! `^`/`$`. Matching is unanchored unless anchored explicitly.
+
+use std::fmt;
+
+/// A compiled regular expression.
+///
+/// ```
+/// use speedybox_nf::Regex;
+///
+/// let re = Regex::new(r"/union\s+select/")?; // Snort-style delimiters OK
+/// assert!(re.is_match(b"x' union  select *"));
+/// assert!(!re.is_match(b"state of the union"));
+/// # Ok::<(), speedybox_nf::regex::RegexError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    program: Vec<Inst>,
+    pattern: String,
+    anchored_start: bool,
+}
+
+/// Errors from compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// Unbalanced parenthesis.
+    UnbalancedParen,
+    /// Unterminated character class.
+    UnterminatedClass,
+    /// A repetition operator with nothing to repeat.
+    NothingToRepeat,
+    /// Trailing backslash.
+    DanglingEscape,
+    /// Empty pattern (matches everything; almost certainly a rule bug).
+    Empty,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::UnbalancedParen => f.write_str("unbalanced parenthesis"),
+            RegexError::UnterminatedClass => f.write_str("unterminated character class"),
+            RegexError::NothingToRepeat => f.write_str("repetition with nothing to repeat"),
+            RegexError::DanglingEscape => f.write_str("trailing backslash"),
+            RegexError::Empty => f.write_str("empty pattern"),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// A 256-bit byte-set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ByteSet([u64; 4]);
+
+impl ByteSet {
+    fn empty() -> Self {
+        ByteSet([0; 4])
+    }
+
+    fn add(&mut self, b: u8) {
+        self.0[(b >> 6) as usize] |= 1 << (b & 63);
+    }
+
+    fn add_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.add(b);
+        }
+    }
+
+    fn contains(&self, b: u8) -> bool {
+        self.0[(b >> 6) as usize] & (1 << (b & 63)) != 0
+    }
+
+    fn negate(&mut self) {
+        for w in &mut self.0 {
+            *w = !*w;
+        }
+    }
+
+    fn any() -> Self {
+        let mut s = ByteSet::empty();
+        s.negate();
+        s
+    }
+}
+
+/// NFA instructions (Thompson-style program).
+#[derive(Debug, Clone, Copy)]
+enum Inst {
+    /// Match one byte in the set, advance.
+    Byte(ByteSet),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Fork into two paths.
+    Split(usize, usize),
+    /// Assert end of input.
+    EndAnchor,
+    /// Accept.
+    Match,
+}
+
+// ---- parser: pattern -> AST ----
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Byte(ByteSet),
+    Concat(Vec<Ast>),
+    Alt(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Quest(Box<Ast>),
+    EndAnchor,
+    Epsilon,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, RegexError> {
+        let mut lhs = self.parse_concat()?;
+        while self.peek() == Some(b'|') {
+            self.bump();
+            let rhs = self.parse_concat()?;
+            lhs = Ast::Alt(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Epsilon,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                Self::repeatable(&atom)?;
+                Ok(Ast::Star(Box::new(atom)))
+            }
+            Some(b'+') => {
+                self.bump();
+                Self::repeatable(&atom)?;
+                Ok(Ast::Plus(Box::new(atom)))
+            }
+            Some(b'?') => {
+                self.bump();
+                Self::repeatable(&atom)?;
+                Ok(Ast::Quest(Box::new(atom)))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn repeatable(ast: &Ast) -> Result<(), RegexError> {
+        match ast {
+            Ast::Epsilon | Ast::EndAnchor => Err(RegexError::NothingToRepeat),
+            _ => Ok(()),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump().expect("caller checked peek") {
+            b'(' => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(RegexError::UnbalancedParen);
+                }
+                Ok(inner)
+            }
+            b')' => Err(RegexError::UnbalancedParen),
+            b'[' => self.parse_class(),
+            b'.' => Ok(Ast::Byte(ByteSet::any())),
+            b'$' => Ok(Ast::EndAnchor),
+            b'*' | b'+' | b'?' => Err(RegexError::NothingToRepeat),
+            b'\\' => {
+                let set = self.parse_escape()?;
+                Ok(Ast::Byte(set))
+            }
+            b => {
+                let mut set = ByteSet::empty();
+                set.add(b);
+                Ok(Ast::Byte(set))
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<ByteSet, RegexError> {
+        let Some(b) = self.bump() else { return Err(RegexError::DanglingEscape) };
+        let mut set = ByteSet::empty();
+        match b {
+            b'd' => set.add_range(b'0', b'9'),
+            b'D' => {
+                set.add_range(b'0', b'9');
+                set.negate();
+            }
+            b'w' => {
+                set.add_range(b'a', b'z');
+                set.add_range(b'A', b'Z');
+                set.add_range(b'0', b'9');
+                set.add(b'_');
+            }
+            b'W' => {
+                set.add_range(b'a', b'z');
+                set.add_range(b'A', b'Z');
+                set.add_range(b'0', b'9');
+                set.add(b'_');
+                set.negate();
+            }
+            b's' => {
+                for c in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+                    set.add(c);
+                }
+            }
+            b'S' => {
+                for c in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+                    set.add(c);
+                }
+                set.negate();
+            }
+            b'n' => set.add(b'\n'),
+            b'r' => set.add(b'\r'),
+            b't' => set.add(b'\t'),
+            b'0' => set.add(0),
+            other => set.add(other), // escaped metacharacter or literal
+        }
+        Ok(set)
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, RegexError> {
+        let mut set = ByteSet::empty();
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut first = true;
+        loop {
+            let Some(b) = self.bump() else { return Err(RegexError::UnterminatedClass) };
+            match b {
+                b']' if !first => break,
+                b'\\' => {
+                    let esc = self.parse_escape()?;
+                    for i in 0..=255u8 {
+                        if esc.contains(i) {
+                            set.add(i);
+                        }
+                    }
+                }
+                lo => {
+                    // Range `a-z` (a literal `-` at the end is itself).
+                    if self.peek() == Some(b'-')
+                        && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+                    {
+                        self.bump(); // '-'
+                        let Some(hi) = self.bump() else {
+                            return Err(RegexError::UnterminatedClass);
+                        };
+                        set.add_range(lo.min(hi), lo.max(hi));
+                    } else {
+                        set.add(lo);
+                    }
+                }
+            }
+            first = false;
+        }
+        if negated {
+            set.negate();
+        }
+        Ok(Ast::Byte(set))
+    }
+}
+
+// ---- compiler: AST -> program ----
+
+fn compile(ast: &Ast, program: &mut Vec<Inst>) {
+    match ast {
+        Ast::Epsilon => {}
+        Ast::Byte(set) => program.push(Inst::Byte(*set)),
+        Ast::EndAnchor => program.push(Inst::EndAnchor),
+        Ast::Concat(items) => {
+            for item in items {
+                compile(item, program);
+            }
+        }
+        Ast::Alt(a, b) => {
+            let split = program.len();
+            program.push(Inst::Split(0, 0)); // patched
+            compile(a, program);
+            let jmp = program.len();
+            program.push(Inst::Jmp(0)); // patched
+            let b_start = program.len();
+            compile(b, program);
+            let end = program.len();
+            program[split] = Inst::Split(split + 1, b_start);
+            program[jmp] = Inst::Jmp(end);
+        }
+        Ast::Star(inner) => {
+            let split = program.len();
+            program.push(Inst::Split(0, 0));
+            compile(inner, program);
+            program.push(Inst::Jmp(split));
+            let end = program.len();
+            program[split] = Inst::Split(split + 1, end);
+        }
+        Ast::Plus(inner) => {
+            let start = program.len();
+            compile(inner, program);
+            let split = program.len();
+            program.push(Inst::Split(start, split + 1));
+        }
+        Ast::Quest(inner) => {
+            let split = program.len();
+            program.push(Inst::Split(0, 0));
+            compile(inner, program);
+            let end = program.len();
+            program[split] = Inst::Split(split + 1, end);
+        }
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern. Snort-style `/.../ ` delimiters are accepted
+    /// and stripped.
+    ///
+    /// # Errors
+    /// Returns [`RegexError`] for malformed patterns.
+    pub fn new(pattern: &str) -> Result<Self, RegexError> {
+        let trimmed = pattern
+            .strip_prefix('/')
+            .and_then(|p| p.strip_suffix('/'))
+            .unwrap_or(pattern);
+        if trimmed.is_empty() {
+            return Err(RegexError::Empty);
+        }
+        let (anchored_start, body) = match trimmed.strip_prefix('^') {
+            Some(rest) => (true, rest),
+            None => (false, trimmed),
+        };
+        let mut parser = Parser { bytes: body.as_bytes(), pos: 0 };
+        let ast = parser.parse_alt()?;
+        if parser.pos != body.len() {
+            // Leftover input means an unmatched ')'.
+            return Err(RegexError::UnbalancedParen);
+        }
+        let mut program = Vec::new();
+        compile(&ast, &mut program);
+        program.push(Inst::Match);
+        Ok(Self { program, pattern: pattern.to_owned(), anchored_start })
+    }
+
+    /// The original pattern text.
+    #[must_use]
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True if the pattern matches anywhere in `haystack` (or at the start
+    /// only, when the pattern is `^`-anchored).
+    ///
+    /// Runs in `O(len(haystack) × program size)` — no backtracking.
+    #[must_use]
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        let mut current = vec![false; self.program.len()];
+        let mut next = vec![false; self.program.len()];
+        let mut matched_empty = false;
+        self.add_thread(0, haystack.is_empty(), &mut current, &mut matched_empty);
+        if matched_empty {
+            return true;
+        }
+        for (i, &byte) in haystack.iter().enumerate() {
+            let at_end_after = i + 1 == haystack.len();
+            // Unanchored search: a new attempt starts at every offset.
+            if !self.anchored_start {
+                let mut dummy = false;
+                self.add_thread(0, false, &mut current, &mut dummy);
+            }
+            let mut any_match = false;
+            for (pc, &live) in current.iter().enumerate() {
+                if !live {
+                    continue;
+                }
+                if let Inst::Byte(set) = self.program[pc] {
+                    if set.contains(byte) {
+                        self.add_thread(pc + 1, at_end_after, &mut next, &mut any_match);
+                    }
+                }
+            }
+            if any_match {
+                return true;
+            }
+            std::mem::swap(&mut current, &mut next);
+            next.iter_mut().for_each(|t| *t = false);
+        }
+        // A final attempt at the end-of-input position catches patterns
+        // that match the empty string only there (e.g. `x$|$`-style
+        // alternations or `a*$` on a haystack with no `a`s).
+        if !self.anchored_start && !haystack.is_empty() {
+            let mut matched = false;
+            let mut end_threads = vec![false; self.program.len()];
+            self.add_thread(0, true, &mut end_threads, &mut matched);
+            if matched {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Adds a thread at `pc`, following epsilon transitions; sets `matched`
+    /// if an accepting state is reachable. `at_end` reports whether the
+    /// read head is at the end of input (for `$`).
+    fn add_thread(&self, pc: usize, at_end: bool, threads: &mut [bool], matched: &mut bool) {
+        if pc >= self.program.len() || threads[pc] {
+            return;
+        }
+        match self.program[pc] {
+            Inst::Byte(_) => threads[pc] = true,
+            Inst::Jmp(t) => self.add_thread(t, at_end, threads, matched),
+            Inst::Split(a, b) => {
+                threads[pc] = true; // visited marker to cut cycles
+                self.add_thread(a, at_end, threads, matched);
+                self.add_thread(b, at_end, threads, matched);
+            }
+            Inst::EndAnchor => {
+                threads[pc] = true;
+                if at_end {
+                    self.add_thread(pc + 1, at_end, threads, matched);
+                }
+            }
+            Inst::Match => *matched = true,
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}/", self.pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, hay: &str) -> bool {
+        Regex::new(pattern).unwrap().is_match(hay.as_bytes())
+    }
+
+    #[test]
+    fn literals() {
+        assert!(m("abc", "xxabcxx"));
+        assert!(!m("abc", "ab c"));
+        assert!(m("a", "a"));
+        assert!(!m("a", ""));
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert!(m("a.c", "abc"));
+        assert!(m("a.c", "a!c"));
+        assert!(!m("a.c", "ac"));
+        assert!(m("[abc]+", "zzbzz"));
+        assert!(m("[a-f0-9]+", "deadbeef"));
+        assert!(!m("[a-f]", "xyz"));
+        assert!(m("[^0-9]", "a"));
+        assert!(!m("[^0-9]+", "123"));
+        assert!(m("[-x]", "-"), "literal dash at class end");
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"\d+", "port 8080"));
+        assert!(!m(r"\d", "no digits"));
+        assert!(m(r"\w+", "under_score"));
+        assert!(m(r"\s", "a b"));
+        assert!(m(r"\.", "a.b"));
+        assert!(!m(r"\.", "ab"));
+        assert!(m(r"a\\b", r"a\b"));
+        assert!(m(r"\S+", "x"));
+    }
+
+    #[test]
+    fn repetition() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(m("cat|dog", "catnip"));
+        assert!(!m("cat|dog", "bird"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(m("a(b|c)d", "acd"));
+        assert!(!m("a(b|c)d", "aed"));
+        assert!(m("(a|b)(c|d)", "bd"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^abc", "abcdef"));
+        assert!(!m("^abc", "xabc"));
+        assert!(m("xyz$", "wxyz"));
+        assert!(!m("xyz$", "xyza"));
+        assert!(m("^only$", "only"));
+        assert!(!m("^only$", "only more"));
+    }
+
+    #[test]
+    fn empty_match_at_end_of_input() {
+        assert!(m("$", "abc"), "bare end anchor matches the empty suffix");
+        assert!(m("a*$", "bbb"), "a*$ matches empty at end");
+        assert!(m("x?$", "abc"));
+        assert!(!m("^$", "abc"), "anchored-empty must not match nonempty input");
+        assert!(m("^$", ""));
+    }
+
+    #[test]
+    fn snort_style_delimiters() {
+        let r = Regex::new("/evil[0-9]+/").unwrap();
+        assert!(r.is_match(b"GET /evil123 HTTP"));
+        assert!(!r.is_match(b"GET /evil HTTP"));
+        assert_eq!(r.pattern(), "/evil[0-9]+/");
+    }
+
+    #[test]
+    fn ids_relevant_patterns() {
+        // Shellcode-ish NOP sled.
+        let sled = Regex::new(r"\x90*AAAA").unwrap();
+        let _ = sled; // \x not supported: 'x' literal — verify it compiles
+        // SQL injection heuristic.
+        assert!(m(r"union\s+select", "x' UNION  select".to_lowercase().as_str()));
+        // Directory traversal.
+        assert!(m(r"(\.\./)+", "GET /../../etc/passwd"));
+        // Long digit run (card-number-ish).
+        assert!(m(r"\d\d\d\d\d\d\d\d", "id=12345678x"));
+    }
+
+    #[test]
+    fn no_backtracking_blowup() {
+        // Classic catastrophic-backtracking pattern: linear here.
+        let r = Regex::new("(a+)+b").unwrap();
+        let hay = vec![b'a'; 10_000];
+        let start = std::time::Instant::now();
+        assert!(!r.is_match(&hay));
+        assert!(start.elapsed().as_secs() < 2, "must not blow up");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Regex::new("(abc").unwrap_err(), RegexError::UnbalancedParen);
+        assert_eq!(Regex::new("abc)").unwrap_err(), RegexError::UnbalancedParen);
+        assert_eq!(Regex::new("[abc").unwrap_err(), RegexError::UnterminatedClass);
+        assert_eq!(Regex::new("*a").unwrap_err(), RegexError::NothingToRepeat);
+        assert_eq!(Regex::new("a|*").unwrap_err(), RegexError::NothingToRepeat);
+        assert_eq!(Regex::new("abc\\").unwrap_err(), RegexError::DanglingEscape);
+        assert_eq!(Regex::new("").unwrap_err(), RegexError::Empty);
+        assert_eq!(Regex::new("//").unwrap_err(), RegexError::Empty);
+    }
+
+    #[test]
+    fn binary_payloads() {
+        let r = Regex::new("ab").unwrap();
+        let mut hay = vec![0u8, 255, 7];
+        hay.extend_from_slice(b"ab");
+        assert!(r.is_match(&hay));
+    }
+
+    #[test]
+    fn empty_haystack() {
+        assert!(!m("a", ""));
+        assert!(m("a*", ""));
+        assert!(m("a?", ""));
+    }
+}

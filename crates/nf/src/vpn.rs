@@ -1,0 +1,173 @@
+//! VpnGateway: the encap/decap NF of the paper's action taxonomy (§IV-A1).
+//!
+//! "VPNs add an Authentication Header (AH) for each packet before
+//! forwarding (encap), and remove the AH when the other end receives the
+//! packet (decap)." A pair of these in one chain exercises the stack-based
+//! encap/decap annihilation in the consolidation algorithm.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use speedybox_mat::{EncapSpec, HeaderAction};
+use speedybox_packet::Packet;
+
+use crate::nf::{Nf, NfContext, NfVerdict};
+
+/// Direction of the VPN gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VpnMode {
+    /// Tunnel ingress: add the AH.
+    Encap,
+    /// Tunnel egress: strip the AH.
+    Decap,
+}
+
+/// A VPN gateway NF (one direction of a tunnel).
+#[derive(Debug, Clone)]
+pub struct VpnGateway {
+    mode: VpnMode,
+    spi: u32,
+    seq: Arc<AtomicU32>,
+}
+
+impl VpnGateway {
+    /// Tunnel ingress for security association `spi`.
+    #[must_use]
+    pub fn encap(spi: u32) -> Self {
+        Self { mode: VpnMode::Encap, spi, seq: Arc::new(AtomicU32::new(0)) }
+    }
+
+    /// Tunnel egress for security association `spi`.
+    #[must_use]
+    pub fn decap(spi: u32) -> Self {
+        Self { mode: VpnMode::Decap, spi, seq: Arc::new(AtomicU32::new(0)) }
+    }
+
+    /// The gateway's direction.
+    #[must_use]
+    pub fn mode(&self) -> VpnMode {
+        self.mode
+    }
+
+    /// Packets tunneled so far.
+    #[must_use]
+    pub fn packets_tunneled(&self) -> u32 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+impl Nf for VpnGateway {
+    fn name(&self) -> &str {
+        match self.mode {
+            VpnMode::Encap => "vpn-encap",
+            VpnMode::Decap => "vpn-decap",
+        }
+    }
+
+    fn process(&mut self, packet: &mut Packet, ctx: &mut NfContext<'_>) -> NfVerdict {
+        let action = match self.mode {
+            VpnMode::Encap => HeaderAction::Encap(EncapSpec::new(self.spi)),
+            VpnMode::Decap => HeaderAction::Decap(EncapSpec::new(self.spi)),
+        };
+        self.seq.fetch_add(1, Ordering::Relaxed);
+        match action.apply(packet, ctx.ops) {
+            Ok(true) => {}
+            // Decap of an untunneled packet: not ours, drop it (recording
+            // the drop so the fast path drops too).
+            _ => {
+                ctx.ops.drops += 1;
+                if let Some(inst) = ctx.instrument {
+                    let fid = inst.extract_fid(packet).unwrap_or_default();
+                    inst.add_header_action(fid, HeaderAction::Drop, ctx.ops);
+                }
+                return NfVerdict::Drop;
+            }
+        }
+        // SPEEDYBOX-INTEGRATION-BEGIN (vpn: 4 lines)
+        if let Some(inst) = ctx.instrument {
+            let fid = inst.extract_fid(packet).unwrap_or_default();
+            inst.add_header_action(fid, action, ctx.ops);
+        }
+        // SPEEDYBOX-INTEGRATION-END
+        NfVerdict::Forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use speedybox_mat::OpCounter;
+    use speedybox_packet::PacketBuilder;
+
+    use super::*;
+
+    fn packet() -> Packet {
+        let mut p = PacketBuilder::tcp().payload(b"tunnel me").build();
+        let fid = p.five_tuple().unwrap().fid();
+        p.set_fid(fid);
+        p
+    }
+
+    #[test]
+    fn encap_adds_ah() {
+        let mut gw = VpnGateway::encap(0x42);
+        let mut ops = OpCounter::default();
+        let mut ctx = NfContext::baseline(&mut ops);
+        let mut p = packet();
+        assert_eq!(gw.process(&mut p, &mut ctx), NfVerdict::Forward);
+        assert_eq!(p.ah_depth(), 1);
+        assert_eq!(gw.packets_tunneled(), 1);
+    }
+
+    #[test]
+    fn decap_strips_ah() {
+        let mut ingress = VpnGateway::encap(0x42);
+        let mut egress = VpnGateway::decap(0x42);
+        let mut ops = OpCounter::default();
+        let mut p = packet();
+        let original = p.as_bytes().to_vec();
+        {
+            let mut ctx = NfContext::baseline(&mut ops);
+            ingress.process(&mut p, &mut ctx);
+        }
+        {
+            let mut ctx = NfContext::baseline(&mut ops);
+            assert_eq!(egress.process(&mut p, &mut ctx), NfVerdict::Forward);
+        }
+        assert_eq!(p.ah_depth(), 0);
+        assert_eq!(p.as_bytes(), &original[..]);
+    }
+
+    #[test]
+    fn decap_of_plain_packet_drops() {
+        let mut egress = VpnGateway::decap(0x42);
+        let mut ops = OpCounter::default();
+        let mut ctx = NfContext::baseline(&mut ops);
+        let mut p = packet();
+        assert_eq!(egress.process(&mut p, &mut ctx), NfVerdict::Drop);
+    }
+
+    #[test]
+    fn records_encap_action() {
+        use std::sync::Arc as StdArc;
+
+        use speedybox_mat::{EventTable, LocalMat, NfId, NfInstrument};
+
+        let mut gw = VpnGateway::encap(0x42);
+        let inst = NfInstrument::new(
+            StdArc::new(LocalMat::new(NfId::new(0))),
+            StdArc::new(EventTable::new()),
+        );
+        let mut ops = OpCounter::default();
+        let mut p = packet();
+        let mut ctx = NfContext::instrumented(&inst, &mut ops);
+        gw.process(&mut p, &mut ctx);
+        let rule = inst.local_mat().rule(p.fid().unwrap()).unwrap();
+        assert_eq!(rule.header_actions, vec![HeaderAction::Encap(EncapSpec::new(0x42))]);
+    }
+
+    #[test]
+    fn mode_accessor() {
+        assert_eq!(VpnGateway::encap(1).mode(), VpnMode::Encap);
+        assert_eq!(VpnGateway::decap(1).mode(), VpnMode::Decap);
+    }
+}

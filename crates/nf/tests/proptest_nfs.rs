@@ -1,0 +1,188 @@
+//! Property-based tests for the NF library's core data structures.
+
+use std::collections::HashSet;
+use std::net::SocketAddrV4;
+
+use proptest::prelude::*;
+use speedybox_mat::OpCounter;
+use speedybox_nf::maglev::Maglev;
+use speedybox_nf::mazunat::MazuNat;
+use speedybox_nf::{AhoCorasick, Nf, NfContext, Regex};
+use speedybox_packet::{HeaderField, Packet, PacketBuilder};
+
+fn backends(n: usize) -> Vec<(String, SocketAddrV4)> {
+    (0..n)
+        .map(|i| {
+            (format!("backend-{i}"), format!("10.1.{}.{}:8080", i / 250, (i % 250) + 1).parse().unwrap())
+        })
+        .collect()
+}
+
+/// Primes for the Maglev table size, as the Maglev paper requires.
+const PRIMES: [usize; 5] = [53, 101, 211, 251, 509];
+
+proptest! {
+    /// The Maglev lookup table is always fully populated and near-balanced
+    /// ("almost-equal share" is Maglev's core guarantee).
+    #[test]
+    fn maglev_table_balanced(
+        n_backends in 1usize..12,
+        prime_idx in 0usize..PRIMES.len(),
+    ) {
+        let m = PRIMES[prime_idx];
+        prop_assume!(m > n_backends * 4);
+        let lb = Maglev::new(backends(n_backends), m);
+        let shares = lb.table_shares();
+        prop_assert_eq!(shares.len(), n_backends);
+        let total: usize = shares.values().sum();
+        prop_assert_eq!(total, m);
+        let min = *shares.values().min().unwrap();
+        let max = *shares.values().max().unwrap();
+        // Maglev's populate guarantees a spread of at most ~1 slot per
+        // round; allow 2 for rounding.
+        prop_assert!(max - min <= 2, "spread {min}..{max} over {m} slots");
+    }
+
+    /// Failing one backend disrupts only slots that pointed at it (the
+    /// consistent-hashing minimal-disruption property, within tolerance).
+    #[test]
+    fn maglev_failure_disruption_bounded(
+        n_backends in 3usize..8,
+        victim in 0usize..3,
+    ) {
+        let lb = Maglev::new(backends(n_backends), 251);
+        let before = lb.table_shares();
+        let name = format!("backend-{victim}");
+        let moved_budget = before[&name];
+        let lb2 = Maglev::new(backends(n_backends), 251);
+        lb2.fail_backend(&name);
+        let after = lb2.table_shares();
+        prop_assert!(!after.contains_key(&name));
+        // Every surviving backend keeps at least its previous share
+        // (slots only flow *from* the victim, modulo small reshuffles).
+        for (b, &share) in &after {
+            let prev = before[b];
+            prop_assert!(
+                share + moved_budget >= prev && share >= prev.saturating_sub(moved_budget / 2),
+                "{b}: {prev} -> {share} with budget {moved_budget}"
+            );
+        }
+    }
+
+    /// NAT port allocations are unique, in range, and the reverse map is
+    /// consistent — across arbitrary interleavings of opens and closes.
+    #[test]
+    fn nat_mappings_bijective(ops_seq in prop::collection::vec((0u16..64, prop::bool::ANY), 1..80)) {
+        let mut nat = MazuNat::new("198.51.100.1".parse().unwrap(), (50000, 50200));
+        let mut open: HashSet<u16> = HashSet::new();
+        for (flow, close) in ops_seq {
+            let src: SocketAddrV4 = format!("192.168.0.7:{}", 1000 + flow).parse().unwrap();
+            let mut p = PacketBuilder::tcp()
+                .src(src)
+                .dst("93.184.216.34:443".parse().unwrap())
+                .build();
+            let fid = p.five_tuple().unwrap().fid();
+            p.set_fid(fid);
+            if close {
+                nat.flow_closed(fid);
+                open.remove(&flow);
+            } else {
+                let mut counter = OpCounter::default();
+                let mut ctx = NfContext::baseline(&mut counter);
+                let verdict = nat.process(&mut p, &mut ctx);
+                prop_assert!(verdict.survives(), "port pool is large enough");
+                open.insert(flow);
+                let port = p.get_field(HeaderField::SrcPort).unwrap().as_port();
+                prop_assert!((50000..=50200).contains(&port));
+                prop_assert_eq!(nat.flow_for_port(port), Some(fid), "reverse map consistent");
+            }
+        }
+        prop_assert_eq!(nat.mapping_count(), open.len());
+    }
+
+    /// Aho-Corasick agrees with naive substring search on arbitrary
+    /// patterns and haystacks.
+    #[test]
+    fn aho_corasick_matches_naive(
+        patterns in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..6), 1..6),
+        haystack in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let ac = AhoCorasick::new(&patterns);
+        let got = ac.matching_patterns(&haystack);
+        let want: Vec<usize> = patterns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| haystack.windows(p.len()).any(|w| w == p.as_slice()))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The regex compiler is total (arbitrary patterns either compile or
+    /// return an error, never panic), and matching never panics.
+    #[test]
+    fn regex_compile_and_match_total(pattern in ".{0,40}", hay in prop::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(re) = Regex::new(&pattern) {
+            let _ = re.is_match(&hay);
+            let _ = re.is_match(b"");
+        }
+    }
+
+    /// A regex built from escaped literal bytes matches exactly the
+    /// haystacks that contain that literal.
+    #[test]
+    fn regex_literal_equals_substring_search(
+        lit in prop::collection::vec(prop::sample::select(b"abcxyz01".to_vec()), 1..6),
+        hay in prop::collection::vec(prop::sample::select(b"abcxyz01".to_vec()), 0..60),
+    ) {
+        let pattern: String = lit.iter().map(|&b| b as char).collect();
+        let re = Regex::new(&pattern).unwrap();
+        let expect = hay.windows(lit.len()).any(|w| w == lit.as_slice());
+        prop_assert_eq!(re.is_match(&hay), expect);
+    }
+
+    /// Matching is linear-ish: nested quantifiers over long inputs finish
+    /// fast (no catastrophic backtracking by construction).
+    #[test]
+    fn regex_no_blowup(n in 100usize..2000) {
+        let re = Regex::new("(a|aa)+c").unwrap();
+        let hay = vec![b'a'; n];
+        let start = std::time::Instant::now();
+        prop_assert!(!re.is_match(&hay));
+        prop_assert!(start.elapsed().as_millis() < 500);
+    }
+
+    /// The rule parser never panics on arbitrary input and round-trips the
+    /// rules it accepts through header matching sensibly.
+
+    #[test]
+    fn snort_rule_parser_total(line in ".{0,200}") {
+        let _ = line.parse::<speedybox_nf::snort::Rule>();
+    }
+
+    /// Maglev flow assignment is sticky under arbitrary packet orders:
+    /// the same flow always reaches the same backend while it is healthy.
+    #[test]
+    fn maglev_stickiness(ports in prop::collection::vec(1000u16..1032, 1..40)) {
+        let mut lb = Maglev::new(backends(5), 251);
+        let mut assigned: std::collections::HashMap<u16, std::net::Ipv4Addr> =
+            std::collections::HashMap::new();
+        for port in ports {
+            let mut p: Packet = PacketBuilder::tcp()
+                .src(format!("10.0.0.1:{port}").parse().unwrap())
+                .dst("10.99.99.99:80".parse().unwrap())
+                .build();
+            let fid = p.five_tuple().unwrap().fid();
+            p.set_fid(fid);
+            let mut counter = OpCounter::default();
+            let mut ctx = NfContext::baseline(&mut counter);
+            prop_assert!(lb.process(&mut p, &mut ctx).survives());
+            let dst = p.get_field(HeaderField::DstIp).unwrap().as_ipv4();
+            if let Some(&prev) = assigned.get(&port) {
+                prop_assert_eq!(dst, prev, "flow on port {} moved", port);
+            } else {
+                assigned.insert(port, dst);
+            }
+        }
+    }
+}

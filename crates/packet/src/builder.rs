@@ -1,0 +1,232 @@
+//! Packet synthesis for tests, examples and workload generation.
+
+use std::net::SocketAddrV4;
+
+use crate::five_tuple::Protocol;
+use crate::headers::{Ethernet, Ipv4, Tcp, Udp, ETHERNET_LEN, IPV4_LEN, TCP_LEN, UDP_LEN};
+use crate::packet::Packet;
+
+/// A builder for Ethernet/IPv4/{TCP,UDP} packets.
+///
+/// Non-consuming (methods take `&mut self` and return `&mut Self`) so it can
+/// be reused across the many packets of a flow:
+///
+/// ```
+/// use speedybox_packet::PacketBuilder;
+///
+/// let mut b = PacketBuilder::tcp();
+/// b.src("10.0.0.1:4000".parse().unwrap()).dst("10.0.0.2:80".parse().unwrap());
+/// let syn = b.flags(speedybox_packet::TcpFlags::SYN).build();
+/// let data = b.flags(speedybox_packet::TcpFlags::ACK).payload(b"abc").build();
+/// assert_eq!(syn.five_tuple().unwrap(), data.five_tuple().unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    protocol: Protocol,
+    eth: Ethernet,
+    src: SocketAddrV4,
+    dst: SocketAddrV4,
+    ttl: u8,
+    tos: u8,
+    seq: u32,
+    flags: u8,
+    payload: Vec<u8>,
+    pad_to: Option<usize>,
+    vlan: Option<u16>,
+}
+
+impl PacketBuilder {
+    /// Starts building a TCP packet.
+    #[must_use]
+    pub fn tcp() -> Self {
+        Self::new(Protocol::Tcp)
+    }
+
+    /// Starts building a UDP packet.
+    #[must_use]
+    pub fn udp() -> Self {
+        Self::new(Protocol::Udp)
+    }
+
+    fn new(protocol: Protocol) -> Self {
+        Self {
+            protocol,
+            eth: Ethernet::default(),
+            src: SocketAddrV4::new([10, 0, 0, 1].into(), 10000),
+            dst: SocketAddrV4::new([10, 0, 0, 2].into(), 80),
+            ttl: 64,
+            tos: 0,
+            seq: 0,
+            flags: crate::packet::TcpFlags::ACK,
+            payload: Vec::new(),
+            pad_to: None,
+            vlan: None,
+        }
+    }
+
+    /// Sets the source address and port.
+    pub fn src(&mut self, src: SocketAddrV4) -> &mut Self {
+        self.src = src;
+        self
+    }
+
+    /// Sets the destination address and port.
+    pub fn dst(&mut self, dst: SocketAddrV4) -> &mut Self {
+        self.dst = dst;
+        self
+    }
+
+    /// Sets the IPv4 TTL (default 64).
+    pub fn ttl(&mut self, ttl: u8) -> &mut Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the IPv4 ToS byte (default 0).
+    pub fn tos(&mut self, tos: u8) -> &mut Self {
+        self.tos = tos;
+        self
+    }
+
+    /// Sets the TCP sequence number (ignored for UDP).
+    pub fn seq(&mut self, seq: u32) -> &mut Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the TCP flag bits (ignored for UDP; default ACK).
+    pub fn flags(&mut self, flags: u8) -> &mut Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Sets the application payload.
+    pub fn payload(&mut self, payload: &[u8]) -> &mut Self {
+        self.payload = payload.to_vec();
+        self
+    }
+
+    /// Pads (with zero bytes of payload) so the full frame is at least
+    /// `frame_len` bytes — e.g. the paper's 64 B minimum-size packets.
+    pub fn pad_to(&mut self, frame_len: usize) -> &mut Self {
+        self.pad_to = Some(frame_len);
+        self
+    }
+
+    /// Tags the frame with an 802.1Q VLAN ID (low 12 bits used).
+    pub fn vlan(&mut self, id: u16) -> &mut Self {
+        self.vlan = Some(id & 0x0fff);
+        self
+    }
+
+    /// Builds the packet. Headers are written with valid lengths and
+    /// checksums.
+    #[must_use]
+    pub fn build(&self) -> Packet {
+        let l4_hdr = match self.protocol {
+            Protocol::Tcp => TCP_LEN,
+            Protocol::Udp => UDP_LEN,
+        };
+        let l2_len = ETHERNET_LEN + if self.vlan.is_some() { 4 } else { 0 };
+        let mut payload_len = self.payload.len();
+        if let Some(target) = self.pad_to {
+            let min_payload = target.saturating_sub(l2_len + IPV4_LEN + l4_hdr);
+            payload_len = payload_len.max(min_payload);
+        }
+        let total = l2_len + IPV4_LEN + l4_hdr + payload_len;
+        let mut frame = vec![0u8; total];
+        match self.vlan {
+            None => self.eth.write(&mut frame[..ETHERNET_LEN]),
+            Some(id) => {
+                let tagged = crate::headers::Ethernet {
+                    ethertype: crate::headers::ETHERTYPE_VLAN,
+                    ..self.eth
+                };
+                tagged.write(&mut frame[..ETHERNET_LEN]);
+                frame[14..16].copy_from_slice(&id.to_be_bytes());
+                frame[16..18].copy_from_slice(&self.eth.ethertype.to_be_bytes());
+            }
+        }
+        let ip = Ipv4 {
+            tos: self.tos,
+            total_len: (IPV4_LEN + l4_hdr + payload_len) as u16,
+            ttl: self.ttl,
+            protocol: self.protocol.number(),
+            src: *self.src.ip(),
+            dst: *self.dst.ip(),
+            ..Ipv4::default()
+        };
+        ip.write(&mut frame[l2_len..l2_len + IPV4_LEN]);
+        let l4_off = l2_len + IPV4_LEN;
+        match self.protocol {
+            Protocol::Tcp => {
+                let tcp = Tcp {
+                    src_port: self.src.port(),
+                    dst_port: self.dst.port(),
+                    seq: self.seq,
+                    flags: self.flags,
+                    window: 65535,
+                    ..Tcp::default()
+                };
+                tcp.write(&mut frame[l4_off..l4_off + TCP_LEN]);
+            }
+            Protocol::Udp => {
+                let udp = Udp {
+                    src_port: self.src.port(),
+                    dst_port: self.dst.port(),
+                    length: (UDP_LEN + payload_len) as u16,
+                    checksum: 0,
+                };
+                udp.write(&mut frame[l4_off..l4_off + UDP_LEN]);
+            }
+        }
+        frame[l4_off + l4_hdr..l4_off + l4_hdr + self.payload.len()]
+            .copy_from_slice(&self.payload);
+        let mut pkt = Packet::from_valid_frame(&frame);
+        pkt.fix_checksums().expect("builder produces parseable packets");
+        pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TcpFlags;
+
+    #[test]
+    fn built_packets_have_valid_checksums() {
+        let p = PacketBuilder::tcp().payload(b"x").build();
+        assert!(p.verify_checksums().unwrap());
+        let u = PacketBuilder::udp().payload(b"x").build();
+        assert!(u.verify_checksums().unwrap());
+    }
+
+    #[test]
+    fn pad_to_64_bytes() {
+        let p = PacketBuilder::tcp().pad_to(64).build();
+        assert_eq!(p.len(), 64);
+        // Padding never truncates a longer payload.
+        let big = PacketBuilder::tcp().payload(&[0xaa; 200]).pad_to(64).build();
+        assert_eq!(big.len(), ETHERNET_LEN + IPV4_LEN + TCP_LEN + 200);
+    }
+
+    #[test]
+    fn builder_is_reusable() {
+        let mut b = PacketBuilder::tcp();
+        b.src("1.1.1.1:1".parse().unwrap()).dst("2.2.2.2:2".parse().unwrap());
+        let a = b.flags(TcpFlags::SYN).build();
+        let c = b.flags(TcpFlags::FIN).build();
+        assert!(a.tcp_flags().syn());
+        assert!(c.tcp_flags().fin());
+        assert_eq!(a.five_tuple().unwrap(), c.five_tuple().unwrap());
+    }
+
+    #[test]
+    fn ip_total_len_matches() {
+        let p = PacketBuilder::udp().payload(&[1, 2, 3]).build();
+        let ip = p.ipv4().unwrap();
+        assert_eq!(ip.total_len as usize, p.len() - ETHERNET_LEN);
+        let udp = p.udp().unwrap();
+        assert_eq!(udp.length as usize, UDP_LEN + 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Internet checksum (RFC 1071) and protocol-specific helpers.
+//!
+//! SpeedyBox fixes up checksums once, after header-action consolidation
+//! (paper §V-B), instead of per NF. These helpers are used by the packet
+//! layer and by the consolidation fix-up step.
+
+use std::net::Ipv4Addr;
+
+/// Computes the ones-complement internet checksum over `data`.
+///
+/// The returned value is ready to be stored in a checksum field (i.e., it is
+/// already complemented). Computing the checksum over data that *includes* a
+/// correct checksum field yields zero in the folded sum, so
+/// `fold(sum) == 0xFFFF` verification is provided by [`verify`].
+#[must_use]
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum_bytes(0, data))
+}
+
+/// Verifies that `data` (including its embedded checksum field) checksums to
+/// the all-ones pattern.
+#[must_use]
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_bytes(0, data)) == 0xFFFF
+}
+
+/// Adds `data` into a running 32-bit ones-complement accumulator.
+#[must_use]
+pub fn sum_bytes(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds a 32-bit accumulator into 16 bits with end-around carry.
+#[must_use]
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Sums the TCP/UDP pseudo-header for IPv4.
+#[must_use]
+pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, l4_len: u16) -> u32 {
+    let mut acc = 0u32;
+    acc = sum_bytes(acc, &src.octets());
+    acc = sum_bytes(acc, &dst.octets());
+    acc += u32::from(protocol);
+    acc += u32::from(l4_len);
+    acc
+}
+
+/// Computes a TCP or UDP checksum given the pseudo-header inputs and the L4
+/// segment (header + payload) with its checksum field zeroed.
+#[must_use]
+pub fn l4_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> u16 {
+    let acc = pseudo_header_sum(src, dst, protocol, segment.len() as u16);
+    let out = !fold(sum_bytes(acc, segment));
+    // UDP uses 0 to mean "no checksum"; transmit 0xFFFF instead (RFC 768).
+    if out == 0 && protocol == 17 {
+        0xFFFF
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum_bytes(0, &data)), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xab]), internet_checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn checksum_then_verify() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x06, 0, 0];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+    }
+
+    #[test]
+    fn corrupt_data_fails_verify() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x06, 0, 0];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        data[0] ^= 0x10;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_data_checksum() {
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn udp_zero_becomes_all_ones() {
+        let src = Ipv4Addr::UNSPECIFIED;
+        let dst = Ipv4Addr::UNSPECIFIED;
+        // Search for a 2-byte segment whose UDP checksum would be zero; the
+        // RFC 768 rule must map it to 0xFFFF. TCP keeps the raw zero.
+        let mut found = false;
+        for hi in 0..=255u8 {
+            for lo in 0..=255u8 {
+                let seg = [hi, lo];
+                let raw = !fold(sum_bytes(pseudo_header_sum(src, dst, 17, 2), &seg));
+                if raw == 0 {
+                    assert_eq!(l4_checksum(src, dst, 17, &seg), 0xFFFF);
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "no zero-checksum segment found");
+    }
+}

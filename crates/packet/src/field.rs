@@ -1,0 +1,239 @@
+//! Named packet-header fields and values.
+//!
+//! SpeedyBox's `modify` header action names the field it rewrites
+//! (`modify(DIP)`, `modify(DPort)`, ...). [`HeaderField`] is that name and
+//! [`FieldValue`] the value written. The consolidation algorithm in
+//! `speedybox-mat` works over `(HeaderField, FieldValue)` pairs.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// A modifiable packet-header field.
+///
+/// The "primary" fields (addresses and ports) carry routing semantics and
+/// participate in consolidation ordering; the "trailing" fields (TTL, ToS,
+/// checksums are recomputed rather than set) are fixed up after consolidation
+/// as described in paper §V-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HeaderField {
+    /// Ethernet source MAC address.
+    SrcMac,
+    /// Ethernet destination MAC address.
+    DstMac,
+    /// IPv4 source address.
+    SrcIp,
+    /// IPv4 destination address.
+    DstIp,
+    /// TCP/UDP source port.
+    SrcPort,
+    /// TCP/UDP destination port.
+    DstPort,
+    /// IPv4 time-to-live.
+    Ttl,
+    /// IPv4 type-of-service / DSCP byte.
+    Tos,
+}
+
+impl HeaderField {
+    /// All fields, in canonical order.
+    pub const ALL: [HeaderField; 8] = [
+        HeaderField::SrcMac,
+        HeaderField::DstMac,
+        HeaderField::SrcIp,
+        HeaderField::DstIp,
+        HeaderField::SrcPort,
+        HeaderField::DstPort,
+        HeaderField::Ttl,
+        HeaderField::Tos,
+    ];
+
+    /// Width of this field on the wire, in bytes.
+    #[must_use]
+    pub fn width(self) -> usize {
+        match self {
+            HeaderField::SrcMac | HeaderField::DstMac => 6,
+            HeaderField::SrcIp | HeaderField::DstIp => 4,
+            HeaderField::SrcPort | HeaderField::DstPort => 2,
+            HeaderField::Ttl | HeaderField::Tos => 1,
+        }
+    }
+
+    /// Whether this field is part of the flow 5-tuple.
+    #[must_use]
+    pub fn in_five_tuple(self) -> bool {
+        matches!(
+            self,
+            HeaderField::SrcIp | HeaderField::DstIp | HeaderField::SrcPort | HeaderField::DstPort
+        )
+    }
+
+    /// Whether this is a "trailing" field that SpeedyBox fixes up at the end
+    /// of consolidation instead of merging (paper §V-B: checksum, TTL, MAC,
+    /// length "are unlikely to be part of the main processing logic").
+    #[must_use]
+    pub fn is_trailing(self) -> bool {
+        matches!(
+            self,
+            HeaderField::Ttl | HeaderField::Tos | HeaderField::SrcMac | HeaderField::DstMac
+        )
+    }
+}
+
+impl fmt::Display for HeaderField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HeaderField::SrcMac => "SMac",
+            HeaderField::DstMac => "DMac",
+            HeaderField::SrcIp => "SIP",
+            HeaderField::DstIp => "DIP",
+            HeaderField::SrcPort => "SPort",
+            HeaderField::DstPort => "DPort",
+            HeaderField::Ttl => "TTL",
+            HeaderField::Tos => "ToS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A value written into a [`HeaderField`].
+///
+/// Stored as a u64 wide enough for a MAC address; conversions validate width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldValue(u64);
+
+impl FieldValue {
+    /// Wraps a raw value.
+    #[must_use]
+    pub fn new(raw: u64) -> Self {
+        FieldValue(raw)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Interprets the value as an IPv4 address.
+    #[must_use]
+    pub fn as_ipv4(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.0 as u32)
+    }
+
+    /// Interprets the value as a port number.
+    #[must_use]
+    pub fn as_port(self) -> u16 {
+        self.0 as u16
+    }
+
+    /// Interprets the value as a single byte (TTL/ToS).
+    #[must_use]
+    pub fn as_byte(self) -> u8 {
+        self.0 as u8
+    }
+
+    /// Interprets the value as a MAC address.
+    #[must_use]
+    pub fn as_mac(self) -> [u8; 6] {
+        let b = self.0.to_be_bytes();
+        [b[2], b[3], b[4], b[5], b[6], b[7]]
+    }
+}
+
+impl From<Ipv4Addr> for FieldValue {
+    fn from(ip: Ipv4Addr) -> Self {
+        FieldValue(u64::from(u32::from(ip)))
+    }
+}
+
+impl From<u16> for FieldValue {
+    fn from(port: u16) -> Self {
+        FieldValue(u64::from(port))
+    }
+}
+
+impl From<u8> for FieldValue {
+    fn from(byte: u8) -> Self {
+        FieldValue(u64::from(byte))
+    }
+}
+
+impl From<[u8; 6]> for FieldValue {
+    fn from(mac: [u8; 6]) -> Self {
+        let mut b = [0u8; 8];
+        b[2..].copy_from_slice(&mac);
+        FieldValue(u64::from_be_bytes(b))
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(raw: u64) -> Self {
+        FieldValue(raw)
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_round_trip() {
+        let ip = Ipv4Addr::new(192, 168, 1, 77);
+        assert_eq!(FieldValue::from(ip).as_ipv4(), ip);
+    }
+
+    #[test]
+    fn port_round_trip() {
+        assert_eq!(FieldValue::from(8080u16).as_port(), 8080);
+    }
+
+    #[test]
+    fn mac_round_trip() {
+        let mac = [0xde, 0xad, 0xbe, 0xef, 0x00, 0x01];
+        assert_eq!(FieldValue::from(mac).as_mac(), mac);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        assert_eq!(FieldValue::from(64u8).as_byte(), 64);
+    }
+
+    #[test]
+    fn widths_match_wire_format() {
+        assert_eq!(HeaderField::SrcMac.width(), 6);
+        assert_eq!(HeaderField::SrcIp.width(), 4);
+        assert_eq!(HeaderField::DstPort.width(), 2);
+        assert_eq!(HeaderField::Ttl.width(), 1);
+    }
+
+    #[test]
+    fn five_tuple_membership() {
+        assert!(HeaderField::DstIp.in_five_tuple());
+        assert!(HeaderField::SrcPort.in_five_tuple());
+        assert!(!HeaderField::Ttl.in_five_tuple());
+        assert!(!HeaderField::DstMac.in_five_tuple());
+    }
+
+    #[test]
+    fn trailing_fields() {
+        assert!(HeaderField::Ttl.is_trailing());
+        assert!(HeaderField::DstMac.is_trailing());
+        assert!(!HeaderField::DstIp.is_trailing());
+    }
+
+    #[test]
+    fn all_covers_every_variant() {
+        // Display of every variant is distinct (sanity for table output).
+        use std::collections::HashSet;
+        let names: HashSet<String> = HeaderField::ALL.iter().map(|f| f.to_string()).collect();
+        assert_eq!(names.len(), HeaderField::ALL.len());
+    }
+}

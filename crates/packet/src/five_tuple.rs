@@ -1,0 +1,269 @@
+//! Flow identity: the classic 5-tuple and the SpeedyBox 20-bit flow ID.
+//!
+//! The SpeedyBox Packet Classifier (paper §VI-B) hashes the 5-tuple of a
+//! packet into a 20-bit FID and attaches it as packet metadata. The FID stays
+//! constant along the chain even when NFs rewrite the 5-tuple, so every
+//! Local MAT and the Global MAT key their rules off the same identity.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Width of a SpeedyBox flow ID in bits (paper §VI-B: "hashes the five tuple
+/// of a packet header to a 20 bits FID").
+pub const FID_BITS: u32 = 20;
+
+/// Bitmask selecting the valid bits of a [`Fid`].
+pub const FID_MASK: u32 = (1 << FID_BITS) - 1;
+
+/// Transport protocol carried in the IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Protocol {
+    /// TCP (IP protocol number 6).
+    Tcp = 6,
+    /// UDP (IP protocol number 17).
+    Udp = 17,
+}
+
+impl Protocol {
+    /// IP protocol number for this protocol.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses an IP protocol number.
+    #[must_use]
+    pub fn from_number(n: u8) -> Option<Self> {
+        match n {
+            6 => Some(Protocol::Tcp),
+            17 => Some(Protocol::Udp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Tcp => f.write_str("tcp"),
+            Protocol::Udp => f.write_str("udp"),
+        }
+    }
+}
+
+/// The classic connection 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+impl FiveTuple {
+    /// Creates a 5-tuple from its parts.
+    #[must_use]
+    pub fn new(
+        src_ip: Ipv4Addr,
+        src_port: u16,
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        protocol: Protocol,
+    ) -> Self {
+        Self { src_ip, dst_ip, src_port, dst_port, protocol }
+    }
+
+    /// The reverse direction of this flow (server-to-client).
+    #[must_use]
+    pub fn reversed(&self) -> Self {
+        Self {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// Hashes this 5-tuple to the SpeedyBox 20-bit flow ID.
+    ///
+    /// Uses FNV-1a over the canonical byte encoding, folded down to
+    /// [`FID_BITS`] bits. Distinct flows may collide (as in the paper's
+    /// prototype); [`crate::Packet`] carries the full tuple so callers can
+    /// detect collisions when they must.
+    #[must_use]
+    pub fn fid(&self) -> Fid {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for b in self.src_ip.octets() {
+            eat(b);
+        }
+        for b in self.dst_ip.octets() {
+            eat(b);
+        }
+        for b in self.src_port.to_be_bytes() {
+            eat(b);
+        }
+        for b in self.dst_port.to_be_bytes() {
+            eat(b);
+        }
+        eat(self.protocol.number());
+        // XOR-fold 64 -> 20 bits to keep the avalanche of the full hash.
+        let folded = (h ^ (h >> FID_BITS) ^ (h >> (2 * FID_BITS))) as u32;
+        Fid(folded & FID_MASK)
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}:{}->{}:{}",
+            self.protocol, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// A 20-bit SpeedyBox flow ID, attached to packets as metadata.
+///
+/// The FID is assigned by the Packet Classifier from the packet's *original*
+/// 5-tuple and remains stable even when NFs rewrite headers, which is what
+/// lets Local MATs and the Global MAT agree on flow identity (paper §III,
+/// §VI-B).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Fid(u32);
+
+impl Fid {
+    /// Wraps a raw value, masking it to 20 bits.
+    #[must_use]
+    pub fn new(raw: u32) -> Self {
+        Fid(raw & FID_MASK)
+    }
+
+    /// The raw 20-bit value.
+    #[must_use]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Index usable for direct-addressed tables of size `1 << FID_BITS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Fid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fid:{:05x}", self.0)
+    }
+}
+
+impl From<u32> for Fid {
+    fn from(raw: u32) -> Self {
+        Fid::new(raw)
+    }
+}
+
+impl fmt::LowerHex for Fid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Fid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft(sp: u16, dp: u16) -> FiveTuple {
+        FiveTuple::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sp,
+            Ipv4Addr::new(192, 168, 0, 2),
+            dp,
+            Protocol::Tcp,
+        )
+    }
+
+    #[test]
+    fn fid_is_deterministic() {
+        assert_eq!(ft(1000, 80).fid(), ft(1000, 80).fid());
+    }
+
+    #[test]
+    fn fid_fits_in_20_bits() {
+        for sp in 0..2000u16 {
+            let f = ft(sp, 80).fid();
+            assert!(f.value() <= FID_MASK);
+        }
+    }
+
+    #[test]
+    fn fid_differs_for_different_flows() {
+        // Not guaranteed in general (20-bit space), but these few must differ
+        // or the hash would be badly broken.
+        assert_ne!(ft(1000, 80).fid(), ft(1001, 80).fid());
+        assert_ne!(ft(1000, 80).fid(), ft(1000, 443).fid());
+    }
+
+    #[test]
+    fn fid_distribution_is_spread() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for sp in 0..4096u16 {
+            seen.insert(ft(sp, 80).fid());
+        }
+        // With 2^20 slots and 4096 samples, collisions should be rare.
+        assert!(seen.len() > 4000, "too many collisions: {}", seen.len());
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let f = ft(1000, 80);
+        let r = f.reversed();
+        assert_eq!(r.src_port, 80);
+        assert_eq!(r.dst_port, 1000);
+        assert_eq!(r.reversed(), f);
+    }
+
+    #[test]
+    fn protocol_numbers_round_trip() {
+        assert_eq!(Protocol::from_number(Protocol::Tcp.number()), Some(Protocol::Tcp));
+        assert_eq!(Protocol::from_number(Protocol::Udp.number()), Some(Protocol::Udp));
+        assert_eq!(Protocol::from_number(47), None);
+    }
+
+    #[test]
+    fn fid_new_masks() {
+        assert_eq!(Fid::new(u32::MAX).value(), FID_MASK);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = ft(1000, 80);
+        assert_eq!(f.to_string(), "tcp/10.0.0.1:1000->192.168.0.2:80");
+        assert!(f.fid().to_string().starts_with("fid:"));
+    }
+}

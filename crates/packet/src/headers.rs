@@ -1,0 +1,509 @@
+//! Wire-format protocol headers.
+//!
+//! Each header type parses from and serializes to network byte order. These
+//! are plain data structs (C-STRUCT-PRIVATE does not apply: they are
+//! passive, compound wire records), used by [`crate::Packet`] for in-place
+//! field access and by the builder for packet synthesis.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::packet::PacketError;
+use crate::Result;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for 802.1Q VLAN tagging.
+pub const ETHERTYPE_VLAN: u16 = 0x8100;
+/// IP protocol number for the IPsec Authentication Header.
+pub const IPPROTO_AH: u8 = 51;
+/// Length of the Ethernet header in bytes.
+pub const ETHERNET_LEN: usize = 14;
+/// Length of the (option-less) IPv4 header in bytes.
+pub const IPV4_LEN: usize = 20;
+/// Length of the (option-less) TCP header in bytes.
+pub const TCP_LEN: usize = 20;
+/// Length of the UDP header in bytes.
+pub const UDP_LEN: usize = 8;
+/// Length of the fixed-ICV Authentication Header we emit (RFC 4302, with a
+/// 12-byte integrity check value), in bytes.
+pub const AH_LEN: usize = 24;
+
+/// An Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ethernet {
+    /// Destination MAC address.
+    pub dst_mac: [u8; 6],
+    /// Source MAC address.
+    pub src_mac: [u8; 6],
+    /// EtherType of the payload.
+    pub ethertype: u16,
+}
+
+impl Ethernet {
+    /// Parses an Ethernet header from the start of `data`.
+    ///
+    /// # Errors
+    /// Returns [`PacketError::Truncated`] if `data` is shorter than
+    /// [`ETHERNET_LEN`].
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < ETHERNET_LEN {
+            return Err(PacketError::Truncated { needed: ETHERNET_LEN, have: data.len() });
+        }
+        let mut dst_mac = [0u8; 6];
+        let mut src_mac = [0u8; 6];
+        dst_mac.copy_from_slice(&data[0..6]);
+        src_mac.copy_from_slice(&data[6..12]);
+        Ok(Self { dst_mac, src_mac, ethertype: u16::from_be_bytes([data[12], data[13]]) })
+    }
+
+    /// Writes this header into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`ETHERNET_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..6].copy_from_slice(&self.dst_mac);
+        out[6..12].copy_from_slice(&self.src_mac);
+        out[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+    }
+}
+
+impl Default for Ethernet {
+    fn default() -> Self {
+        Self {
+            dst_mac: [0x02, 0, 0, 0, 0, 0x02],
+            src_mac: [0x02, 0, 0, 0, 0, 0x01],
+            ethertype: ETHERTYPE_IPV4,
+        }
+    }
+}
+
+/// An IPv4 header. Options are accepted on parse (skipped, length
+/// reflected in [`Ipv4::header_len`]) and never emitted on write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4 {
+    /// Header length in bytes (20 without options).
+    pub header_len: usize,
+    /// DSCP/ECN byte.
+    pub tos: u8,
+    /// Total length of the IP datagram (header + payload).
+    pub total_len: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Flags + fragment offset (we never fragment; kept for fidelity).
+    pub flags_frag: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Header checksum as read from the wire (0 when building).
+    pub checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4 {
+    /// Parses an IPv4 header from the start of `data`, accepting (and
+    /// skipping) options.
+    ///
+    /// # Errors
+    /// Returns [`PacketError::Truncated`] if too short, or
+    /// [`PacketError::Malformed`] for a non-4 version or an IHL below 5.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < IPV4_LEN {
+            return Err(PacketError::Truncated { needed: IPV4_LEN, have: data.len() });
+        }
+        let ver_ihl = data[0];
+        if ver_ihl >> 4 != 4 {
+            return Err(PacketError::Malformed("not an IPv4 packet"));
+        }
+        let ihl = usize::from(ver_ihl & 0x0f);
+        if ihl < 5 {
+            return Err(PacketError::Malformed("IPv4 IHL below minimum"));
+        }
+        let header_len = ihl * 4;
+        if data.len() < header_len {
+            return Err(PacketError::Truncated { needed: header_len, have: data.len() });
+        }
+        Ok(Self {
+            header_len,
+            tos: data[1],
+            total_len: u16::from_be_bytes([data[2], data[3]]),
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            flags_frag: u16::from_be_bytes([data[6], data[7]]),
+            ttl: data[8],
+            protocol: data[9],
+            checksum: u16::from_be_bytes([data[10], data[11]]),
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+        })
+    }
+
+    /// Writes this header into `out` with a freshly computed checksum.
+    /// Always emits the option-less 20-byte form; `total_len` is written
+    /// as stored (callers adjusting payload sizes must update it).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`IPV4_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0] = 0x45;
+        out[1] = self.tos;
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        out[6..8].copy_from_slice(&self.flags_frag.to_be_bytes());
+        out[8] = self.ttl;
+        out[9] = self.protocol;
+        out[10..12].copy_from_slice(&[0, 0]);
+        out[12..16].copy_from_slice(&self.src.octets());
+        out[16..20].copy_from_slice(&self.dst.octets());
+        let ck = crate::checksum::internet_checksum(&out[..IPV4_LEN]);
+        out[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+impl Default for Ipv4 {
+    fn default() -> Self {
+        Self {
+            header_len: IPV4_LEN,
+            tos: 0,
+            total_len: IPV4_LEN as u16,
+            identification: 0,
+            flags_frag: 0x4000, // don't fragment
+            ttl: 64,
+            protocol: 6,
+            checksum: 0,
+            src: Ipv4Addr::UNSPECIFIED,
+            dst: Ipv4Addr::UNSPECIFIED,
+        }
+    }
+}
+
+/// A TCP header. Options are accepted on parse (skipped, length
+/// reflected in [`Tcp::header_len`]) and never emitted on write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tcp {
+    /// Header length in bytes (20 without options).
+    pub header_len: usize,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits (FIN=0x01, SYN=0x02, RST=0x04, PSH=0x08, ACK=0x10).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum as read from the wire (0 when building).
+    pub checksum: u16,
+}
+
+impl Default for Tcp {
+    fn default() -> Self {
+        Self {
+            header_len: TCP_LEN,
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: 0,
+            flags: 0,
+            window: 0,
+            checksum: 0,
+        }
+    }
+}
+
+impl Tcp {
+    /// Parses a TCP header from the start of `data`, accepting (and
+    /// skipping) options.
+    ///
+    /// # Errors
+    /// Returns [`PacketError::Truncated`] if too short, or
+    /// [`PacketError::Malformed`] if the data offset is below 5 words.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < TCP_LEN {
+            return Err(PacketError::Truncated { needed: TCP_LEN, have: data.len() });
+        }
+        let offset_words = usize::from(data[12] >> 4);
+        if offset_words < 5 {
+            return Err(PacketError::Malformed("TCP data offset below minimum"));
+        }
+        let header_len = offset_words * 4;
+        if data.len() < header_len {
+            return Err(PacketError::Truncated { needed: header_len, have: data.len() });
+        }
+        Ok(Self {
+            header_len,
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            flags: data[13],
+            window: u16::from_be_bytes([data[14], data[15]]),
+            checksum: u16::from_be_bytes([data[16], data[17]]),
+        })
+    }
+
+    /// Writes this header into `out` with the checksum field zeroed (the
+    /// packet layer computes it after the payload is in place).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`TCP_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = 5 << 4;
+        out[13] = self.flags;
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..18].copy_from_slice(&[0, 0]);
+        out[18..20].copy_from_slice(&[0, 0]); // urgent pointer
+    }
+}
+
+/// A UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Udp {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of UDP header + payload.
+    pub length: u16,
+    /// Checksum as read from the wire (0 when building).
+    pub checksum: u16,
+}
+
+impl Udp {
+    /// Parses a UDP header from the start of `data`.
+    ///
+    /// # Errors
+    /// Returns [`PacketError::Truncated`] if `data` is shorter than
+    /// [`UDP_LEN`].
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < UDP_LEN {
+            return Err(PacketError::Truncated { needed: UDP_LEN, have: data.len() });
+        }
+        Ok(Self {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length: u16::from_be_bytes([data[4], data[5]]),
+            checksum: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Writes this header into `out` with the checksum field zeroed.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`UDP_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].copy_from_slice(&[0, 0]);
+    }
+}
+
+/// An IPsec Authentication Header (RFC 4302) with a fixed 12-byte ICV.
+///
+/// This is the header SpeedyBox's VPN example encapsulates and decapsulates
+/// (paper §IV-A1: "VPNs add an Authentication Header (AH) for each packet
+/// before forwarding (encap), and remove the AH when the other end receives
+/// the packet (decap)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthHeader {
+    /// Protocol number of the header following the AH.
+    pub next_header: u8,
+    /// Security Parameters Index identifying the SA.
+    pub spi: u32,
+    /// Anti-replay sequence number.
+    pub seq: u32,
+    /// Integrity check value (truncated HMAC).
+    pub icv: [u8; 12],
+}
+
+impl AuthHeader {
+    /// Creates an AH for security association `spi` carrying `next_header`.
+    #[must_use]
+    pub fn new(spi: u32, seq: u32, next_header: u8) -> Self {
+        Self { next_header, spi, seq, icv: [0; 12] }
+    }
+
+    /// Parses an AH from the start of `data`.
+    ///
+    /// # Errors
+    /// Returns [`PacketError::Truncated`] if too short, or
+    /// [`PacketError::Malformed`] if the payload-length field disagrees with
+    /// the fixed ICV size we emit.
+    pub fn parse(data: &[u8]) -> Result<Self> {
+        if data.len() < AH_LEN {
+            return Err(PacketError::Truncated { needed: AH_LEN, have: data.len() });
+        }
+        // payload len is in 4-byte words minus 2: (24/4)-2 = 4.
+        if data[1] != 4 {
+            return Err(PacketError::Malformed("unexpected AH length"));
+        }
+        let mut icv = [0u8; 12];
+        icv.copy_from_slice(&data[12..24]);
+        Ok(Self {
+            next_header: data[0],
+            spi: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            seq: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            icv,
+        })
+    }
+
+    /// Writes this header into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`AH_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0] = self.next_header;
+        out[1] = 4; // payload length in words - 2
+        out[2..4].copy_from_slice(&[0, 0]);
+        out[4..8].copy_from_slice(&self.spi.to_be_bytes());
+        out[8..12].copy_from_slice(&self.seq.to_be_bytes());
+        out[12..24].copy_from_slice(&self.icv);
+    }
+}
+
+impl fmt::Display for AuthHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AH(spi={:#x}, seq={})", self.spi, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_round_trip() {
+        let eth = Ethernet {
+            dst_mac: [1, 2, 3, 4, 5, 6],
+            src_mac: [7, 8, 9, 10, 11, 12],
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let mut buf = [0u8; ETHERNET_LEN];
+        eth.write(&mut buf);
+        assert_eq!(Ethernet::parse(&buf).unwrap(), eth);
+    }
+
+    #[test]
+    fn ethernet_truncated() {
+        assert!(matches!(
+            Ethernet::parse(&[0u8; 5]),
+            Err(PacketError::Truncated { needed: 14, have: 5 })
+        ));
+    }
+
+    #[test]
+    fn ipv4_round_trip_and_checksum() {
+        let ip = Ipv4 {
+            header_len: IPV4_LEN,
+            tos: 0x10,
+            total_len: 40,
+            identification: 7,
+            flags_frag: 0x4000,
+            ttl: 63,
+            protocol: 6,
+            checksum: 0,
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        let mut buf = [0u8; IPV4_LEN];
+        ip.write(&mut buf);
+        assert!(crate::checksum::verify(&buf));
+        let parsed = Ipv4::parse(&buf).unwrap();
+        assert_eq!(parsed.src, ip.src);
+        assert_eq!(parsed.dst, ip.dst);
+        assert_eq!(parsed.ttl, 63);
+        assert_ne!(parsed.checksum, 0);
+    }
+
+    #[test]
+    fn ipv4_rejects_v6() {
+        let mut buf = [0u8; IPV4_LEN];
+        Ipv4::default().write(&mut buf);
+        buf[0] = 0x65;
+        assert!(matches!(Ipv4::parse(&buf), Err(PacketError::Malformed(_))));
+    }
+
+    #[test]
+    fn ipv4_options_accepted_and_skipped() {
+        let mut buf = [0u8; IPV4_LEN + 4];
+        Ipv4::default().write(&mut buf[..IPV4_LEN]);
+        buf[0] = 0x46;
+        let ip = Ipv4::parse(&buf).unwrap();
+        assert_eq!(ip.header_len, 24);
+        // Truncated options area rejected; IHL below 5 malformed.
+        assert!(matches!(
+            Ipv4::parse(&buf[..IPV4_LEN]),
+            Err(PacketError::Truncated { needed: 24, have: 20 })
+        ));
+        buf[0] = 0x44;
+        assert!(matches!(Ipv4::parse(&buf), Err(PacketError::Malformed(_))));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let tcp =
+            Tcp { src_port: 1234, dst_port: 80, seq: 99, ack: 100, flags: 0x12, window: 4096, ..Tcp::default() };
+        let mut buf = [0u8; TCP_LEN];
+        tcp.write(&mut buf);
+        let parsed = Tcp::parse(&buf).unwrap();
+        assert_eq!(parsed.src_port, 1234);
+        assert_eq!(parsed.dst_port, 80);
+        assert_eq!(parsed.seq, 99);
+        assert_eq!(parsed.flags, 0x12);
+    }
+
+    #[test]
+    fn tcp_options_accepted_and_skipped() {
+        let mut buf = [0u8; TCP_LEN + 4];
+        Tcp::default().write(&mut buf[..TCP_LEN]);
+        buf[12] = 6 << 4;
+        let t = Tcp::parse(&buf).unwrap();
+        assert_eq!(t.header_len, 24);
+        // A truncated options area is rejected.
+        assert!(matches!(
+            Tcp::parse(&buf[..TCP_LEN]),
+            Err(PacketError::Truncated { needed: 24, have: 20 })
+        ));
+        // Data offset below 5 is malformed.
+        buf[12] = 4 << 4;
+        assert!(matches!(Tcp::parse(&buf), Err(PacketError::Malformed(_))));
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let udp = Udp { src_port: 53, dst_port: 5353, length: 20, checksum: 0 };
+        let mut buf = [0u8; UDP_LEN];
+        udp.write(&mut buf);
+        let parsed = Udp::parse(&buf).unwrap();
+        assert_eq!(parsed.src_port, 53);
+        assert_eq!(parsed.length, 20);
+    }
+
+    #[test]
+    fn ah_round_trip() {
+        let mut ah = AuthHeader::new(0xdead_beef, 42, 6);
+        ah.icv = [9u8; 12];
+        let mut buf = [0u8; AH_LEN];
+        ah.write(&mut buf);
+        assert_eq!(AuthHeader::parse(&buf).unwrap(), ah);
+    }
+
+    #[test]
+    fn ah_rejects_wrong_length_field() {
+        let mut buf = [0u8; AH_LEN];
+        AuthHeader::new(1, 1, 6).write(&mut buf);
+        buf[1] = 7;
+        assert!(matches!(AuthHeader::parse(&buf), Err(PacketError::Malformed(_))));
+    }
+}

@@ -1,0 +1,839 @@
+//! The owned, mutable packet type used throughout SpeedyBox.
+//!
+//! A [`Packet`] models a DPDK mbuf: a byte buffer with *headroom* so that
+//! encapsulation prepends headers without copying the payload, plus a small
+//! metadata area carrying the SpeedyBox [`Fid`] (paper §VI-B attaches the
+//! 20-bit FID "directly to the packet as a meta-data").
+
+use std::fmt;
+
+use bytes::BytesMut;
+
+use crate::checksum;
+use crate::field::{FieldValue, HeaderField};
+use crate::five_tuple::{Fid, FiveTuple, Protocol};
+use crate::headers::{
+    AuthHeader, Ethernet, Ipv4, AH_LEN, ETHERNET_LEN, IPPROTO_AH, UDP_LEN,
+};
+use crate::Result;
+
+/// Headroom reserved in front of every packet for encapsulation.
+pub const HEADROOM: usize = 128;
+
+/// Errors from parsing or manipulating packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is too short for the header being parsed.
+    Truncated {
+        /// Bytes needed by the parser.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The bytes do not form a valid header.
+    Malformed(&'static str),
+    /// The packet carries an L4 protocol we do not model.
+    UnsupportedProtocol(u8),
+    /// A decapsulation was requested but no such header is present.
+    NothingToDecap,
+    /// Headroom was exhausted by repeated encapsulation.
+    HeadroomExhausted,
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { needed, have } => {
+                write!(f, "packet truncated: need {needed} bytes, have {have}")
+            }
+            PacketError::Malformed(what) => write!(f, "malformed packet: {what}"),
+            PacketError::UnsupportedProtocol(p) => write!(f, "unsupported IP protocol {p}"),
+            PacketError::NothingToDecap => f.write_str("no encapsulation header to remove"),
+            PacketError::HeadroomExhausted => f.write_str("packet headroom exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// TCP flag bit constants and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN: sender is finished.
+    pub const FIN: u8 = 0x01;
+    /// SYN: synchronize sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// RST: reset the connection.
+    pub const RST: u8 = 0x04;
+    /// PSH: push buffered data.
+    pub const PSH: u8 = 0x08;
+    /// ACK: acknowledgement field significant.
+    pub const ACK: u8 = 0x10;
+
+    /// True if the SYN bit is set.
+    #[must_use]
+    pub fn syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+
+    /// True if the FIN bit is set.
+    #[must_use]
+    pub fn fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+
+    /// True if the RST bit is set.
+    #[must_use]
+    pub fn rst(self) -> bool {
+        self.0 & Self::RST != 0
+    }
+
+    /// True if the ACK bit is set.
+    #[must_use]
+    pub fn ack(self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+
+    /// True if this packet ends a flow (FIN or RST) — the trigger for
+    /// SpeedyBox's rule garbage collection (paper §VI-B "Tracking Flow
+    /// State").
+    #[must_use]
+    pub fn closes_flow(self) -> bool {
+        self.fin() || self.rst()
+    }
+}
+
+/// An owned Ethernet/IPv4/{TCP,UDP} packet with mbuf-style headroom and
+/// SpeedyBox flow metadata.
+#[derive(Clone)]
+pub struct Packet {
+    buf: BytesMut,
+    /// Offset of the Ethernet header within `buf`.
+    start: usize,
+    /// SpeedyBox flow ID metadata (assigned by the Packet Classifier).
+    fid: Option<Fid>,
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Packet");
+        s.field("len", &self.len()).field("fid", &self.fid);
+        if let Ok(ft) = self.five_tuple() {
+            s.field("flow", &ft.to_string());
+        }
+        s.finish()
+    }
+}
+
+impl Packet {
+    /// Wraps a full Ethernet frame, validating that it parses down to a
+    /// supported L4 header.
+    ///
+    /// # Errors
+    /// Any parse failure of the Ethernet, IPv4, AH chain or L4 header.
+    pub fn from_frame(frame: &[u8]) -> Result<Self> {
+        let mut buf = BytesMut::with_capacity(HEADROOM + frame.len());
+        buf.resize(HEADROOM, 0);
+        buf.extend_from_slice(frame);
+        let pkt = Self { buf, start: HEADROOM, fid: None };
+        pkt.validate()?;
+        Ok(pkt)
+    }
+
+    /// Builds a packet from pre-validated parts; used by [`crate::PacketBuilder`].
+    pub(crate) fn from_valid_frame(frame: &[u8]) -> Self {
+        let mut buf = BytesMut::with_capacity(HEADROOM + frame.len());
+        buf.resize(HEADROOM, 0);
+        buf.extend_from_slice(frame);
+        Self { buf, start: HEADROOM, fid: None }
+    }
+
+    fn validate(&self) -> Result<()> {
+        let ip = self.ipv4()?;
+        let mut proto = ip.protocol;
+        let mut off = self.l3_offset() + ip.header_len;
+        while proto == IPPROTO_AH {
+            let ah = AuthHeader::parse(&self.buf[off..])?;
+            proto = ah.next_header;
+            off += AH_LEN;
+        }
+        match Protocol::from_number(proto) {
+            Some(Protocol::Tcp) => {
+                crate::headers::Tcp::parse(&self.buf[off..])?;
+            }
+            Some(Protocol::Udp) => {
+                crate::headers::Udp::parse(&self.buf[off..])?;
+            }
+            None => return Err(PacketError::UnsupportedProtocol(proto)),
+        }
+        Ok(())
+    }
+
+    /// The complete frame bytes (Ethernet onward).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Total frame length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True if the frame is empty (never the case for validated packets).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaining headroom available for encapsulation.
+    #[must_use]
+    pub fn headroom(&self) -> usize {
+        self.start
+    }
+
+    /// The SpeedyBox flow ID attached by the Packet Classifier, if any.
+    #[must_use]
+    pub fn fid(&self) -> Option<Fid> {
+        self.fid
+    }
+
+    /// Attaches flow-ID metadata (Classifier responsibility).
+    pub fn set_fid(&mut self, fid: Fid) {
+        self.fid = Some(fid);
+    }
+
+    /// Detaches flow-ID metadata ("When the packet leaves the service chain,
+    /// SpeedyBox detaches the meta-data", paper §VI-B).
+    pub fn clear_fid(&mut self) {
+        self.fid = None;
+    }
+
+    // ---- offsets ----
+
+    /// Offset of the IPv4 header: after the Ethernet header, plus a
+    /// single 802.1Q VLAN tag when present (real captures carry them).
+    fn l3_offset(&self) -> usize {
+        let et_off = self.start + 12;
+        let ethertype = match (self.buf.get(et_off), self.buf.get(et_off + 1)) {
+            (Some(&a), Some(&b)) => u16::from_be_bytes([a, b]),
+            _ => 0,
+        };
+        if ethertype == crate::headers::ETHERTYPE_VLAN {
+            self.start + ETHERNET_LEN + 4
+        } else {
+            self.start + ETHERNET_LEN
+        }
+    }
+
+    /// The 802.1Q VLAN ID, if the frame is tagged.
+    #[must_use]
+    pub fn vlan_id(&self) -> Option<u16> {
+        let et_off = self.start + 12;
+        let ethertype =
+            u16::from_be_bytes([*self.buf.get(et_off)?, *self.buf.get(et_off + 1)?]);
+        if ethertype != crate::headers::ETHERTYPE_VLAN {
+            return None;
+        }
+        let tci = u16::from_be_bytes([*self.buf.get(et_off + 2)?, *self.buf.get(et_off + 3)?]);
+        Some(tci & 0x0fff)
+    }
+
+    /// Bytes from `off` to the end, or an empty slice if `off` is past the
+    /// end (so header parsers report `Truncated` instead of panicking).
+    fn tail(&self, off: usize) -> &[u8] {
+        self.buf.get(off..).unwrap_or(&[])
+    }
+
+    /// Patches protocol/total-length in the IPv4 header in place and
+    /// recomputes its checksum over the real header length — never
+    /// rewriting the header wholesale, so IPv4 options survive.
+    fn patch_ipv4(&mut self, protocol: u8, total_len: u16, header_len: usize) {
+        let l3 = self.l3_offset();
+        self.buf[l3 + 2..l3 + 4].copy_from_slice(&total_len.to_be_bytes());
+        self.buf[l3 + 9] = protocol;
+        self.buf[l3 + 10..l3 + 12].copy_from_slice(&[0, 0]);
+        let ck = checksum::internet_checksum(&self.buf[l3..l3 + header_len]);
+        self.buf[l3 + 10..l3 + 12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    fn l4_offset_and_proto(&self) -> Result<(usize, Protocol)> {
+        let ip = self.ipv4()?;
+        let mut proto = ip.protocol;
+        let mut off = self.l3_offset() + ip.header_len;
+        while proto == IPPROTO_AH {
+            let ah = AuthHeader::parse(&self.buf[off..])?;
+            proto = ah.next_header;
+            off += AH_LEN;
+        }
+        Protocol::from_number(proto)
+            .map(|p| (off, p))
+            .ok_or(PacketError::UnsupportedProtocol(proto))
+    }
+
+    // ---- header views ----
+
+    /// Parses the Ethernet header.
+    ///
+    /// # Errors
+    /// Returns an error if the frame is truncated.
+    pub fn ethernet(&self) -> Result<Ethernet> {
+        Ethernet::parse(self.tail(self.start))
+    }
+
+    /// Parses the IPv4 header.
+    ///
+    /// # Errors
+    /// Returns an error if the frame is truncated or not IPv4.
+    pub fn ipv4(&self) -> Result<Ipv4> {
+        Ipv4::parse(self.tail(self.l3_offset()))
+    }
+
+    /// Parses the TCP header (error for UDP packets).
+    ///
+    /// # Errors
+    /// Returns [`PacketError::Malformed`] if the packet is not TCP.
+    pub fn tcp(&self) -> Result<crate::headers::Tcp> {
+        let (off, proto) = self.l4_offset_and_proto()?;
+        if proto != Protocol::Tcp {
+            return Err(PacketError::Malformed("not a TCP packet"));
+        }
+        crate::headers::Tcp::parse(&self.buf[off..])
+    }
+
+    /// Parses the UDP header (error for TCP packets).
+    ///
+    /// # Errors
+    /// Returns [`PacketError::Malformed`] if the packet is not UDP.
+    pub fn udp(&self) -> Result<crate::headers::Udp> {
+        let (off, proto) = self.l4_offset_and_proto()?;
+        if proto != Protocol::Udp {
+            return Err(PacketError::Malformed("not a UDP packet"));
+        }
+        crate::headers::Udp::parse(&self.buf[off..])
+    }
+
+    /// TCP flags, or empty flags for UDP packets.
+    #[must_use]
+    pub fn tcp_flags(&self) -> TcpFlags {
+        self.tcp().map(|t| TcpFlags(t.flags)).unwrap_or_default()
+    }
+
+    /// The transport protocol of this packet.
+    ///
+    /// # Errors
+    /// Returns an error if parsing fails.
+    pub fn protocol(&self) -> Result<Protocol> {
+        self.l4_offset_and_proto().map(|(_, p)| p)
+    }
+
+    /// Extracts the flow 5-tuple from the current header values.
+    ///
+    /// Note: NFs rewriting headers change the 5-tuple; the stable flow
+    /// identity is [`Packet::fid`].
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn five_tuple(&self) -> Result<FiveTuple> {
+        let ip = self.ipv4()?;
+        let (off, proto) = self.l4_offset_and_proto()?;
+        let (sp, dp) = match proto {
+            Protocol::Tcp => {
+                let t = crate::headers::Tcp::parse(&self.buf[off..])?;
+                (t.src_port, t.dst_port)
+            }
+            Protocol::Udp => {
+                let u = crate::headers::Udp::parse(&self.buf[off..])?;
+                (u.src_port, u.dst_port)
+            }
+        };
+        Ok(FiveTuple::new(ip.src, sp, ip.dst, dp, proto))
+    }
+
+    // ---- payload ----
+
+    /// The application payload (after the L4 header).
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn payload(&self) -> Result<&[u8]> {
+        let (off, proto) = self.l4_offset_and_proto()?;
+        let hdr = match proto {
+            Protocol::Tcp => crate::headers::Tcp::parse(self.tail(off))?.header_len,
+            Protocol::Udp => UDP_LEN,
+        };
+        Ok(&self.buf[off + hdr..])
+    }
+
+    /// Mutable access to the application payload.
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn payload_mut(&mut self) -> Result<&mut [u8]> {
+        let (off, proto) = self.l4_offset_and_proto()?;
+        let hdr = match proto {
+            Protocol::Tcp => crate::headers::Tcp::parse(self.tail(off))?.header_len,
+            Protocol::Udp => UDP_LEN,
+        };
+        Ok(&mut self.buf[off + hdr..])
+    }
+
+    // ---- field access ----
+
+    /// Reads a named header field.
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn get_field(&self, field: HeaderField) -> Result<FieldValue> {
+        Ok(match field {
+            HeaderField::SrcMac => FieldValue::from(self.ethernet()?.src_mac),
+            HeaderField::DstMac => FieldValue::from(self.ethernet()?.dst_mac),
+            HeaderField::SrcIp => FieldValue::from(self.ipv4()?.src),
+            HeaderField::DstIp => FieldValue::from(self.ipv4()?.dst),
+            HeaderField::SrcPort => {
+                let (off, proto) = self.l4_offset_and_proto()?;
+                let _ = proto;
+                FieldValue::from(u16::from_be_bytes([self.buf[off], self.buf[off + 1]]))
+            }
+            HeaderField::DstPort => {
+                let (off, _) = self.l4_offset_and_proto()?;
+                FieldValue::from(u16::from_be_bytes([self.buf[off + 2], self.buf[off + 3]]))
+            }
+            HeaderField::Ttl => FieldValue::from(self.ipv4()?.ttl),
+            HeaderField::Tos => FieldValue::from(self.ipv4()?.tos),
+        })
+    }
+
+    /// Writes a named header field in place.
+    ///
+    /// Checksums are *not* updated; call [`Packet::fix_checksums`] once all
+    /// modifications are applied, mirroring SpeedyBox's single end-of-
+    /// consolidation fix-up.
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn set_field(&mut self, field: HeaderField, value: impl Into<FieldValue>) -> Result<()> {
+        let value = value.into();
+        match field {
+            HeaderField::SrcMac => {
+                let s = self.start;
+                self.buf[s + 6..s + 12].copy_from_slice(&value.as_mac());
+            }
+            HeaderField::DstMac => {
+                let s = self.start;
+                self.buf[s..s + 6].copy_from_slice(&value.as_mac());
+            }
+            HeaderField::SrcIp => {
+                let o = self.l3_offset() + 12;
+                self.buf[o..o + 4].copy_from_slice(&value.as_ipv4().octets());
+            }
+            HeaderField::DstIp => {
+                let o = self.l3_offset() + 16;
+                self.buf[o..o + 4].copy_from_slice(&value.as_ipv4().octets());
+            }
+            HeaderField::SrcPort => {
+                let (off, _) = self.l4_offset_and_proto()?;
+                self.buf[off..off + 2].copy_from_slice(&value.as_port().to_be_bytes());
+            }
+            HeaderField::DstPort => {
+                let (off, _) = self.l4_offset_and_proto()?;
+                self.buf[off + 2..off + 4].copy_from_slice(&value.as_port().to_be_bytes());
+            }
+            HeaderField::Ttl => {
+                let o = self.l3_offset() + 8;
+                self.buf[o] = value.as_byte();
+            }
+            HeaderField::Tos => {
+                let o = self.l3_offset() + 1;
+                self.buf[o] = value.as_byte();
+            }
+        }
+        Ok(())
+    }
+
+    /// Decrements TTL by one (saturating at zero), as routers and NATs do.
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn decrement_ttl(&mut self) -> Result<()> {
+        let ttl = self.get_field(HeaderField::Ttl)?.as_byte();
+        self.set_field(HeaderField::Ttl, ttl.saturating_sub(1))
+    }
+
+    // ---- encap / decap ----
+
+    /// Encapsulates the L4 segment in an IPsec Authentication Header,
+    /// prepending into headroom (no payload copy).
+    ///
+    /// # Errors
+    /// Returns [`PacketError::HeadroomExhausted`] if headroom is gone, or a
+    /// parse error for an invalid packet.
+    pub fn encap_ah(&mut self, spi: u32, seq: u32) -> Result<()> {
+        if self.start < AH_LEN {
+            return Err(PacketError::HeadroomExhausted);
+        }
+        let ip = self.ipv4()?;
+        let l3 = self.l3_offset();
+        let new_start = self.start - AH_LEN;
+        // Shift Ethernet + IPv4 headers back by AH_LEN.
+        self.buf.copy_within(self.start..l3 + ip.header_len, new_start);
+        self.start = new_start;
+        // Write the AH where the (shifted) IPv4 header now ends.
+        let ah_off = self.l3_offset() + ip.header_len;
+        let ah = AuthHeader::new(spi, seq, ip.protocol);
+        ah.write(&mut self.buf[ah_off..ah_off + AH_LEN]);
+        // Patch the IPv4 header: protocol = AH, total_len += AH_LEN.
+        self.patch_ipv4(IPPROTO_AH, ip.total_len + AH_LEN as u16, ip.header_len);
+        Ok(())
+    }
+
+    /// Removes the outermost Authentication Header, returning it.
+    ///
+    /// # Errors
+    /// Returns [`PacketError::NothingToDecap`] if the packet carries no AH.
+    pub fn decap_ah(&mut self) -> Result<AuthHeader> {
+        let ip = self.ipv4()?;
+        if ip.protocol != IPPROTO_AH {
+            return Err(PacketError::NothingToDecap);
+        }
+        let l3 = self.l3_offset();
+        let ah_off = l3 + self.ipv4()?.header_len;
+        let ah = AuthHeader::parse(&self.buf[ah_off..])?;
+        // Shift Ethernet + IPv4 forward over the AH.
+        self.buf.copy_within(self.start..ah_off, self.start + AH_LEN);
+        self.start += AH_LEN;
+        // Patch the IPv4 header.
+        self.patch_ipv4(ah.next_header, ip.total_len - AH_LEN as u16, ip.header_len);
+        Ok(ah)
+    }
+
+    /// Number of AH encapsulation layers currently on the packet.
+    #[must_use]
+    pub fn ah_depth(&self) -> usize {
+        let Ok(ip) = self.ipv4() else { return 0 };
+        let mut depth = 0;
+        let mut proto = ip.protocol;
+        let mut off = self.l3_offset() + ip.header_len;
+        while proto == IPPROTO_AH {
+            let Ok(ah) = AuthHeader::parse(&self.buf[off..]) else { break };
+            proto = ah.next_header;
+            off += AH_LEN;
+            depth += 1;
+        }
+        depth
+    }
+
+    // ---- checksums ----
+
+    /// Recomputes the IPv4 header checksum and the L4 checksum.
+    ///
+    /// SpeedyBox performs this once per packet at the end of consolidation
+    /// rather than inside every NF (paper §V-B).
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn fix_checksums(&mut self) -> Result<()> {
+        // IPv4 checksum, recomputed in place (options preserved).
+        let ip = self.ipv4()?;
+        self.patch_ipv4(ip.protocol, ip.total_len, ip.header_len);
+        // L4 checksum over pseudo-header + segment.
+        let (off, proto) = self.l4_offset_and_proto()?;
+        let ck_off = match proto {
+            Protocol::Tcp => off + 16,
+            Protocol::Udp => off + 6,
+        };
+        self.buf[ck_off..ck_off + 2].copy_from_slice(&[0, 0]);
+        let seg_start = off;
+        let ck =
+            checksum::l4_checksum(ip.src, ip.dst, proto.number(), &self.buf[seg_start..]);
+        self.buf[ck_off..ck_off + 2].copy_from_slice(&ck.to_be_bytes());
+        Ok(())
+    }
+
+    /// Verifies the IPv4 and L4 checksums.
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn verify_checksums(&self) -> Result<bool> {
+        let ip = self.ipv4()?;
+        let l3 = self.l3_offset();
+        if !checksum::verify(&self.buf[l3..l3 + ip.header_len]) {
+            return Ok(false);
+        }
+        let (off, proto) = self.l4_offset_and_proto()?;
+        let acc = checksum::pseudo_header_sum(
+            ip.src,
+            ip.dst,
+            proto.number(),
+            (self.buf.len() - off) as u16,
+        );
+        Ok(checksum::fold(checksum::sum_bytes(acc, &self.buf[off..])) == 0xFFFF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    fn sample() -> Packet {
+        PacketBuilder::tcp()
+            .src("10.0.0.1:1000".parse().unwrap())
+            .dst("10.0.0.2:80".parse().unwrap())
+            .payload(b"hello world")
+            .build()
+    }
+
+    #[test]
+    fn five_tuple_extraction() {
+        let p = sample();
+        let ft = p.five_tuple().unwrap();
+        assert_eq!(ft.src_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(ft.dst_port, 80);
+        assert_eq!(ft.protocol, Protocol::Tcp);
+    }
+
+    #[test]
+    fn set_and_get_every_field() {
+        let mut p = sample();
+        p.set_field(HeaderField::SrcIp, Ipv4Addr::new(1, 2, 3, 4)).unwrap();
+        p.set_field(HeaderField::DstIp, Ipv4Addr::new(5, 6, 7, 8)).unwrap();
+        p.set_field(HeaderField::SrcPort, 1111u16).unwrap();
+        p.set_field(HeaderField::DstPort, 2222u16).unwrap();
+        p.set_field(HeaderField::Ttl, 9u8).unwrap();
+        p.set_field(HeaderField::Tos, 0x20u8).unwrap();
+        p.set_field(HeaderField::SrcMac, [1, 1, 1, 1, 1, 1]).unwrap();
+        p.set_field(HeaderField::DstMac, [2, 2, 2, 2, 2, 2]).unwrap();
+        assert_eq!(p.get_field(HeaderField::SrcIp).unwrap().as_ipv4(), Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(p.get_field(HeaderField::DstIp).unwrap().as_ipv4(), Ipv4Addr::new(5, 6, 7, 8));
+        assert_eq!(p.get_field(HeaderField::SrcPort).unwrap().as_port(), 1111);
+        assert_eq!(p.get_field(HeaderField::DstPort).unwrap().as_port(), 2222);
+        assert_eq!(p.get_field(HeaderField::Ttl).unwrap().as_byte(), 9);
+        assert_eq!(p.get_field(HeaderField::Tos).unwrap().as_byte(), 0x20);
+        assert_eq!(p.get_field(HeaderField::SrcMac).unwrap().as_mac(), [1, 1, 1, 1, 1, 1]);
+        assert_eq!(p.get_field(HeaderField::DstMac).unwrap().as_mac(), [2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn modification_keeps_payload() {
+        let mut p = sample();
+        p.set_field(HeaderField::DstIp, Ipv4Addr::new(9, 9, 9, 9)).unwrap();
+        assert_eq!(p.payload().unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn checksums_fix_and_verify() {
+        let mut p = sample();
+        assert!(p.verify_checksums().unwrap());
+        p.set_field(HeaderField::DstIp, Ipv4Addr::new(9, 9, 9, 9)).unwrap();
+        assert!(!p.verify_checksums().unwrap());
+        p.fix_checksums().unwrap();
+        assert!(p.verify_checksums().unwrap());
+    }
+
+    #[test]
+    fn encap_decap_round_trip() {
+        let mut p = sample();
+        let before = p.as_bytes().to_vec();
+        let before_len = p.len();
+        p.encap_ah(0xabc, 1).unwrap();
+        assert_eq!(p.len(), before_len + AH_LEN);
+        assert_eq!(p.ah_depth(), 1);
+        assert_eq!(p.payload().unwrap(), b"hello world");
+        // 5-tuple still visible through the AH.
+        assert_eq!(p.five_tuple().unwrap().dst_port, 80);
+        let ah = p.decap_ah().unwrap();
+        assert_eq!(ah.spi, 0xabc);
+        assert_eq!(p.ah_depth(), 0);
+        assert_eq!(p.len(), before_len);
+        assert_eq!(p.as_bytes(), &before[..]);
+    }
+
+    #[test]
+    fn nested_encap() {
+        let mut p = sample();
+        p.encap_ah(1, 1).unwrap();
+        p.encap_ah(2, 1).unwrap();
+        assert_eq!(p.ah_depth(), 2);
+        assert_eq!(p.decap_ah().unwrap().spi, 2);
+        assert_eq!(p.decap_ah().unwrap().spi, 1);
+        assert!(matches!(p.decap_ah(), Err(PacketError::NothingToDecap)));
+    }
+
+    #[test]
+    fn encap_exhausts_headroom() {
+        let mut p = sample();
+        let mut n = 0;
+        while p.encap_ah(0, n).is_ok() {
+            n += 1;
+            assert!(n < 100, "headroom never exhausted");
+        }
+        assert_eq!(n as usize, HEADROOM / AH_LEN);
+    }
+
+    #[test]
+    fn fid_metadata_lifecycle() {
+        let mut p = sample();
+        assert_eq!(p.fid(), None);
+        let fid = p.five_tuple().unwrap().fid();
+        p.set_fid(fid);
+        assert_eq!(p.fid(), Some(fid));
+        // FID survives header rewrites (the whole point of the metadata).
+        p.set_field(HeaderField::DstIp, Ipv4Addr::new(8, 8, 8, 8)).unwrap();
+        assert_eq!(p.fid(), Some(fid));
+        p.clear_fid();
+        assert_eq!(p.fid(), None);
+    }
+
+    #[test]
+    fn tcp_flags_parsing() {
+        let p = PacketBuilder::tcp()
+            .src("10.0.0.1:1000".parse().unwrap())
+            .dst("10.0.0.2:80".parse().unwrap())
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .build();
+        let f = p.tcp_flags();
+        assert!(f.syn());
+        assert!(f.ack());
+        assert!(!f.fin());
+        assert!(!f.closes_flow());
+        let p2 = PacketBuilder::tcp()
+            .src("10.0.0.1:1000".parse().unwrap())
+            .dst("10.0.0.2:80".parse().unwrap())
+            .flags(TcpFlags::FIN)
+            .build();
+        assert!(p2.tcp_flags().closes_flow());
+    }
+
+    #[test]
+    fn udp_packets_work() {
+        let p = PacketBuilder::udp()
+            .src("10.0.0.1:53".parse().unwrap())
+            .dst("10.0.0.2:5353".parse().unwrap())
+            .payload(b"dns-ish")
+            .build();
+        assert_eq!(p.five_tuple().unwrap().protocol, Protocol::Udp);
+        assert_eq!(p.payload().unwrap(), b"dns-ish");
+        assert!(p.tcp().is_err());
+        assert!(p.udp().is_ok());
+        assert_eq!(p.tcp_flags(), TcpFlags::default());
+    }
+
+    /// Builds a frame with IPv4 options (IHL=6) and TCP options
+    /// (offset=6), as real captures contain.
+    fn frame_with_options() -> Vec<u8> {
+        let base = sample();
+        let b = base.as_bytes();
+        let mut f = Vec::new();
+        f.extend_from_slice(&b[..14]); // Ethernet
+        // IPv4 with one 4-byte NOP-padded option.
+        let mut ip = b[14..34].to_vec();
+        ip[0] = 0x46; // IHL = 6
+        let payload_after_ip = &b[34..];
+        let new_total = (24 + payload_after_ip.len()) as u16;
+        ip[2..4].copy_from_slice(&new_total.to_be_bytes());
+        // Recompute the header checksum over header + options.
+        ip.extend_from_slice(&[0x01, 0x01, 0x01, 0x00]); // NOP NOP NOP EOOL
+        ip[10..12].copy_from_slice(&[0, 0]);
+        let ck = crate::checksum::internet_checksum(&ip);
+        ip[10..12].copy_from_slice(&ck.to_be_bytes());
+        f.extend_from_slice(&ip);
+        // TCP with one 4-byte option (offset = 6).
+        let mut tcp = b[34..54].to_vec();
+        tcp[12] = 6 << 4;
+        f.extend_from_slice(&tcp);
+        f.extend_from_slice(&[0x01, 0x01, 0x01, 0x00]);
+        f.extend_from_slice(&b[54..]); // payload
+        f
+    }
+
+    #[test]
+    fn parses_packets_with_ip_and_tcp_options() {
+        let mut p = Packet::from_frame(&frame_with_options()).unwrap();
+        assert_eq!(p.five_tuple().unwrap().dst_port, 80);
+        assert_eq!(p.payload().unwrap(), b"hello world");
+        assert_eq!(p.ipv4().unwrap().header_len, 24);
+        assert_eq!(p.tcp().unwrap().header_len, 24);
+        // Field writes and checksum fixes preserve the options.
+        p.set_field(HeaderField::DstPort, 9999u16).unwrap();
+        p.fix_checksums().unwrap();
+        assert!(p.verify_checksums().unwrap());
+        assert_eq!(p.ipv4().unwrap().header_len, 24, "options intact");
+        assert_eq!(p.payload().unwrap(), b"hello world");
+        let bytes = p.as_bytes();
+        assert_eq!(&bytes[34..38], &[0x01, 0x01, 0x01, 0x00], "IP options bytes intact");
+    }
+
+    #[test]
+    fn encap_decap_preserves_options() {
+        let mut p = Packet::from_frame(&frame_with_options()).unwrap();
+        let before = p.as_bytes().to_vec();
+        p.encap_ah(0x55, 1).unwrap();
+        assert_eq!(p.ah_depth(), 1);
+        assert_eq!(p.payload().unwrap(), b"hello world");
+        p.decap_ah().unwrap();
+        assert_eq!(p.as_bytes(), &before[..]);
+    }
+
+    #[test]
+    fn vlan_tagged_frames_parse_and_modify() {
+        let mut p = PacketBuilder::tcp()
+            .src("10.0.0.1:1000".parse().unwrap())
+            .dst("10.0.0.2:80".parse().unwrap())
+            .vlan(42)
+            .payload(b"tagged")
+            .build();
+        assert_eq!(p.vlan_id(), Some(42));
+        assert_eq!(p.five_tuple().unwrap().dst_port, 80);
+        assert_eq!(p.payload().unwrap(), b"tagged");
+        assert!(p.verify_checksums().unwrap());
+        // Field writes and checksum fixes keep the tag intact.
+        p.set_field(HeaderField::DstPort, 8080u16).unwrap();
+        p.fix_checksums().unwrap();
+        assert!(p.verify_checksums().unwrap());
+        assert_eq!(p.vlan_id(), Some(42));
+        // Round-trips through from_frame.
+        let re = Packet::from_frame(p.as_bytes()).unwrap();
+        assert_eq!(re.vlan_id(), Some(42));
+        assert_eq!(re.five_tuple().unwrap().dst_port, 8080);
+    }
+
+    #[test]
+    fn vlan_frames_survive_encap_decap() {
+        let mut p = PacketBuilder::tcp().vlan(7).payload(b"x").build();
+        let before = p.as_bytes().to_vec();
+        p.encap_ah(1, 0).unwrap();
+        assert_eq!(p.vlan_id(), Some(7));
+        assert_eq!(p.payload().unwrap(), b"x");
+        p.decap_ah().unwrap();
+        assert_eq!(p.as_bytes(), &before[..]);
+    }
+
+    #[test]
+    fn untagged_frames_have_no_vlan() {
+        let p = sample();
+        assert_eq!(p.vlan_id(), None);
+    }
+
+    #[test]
+    fn from_frame_rejects_garbage() {
+        assert!(Packet::from_frame(&[0u8; 10]).is_err());
+        // Valid eth, bogus IP version.
+        let mut frame = vec![0u8; 64];
+        frame[12] = 0x08;
+        frame[14] = 0x65;
+        assert!(Packet::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn from_frame_round_trip() {
+        let p = sample();
+        let p2 = Packet::from_frame(p.as_bytes()).unwrap();
+        assert_eq!(p2.as_bytes(), p.as_bytes());
+    }
+}

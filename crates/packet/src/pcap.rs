@@ -1,0 +1,291 @@
+//! Classic libpcap file format (`.pcap`) support.
+//!
+//! Lets traces captured or synthesized here be opened in
+//! tcpdump/Wireshark and vice versa. Implements the original 24-byte
+//! global header + 16-byte per-record format (the format tcpdump calls
+//! "pcap classic", magic `0xA1B2C3D4`, microsecond timestamps,
+//! LINKTYPE_ETHERNET), reading both byte orders and the nanosecond-magic
+//! variant.
+
+use std::io::{Read, Write};
+
+use crate::trace::{Trace, TraceRecord};
+
+/// Microsecond-timestamp magic, native order on write.
+pub const MAGIC_US: u32 = 0xA1B2_C3D4;
+/// Nanosecond-timestamp magic (accepted on read).
+pub const MAGIC_NS: u32 = 0xA1B2_3C4D;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Snap length we advertise (no truncation below this).
+pub const SNAPLEN: u32 = 65535;
+
+/// Errors from reading a pcap stream.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with a known pcap magic.
+    BadMagic(u32),
+    /// The link type is not Ethernet.
+    UnsupportedLinkType(u32),
+    /// A record header claims a length beyond the snap length.
+    OversizedRecord(u32),
+    /// The stream ended in the middle of a record.
+    TruncatedRecord,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "pcap I/O error: {e}"),
+            PcapError::BadMagic(m) => write!(f, "not a pcap stream (magic {m:#010x})"),
+            PcapError::UnsupportedLinkType(t) => write!(f, "unsupported link type {t}"),
+            PcapError::OversizedRecord(n) => write!(f, "record length {n} exceeds snaplen"),
+            PcapError::TruncatedRecord => f.write_str("truncated pcap record"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PcapError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PcapError {
+    fn from(e: std::io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+/// Writes a trace as a classic pcap file (microsecond timestamps,
+/// Ethernet link type, little-endian — the common case on x86 captures).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_pcap<W: Write>(trace: &Trace, mut writer: W) -> Result<(), PcapError> {
+    writer.write_all(&MAGIC_US.to_le_bytes())?;
+    writer.write_all(&2u16.to_le_bytes())?; // version major
+    writer.write_all(&4u16.to_le_bytes())?; // version minor
+    writer.write_all(&0i32.to_le_bytes())?; // thiszone
+    writer.write_all(&0u32.to_le_bytes())?; // sigfigs
+    writer.write_all(&SNAPLEN.to_le_bytes())?;
+    writer.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+    for rec in trace.iter() {
+        let secs = (rec.timestamp_ns / 1_000_000_000) as u32;
+        let micros = ((rec.timestamp_ns % 1_000_000_000) / 1_000) as u32;
+        let len = rec.frame.len() as u32;
+        writer.write_all(&secs.to_le_bytes())?;
+        writer.write_all(&micros.to_le_bytes())?;
+        writer.write_all(&len.to_le_bytes())?; // incl_len
+        writer.write_all(&len.to_le_bytes())?; // orig_len
+        writer.write_all(&rec.frame)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Byte-order-aware integer reads.
+struct Endian {
+    big: bool,
+}
+
+impl Endian {
+    fn u32(&self, b: [u8; 4]) -> u32 {
+        if self.big {
+            u32::from_be_bytes(b)
+        } else {
+            u32::from_le_bytes(b)
+        }
+    }
+}
+
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, PcapError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 { Ok(false) } else { Err(PcapError::TruncatedRecord) };
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Reads a classic pcap stream into a [`Trace`]. Accepts both byte orders
+/// and both microsecond and nanosecond timestamp magics.
+///
+/// # Errors
+/// Returns [`PcapError`] for malformed streams; frames that are not
+/// parseable packets are still loaded (the trace stores raw frames).
+pub fn read_pcap<R: Read>(mut reader: R) -> Result<Trace, PcapError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    let magic_le = u32::from_le_bytes(magic);
+    let magic_be = u32::from_be_bytes(magic);
+    let (endian, nanos) = match (magic_le, magic_be) {
+        (MAGIC_US, _) => (Endian { big: false }, false),
+        (MAGIC_NS, _) => (Endian { big: false }, true),
+        (_, MAGIC_US) => (Endian { big: true }, false),
+        (_, MAGIC_NS) => (Endian { big: true }, true),
+        _ => return Err(PcapError::BadMagic(magic_le)),
+    };
+    let mut rest = [0u8; 20];
+    reader.read_exact(&mut rest)?;
+    let linktype = endian.u32(rest[16..20].try_into().expect("4 bytes"));
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(PcapError::UnsupportedLinkType(linktype));
+    }
+    let mut trace = Trace::new();
+    loop {
+        let mut hdr = [0u8; 16];
+        if !read_exact_or_eof(&mut reader, &mut hdr)? {
+            break;
+        }
+        let secs = endian.u32(hdr[0..4].try_into().expect("4 bytes"));
+        let frac = endian.u32(hdr[4..8].try_into().expect("4 bytes"));
+        let incl = endian.u32(hdr[8..12].try_into().expect("4 bytes"));
+        if incl > SNAPLEN {
+            return Err(PcapError::OversizedRecord(incl));
+        }
+        let mut frame = vec![0u8; incl as usize];
+        if !read_exact_or_eof(&mut reader, &mut frame)? && incl > 0 {
+            return Err(PcapError::TruncatedRecord);
+        }
+        let frac_ns = if nanos { u64::from(frac) } else { u64::from(frac) * 1_000 };
+        let timestamp_ns = u64::from(secs) * 1_000_000_000 + frac_ns;
+        trace.push(TraceRecord { timestamp_ns, frame });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..4u32 {
+            let p = PacketBuilder::tcp()
+                .src(format!("10.0.0.1:{}", 1000 + i).parse().unwrap())
+                .dst("10.0.0.2:80".parse().unwrap())
+                .payload(format!("payload-{i}").as_bytes())
+                .build();
+            // Microsecond-aligned timestamps (the classic format's
+            // precision) so the round-trip is exact.
+            t.push(TraceRecord::capture(1_500_000_000 * u64::from(i) + 123_000, &p));
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_pcap(&t, &mut buf).unwrap();
+        let t2 = read_pcap(&buf[..]).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn global_header_layout() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_pcap(&t, &mut buf).unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(&buf[0..4], &[0xD4, 0xC3, 0xB2, 0xA1], "LE magic");
+        assert_eq!(u16::from_le_bytes([buf[4], buf[5]]), 2);
+        assert_eq!(u16::from_le_bytes([buf[6], buf[7]]), 4);
+        assert_eq!(u32::from_le_bytes([buf[20], buf[21], buf[22], buf[23]]), 1, "Ethernet");
+    }
+
+    #[test]
+    fn timestamps_preserved_to_microseconds() {
+        let mut t = Trace::new();
+        let p = PacketBuilder::tcp().build();
+        t.push(TraceRecord { timestamp_ns: 3_000_000_789, frame: p.as_bytes().to_vec() });
+        let mut buf = Vec::new();
+        write_pcap(&t, &mut buf).unwrap();
+        let t2 = read_pcap(&buf[..]).unwrap();
+        // Sub-microsecond precision is lost in the classic format.
+        assert_eq!(t2.iter().next().unwrap().timestamp_ns, 3_000_000_000);
+    }
+
+    #[test]
+    fn reads_big_endian_captures() {
+        // Hand-build a BE header + one record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_US.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&SNAPLEN.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        let frame = [0xABu8; 10];
+        buf.extend_from_slice(&7u32.to_be_bytes()); // secs
+        buf.extend_from_slice(&5u32.to_be_bytes()); // usecs
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&frame);
+        let t = read_pcap(&buf[..]).unwrap();
+        assert_eq!(t.len(), 1);
+        let rec = t.iter().next().unwrap();
+        assert_eq!(rec.timestamp_ns, 7_000_005_000);
+        assert_eq!(rec.frame, frame);
+    }
+
+    #[test]
+    fn nanosecond_magic_accepted() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NS.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // secs
+        buf.extend_from_slice(&42u32.to_le_bytes()); // nanos
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[1u8, 2]);
+        let t = read_pcap(&buf[..]).unwrap();
+        assert_eq!(t.iter().next().unwrap().timestamp_ns, 1_000_000_042);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            read_pcap(&[0u8; 24][..]),
+            Err(PcapError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_linktype_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_US.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        buf.extend_from_slice(&101u32.to_le_bytes()); // LINKTYPE_RAW
+        assert!(matches!(read_pcap(&buf[..]), Err(PcapError::UnsupportedLinkType(101))));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_pcap(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_pcap(&buf[..]), Err(PcapError::TruncatedRecord)));
+    }
+
+    #[test]
+    fn empty_capture_round_trips() {
+        let mut buf = Vec::new();
+        write_pcap(&Trace::new(), &mut buf).unwrap();
+        let t = read_pcap(&buf[..]).unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Recording and replaying packet traces.
+//!
+//! The paper's evaluation replays a datacenter trace (Benson et al.) through
+//! the chains. Our workloads are synthesized by `speedybox-traffic`, but the
+//! trace format here lets any workload be captured once and replayed
+//! deterministically — including across the with/without-SpeedyBox
+//! equivalence runs of §VII-C.
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::Packet;
+use crate::Result;
+
+/// One recorded packet: arrival time (ns since trace start) plus frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Nanoseconds since the start of the trace.
+    pub timestamp_ns: u64,
+    /// Raw frame bytes (Ethernet onward).
+    pub frame: Vec<u8>,
+}
+
+impl TraceRecord {
+    /// Captures a packet at the given timestamp.
+    #[must_use]
+    pub fn capture(timestamp_ns: u64, packet: &Packet) -> Self {
+        Self { timestamp_ns, frame: packet.as_bytes().to_vec() }
+    }
+
+    /// Reconstructs the packet.
+    ///
+    /// # Errors
+    /// Returns an error if the recorded frame no longer parses.
+    pub fn to_packet(&self) -> Result<Packet> {
+        Packet::from_frame(&self.frame)
+    }
+}
+
+/// An in-memory packet trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Reconstructs all packets in order.
+    ///
+    /// # Errors
+    /// Returns the first parse failure encountered.
+    pub fn packets(&self) -> Result<Vec<Packet>> {
+        self.records.iter().map(TraceRecord::to_packet).collect()
+    }
+
+    /// Serializes the trace to a simple line format:
+    /// `<timestamp_ns> <hex-frame>\n`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_lines<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for rec in &self.records {
+            let hex: String = rec.frame.iter().map(|b| format!("{b:02x}")).collect();
+            writeln!(writer, "{} {}", rec.timestamp_ns, hex)?;
+        }
+        writer.flush()
+    }
+
+    /// Parses a trace from the line format written by [`Trace::write_lines`].
+    ///
+    /// # Errors
+    /// Returns `None`-mapped I/O or format errors as `std::io::Error`.
+    pub fn read_lines<R: BufRead>(reader: R) -> std::io::Result<Self> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned());
+        let mut trace = Trace::new();
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (ts, hex) = line.split_once(' ').ok_or_else(|| bad("missing separator"))?;
+            let timestamp_ns: u64 = ts.parse().map_err(|_| bad("bad timestamp"))?;
+            if hex.len() % 2 != 0 {
+                return Err(bad("odd hex length"));
+            }
+            let frame = (0..hex.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| bad("bad hex")))
+                .collect::<std::io::Result<Vec<u8>>>()?;
+            trace.push(TraceRecord { timestamp_ns, frame });
+        }
+        Ok(trace)
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Self {
+        Self { records: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceRecord;
+    type IntoIter = std::vec::IntoIter<TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..5u32 {
+            let p = PacketBuilder::tcp()
+                .src(format!("10.0.0.1:{}", 1000 + i).parse().unwrap())
+                .dst("10.0.0.2:80".parse().unwrap())
+                .payload(format!("pkt{i}").as_bytes())
+                .build();
+            t.push(TraceRecord::capture(u64::from(i) * 1000, &p));
+        }
+        t
+    }
+
+    #[test]
+    fn capture_and_reconstruct() {
+        let t = sample_trace();
+        let pkts = t.packets().unwrap();
+        assert_eq!(pkts.len(), 5);
+        assert_eq!(pkts[3].payload().unwrap(), b"pkt3");
+    }
+
+    #[test]
+    fn line_format_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_lines(&mut buf).unwrap();
+        let t2 = Trace::read_lines(&buf[..]).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn read_lines_rejects_garbage() {
+        assert!(Trace::read_lines(&b"notanumber deadbeef\n"[..]).is_err());
+        assert!(Trace::read_lines(&b"123 xyz\n"[..]).is_err());
+        assert!(Trace::read_lines(&b"123 abc\n"[..]).is_err()); // odd hex
+        assert!(Trace::read_lines(&b"123\n"[..]).is_err()); // no separator
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_lines(&mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let t2 = Trace::read_lines(&buf[..]).unwrap();
+        assert_eq!(t2.len(), 5);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t = sample_trace();
+        let t2: Trace = t.clone().into_iter().collect();
+        assert_eq!(t, t2);
+    }
+}

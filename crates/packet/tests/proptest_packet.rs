@@ -1,0 +1,153 @@
+//! Property-based tests for the packet substrate.
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use proptest::prelude::*;
+use speedybox_packet::{HeaderField, Packet, PacketBuilder, Protocol};
+
+fn arb_addr() -> impl Strategy<Value = SocketAddrV4> {
+    (any::<u32>(), any::<u16>())
+        .prop_map(|(ip, port)| SocketAddrV4::new(Ipv4Addr::from(ip), port))
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        arb_addr(),
+        arb_addr(),
+        prop::bool::ANY,
+        prop::collection::vec(any::<u8>(), 0..512),
+        1u8..=255,
+    )
+        .prop_map(|(src, dst, tcp, payload, ttl)| {
+            let mut b = if tcp { PacketBuilder::tcp() } else { PacketBuilder::udp() };
+            b.src(src).dst(dst).payload(&payload).ttl(ttl);
+            b.build()
+        })
+}
+
+proptest! {
+    /// Building then reparsing preserves the frame exactly.
+    #[test]
+    fn frame_round_trip(pkt in arb_packet()) {
+        let re = Packet::from_frame(pkt.as_bytes()).unwrap();
+        prop_assert_eq!(re.as_bytes(), pkt.as_bytes());
+    }
+
+    /// Builder output always carries valid checksums.
+    #[test]
+    fn built_checksums_valid(pkt in arb_packet()) {
+        prop_assert!(pkt.verify_checksums().unwrap());
+    }
+
+    /// set_field followed by get_field returns the written value for all
+    /// field kinds, and fix_checksums restores validity.
+    #[test]
+    fn set_get_consistency(mut pkt in arb_packet(), ip in any::<u32>(), port in any::<u16>()) {
+        let ip = Ipv4Addr::from(ip);
+        pkt.set_field(HeaderField::DstIp, ip).unwrap();
+        pkt.set_field(HeaderField::SrcPort, port).unwrap();
+        prop_assert_eq!(pkt.get_field(HeaderField::DstIp).unwrap().as_ipv4(), ip);
+        prop_assert_eq!(pkt.get_field(HeaderField::SrcPort).unwrap().as_port(), port);
+        pkt.fix_checksums().unwrap();
+        prop_assert!(pkt.verify_checksums().unwrap());
+    }
+
+    /// encap_ah/decap_ah is a perfect inverse, any depth up to headroom.
+    #[test]
+    fn encap_decap_inverse(mut pkt in arb_packet(), depth in 1usize..5) {
+        let original = pkt.as_bytes().to_vec();
+        for i in 0..depth {
+            pkt.encap_ah(i as u32, 0).unwrap();
+        }
+        prop_assert_eq!(pkt.ah_depth(), depth);
+        // Payload visible through arbitrary nesting.
+        let _ = pkt.payload().unwrap();
+        for _ in 0..depth {
+            pkt.decap_ah().unwrap();
+        }
+        prop_assert_eq!(pkt.as_bytes(), &original[..]);
+    }
+
+    /// The FID is a pure function of the 5-tuple and respects the 20-bit
+    /// bound.
+    #[test]
+    fn fid_pure_and_bounded(pkt in arb_packet()) {
+        let ft = pkt.five_tuple().unwrap();
+        let f1 = ft.fid();
+        let f2 = ft.fid();
+        prop_assert_eq!(f1, f2);
+        prop_assert!(f1.value() < (1 << speedybox_packet::FID_BITS));
+    }
+
+    /// 5-tuple reflects builder inputs.
+    #[test]
+    fn five_tuple_matches_builder(src in arb_addr(), dst in arb_addr(), tcp in prop::bool::ANY) {
+        let mut b = if tcp { PacketBuilder::tcp() } else { PacketBuilder::udp() };
+        let pkt = b.src(src).dst(dst).build();
+        let ft = pkt.five_tuple().unwrap();
+        prop_assert_eq!(ft.src_ip, *src.ip());
+        prop_assert_eq!(ft.dst_ip, *dst.ip());
+        prop_assert_eq!(ft.src_port, src.port());
+        prop_assert_eq!(ft.dst_port, dst.port());
+        prop_assert_eq!(ft.protocol, if tcp { Protocol::Tcp } else { Protocol::Udp });
+    }
+
+    /// `Packet::from_frame` is total: arbitrary bytes produce Ok or Err,
+    /// never a panic, and accepted frames support all accessors.
+    #[test]
+    fn from_frame_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(p) = Packet::from_frame(&bytes) {
+            let _ = p.five_tuple();
+            let _ = p.payload();
+            let _ = p.tcp_flags();
+            let _ = p.ah_depth();
+            let _ = p.verify_checksums();
+        }
+    }
+
+    /// Mutating a valid packet's frame bytes and re-parsing is also total.
+    #[test]
+    fn corrupted_frames_never_panic(pkt in arb_packet(), idx in any::<prop::sample::Index>(), b in any::<u8>()) {
+        let mut bytes = pkt.as_bytes().to_vec();
+        let i = idx.index(bytes.len());
+        bytes[i] = b;
+        if let Ok(p) = Packet::from_frame(&bytes) {
+            let _ = p.five_tuple();
+            let _ = p.payload();
+        }
+    }
+
+    /// pcap serialization round-trips arbitrary traces (timestamps
+    /// quantized to the classic format's microsecond precision).
+    #[test]
+    fn pcap_round_trip(pkts in prop::collection::vec(arb_packet(), 0..8), ts in prop::collection::vec(0u64..10_000_000, 8)) {
+        use speedybox_packet::pcap::{read_pcap, write_pcap};
+        use speedybox_packet::trace::{Trace, TraceRecord};
+        let t: Trace = pkts
+            .iter()
+            .zip(&ts)
+            .map(|(p, &us)| TraceRecord::capture(us * 1_000, p))
+            .collect();
+        let mut buf = Vec::new();
+        write_pcap(&t, &mut buf).unwrap();
+        let t2 = read_pcap(&buf[..]).unwrap();
+        prop_assert_eq!(t, t2);
+    }
+
+    /// Trace line-format round-trips arbitrary packets.
+
+
+    #[test]
+    fn trace_round_trip(pkts in prop::collection::vec(arb_packet(), 0..8)) {
+        use speedybox_packet::trace::{Trace, TraceRecord};
+        let t: Trace = pkts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TraceRecord::capture(i as u64, p))
+            .collect();
+        let mut buf = Vec::new();
+        t.write_lines(&mut buf).unwrap();
+        let t2 = Trace::read_lines(&buf[..]).unwrap();
+        prop_assert_eq!(t, t2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Ready-made service chains from the paper's evaluation (§VII).
+//!
+//! Each builder returns the boxed NF list plus cloned handles to the
+//! stateful NFs so callers can inspect counters, logs and backends — our
+//! NFs share their state through `Arc`, so a clone observes the chain's
+//! live state.
+
+use std::net::Ipv4Addr;
+
+use speedybox_mat::state_fn::PayloadAccess;
+use speedybox_nf::ipfilter::IpFilter;
+use speedybox_nf::maglev::Maglev;
+use speedybox_nf::mazunat::MazuNat;
+use speedybox_nf::monitor::Monitor;
+use speedybox_nf::snort::SnortLite;
+use speedybox_nf::synthetic::{SyntheticNf, SyntheticSf};
+use speedybox_nf::Nf;
+
+/// Default rule set used wherever a Snort instance is needed.
+pub const DEFAULT_SNORT_RULES: &str = r#"
+alert tcp any any -> any 80 (msg:"suspicious GET"; content:"evil";)
+alert tcp any any -> any any (msg:"exfil marker"; content:"XFIL";)
+log tcp any any -> any any (msg:"debug probe"; content:"probe";)
+pass tcp any any -> any any (content:"healthcheck";)
+log udp any any -> any any (msg:"udp beacon"; content:"beacon";)
+"#;
+
+/// A chain of `n` pass-through IPFilters with `rules` ACL entries each —
+/// Fig 4 / Fig 8's workload ("The ACL rules of the IPFilters are carefully
+/// modified to avoid packet drops").
+#[must_use]
+pub fn ipfilter_chain(n: usize, rules: usize) -> Vec<Box<dyn Nf>> {
+    (0..n).map(|_| Box::new(IpFilter::pass_through(rules)) as Box<dyn Nf>).collect()
+}
+
+/// Fig 5's chain: `n` identical synthetic NFs whose only work is a
+/// Snort-inspection-equivalent payload-READ state function.
+#[must_use]
+pub fn synthetic_sf_chain(n: usize, scan_passes: u32) -> Vec<Box<dyn Nf>> {
+    (0..n)
+        .map(|i| {
+            Box::new(SyntheticNf::forward(format!("synthetic-{i}")).with_state_function(
+                SyntheticSf { access: PayloadAccess::Read, scan_passes },
+            )) as Box<dyn Nf>
+        })
+        .collect()
+}
+
+/// Handles into the Snort+Monitor chain (Fig 6/7).
+#[derive(Debug, Clone)]
+pub struct SnortMonitorHandles {
+    /// The IDS (shared log).
+    pub snort: SnortLite,
+    /// The monitor (shared counters).
+    pub monitor: Monitor,
+}
+
+/// Fig 6/7's chain: Snort followed by a Monitor. "Both of them have header
+/// actions and state functions, and thus will benefit from the two
+/// optimizations simultaneously."
+///
+/// # Panics
+/// Panics if the built-in rule set fails to parse (programming error).
+#[must_use]
+pub fn snort_monitor_chain() -> (Vec<Box<dyn Nf>>, SnortMonitorHandles) {
+    let snort = SnortLite::from_rules_text(DEFAULT_SNORT_RULES).expect("built-in rules parse");
+    let monitor = Monitor::new();
+    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(snort.clone()), Box::new(monitor.clone())];
+    (nfs, SnortMonitorHandles { snort, monitor })
+}
+
+/// Handles into Chain 1 (§VII-B3).
+#[derive(Debug, Clone)]
+pub struct Chain1Handles {
+    /// The NAT (mappings).
+    pub nat: MazuNat,
+    /// The load balancer (backends/connections).
+    pub maglev: Maglev,
+    /// The monitor (counters).
+    pub monitor: Monitor,
+}
+
+/// Chain 1 of the real-world evaluation:
+/// MazuNAT → Maglev → Monitor → IPFilter (the §II motivation chain).
+///
+/// `backends` is the Maglev pool size.
+#[must_use]
+pub fn chain1(backends: usize) -> (Vec<Box<dyn Nf>>, Chain1Handles) {
+    let nat = MazuNat::new(Ipv4Addr::new(198, 51, 100, 1), (40000, 60000));
+    let maglev = Maglev::new(
+        (0..backends.max(1))
+            .map(|i| {
+                (format!("backend-{i}"), format!("10.1.0.{}:8080", i + 1).parse().unwrap())
+            })
+            .collect::<Vec<(String, _)>>(),
+        251,
+    );
+    let monitor = Monitor::new();
+    let fw = IpFilter::pass_through(30);
+    let nfs: Vec<Box<dyn Nf>> = vec![
+        Box::new(nat.clone()),
+        Box::new(maglev.clone()),
+        Box::new(monitor.clone()),
+        Box::new(fw),
+    ];
+    (nfs, Chain1Handles { nat, maglev, monitor })
+}
+
+/// Handles into Chain 2 (§VII-B3).
+#[derive(Debug, Clone)]
+pub struct Chain2Handles {
+    /// The IDS (shared log).
+    pub snort: SnortLite,
+    /// The monitor (shared counters).
+    pub monitor: Monitor,
+}
+
+/// Chain 2 of the real-world evaluation: IPFilter → Snort → Monitor.
+///
+/// # Panics
+/// Panics if the built-in rule set fails to parse (programming error).
+#[must_use]
+pub fn chain2() -> (Vec<Box<dyn Nf>>, Chain2Handles) {
+    let fw = IpFilter::pass_through(30);
+    let snort = SnortLite::from_rules_text(DEFAULT_SNORT_RULES).expect("built-in rules parse");
+    let monitor = Monitor::new();
+    let nfs: Vec<Box<dyn Nf>> =
+        vec![Box::new(fw), Box::new(snort.clone()), Box::new(monitor.clone())];
+    (nfs, Chain2Handles { snort, monitor })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_lengths() {
+        assert_eq!(ipfilter_chain(3, 10).len(), 3);
+        assert_eq!(synthetic_sf_chain(2, 5).len(), 2);
+        assert_eq!(snort_monitor_chain().0.len(), 2);
+        assert_eq!(chain1(4).0.len(), 4);
+        assert_eq!(chain2().0.len(), 3);
+    }
+
+    #[test]
+    fn handles_observe_chain_state() {
+        use speedybox_packet::PacketBuilder;
+
+        use crate::bess::BessChain;
+
+        let (nfs, handles) = chain2();
+        let mut chain = BessChain::speedybox(nfs);
+        let pkts: Vec<_> = (0..5)
+            .map(|i| {
+                PacketBuilder::tcp()
+                    .src("10.0.0.1:1234".parse().unwrap())
+                    .dst("10.0.0.2:80".parse().unwrap())
+                    .payload(format!("pkt {i} with evil inside").as_bytes())
+                    .build()
+            })
+            .collect();
+        chain.run(pkts);
+        assert_eq!(handles.monitor.flow_count(), 1);
+        assert_eq!(handles.snort.log().len(), 5, "every packet matched the alert rule");
+    }
+}

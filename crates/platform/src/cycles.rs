@@ -1,0 +1,237 @@
+//! The calibrated cycle model.
+//!
+//! The paper reports absolute CPU cycles measured on an Intel Xeon E5-2660
+//! v4 (2.0 GHz). We cannot reproduce that testbed; instead every component
+//! counts abstract operations ([`OpCounter`]) and this model maps counts to
+//! cycles with constants calibrated so the paper's *ratios* come out (see
+//! EXPERIMENTS.md):
+//!
+//! * three pass-through IPFilters cost ≈ 3 × 560 cycles, and the early-drop
+//!   fast path ≈ 0.34 × that (Table III's −65 %),
+//! * the fast path with one header action is ≈ 20 % *more* expensive than
+//!   one original NF, crossing to −40 %/−58 % at two/three actions (Fig 4),
+//! * initial packets cost several thousand cycles (ACL linear match for new
+//!   flows, Fig 4's `init` bars).
+
+use serde::{Deserialize, Serialize};
+use speedybox_mat::OpCounter;
+
+/// Per-operation cycle costs.
+///
+/// Public fields by design: this is passive calibration data, meant to be
+/// tweaked by benchmarks and ablations.
+///
+/// ```
+/// use speedybox_mat::OpCounter;
+/// use speedybox_platform::CycleModel;
+///
+/// let model = CycleModel::new();
+/// let ops = OpCounter { parses: 2, acl_rules_scanned: 30, ..OpCounter::default() };
+/// let cycles = model.cycles(&ops);
+/// assert_eq!(cycles, 2 * model.parse + 30 * model.acl_rule);
+/// // 2.0 GHz testbed clock: 2000 cycles per microsecond.
+/// assert_eq!(model.micros(4000), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleModel {
+    /// Full header parse (Ethernet+IPv4+L4).
+    pub parse: u64,
+    /// Classifier work: 5-tuple hash, flow-table probe, FID attach.
+    pub classification: u64,
+    /// One ACL rule examined in a linear scan.
+    pub acl_rule: u64,
+    /// Hash-table lookup (NAT mapping, firewall flow cache, Maglev
+    /// connection table).
+    pub hash_lookup: u64,
+    /// Hash-table insert/remove.
+    pub hash_update: u64,
+    /// One header-field write.
+    pub field_write: u64,
+    /// Recomputing IPv4 + L4 checksums.
+    pub checksum_fix: u64,
+    /// Encapsulating or decapsulating one header.
+    pub encap: u64,
+    /// One payload byte through inspection.
+    pub payload_byte: u64,
+    /// Dispatching one state function.
+    pub sf_invocation: u64,
+    /// One internal-state update (counter, connection entry).
+    pub state_update: u64,
+    /// Recording one Local MAT entry (instrumentation write).
+    pub mat_record: u64,
+    /// Global MAT fast-path rule lookup.
+    pub mat_lookup: u64,
+    /// One consolidation run.
+    pub consolidation: u64,
+    /// One event-condition check.
+    pub event_check: u64,
+    /// CPU work of one inter-core ring-buffer hop (enqueue + dequeue +
+    /// cache-line transfers) — counted in per-packet *work* cycles.
+    pub ring_hop: u64,
+    /// Additional wall-clock transit per ring hop (the packet sits in the
+    /// ring while the downstream core gets to it) — counted in *latency*
+    /// only. Total per-hop latency is `ring_hop + ring_transit`.
+    pub ring_transit: u64,
+    /// Releasing a dropped packet.
+    pub drop: u64,
+    /// BESS module-graph hop between NFs (single process, cheap).
+    pub bess_module_hop: u64,
+    /// Fixed fast-path cost for *forwarded* packets (metadata detach,
+    /// Global-MAT executor dispatch). Dropped packets skip it — early drop
+    /// short-circuits before dispatch.
+    pub fastpath_forward_fixed: u64,
+    /// CPU frequency in cycles per microsecond (2.0 GHz testbed → 2000).
+    pub cycles_per_us: u64,
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        Self {
+            parse: 260,
+            classification: 215,
+            acl_rule: 16,
+            hash_lookup: 190,
+            hash_update: 200,
+            field_write: 55,
+            checksum_fix: 130,
+            encap: 180,
+            payload_byte: 3,
+            sf_invocation: 40,
+            state_update: 60,
+            mat_record: 55,
+            mat_lookup: 315,
+            consolidation: 800,
+            event_check: 45,
+            ring_hop: 100,
+            ring_transit: 350,
+            drop: 35,
+            bess_module_hop: 110,
+            fastpath_forward_fixed: 150,
+            cycles_per_us: 2000,
+        }
+    }
+}
+
+impl CycleModel {
+    /// The calibrated default model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps an operation count to CPU cycles.
+    #[must_use]
+    pub fn cycles(&self, ops: &OpCounter) -> u64 {
+        ops.parses * self.parse
+            + ops.classifications * self.classification
+            + ops.acl_rules_scanned * self.acl_rule
+            + ops.hash_lookups * self.hash_lookup
+            + ops.hash_updates * self.hash_update
+            + ops.field_writes * self.field_write
+            + ops.checksum_fixes * self.checksum_fix
+            + ops.encaps * self.encap
+            + ops.payload_bytes_scanned * self.payload_byte
+            + ops.sf_invocations * self.sf_invocation
+            + ops.state_updates * self.state_update
+            + ops.mat_records * self.mat_record
+            + ops.mat_lookups * self.mat_lookup
+            + ops.consolidations * self.consolidation
+            + ops.event_checks * self.event_check
+            + ops.ring_hops * self.ring_hop
+            + ops.drops * self.drop
+    }
+
+    /// Converts cycles to microseconds at the model's clock.
+    #[must_use]
+    pub fn micros(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.cycles_per_us as f64
+    }
+
+    /// Converts a per-packet cycle cost to a processing rate in Mpps
+    /// (packets per microsecond = Mpps).
+    #[must_use]
+    pub fn rate_mpps(&self, cycles_per_packet: f64) -> f64 {
+        if cycles_per_packet <= 0.0 {
+            return 0.0;
+        }
+        self.cycles_per_us as f64 / cycles_per_packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ops_zero_cycles() {
+        let m = CycleModel::new();
+        assert_eq!(m.cycles(&OpCounter::default()), 0);
+    }
+
+    #[test]
+    fn cycles_are_linear_in_ops() {
+        let m = CycleModel::new();
+        let one = OpCounter { parses: 1, ..OpCounter::default() };
+        let five = OpCounter { parses: 5, ..OpCounter::default() };
+        assert_eq!(m.cycles(&five), 5 * m.cycles(&one));
+    }
+
+    #[test]
+    fn micros_at_2ghz() {
+        let m = CycleModel::new();
+        assert!((m.micros(2000) - 1.0).abs() < 1e-12);
+        assert!((m.micros(5000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_is_inverse_of_cost() {
+        let m = CycleModel::new();
+        assert!((m.rate_mpps(2000.0) - 1.0).abs() < 1e-12);
+        assert!((m.rate_mpps(4000.0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.rate_mpps(0.0), 0.0);
+    }
+
+    #[test]
+    fn every_op_kind_is_priced() {
+        // An OpCounter with one of everything must cost the sum of all
+        // per-op constants (guards against forgetting a field).
+        let m = CycleModel::new();
+        let ones = OpCounter {
+            parses: 1,
+            classifications: 1,
+            acl_rules_scanned: 1,
+            hash_lookups: 1,
+            hash_updates: 1,
+            field_writes: 1,
+            checksum_fixes: 1,
+            encaps: 1,
+            payload_bytes_scanned: 1,
+            sf_invocations: 1,
+            state_updates: 1,
+            mat_records: 1,
+            mat_lookups: 1,
+            consolidations: 1,
+            event_checks: 1,
+            ring_hops: 1,
+            drops: 1,
+        };
+        let expected = m.parse
+            + m.classification
+            + m.acl_rule
+            + m.hash_lookup
+            + m.hash_update
+            + m.field_write
+            + m.checksum_fix
+            + m.encap
+            + m.payload_byte
+            + m.sf_invocation
+            + m.state_update
+            + m.mat_record
+            + m.mat_lookup
+            + m.consolidation
+            + m.event_check
+            + m.ring_hop
+            + m.drop;
+        assert_eq!(m.cycles(&ones), expected);
+    }
+}

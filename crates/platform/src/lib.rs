@@ -1,0 +1,62 @@
+//! Execution environments for SpeedyBox service chains.
+//!
+//! The paper prototypes SpeedyBox on two NFV platforms; this crate
+//! reproduces both as laptop-scale runtimes with a calibrated cycle model
+//! (see DESIGN.md for the substitution argument):
+//!
+//! * [`bess::BessChain`] — BESS-style: the whole chain in one
+//!   run-to-completion process, cheap module hops;
+//! * [`onvm::OnvmChain`] — OpenNetVM-style: one core per NF, inter-core
+//!   ring hops, pipelined throughput (deterministic model);
+//! * [`threaded`] — a real thread-per-NF OpenNetVM runtime over crossbeam
+//!   rings, for wall-clock measurements and concurrency tests;
+//! * [`runtime::SpeedyBox`] — the classifier + Global MAT + instrumentation
+//!   bundle both environments share, with the Fig 7 ablation knobs
+//!   ([`runtime::SboxConfig`]);
+//! * [`parallel_exec`] — real-threads execution of the Table I
+//!   state-function schedule;
+//! * [`cycles::CycleModel`] — abstract-operation → cycle calibration;
+//! * [`chains`] — the paper's evaluation chains, prebuilt.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use speedybox_platform::bess::BessChain;
+//! use speedybox_platform::chains::ipfilter_chain;
+//! use speedybox_packet::PacketBuilder;
+//!
+//! let mut chain = BessChain::speedybox(ipfilter_chain(3, 30));
+//! let packets: Vec<_> = (0..10)
+//!     .map(|i| {
+//!         PacketBuilder::tcp()
+//!             .src("10.0.0.1:4000".parse().unwrap())
+//!             .dst("10.0.0.2:80".parse().unwrap())
+//!             .payload(format!("payload {i}").as_bytes())
+//!             .build()
+//!     })
+//!     .collect();
+//! let stats = chain.run(packets);
+//! assert_eq!(stats.delivered, 10);
+//! // First packet took the slow path, the rest the consolidated fast path.
+//! assert_eq!(stats.path_counts[1], 1);
+//! assert_eq!(stats.path_counts[2], 9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bess;
+pub mod chains;
+pub mod cycles;
+pub mod metrics;
+pub mod onvm;
+pub mod parallel_exec;
+pub mod runtime;
+pub mod threaded;
+
+pub use bess::BessChain;
+pub use cycles::CycleModel;
+pub use metrics::{PathKind, ProcessedPacket, RunStats};
+pub use onvm::OnvmChain;
+pub use runtime::{SboxConfig, SpeedyBox};
+pub use threaded::{run_threaded, ThreadedOnvm, ThreadedReport};

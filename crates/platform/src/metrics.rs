@@ -1,0 +1,209 @@
+//! Run metrics: per-packet outcomes and aggregated statistics.
+
+use speedybox_mat::OpCounter;
+use speedybox_packet::Packet;
+
+use crate::cycles::CycleModel;
+
+/// Which data path a packet took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Uninstrumented original chain (no SpeedyBox).
+    Baseline,
+    /// SpeedyBox slow path: the flow's initial packet traversing the chain
+    /// while rules are recorded.
+    Initial,
+    /// SpeedyBox fast path: consolidated processing from the Global MAT.
+    Subsequent,
+}
+
+/// Outcome of processing one packet.
+#[derive(Debug)]
+pub struct ProcessedPacket {
+    /// The packet if it survived, `None` if dropped.
+    pub packet: Option<Packet>,
+    /// CPU work spent, in model cycles (sum across all cores that touched
+    /// the packet).
+    pub work_cycles: u64,
+    /// Wall latency, in model cycles — differs from `work_cycles` when
+    /// state-function batches executed in parallel or ring hops added
+    /// queueing-free transfer delay.
+    pub latency_cycles: u64,
+    /// Which path the packet took.
+    pub path: PathKind,
+    /// The operations performed.
+    pub ops: OpCounter,
+}
+
+impl ProcessedPacket {
+    /// True if the packet survived the chain.
+    #[must_use]
+    pub fn survived(&self) -> bool {
+        self.packet.is_some()
+    }
+}
+
+/// Aggregated statistics from a run of packets through a chain.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// Packets injected.
+    pub sent: usize,
+    /// Packets that exited the chain.
+    pub delivered: usize,
+    /// Packets dropped inside the chain.
+    pub dropped: usize,
+    /// Per-packet wall latency in model cycles (delivered and dropped).
+    pub latencies_cycles: Vec<u64>,
+    /// Per-packet work in model cycles.
+    pub work_cycles: Vec<u64>,
+    /// Aggregate operation counts.
+    pub ops: OpCounter,
+    /// Packets that exited, in order.
+    pub outputs: Vec<Packet>,
+    /// Per-stage total cycles (pipelined environments; index 0 is the
+    /// manager/classifier stage, then one per NF). Empty for
+    /// run-to-completion environments.
+    pub stage_cycles: Vec<u64>,
+    /// Packets counted per path kind: `[baseline, initial, subsequent]`.
+    pub path_counts: [usize; 3],
+}
+
+impl RunStats {
+    /// Folds one packet outcome into the stats.
+    pub fn record(&mut self, outcome: ProcessedPacket) {
+        self.sent += 1;
+        self.latencies_cycles.push(outcome.latency_cycles);
+        self.work_cycles.push(outcome.work_cycles);
+        self.ops.merge(&outcome.ops);
+        match outcome.path {
+            PathKind::Baseline => self.path_counts[0] += 1,
+            PathKind::Initial => self.path_counts[1] += 1,
+            PathKind::Subsequent => self.path_counts[2] += 1,
+        }
+        match outcome.packet {
+            Some(p) => {
+                self.delivered += 1;
+                self.outputs.push(p);
+            }
+            None => self.dropped += 1,
+        }
+    }
+
+    /// Mean work cycles per packet.
+    #[must_use]
+    pub fn mean_work_cycles(&self) -> f64 {
+        if self.work_cycles.is_empty() {
+            return 0.0;
+        }
+        self.work_cycles.iter().sum::<u64>() as f64 / self.work_cycles.len() as f64
+    }
+
+    /// Mean wall latency in cycles.
+    #[must_use]
+    pub fn mean_latency_cycles(&self) -> f64 {
+        if self.latencies_cycles.is_empty() {
+            return 0.0;
+        }
+        self.latencies_cycles.iter().sum::<u64>() as f64 / self.latencies_cycles.len() as f64
+    }
+
+    /// Mean wall latency in microseconds under `model`'s clock.
+    #[must_use]
+    pub fn mean_latency_us(&self, model: &CycleModel) -> f64 {
+        self.mean_latency_cycles() / model.cycles_per_us as f64
+    }
+
+    /// Processing rate for a run-to-completion environment (BESS-style):
+    /// the initiating core serves one packet per wall-latency interval.
+    #[must_use]
+    pub fn run_to_completion_rate_mpps(&self, model: &CycleModel) -> f64 {
+        model.rate_mpps(self.mean_latency_cycles())
+    }
+
+    /// Processing rate for a pipelined environment (OpenNetVM-style): the
+    /// bottleneck stage bounds throughput.
+    #[must_use]
+    pub fn pipelined_rate_mpps(&self, model: &CycleModel) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        let bottleneck = self
+            .stage_cycles
+            .iter()
+            .map(|&c| c as f64 / self.sent as f64)
+            .fold(0.0f64, f64::max);
+        model.rate_mpps(bottleneck)
+    }
+
+    /// Mean latency restricted to fast-path (subsequent) packets — the
+    /// steady-state number the paper's per-packet figures report.
+    #[must_use]
+    pub fn subsequent_only(&self) -> RunStatsView<'_> {
+        RunStatsView { stats: self }
+    }
+}
+
+/// Helper view exposing derived numbers (kept separate so `RunStats` stays
+/// a plain data bag).
+#[derive(Debug, Clone, Copy)]
+pub struct RunStatsView<'a> {
+    stats: &'a RunStats,
+}
+
+impl RunStatsView<'_> {
+    /// Number of fast-path packets in the run.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.stats.path_counts[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(latency: u64, path: PathKind, survived: bool) -> ProcessedPacket {
+        ProcessedPacket {
+            packet: survived.then(|| speedybox_packet::PacketBuilder::tcp().build()),
+            work_cycles: latency,
+            latency_cycles: latency,
+            path,
+            ops: OpCounter::default(),
+        }
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = RunStats::default();
+        s.record(outcome(100, PathKind::Initial, true));
+        s.record(outcome(50, PathKind::Subsequent, true));
+        s.record(outcome(10, PathKind::Subsequent, false));
+        assert_eq!(s.sent, 3);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.path_counts, [0, 1, 2]);
+        assert_eq!(s.outputs.len(), 2);
+        assert!((s.mean_latency_cycles() - (160.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_from_model() {
+        let model = CycleModel::new();
+        let mut s = RunStats::default();
+        s.record(outcome(2000, PathKind::Baseline, true));
+        s.record(outcome(2000, PathKind::Baseline, true));
+        // 2000 cycles at 2000 cycles/us = 1 us per packet -> 1 Mpps.
+        assert!((s.run_to_completion_rate_mpps(&model) - 1.0).abs() < 1e-9);
+        s.stage_cycles = vec![1000, 4000, 2000]; // bottleneck 4000/2 = 2000
+        assert!((s.pipelined_rate_mpps(&model) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunStats::default();
+        let model = CycleModel::new();
+        assert_eq!(s.mean_work_cycles(), 0.0);
+        assert_eq!(s.run_to_completion_rate_mpps(&model), 0.0);
+        assert_eq!(s.pipelined_rate_mpps(&model), 0.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! The OpenNetVM-style execution environment (paper §VI-A).
+//!
+//! OpenNetVM "runs each NF on one dedicated core, and interconnects NFs
+//! leveraging RX/TX queues that deliver shared memory packet descriptors".
+//! Two consequences the paper leans on:
+//!
+//! * throughput is set by the slowest *stage* (pipelining) — chain length
+//!   barely moves the rate (Figs 5a, 6b, 8);
+//! * latency pays an inter-core ring hop per NF boundary — which is why
+//!   consolidation (which keeps subsequent packets on the manager core)
+//!   helps latency even more here (Fig 7's larger SF share).
+//!
+//! [`OnvmChain`] is the deterministic model used by the figure harness;
+//! [`crate::threaded`] is a real thread-per-NF implementation of the same
+//! architecture used by integration tests and wall-clock benches.
+
+use speedybox_mat::{OpCounter, PacketClass};
+use speedybox_nf::Nf;
+use speedybox_packet::Packet;
+
+use crate::cycles::CycleModel;
+use crate::metrics::{PathKind, ProcessedPacket, RunStats};
+use crate::runtime::{classify, fast_path, notify_flow_closed, tag_ingress, traverse_chain, SboxConfig, SpeedyBox};
+
+/// A service chain running in the OpenNetVM-style pipelined environment.
+#[derive(Debug)]
+pub struct OnvmChain {
+    nfs: Vec<Box<dyn Nf>>,
+    model: CycleModel,
+    sbox: Option<SpeedyBox>,
+    /// Per-stage cycle totals: index 0 = manager (RX/classifier/Global
+    /// MAT), 1..=N the NFs.
+    stage_cycles: Vec<u64>,
+}
+
+impl OnvmChain {
+    /// The original (uninstrumented) chain — the paper's `ONVM` baseline.
+    #[must_use]
+    pub fn original(nfs: Vec<Box<dyn Nf>>) -> Self {
+        let stages = nfs.len() + 1;
+        Self {
+            nfs,
+            model: CycleModel::new(),
+            sbox: None,
+            stage_cycles: vec![0; stages],
+        }
+    }
+
+    /// The chain with SpeedyBox — the paper's `ONVM w/ SBox`. The Global
+    /// MAT lives at the NF Manager and the classifier at the manager's RX
+    /// thread (§VI-A).
+    #[must_use]
+    pub fn speedybox(nfs: Vec<Box<dyn Nf>>) -> Self {
+        Self::speedybox_with(nfs, SboxConfig::default())
+    }
+
+    /// SpeedyBox with explicit optimization knobs.
+    #[must_use]
+    pub fn speedybox_with(nfs: Vec<Box<dyn Nf>>, config: SboxConfig) -> Self {
+        let stages = nfs.len() + 1;
+        let sbox = SpeedyBox::new(nfs.len(), config);
+        Self {
+            nfs,
+            model: CycleModel::new(),
+            sbox: Some(sbox),
+            stage_cycles: vec![0; stages],
+        }
+    }
+
+    /// Replaces the cycle model.
+    #[must_use]
+    pub fn with_model(mut self, model: CycleModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The cycle model in use.
+    #[must_use]
+    pub fn model(&self) -> &CycleModel {
+        &self.model
+    }
+
+    /// Number of NFs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// True if the chain has no NFs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nfs.is_empty()
+    }
+
+    /// The SpeedyBox runtime, if enabled.
+    #[must_use]
+    pub fn sbox(&self) -> Option<&SpeedyBox> {
+        self.sbox.as_ref()
+    }
+
+    /// Processes one packet.
+    pub fn process(&mut self, mut packet: Packet) -> ProcessedPacket {
+        match &self.sbox {
+            None => {
+                // Baseline: manager RX tags the packet, then it rides the
+                // rings through every NF core.
+                let mut entry_ops = OpCounter::default();
+                tag_ingress(&mut packet, &mut entry_ops);
+                let entry_cycles = self.model.cycles(&entry_ops);
+                self.stage_cycles[0] += entry_cycles;
+                let res = traverse_chain(&mut self.nfs, None, &mut packet, &self.model);
+                for (i, &c) in res.per_nf_cycles.iter().enumerate() {
+                    self.stage_cycles[i + 1] += c;
+                }
+                // One ring hop into each NF reached, plus one back to TX if
+                // the packet survived.
+                let traversed =
+                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                let hop_count = traversed + u64::from(res.survived);
+                let mut ops = entry_ops;
+                ops.merge(&res.ops);
+                ops.ring_hops += hop_count;
+                let work = entry_cycles
+                    + res.per_nf_cycles.iter().sum::<u64>()
+                    + hop_count * self.model.ring_hop;
+                let latency = work + hop_count * self.model.ring_transit;
+                if packet.tcp_flags().closes_flow() {
+                    if let Some(fid) = packet.fid() {
+                        notify_flow_closed(&mut self.nfs, fid);
+                    }
+                }
+                ProcessedPacket {
+                    packet: res.survived.then(|| {
+                        packet.clear_fid();
+                        packet
+                    }),
+                    work_cycles: work,
+                    latency_cycles: latency,
+                    path: PathKind::Baseline,
+                    ops,
+                }
+            }
+            Some(_) => self.process_speedybox(packet),
+        }
+    }
+
+    fn process_speedybox(&mut self, mut packet: Packet) -> ProcessedPacket {
+        let sbox = self.sbox.as_ref().expect("speedybox enabled");
+        let mut cls_ops = OpCounter::default();
+        let Ok((fid, class, closes_flow)) = classify(sbox, &mut packet, &mut cls_ops) else {
+            cls_ops.drops += 1;
+            let cycles = self.model.cycles(&cls_ops);
+            self.stage_cycles[0] += cycles;
+            return ProcessedPacket {
+                packet: None,
+                work_cycles: cycles,
+                latency_cycles: cycles,
+                path: PathKind::Initial,
+                ops: cls_ops,
+            };
+        };
+        let cls_cycles = self.model.cycles(&cls_ops);
+        self.stage_cycles[0] += cls_cycles;
+
+        let outcome = match class {
+            PacketClass::Initial => {
+                let res = {
+                    let instruments = sbox.instruments.clone();
+                    traverse_chain(&mut self.nfs, Some(&instruments), &mut packet, &self.model)
+                };
+                for (i, &c) in res.per_nf_cycles.iter().enumerate() {
+                    self.stage_cycles[i + 1] += c;
+                }
+                let sbox = self.sbox.as_ref().expect("speedybox enabled");
+                let mut install_ops = OpCounter::default();
+                sbox.global.install(fid, &mut install_ops);
+                // Consolidation "involves inter-core communication": one
+                // message hop per Local MAT back to the manager (§VI-A).
+                install_ops.ring_hops += self.nfs.len() as u64;
+                let install_cycles = self.model.cycles(&install_ops);
+                self.stage_cycles[0] += install_cycles;
+                // Data-path ring hops for the packet itself.
+                let traversed =
+                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                let hop_count = traversed + u64::from(res.survived);
+                let mut ops = cls_ops;
+                ops.merge(&res.ops);
+                ops.merge(&install_ops);
+                ops.ring_hops += hop_count;
+                let work = cls_cycles
+                    + res.per_nf_cycles.iter().sum::<u64>()
+                    + install_cycles
+                    + hop_count * self.model.ring_hop;
+                let latency = work + hop_count * self.model.ring_transit;
+                ProcessedPacket {
+                    packet: res.survived.then(|| {
+                        packet.clear_fid();
+                        packet
+                    }),
+                    work_cycles: work,
+                    latency_cycles: latency,
+                    path: PathKind::Initial,
+                    ops,
+                }
+            }
+            PacketClass::Collision | PacketClass::Handshake => {
+                // Colliding or pre-handshake packet: original chain,
+                // uninstrumented.
+                let res = traverse_chain(&mut self.nfs, None, &mut packet, &self.model);
+                for (i, &c) in res.per_nf_cycles.iter().enumerate() {
+                    self.stage_cycles[i + 1] += c;
+                }
+                let traversed =
+                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                let hop_count = traversed + u64::from(res.survived);
+                let mut ops = cls_ops;
+                ops.merge(&res.ops);
+                ops.ring_hops += hop_count;
+                let work = cls_cycles
+                    + res.per_nf_cycles.iter().sum::<u64>()
+                    + hop_count * self.model.ring_hop;
+                let latency = work + hop_count * self.model.ring_transit;
+                ProcessedPacket {
+                    packet: res.survived.then(|| {
+                        packet.clear_fid();
+                        packet
+                    }),
+                    work_cycles: work,
+                    latency_cycles: latency,
+                    path: PathKind::Baseline,
+                    ops,
+                }
+            }
+            PacketClass::Subsequent => match fast_path(sbox, &mut packet, fid, &self.model) {
+                Some(res) => {
+                    // The fast path's control part runs on the manager
+                    // core with no data-path ring hops (the R4 saving);
+                    // state-function batches are dispatched to the owning
+                    // NFs' cores, which is what keeps the manager stage —
+                    // and therefore throughput — independent of chain
+                    // depth.
+                    let dispatched: u64 = if sbox.config.parallelize_sf {
+                        res.batch_cycles.iter().map(|&(_, c)| c).sum()
+                    } else {
+                        0
+                    };
+                    self.stage_cycles[0] += res.work_cycles - dispatched;
+                    if sbox.config.parallelize_sf {
+                        for &(nf, c) in &res.batch_cycles {
+                            self.stage_cycles[nf.index() + 1] += c;
+                        }
+                    }
+                    let mut ops = cls_ops;
+                    ops.merge(&res.ops);
+                    ProcessedPacket {
+                        packet: res.survived.then(|| {
+                            packet.clear_fid();
+                            packet
+                        }),
+                        work_cycles: cls_cycles + res.work_cycles,
+                        latency_cycles: cls_cycles + res.latency_cycles,
+                        path: PathKind::Subsequent,
+                        ops,
+                    }
+                }
+                None => {
+                    let res = {
+                        let instruments = sbox.instruments.clone();
+                        traverse_chain(&mut self.nfs, Some(&instruments), &mut packet, &self.model)
+                    };
+                    for (i, &c) in res.per_nf_cycles.iter().enumerate() {
+                        self.stage_cycles[i + 1] += c;
+                    }
+                    let sbox = self.sbox.as_ref().expect("speedybox enabled");
+                    let mut install_ops = OpCounter::default();
+                    sbox.global.install(fid, &mut install_ops);
+                    let cycles = cls_cycles
+                        + res.per_nf_cycles.iter().sum::<u64>()
+                        + self.model.cycles(&install_ops);
+                    let mut ops = cls_ops;
+                    ops.merge(&res.ops);
+                    ProcessedPacket {
+                        packet: res.survived.then(|| {
+                            packet.clear_fid();
+                            packet
+                        }),
+                        work_cycles: cycles,
+                        latency_cycles: cycles,
+                        path: PathKind::Initial,
+                        ops,
+                    }
+                }
+            },
+        };
+
+        if closes_flow && class != PacketClass::Collision {
+            let sbox = self.sbox.as_ref().expect("speedybox enabled");
+            sbox.remove_flow(fid);
+            notify_flow_closed(&mut self.nfs, fid);
+        }
+        outcome
+    }
+
+    /// Runs a sequence of packets, collecting statistics (including the
+    /// per-stage cycle totals used for the pipelined rate). Stage totals
+    /// cover only this run, so warmup runs don't skew the rate.
+    pub fn run(&mut self, packets: impl IntoIterator<Item = Packet>) -> RunStats {
+        let before = self.stage_cycles.clone();
+        let mut stats = RunStats::default();
+        for p in packets {
+            stats.record(self.process(p));
+        }
+        stats.stage_cycles =
+            self.stage_cycles.iter().zip(&before).map(|(a, b)| a - b).collect();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use speedybox_nf::ipfilter::IpFilter;
+    use speedybox_packet::PacketBuilder;
+
+    use super::*;
+
+    fn packets(flow_port: u16, n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|_| {
+                PacketBuilder::tcp()
+                    .src(format!("10.0.0.1:{flow_port}").parse().unwrap())
+                    .dst("10.0.0.2:80".parse().unwrap())
+                    .payload(b"data")
+                    .build()
+            })
+            .collect()
+    }
+
+    fn fw_chain(n: usize) -> Vec<Box<dyn Nf>> {
+        (0..n).map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>).collect()
+    }
+
+    #[test]
+    fn baseline_latency_grows_with_chain_length() {
+        let l3 = OnvmChain::original(fw_chain(3)).run(packets(1000, 10)).mean_latency_cycles();
+        let l1 = OnvmChain::original(fw_chain(1)).run(packets(1000, 10)).mean_latency_cycles();
+        assert!(l3 > 2.0 * l1, "pipelined latency must grow with length: {l1} vs {l3}");
+    }
+
+    #[test]
+    fn baseline_rate_is_stable_across_lengths() {
+        let model = CycleModel::new();
+        let r1 = OnvmChain::original(fw_chain(1)).run(packets(1000, 50)).pipelined_rate_mpps(&model);
+        let r5 = OnvmChain::original(fw_chain(5)).run(packets(1000, 50)).pipelined_rate_mpps(&model);
+        // Identical NFs: bottleneck stage cost unchanged -> rate ~flat.
+        assert!((r1 - r5).abs() / r1 < 0.15, "pipelined rate should be ~flat: {r1} vs {r5}");
+    }
+
+    #[test]
+    fn speedybox_latency_is_flat_across_lengths() {
+        let pkts = packets(1000, 100);
+        let l1 = OnvmChain::speedybox(fw_chain(1)).run(pkts.clone()).mean_latency_cycles();
+        let l5 = OnvmChain::speedybox(fw_chain(5)).run(pkts).mean_latency_cycles();
+        // Subsequent packets dominate; their cost is length-independent.
+        assert!(l5 < 1.6 * l1, "SpeedyBox latency must be ~flat: {l1} vs {l5}");
+    }
+
+    #[test]
+    fn speedybox_cuts_onvm_latency_more_than_bess() {
+        // The ring hops removed by consolidation are ONVM-only costs, so
+        // the relative latency cut should be at least as large as BESS's.
+        let pkts = packets(1000, 100);
+        let onvm_orig = OnvmChain::original(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
+        let onvm_sbox = OnvmChain::speedybox(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
+        let bess_orig =
+            crate::bess::BessChain::original(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
+        let bess_sbox =
+            crate::bess::BessChain::speedybox(fw_chain(3)).run(pkts).mean_latency_cycles();
+        let onvm_cut = 1.0 - onvm_sbox / onvm_orig;
+        let bess_cut = 1.0 - bess_sbox / bess_orig;
+        assert!(onvm_cut > bess_cut, "ONVM cut {onvm_cut:.2} vs BESS cut {bess_cut:.2}");
+    }
+
+    #[test]
+    fn outputs_match_baseline() {
+        let pkts = packets(1000, 20);
+        let so = OnvmChain::original(fw_chain(2)).run(pkts.clone());
+        let sf = OnvmChain::speedybox(fw_chain(2)).run(pkts);
+        assert_eq!(so.outputs.len(), sf.outputs.len());
+        for (a, b) in so.outputs.iter().zip(&sf.outputs) {
+            assert_eq!(a.as_bytes(), b.as_bytes());
+        }
+    }
+
+    #[test]
+    fn stage_cycles_cover_all_stages() {
+        let mut chain = OnvmChain::original(fw_chain(3));
+        let stats = chain.run(packets(1000, 5));
+        assert_eq!(stats.stage_cycles.len(), 4);
+        // Every NF stage did work; the baseline manager stage only tags
+        // packets (cost-free harness bookkeeping).
+        assert!(stats.stage_cycles[1..].iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn fast_path_keeps_nf_stages_idle() {
+        let mut chain = OnvmChain::speedybox(fw_chain(2));
+        let stats = chain.run(packets(1000, 50));
+        // NF stages only saw the single initial packet.
+        let manager = stats.stage_cycles[0];
+        let nf_total: u64 = stats.stage_cycles[1..].iter().sum();
+        assert!(manager > nf_total, "manager {manager} should dominate NF stages {nf_total}");
+    }
+}

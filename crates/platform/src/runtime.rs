@@ -1,0 +1,453 @@
+//! The SpeedyBox runtime: classifier + Global MAT + instrumentation,
+//! shared by both execution environments.
+//!
+//! The environment-specific parts (module hops vs. ring hops, pipelined vs.
+//! run-to-completion rate) live in [`crate::bess`] and [`crate::onvm`];
+//! everything about steering, recording, consolidation and fast-path
+//! execution is here.
+
+use std::sync::Arc;
+
+use speedybox_mat::parallel::schedule_latency;
+use speedybox_mat::{
+    EventTable, GlobalMat, LocalMat, NfId, NfInstrument, OpCounter, PacketClass,
+    PacketClassifier,
+};
+use speedybox_nf::{Nf, NfContext, NfVerdict};
+use speedybox_packet::{Fid, Packet};
+
+use crate::cycles::CycleModel;
+
+/// Which SpeedyBox optimizations are active — the Fig 7 ablation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SboxConfig {
+    /// Consolidate header actions into one (R1-R3 elimination). When off,
+    /// the fast path replays each NF's recorded header actions one by one,
+    /// paying per-NF parse + checksum costs.
+    pub consolidate_ha: bool,
+    /// Execute state-function batches on the Table I parallel schedule.
+    /// When off, batches run strictly sequentially.
+    pub parallelize_sf: bool,
+    /// Use the paper's §III initial-packet definition: TCP handshake
+    /// packets traverse the original chain without recording, and the
+    /// first post-handshake packet records the flow's rule. Off by
+    /// default.
+    pub handshake_aware: bool,
+}
+
+impl Default for SboxConfig {
+    fn default() -> Self {
+        Self { consolidate_ha: true, parallelize_sf: true, handshake_aware: false }
+    }
+}
+
+/// The per-chain SpeedyBox state.
+#[derive(Debug)]
+pub struct SpeedyBox {
+    /// Packet classifier (FID assignment + steering).
+    pub classifier: PacketClassifier,
+    /// Consolidated fast-path rules.
+    pub global: GlobalMat,
+    /// One instrumentation handle per NF, chain order.
+    pub instruments: Vec<NfInstrument>,
+    /// Active optimizations.
+    pub config: SboxConfig,
+}
+
+impl SpeedyBox {
+    /// Creates SpeedyBox state for a chain of `nf_count` NFs.
+    #[must_use]
+    pub fn new(nf_count: usize, config: SboxConfig) -> Self {
+        let locals: Vec<Arc<LocalMat>> =
+            (0..nf_count).map(|i| Arc::new(LocalMat::new(NfId::new(i)))).collect();
+        let global = GlobalMat::new(locals.clone());
+        let events: Arc<EventTable> = Arc::clone(global.events());
+        let instruments = locals
+            .iter()
+            .map(|l| NfInstrument::new(Arc::clone(l), Arc::clone(&events)))
+            .collect();
+        let mut classifier = PacketClassifier::new();
+        if config.handshake_aware {
+            classifier = classifier.handshake_aware();
+        }
+        Self { classifier, global, instruments, config }
+    }
+
+    /// Tears down a closed flow across all tables.
+    pub fn remove_flow(&self, fid: Fid) {
+        self.global.remove_flow(fid);
+        self.classifier.remove_flow(fid);
+    }
+
+    /// Expires flows idle for more than `max_idle` classifier ticks and
+    /// tears down their rules everywhere. Returns how many flows were
+    /// reclaimed. Call periodically (e.g. every few thousand packets) to
+    /// bound table growth under UDP or half-open TCP traffic.
+    pub fn expire_idle_flows(&self, max_idle: u64) -> usize {
+        let expired = self.classifier.expire_idle(max_idle);
+        for fid in &expired {
+            self.global.remove_flow(*fid);
+        }
+        expired.len()
+    }
+}
+
+/// Result of a slow-path (or baseline) traversal.
+#[derive(Debug)]
+pub struct SlowPathResult {
+    /// Whether the packet survived the chain.
+    pub survived: bool,
+    /// Model cycles spent inside each NF (instrumentation included), in
+    /// chain order; NFs after a drop have zero.
+    pub per_nf_cycles: Vec<u64>,
+    /// Total operations performed.
+    pub ops: OpCounter,
+}
+
+/// Runs a packet through the original chain. With `instruments` present the
+/// NFs record their per-flow behaviour (SpeedyBox slow path); without, this
+/// is the paper's uninstrumented baseline.
+pub fn traverse_chain(
+    nfs: &mut [Box<dyn Nf>],
+    instruments: Option<&[NfInstrument]>,
+    packet: &mut Packet,
+    model: &CycleModel,
+) -> SlowPathResult {
+    let mut per_nf_cycles = Vec::with_capacity(nfs.len());
+    let mut total_ops = OpCounter::default();
+    let mut survived = true;
+    for (i, nf) in nfs.iter_mut().enumerate() {
+        if !survived {
+            per_nf_cycles.push(0);
+            continue;
+        }
+        let mut ops = OpCounter::default();
+        let verdict = match instruments {
+            Some(insts) => {
+                let mut ctx = NfContext::instrumented(&insts[i], &mut ops);
+                nf.process(packet, &mut ctx)
+            }
+            None => {
+                let mut ctx = NfContext::baseline(&mut ops);
+                nf.process(packet, &mut ctx)
+            }
+        };
+        per_nf_cycles.push(model.cycles(&ops));
+        total_ops.merge(&ops);
+        survived = verdict.survives();
+    }
+    SlowPathResult { survived, per_nf_cycles, ops: total_ops }
+}
+
+/// Result of a fast-path execution.
+#[derive(Debug)]
+pub struct FastPathResult {
+    /// Whether the packet survived (false = early drop).
+    pub survived: bool,
+    /// Total CPU work in model cycles.
+    pub work_cycles: u64,
+    /// Wall latency in model cycles (parallel schedule applied).
+    pub latency_cycles: u64,
+    /// Operations performed.
+    pub ops: OpCounter,
+    /// Work per state-function batch `(owning NF, cycles)` — pipelined
+    /// environments use this to attribute batch execution to worker cores.
+    pub batch_cycles: Vec<(NfId, u64)>,
+}
+
+/// Executes the consolidated fast path for a subsequent packet.
+///
+/// Mirrors Fig 1's subsequent-packet walkthrough: Event Table check (inside
+/// `GlobalMat::prepare`), consolidated header action, then state-function
+/// batches on the parallel schedule. Returns `None` if no rule is installed
+/// (the caller should fall back to the slow path).
+pub fn fast_path(
+    sbox: &SpeedyBox,
+    packet: &mut Packet,
+    fid: Fid,
+    model: &CycleModel,
+) -> Option<FastPathResult> {
+    // Step 1: event check + rule lookup (re-consolidates if events fired).
+    let mut ctl_ops = OpCounter::default();
+    let rule = sbox.global.prepare(fid, &mut ctl_ops)?;
+    let ctl_cycles = model.cycles(&ctl_ops);
+
+    // Step 2: header actions.
+    let mut ha_ops = OpCounter::default();
+    let survived = if sbox.config.consolidate_ha {
+        rule.consolidated.apply(packet, &mut ha_ops).unwrap_or(false)
+    } else {
+        // Ablation: replay each NF's recorded header actions sequentially,
+        // paying the per-NF re-parse the consolidation would have removed.
+        let mut alive = true;
+        for local in sbox.global.locals() {
+            if !alive {
+                break;
+            }
+            let Some(lr) = local.rule(fid) else { continue };
+            for action in &lr.header_actions {
+                ha_ops.parses += 1;
+                if !action.apply(packet, &mut ha_ops).unwrap_or(false) {
+                    alive = false;
+                    break;
+                }
+            }
+        }
+        alive
+    };
+    let ha_cycles = model.cycles(&ha_ops);
+    if !survived {
+        // Early drop: short-circuits before SF dispatch and the fixed
+        // forward overhead.
+        let mut ops = ctl_ops;
+        ops.merge(&ha_ops);
+        let cycles = ctl_cycles + ha_cycles;
+        return Some(FastPathResult {
+            survived: false,
+            work_cycles: cycles,
+            latency_cycles: cycles,
+            ops,
+            batch_cycles: Vec::new(),
+        });
+    }
+
+    // Step 3: state-function batches, costed per batch so the Table I
+    // schedule's wall latency (max per wave) can be modeled.
+    let mut batch_cycles = Vec::with_capacity(rule.batches.len());
+    let mut sf_ops = OpCounter::default();
+    for batch in &rule.batches {
+        let mut ops = OpCounter::default();
+        batch.execute(packet, fid, &mut ops);
+        batch_cycles.push(model.cycles(&ops));
+        sf_ops.merge(&ops);
+    }
+    let sf_work: u64 = batch_cycles.iter().sum();
+    let sf_latency = if sbox.config.parallelize_sf {
+        schedule_latency(&rule.schedule, &batch_cycles)
+    } else {
+        sf_work
+    };
+
+    let fixed = model.fastpath_forward_fixed;
+    let mut ops = ctl_ops;
+    ops.merge(&ha_ops);
+    ops.merge(&sf_ops);
+    let per_batch = rule
+        .batches
+        .iter()
+        .zip(&batch_cycles)
+        .map(|(b, &c)| (b.nf, c))
+        .collect();
+    Some(FastPathResult {
+        survived: true,
+        work_cycles: ctl_cycles + ha_cycles + sf_work + fixed,
+        latency_cycles: ctl_cycles + ha_cycles + sf_latency + fixed,
+        ops,
+        batch_cycles: per_batch,
+    })
+}
+
+/// Classifies a packet under SpeedyBox, returning the assigned FID, the
+/// steering decision, and whether this packet closes its flow.
+pub fn classify(
+    sbox: &SpeedyBox,
+    packet: &mut Packet,
+    ops: &mut OpCounter,
+) -> Result<(Fid, PacketClass, bool), speedybox_packet::PacketError> {
+    let c = sbox.classifier.classify(packet, ops)?;
+    Ok((c.fid, c.class, c.closes_flow))
+}
+
+/// Notifies all NFs that a flow closed.
+pub fn notify_flow_closed(nfs: &mut [Box<dyn Nf>], fid: Fid) {
+    for nf in nfs {
+        nf.flow_closed(fid);
+    }
+}
+
+/// Attaches an ingress FID for baseline runs (both environments tag packets
+/// at ingress so NF per-flow state is keyed identically with and without
+/// SpeedyBox; without SpeedyBox there is no steering). Cost-free: this is
+/// bookkeeping of the harness, not part of the modeled baseline data path
+/// (each NF already pays its own parse).
+pub fn tag_ingress(packet: &mut Packet, ops: &mut OpCounter) {
+    let _ = ops;
+    if let Ok(t) = packet.five_tuple() {
+        packet.set_fid(t.fid());
+    }
+}
+
+/// Re-exported verdict check used by environments.
+#[must_use]
+pub fn survives(verdict: NfVerdict) -> bool {
+    verdict.survives()
+}
+
+#[cfg(test)]
+mod tests {
+    use speedybox_mat::HeaderAction;
+    use speedybox_nf::synthetic::SyntheticNf;
+    use speedybox_packet::{HeaderField, PacketBuilder};
+
+    use super::*;
+
+    fn chain() -> Vec<Box<dyn Nf>> {
+        vec![
+            Box::new(
+                SyntheticNf::forward("a")
+                    .with_header_action(HeaderAction::modify(HeaderField::DstPort, 1111u16)),
+            ),
+            Box::new(
+                SyntheticNf::forward("b")
+                    .with_header_action(HeaderAction::modify(HeaderField::DstPort, 2222u16)),
+            ),
+        ]
+    }
+
+    fn packet(src_port: u16) -> Packet {
+        let mut p = PacketBuilder::tcp()
+            .src(format!("10.0.0.1:{src_port}").parse().unwrap())
+            .dst("10.0.0.2:80".parse().unwrap())
+            .payload(b"x")
+            .build();
+        let fid = p.five_tuple().unwrap().fid();
+        p.set_fid(fid);
+        p
+    }
+
+    #[test]
+    fn slow_path_records_and_fast_path_replays() {
+        let model = CycleModel::new();
+        let sbox = SpeedyBox::new(2, SboxConfig::default());
+        let mut nfs = chain();
+        let mut initial = packet(1000);
+        let fid = initial.fid().unwrap();
+        let res = traverse_chain(&mut nfs, Some(&sbox.instruments), &mut initial, &model);
+        assert!(res.survived);
+        assert_eq!(res.per_nf_cycles.len(), 2);
+        let mut install_ops = OpCounter::default();
+        sbox.global.install(fid, &mut install_ops);
+
+        let mut sub = packet(1000);
+        let out = fast_path(&sbox, &mut sub, fid, &model).unwrap();
+        assert!(out.survived);
+        // Latter NF's modify wins on the fast path, same as sequential.
+        assert_eq!(sub.get_field(HeaderField::DstPort).unwrap().as_port(), 2222);
+    }
+
+    #[test]
+    fn fast_path_without_rule_is_none() {
+        let model = CycleModel::new();
+        let sbox = SpeedyBox::new(1, SboxConfig::default());
+        let mut p = packet(1000);
+        assert!(fast_path(&sbox, &mut p, Fid::new(7), &model).is_none());
+    }
+
+    #[test]
+    fn ha_ablation_costs_more() {
+        let model = CycleModel::new();
+        let mut nfs = chain();
+
+        let consolidated = SpeedyBox::new(2, SboxConfig::default());
+        let mut initial = packet(1000);
+        let fid = initial.fid().unwrap();
+        traverse_chain(&mut nfs, Some(&consolidated.instruments), &mut initial, &model);
+        let mut ops = OpCounter::default();
+        consolidated.global.install(fid, &mut ops);
+        let fast = fast_path(&consolidated, &mut packet(1000), fid, &model).unwrap();
+
+        let unconsolidated =
+            SpeedyBox::new(2, SboxConfig { consolidate_ha: false, parallelize_sf: true, ..SboxConfig::default() });
+        let mut nfs2 = chain();
+        let mut initial2 = packet(1000);
+        traverse_chain(&mut nfs2, Some(&unconsolidated.instruments), &mut initial2, &model);
+        let mut ops2 = OpCounter::default();
+        unconsolidated.global.install(fid, &mut ops2);
+        let slow = fast_path(&unconsolidated, &mut packet(1000), fid, &model).unwrap();
+
+        assert!(
+            slow.work_cycles > fast.work_cycles,
+            "per-NF replay ({}) must cost more than consolidated ({})",
+            slow.work_cycles,
+            fast.work_cycles
+        );
+        // Both produce the same packet bytes.
+        let mut a = packet(1000);
+        let mut b = packet(1000);
+        fast_path(&consolidated, &mut a, fid, &model).unwrap();
+        fast_path(&unconsolidated, &mut b, fid, &model).unwrap();
+        assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn drop_rule_short_circuits_fast_path() {
+        let model = CycleModel::new();
+        let sbox = SpeedyBox::new(1, SboxConfig::default());
+        let mut nfs: Vec<Box<dyn Nf>> =
+            vec![Box::new(SyntheticNf::forward("d").with_header_action(HeaderAction::Drop))];
+        let mut initial = packet(1000);
+        let fid = initial.fid().unwrap();
+        let res = traverse_chain(&mut nfs, Some(&sbox.instruments), &mut initial, &model);
+        assert!(!res.survived);
+        let mut ops = OpCounter::default();
+        sbox.global.install(fid, &mut ops);
+        let out = fast_path(&sbox, &mut packet(1000), fid, &model).unwrap();
+        assert!(!out.survived);
+        // Early drop must be cheaper than the forward fixed overhead path.
+        assert!(out.work_cycles < model.mat_lookup + model.fastpath_forward_fixed + 500);
+    }
+
+    #[test]
+    fn sf_parallelism_reduces_latency_not_work() {
+        use speedybox_mat::state_fn::PayloadAccess;
+        use speedybox_nf::synthetic::SyntheticSf;
+
+        let model = CycleModel::new();
+        let mk_chain = || -> Vec<Box<dyn Nf>> {
+            (0..3)
+                .map(|i| {
+                    Box::new(SyntheticNf::forward(format!("s{i}")).with_state_function(
+                        SyntheticSf { access: PayloadAccess::Read, scan_passes: 50 },
+                    )) as Box<dyn Nf>
+                })
+                .collect()
+        };
+
+        let run = |cfg: SboxConfig| {
+            let sbox = SpeedyBox::new(3, cfg);
+            let mut nfs = mk_chain();
+            let mut initial = packet(1000);
+            let fid = initial.fid().unwrap();
+            traverse_chain(&mut nfs, Some(&sbox.instruments), &mut initial, &model);
+            let mut ops = OpCounter::default();
+            sbox.global.install(fid, &mut ops);
+            fast_path(&sbox, &mut packet(1000), fid, &model).unwrap()
+        };
+
+        let par = run(SboxConfig::default());
+        let seq = run(SboxConfig { consolidate_ha: true, parallelize_sf: false, ..SboxConfig::default() });
+        assert_eq!(par.work_cycles, seq.work_cycles, "parallelism is free work-wise");
+        assert!(
+            par.latency_cycles < seq.latency_cycles,
+            "parallel latency {} must beat sequential {}",
+            par.latency_cycles,
+            seq.latency_cycles
+        );
+    }
+
+    #[test]
+    fn flow_removal_cleans_up() {
+        let sbox = SpeedyBox::new(1, SboxConfig::default());
+        let model = CycleModel::new();
+        let mut nfs: Vec<Box<dyn Nf>> = vec![Box::new(SyntheticNf::forward("a"))];
+        let mut p = packet(1000);
+        let fid = p.fid().unwrap();
+        traverse_chain(&mut nfs, Some(&sbox.instruments), &mut p, &model);
+        let mut ops = OpCounter::default();
+        sbox.global.install(fid, &mut ops);
+        assert!(sbox.global.contains(fid));
+        sbox.remove_flow(fid);
+        assert!(!sbox.global.contains(fid));
+        notify_flow_closed(&mut nfs, fid);
+    }
+}

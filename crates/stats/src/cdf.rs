@@ -1,0 +1,110 @@
+//! Empirical CDFs, used by the Fig 9 flow-processing-time plots.
+
+/// An empirical cumulative distribution function over a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF of a sample.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN.
+    #[must_use]
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(sorted.iter().all(|x| !x.is_nan()), "NaN sample");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Self { sorted }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// P(X ≤ x): fraction of samples at or below `x`.
+    #[must_use]
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample value v with P(X ≤ v) ≥ p.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 1]` or the CDF is empty.
+    #[must_use]
+    pub fn value_at(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 1.0, "probability out of range");
+        assert!(!self.sorted.is_empty(), "empty CDF");
+        let idx = ((self.sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Evenly spaced `(value, probability)` points for plotting — the
+    /// series a Fig 9-style plot draws.
+    #[must_use]
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (1..=points)
+            .map(|i| {
+                let p = i as f64 / points as f64;
+                (self.value_at(p), p)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_counts_fraction_below() {
+        let c = Cdf::new([1.0, 2.0, 3.0, 4.0]);
+        assert!((c.at(0.5) - 0.0).abs() < 1e-12);
+        assert!((c.at(2.0) - 0.5).abs() < 1e-12);
+        assert!((c.at(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_at_inverts() {
+        let c = Cdf::new((1..=100).map(f64::from));
+        assert!((c.value_at(0.5) - 50.0).abs() < 1.0);
+        assert!((c.value_at(1.0) - 100.0).abs() < 1e-12);
+        assert!((c.value_at(0.01) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_is_monotonic() {
+        let c = Cdf::new([5.0, 1.0, 9.0, 3.0, 7.0]);
+        let s = c.series(10);
+        assert_eq!(s.len(), 10);
+        for w in s.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+        assert!((s.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let c = Cdf::new([]);
+        assert_eq!(c.at(1.0), 0.0);
+        assert!(c.series(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn value_at_zero_rejected() {
+        let _ = Cdf::new([1.0]).value_at(0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Log-bucketed histograms for latency distributions.
+
+/// A base-2 log-bucketed histogram of non-negative integer samples
+/// (cycles, nanoseconds).
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`; bucket 0 also holds zero. Memory is
+/// constant (64 buckets) regardless of sample count, which is what lets
+/// the simulators record millions of per-packet latencies cheaply.
+///
+/// ```
+/// use speedybox_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [100, 200, 400, 800] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.5) >= 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { buckets: [0; 64], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()).saturating_sub(1) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile: the upper bound of the bucket containing
+    /// the q-th sample (within 2x of the true value by construction).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (2u64).saturating_pow(i as u32 + 1).saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, for rendering.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i }, n))
+            .collect()
+    }
+
+    /// A compact ASCII rendering (one row per non-empty bucket).
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (lo, n) in self.nonzero_buckets() {
+            let bar = "#".repeat((n * 40 / peak).max(1) as usize);
+            let _ = writeln!(out, "{lo:>12} | {bar} {n}");
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let h: Histogram = [1u64, 2, 3, 1000].into_iter().collect();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 251.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn zero_sample_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.nonzero_buckets()[0], (0, 2));
+    }
+
+    #[test]
+    fn quantile_within_bucket_bound() {
+        let h: Histogram = (1..=1000u64).collect();
+        let p50 = h.quantile(0.5);
+        // True median 500; bucket bound guarantees within [500, 1023].
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p100 = h.quantile(1.0);
+        assert_eq!(p100, 1000, "max clamps to true maximum");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a: Histogram = [1u64, 2].into_iter().collect();
+        let b: Histogram = [1000u64, 2000].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 2000);
+        assert_eq!(a.min(), 1);
+    }
+
+    #[test]
+    fn render_shows_buckets() {
+        let h: Histogram = [5u64, 6, 7, 1000].into_iter().collect();
+        let s = h.render();
+        assert!(s.contains("| ###"), "{s}");
+        assert!(s.lines().count() >= 2);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+}

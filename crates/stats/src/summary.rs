@@ -1,0 +1,157 @@
+//! Scalar summaries: mean, percentiles, min/max.
+
+/// A summary of a sample of non-negative measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    sum: f64,
+}
+
+impl Summary {
+    /// Builds a summary from samples. NaNs are rejected.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN.
+    #[must_use]
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(sorted.iter().all(|x| !x.is_nan()), "NaN sample");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let sum = sorted.iter().sum();
+        Self { sorted, sum }
+    }
+
+    /// Builds a summary from integer cycle counts.
+    #[must_use]
+    pub fn from_u64(samples: &[u64]) -> Self {
+        Self::new(samples.iter().map(|&x| x as f64))
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the summary holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean (0 for an empty sample).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sum / self.sorted.len() as f64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 for empty samples.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Median (p50).
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Smallest sample (0 for empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest sample (0 for empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Sample standard deviation (0 for fewer than two samples).
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (self.sorted.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median() {
+        let s = Summary::new([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.median() - 3.0).abs() < 1e-12);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let s = Summary::new((1..=100).map(f64::from));
+        assert!((s.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.quantile(1.0) - 100.0).abs() < 1e-12);
+        assert!((s.p99() - 99.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::new([5.0, 1.0, 3.0]);
+        assert!((s.min() - 1.0).abs() < 1e-12);
+        assert!((s.max() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new([]);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        let s = Summary::new([4.0, 4.0, 4.0]);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::new([f64::NAN]);
+    }
+
+    #[test]
+    fn from_u64_converts() {
+        let s = Summary::from_u64(&[10, 20, 30]);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+    }
+}

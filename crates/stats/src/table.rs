@@ -1,0 +1,142 @@
+//! Plain-text table rendering for the `repro` harness output.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use speedybox_stats::Table;
+///
+/// let mut t = Table::new(vec!["chain", "cycles", "saving"]);
+/// t.row(vec!["BESS".into(), "1689".into(), "-".into()]);
+/// t.row(vec!["BESS w/ SBox".into(), "591".into(), "-65.0%".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("BESS w/ SBox"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<impl Into<String>>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows are
+    /// accepted and widen the table.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a before/after pair as a percentage change string ("-65.0%").
+#[must_use]
+pub fn pct_change(before: f64, after: f64) -> String {
+    if before == 0.0 {
+        return "n/a".to_owned();
+    }
+    let delta = (after - before) / before * 100.0;
+    format!("{delta:+.1}%")
+}
+
+/// Formats a ratio as a multiplier string ("2.1x").
+#[must_use]
+pub fn ratio(numer: f64, denom: f64) -> String {
+    if denom == 0.0 {
+        return "n/a".to_owned();
+    }
+    format!("{:.1}x", numer / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer-cell".into(), "2".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["only".into()]);
+        assert!(t.to_string().contains("only"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pct_change_formats() {
+        assert_eq!(pct_change(100.0, 35.0), "-65.0%");
+        assert_eq!(pct_change(100.0, 121.0), "+21.0%");
+        assert_eq!(pct_change(0.0, 5.0), "n/a");
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(2.1, 1.0), "2.1x");
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload generation for the SpeedyBox evaluation.
+//!
+//! The paper replays "the popular datacenter trace" (Benson et al., IMC
+//! 2010) whose payloads are nulled for anonymization, so the authors
+//! "synthesize the testing traffic with customized payloads according to
+//! the inspection rules in Snort" (§VII-B3). This crate does the same,
+//! fully synthetically and deterministically:
+//!
+//! * [`workload`] draws flow sizes from a heavy-tailed (log-normal)
+//!   distribution matching the trace's published character — most flows
+//!   are mice, a few elephants carry most packets — and interleaves flow
+//!   packet arrivals in time;
+//! * [`payload`] synthesizes payloads, a controlled fraction of which
+//!   contain the patterns the Snort rules match.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod payload;
+pub mod replay;
+pub mod workload;
+
+pub use payload::PayloadKind;
+pub use replay::{ReplaySchedule, WorkloadStats};
+pub use workload::{FlowSpec, Workload, WorkloadConfig};

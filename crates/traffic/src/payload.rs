@@ -1,0 +1,116 @@
+//! Payload synthesis.
+//!
+//! Payloads are human-plausible byte soup of a requested length; a
+//! "suspicious" payload embeds a given pattern at a pseudo-random offset
+//! so multi-pattern inspection has real work to do at any position.
+
+use rand::Rng;
+
+/// What a flow's payloads look like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Innocuous filler.
+    Clean,
+    /// Filler with `pattern` embedded in every data packet.
+    Suspicious {
+        /// The byte pattern to embed (e.g. a Snort `content`).
+        pattern: Vec<u8>,
+    },
+}
+
+impl PayloadKind {
+    /// Convenience constructor from a string pattern.
+    #[must_use]
+    pub fn suspicious(pattern: &str) -> Self {
+        PayloadKind::Suspicious { pattern: pattern.as_bytes().to_vec() }
+    }
+
+    /// True for the clean kind.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        matches!(self, PayloadKind::Clean)
+    }
+}
+
+const FILLER: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 /:.-_";
+
+/// Generates a payload of exactly `len` bytes. For
+/// [`PayloadKind::Suspicious`], the pattern is embedded whole if it fits
+/// (`len >= pattern.len()`); shorter payloads degrade to clean filler.
+pub fn synthesize(kind: &PayloadKind, len: usize, rng: &mut impl Rng) -> Vec<u8> {
+    let mut out: Vec<u8> = (0..len).map(|_| FILLER[rng.gen_range(0..FILLER.len())]).collect();
+    if let PayloadKind::Suspicious { pattern } = kind {
+        if pattern.len() <= len {
+            let max_off = len - pattern.len();
+            let off = if max_off == 0 { 0 } else { rng.gen_range(0..=max_off) };
+            out[off..off + pattern.len()].copy_from_slice(pattern);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn contains(hay: &[u8], needle: &[u8]) -> bool {
+        hay.windows(needle.len()).any(|w| w == needle)
+    }
+
+    #[test]
+    fn clean_payload_has_requested_length() {
+        let p = synthesize(&PayloadKind::Clean, 100, &mut rng());
+        assert_eq!(p.len(), 100);
+    }
+
+    #[test]
+    fn suspicious_payload_embeds_pattern() {
+        let kind = PayloadKind::suspicious("evil");
+        for _ in 0..50 {
+            let p = synthesize(&kind, 64, &mut rng());
+            assert!(contains(&p, b"evil"));
+        }
+    }
+
+    #[test]
+    fn pattern_embedded_at_varying_offsets() {
+        let kind = PayloadKind::suspicious("XFIL");
+        let mut r = rng();
+        let offsets: std::collections::HashSet<usize> = (0..100)
+            .map(|_| {
+                let p = synthesize(&kind, 64, &mut r);
+                p.windows(4).position(|w| w == b"XFIL").unwrap()
+            })
+            .collect();
+        assert!(offsets.len() > 5, "pattern should move around: {offsets:?}");
+    }
+
+    #[test]
+    fn too_short_payload_degrades_to_clean() {
+        let kind = PayloadKind::suspicious("longpattern");
+        let p = synthesize(&kind, 4, &mut rng());
+        assert_eq!(p.len(), 4);
+        assert!(!contains(&p, b"longpattern"));
+    }
+
+    #[test]
+    fn exact_fit_pattern() {
+        let kind = PayloadKind::suspicious("1234");
+        let p = synthesize(&kind, 4, &mut rng());
+        assert_eq!(p, b"1234");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a = synthesize(&PayloadKind::Clean, 32, &mut rng());
+        let b = synthesize(&PayloadKind::Clean, 32, &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,242 @@
+//! Paced replay and workload statistics.
+//!
+//! A [`Workload`] carries arrival timestamps; [`ReplaySchedule`] turns them
+//! into a deterministic pacing plan (with a speed factor) and
+//! [`WorkloadStats`] summarizes what a workload actually contains — the
+//! sanity pass any trace-driven evaluation should print before trusting
+//! its results.
+
+use std::collections::HashMap;
+
+use speedybox_packet::{FiveTuple, Packet, Protocol};
+
+use crate::workload::Workload;
+
+/// One scheduled transmission.
+#[derive(Debug, Clone)]
+pub struct ScheduledPacket {
+    /// When to send, nanoseconds since replay start (already scaled).
+    pub at_ns: u64,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// A deterministic pacing plan for a workload.
+#[derive(Debug, Clone)]
+pub struct ReplaySchedule {
+    entries: Vec<ScheduledPacket>,
+}
+
+impl ReplaySchedule {
+    /// Builds a schedule from a workload, dividing all inter-arrival gaps
+    /// by `speedup` (2.0 = replay twice as fast; values ≤ 0 are clamped to
+    /// 1.0).
+    #[must_use]
+    pub fn new(workload: &Workload, speedup: f64) -> Self {
+        let speedup = if speedup > 0.0 { speedup } else { 1.0 };
+        let entries = workload
+            .arrivals
+            .iter()
+            .map(|(ts, p)| ScheduledPacket {
+                at_ns: (*ts as f64 / speedup) as u64,
+                packet: p.clone(),
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Number of scheduled packets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total replay duration in nanoseconds (time of the last packet).
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.at_ns)
+    }
+
+    /// Offered load in packets per second over the replay duration.
+    #[must_use]
+    pub fn offered_pps(&self) -> f64 {
+        let d = self.duration_ns();
+        if d == 0 {
+            return 0.0;
+        }
+        self.entries.len() as f64 / (d as f64 / 1e9)
+    }
+
+    /// Iterates over the scheduled packets in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ScheduledPacket> {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for ReplaySchedule {
+    type Item = ScheduledPacket;
+    type IntoIter = std::vec::IntoIter<ScheduledPacket>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// Summary statistics of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Total packets.
+    pub packets: usize,
+    /// Distinct flows (by 5-tuple).
+    pub flows: usize,
+    /// Total frame bytes.
+    pub bytes: u64,
+    /// TCP packet count.
+    pub tcp_packets: usize,
+    /// UDP packet count.
+    pub udp_packets: usize,
+    /// Smallest / mean / largest frame size.
+    pub frame_min: usize,
+    /// Mean frame size.
+    pub frame_mean: f64,
+    /// Largest frame size.
+    pub frame_max: usize,
+    /// Packets in the largest flow.
+    pub largest_flow_packets: usize,
+    /// Median packets per flow.
+    pub median_flow_packets: usize,
+}
+
+impl WorkloadStats {
+    /// Computes statistics over a workload.
+    #[must_use]
+    pub fn of(workload: &Workload) -> Self {
+        let mut per_flow: HashMap<FiveTuple, usize> = HashMap::new();
+        let mut bytes = 0u64;
+        let mut tcp = 0usize;
+        let mut udp = 0usize;
+        let mut frame_min = usize::MAX;
+        let mut frame_max = 0usize;
+        for (_, p) in &workload.arrivals {
+            let len = p.len();
+            bytes += len as u64;
+            frame_min = frame_min.min(len);
+            frame_max = frame_max.max(len);
+            if let Ok(t) = p.five_tuple() {
+                *per_flow.entry(t).or_insert(0) += 1;
+                match t.protocol {
+                    Protocol::Tcp => tcp += 1,
+                    Protocol::Udp => udp += 1,
+                }
+            }
+        }
+        let packets = workload.arrivals.len();
+        let mut sizes: Vec<usize> = per_flow.values().copied().collect();
+        sizes.sort_unstable();
+        Self {
+            packets,
+            flows: per_flow.len(),
+            bytes,
+            tcp_packets: tcp,
+            udp_packets: udp,
+            frame_min: if packets == 0 { 0 } else { frame_min },
+            frame_mean: if packets == 0 { 0.0 } else { bytes as f64 / packets as f64 },
+            frame_max,
+            largest_flow_packets: sizes.last().copied().unwrap_or(0),
+            median_flow_packets: if sizes.is_empty() { 0 } else { sizes[sizes.len() / 2] },
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} packets, {} flows, {} bytes ({} tcp / {} udp)",
+            self.packets, self.flows, self.bytes, self.tcp_packets, self.udp_packets
+        )?;
+        writeln!(
+            f,
+            "frames: {}..{} bytes (mean {:.1}); flow sizes: median {} pkts, max {} pkts",
+            self.frame_min,
+            self.frame_max,
+            self.frame_mean,
+            self.median_flow_packets,
+            self.largest_flow_packets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::workload::WorkloadConfig;
+
+    use super::*;
+
+    fn workload() -> Workload {
+        Workload::generate(&WorkloadConfig {
+            flows: 20,
+            median_packets: 4.0,
+            udp_fraction: 0.3,
+            seed: 5,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    #[test]
+    fn schedule_preserves_order_and_scales() {
+        let w = workload();
+        let normal = ReplaySchedule::new(&w, 1.0);
+        let fast = ReplaySchedule::new(&w, 2.0);
+        assert_eq!(normal.len(), w.len());
+        assert!(normal.iter().zip(fast.iter()).all(|(a, b)| b.at_ns == a.at_ns / 2
+            || b.at_ns == (a.at_ns as f64 / 2.0) as u64));
+        assert!(normal
+            .iter()
+            .zip(normal.iter().skip(1))
+            .all(|(a, b)| a.at_ns <= b.at_ns));
+        // Twice the speed, roughly twice the offered load.
+        let ratio = fast.offered_pps() / normal.offered_pps();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn non_positive_speedup_clamps() {
+        let w = workload();
+        let a = ReplaySchedule::new(&w, 1.0);
+        let b = ReplaySchedule::new(&w, 0.0);
+        assert_eq!(a.duration_ns(), b.duration_ns());
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let w = workload();
+        let s = WorkloadStats::of(&w);
+        assert_eq!(s.packets, w.len());
+        assert_eq!(s.flows, 20);
+        assert_eq!(s.tcp_packets + s.udp_packets, s.packets);
+        assert!(s.udp_packets > 0, "udp_fraction produced UDP flows");
+        assert!(s.frame_min <= s.frame_max);
+        assert!(s.frame_mean >= s.frame_min as f64 && s.frame_mean <= s.frame_max as f64);
+        assert!(s.largest_flow_packets >= s.median_flow_packets);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_workload_stats() {
+        let w = Workload { flows: Vec::new(), arrivals: Vec::new() };
+        let s = WorkloadStats::of(&w);
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.frame_min, 0);
+        assert_eq!(s.frame_mean, 0.0);
+        let sched = ReplaySchedule::new(&w, 1.0);
+        assert!(sched.is_empty());
+        assert_eq!(sched.offered_pps(), 0.0);
+    }
+}

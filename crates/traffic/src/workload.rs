@@ -1,0 +1,417 @@
+//! Flow and workload generation.
+//!
+//! A [`Workload`] is a deterministic, time-ordered packet sequence built
+//! from per-flow specs: each flow opens with a SYN, carries data packets,
+//! and (optionally) closes with FIN. Flow sizes follow a log-normal
+//! distribution — the heavy tail reported for the Benson et al. datacenter
+//! traces the paper replays — and a configurable fraction of flows carry
+//! payloads matching the Snort rule set.
+
+use std::f64::consts::TAU;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use speedybox_packet::{FiveTuple, Packet, PacketBuilder, Protocol, TcpFlags};
+
+use crate::payload::{synthesize, PayloadKind};
+
+/// The classic IMIX frame sizes and their 7:4:1 weights.
+const IMIX: [(usize, u32); 3] = [(64, 7), (576, 4), (1500, 1)];
+
+/// Draws an IMIX payload length (frame size minus Ethernet+IPv4+TCP
+/// headers).
+fn imix_payload_len(rng: &mut impl Rng) -> usize {
+    let total: u32 = IMIX.iter().map(|&(_, w)| w).sum();
+    let mut pick = rng.gen_range(0..total);
+    for &(frame, w) in &IMIX {
+        if pick < w {
+            return frame.saturating_sub(54);
+        }
+        pick -= w;
+    }
+    unreachable!("weights exhausted")
+}
+
+/// One flow's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// The flow's 5-tuple.
+    pub tuple: FiveTuple,
+    /// Number of data packets (excluding SYN/FIN).
+    pub data_packets: usize,
+    /// Payload kind for the data packets.
+    pub payload: PayloadKind,
+    /// Arrival time of the first packet (ns since workload start).
+    pub start_ns: u64,
+    /// Inter-packet gap within the flow (ns).
+    pub gap_ns: u64,
+}
+
+/// Workload generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of flows.
+    pub flows: usize,
+    /// Median data packets per flow (log-normal median = `exp(mu)`).
+    pub median_packets: f64,
+    /// Log-normal sigma; ~1.2 reproduces the mice/elephants mix of the
+    /// datacenter trace.
+    pub sigma: f64,
+    /// Payload length of data packets (bytes).
+    pub payload_len: usize,
+    /// Patterns for suspicious flows (typically the Snort `content`s).
+    pub suspicious_patterns: Vec<String>,
+    /// Fraction of flows that carry a suspicious payload.
+    pub suspicious_fraction: f64,
+    /// Open each flow with a SYN and close it with a FIN.
+    pub with_handshake: bool,
+    /// Pad frames to at least this size (e.g. 64 for the paper's
+    /// micro-benchmarks). `None` leaves frames at natural size.
+    pub frame_pad: Option<usize>,
+    /// Draw per-packet payload sizes from the classic IMIX mix (7:4:1 of
+    /// 64 B / 576 B / 1500 B frames) instead of the fixed `payload_len`.
+    pub imix: bool,
+    /// Fraction of flows that are UDP (no handshake; cleaned up by idle
+    /// aging rather than FIN).
+    pub udp_fraction: f64,
+    /// RNG seed (workloads are fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            flows: 100,
+            median_packets: 8.0,
+            sigma: 1.2,
+            payload_len: 256,
+            suspicious_patterns: vec!["evil".into(), "XFIL".into(), "probe".into()],
+            suspicious_fraction: 0.1,
+            with_handshake: true,
+            frame_pad: None,
+            imix: false,
+            udp_fraction: 0.0,
+            seed: 0x5bee_d1b0,
+        }
+    }
+}
+
+/// A generated workload: flow specs plus the interleaved packet sequence.
+///
+/// ```
+/// use speedybox_traffic::{Workload, WorkloadConfig};
+///
+/// let w = Workload::generate(&WorkloadConfig { flows: 10, seed: 1, ..WorkloadConfig::default() });
+/// assert_eq!(w.flows.len(), 10);
+/// // Deterministic: same config, same packets.
+/// let w2 = Workload::generate(&WorkloadConfig { flows: 10, seed: 1, ..WorkloadConfig::default() });
+/// assert_eq!(w.packets()[0].as_bytes(), w2.packets()[0].as_bytes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Per-flow shapes, in creation order.
+    pub flows: Vec<FlowSpec>,
+    /// All packets with arrival timestamps, time-ordered.
+    pub arrivals: Vec<(u64, Packet)>,
+}
+
+impl Workload {
+    /// Generates the workload for `config`.
+    ///
+    /// # Panics
+    /// Panics if `config.flows` exceeds the available port space (~60k).
+    #[must_use]
+    pub fn generate(config: &WorkloadConfig) -> Self {
+        assert!(config.flows < 60_000, "flow count exceeds source-port space");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mu = config.median_packets.max(1.0).ln();
+        let mut flows = Vec::with_capacity(config.flows);
+        for i in 0..config.flows {
+            // Box-Muller for a standard normal; log-normal flow size.
+            let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen_range(0.0..1.0));
+            let z = (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos();
+            let data_packets = (mu + config.sigma * z).exp().round().max(1.0) as usize;
+            let payload = if rng.gen_bool(config.suspicious_fraction.clamp(0.0, 1.0))
+                && !config.suspicious_patterns.is_empty()
+            {
+                let p = &config.suspicious_patterns
+                    [rng.gen_range(0..config.suspicious_patterns.len())];
+                PayloadKind::suspicious(p)
+            } else {
+                PayloadKind::Clean
+            };
+            let src_port = 1024 + (i as u16 % 60_000);
+            let src_octet = (i / 60_000) as u8;
+            let protocol = if rng.gen_bool(config.udp_fraction.clamp(0.0, 1.0)) {
+                Protocol::Udp
+            } else {
+                Protocol::Tcp
+            };
+            let tuple = FiveTuple::new(
+                Ipv4Addr::new(10, 2, src_octet, 1),
+                src_port,
+                Ipv4Addr::new(10, 99, 99, 99),
+                80,
+                protocol,
+            );
+            flows.push(FlowSpec {
+                tuple,
+                data_packets,
+                payload,
+                start_ns: rng.gen_range(0..1_000_000),
+                gap_ns: rng.gen_range(500..5_000),
+            });
+        }
+        let arrivals = Self::interleave(&flows, config, &mut rng);
+        Self { flows, arrivals }
+    }
+
+    fn interleave(
+        flows: &[FlowSpec],
+        config: &WorkloadConfig,
+        rng: &mut StdRng,
+    ) -> Vec<(u64, Packet)> {
+        let mut arrivals: Vec<(u64, Packet)> = Vec::new();
+        for spec in flows {
+            let src = SocketAddrV4::new(spec.tuple.src_ip, spec.tuple.src_port);
+            let dst = SocketAddrV4::new(spec.tuple.dst_ip, spec.tuple.dst_port);
+            let is_tcp = spec.tuple.protocol == Protocol::Tcp;
+            let mut builder = if is_tcp { PacketBuilder::tcp() } else { PacketBuilder::udp() };
+            builder.src(src).dst(dst);
+            if let Some(pad) = config.frame_pad {
+                builder.pad_to(pad);
+            }
+            let mut ts = spec.start_ns;
+            let mut seq = 0u32;
+            if config.with_handshake && is_tcp {
+                builder.flags(TcpFlags::SYN).seq(seq).payload(&[]);
+                arrivals.push((ts, builder.build()));
+                ts += spec.gap_ns;
+                seq += 1;
+            }
+            for _ in 0..spec.data_packets {
+                let len = if config.imix { imix_payload_len(rng) } else { config.payload_len };
+                let payload = synthesize(&spec.payload, len, rng);
+                builder.flags(TcpFlags::ACK | TcpFlags::PSH).seq(seq).payload(&payload);
+                arrivals.push((ts, builder.build()));
+                ts += spec.gap_ns;
+                seq += 1;
+            }
+            if config.with_handshake && is_tcp {
+                builder.flags(TcpFlags::FIN | TcpFlags::ACK).seq(seq).payload(&[]);
+                arrivals.push((ts, builder.build()));
+            }
+        }
+        arrivals.sort_by_key(|(ts, _)| *ts);
+        arrivals
+    }
+
+    /// Total packet count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True if the workload holds no packets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The packets without timestamps, in arrival order.
+    #[must_use]
+    pub fn packets(&self) -> Vec<Packet> {
+        self.arrivals.iter().map(|(_, p)| p.clone()).collect()
+    }
+
+    /// Records the workload as a replayable [`speedybox_packet::trace::Trace`].
+    #[must_use]
+    pub fn to_trace(&self) -> speedybox_packet::trace::Trace {
+        self.arrivals
+            .iter()
+            .map(|(ts, p)| speedybox_packet::trace::TraceRecord::capture(*ts, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig { flows: 20, median_packets: 5.0, ..WorkloadConfig::default() }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small_config();
+        let a = Workload::generate(&cfg);
+        let b = Workload::generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for ((ta, pa), (tb, pb)) in a.arrivals.iter().zip(&b.arrivals) {
+            assert_eq!(ta, tb);
+            assert_eq!(pa.as_bytes(), pb.as_bytes());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Workload::generate(&small_config());
+        let b = Workload::generate(&WorkloadConfig { seed: 99, ..small_config() });
+        let same = a.len() == b.len()
+            && a.arrivals
+                .iter()
+                .zip(&b.arrivals)
+                .all(|((_, pa), (_, pb))| pa.as_bytes() == pb.as_bytes());
+        assert!(!same);
+    }
+
+    #[test]
+    fn flows_have_syn_data_fin_structure() {
+        let w = Workload::generate(&small_config());
+        let spec = &w.flows[0];
+        // Collect this flow's packets in time order.
+        let pkts: Vec<&Packet> = w
+            .arrivals
+            .iter()
+            .map(|(_, p)| p)
+            .filter(|p| p.five_tuple().unwrap() == spec.tuple)
+            .collect();
+        assert_eq!(pkts.len(), spec.data_packets + 2);
+        assert!(pkts.first().unwrap().tcp_flags().syn());
+        assert!(pkts.last().unwrap().tcp_flags().fin());
+        for p in &pkts[1..pkts.len() - 1] {
+            assert!(!p.tcp_flags().syn());
+            assert!(!p.tcp_flags().fin());
+        }
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered() {
+        let w = Workload::generate(&small_config());
+        assert!(w.arrivals.windows(2).all(|x| x[0].0 <= x[1].0));
+    }
+
+    #[test]
+    fn flow_sizes_are_heavy_tailed() {
+        let cfg = WorkloadConfig { flows: 1200, median_packets: 6.0, ..WorkloadConfig::default() };
+        let w = Workload::generate(&cfg);
+        let sizes: Vec<usize> = w.flows.iter().map(|f| f.data_packets).collect();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        // Log-normal: mean well above median (tail), median near config.
+        assert!(mean > 1.3 * median, "mean {mean} vs median {median}");
+        assert!((median - 6.0).abs() <= 3.0, "median {median} near configured 6");
+        assert!(*sorted.last().unwrap() > 50, "elephants exist");
+    }
+
+    #[test]
+    fn suspicious_fraction_respected() {
+        let cfg = WorkloadConfig {
+            flows: 1000,
+            suspicious_fraction: 0.3,
+            ..WorkloadConfig::default()
+        };
+        let w = Workload::generate(&cfg);
+        let sus = w.flows.iter().filter(|f| !f.payload.is_clean()).count();
+        assert!((250..=350).contains(&sus), "suspicious flows: {sus}");
+    }
+
+    #[test]
+    fn zero_suspicious_fraction_is_all_clean() {
+        let cfg = WorkloadConfig {
+            flows: 50,
+            suspicious_fraction: 0.0,
+            ..WorkloadConfig::default()
+        };
+        let w = Workload::generate(&cfg);
+        assert!(w.flows.iter().all(|f| f.payload.is_clean()));
+    }
+
+    #[test]
+    fn frame_pad_enforced() {
+        let cfg = WorkloadConfig {
+            flows: 5,
+            payload_len: 0,
+            frame_pad: Some(64),
+            ..WorkloadConfig::default()
+        };
+        let w = Workload::generate(&cfg);
+        assert!(w.arrivals.iter().all(|(_, p)| p.len() >= 64));
+    }
+
+    #[test]
+    fn no_handshake_mode() {
+        let cfg = WorkloadConfig { flows: 3, with_handshake: false, ..small_config() };
+        let w = Workload::generate(&cfg);
+        assert!(w.arrivals.iter().all(|(_, p)| !p.tcp_flags().syn() && !p.tcp_flags().fin()));
+    }
+
+    #[test]
+    fn distinct_flows_have_distinct_tuples() {
+        use std::collections::HashSet;
+        let w = Workload::generate(&small_config());
+        let tuples: HashSet<_> = w.flows.iter().map(|f| f.tuple).collect();
+        assert_eq!(tuples.len(), w.flows.len());
+    }
+
+    #[test]
+    fn imix_mixes_packet_sizes() {
+        let cfg = WorkloadConfig {
+            flows: 60,
+            imix: true,
+            with_handshake: false,
+            ..WorkloadConfig::default()
+        };
+        let w = Workload::generate(&cfg);
+        use std::collections::HashSet;
+        let sizes: HashSet<usize> = w.arrivals.iter().map(|(_, p)| p.len()).collect();
+        // The three IMIX frame classes all appear (64-pad means small
+        // frames land at exactly the minimum TCP frame size).
+        assert!(sizes.len() >= 3, "IMIX should produce several sizes: {sizes:?}");
+        assert!(w.arrivals.iter().any(|(_, p)| p.len() >= 1400), "1500 B class present");
+        assert!(w.arrivals.iter().any(|(_, p)| p.len() <= 80), "64 B class present");
+        // 7:4:1 weighting: small frames dominate.
+        let small = w.arrivals.iter().filter(|(_, p)| p.len() <= 80).count();
+        assert!(small * 2 > w.len(), "small frames should be the majority");
+    }
+
+    #[test]
+    fn udp_fraction_mixes_protocols() {
+        let cfg = WorkloadConfig {
+            flows: 400,
+            udp_fraction: 0.5,
+            ..WorkloadConfig::default()
+        };
+        let w = Workload::generate(&cfg);
+        let udp = w.flows.iter().filter(|f| f.tuple.protocol == Protocol::Udp).count();
+        assert!((140..=260).contains(&udp), "~half UDP, got {udp}");
+        // UDP flows have no SYN/FIN even with handshakes enabled.
+        for (_, p) in &w.arrivals {
+            if p.five_tuple().unwrap().protocol == Protocol::Udp {
+                assert!(!p.tcp_flags().syn() && !p.tcp_flags().fin());
+            }
+        }
+        // TCP flows still open and close properly.
+        let tcp_spec = w.flows.iter().find(|f| f.tuple.protocol == Protocol::Tcp).unwrap();
+        let tcp_pkts: Vec<_> = w
+            .arrivals
+            .iter()
+            .filter(|(_, p)| p.five_tuple().unwrap() == tcp_spec.tuple)
+            .collect();
+        assert!(tcp_pkts.first().unwrap().1.tcp_flags().syn());
+        assert!(tcp_pkts.last().unwrap().1.tcp_flags().fin());
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let w = Workload::generate(&small_config());
+        let trace = w.to_trace();
+        assert_eq!(trace.len(), w.len());
+        let pkts = trace.packets().unwrap();
+        assert_eq!(pkts[0].as_bytes(), w.arrivals[0].1.as_bytes());
+    }
+}

@@ -1,0 +1,251 @@
+//! `speedybox` — run service chains over synthetic workloads or captured
+//! traces from the command line.
+//!
+//! ```text
+//! speedybox run --chain chain1 --speedybox --flows 200
+//! speedybox run --chain ipfilter:5 --env onvm --compare
+//! speedybox gen-trace --flows 50 --out /tmp/workload.trace
+//! speedybox run --chain chain2 --trace /tmp/workload.trace --dump-mat
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use speedybox::nf::Nf;
+use speedybox::packet::trace::Trace;
+use speedybox::packet::Packet;
+use speedybox::platform::bess::BessChain;
+use speedybox::platform::chains;
+use speedybox::platform::onvm::OnvmChain;
+use speedybox::platform::RunStats;
+use speedybox::stats::Summary;
+use speedybox::traffic::{Workload, WorkloadConfig};
+
+const USAGE: &str = "\
+speedybox — SpeedyBox NFV service chains (ICDCS 2019 reproduction)
+
+USAGE:
+  speedybox run [OPTIONS]        process a workload through a chain
+  speedybox gen-trace [OPTIONS]  synthesize a workload trace file
+  speedybox chains               list available chain names
+
+RUN OPTIONS:
+  --chain <NAME>      chain1 | chain2 | snort-monitor | ipfilter:<N> | synthetic:<N>
+                      (default: chain1)
+  --env <ENV>         bess | onvm (default: bess)
+  --speedybox         enable SpeedyBox (default: original chain)
+  --compare           run both original and SpeedyBox, report the delta
+  --flows <N>         synthetic workload flows (default: 100)
+  --seed <N>          workload seed (default: 1)
+  --trace <FILE>      replay a trace file instead of synthesizing
+  --dump-mat          print the Global MAT after the run (implies --speedybox)
+
+GEN-TRACE OPTIONS:
+  --flows <N>         flows to synthesize (default: 100)
+  --seed <N>          RNG seed (default: 1)
+  --out <FILE>        output path (required)
+  --format <FMT>      lines | pcap (default: lines; pcap opens in Wireshark)
+";
+
+struct Args {
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags.iter().position(|f| f == name).and_then(|i| self.flags.get(i + 1)).map(String::as_str)
+    }
+
+    fn usize_value(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
+        }
+    }
+}
+
+fn build_chain(name: &str) -> Result<Vec<Box<dyn Nf>>, String> {
+    if let Some(n) = name.strip_prefix("ipfilter:") {
+        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
+        return Ok(chains::ipfilter_chain(n, 200));
+    }
+    if let Some(n) = name.strip_prefix("synthetic:") {
+        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
+        return Ok(chains::synthetic_sf_chain(n, 80));
+    }
+    match name {
+        "chain1" => Ok(chains::chain1(8).0),
+        "chain2" => Ok(chains::chain2().0),
+        "snort-monitor" => Ok(chains::snort_monitor_chain().0),
+        other => Err(format!("unknown chain: {other} (try `speedybox chains`)")),
+    }
+}
+
+fn load_packets(args: &Args) -> Result<Vec<Packet>, String> {
+    if let Some(path) = args.value("--trace") {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let trace = if path.ends_with(".pcap") {
+            speedybox::packet::pcap::read_pcap(BufReader::new(file))
+                .map_err(|e| format!("parse {path}: {e}"))?
+        } else {
+            Trace::read_lines(BufReader::new(file))
+                .map_err(|e| format!("parse {path}: {e}"))?
+        };
+        return trace.packets().map_err(|e| format!("trace packet invalid: {e}"));
+    }
+    let flows = args.usize_value("--flows", 100)?;
+    let seed = args.usize_value("--seed", 1)? as u64;
+    Ok(Workload::generate(&WorkloadConfig { flows, seed, ..WorkloadConfig::default() }).packets())
+}
+
+enum Chain {
+    Bess(BessChain),
+    Onvm(OnvmChain),
+}
+
+impl Chain {
+    fn build(env: &str, nfs: Vec<Box<dyn Nf>>, speedybox: bool) -> Result<Self, String> {
+        match (env, speedybox) {
+            ("bess", false) => Ok(Chain::Bess(BessChain::original(nfs))),
+            ("bess", true) => Ok(Chain::Bess(BessChain::speedybox(nfs))),
+            ("onvm", false) => Ok(Chain::Onvm(OnvmChain::original(nfs))),
+            ("onvm", true) => Ok(Chain::Onvm(OnvmChain::speedybox(nfs))),
+            (other, _) => Err(format!("unknown env: {other}")),
+        }
+    }
+
+    fn run(&mut self, pkts: Vec<Packet>) -> RunStats {
+        match self {
+            Chain::Bess(c) => c.run(pkts),
+            Chain::Onvm(c) => c.run(pkts),
+        }
+    }
+
+    fn report(&self, stats: &RunStats) -> (f64, f64, f64) {
+        let (model, rate) = match self {
+            Chain::Bess(c) => (c.model(), stats.run_to_completion_rate_mpps(c.model())),
+            Chain::Onvm(c) => (c.model(), stats.pipelined_rate_mpps(c.model())),
+        };
+        (stats.mean_work_cycles(), stats.mean_latency_us(model), rate)
+    }
+
+    fn dump_mat(&self) -> Option<String> {
+        let sbox = match self {
+            Chain::Bess(c) => c.sbox(),
+            Chain::Onvm(c) => c.sbox(),
+        }?;
+        Some(sbox.global.dump())
+    }
+}
+
+fn print_run(label: &str, chain: &Chain, stats: &RunStats) {
+    let (cycles, latency, rate) = chain.report(stats);
+    let lat = Summary::from_u64(&stats.latencies_cycles);
+    println!("{label}");
+    println!("  packets: {} in, {} delivered, {} dropped", stats.sent, stats.delivered, stats.dropped);
+    println!(
+        "  paths:   {} baseline, {} initial, {} fast-path",
+        stats.path_counts[0], stats.path_counts[1], stats.path_counts[2]
+    );
+    println!("  cost:    {cycles:.0} cycles/packet, {latency:.2} us mean latency, {rate:.2} Mpps");
+    println!(
+        "  latency: p50 {:.0} / p90 {:.0} / p99 {:.0} cycles",
+        lat.median(),
+        lat.quantile(0.9),
+        lat.p99()
+    );
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let chain_name = args.value("--chain").unwrap_or("chain1");
+    let env = args.value("--env").unwrap_or("bess");
+    let dump = args.flag("--dump-mat");
+    let speedybox = args.flag("--speedybox") || dump;
+    let packets = load_packets(args)?;
+    println!("chain: {chain_name} on {env}, {} packets\n", packets.len());
+
+    if args.flag("--compare") {
+        let mut orig = Chain::build(env, build_chain(chain_name)?, false)?;
+        let so = orig.run(packets.clone());
+        print_run("original", &orig, &so);
+        let mut fast = Chain::build(env, build_chain(chain_name)?, true)?;
+        let sf = fast.run(packets);
+        print_run("\nspeedybox", &fast, &sf);
+        let cut = 1.0 - sf.mean_latency_cycles() / so.mean_latency_cycles();
+        println!("\nlatency reduction: {:.1}%", cut * 100.0);
+        return Ok(());
+    }
+
+    let mut chain = Chain::build(env, build_chain(chain_name)?, speedybox)?;
+    let stats = chain.run(packets);
+    print_run(if speedybox { "speedybox" } else { "original" }, &chain, &stats);
+    if dump {
+        println!("\n{}", chain.dump_mat().expect("speedybox enabled"));
+    }
+    Ok(())
+}
+
+fn cmd_gen_trace(args: &Args) -> Result<(), String> {
+    let out = args.value("--out").ok_or("--out <FILE> is required")?;
+    let flows = args.usize_value("--flows", 100)?;
+    let seed = args.usize_value("--seed", 1)? as u64;
+    let workload =
+        Workload::generate(&WorkloadConfig { flows, seed, ..WorkloadConfig::default() });
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let format = args.value("--format").unwrap_or(if out.ends_with(".pcap") {
+        "pcap"
+    } else {
+        "lines"
+    });
+    match format {
+        "lines" => workload
+            .to_trace()
+            .write_lines(BufWriter::new(file))
+            .map_err(|e| e.to_string())?,
+        "pcap" => speedybox::packet::pcap::write_pcap(&workload.to_trace(), BufWriter::new(file))
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown trace format: {other}")),
+    }
+    println!("wrote {} packets ({} flows) to {out} ({format})", workload.len(), flows);
+    print!("{}", speedybox::traffic::WorkloadStats::of(&workload));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let args = Args { flags: rest.to_vec() };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "gen-trace" => cmd_gen_trace(&args),
+        "chains" => {
+            println!("chain1          MazuNAT -> Maglev -> Monitor -> IPFilter (paper §VII-B3)");
+            println!("chain2          IPFilter -> Snort -> Monitor (paper §VII-B3)");
+            println!("snort-monitor   Snort -> Monitor (paper Fig 6/7)");
+            println!("ipfilter:<N>    N pass-through firewalls (paper Fig 4/8)");
+            println!("synthetic:<N>   N Snort-like synthetic NFs (paper Fig 5)");
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! SpeedyBox: low-latency NFV service chains with cross-NF runtime
+//! consolidation — a Rust reproduction of the ICDCS 2019 paper.
+//!
+//! This meta-crate re-exports the workspace:
+//!
+//! * [`packet`] — the packet substrate (headers, buffers, flow identity);
+//! * [`mat`] — the paper's core: Local/Global MATs, Event Table,
+//!   consolidation, parallelism analysis;
+//! * [`nf`] — the evaluated network functions (Snort-lite, Maglev,
+//!   IPFilter, Monitor, MazuNAT, …);
+//! * [`platform`] — BESS-style and OpenNetVM-style execution environments
+//!   with a calibrated cycle model;
+//! * [`traffic`] — deterministic datacenter-style workload synthesis;
+//! * [`stats`] — CDFs, percentiles and table rendering.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `crates/bench` for the harness regenerating every table and figure of
+//! the paper.
+//!
+//! ```
+//! use speedybox::platform::bess::BessChain;
+//! use speedybox::platform::chains::ipfilter_chain;
+//! use speedybox::packet::PacketBuilder;
+//!
+//! let mut chain = BessChain::speedybox(ipfilter_chain(3, 30));
+//! let pkt = PacketBuilder::tcp().payload(b"hello").build();
+//! let out = chain.process(pkt);
+//! assert!(out.survived());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use speedybox_mat as mat;
+pub use speedybox_nf as nf;
+pub use speedybox_packet as packet;
+pub use speedybox_platform as platform;
+pub use speedybox_stats as stats;
+pub use speedybox_traffic as traffic;

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `speedybox` CLI binary.
+
+use std::process::Command;
+
+fn speedybox(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_speedybox"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = speedybox(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn chains_lists_all_names() {
+    let out = speedybox(&["chains"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["chain1", "chain2", "snort-monitor", "ipfilter:<N>", "synthetic:<N>"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn compare_reports_latency_reduction() {
+    let out = speedybox(&["run", "--chain", "ipfilter:3", "--compare", "--flows", "20"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("original"));
+    assert!(text.contains("speedybox"));
+    assert!(text.contains("latency reduction:"));
+}
+
+#[test]
+fn unknown_chain_is_a_clean_error() {
+    let out = speedybox(&["run", "--chain", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown chain"));
+}
+
+#[test]
+fn gen_trace_then_replay_lines_and_pcap() {
+    let dir = std::env::temp_dir();
+    for (ext, fmt_probe) in [("trace", "lines"), ("pcap", "pcap")] {
+        let path = dir.join(format!("speedybox-cli-test.{ext}"));
+        let path_s = path.to_str().unwrap();
+        let out = speedybox(&["gen-trace", "--flows", "4", "--out", path_s]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(String::from_utf8_lossy(&out.stdout).contains(fmt_probe));
+        let out = speedybox(&["run", "--chain", "ipfilter:2", "--trace", path_s, "--speedybox"]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("fast-path"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn dump_mat_prints_rules() {
+    // UDP-less synthetic flows close with FIN, so dump after run is empty;
+    // use a chain over a fresh workload and check the dump header prints.
+    let out = speedybox(&["run", "--chain", "ipfilter:2", "--flows", "5", "--dump-mat"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("global MAT:"));
+}
+
+#[test]
+fn onvm_env_works() {
+    let out = speedybox(&["run", "--chain", "chain2", "--env", "onvm", "--flows", "10"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Mpps"));
+}
