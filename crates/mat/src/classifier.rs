@@ -50,7 +50,17 @@ struct FlowState {
     recorded: bool,
 }
 
+/// Default shard count for the flow table. Power of two so the shard index
+/// is a mask of the (uniformly hashed) 20-bit FID.
+pub const DEFAULT_CLASSIFIER_SHARDS: usize = 16;
+
 /// The SpeedyBox Packet Classifier.
+///
+/// The flow table is split into power-of-two shards keyed by
+/// `fid & (shards - 1)`, so concurrent classification of different flows
+/// contends only when the flows share a shard, and batch classification
+/// ([`PacketClassifier::classify_batch`]) pays one lock acquisition per
+/// shard per batch instead of one per packet.
 ///
 /// ```
 /// use speedybox_mat::{OpCounter, PacketClass, PacketClassifier};
@@ -68,9 +78,11 @@ struct FlowState {
 /// assert_eq!(c2.class, PacketClass::Subsequent);
 /// # Ok::<(), speedybox_packet::PacketError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PacketClassifier {
-    flows: Mutex<HashMap<Fid, FlowState>>,
+    shards: Box<[Mutex<HashMap<Fid, FlowState>>]>,
+    /// `shards.len() - 1`; the shard of a FID is `fid & shard_mask`.
+    shard_mask: usize,
     /// Monotonic packet clock: incremented per classified packet. Used as
     /// the timebase for idle-flow expiry (deterministic, no wall clock).
     clock: std::sync::atomic::AtomicU64,
@@ -80,6 +92,12 @@ pub struct PacketClassifier {
     /// post-handshake packet. Off by default (record from the very first
     /// packet, which is what synthetic pktgen-style traffic needs).
     handshake_aware: bool,
+}
+
+impl Default for PacketClassifier {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_CLASSIFIER_SHARDS)
+    }
 }
 
 /// Classifier verdict for one packet.
@@ -95,10 +113,34 @@ pub struct Classification {
 }
 
 impl PacketClassifier {
-    /// Creates an empty classifier.
+    /// Creates an empty classifier with the default shard count.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty classifier with (at least) `shards` flow-table
+    /// shards, rounded up to a power of two. Shard count never changes
+    /// steering decisions — only lock granularity.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_mask: n - 1,
+            clock: std::sync::atomic::AtomicU64::new(0),
+            handshake_aware: false,
+        }
+    }
+
+    /// Number of flow-table shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, fid: Fid) -> &Mutex<HashMap<Fid, FlowState>> {
+        &self.shards[fid.index() & self.shard_mask]
     }
 
     /// Enables the paper's §III handshake-aware initial-packet definition.
@@ -135,7 +177,21 @@ impl PacketClassifier {
         packet.set_fid(fid);
         let now = self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let is_syn = packet.tcp_flags().syn();
-        let mut flows = self.flows.lock();
+        let mut flows = self.shard(fid).lock();
+        let class = Self::steer(&mut flows, fid, tuple, now, is_syn, self.handshake_aware);
+        let closes_flow = packet.tcp_flags().closes_flow();
+        Ok(Classification { fid, class, closes_flow })
+    }
+
+    /// The steering decision proper, applied to one (locked) shard.
+    fn steer(
+        flows: &mut HashMap<Fid, FlowState>,
+        fid: Fid,
+        tuple: FiveTuple,
+        now: u64,
+        is_syn: bool,
+        handshake_aware: bool,
+    ) -> PacketClass {
         let state = flows.entry(fid).or_default();
         state.last_seen = now;
         let class = match state.owner {
@@ -144,7 +200,7 @@ impl PacketClassifier {
                 if existing.is_none() {
                     state.owner = Some(tuple);
                 }
-                if self.handshake_aware && is_syn && !state.recorded {
+                if handshake_aware && is_syn && !state.recorded {
                     // §III: handshake packets precede the "initial packet";
                     // they ride the original chain without recording.
                     PacketClass::Handshake
@@ -159,8 +215,97 @@ impl PacketClassifier {
         if class != PacketClass::Collision {
             state.packets += 1;
         }
-        let closes_flow = packet.tcp_flags().closes_flow();
-        Ok(Classification { fid, class, closes_flow })
+        class
+    }
+
+    /// Classifies a batch of packets, amortizing one shard-lock acquisition
+    /// per touched shard instead of one per packet.
+    ///
+    /// Equivalent to calling [`PacketClassifier::classify`] on each packet
+    /// in slice order — same clock values, same steering, same per-packet
+    /// op counts — with one deliberate difference: a packet that closes its
+    /// flow (FIN/RST, non-colliding) has its classifier entry removed
+    /// *here*, before any later packet in the batch is steered, exactly
+    /// where the sequential caller would have called
+    /// [`PacketClassifier::remove_flow`] between packets. Batch callers
+    /// must therefore NOT call `remove_flow` on the classifier again for
+    /// those packets (tearing down the Global MAT side stays the caller's
+    /// job); a second removal could delete the state of a later in-batch
+    /// packet that re-claimed the FID.
+    ///
+    /// Per-flow packet order is preserved: same flow → same FID → same
+    /// shard, and each shard processes its packets in slice order.
+    ///
+    /// # Panics
+    /// Panics if `ops.len() != packets.len()`.
+    pub fn classify_batch(
+        &self,
+        packets: &mut [Packet],
+        ops: &mut [OpCounter],
+    ) -> Vec<Result<Classification, speedybox_packet::PacketError>> {
+        assert_eq!(packets.len(), ops.len(), "one OpCounter per packet");
+        struct Pending {
+            idx: usize,
+            fid: Fid,
+            tuple: FiveTuple,
+            now: u64,
+            is_syn: bool,
+            closes: bool,
+        }
+        let mut slots: Vec<Option<Result<Classification, speedybox_packet::PacketError>>> =
+            (0..packets.len()).map(|_| None).collect();
+        let mut pending: Vec<Pending> = Vec::with_capacity(packets.len());
+        for (idx, packet) in packets.iter_mut().enumerate() {
+            match packet.five_tuple() {
+                Err(e) => slots[idx] = Some(Err(e)),
+                Ok(tuple) => {
+                    let fid = tuple.fid();
+                    ops[idx].classifications += 1;
+                    packet.set_fid(fid);
+                    pending.push(Pending {
+                        idx,
+                        fid,
+                        tuple,
+                        now: 0,
+                        is_syn: packet.tcp_flags().syn(),
+                        closes: packet.tcp_flags().closes_flow(),
+                    });
+                }
+            }
+        }
+        // One clock advance for the whole batch; packet i gets the tick it
+        // would have drawn classifying sequentially (parse failures draw
+        // none, as in the per-packet path).
+        let base = self
+            .clock
+            .fetch_add(pending.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        for (j, p) in pending.iter_mut().enumerate() {
+            p.now = base + j as u64;
+        }
+        // Group by shard, preserving slice order within each shard.
+        let mut by_shard: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (j, p) in pending.iter().enumerate() {
+            by_shard[p.fid.index() & self.shard_mask].push(j);
+        }
+        for (shard_idx, members) in by_shard.into_iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let mut flows = self.shards[shard_idx].lock();
+            for j in members {
+                let p = &pending[j];
+                let class =
+                    Self::steer(&mut flows, p.fid, p.tuple, p.now, p.is_syn, self.handshake_aware);
+                if p.closes && class != PacketClass::Collision {
+                    // Sequential teardown point: the per-packet caller
+                    // removes the flow before classifying the next packet.
+                    flows.remove(&p.fid);
+                }
+                slots[p.idx] =
+                    Some(Ok(Classification { fid: p.fid, class, closes_flow: p.closes }));
+            }
+        }
+        slots.into_iter().map(|s| s.expect("every packet classified")).collect()
     }
 
     /// Classifies by 5-tuple only (no packet mutation) — used by tests and
@@ -168,7 +313,7 @@ impl PacketClassifier {
     #[must_use]
     pub fn peek(&self, tuple: &FiveTuple) -> PacketClass {
         let fid = tuple.fid();
-        let flows = self.flows.lock();
+        let flows = self.shard(fid).lock();
         match flows.get(&fid) {
             Some(s) if s.owner == Some(*tuple) && s.recorded => PacketClass::Subsequent,
             Some(s) if s.owner == Some(*tuple) => PacketClass::Initial,
@@ -181,25 +326,25 @@ impl PacketClassifier {
     /// FIN/RST packet has finished processing). The next packet with this
     /// FID is treated as initial again.
     pub fn remove_flow(&self, fid: Fid) {
-        self.flows.lock().remove(&fid);
+        self.shard(fid).lock().remove(&fid);
     }
 
     /// Number of tracked flows.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.flows.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// True if no flows are tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.flows.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 
     /// Packets seen so far for a flow.
     #[must_use]
     pub fn packets_seen(&self, fid: Fid) -> u64 {
-        self.flows.lock().get(&fid).map_or(0, |s| s.packets)
+        self.shard(fid).lock().get(&fid).map_or(0, |s| s.packets)
     }
 
     /// The classifier's monotonic packet clock (one tick per classified
@@ -218,14 +363,18 @@ impl PacketClassifier {
     /// so tests and the simulators stay reproducible.
     pub fn expire_idle(&self, max_idle: u64) -> Vec<Fid> {
         let now = self.clock();
-        let mut flows = self.flows.lock();
-        let expired: Vec<Fid> = flows
-            .iter()
-            .filter(|(_, s)| now.saturating_sub(s.last_seen) > max_idle)
-            .map(|(&fid, _)| fid)
-            .collect();
-        for fid in &expired {
-            flows.remove(fid);
+        let mut expired = Vec::new();
+        for shard in self.shards.iter() {
+            let mut flows = shard.lock();
+            let dead: Vec<Fid> = flows
+                .iter()
+                .filter(|(_, s)| now.saturating_sub(s.last_seen) > max_idle)
+                .map(|(&fid, _)| fid)
+                .collect();
+            for fid in &dead {
+                flows.remove(fid);
+            }
+            expired.extend(dead);
         }
         expired
     }

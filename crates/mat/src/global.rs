@@ -91,22 +91,63 @@ pub enum FastPathOutcome {
     NoRule,
 }
 
+/// Default shard count for the rule table. Power of two so the shard index
+/// is a mask of the (uniformly hashed) 20-bit FID.
+pub const DEFAULT_GLOBAL_SHARDS: usize = 16;
+
+/// One lock shard of the rule table.
+type RuleShard = RwLock<HashMap<Fid, Arc<GlobalRule>>>;
+
 /// The Global MAT, shared by the classifier and all NFs of one chain.
 ///
 /// Holds the chain's Local MATs so that event-triggered rule patches can be
 /// written back and re-consolidated in place (Fig 3).
+///
+/// The rule table is split into power-of-two shards keyed by
+/// `fid & (shards - 1)`: readers of different shards never contend, writers
+/// block only their own shard, and batch processing amortizes one read-lock
+/// acquisition per shard per batch ([`GlobalMat::prefetch`]). Rule
+/// execution itself stays lock-free after the lookup — rules are handed out
+/// as `Arc<GlobalRule>` clones.
 #[derive(Debug)]
 pub struct GlobalMat {
     locals: Vec<Arc<LocalMat>>,
-    rules: RwLock<HashMap<Fid, Arc<GlobalRule>>>,
+    shards: Box<[RuleShard]>,
+    /// `shards.len() - 1`; the shard of a FID is `fid & shard_mask`.
+    shard_mask: usize,
     events: Arc<EventTable>,
 }
 
 impl GlobalMat {
-    /// Creates a Global MAT over the chain's Local MATs (chain order).
+    /// Creates a Global MAT over the chain's Local MATs (chain order), with
+    /// the default shard count.
     #[must_use]
     pub fn new(locals: Vec<Arc<LocalMat>>) -> Self {
-        Self { locals, rules: RwLock::new(HashMap::new()), events: Arc::new(EventTable::new()) }
+        Self::with_shards(locals, DEFAULT_GLOBAL_SHARDS)
+    }
+
+    /// Creates a Global MAT with (at least) `shards` rule-table shards,
+    /// rounded up to a power of two. Shard count never changes processing
+    /// results — only lock granularity.
+    #[must_use]
+    pub fn with_shards(locals: Vec<Arc<LocalMat>>, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            locals,
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_mask: n - 1,
+            events: Arc::new(EventTable::new()),
+        }
+    }
+
+    /// Number of rule-table shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, fid: Fid) -> &RuleShard {
+        &self.shards[fid.index() & self.shard_mask]
     }
 
     /// The chain's Local MATs, in chain order.
@@ -140,38 +181,38 @@ impl GlobalMat {
         let consolidated = consolidate(&actions);
         let sched = schedule(&batches);
         ops.consolidations += 1;
-        self.rules.write().insert(fid, Arc::new(GlobalRule::new(consolidated, batches, sched)));
+        self.shard(fid).write().insert(fid, Arc::new(GlobalRule::new(consolidated, batches, sched)));
     }
 
     /// The installed rule for a flow, if any.
     #[must_use]
     pub fn rule(&self, fid: Fid) -> Option<Arc<GlobalRule>> {
-        self.rules.read().get(&fid).cloned()
+        self.shard(fid).read().get(&fid).cloned()
     }
 
     /// True if the flow has a fast-path rule.
     #[must_use]
     pub fn contains(&self, fid: Fid) -> bool {
-        self.rules.read().contains_key(&fid)
+        self.shard(fid).read().contains_key(&fid)
     }
 
     /// Number of installed fast-path rules.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.rules.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True if no rules are installed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.rules.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Removes a flow everywhere: Global MAT, all Local MATs and the Event
     /// Table ("we delete the corresponding rule from the Global MAT and all
     /// Local MATs and free the associated memory space", §VI-B).
     pub fn remove_flow(&self, fid: Fid) {
-        self.rules.write().remove(&fid);
+        self.shard(fid).write().remove(&fid);
         for local in &self.locals {
             local.remove(fid);
         }
@@ -211,19 +252,144 @@ impl GlobalMat {
         rule
     }
 
+    /// Snapshots the installed rules for `fids`, acquiring each touched
+    /// shard's read lock once — the batch fast path's amortized lookup.
+    /// FIDs without a rule are simply absent from the result. Duplicate
+    /// FIDs are fine.
+    #[must_use]
+    pub fn prefetch(&self, fids: &[Fid]) -> HashMap<Fid, Arc<GlobalRule>> {
+        let mut by_shard: Vec<Vec<Fid>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for &fid in fids {
+            by_shard[fid.index() & self.shard_mask].push(fid);
+        }
+        let mut cache = HashMap::with_capacity(fids.len());
+        for (shard_idx, members) in by_shard.into_iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let rules = self.shards[shard_idx].read();
+            for fid in members {
+                if let Some(rule) = rules.get(&fid) {
+                    cache.insert(fid, Arc::clone(rule));
+                }
+            }
+        }
+        cache
+    }
+
+    /// [`GlobalMat::prepare`] against a prefetched rule handle: identical
+    /// op accounting and event handling, but the initial existence check
+    /// and final rule fetch are served from `cached` instead of the shard
+    /// lock. Returns the up-to-date rule plus whether an event fired (a
+    /// fired event re-consolidates the rule, so the caller's cache entry
+    /// for this FID is stale from then on).
+    ///
+    /// `cached` must reflect the table's current entry for `fid` (`None` =
+    /// no rule installed); the caller is responsible for invalidating its
+    /// cache whenever it installs, patches or removes the flow's rule.
+    pub fn prepare_cached(
+        &self,
+        fid: Fid,
+        cached: Option<&Arc<GlobalRule>>,
+        ops: &mut OpCounter,
+    ) -> (Option<Arc<GlobalRule>>, bool) {
+        ops.mat_lookups += 1;
+        let Some(cached) = cached else {
+            return (None, false);
+        };
+        let fired = self.events.check(fid, ops);
+        if !fired.is_empty() {
+            for (nf, patch) in fired {
+                if let Some(local) = self.locals.iter().find(|l| l.nf() == nf) {
+                    if let Some(actions) = patch.header_actions {
+                        local.set_header_actions(fid, actions);
+                    }
+                    if let Some(funcs) = patch.state_functions {
+                        local.set_state_functions(fid, funcs);
+                    }
+                }
+            }
+            // Fig 3: "a new consolidated global MAT is computed".
+            self.install(fid, ops);
+            let rule = self.rule(fid);
+            if let Some(r) = &rule {
+                r.record_hit();
+            }
+            return (rule, true);
+        }
+        cached.record_hit();
+        (Some(Arc::clone(cached)), false)
+    }
+
+    /// Processes a batch of subsequent packets on the fast path, acquiring
+    /// each touched shard's read lock once up front ([`GlobalMat::prefetch`])
+    /// instead of twice per packet.
+    ///
+    /// Equivalent to calling [`GlobalMat::process`] on each packet in slice
+    /// order — same outcomes, same per-packet op counts, same Event Table
+    /// firings. Packets are processed in slice order, so per-flow ordering
+    /// and event sequencing are preserved; a FID whose cached handle goes
+    /// stale (event fired mid-batch) falls back to the locked
+    /// [`GlobalMat::prepare`] for the rest of the batch.
+    ///
+    /// # Errors
+    /// Returns [`MatError::Packet`] if header surgery fails, and
+    /// [`MatError::InvalidActionSequence`] if a packet carries no FID; the
+    /// error aborts the remainder of the batch.
+    ///
+    /// # Panics
+    /// Panics if `ops.len() != packets.len()`.
+    pub fn process_batch(
+        &self,
+        packets: &mut [Packet],
+        ops: &mut [OpCounter],
+    ) -> Result<Vec<FastPathOutcome>> {
+        assert_eq!(packets.len(), ops.len(), "one OpCounter per packet");
+        let fids: Vec<Option<Fid>> = packets.iter().map(speedybox_packet::Packet::fid).collect();
+        let wanted: Vec<Fid> = fids.iter().flatten().copied().collect();
+        let cache = self.prefetch(&wanted);
+        let mut stale: std::collections::HashSet<Fid> = std::collections::HashSet::new();
+        let mut outcomes = Vec::with_capacity(packets.len());
+        for (i, packet) in packets.iter_mut().enumerate() {
+            let fid = fids[i].ok_or(MatError::InvalidActionSequence("packet has no FID"))?;
+            let rule = if stale.contains(&fid) {
+                self.prepare(fid, &mut ops[i])
+            } else {
+                let (rule, fired) = self.prepare_cached(fid, cache.get(&fid), &mut ops[i]);
+                if fired {
+                    stale.insert(fid);
+                }
+                rule
+            };
+            let Some(rule) = rule else {
+                outcomes.push(FastPathOutcome::NoRule);
+                continue;
+            };
+            if !rule.consolidated.apply(packet, &mut ops[i])? {
+                outcomes.push(FastPathOutcome::Dropped);
+                continue;
+            }
+            rule.execute_batches(packet, fid, &mut ops[i]);
+            outcomes.push(FastPathOutcome::Forwarded);
+        }
+        Ok(outcomes)
+    }
+
     /// A human-readable dump of every installed rule — the operator's view
     /// of the fast path (flow, consolidated action, batches, schedule,
     /// hits).
     #[must_use]
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
-        let rules = self.rules.read();
-        let mut fids: Vec<&Fid> = rules.keys().collect();
-        fids.sort();
+        let mut rules: Vec<(Fid, Arc<GlobalRule>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.read();
+            rules.extend(map.iter().map(|(&fid, r)| (fid, Arc::clone(r))));
+        }
+        rules.sort_by_key(|(fid, _)| *fid);
         let mut out = String::new();
         let _ = writeln!(out, "global MAT: {} rule(s)", rules.len());
-        for fid in fids {
-            let r = &rules[fid];
+        for (fid, r) in &rules {
             let action = if r.consolidated.is_drop() {
                 "drop".to_owned()
             } else if r.consolidated.is_noop() {

@@ -63,7 +63,7 @@ pub mod state_fn;
 
 pub use action::{EncapSpec, HeaderAction};
 pub use api::NfInstrument;
-pub use classifier::{PacketClass, PacketClassifier};
+pub use classifier::{Classification, PacketClass, PacketClassifier};
 pub use consolidate::{consolidate, ConsolidatedAction};
 pub use error::MatError;
 pub use event::{Event, EventTable, RulePatch};

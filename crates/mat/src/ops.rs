@@ -9,12 +9,11 @@
 //! which makes every figure deterministic and unit-testable while keeping
 //! the paper's *ratios* (the actual claims) intact.
 
-use serde::{Deserialize, Serialize};
 
 /// Counts of abstract operations performed while processing packets.
 ///
 /// Additive: combine counters from pipeline stages with `+`/`+=`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounter {
     /// Full header parses (Ethernet+IPv4+L4).
     pub parses: u64,

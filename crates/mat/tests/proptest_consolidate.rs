@@ -2,14 +2,18 @@
 //! scheduler — the paper's central correctness claims.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use speedybox_mat::action::{EncapSpec, HeaderAction};
+use speedybox_mat::classifier::{PacketClass, PacketClassifier};
 use speedybox_mat::consolidate::{consolidate, xor_compose_all};
+use speedybox_mat::global::GlobalMat;
+use speedybox_mat::local::{LocalMat, NfId};
 use speedybox_mat::ops::OpCounter;
 use speedybox_mat::parallel::{can_parallelize, schedule_batches};
 use speedybox_mat::state_fn::PayloadAccess;
-use speedybox_packet::{HeaderField, Packet, PacketBuilder};
+use speedybox_packet::{Fid, HeaderField, Packet, PacketBuilder, TcpFlags};
 
 fn arb_field() -> impl Strategy<Value = HeaderField> {
     prop::sample::select(vec![
@@ -208,5 +212,79 @@ proptest! {
         let mut via = base_packet();
         consolidate(std::slice::from_ref(&action)).apply(&mut via, &mut ops).unwrap();
         prop_assert_eq!(direct.as_bytes(), via.as_bytes());
+    }
+
+    /// Shard-invariance: the shard count of the Packet Classifier and the
+    /// Global MAT is pure lock granularity. Driving the same interleaved
+    /// flow mix (including FIN teardowns) through 1-, 4- and 16-shard
+    /// tables yields identical classifications, identical install/hit
+    /// traces, and identical final table contents.
+    #[test]
+    fn shard_count_never_changes_results(
+        flows in prop::collection::vec((1024u16..u16::MAX, 1usize..6), 1..8),
+        close_flows in any::<bool>(),
+    ) {
+        // Interleave flows round-robin; optionally end each with a FIN.
+        let mut stream = Vec::new();
+        let longest = flows.iter().map(|&(_, n)| n).max().unwrap_or(0);
+        for round in 0..longest {
+            for &(port, n) in &flows {
+                if round < n {
+                    let mut b = PacketBuilder::tcp();
+                    b.src(format!("10.7.0.1:{port}").parse().unwrap())
+                        .dst("10.8.0.1:80".parse().unwrap())
+                        .seq(round as u32)
+                        .payload(b"shard-invariance");
+                    if close_flows && round == n - 1 {
+                        b.flags(TcpFlags::FIN | TcpFlags::ACK);
+                    }
+                    stream.push(b.build());
+                }
+            }
+        }
+
+        // One run = classify the stream and mirror the platform's MAT
+        // bookkeeping (install on Initial, prepare on Subsequent, remove on
+        // FIN); the observable trace must not depend on the shard count.
+        let run = |shards: usize| -> (Vec<(Fid, PacketClass, bool, u64)>, usize, usize, String) {
+            let classifier = PacketClassifier::with_shards(shards);
+            let local = Arc::new(LocalMat::new(NfId::new(0)));
+            let gm = GlobalMat::with_shards(vec![local.clone()], shards);
+            let mut trace = Vec::new();
+            let mut ops = OpCounter::default();
+            for p in &stream {
+                let mut p = p.clone();
+                let c = classifier.classify(&mut p, &mut ops).unwrap();
+                match c.class {
+                    PacketClass::Initial => {
+                        local.set_header_actions(c.fid, vec![HeaderAction::Forward]);
+                        gm.install(c.fid, &mut ops);
+                    }
+                    PacketClass::Subsequent | PacketClass::Handshake => {
+                        let _ = gm.prepare(c.fid, &mut ops);
+                    }
+                    PacketClass::Collision => {}
+                }
+                let hits = gm.rule(c.fid).map_or(0, |r| r.hits());
+                trace.push((c.fid, c.class, c.closes_flow, hits));
+                if c.closes_flow && c.class != PacketClass::Collision {
+                    classifier.remove_flow(c.fid);
+                    gm.remove_flow(c.fid);
+                }
+            }
+            (trace, classifier.len(), gm.len(), gm.dump())
+        };
+
+        let baseline = run(1);
+        for shards in [4, 16] {
+            let other = run(shards);
+            prop_assert_eq!(&baseline.0, &other.0, "trace diverged at {} shards", shards);
+            prop_assert_eq!(baseline.1, other.1, "classifier len at {} shards", shards);
+            prop_assert_eq!(baseline.2, other.2, "global len at {} shards", shards);
+            prop_assert_eq!(&baseline.3, &other.3, "MAT dump at {} shards", shards);
+        }
+        // Shard counts round up to the next power of two but never alter
+        // capacity semantics.
+        prop_assert_eq!(PacketClassifier::with_shards(3).shard_count(), 4);
     }
 }

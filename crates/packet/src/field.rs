@@ -8,7 +8,6 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use serde::{Deserialize, Serialize};
 
 /// A modifiable packet-header field.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// participate in consolidation ordering; the "trailing" fields (TTL, ToS,
 /// checksums are recomputed rather than set) are fixed up after consolidation
 /// as described in paper §V-B.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum HeaderField {
     /// Ethernet source MAC address.
     SrcMac,
@@ -100,7 +99,7 @@ impl fmt::Display for HeaderField {
 /// A value written into a [`HeaderField`].
 ///
 /// Stored as a u64 wide enough for a MAC address; conversions validate width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FieldValue(u64);
 
 impl FieldValue {

@@ -8,7 +8,6 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use serde::{Deserialize, Serialize};
 
 /// Width of a SpeedyBox flow ID in bits (paper §VI-B: "hashes the five tuple
 /// of a packet header to a 20 bits FID").
@@ -18,7 +17,7 @@ pub const FID_BITS: u32 = 20;
 pub const FID_MASK: u32 = (1 << FID_BITS) - 1;
 
 /// Transport protocol carried in the IPv4 header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Protocol {
     /// TCP (IP protocol number 6).
@@ -55,7 +54,7 @@ impl fmt::Display for Protocol {
 }
 
 /// The classic connection 5-tuple identifying a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
     /// Source IPv4 address.
     pub src_ip: Ipv4Addr,
@@ -145,7 +144,7 @@ impl fmt::Display for FiveTuple {
 /// lets Local MATs and the Global MAT agree on flow identity (paper §III,
 /// §VI-B).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct Fid(u32);
 

@@ -8,13 +8,12 @@
 
 use std::io::{BufRead, Write};
 
-use serde::{Deserialize, Serialize};
 
 use crate::packet::Packet;
 use crate::Result;
 
 /// One recorded packet: arrival time (ns since trace start) plus frame bytes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Nanoseconds since the start of the trace.
     pub timestamp_ns: u64,
@@ -39,7 +38,7 @@ impl TraceRecord {
 }
 
 /// An in-memory packet trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     records: Vec<TraceRecord>,
 }

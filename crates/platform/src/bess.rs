@@ -7,13 +7,28 @@
 //! chain, subsequent packets the Global MAT executor — and that is exactly
 //! [`BessChain::process`].
 
-use speedybox_mat::{OpCounter, PacketClass};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use speedybox_mat::{GlobalRule, OpCounter, PacketClass};
 use speedybox_nf::Nf;
-use speedybox_packet::Packet;
+use speedybox_packet::{Fid, Packet};
 
 use crate::cycles::CycleModel;
 use crate::metrics::{PathKind, ProcessedPacket, RunStats};
-use crate::runtime::{classify, fast_path, notify_flow_closed, tag_ingress, traverse_chain, SboxConfig, SpeedyBox};
+use crate::runtime::{
+    classify, fast_path, fast_path_cached, notify_flow_closed, tag_ingress, traverse_chain,
+    SboxConfig, SpeedyBox,
+};
+
+/// Per-batch fast-path state: rule handles prefetched with one read-lock
+/// acquisition per shard, plus the FIDs whose cached handle went stale
+/// (rule installed, patched or removed mid-batch — those fall back to the
+/// locked lookup for the rest of the batch).
+pub(crate) struct BatchState {
+    pub(crate) cache: HashMap<Fid, Arc<GlobalRule>>,
+    pub(crate) stale: HashSet<Fid>,
+}
 
 /// A service chain running in the BESS-style single-process environment.
 #[derive(Debug)]
@@ -27,7 +42,11 @@ impl BessChain {
     /// The original (uninstrumented) chain — the paper's `BESS` baseline.
     #[must_use]
     pub fn original(nfs: Vec<Box<dyn Nf>>) -> Self {
-        Self { nfs, model: CycleModel::new(), sbox: None }
+        Self {
+            nfs,
+            model: CycleModel::new(),
+            sbox: None,
+        }
     }
 
     /// The chain with SpeedyBox enabled — the paper's `BESS w/ SBox`.
@@ -40,7 +59,11 @@ impl BessChain {
     #[must_use]
     pub fn speedybox_with(nfs: Vec<Box<dyn Nf>>, config: SboxConfig) -> Self {
         let sbox = SpeedyBox::new(nfs.len(), config);
-        Self { nfs, model: CycleModel::new(), sbox: Some(sbox) }
+        Self {
+            nfs,
+            model: CycleModel::new(),
+            sbox: Some(sbox),
+        }
     }
 
     /// Replaces the cycle model (calibration experiments).
@@ -82,12 +105,10 @@ impl BessChain {
                 let mut entry_ops = OpCounter::default();
                 tag_ingress(&mut packet, &mut entry_ops);
                 let res = traverse_chain(&mut self.nfs, None, &mut packet, &self.model);
-                let traversed =
-                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                let traversed = res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
                 let hops = traversed * self.model.bess_module_hop;
-                let cycles = self.model.cycles(&entry_ops)
-                    + res.per_nf_cycles.iter().sum::<u64>()
-                    + hops;
+                let cycles =
+                    self.model.cycles(&entry_ops) + res.per_nf_cycles.iter().sum::<u64>() + hops;
                 let mut ops = entry_ops;
                 ops.merge(&res.ops);
                 if packet.tcp_flags().closes_flow() {
@@ -115,16 +136,37 @@ impl BessChain {
         let mut cls_ops = OpCounter::default();
         let Ok((fid, class, closes_flow)) = classify(sbox, &mut packet, &mut cls_ops) else {
             // Unparseable packet: drop at the classifier.
-            cls_ops.drops += 1;
-            let cycles = self.model.cycles(&cls_ops);
-            return ProcessedPacket {
-                packet: None,
-                work_cycles: cycles,
-                latency_cycles: cycles,
-                path: PathKind::Initial,
-                ops: cls_ops,
-            };
+            return self.classifier_drop(cls_ops);
         };
+        self.finish_speedybox(packet, fid, class, closes_flow, cls_ops, &mut None)
+    }
+
+    fn classifier_drop(&self, mut cls_ops: OpCounter) -> ProcessedPacket {
+        cls_ops.drops += 1;
+        let cycles = self.model.cycles(&cls_ops);
+        ProcessedPacket {
+            packet: None,
+            work_cycles: cycles,
+            latency_cycles: cycles,
+            path: PathKind::Initial,
+            ops: cls_ops,
+        }
+    }
+
+    /// Everything after classification, shared by the per-packet and
+    /// batched paths. With `batch` present, fast-path step 1 is served
+    /// from the prefetched rule cache and flow teardown skips the
+    /// classifier side (already done inline by `classify_batch`).
+    fn finish_speedybox(
+        &mut self,
+        mut packet: Packet,
+        fid: Fid,
+        class: PacketClass,
+        closes_flow: bool,
+        cls_ops: OpCounter,
+        batch: &mut Option<BatchState>,
+    ) -> ProcessedPacket {
+        let sbox = self.sbox.as_ref().expect("speedybox enabled");
         let cls_cycles = self.model.cycles(&cls_ops);
 
         let outcome = match class {
@@ -138,8 +180,10 @@ impl BessChain {
                 let sbox = self.sbox.as_ref().expect("speedybox enabled");
                 let mut install_ops = OpCounter::default();
                 sbox.global.install(fid, &mut install_ops);
-                let traversed =
-                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                if let Some(bs) = batch {
+                    bs.stale.insert(fid);
+                }
+                let traversed = res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
                 let hops = traversed * self.model.bess_module_hop;
                 let cycles = cls_cycles
                     + res.per_nf_cycles.iter().sum::<u64>()
@@ -166,8 +210,7 @@ impl BessChain {
                 // connection is not yet established, so nothing is
                 // recorded either.
                 let res = traverse_chain(&mut self.nfs, None, &mut packet, &self.model);
-                let traversed =
-                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                let traversed = res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
                 let cycles = cls_cycles
                     + res.per_nf_cycles.iter().sum::<u64>()
                     + traversed * self.model.bess_module_hop;
@@ -185,7 +228,23 @@ impl BessChain {
                 }
             }
             PacketClass::Subsequent => {
-                match fast_path(sbox, &mut packet, fid, &self.model) {
+                let fp = match batch.as_mut() {
+                    Some(bs) if !bs.stale.contains(&fid) => {
+                        let (res, fired) = fast_path_cached(
+                            sbox,
+                            &mut packet,
+                            fid,
+                            &self.model,
+                            bs.cache.get(&fid),
+                        );
+                        if fired {
+                            bs.stale.insert(fid);
+                        }
+                        res
+                    }
+                    _ => fast_path(sbox, &mut packet, fid, &self.model),
+                };
+                match fp {
                     Some(res) => {
                         let mut ops = cls_ops;
                         ops.merge(&res.ops);
@@ -215,6 +274,9 @@ impl BessChain {
                         let sbox = self.sbox.as_ref().expect("speedybox enabled");
                         let mut install_ops = OpCounter::default();
                         sbox.global.install(fid, &mut install_ops);
+                        if let Some(bs) = batch {
+                            bs.stale.insert(fid);
+                        }
                         let cycles = cls_cycles
                             + res.per_nf_cycles.iter().sum::<u64>()
                             + self.model.cycles(&install_ops);
@@ -239,17 +301,101 @@ impl BessChain {
         // whose FID slot belongs to another connection.
         if closes_flow && class != PacketClass::Collision {
             let sbox = self.sbox.as_ref().expect("speedybox enabled");
-            sbox.remove_flow(fid);
+            match batch {
+                None => sbox.remove_flow(fid),
+                Some(bs) => {
+                    // The classifier entry was already removed inline by
+                    // `classify_batch`; removing it again could delete a
+                    // later in-batch packet's re-claimed flow state.
+                    sbox.global.remove_flow(fid);
+                    bs.stale.insert(fid);
+                }
+            }
             notify_flow_closed(&mut self.nfs, fid);
         }
         outcome
     }
 
-    /// Runs a sequence of packets, collecting statistics.
+    /// Processes a batch of packets, classifying them with one shard-lock
+    /// acquisition per touched shard and serving fast-path lookups from a
+    /// prefetched rule cache. Per-packet results (bytes, paths, op counts,
+    /// cycles) are identical to calling [`BessChain::process`] in order.
+    pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<ProcessedPacket> {
+        if self.sbox.is_none() {
+            return packets.into_iter().map(|p| self.process(p)).collect();
+        }
+        let mut packets = packets;
+        let mut ops = vec![OpCounter::default(); packets.len()];
+        let (classified, batch_state) = {
+            let sbox = self.sbox.as_ref().expect("speedybox enabled");
+            let classified = sbox.classifier.classify_batch(&mut packets, &mut ops);
+            let fast_fids: Vec<Fid> = classified
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .filter(|c| c.class == PacketClass::Subsequent)
+                .map(|c| c.fid)
+                .collect();
+            let cache = sbox.global.prefetch(&fast_fids);
+            (
+                classified,
+                BatchState {
+                    cache,
+                    stale: HashSet::new(),
+                },
+            )
+        };
+        let mut batch = Some(batch_state);
+        packets
+            .into_iter()
+            .zip(classified)
+            .zip(ops)
+            .map(|((pkt, cls), cls_ops)| match cls {
+                Err(_) => self.classifier_drop(cls_ops),
+                Ok(c) => {
+                    self.finish_speedybox(pkt, c.fid, c.class, c.closes_flow, cls_ops, &mut batch)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs a sequence of packets, collecting statistics. Processes in
+    /// batches of the configured [`SboxConfig::batch_size`] (per-packet
+    /// when 1 or when SpeedyBox is off).
     pub fn run(&mut self, packets: impl IntoIterator<Item = Packet>) -> RunStats {
+        let batch_size = self.sbox.as_ref().map_or(1, |s| s.config.batch_size);
+        if batch_size > 1 {
+            return self.run_batched(packets, batch_size);
+        }
         let mut stats = RunStats::default();
         for p in packets {
             stats.record(self.process(p));
+        }
+        stats
+    }
+
+    /// Runs a sequence of packets in batches of `batch_size`, collecting
+    /// statistics. Results are identical to [`BessChain::run`] — batching
+    /// only amortizes table-lock acquisitions.
+    pub fn run_batched(
+        &mut self,
+        packets: impl IntoIterator<Item = Packet>,
+        batch_size: usize,
+    ) -> RunStats {
+        let batch_size = batch_size.max(1);
+        let mut stats = RunStats::default();
+        let mut buf = Vec::with_capacity(batch_size);
+        for p in packets {
+            buf.push(p);
+            if buf.len() == batch_size {
+                for outcome in self.process_batch(std::mem::take(&mut buf)) {
+                    stats.record(outcome);
+                }
+            }
+        }
+        if !buf.is_empty() {
+            for outcome in self.process_batch(buf) {
+                stats.record(outcome);
+            }
         }
         stats
     }
@@ -276,7 +422,9 @@ mod tests {
     }
 
     fn fw_chain(n: usize) -> Vec<Box<dyn Nf>> {
-        (0..n).map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>).collect()
+        (0..n)
+            .map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>)
+            .collect()
     }
 
     #[test]
@@ -356,8 +504,7 @@ mod tests {
     fn dropped_flows_drop_early_on_fast_path() {
         use speedybox_nf::ipfilter::{AclRule, IpFilter};
         let deny = IpFilter::new(vec![AclRule::deny_dst("10.0.0.2".parse().unwrap())]);
-        let nfs: Vec<Box<dyn Nf>> =
-            vec![Box::new(IpFilter::pass_through(30)), Box::new(deny)];
+        let nfs: Vec<Box<dyn Nf>> = vec![Box::new(IpFilter::pass_through(30)), Box::new(deny)];
         let mut chain = BessChain::speedybox(nfs);
         let stats = chain.run(packets(1000, 10));
         assert_eq!(stats.delivered, 0);

@@ -13,7 +13,6 @@
 //! * initial packets cost several thousand cycles (ACL linear match for new
 //!   flows, Fig 4's `init` bars).
 
-use serde::{Deserialize, Serialize};
 use speedybox_mat::OpCounter;
 
 /// Per-operation cycle costs.
@@ -32,7 +31,7 @@ use speedybox_mat::OpCounter;
 /// // 2.0 GHz testbed clock: 2000 cycles per microsecond.
 /// assert_eq!(model.micros(4000), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CycleModel {
     /// Full header parse (Ethernet+IPv4+L4).
     pub parse: u64,

@@ -59,4 +59,4 @@ pub use cycles::CycleModel;
 pub use metrics::{PathKind, ProcessedPacket, RunStats};
 pub use onvm::OnvmChain;
 pub use runtime::{SboxConfig, SpeedyBox};
-pub use threaded::{run_threaded, ThreadedOnvm, ThreadedReport};
+pub use threaded::{run_threaded, run_threaded_batched, ThreadedOnvm, ThreadedReport};

@@ -14,13 +14,19 @@
 //! [`crate::threaded`] is a real thread-per-NF implementation of the same
 //! architecture used by integration tests and wall-clock benches.
 
+use std::collections::HashSet;
+
 use speedybox_mat::{OpCounter, PacketClass};
 use speedybox_nf::Nf;
-use speedybox_packet::Packet;
+use speedybox_packet::{Fid, Packet};
 
+use crate::bess::BatchState;
 use crate::cycles::CycleModel;
 use crate::metrics::{PathKind, ProcessedPacket, RunStats};
-use crate::runtime::{classify, fast_path, notify_flow_closed, tag_ingress, traverse_chain, SboxConfig, SpeedyBox};
+use crate::runtime::{
+    classify, fast_path, fast_path_cached, notify_flow_closed, tag_ingress, traverse_chain,
+    SboxConfig, SpeedyBox,
+};
 
 /// A service chain running in the OpenNetVM-style pipelined environment.
 #[derive(Debug)]
@@ -114,8 +120,7 @@ impl OnvmChain {
                 }
                 // One ring hop into each NF reached, plus one back to TX if
                 // the packet survived.
-                let traversed =
-                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                let traversed = res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
                 let hop_count = traversed + u64::from(res.survived);
                 let mut ops = entry_ops;
                 ops.merge(&res.ops);
@@ -148,17 +153,37 @@ impl OnvmChain {
         let sbox = self.sbox.as_ref().expect("speedybox enabled");
         let mut cls_ops = OpCounter::default();
         let Ok((fid, class, closes_flow)) = classify(sbox, &mut packet, &mut cls_ops) else {
-            cls_ops.drops += 1;
-            let cycles = self.model.cycles(&cls_ops);
-            self.stage_cycles[0] += cycles;
-            return ProcessedPacket {
-                packet: None,
-                work_cycles: cycles,
-                latency_cycles: cycles,
-                path: PathKind::Initial,
-                ops: cls_ops,
-            };
+            return self.classifier_drop(cls_ops);
         };
+        self.finish_speedybox(packet, fid, class, closes_flow, cls_ops, &mut None)
+    }
+
+    fn classifier_drop(&mut self, mut cls_ops: OpCounter) -> ProcessedPacket {
+        cls_ops.drops += 1;
+        let cycles = self.model.cycles(&cls_ops);
+        self.stage_cycles[0] += cycles;
+        ProcessedPacket {
+            packet: None,
+            work_cycles: cycles,
+            latency_cycles: cycles,
+            path: PathKind::Initial,
+            ops: cls_ops,
+        }
+    }
+
+    /// Everything after classification, shared by the per-packet and
+    /// batched paths (see [`crate::bess::BessChain::finish_speedybox`]'s
+    /// twin for the batching contract).
+    fn finish_speedybox(
+        &mut self,
+        mut packet: Packet,
+        fid: Fid,
+        class: PacketClass,
+        closes_flow: bool,
+        cls_ops: OpCounter,
+        batch: &mut Option<BatchState>,
+    ) -> ProcessedPacket {
+        let sbox = self.sbox.as_ref().expect("speedybox enabled");
         let cls_cycles = self.model.cycles(&cls_ops);
         self.stage_cycles[0] += cls_cycles;
 
@@ -174,14 +199,16 @@ impl OnvmChain {
                 let sbox = self.sbox.as_ref().expect("speedybox enabled");
                 let mut install_ops = OpCounter::default();
                 sbox.global.install(fid, &mut install_ops);
+                if let Some(bs) = batch {
+                    bs.stale.insert(fid);
+                }
                 // Consolidation "involves inter-core communication": one
                 // message hop per Local MAT back to the manager (§VI-A).
                 install_ops.ring_hops += self.nfs.len() as u64;
                 let install_cycles = self.model.cycles(&install_ops);
                 self.stage_cycles[0] += install_cycles;
                 // Data-path ring hops for the packet itself.
-                let traversed =
-                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                let traversed = res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
                 let hop_count = traversed + u64::from(res.survived);
                 let mut ops = cls_ops;
                 ops.merge(&res.ops);
@@ -210,8 +237,7 @@ impl OnvmChain {
                 for (i, &c) in res.per_nf_cycles.iter().enumerate() {
                     self.stage_cycles[i + 1] += c;
                 }
-                let traversed =
-                    res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
+                let traversed = res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
                 let hop_count = traversed + u64::from(res.survived);
                 let mut ops = cls_ops;
                 ops.merge(&res.ops);
@@ -231,87 +257,205 @@ impl OnvmChain {
                     ops,
                 }
             }
-            PacketClass::Subsequent => match fast_path(sbox, &mut packet, fid, &self.model) {
-                Some(res) => {
-                    // The fast path's control part runs on the manager
-                    // core with no data-path ring hops (the R4 saving);
-                    // state-function batches are dispatched to the owning
-                    // NFs' cores, which is what keeps the manager stage —
-                    // and therefore throughput — independent of chain
-                    // depth.
-                    let dispatched: u64 = if sbox.config.parallelize_sf {
-                        res.batch_cycles.iter().map(|&(_, c)| c).sum()
-                    } else {
-                        0
-                    };
-                    self.stage_cycles[0] += res.work_cycles - dispatched;
-                    if sbox.config.parallelize_sf {
-                        for &(nf, c) in &res.batch_cycles {
-                            self.stage_cycles[nf.index() + 1] += c;
+            PacketClass::Subsequent => {
+                let fp = match batch.as_mut() {
+                    Some(bs) if !bs.stale.contains(&fid) => {
+                        let (res, fired) = fast_path_cached(
+                            sbox,
+                            &mut packet,
+                            fid,
+                            &self.model,
+                            bs.cache.get(&fid),
+                        );
+                        if fired {
+                            bs.stale.insert(fid);
+                        }
+                        res
+                    }
+                    _ => fast_path(sbox, &mut packet, fid, &self.model),
+                };
+                match fp {
+                    Some(res) => {
+                        // The fast path's control part runs on the manager
+                        // core with no data-path ring hops (the R4 saving);
+                        // state-function batches are dispatched to the owning
+                        // NFs' cores, which is what keeps the manager stage —
+                        // and therefore throughput — independent of chain
+                        // depth.
+                        let dispatched: u64 = if sbox.config.parallelize_sf {
+                            res.batch_cycles.iter().map(|&(_, c)| c).sum()
+                        } else {
+                            0
+                        };
+                        self.stage_cycles[0] += res.work_cycles - dispatched;
+                        if sbox.config.parallelize_sf {
+                            for &(nf, c) in &res.batch_cycles {
+                                self.stage_cycles[nf.index() + 1] += c;
+                            }
+                        }
+                        let mut ops = cls_ops;
+                        ops.merge(&res.ops);
+                        ProcessedPacket {
+                            packet: res.survived.then(|| {
+                                packet.clear_fid();
+                                packet
+                            }),
+                            work_cycles: cls_cycles + res.work_cycles,
+                            latency_cycles: cls_cycles + res.latency_cycles,
+                            path: PathKind::Subsequent,
+                            ops,
                         }
                     }
-                    let mut ops = cls_ops;
-                    ops.merge(&res.ops);
-                    ProcessedPacket {
-                        packet: res.survived.then(|| {
-                            packet.clear_fid();
-                            packet
-                        }),
-                        work_cycles: cls_cycles + res.work_cycles,
-                        latency_cycles: cls_cycles + res.latency_cycles,
-                        path: PathKind::Subsequent,
-                        ops,
+                    None => {
+                        let res = {
+                            let instruments = sbox.instruments.clone();
+                            traverse_chain(
+                                &mut self.nfs,
+                                Some(&instruments),
+                                &mut packet,
+                                &self.model,
+                            )
+                        };
+                        for (i, &c) in res.per_nf_cycles.iter().enumerate() {
+                            self.stage_cycles[i + 1] += c;
+                        }
+                        let sbox = self.sbox.as_ref().expect("speedybox enabled");
+                        let mut install_ops = OpCounter::default();
+                        sbox.global.install(fid, &mut install_ops);
+                        if let Some(bs) = batch {
+                            bs.stale.insert(fid);
+                        }
+                        let cycles = cls_cycles
+                            + res.per_nf_cycles.iter().sum::<u64>()
+                            + self.model.cycles(&install_ops);
+                        let mut ops = cls_ops;
+                        ops.merge(&res.ops);
+                        ProcessedPacket {
+                            packet: res.survived.then(|| {
+                                packet.clear_fid();
+                                packet
+                            }),
+                            work_cycles: cycles,
+                            latency_cycles: cycles,
+                            path: PathKind::Initial,
+                            ops,
+                        }
                     }
                 }
-                None => {
-                    let res = {
-                        let instruments = sbox.instruments.clone();
-                        traverse_chain(&mut self.nfs, Some(&instruments), &mut packet, &self.model)
-                    };
-                    for (i, &c) in res.per_nf_cycles.iter().enumerate() {
-                        self.stage_cycles[i + 1] += c;
-                    }
-                    let sbox = self.sbox.as_ref().expect("speedybox enabled");
-                    let mut install_ops = OpCounter::default();
-                    sbox.global.install(fid, &mut install_ops);
-                    let cycles = cls_cycles
-                        + res.per_nf_cycles.iter().sum::<u64>()
-                        + self.model.cycles(&install_ops);
-                    let mut ops = cls_ops;
-                    ops.merge(&res.ops);
-                    ProcessedPacket {
-                        packet: res.survived.then(|| {
-                            packet.clear_fid();
-                            packet
-                        }),
-                        work_cycles: cycles,
-                        latency_cycles: cycles,
-                        path: PathKind::Initial,
-                        ops,
-                    }
-                }
-            },
+            }
         };
 
         if closes_flow && class != PacketClass::Collision {
             let sbox = self.sbox.as_ref().expect("speedybox enabled");
-            sbox.remove_flow(fid);
+            match batch {
+                None => sbox.remove_flow(fid),
+                Some(bs) => {
+                    // The classifier entry was already removed inline by
+                    // `classify_batch`.
+                    sbox.global.remove_flow(fid);
+                    bs.stale.insert(fid);
+                }
+            }
             notify_flow_closed(&mut self.nfs, fid);
         }
         outcome
     }
 
+    /// Processes a batch of packets with amortized shard locking; results
+    /// are identical to calling [`OnvmChain::process`] in order.
+    pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<ProcessedPacket> {
+        if self.sbox.is_none() {
+            return packets.into_iter().map(|p| self.process(p)).collect();
+        }
+        let mut packets = packets;
+        let mut ops = vec![OpCounter::default(); packets.len()];
+        let (classified, batch_state) = {
+            let sbox = self.sbox.as_ref().expect("speedybox enabled");
+            let classified = sbox.classifier.classify_batch(&mut packets, &mut ops);
+            let fast_fids: Vec<Fid> = classified
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .filter(|c| c.class == PacketClass::Subsequent)
+                .map(|c| c.fid)
+                .collect();
+            let cache = sbox.global.prefetch(&fast_fids);
+            (
+                classified,
+                BatchState {
+                    cache,
+                    stale: HashSet::new(),
+                },
+            )
+        };
+        let mut batch = Some(batch_state);
+        packets
+            .into_iter()
+            .zip(classified)
+            .zip(ops)
+            .map(|((pkt, cls), cls_ops)| match cls {
+                Err(_) => self.classifier_drop(cls_ops),
+                Ok(c) => {
+                    self.finish_speedybox(pkt, c.fid, c.class, c.closes_flow, cls_ops, &mut batch)
+                }
+            })
+            .collect()
+    }
+
     /// Runs a sequence of packets, collecting statistics (including the
     /// per-stage cycle totals used for the pipelined rate). Stage totals
-    /// cover only this run, so warmup runs don't skew the rate.
+    /// cover only this run, so warmup runs don't skew the rate. Processes
+    /// in batches of the configured [`SboxConfig::batch_size`] (per-packet
+    /// when 1 or when SpeedyBox is off).
     pub fn run(&mut self, packets: impl IntoIterator<Item = Packet>) -> RunStats {
+        let batch_size = self.sbox.as_ref().map_or(1, |s| s.config.batch_size);
+        if batch_size > 1 {
+            return self.run_batched(packets, batch_size);
+        }
         let before = self.stage_cycles.clone();
         let mut stats = RunStats::default();
         for p in packets {
             stats.record(self.process(p));
         }
-        stats.stage_cycles =
-            self.stage_cycles.iter().zip(&before).map(|(a, b)| a - b).collect();
+        stats.stage_cycles = self
+            .stage_cycles
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a - b)
+            .collect();
+        stats
+    }
+
+    /// Runs a sequence of packets in batches of `batch_size`; results are
+    /// identical to [`OnvmChain::run`] — batching only amortizes
+    /// table-lock acquisitions.
+    pub fn run_batched(
+        &mut self,
+        packets: impl IntoIterator<Item = Packet>,
+        batch_size: usize,
+    ) -> RunStats {
+        let batch_size = batch_size.max(1);
+        let before = self.stage_cycles.clone();
+        let mut stats = RunStats::default();
+        let mut buf = Vec::with_capacity(batch_size);
+        for p in packets {
+            buf.push(p);
+            if buf.len() == batch_size {
+                for outcome in self.process_batch(std::mem::take(&mut buf)) {
+                    stats.record(outcome);
+                }
+            }
+        }
+        if !buf.is_empty() {
+            for outcome in self.process_batch(buf) {
+                stats.record(outcome);
+            }
+        }
+        stats.stage_cycles = self
+            .stage_cycles
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a - b)
+            .collect();
         stats
     }
 }
@@ -336,32 +480,55 @@ mod tests {
     }
 
     fn fw_chain(n: usize) -> Vec<Box<dyn Nf>> {
-        (0..n).map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>).collect()
+        (0..n)
+            .map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>)
+            .collect()
     }
 
     #[test]
     fn baseline_latency_grows_with_chain_length() {
-        let l3 = OnvmChain::original(fw_chain(3)).run(packets(1000, 10)).mean_latency_cycles();
-        let l1 = OnvmChain::original(fw_chain(1)).run(packets(1000, 10)).mean_latency_cycles();
-        assert!(l3 > 2.0 * l1, "pipelined latency must grow with length: {l1} vs {l3}");
+        let l3 = OnvmChain::original(fw_chain(3))
+            .run(packets(1000, 10))
+            .mean_latency_cycles();
+        let l1 = OnvmChain::original(fw_chain(1))
+            .run(packets(1000, 10))
+            .mean_latency_cycles();
+        assert!(
+            l3 > 2.0 * l1,
+            "pipelined latency must grow with length: {l1} vs {l3}"
+        );
     }
 
     #[test]
     fn baseline_rate_is_stable_across_lengths() {
         let model = CycleModel::new();
-        let r1 = OnvmChain::original(fw_chain(1)).run(packets(1000, 50)).pipelined_rate_mpps(&model);
-        let r5 = OnvmChain::original(fw_chain(5)).run(packets(1000, 50)).pipelined_rate_mpps(&model);
+        let r1 = OnvmChain::original(fw_chain(1))
+            .run(packets(1000, 50))
+            .pipelined_rate_mpps(&model);
+        let r5 = OnvmChain::original(fw_chain(5))
+            .run(packets(1000, 50))
+            .pipelined_rate_mpps(&model);
         // Identical NFs: bottleneck stage cost unchanged -> rate ~flat.
-        assert!((r1 - r5).abs() / r1 < 0.15, "pipelined rate should be ~flat: {r1} vs {r5}");
+        assert!(
+            (r1 - r5).abs() / r1 < 0.15,
+            "pipelined rate should be ~flat: {r1} vs {r5}"
+        );
     }
 
     #[test]
     fn speedybox_latency_is_flat_across_lengths() {
         let pkts = packets(1000, 100);
-        let l1 = OnvmChain::speedybox(fw_chain(1)).run(pkts.clone()).mean_latency_cycles();
-        let l5 = OnvmChain::speedybox(fw_chain(5)).run(pkts).mean_latency_cycles();
+        let l1 = OnvmChain::speedybox(fw_chain(1))
+            .run(pkts.clone())
+            .mean_latency_cycles();
+        let l5 = OnvmChain::speedybox(fw_chain(5))
+            .run(pkts)
+            .mean_latency_cycles();
         // Subsequent packets dominate; their cost is length-independent.
-        assert!(l5 < 1.6 * l1, "SpeedyBox latency must be ~flat: {l1} vs {l5}");
+        assert!(
+            l5 < 1.6 * l1,
+            "SpeedyBox latency must be ~flat: {l1} vs {l5}"
+        );
     }
 
     #[test]
@@ -369,15 +536,24 @@ mod tests {
         // The ring hops removed by consolidation are ONVM-only costs, so
         // the relative latency cut should be at least as large as BESS's.
         let pkts = packets(1000, 100);
-        let onvm_orig = OnvmChain::original(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
-        let onvm_sbox = OnvmChain::speedybox(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
-        let bess_orig =
-            crate::bess::BessChain::original(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
-        let bess_sbox =
-            crate::bess::BessChain::speedybox(fw_chain(3)).run(pkts).mean_latency_cycles();
+        let onvm_orig = OnvmChain::original(fw_chain(3))
+            .run(pkts.clone())
+            .mean_latency_cycles();
+        let onvm_sbox = OnvmChain::speedybox(fw_chain(3))
+            .run(pkts.clone())
+            .mean_latency_cycles();
+        let bess_orig = crate::bess::BessChain::original(fw_chain(3))
+            .run(pkts.clone())
+            .mean_latency_cycles();
+        let bess_sbox = crate::bess::BessChain::speedybox(fw_chain(3))
+            .run(pkts)
+            .mean_latency_cycles();
         let onvm_cut = 1.0 - onvm_sbox / onvm_orig;
         let bess_cut = 1.0 - bess_sbox / bess_orig;
-        assert!(onvm_cut > bess_cut, "ONVM cut {onvm_cut:.2} vs BESS cut {bess_cut:.2}");
+        assert!(
+            onvm_cut > bess_cut,
+            "ONVM cut {onvm_cut:.2} vs BESS cut {bess_cut:.2}"
+        );
     }
 
     #[test]
@@ -408,6 +584,9 @@ mod tests {
         // NF stages only saw the single initial packet.
         let manager = stats.stage_cycles[0];
         let nf_total: u64 = stats.stage_cycles[1..].iter().sum();
-        assert!(manager > nf_total, "manager {manager} should dominate NF stages {nf_total}");
+        assert!(
+            manager > nf_total,
+            "manager {manager} should dominate NF stages {nf_total}"
+        );
     }
 }

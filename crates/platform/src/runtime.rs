@@ -10,8 +10,7 @@ use std::sync::Arc;
 
 use speedybox_mat::parallel::schedule_latency;
 use speedybox_mat::{
-    EventTable, GlobalMat, LocalMat, NfId, NfInstrument, OpCounter, PacketClass,
-    PacketClassifier,
+    EventTable, GlobalMat, LocalMat, NfId, NfInstrument, OpCounter, PacketClass, PacketClassifier,
 };
 use speedybox_nf::{Nf, NfContext, NfVerdict};
 use speedybox_packet::{Fid, Packet};
@@ -33,11 +32,26 @@ pub struct SboxConfig {
     /// first post-handshake packet records the flow's rule. Off by
     /// default.
     pub handshake_aware: bool,
+    /// Fast-path batch size: environments classify and process packets in
+    /// groups of this many, amortizing one table-lock acquisition per
+    /// shard per batch. `1` (the default) is the per-packet path; results
+    /// are identical at any batch size — only lock traffic changes.
+    pub batch_size: usize,
+    /// Flow/rule table shard count for the classifier and the Global MAT
+    /// (rounded up to a power of two). Sharding never changes results —
+    /// only lock granularity under concurrency.
+    pub shards: usize,
 }
 
 impl Default for SboxConfig {
     fn default() -> Self {
-        Self { consolidate_ha: true, parallelize_sf: true, handshake_aware: false }
+        Self {
+            consolidate_ha: true,
+            parallelize_sf: true,
+            handshake_aware: false,
+            batch_size: 1,
+            shards: speedybox_mat::classifier::DEFAULT_CLASSIFIER_SHARDS,
+        }
     }
 }
 
@@ -58,19 +72,25 @@ impl SpeedyBox {
     /// Creates SpeedyBox state for a chain of `nf_count` NFs.
     #[must_use]
     pub fn new(nf_count: usize, config: SboxConfig) -> Self {
-        let locals: Vec<Arc<LocalMat>> =
-            (0..nf_count).map(|i| Arc::new(LocalMat::new(NfId::new(i)))).collect();
-        let global = GlobalMat::new(locals.clone());
+        let locals: Vec<Arc<LocalMat>> = (0..nf_count)
+            .map(|i| Arc::new(LocalMat::new(NfId::new(i))))
+            .collect();
+        let global = GlobalMat::with_shards(locals.clone(), config.shards);
         let events: Arc<EventTable> = Arc::clone(global.events());
         let instruments = locals
             .iter()
             .map(|l| NfInstrument::new(Arc::clone(l), Arc::clone(&events)))
             .collect();
-        let mut classifier = PacketClassifier::new();
+        let mut classifier = PacketClassifier::with_shards(config.shards);
         if config.handshake_aware {
             classifier = classifier.handshake_aware();
         }
-        Self { classifier, global, instruments, config }
+        Self {
+            classifier,
+            global,
+            instruments,
+            config,
+        }
     }
 
     /// Tears down a closed flow across all tables.
@@ -136,7 +156,11 @@ pub fn traverse_chain(
         total_ops.merge(&ops);
         survived = verdict.survives();
     }
-    SlowPathResult { survived, per_nf_cycles, ops: total_ops }
+    SlowPathResult {
+        survived,
+        per_nf_cycles,
+        ops: total_ops,
+    }
 }
 
 /// Result of a fast-path execution.
@@ -170,12 +194,51 @@ pub fn fast_path(
     // Step 1: event check + rule lookup (re-consolidates if events fired).
     let mut ctl_ops = OpCounter::default();
     let rule = sbox.global.prepare(fid, &mut ctl_ops)?;
+    Some(fast_path_execute(sbox, packet, fid, model, &rule, ctl_ops))
+}
+
+/// [`fast_path`] against a prefetched rule handle (see
+/// [`GlobalMat::prepare_cached`](speedybox_mat::GlobalMat::prepare_cached)):
+/// identical results and op accounting, but step 1's table lookups are
+/// served from `cached`. Returns the result plus whether an event fired —
+/// a fired event re-consolidates the rule, so the caller must treat its
+/// cache entry for this FID as stale afterwards.
+pub fn fast_path_cached(
+    sbox: &SpeedyBox,
+    packet: &mut Packet,
+    fid: Fid,
+    model: &CycleModel,
+    cached: Option<&Arc<speedybox_mat::GlobalRule>>,
+) -> (Option<FastPathResult>, bool) {
+    let mut ctl_ops = OpCounter::default();
+    let (rule, fired) = sbox.global.prepare_cached(fid, cached, &mut ctl_ops);
+    match rule {
+        Some(rule) => (
+            Some(fast_path_execute(sbox, packet, fid, model, &rule, ctl_ops)),
+            fired,
+        ),
+        None => (None, fired),
+    }
+}
+
+/// Steps 2-3 of the fast path, shared by the locked and cached step-1
+/// variants.
+fn fast_path_execute(
+    sbox: &SpeedyBox,
+    packet: &mut Packet,
+    fid: Fid,
+    model: &CycleModel,
+    rule: &speedybox_mat::GlobalRule,
+    ctl_ops: OpCounter,
+) -> FastPathResult {
     let ctl_cycles = model.cycles(&ctl_ops);
 
     // Step 2: header actions.
     let mut ha_ops = OpCounter::default();
     let survived = if sbox.config.consolidate_ha {
-        rule.consolidated.apply(packet, &mut ha_ops).unwrap_or(false)
+        rule.consolidated
+            .apply(packet, &mut ha_ops)
+            .unwrap_or(false)
     } else {
         // Ablation: replay each NF's recorded header actions sequentially,
         // paying the per-NF re-parse the consolidation would have removed.
@@ -202,13 +265,13 @@ pub fn fast_path(
         let mut ops = ctl_ops;
         ops.merge(&ha_ops);
         let cycles = ctl_cycles + ha_cycles;
-        return Some(FastPathResult {
+        return FastPathResult {
             survived: false,
             work_cycles: cycles,
             latency_cycles: cycles,
             ops,
             batch_cycles: Vec::new(),
-        });
+        };
     }
 
     // Step 3: state-function batches, costed per batch so the Table I
@@ -238,13 +301,13 @@ pub fn fast_path(
         .zip(&batch_cycles)
         .map(|(b, &c)| (b.nf, c))
         .collect();
-    Some(FastPathResult {
+    FastPathResult {
         survived: true,
         work_cycles: ctl_cycles + ha_cycles + sf_work + fixed,
         latency_cycles: ctl_cycles + ha_cycles + sf_latency + fixed,
         ops,
         batch_cycles: per_batch,
-    })
+    }
 }
 
 /// Classifies a packet under SpeedyBox, returning the assigned FID, the
@@ -256,6 +319,20 @@ pub fn classify(
 ) -> Result<(Fid, PacketClass, bool), speedybox_packet::PacketError> {
     let c = sbox.classifier.classify(packet, ops)?;
     Ok((c.fid, c.class, c.closes_flow))
+}
+
+/// Classifies a batch of packets under SpeedyBox with one shard-lock
+/// acquisition per touched shard (see
+/// [`PacketClassifier::classify_batch`]). Per-packet results and op counts
+/// are identical to calling [`classify`] in slice order. Flow-closing
+/// packets have their *classifier* entry removed inline; batch callers
+/// tear down only the Global MAT side afterwards.
+pub fn classify_batch(
+    sbox: &SpeedyBox,
+    packets: &mut [Packet],
+    ops: &mut [OpCounter],
+) -> Vec<Result<speedybox_mat::Classification, speedybox_packet::PacketError>> {
+    sbox.classifier.classify_batch(packets, ops)
 }
 
 /// Notifies all NFs that a flow closed.
@@ -351,16 +428,32 @@ mod tests {
         let consolidated = SpeedyBox::new(2, SboxConfig::default());
         let mut initial = packet(1000);
         let fid = initial.fid().unwrap();
-        traverse_chain(&mut nfs, Some(&consolidated.instruments), &mut initial, &model);
+        traverse_chain(
+            &mut nfs,
+            Some(&consolidated.instruments),
+            &mut initial,
+            &model,
+        );
         let mut ops = OpCounter::default();
         consolidated.global.install(fid, &mut ops);
         let fast = fast_path(&consolidated, &mut packet(1000), fid, &model).unwrap();
 
-        let unconsolidated =
-            SpeedyBox::new(2, SboxConfig { consolidate_ha: false, parallelize_sf: true, ..SboxConfig::default() });
+        let unconsolidated = SpeedyBox::new(
+            2,
+            SboxConfig {
+                consolidate_ha: false,
+                parallelize_sf: true,
+                ..SboxConfig::default()
+            },
+        );
         let mut nfs2 = chain();
         let mut initial2 = packet(1000);
-        traverse_chain(&mut nfs2, Some(&unconsolidated.instruments), &mut initial2, &model);
+        traverse_chain(
+            &mut nfs2,
+            Some(&unconsolidated.instruments),
+            &mut initial2,
+            &model,
+        );
         let mut ops2 = OpCounter::default();
         unconsolidated.global.install(fid, &mut ops2);
         let slow = fast_path(&unconsolidated, &mut packet(1000), fid, &model).unwrap();
@@ -383,8 +476,9 @@ mod tests {
     fn drop_rule_short_circuits_fast_path() {
         let model = CycleModel::new();
         let sbox = SpeedyBox::new(1, SboxConfig::default());
-        let mut nfs: Vec<Box<dyn Nf>> =
-            vec![Box::new(SyntheticNf::forward("d").with_header_action(HeaderAction::Drop))];
+        let mut nfs: Vec<Box<dyn Nf>> = vec![Box::new(
+            SyntheticNf::forward("d").with_header_action(HeaderAction::Drop),
+        )];
         let mut initial = packet(1000);
         let fid = initial.fid().unwrap();
         let res = traverse_chain(&mut nfs, Some(&sbox.instruments), &mut initial, &model);
@@ -407,7 +501,10 @@ mod tests {
             (0..3)
                 .map(|i| {
                     Box::new(SyntheticNf::forward(format!("s{i}")).with_state_function(
-                        SyntheticSf { access: PayloadAccess::Read, scan_passes: 50 },
+                        SyntheticSf {
+                            access: PayloadAccess::Read,
+                            scan_passes: 50,
+                        },
                     )) as Box<dyn Nf>
                 })
                 .collect()
@@ -425,8 +522,15 @@ mod tests {
         };
 
         let par = run(SboxConfig::default());
-        let seq = run(SboxConfig { consolidate_ha: true, parallelize_sf: false, ..SboxConfig::default() });
-        assert_eq!(par.work_cycles, seq.work_cycles, "parallelism is free work-wise");
+        let seq = run(SboxConfig {
+            consolidate_ha: true,
+            parallelize_sf: false,
+            ..SboxConfig::default()
+        });
+        assert_eq!(
+            par.work_cycles, seq.work_cycles,
+            "parallelism is free work-wise"
+        );
         assert!(
             par.latency_cycles < seq.latency_cycles,
             "parallel latency {} must beat sequential {}",

@@ -23,7 +23,12 @@ enum Msg {
     /// A packet in flight, with its injection order, send timestamp, and
     /// whether NFs should record its flow's behaviour (false for packets
     /// whose FID collides with another flow's).
-    Packet { pkt: Packet, seq: usize, sent_at: Instant, record: bool },
+    Packet {
+        pkt: Packet,
+        seq: usize,
+        sent_at: Instant,
+        record: bool,
+    },
     /// Tear down per-flow state.
     FlowClosed(Fid),
     /// Drain and exit.
@@ -32,8 +37,15 @@ enum Msg {
 
 /// Completion record returned to the manager.
 enum Done {
-    Delivered { pkt: Packet, seq: usize, sent_at: Instant },
-    Dropped { seq: usize, sent_at: Instant },
+    Delivered {
+        pkt: Packet,
+        seq: usize,
+        sent_at: Instant,
+    },
+    Dropped {
+        seq: usize,
+        sent_at: Instant,
+    },
 }
 
 /// Result of a threaded run.
@@ -62,8 +74,36 @@ pub fn run_threaded(
     speedybox: bool,
     ring_capacity: usize,
 ) -> ThreadedReport {
+    run_threaded_batched(nfs, packets, speedybox, ring_capacity, 1)
+}
+
+/// [`run_threaded`] with the manager ingesting packets in batches of
+/// `batch_size`: classification locks each flow-table shard once per batch,
+/// and runs of consecutive fast-path packets are processed through
+/// `GlobalMat::process_batch` with prefetched rule handles. Packet
+/// outcomes are identical to `batch_size == 1`; only lock traffic (and
+/// therefore manager throughput) changes.
+///
+/// # Panics
+/// Panics if an NF thread panics.
+#[must_use]
+pub fn run_threaded_batched(
+    nfs: Vec<Box<dyn Nf>>,
+    packets: Vec<Packet>,
+    speedybox: bool,
+    ring_capacity: usize,
+    batch_size: usize,
+) -> ThreadedReport {
     let nf_count = nfs.len();
-    let sbox = speedybox.then(|| SpeedyBox::new(nf_count, SboxConfig::default()));
+    let sbox = speedybox.then(|| {
+        SpeedyBox::new(
+            nf_count,
+            SboxConfig {
+                batch_size,
+                ..SboxConfig::default()
+            },
+        )
+    });
     let total = packets.len();
 
     let (done_tx, done_rx) = bounded::<Done>(ring_capacity.max(total));
@@ -78,7 +118,12 @@ pub fn run_threaded(
         let handle = thread::spawn(move || {
             while let Ok(msg) = rx.recv() {
                 match msg {
-                    Msg::Packet { mut pkt, seq, sent_at, record } => {
+                    Msg::Packet {
+                        mut pkt,
+                        seq,
+                        sent_at,
+                        record,
+                    } => {
                         let mut ops = OpCounter::default();
                         let verdict = match instrument.as_ref().filter(|_| record) {
                             Some(inst) => {
@@ -95,8 +140,12 @@ pub fn run_threaded(
                         } else {
                             match &downstream {
                                 Some(next) => {
-                                    let _ =
-                                        next.send(Msg::Packet { pkt, seq, sent_at, record });
+                                    let _ = next.send(Msg::Packet {
+                                        pkt,
+                                        seq,
+                                        sent_at,
+                                        record,
+                                    });
                                 }
                                 None => {
                                     let _ = done.send(Done::Delivered { pkt, seq, sent_at });
@@ -133,11 +182,15 @@ pub fn run_threaded(
     let mut in_flight = 0usize;
 
     let drain_one = |done: Done,
-                         delivered: &mut Vec<Option<Packet>>,
-                         latencies: &mut Vec<u64>,
-                         dropped: &mut usize| {
+                     delivered: &mut Vec<Option<Packet>>,
+                     latencies: &mut Vec<u64>,
+                     dropped: &mut usize| {
         match done {
-            Done::Delivered { mut pkt, seq, sent_at } => {
+            Done::Delivered {
+                mut pkt,
+                seq,
+                sent_at,
+            } => {
                 latencies[seq] = sent_at.elapsed().as_nanos() as u64;
                 pkt.clear_fid();
                 delivered[seq] = Some(pkt);
@@ -149,17 +202,22 @@ pub fn run_threaded(
         }
     };
 
-    for (seq, mut pkt) in packets.into_iter().enumerate() {
-        let start = Instant::now();
-        match &sbox {
-            None => {
+    match &sbox {
+        None => {
+            for (seq, mut pkt) in packets.into_iter().enumerate() {
+                let start = Instant::now();
                 let mut ops = OpCounter::default();
                 crate::runtime::tag_ingress(&mut pkt, &mut ops);
                 let closes = pkt.tcp_flags().closes_flow();
                 let fid = pkt.fid();
                 if let Some(tx) = &first_tx {
-                    tx.send(Msg::Packet { pkt, seq, sent_at: start, record: false })
-                        .expect("ring closed");
+                    tx.send(Msg::Packet {
+                        pkt,
+                        seq,
+                        sent_at: start,
+                        record: false,
+                    })
+                    .expect("ring closed");
                     in_flight += 1;
                     if closes {
                         if let Some(fid) = fid {
@@ -179,75 +237,171 @@ pub fn run_threaded(
                     in_flight -= 1;
                 }
             }
-            Some(sbox) => {
-                let mut ops = OpCounter::default();
-                let Ok(c) = sbox.classifier.classify(&mut pkt, &mut ops) else {
-                    dropped += 1;
-                    completed += 1;
-                    continue;
-                };
-                match c.class {
-                    PacketClass::Initial | PacketClass::Collision | PacketClass::Handshake => {
-                        let record = c.class == PacketClass::Initial;
-                        match &first_tx {
-                            Some(tx) => {
-                                tx.send(Msg::Packet { pkt, seq, sent_at: start, record })
-                                    .expect("ring closed");
-                                // Block until THIS packet completes so the
-                                // rule is installed before any subsequent
-                                // packet of the flow is classified.
-                                loop {
-                                    let done = done_rx.recv().expect("NF threads alive");
-                                    let done_seq = match &done {
-                                        Done::Delivered { seq, .. } | Done::Dropped { seq, .. } => *seq,
-                                    };
-                                    drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped);
-                                    completed += 1;
-                                    if done_seq == seq {
-                                        break;
-                                    }
-                                    in_flight -= 1;
+        }
+        Some(sbox) => {
+            let batch_size = batch_size.max(1);
+            // Flushes a run of consecutive fast-path packets through the
+            // Global MAT's batched entry point (one read-lock acquisition
+            // per touched shard), then performs their FIN teardowns in
+            // order. The classifier side of each teardown already happened
+            // inline in `classify_batch`.
+            let flush_fast = |run: &mut Vec<(usize, Packet, Fid, bool)>,
+                              start: Instant,
+                              delivered: &mut Vec<Option<Packet>>,
+                              latencies_ns: &mut Vec<u64>,
+                              dropped: &mut usize,
+                              completed: &mut usize| {
+                if run.is_empty() {
+                    return;
+                }
+                let drained: Vec<(usize, Packet, Fid, bool)> = std::mem::take(run);
+                let mut meta = Vec::with_capacity(drained.len());
+                let mut pkts = Vec::with_capacity(drained.len());
+                for (seq, pkt, fid, closes) in drained {
+                    meta.push((seq, fid, closes));
+                    pkts.push(pkt);
+                }
+                let mut fp_ops = vec![OpCounter::default(); pkts.len()];
+                match sbox.global.process_batch(&mut pkts, &mut fp_ops) {
+                    Ok(outcomes) => {
+                        for ((&(seq, _, _), mut pkt), outcome) in
+                            meta.iter().zip(pkts).zip(outcomes)
+                        {
+                            match outcome {
+                                FastPathOutcome::Forwarded => {
+                                    pkt.clear_fid();
+                                    latencies_ns[seq] = start.elapsed().as_nanos() as u64;
+                                    delivered[seq] = Some(pkt);
                                 }
-                            }
-                            None => {
-                                pkt.clear_fid();
-                                latencies_ns[seq] = start.elapsed().as_nanos() as u64;
-                                delivered[seq] = Some(pkt);
-                                completed += 1;
-                            }
-                        }
-                        if record {
-                            let mut install_ops = OpCounter::default();
-                            sbox.global.install(c.fid, &mut install_ops);
-                        }
-                    }
-                    PacketClass::Subsequent => {
-                        let mut fp_ops = OpCounter::default();
-                        match sbox.global.process(&mut pkt, &mut fp_ops) {
-                            Ok(FastPathOutcome::Forwarded) => {
-                                pkt.clear_fid();
-                                latencies_ns[seq] = start.elapsed().as_nanos() as u64;
-                                delivered[seq] = Some(pkt);
-                            }
-                            Ok(FastPathOutcome::Dropped) => {
-                                latencies_ns[seq] = start.elapsed().as_nanos() as u64;
-                                dropped += 1;
-                            }
-                            Ok(FastPathOutcome::NoRule) | Err(_) => {
+                                FastPathOutcome::Dropped => {
+                                    latencies_ns[seq] = start.elapsed().as_nanos() as u64;
+                                    *dropped += 1;
+                                }
                                 // Rule missing: treat as drop (does not
-                                // occur with the blocking install above).
-                                dropped += 1;
+                                // occur with the blocking install below).
+                                FastPathOutcome::NoRule => *dropped += 1,
+                            }
+                            *completed += 1;
+                        }
+                    }
+                    Err(_) => {
+                        *dropped += meta.len();
+                        *completed += meta.len();
+                    }
+                }
+                for (_, fid, closes) in meta {
+                    if closes {
+                        sbox.global.remove_flow(fid);
+                        if let Some(tx) = &first_tx {
+                            tx.send(Msg::FlowClosed(fid)).expect("ring closed");
+                        }
+                    }
+                }
+            };
+
+            let mut iter = packets.into_iter().enumerate();
+            loop {
+                let mut chunk: Vec<(usize, Packet)> = Vec::with_capacity(batch_size);
+                for _ in 0..batch_size {
+                    match iter.next() {
+                        Some(item) => chunk.push(item),
+                        None => break,
+                    }
+                }
+                if chunk.is_empty() {
+                    break;
+                }
+                let start = Instant::now();
+                let (seqs, mut pkts): (Vec<usize>, Vec<Packet>) = chunk.into_iter().unzip();
+                let mut cls_ops = vec![OpCounter::default(); pkts.len()];
+                let classified = sbox.classifier.classify_batch(&mut pkts, &mut cls_ops);
+                // Consecutive fast-path packets accumulate here and are
+                // flushed together; any slow-path packet flushes first so
+                // overall processing order is preserved.
+                let mut fast_run: Vec<(usize, Packet, Fid, bool)> = Vec::new();
+                for ((seq, mut pkt), cls) in seqs.into_iter().zip(pkts).zip(classified) {
+                    let c = match cls {
+                        Ok(c) => c,
+                        Err(_) => {
+                            flush_fast(
+                                &mut fast_run,
+                                start,
+                                &mut delivered,
+                                &mut latencies_ns,
+                                &mut dropped,
+                                &mut completed,
+                            );
+                            dropped += 1;
+                            completed += 1;
+                            continue;
+                        }
+                    };
+                    if c.class == PacketClass::Subsequent {
+                        fast_run.push((seq, pkt, c.fid, c.closes_flow));
+                        continue;
+                    }
+                    flush_fast(
+                        &mut fast_run,
+                        start,
+                        &mut delivered,
+                        &mut latencies_ns,
+                        &mut dropped,
+                        &mut completed,
+                    );
+                    let record = c.class == PacketClass::Initial;
+                    match &first_tx {
+                        Some(tx) => {
+                            tx.send(Msg::Packet {
+                                pkt,
+                                seq,
+                                sent_at: start,
+                                record,
+                            })
+                            .expect("ring closed");
+                            // Block until THIS packet completes so the
+                            // rule is installed before any subsequent
+                            // packet of the flow is fast-pathed.
+                            loop {
+                                let done = done_rx.recv().expect("NF threads alive");
+                                let done_seq = match &done {
+                                    Done::Delivered { seq, .. } | Done::Dropped { seq, .. } => *seq,
+                                };
+                                drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped);
+                                completed += 1;
+                                if done_seq == seq {
+                                    break;
+                                }
+                                in_flight -= 1;
                             }
                         }
-                        completed += 1;
+                        None => {
+                            pkt.clear_fid();
+                            latencies_ns[seq] = start.elapsed().as_nanos() as u64;
+                            delivered[seq] = Some(pkt);
+                            completed += 1;
+                        }
+                    }
+                    if record {
+                        let mut install_ops = OpCounter::default();
+                        sbox.global.install(c.fid, &mut install_ops);
+                    }
+                    if c.closes_flow && c.class != PacketClass::Collision {
+                        // Classifier entry already removed inline by
+                        // `classify_batch`; tear down the MAT side.
+                        sbox.global.remove_flow(c.fid);
+                        if let Some(tx) = &first_tx {
+                            tx.send(Msg::FlowClosed(c.fid)).expect("ring closed");
+                        }
                     }
                 }
-                if c.closes_flow && c.class != PacketClass::Collision {
-                    sbox.remove_flow(c.fid);
-                    if let Some(tx) = &first_tx {
-                        tx.send(Msg::FlowClosed(c.fid)).expect("ring closed");
-                    }
-                }
+                flush_fast(
+                    &mut fast_run,
+                    start,
+                    &mut delivered,
+                    &mut latencies_ns,
+                    &mut dropped,
+                    &mut completed,
+                );
             }
         }
     }
@@ -292,6 +446,18 @@ impl ThreadedOnvm {
     pub fn run(nfs: Vec<Box<dyn Nf>>, packets: Vec<Packet>, speedybox: bool) -> ThreadedReport {
         run_threaded(nfs, packets, speedybox, 256)
     }
+
+    /// Convenience wrapper over [`run_threaded_batched`] with a 256-slot
+    /// ring. `batch_size == 1` is identical to [`ThreadedOnvm::run`].
+    #[must_use]
+    pub fn run_batched(
+        nfs: Vec<Box<dyn Nf>>,
+        packets: Vec<Packet>,
+        speedybox: bool,
+        batch_size: usize,
+    ) -> ThreadedReport {
+        run_threaded_batched(nfs, packets, speedybox, 256, batch_size)
+    }
 }
 
 #[cfg(test)]
@@ -306,7 +472,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 PacketBuilder::tcp()
-                    .src(format!("10.0.0.1:{}", 1000 + (i as u16 % flows)).parse().unwrap())
+                    .src(
+                        format!("10.0.0.1:{}", 1000 + (i as u16 % flows))
+                            .parse()
+                            .unwrap(),
+                    )
                     .dst("10.0.0.2:80".parse().unwrap())
                     .payload(format!("p{i}").as_bytes())
                     .build()
@@ -315,7 +485,9 @@ mod tests {
     }
 
     fn fw_chain(n: usize) -> Vec<Box<dyn Nf>> {
-        (0..n).map(|_| Box::new(IpFilter::pass_through(10)) as Box<dyn Nf>).collect()
+        (0..n)
+            .map(|_| Box::new(IpFilter::pass_through(10)) as Box<dyn Nf>)
+            .collect()
     }
 
     #[test]
@@ -348,11 +520,15 @@ mod tests {
     fn drops_happen_in_both_modes() {
         let deny: Vec<Box<dyn Nf>> = vec![
             Box::new(IpFilter::pass_through(5)),
-            Box::new(IpFilter::new(vec![AclRule::deny_dst("10.0.0.2".parse().unwrap())])),
+            Box::new(IpFilter::new(vec![AclRule::deny_dst(
+                "10.0.0.2".parse().unwrap(),
+            )])),
         ];
         let deny2: Vec<Box<dyn Nf>> = vec![
             Box::new(IpFilter::pass_through(5)),
-            Box::new(IpFilter::new(vec![AclRule::deny_dst("10.0.0.2".parse().unwrap())])),
+            Box::new(IpFilter::new(vec![AclRule::deny_dst(
+                "10.0.0.2".parse().unwrap(),
+            )])),
         ];
         let a = ThreadedOnvm::run(deny, packets(20, 2), false);
         let b = ThreadedOnvm::run(deny2, packets(20, 2), true);
@@ -392,5 +568,39 @@ mod tests {
     fn empty_chain_is_passthrough() {
         let report = ThreadedOnvm::run(vec![], packets(10, 2), false);
         assert_eq!(report.delivered.len(), 10);
+    }
+
+    #[test]
+    fn batched_outputs_identical_to_single_packet() {
+        let pkts = packets(60, 4);
+        let single = ThreadedOnvm::run(fw_chain(3), pkts.clone(), true);
+        for batch in [2, 8, 32, 128] {
+            let batched = ThreadedOnvm::run_batched(fw_chain(3), pkts.clone(), true, batch);
+            assert_eq!(
+                single.delivered.len(),
+                batched.delivered.len(),
+                "batch {batch}"
+            );
+            assert_eq!(single.dropped, batched.dropped, "batch {batch}");
+            for (x, y) in single.delivered.iter().zip(&batched.delivered) {
+                assert_eq!(x.as_bytes(), y.as_bytes(), "batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fin_closes_flows() {
+        let mon = Monitor::new();
+        let chain: Vec<Box<dyn Nf>> = vec![Box::new(mon.clone())];
+        let mut pkts = packets(6, 1);
+        pkts.push(
+            PacketBuilder::tcp()
+                .src("10.0.0.1:1000".parse().unwrap())
+                .dst("10.0.0.2:80".parse().unwrap())
+                .flags(TcpFlags::FIN | TcpFlags::ACK)
+                .build(),
+        );
+        let _ = ThreadedOnvm::run_batched(chain, pkts, true, 16);
+        assert_eq!(mon.flow_count(), 0);
     }
 }

@@ -18,6 +18,7 @@ use speedybox::packet::Packet;
 use speedybox::platform::bess::BessChain;
 use speedybox::platform::chains;
 use speedybox::platform::onvm::OnvmChain;
+use speedybox::platform::runtime::SboxConfig;
 use speedybox::platform::RunStats;
 use speedybox::stats::Summary;
 use speedybox::traffic::{Workload, WorkloadConfig};
@@ -39,6 +40,8 @@ RUN OPTIONS:
   --flows <N>         synthetic workload flows (default: 100)
   --seed <N>          workload seed (default: 1)
   --trace <FILE>      replay a trace file instead of synthesizing
+  --batch-size <N>    fast-path packets per batch (default: 1 = per-packet)
+  --shards <N>        classifier/Global-MAT lock shards, power of two (default: 16)
   --dump-mat          print the Global MAT after the run (implies --speedybox)
 
 GEN-TRACE OPTIONS:
@@ -109,12 +112,17 @@ enum Chain {
 }
 
 impl Chain {
-    fn build(env: &str, nfs: Vec<Box<dyn Nf>>, speedybox: bool) -> Result<Self, String> {
+    fn build(
+        env: &str,
+        nfs: Vec<Box<dyn Nf>>,
+        speedybox: bool,
+        config: SboxConfig,
+    ) -> Result<Self, String> {
         match (env, speedybox) {
             ("bess", false) => Ok(Chain::Bess(BessChain::original(nfs))),
-            ("bess", true) => Ok(Chain::Bess(BessChain::speedybox(nfs))),
+            ("bess", true) => Ok(Chain::Bess(BessChain::speedybox_with(nfs, config))),
             ("onvm", false) => Ok(Chain::Onvm(OnvmChain::original(nfs))),
-            ("onvm", true) => Ok(Chain::Onvm(OnvmChain::speedybox(nfs))),
+            ("onvm", true) => Ok(Chain::Onvm(OnvmChain::speedybox_with(nfs, config))),
             (other, _) => Err(format!("unknown env: {other}")),
         }
     }
@@ -166,14 +174,20 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let env = args.value("--env").unwrap_or("bess");
     let dump = args.flag("--dump-mat");
     let speedybox = args.flag("--speedybox") || dump;
+    let default_cfg = SboxConfig::default();
+    let config = SboxConfig {
+        batch_size: args.usize_value("--batch-size", default_cfg.batch_size)?,
+        shards: args.usize_value("--shards", default_cfg.shards)?,
+        ..default_cfg
+    };
     let packets = load_packets(args)?;
     println!("chain: {chain_name} on {env}, {} packets\n", packets.len());
 
     if args.flag("--compare") {
-        let mut orig = Chain::build(env, build_chain(chain_name)?, false)?;
+        let mut orig = Chain::build(env, build_chain(chain_name)?, false, config)?;
         let so = orig.run(packets.clone());
         print_run("original", &orig, &so);
-        let mut fast = Chain::build(env, build_chain(chain_name)?, true)?;
+        let mut fast = Chain::build(env, build_chain(chain_name)?, true, config)?;
         let sf = fast.run(packets);
         print_run("\nspeedybox", &fast, &sf);
         let cut = 1.0 - sf.mean_latency_cycles() / so.mean_latency_cycles();
@@ -181,7 +195,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let mut chain = Chain::build(env, build_chain(chain_name)?, speedybox)?;
+    let mut chain = Chain::build(env, build_chain(chain_name)?, speedybox, config)?;
     let stats = chain.run(packets);
     print_run(if speedybox { "speedybox" } else { "original" }, &chain, &stats);
     if dump {

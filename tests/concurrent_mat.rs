@@ -1,0 +1,263 @@
+//! Concurrency stress for the sharded Packet Classifier and Global MAT.
+//!
+//! The sharded tables claim to support concurrent manager threads: writers
+//! block only their own shard, readers of different shards never contend,
+//! and rule handles (`Arc<GlobalRule>`) stay valid across concurrent
+//! installs/removals. These tests hammer `install` / `rule` /
+//! `remove_flow` / `expire_idle` from ≥4 threads and assert the
+//! linearizable outcomes: no lost or duplicated rules, hit counters that
+//! sum exactly, and FID-collision detection that still routes colliding
+//! flows to the slow path under contention.
+
+use std::collections::{HashMap, HashSet};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::sync::Arc;
+
+use speedybox::mat::{
+    GlobalMat, HeaderAction, LocalMat, NfId, OpCounter, PacketClass, PacketClassifier,
+};
+use speedybox::packet::{Fid, FiveTuple, Packet, PacketBuilder, Protocol};
+
+const THREADS: usize = 4;
+const FLOWS_PER_THREAD: u32 = 256;
+
+/// A Global MAT over one Local MAT pre-seeded with a Forward rule for the
+/// first `flows` FIDs, so `install` consolidates real content.
+fn mat_with_locals(flows: u32, shards: usize) -> GlobalMat {
+    let local = Arc::new(LocalMat::new(NfId::new(0)));
+    for i in 0..flows {
+        local.set_header_actions(Fid::new(i), vec![HeaderAction::Forward]);
+    }
+    GlobalMat::with_shards(vec![local], shards)
+}
+
+#[test]
+fn concurrent_installs_lose_nothing() {
+    let total = THREADS as u32 * FLOWS_PER_THREAD;
+    let gm = mat_with_locals(total, 8);
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u32 {
+            let gm = &gm;
+            s.spawn(move || {
+                let mut ops = OpCounter::default();
+                for i in 0..FLOWS_PER_THREAD {
+                    let fid = Fid::new(t * FLOWS_PER_THREAD + i);
+                    gm.install(fid, &mut ops);
+                    assert!(gm.contains(fid), "own install visible immediately");
+                }
+            });
+        }
+        // Concurrent readers sweeping the whole FID range must never see
+        // torn state (they may see a rule or not, but must not panic or
+        // observe len exceeding the final total).
+        for _ in 0..2 {
+            let gm = &gm;
+            s.spawn(move || {
+                for round in 0..20 {
+                    let len = gm.len();
+                    assert!(len <= total as usize, "len {len} exceeds installs (round {round})");
+                    for i in (0..total).step_by(17) {
+                        let _ = gm.rule(Fid::new(i));
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(gm.len(), total as usize, "every install retained exactly once");
+    for i in 0..total {
+        assert!(gm.contains(Fid::new(i)), "fid {i} lost");
+    }
+}
+
+#[test]
+fn concurrent_install_remove_partition() {
+    // FIDs [0, total) start installed and get removed concurrently while
+    // FIDs [total, 2*total) are installed concurrently — from interleaved
+    // threads hitting shared shards.
+    let total = THREADS as u32 * FLOWS_PER_THREAD;
+    let gm = mat_with_locals(2 * total, 8);
+    let mut ops = OpCounter::default();
+    for i in 0..total {
+        gm.install(Fid::new(i), &mut ops);
+    }
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u32 {
+            let gm = &gm;
+            s.spawn(move || {
+                for i in 0..FLOWS_PER_THREAD {
+                    gm.remove_flow(Fid::new(t * FLOWS_PER_THREAD + i));
+                }
+            });
+            s.spawn(move || {
+                let mut ops = OpCounter::default();
+                for i in 0..FLOWS_PER_THREAD {
+                    gm.install(Fid::new(total + t * FLOWS_PER_THREAD + i), &mut ops);
+                }
+            });
+        }
+    });
+    assert_eq!(gm.len(), total as usize);
+    for i in 0..total {
+        assert!(!gm.contains(Fid::new(i)), "removed fid {i} resurrected");
+        assert!(gm.contains(Fid::new(total + i)), "installed fid {} lost", total + i);
+    }
+}
+
+#[test]
+fn hit_counters_sum_exactly_across_threads() {
+    const FLOWS: u32 = 64;
+    const HITS_PER_THREAD: u64 = 200;
+    let gm = mat_with_locals(FLOWS, 4);
+    let mut ops = OpCounter::default();
+    for i in 0..FLOWS {
+        gm.install(Fid::new(i), &mut ops);
+    }
+    let thread_ops: Vec<OpCounter> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let gm = &gm;
+                s.spawn(move || {
+                    let mut ops = OpCounter::default();
+                    for _ in 0..HITS_PER_THREAD {
+                        for i in 0..FLOWS {
+                            let rule = gm.prepare(Fid::new(i), &mut ops);
+                            assert!(rule.is_some(), "installed rule must be found");
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Every fast-path hit landed on exactly one rule's counter.
+    for i in 0..FLOWS {
+        let rule = gm.rule(Fid::new(i)).expect("rule installed");
+        assert_eq!(rule.hits(), THREADS as u64 * HITS_PER_THREAD, "fid {i}");
+    }
+    // And every thread accounted one MAT lookup per prepare.
+    let lookups: u64 = thread_ops.iter().map(|o| o.mat_lookups).sum();
+    assert_eq!(lookups, THREADS as u64 * HITS_PER_THREAD * u64::from(FLOWS));
+}
+
+/// Two distinct 5-tuples hashing to the same 20-bit FID (borrowed from the
+/// fid_collision suite's search).
+fn colliding_tuples() -> (FiveTuple, FiveTuple) {
+    let mut seen: HashMap<Fid, FiveTuple> = HashMap::new();
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            for port in [1000u16, 2000, 3000, 4000] {
+                let t = FiveTuple::new(
+                    Ipv4Addr::new(10, 5, a, b),
+                    port,
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    80,
+                    Protocol::Tcp,
+                );
+                if let Some(prev) = seen.insert(t.fid(), t) {
+                    if prev != t {
+                        return (prev, t);
+                    }
+                }
+            }
+        }
+    }
+    panic!("no collision found");
+}
+
+fn packet_for(t: &FiveTuple, i: u32) -> Packet {
+    let mut b = PacketBuilder::tcp();
+    b.src(SocketAddrV4::new(t.src_ip, t.src_port))
+        .dst(SocketAddrV4::new(t.dst_ip, t.dst_port))
+        .seq(i)
+        .payload(format!("pkt-{i}").as_bytes());
+    b.build()
+}
+
+#[test]
+fn collision_detected_under_concurrent_classification() {
+    let (ta, tb) = colliding_tuples();
+    let classifier = PacketClassifier::with_shards(8);
+    // The owner flow claims the FID slot first.
+    let mut ops = OpCounter::default();
+    let mut first = packet_for(&ta, 0);
+    let c = classifier.classify(&mut first, &mut ops).unwrap();
+    assert_eq!(c.class, PacketClass::Initial);
+    std::thread::scope(|s| {
+        // Owner traffic and colliding traffic classified concurrently.
+        for _ in 0..THREADS / 2 {
+            let classifier = &classifier;
+            s.spawn(move || {
+                let mut ops = OpCounter::default();
+                for i in 1..100u32 {
+                    let mut p = packet_for(&ta, i);
+                    let c = classifier.classify(&mut p, &mut ops).unwrap();
+                    assert_eq!(c.class, PacketClass::Subsequent, "owner stays on fast path");
+                }
+            });
+        }
+        for _ in 0..THREADS / 2 {
+            let classifier = &classifier;
+            s.spawn(move || {
+                let mut ops = OpCounter::default();
+                for i in 0..100u32 {
+                    let mut p = packet_for(&tb, i);
+                    let c = classifier.classify(&mut p, &mut ops).unwrap();
+                    assert_eq!(
+                        c.class,
+                        PacketClass::Collision,
+                        "colliding flow must ride the slow path"
+                    );
+                }
+            });
+        }
+    });
+    // The slot still belongs to the owner, never the colliding tuple.
+    assert_eq!(classifier.peek(&ta), PacketClass::Subsequent);
+    assert_eq!(classifier.peek(&tb), PacketClass::Collision);
+    assert_eq!(classifier.len(), 1, "collision never created a second slot");
+}
+
+#[test]
+fn concurrent_expire_idle_expires_each_flow_once() {
+    let classifier = PacketClassifier::with_shards(4);
+    const FLOWS: u16 = 200;
+    let mut ops = OpCounter::default();
+    for f in 0..FLOWS {
+        let mut p = PacketBuilder::tcp()
+            .src(format!("10.9.0.1:{}", 1024 + f).parse().unwrap())
+            .dst("10.9.0.2:80".parse().unwrap())
+            .build();
+        classifier.classify(&mut p, &mut ops).unwrap();
+    }
+    let tracked = classifier.len();
+    assert!(tracked > 0);
+    // Advance the clock past every flow's last_seen so all are idle, then
+    // race expirations against fresh classifications.
+    for _ in 0..64 {
+        let mut p = PacketBuilder::tcp()
+            .src("10.9.9.9:4000".parse().unwrap())
+            .dst("10.9.0.2:80".parse().unwrap())
+            .build();
+        classifier.classify(&mut p, &mut ops).unwrap();
+    }
+    let expired: Vec<Vec<Fid>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let classifier = &classifier;
+                s.spawn(move || classifier.expire_idle(32))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut all: Vec<Fid> = expired.into_iter().flatten().collect();
+    let unique: HashSet<Fid> = all.iter().copied().collect();
+    assert_eq!(unique.len(), all.len(), "a flow was expired by two threads at once");
+    all.sort_by_key(|f| f.value());
+    // Exactly the idle flows went, each once; the fresh flow survives.
+    assert_eq!(all.len(), tracked, "all idle flows expired exactly once");
+    assert_eq!(classifier.len(), 1, "only the clock-advancing flow remains");
+    for fid in all {
+        assert_eq!(classifier.packets_seen(fid), 0, "expired flow fully forgotten");
+    }
+}

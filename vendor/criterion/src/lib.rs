@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API slice this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `Throughput`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a simple wall-clock
+//! timing harness. No statistics, plots, or baselines: each benchmark is
+//! warmed up briefly, then timed for a fixed budget, and the mean
+//! time-per-iteration is printed. Good enough to compare variants by eye
+//! and to smoke-test that bench code keeps compiling and running.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` recreates inputs. Ignored by this harness (each
+/// iteration always gets a fresh input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: batch many per allocation in real criterion.
+    SmallInput,
+    /// Large input: fewer per batch in real criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("variant", param)`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// `BenchmarkId::from_parameter(param)`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup_iters: u64,
+    measure_budget: Duration,
+    /// Filled in by `iter`/`iter_batched`.
+    result_ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            warmup_iters: 3,
+            measure_budget: Duration::from_millis(120),
+            result_ns_per_iter: f64::NAN,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.warmup_iters {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure_budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result_ns_per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < self.measure_budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.result_ns_per_iter = measured.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(group: Option<&str>, label: &str, throughput: Option<Throughput>, ns_per_iter: f64) {
+    let name = match group {
+        Some(g) => format!("{g}/{label}"),
+        None => label.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (ns_per_iter / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (ns_per_iter / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<48} {ns_per_iter:>14.1} ns/iter{rate}");
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted, ignored by this harness).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted, ignored by this harness).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(Some(&self.name), &id.label, self.throughput, b.result_ns_per_iter);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(Some(&self.name), &id.label, self.throughput, b.result_ns_per_iter);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(None, name, None, b.result_ns_per_iter);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
