@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_fastpath-b5a02c69b7cc5965.d: crates/bench/benches/batch_fastpath.rs
+
+/root/repo/target/debug/deps/batch_fastpath-b5a02c69b7cc5965: crates/bench/benches/batch_fastpath.rs
+
+crates/bench/benches/batch_fastpath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bidirectional_nat-22de8a4d9060b487.d: tests/bidirectional_nat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbidirectional_nat-22de8a4d9060b487.rmeta: tests/bidirectional_nat.rs Cargo.toml
+
+tests/bidirectional_nat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bidirectional_nat-3231916d006c1fa4.d: tests/bidirectional_nat.rs
+
+/root/repo/target/debug/deps/bidirectional_nat-3231916d006c1fa4: tests/bidirectional_nat.rs
+
+tests/bidirectional_nat.rs:

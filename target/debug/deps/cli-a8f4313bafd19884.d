@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-a8f4313bafd19884.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-a8f4313bafd19884: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_speedybox=/root/repo/target/debug/speedybox

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-eccf0640a4107e57.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-eccf0640a4107e57.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_speedybox=placeholder:speedybox
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_mat-55b61c4829d91ca6.d: tests/concurrent_mat.rs
+
+/root/repo/target/debug/deps/concurrent_mat-55b61c4829d91ca6: tests/concurrent_mat.rs
+
+tests/concurrent_mat.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent_mat-be61d08d814d52ca.d: tests/concurrent_mat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_mat-be61d08d814d52ca.rmeta: tests/concurrent_mat.rs Cargo.toml
+
+tests/concurrent_mat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consolidation-c6c958f949d3bab8.d: crates/bench/benches/consolidation.rs
+
+/root/repo/target/debug/deps/consolidation-c6c958f949d3bab8: crates/bench/benches/consolidation.rs
+
+crates/bench/benches/consolidation.rs:

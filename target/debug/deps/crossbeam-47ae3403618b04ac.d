@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-47ae3403618b04ac.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-47ae3403618b04ac: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-f9aa74153b10af27.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f9aa74153b10af27.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f9aa74153b10af27.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_sharded-171f9cf2f90c5181.d: tests/differential_sharded.rs
+
+/root/repo/target/debug/deps/differential_sharded-171f9cf2f90c5181: tests/differential_sharded.rs
+
+tests/differential_sharded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_sharded-1bd22c6298123124.d: tests/differential_sharded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_sharded-1bd22c6298123124.rmeta: tests/differential_sharded.rs Cargo.toml
+
+tests/differential_sharded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

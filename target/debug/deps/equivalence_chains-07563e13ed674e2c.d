@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_chains-07563e13ed674e2c.d: tests/equivalence_chains.rs
+
+/root/repo/target/debug/deps/equivalence_chains-07563e13ed674e2c: tests/equivalence_chains.rs
+
+tests/equivalence_chains.rs:

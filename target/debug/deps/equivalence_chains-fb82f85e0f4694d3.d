@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_chains-fb82f85e0f4694d3.d: tests/equivalence_chains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_chains-fb82f85e0f4694d3.rmeta: tests/equivalence_chains.rs Cargo.toml
+
+tests/equivalence_chains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_maglev-27135687ea0666d9.d: tests/equivalence_maglev.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_maglev-27135687ea0666d9.rmeta: tests/equivalence_maglev.rs Cargo.toml
+
+tests/equivalence_maglev.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

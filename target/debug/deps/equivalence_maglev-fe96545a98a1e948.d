@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_maglev-fe96545a98a1e948.d: tests/equivalence_maglev.rs
+
+/root/repo/target/debug/deps/equivalence_maglev-fe96545a98a1e948: tests/equivalence_maglev.rs
+
+tests/equivalence_maglev.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence_snort-09aa1386a302921d.d: tests/equivalence_snort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence_snort-09aa1386a302921d.rmeta: tests/equivalence_snort.rs Cargo.toml
+
+tests/equivalence_snort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence_snort-f623072d00518808.d: tests/equivalence_snort.rs
+
+/root/repo/target/debug/deps/equivalence_snort-f623072d00518808: tests/equivalence_snort.rs
+
+tests/equivalence_snort.rs:

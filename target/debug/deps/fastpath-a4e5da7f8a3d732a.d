@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastpath-a4e5da7f8a3d732a.d: crates/bench/benches/fastpath.rs
+
+/root/repo/target/debug/deps/fastpath-a4e5da7f8a3d732a: crates/bench/benches/fastpath.rs
+
+crates/bench/benches/fastpath.rs:

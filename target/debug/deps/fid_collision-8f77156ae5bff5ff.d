@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fid_collision-8f77156ae5bff5ff.d: tests/fid_collision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfid_collision-8f77156ae5bff5ff.rmeta: tests/fid_collision.rs Cargo.toml
+
+tests/fid_collision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fid_collision-d3b14edc23cfe762.d: tests/fid_collision.rs
+
+/root/repo/target/debug/deps/fid_collision-d3b14edc23cfe762: tests/fid_collision.rs
+
+tests/fid_collision.rs:

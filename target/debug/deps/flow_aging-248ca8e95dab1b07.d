@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_aging-248ca8e95dab1b07.d: tests/flow_aging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_aging-248ca8e95dab1b07.rmeta: tests/flow_aging.rs Cargo.toml
+
+tests/flow_aging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

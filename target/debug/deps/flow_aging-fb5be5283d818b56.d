@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_aging-fb5be5283d818b56.d: tests/flow_aging.rs
+
+/root/repo/target/debug/deps/flow_aging-fb5be5283d818b56: tests/flow_aging.rs
+
+tests/flow_aging.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/handshake_aware-64e908fb58055508.d: tests/handshake_aware.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhandshake_aware-64e908fb58055508.rmeta: tests/handshake_aware.rs Cargo.toml
+
+tests/handshake_aware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

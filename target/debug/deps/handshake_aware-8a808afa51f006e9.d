@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/handshake_aware-8a808afa51f006e9.d: tests/handshake_aware.rs
+
+/root/repo/target/debug/deps/handshake_aware-8a808afa51f006e9: tests/handshake_aware.rs
+
+tests/handshake_aware.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inspection-47ef8ba3a654e939.d: crates/bench/benches/inspection.rs
+
+/root/repo/target/debug/deps/inspection-47ef8ba3a654e939: crates/bench/benches/inspection.rs
+
+crates/bench/benches/inspection.rs:

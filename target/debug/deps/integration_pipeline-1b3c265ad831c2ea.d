@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_pipeline-1b3c265ad831c2ea.d: tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_pipeline-1b3c265ad831c2ea.rmeta: tests/integration_pipeline.rs Cargo.toml
+
+tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

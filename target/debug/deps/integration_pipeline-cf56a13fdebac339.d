@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-cf56a13fdebac339.d: tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-cf56a13fdebac339: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

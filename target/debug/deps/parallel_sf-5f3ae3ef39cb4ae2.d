@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sf-5f3ae3ef39cb4ae2.d: crates/bench/benches/parallel_sf.rs
+
+/root/repo/target/debug/deps/parallel_sf-5f3ae3ef39cb4ae2: crates/bench/benches/parallel_sf.rs
+
+crates/bench/benches/parallel_sf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-f4fc460d29650692.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-f4fc460d29650692: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2742d34449d8e238.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-2742d34449d8e238: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

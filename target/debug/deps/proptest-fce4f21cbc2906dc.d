@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-fce4f21cbc2906dc.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fce4f21cbc2906dc.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fce4f21cbc2906dc.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_consolidate-f717f79953454487.d: crates/mat/tests/proptest_consolidate.rs
+
+/root/repo/target/debug/deps/proptest_consolidate-f717f79953454487: crates/mat/tests/proptest_consolidate.rs
+
+crates/mat/tests/proptest_consolidate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_equivalence-0421cf7b09135092.d: tests/proptest_equivalence.rs
+
+/root/repo/target/debug/deps/proptest_equivalence-0421cf7b09135092: tests/proptest_equivalence.rs
+
+tests/proptest_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_equivalence-72eb9196a78ba0fc.d: tests/proptest_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_equivalence-72eb9196a78ba0fc.rmeta: tests/proptest_equivalence.rs Cargo.toml
+
+tests/proptest_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nfs-91ef492e8bb0589f.d: crates/nf/tests/proptest_nfs.rs
+
+/root/repo/target/debug/deps/proptest_nfs-91ef492e8bb0589f: crates/nf/tests/proptest_nfs.rs
+
+crates/nf/tests/proptest_nfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_packet-66561839f5bbbf4c.d: crates/packet/tests/proptest_packet.rs
+
+/root/repo/target/debug/deps/proptest_packet-66561839f5bbbf4c: crates/packet/tests/proptest_packet.rs
+
+crates/packet/tests/proptest_packet.rs:

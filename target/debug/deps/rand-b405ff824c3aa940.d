@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b405ff824c3aa940.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b405ff824c3aa940.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b405ff824c3aa940.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-3a0eef6fe82c4afc.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-3a0eef6fe82c4afc: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

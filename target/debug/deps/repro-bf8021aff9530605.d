@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-bf8021aff9530605.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-bf8021aff9530605: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedybox-001f2a4d70f7273c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedybox-001f2a4d70f7273c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

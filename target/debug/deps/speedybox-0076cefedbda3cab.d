@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/speedybox-0076cefedbda3cab.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspeedybox-0076cefedbda3cab.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspeedybox-0076cefedbda3cab.rmeta: src/lib.rs
+
+src/lib.rs:

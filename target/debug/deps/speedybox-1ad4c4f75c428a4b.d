@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedybox-1ad4c4f75c428a4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/speedybox-1ad4c4f75c428a4b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedybox-5b6048dbb8d50b0e.d: src/bin/speedybox.rs
+
+/root/repo/target/debug/deps/speedybox-5b6048dbb8d50b0e: src/bin/speedybox.rs
+
+src/bin/speedybox.rs:

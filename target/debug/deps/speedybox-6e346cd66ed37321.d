@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedybox-6e346cd66ed37321.d: src/bin/speedybox.rs
+
+/root/repo/target/debug/deps/speedybox-6e346cd66ed37321: src/bin/speedybox.rs
+
+src/bin/speedybox.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedybox-c9ff0dba4cef4395.d: src/bin/speedybox.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedybox-c9ff0dba4cef4395.rmeta: src/bin/speedybox.rs Cargo.toml
+
+src/bin/speedybox.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

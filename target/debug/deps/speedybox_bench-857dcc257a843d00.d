@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/speedybox_bench-857dcc257a843d00.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/harness.rs crates/bench/src/experiments/../../../nf/src/snort.rs crates/bench/src/experiments/../../../nf/src/maglev.rs crates/bench/src/experiments/../../../nf/src/ipfilter.rs crates/bench/src/experiments/../../../nf/src/monitor.rs crates/bench/src/experiments/../../../nf/src/mazunat.rs
+
+/root/repo/target/debug/deps/libspeedybox_bench-857dcc257a843d00.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/harness.rs crates/bench/src/experiments/../../../nf/src/snort.rs crates/bench/src/experiments/../../../nf/src/maglev.rs crates/bench/src/experiments/../../../nf/src/ipfilter.rs crates/bench/src/experiments/../../../nf/src/monitor.rs crates/bench/src/experiments/../../../nf/src/mazunat.rs
+
+/root/repo/target/debug/deps/libspeedybox_bench-857dcc257a843d00.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/harness.rs crates/bench/src/experiments/../../../nf/src/snort.rs crates/bench/src/experiments/../../../nf/src/maglev.rs crates/bench/src/experiments/../../../nf/src/ipfilter.rs crates/bench/src/experiments/../../../nf/src/monitor.rs crates/bench/src/experiments/../../../nf/src/mazunat.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/experiments/../../../nf/src/snort.rs:
+crates/bench/src/experiments/../../../nf/src/maglev.rs:
+crates/bench/src/experiments/../../../nf/src/ipfilter.rs:
+crates/bench/src/experiments/../../../nf/src/monitor.rs:
+crates/bench/src/experiments/../../../nf/src/mazunat.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/speedybox_mat-17960fd5abf47ba5.d: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs
+
+/root/repo/target/debug/deps/libspeedybox_mat-17960fd5abf47ba5.rlib: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs
+
+/root/repo/target/debug/deps/libspeedybox_mat-17960fd5abf47ba5.rmeta: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs
+
+crates/mat/src/lib.rs:
+crates/mat/src/action.rs:
+crates/mat/src/api.rs:
+crates/mat/src/classifier.rs:
+crates/mat/src/consolidate.rs:
+crates/mat/src/error.rs:
+crates/mat/src/event.rs:
+crates/mat/src/global.rs:
+crates/mat/src/local.rs:
+crates/mat/src/ops.rs:
+crates/mat/src/parallel.rs:
+crates/mat/src/state_fn.rs:

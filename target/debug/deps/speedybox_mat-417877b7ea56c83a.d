@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/speedybox_mat-417877b7ea56c83a.d: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs
+
+/root/repo/target/debug/deps/speedybox_mat-417877b7ea56c83a: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs
+
+crates/mat/src/lib.rs:
+crates/mat/src/action.rs:
+crates/mat/src/api.rs:
+crates/mat/src/classifier.rs:
+crates/mat/src/consolidate.rs:
+crates/mat/src/error.rs:
+crates/mat/src/event.rs:
+crates/mat/src/global.rs:
+crates/mat/src/local.rs:
+crates/mat/src/ops.rs:
+crates/mat/src/parallel.rs:
+crates/mat/src/state_fn.rs:

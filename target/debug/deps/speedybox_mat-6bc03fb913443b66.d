@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/speedybox_mat-6bc03fb913443b66.d: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedybox_mat-6bc03fb913443b66.rmeta: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs Cargo.toml
+
+crates/mat/src/lib.rs:
+crates/mat/src/action.rs:
+crates/mat/src/api.rs:
+crates/mat/src/classifier.rs:
+crates/mat/src/consolidate.rs:
+crates/mat/src/error.rs:
+crates/mat/src/event.rs:
+crates/mat/src/global.rs:
+crates/mat/src/local.rs:
+crates/mat/src/ops.rs:
+crates/mat/src/parallel.rs:
+crates/mat/src/state_fn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/speedybox_nf-4686edd3e71afe53.d: crates/nf/src/lib.rs crates/nf/src/dosguard.rs crates/nf/src/gateway.rs crates/nf/src/inspect.rs crates/nf/src/ipfilter.rs crates/nf/src/maglev.rs crates/nf/src/mazunat.rs crates/nf/src/monitor.rs crates/nf/src/nf.rs crates/nf/src/ratelimiter.rs crates/nf/src/regex.rs crates/nf/src/snort.rs crates/nf/src/synthetic.rs crates/nf/src/vpn.rs
+
+/root/repo/target/debug/deps/libspeedybox_nf-4686edd3e71afe53.rlib: crates/nf/src/lib.rs crates/nf/src/dosguard.rs crates/nf/src/gateway.rs crates/nf/src/inspect.rs crates/nf/src/ipfilter.rs crates/nf/src/maglev.rs crates/nf/src/mazunat.rs crates/nf/src/monitor.rs crates/nf/src/nf.rs crates/nf/src/ratelimiter.rs crates/nf/src/regex.rs crates/nf/src/snort.rs crates/nf/src/synthetic.rs crates/nf/src/vpn.rs
+
+/root/repo/target/debug/deps/libspeedybox_nf-4686edd3e71afe53.rmeta: crates/nf/src/lib.rs crates/nf/src/dosguard.rs crates/nf/src/gateway.rs crates/nf/src/inspect.rs crates/nf/src/ipfilter.rs crates/nf/src/maglev.rs crates/nf/src/mazunat.rs crates/nf/src/monitor.rs crates/nf/src/nf.rs crates/nf/src/ratelimiter.rs crates/nf/src/regex.rs crates/nf/src/snort.rs crates/nf/src/synthetic.rs crates/nf/src/vpn.rs
+
+crates/nf/src/lib.rs:
+crates/nf/src/dosguard.rs:
+crates/nf/src/gateway.rs:
+crates/nf/src/inspect.rs:
+crates/nf/src/ipfilter.rs:
+crates/nf/src/maglev.rs:
+crates/nf/src/mazunat.rs:
+crates/nf/src/monitor.rs:
+crates/nf/src/nf.rs:
+crates/nf/src/ratelimiter.rs:
+crates/nf/src/regex.rs:
+crates/nf/src/snort.rs:
+crates/nf/src/synthetic.rs:
+crates/nf/src/vpn.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/speedybox_nf-c0173707b51af536.d: crates/nf/src/lib.rs crates/nf/src/dosguard.rs crates/nf/src/gateway.rs crates/nf/src/inspect.rs crates/nf/src/ipfilter.rs crates/nf/src/maglev.rs crates/nf/src/mazunat.rs crates/nf/src/monitor.rs crates/nf/src/nf.rs crates/nf/src/ratelimiter.rs crates/nf/src/regex.rs crates/nf/src/snort.rs crates/nf/src/synthetic.rs crates/nf/src/vpn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedybox_nf-c0173707b51af536.rmeta: crates/nf/src/lib.rs crates/nf/src/dosguard.rs crates/nf/src/gateway.rs crates/nf/src/inspect.rs crates/nf/src/ipfilter.rs crates/nf/src/maglev.rs crates/nf/src/mazunat.rs crates/nf/src/monitor.rs crates/nf/src/nf.rs crates/nf/src/ratelimiter.rs crates/nf/src/regex.rs crates/nf/src/snort.rs crates/nf/src/synthetic.rs crates/nf/src/vpn.rs Cargo.toml
+
+crates/nf/src/lib.rs:
+crates/nf/src/dosguard.rs:
+crates/nf/src/gateway.rs:
+crates/nf/src/inspect.rs:
+crates/nf/src/ipfilter.rs:
+crates/nf/src/maglev.rs:
+crates/nf/src/mazunat.rs:
+crates/nf/src/monitor.rs:
+crates/nf/src/nf.rs:
+crates/nf/src/ratelimiter.rs:
+crates/nf/src/regex.rs:
+crates/nf/src/snort.rs:
+crates/nf/src/synthetic.rs:
+crates/nf/src/vpn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/speedybox_packet-051d328e301e77ae.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs
+
+/root/repo/target/debug/deps/speedybox_packet-051d328e301e77ae: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/field.rs:
+crates/packet/src/five_tuple.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/pcap.rs:
+crates/packet/src/pool.rs:
+crates/packet/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/speedybox_packet-572563f3c1ee1eb3.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedybox_packet-572563f3c1ee1eb3.rmeta: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/field.rs:
+crates/packet/src/five_tuple.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/pcap.rs:
+crates/packet/src/pool.rs:
+crates/packet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

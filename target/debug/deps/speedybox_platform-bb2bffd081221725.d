@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/speedybox_platform-bb2bffd081221725.d: crates/platform/src/lib.rs crates/platform/src/bess.rs crates/platform/src/chains.rs crates/platform/src/cycles.rs crates/platform/src/metrics.rs crates/platform/src/onvm.rs crates/platform/src/parallel_exec.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedybox_platform-bb2bffd081221725.rmeta: crates/platform/src/lib.rs crates/platform/src/bess.rs crates/platform/src/chains.rs crates/platform/src/cycles.rs crates/platform/src/metrics.rs crates/platform/src/onvm.rs crates/platform/src/parallel_exec.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/bess.rs:
+crates/platform/src/chains.rs:
+crates/platform/src/cycles.rs:
+crates/platform/src/metrics.rs:
+crates/platform/src/onvm.rs:
+crates/platform/src/parallel_exec.rs:
+crates/platform/src/runtime.rs:
+crates/platform/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

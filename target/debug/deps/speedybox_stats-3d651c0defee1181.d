@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/speedybox_stats-3d651c0defee1181.d: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedybox_stats-3d651c0defee1181.rmeta: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/speedybox_stats-4e1283c32bf8585f.d: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libspeedybox_stats-4e1283c32bf8585f.rlib: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/libspeedybox_stats-4e1283c32bf8585f.rmeta: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedybox_stats-af7d15f597af79bd.d: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/debug/deps/speedybox_stats-af7d15f597af79bd: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

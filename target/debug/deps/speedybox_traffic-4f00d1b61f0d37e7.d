@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/speedybox_traffic-4f00d1b61f0d37e7.d: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+/root/repo/target/debug/deps/speedybox_traffic-4f00d1b61f0d37e7: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/payload.rs:
+crates/traffic/src/replay.rs:
+crates/traffic/src/workload.rs:

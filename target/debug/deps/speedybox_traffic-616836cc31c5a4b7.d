@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/speedybox_traffic-616836cc31c5a4b7.d: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+/root/repo/target/debug/deps/libspeedybox_traffic-616836cc31c5a4b7.rlib: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+/root/repo/target/debug/deps/libspeedybox_traffic-616836cc31c5a4b7.rmeta: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/payload.rs:
+crates/traffic/src/replay.rs:
+crates/traffic/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/speedybox_traffic-63907c501fe31759.d: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedybox_traffic-63907c501fe31759.rmeta: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/payload.rs:
+crates/traffic/src/replay.rs:
+crates/traffic/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-3778fa1976d3d209.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-3778fa1976d3d209: tests/stress.rs
+
+tests/stress.rs:

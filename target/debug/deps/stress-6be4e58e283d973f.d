@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-6be4e58e283d973f.d: tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-6be4e58e283d973f.rmeta: tests/stress.rs Cargo.toml
+
+tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vlan_traffic-22581df8c0e96325.d: tests/vlan_traffic.rs
+
+/root/repo/target/debug/deps/vlan_traffic-22581df8c0e96325: tests/vlan_traffic.rs
+
+tests/vlan_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vlan_traffic-68b5147059e3e4db.d: tests/vlan_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvlan_traffic-68b5147059e3e4db.rmeta: tests/vlan_traffic.rs Cargo.toml
+
+tests/vlan_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

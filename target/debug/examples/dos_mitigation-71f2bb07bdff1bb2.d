@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dos_mitigation-71f2bb07bdff1bb2.d: examples/dos_mitigation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdos_mitigation-71f2bb07bdff1bb2.rmeta: examples/dos_mitigation.rs Cargo.toml
+
+examples/dos_mitigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

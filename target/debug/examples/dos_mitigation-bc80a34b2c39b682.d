@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dos_mitigation-bc80a34b2c39b682.d: examples/dos_mitigation.rs
+
+/root/repo/target/debug/examples/dos_mitigation-bc80a34b2c39b682: examples/dos_mitigation.rs
+
+examples/dos_mitigation.rs:

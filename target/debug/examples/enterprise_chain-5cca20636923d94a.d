@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/enterprise_chain-5cca20636923d94a.d: examples/enterprise_chain.rs
+
+/root/repo/target/debug/examples/enterprise_chain-5cca20636923d94a: examples/enterprise_chain.rs
+
+examples/enterprise_chain.rs:

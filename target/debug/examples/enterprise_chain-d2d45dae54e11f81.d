@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/enterprise_chain-d2d45dae54e11f81.d: examples/enterprise_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenterprise_chain-d2d45dae54e11f81.rmeta: examples/enterprise_chain.rs Cargo.toml
+
+examples/enterprise_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

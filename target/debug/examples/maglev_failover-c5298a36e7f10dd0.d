@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/maglev_failover-c5298a36e7f10dd0.d: examples/maglev_failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmaglev_failover-c5298a36e7f10dd0.rmeta: examples/maglev_failover.rs Cargo.toml
+
+examples/maglev_failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maglev_failover-e7b5bd8745af004d.d: examples/maglev_failover.rs
+
+/root/repo/target/debug/examples/maglev_failover-e7b5bd8745af004d: examples/maglev_failover.rs
+
+examples/maglev_failover.rs:

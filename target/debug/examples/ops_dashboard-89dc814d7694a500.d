@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ops_dashboard-89dc814d7694a500.d: examples/ops_dashboard.rs
+
+/root/repo/target/debug/examples/ops_dashboard-89dc814d7694a500: examples/ops_dashboard.rs
+
+examples/ops_dashboard.rs:

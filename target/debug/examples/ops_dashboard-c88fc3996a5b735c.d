@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ops_dashboard-c88fc3996a5b735c.d: examples/ops_dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libops_dashboard-c88fc3996a5b735c.rmeta: examples/ops_dashboard.rs Cargo.toml
+
+examples/ops_dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

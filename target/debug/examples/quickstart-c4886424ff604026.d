@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c4886424ff604026.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c4886424ff604026: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/snort_inspect-4e32330da9d0f022.d: examples/snort_inspect.rs
+
+/root/repo/target/debug/examples/snort_inspect-4e32330da9d0f022: examples/snort_inspect.rs
+
+examples/snort_inspect.rs:

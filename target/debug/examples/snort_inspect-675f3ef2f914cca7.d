@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/snort_inspect-675f3ef2f914cca7.d: examples/snort_inspect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsnort_inspect-675f3ef2f914cca7.rmeta: examples/snort_inspect.rs Cargo.toml
+
+examples/snort_inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vpn_tunnel-1875a1ee480a7432.d: examples/vpn_tunnel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvpn_tunnel-1875a1ee480a7432.rmeta: examples/vpn_tunnel.rs Cargo.toml
+
+examples/vpn_tunnel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

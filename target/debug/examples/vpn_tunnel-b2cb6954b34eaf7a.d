@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vpn_tunnel-b2cb6954b34eaf7a.d: examples/vpn_tunnel.rs
+
+/root/repo/target/debug/examples/vpn_tunnel-b2cb6954b34eaf7a: examples/vpn_tunnel.rs
+
+examples/vpn_tunnel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_fastpath-d884b056b3733c7d.d: crates/bench/benches/batch_fastpath.rs
+
+/root/repo/target/release/deps/batch_fastpath-d884b056b3733c7d: crates/bench/benches/batch_fastpath.rs
+
+crates/bench/benches/batch_fastpath.rs:

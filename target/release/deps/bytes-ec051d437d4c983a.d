@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-ec051d437d4c983a.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ec051d437d4c983a.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-ec051d437d4c983a.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

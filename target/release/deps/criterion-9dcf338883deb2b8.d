@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9dcf338883deb2b8.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9dcf338883deb2b8.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9dcf338883deb2b8.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-0b7e98ffb4113d09.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0b7e98ffb4113d09.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-0b7e98ffb4113d09.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-d29dae7e6c9f5912.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-d29dae7e6c9f5912.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-d29dae7e6c9f5912.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-1fb053addd0773eb.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1fb053addd0773eb.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1fb053addd0773eb.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

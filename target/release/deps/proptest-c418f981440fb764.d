@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c418f981440fb764.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c418f981440fb764.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c418f981440fb764.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-205f732ed9deef36.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-205f732ed9deef36.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-205f732ed9deef36.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

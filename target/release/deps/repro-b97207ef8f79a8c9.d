@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-b97207ef8f79a8c9.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-b97207ef8f79a8c9: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

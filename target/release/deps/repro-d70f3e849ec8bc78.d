@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-d70f3e849ec8bc78.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-d70f3e849ec8bc78: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/speedybox-73b4c7b057a351a2.d: src/bin/speedybox.rs
+
+/root/repo/target/release/deps/speedybox-73b4c7b057a351a2: src/bin/speedybox.rs
+
+src/bin/speedybox.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/speedybox-ba9adf1038d42b0e.d: src/lib.rs
+
+/root/repo/target/release/deps/libspeedybox-ba9adf1038d42b0e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspeedybox-ba9adf1038d42b0e.rmeta: src/lib.rs
+
+src/lib.rs:

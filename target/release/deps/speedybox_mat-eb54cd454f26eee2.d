@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/speedybox_mat-eb54cd454f26eee2.d: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs
+
+/root/repo/target/release/deps/libspeedybox_mat-eb54cd454f26eee2.rlib: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs
+
+/root/repo/target/release/deps/libspeedybox_mat-eb54cd454f26eee2.rmeta: crates/mat/src/lib.rs crates/mat/src/action.rs crates/mat/src/api.rs crates/mat/src/classifier.rs crates/mat/src/consolidate.rs crates/mat/src/error.rs crates/mat/src/event.rs crates/mat/src/global.rs crates/mat/src/local.rs crates/mat/src/ops.rs crates/mat/src/parallel.rs crates/mat/src/state_fn.rs
+
+crates/mat/src/lib.rs:
+crates/mat/src/action.rs:
+crates/mat/src/api.rs:
+crates/mat/src/classifier.rs:
+crates/mat/src/consolidate.rs:
+crates/mat/src/error.rs:
+crates/mat/src/event.rs:
+crates/mat/src/global.rs:
+crates/mat/src/local.rs:
+crates/mat/src/ops.rs:
+crates/mat/src/parallel.rs:
+crates/mat/src/state_fn.rs:

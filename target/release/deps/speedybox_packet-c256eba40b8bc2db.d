@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/speedybox_packet-c256eba40b8bc2db.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs
+
+/root/repo/target/release/deps/libspeedybox_packet-c256eba40b8bc2db.rlib: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs
+
+/root/repo/target/release/deps/libspeedybox_packet-c256eba40b8bc2db.rmeta: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/field.rs:
+crates/packet/src/five_tuple.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/pcap.rs:
+crates/packet/src/pool.rs:
+crates/packet/src/trace.rs:

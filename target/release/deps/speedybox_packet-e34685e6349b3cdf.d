@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/speedybox_packet-e34685e6349b3cdf.d: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs
+
+/root/repo/target/release/deps/libspeedybox_packet-e34685e6349b3cdf.rlib: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs
+
+/root/repo/target/release/deps/libspeedybox_packet-e34685e6349b3cdf.rmeta: crates/packet/src/lib.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/field.rs crates/packet/src/five_tuple.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/pcap.rs crates/packet/src/pool.rs crates/packet/src/trace.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/field.rs:
+crates/packet/src/five_tuple.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/pcap.rs:
+crates/packet/src/pool.rs:
+crates/packet/src/trace.rs:

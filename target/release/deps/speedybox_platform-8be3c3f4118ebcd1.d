@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/speedybox_platform-8be3c3f4118ebcd1.d: crates/platform/src/lib.rs crates/platform/src/bess.rs crates/platform/src/chains.rs crates/platform/src/cycles.rs crates/platform/src/metrics.rs crates/platform/src/onvm.rs crates/platform/src/parallel_exec.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+/root/repo/target/release/deps/libspeedybox_platform-8be3c3f4118ebcd1.rlib: crates/platform/src/lib.rs crates/platform/src/bess.rs crates/platform/src/chains.rs crates/platform/src/cycles.rs crates/platform/src/metrics.rs crates/platform/src/onvm.rs crates/platform/src/parallel_exec.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+/root/repo/target/release/deps/libspeedybox_platform-8be3c3f4118ebcd1.rmeta: crates/platform/src/lib.rs crates/platform/src/bess.rs crates/platform/src/chains.rs crates/platform/src/cycles.rs crates/platform/src/metrics.rs crates/platform/src/onvm.rs crates/platform/src/parallel_exec.rs crates/platform/src/runtime.rs crates/platform/src/threaded.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/bess.rs:
+crates/platform/src/chains.rs:
+crates/platform/src/cycles.rs:
+crates/platform/src/metrics.rs:
+crates/platform/src/onvm.rs:
+crates/platform/src/parallel_exec.rs:
+crates/platform/src/runtime.rs:
+crates/platform/src/threaded.rs:

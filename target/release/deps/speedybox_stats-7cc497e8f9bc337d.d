@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/speedybox_stats-7cc497e8f9bc337d.d: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libspeedybox_stats-7cc497e8f9bc337d.rlib: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libspeedybox_stats-7cc497e8f9bc337d.rmeta: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

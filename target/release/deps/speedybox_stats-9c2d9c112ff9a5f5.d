@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/speedybox_stats-9c2d9c112ff9a5f5.d: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libspeedybox_stats-9c2d9c112ff9a5f5.rlib: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+/root/repo/target/release/deps/libspeedybox_stats-9c2d9c112ff9a5f5.rmeta: crates/stats/src/lib.rs crates/stats/src/cdf.rs crates/stats/src/histogram.rs crates/stats/src/summary.rs crates/stats/src/table.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/speedybox_traffic-2a33d999399edc78.d: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+/root/repo/target/release/deps/libspeedybox_traffic-2a33d999399edc78.rlib: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+/root/repo/target/release/deps/libspeedybox_traffic-2a33d999399edc78.rmeta: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/payload.rs:
+crates/traffic/src/replay.rs:
+crates/traffic/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/speedybox_traffic-9895fc70a81b1031.d: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+/root/repo/target/release/deps/libspeedybox_traffic-9895fc70a81b1031.rlib: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+/root/repo/target/release/deps/libspeedybox_traffic-9895fc70a81b1031.rmeta: crates/traffic/src/lib.rs crates/traffic/src/payload.rs crates/traffic/src/replay.rs crates/traffic/src/workload.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/payload.rs:
+crates/traffic/src/replay.rs:
+crates/traffic/src/workload.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libproptest.rlib: /root/repo/vendor/proptest/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/librand.rlib: /root/repo/vendor/rand/src/lib.rs
