@@ -25,8 +25,10 @@ fn payload(len: usize, hit: bool) -> Vec<u8> {
 }
 
 fn bench_aho_corasick(c: &mut Criterion) {
-    let patterns: Vec<Vec<u8>> =
-        ["evil", "XFIL", "probe", "beacon", "healthcheck"].iter().map(|p| p.as_bytes().to_vec()).collect();
+    let patterns: Vec<Vec<u8>> = ["evil", "XFIL", "probe", "beacon", "healthcheck"]
+        .iter()
+        .map(|p| p.as_bytes().to_vec())
+        .collect();
     let ac = AhoCorasick::new(&patterns);
     let mut g = c.benchmark_group("aho_corasick_scan");
     for len in [64usize, 256, 1024] {

@@ -1,0 +1,252 @@
+//! `perfgate` — the CI performance-regression gate.
+//!
+//! Runs the two paper chains (chain1 on BESS, chain2 on ONVM) with
+//! SpeedyBox enabled over a fixed-seed workload, takes the runtime
+//! telemetry snapshot, and compares two headline metrics per scenario
+//! against a checked-in baseline:
+//!
+//! * **fast-path hit rate** — fraction of packets served by the
+//!   consolidated Global-MAT path (`paths[subsequent] / packets`);
+//! * **p50 fast-path latency** — median wall latency of subsequent-path
+//!   packets, in deterministic model cycles.
+//!
+//! The cycle model is deterministic, so the gate is stable across
+//! machines: a change in either metric means the code changed, not the
+//! hardware. The gate fails only on *regressions* beyond the tolerance
+//! (hit rate falling, latency rising); improvements beyond tolerance are
+//! reported as a hint to refresh the baseline with `--write-baseline`.
+//!
+//! ```text
+//! perfgate --baseline crates/bench/baseline.json            # CI gate
+//! perfgate --write-baseline crates/bench/baseline.json      # refresh
+//! perfgate --baseline ... --out /tmp/perfgate-report.json   # keep artifacts
+//! ```
+
+use std::process::ExitCode;
+
+use speedybox_bench::harness::{Env, Runner};
+use speedybox_platform::chains;
+use speedybox_telemetry::json::{escape, Json};
+use speedybox_telemetry::TelemetrySnapshot;
+use speedybox_traffic::{Workload, WorkloadConfig};
+
+/// Default tolerance: a metric may regress by up to this fraction.
+const DEFAULT_TOLERANCE: f64 = 0.10;
+/// Fixed workload parameters — the gate's numbers are only comparable
+/// against baselines produced with the same traffic.
+const FLOWS: usize = 200;
+const SEED: u64 = 7;
+
+/// One gated scenario's measured numbers.
+struct Measurement {
+    name: &'static str,
+    hit_rate: f64,
+    p50_subsequent_cycles: u64,
+    snapshot: TelemetrySnapshot,
+}
+
+fn run_scenario(name: &'static str, env: Env, nfs: Vec<Box<dyn speedybox_nf::Nf>>) -> Measurement {
+    let packets = Workload::generate(&WorkloadConfig {
+        flows: FLOWS,
+        seed: SEED,
+        ..WorkloadConfig::default()
+    })
+    .packets();
+    let mut runner = Runner::new(env, nfs, true);
+    let _ = runner.run(packets);
+    let snapshot = match &runner {
+        Runner::Bess(c) => c.telemetry().snapshot(),
+        Runner::Onvm(c) => c.telemetry().snapshot(),
+    };
+    Measurement {
+        name,
+        hit_rate: snapshot.fastpath_hit_rate(),
+        p50_subsequent_cycles: snapshot.latency[2].quantile(0.5),
+        snapshot,
+    }
+}
+
+fn measure() -> Vec<Measurement> {
+    vec![
+        run_scenario("chain1-bess", Env::Bess, chains::chain1(8).0),
+        run_scenario("chain2-onvm", Env::Onvm, chains::chain2().0),
+    ]
+}
+
+fn baseline_json(measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"scenarios\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"fastpath_hit_rate\": {:.6}, \"p50_subsequent_cycles\": {}}}{sep}\n",
+            escape(m.name),
+            m.hit_rate,
+            m.p50_subsequent_cycles
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn report_json(measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"scenarios\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"fastpath_hit_rate\": {:.6}, \"p50_subsequent_cycles\": {}, \"snapshot\": {}}}{sep}\n",
+            escape(m.name),
+            m.hit_rate,
+            m.p50_subsequent_cycles,
+            m.snapshot.to_json()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A baseline entry parsed back from disk.
+struct BaselineEntry {
+    name: String,
+    hit_rate: f64,
+    p50_subsequent_cycles: f64,
+}
+
+fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let root = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let scenarios = root
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or("baseline is missing the \"scenarios\" array")?;
+    scenarios
+        .iter()
+        .map(|s| {
+            let name =
+                s.get("name").and_then(Json::as_str).ok_or("scenario missing \"name\"")?.to_owned();
+            let hit_rate = s
+                .get("fastpath_hit_rate")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scenario {name} missing \"fastpath_hit_rate\""))?;
+            let p50 = s
+                .get("p50_subsequent_cycles")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scenario {name} missing \"p50_subsequent_cycles\""))?;
+            Ok(BaselineEntry { name, hit_rate, p50_subsequent_cycles: p50 })
+        })
+        .collect()
+}
+
+/// Gates `cur` against `base`. Returns the number of failures.
+fn gate(measurements: &[Measurement], baseline: &[BaselineEntry], tolerance: f64) -> usize {
+    let mut failures = 0;
+    for m in measurements {
+        let Some(base) = baseline.iter().find(|b| b.name == m.name) else {
+            println!("FAIL {}: no baseline entry (refresh with --write-baseline)", m.name);
+            failures += 1;
+            continue;
+        };
+        // Hit rate: lower is a regression.
+        let floor = base.hit_rate * (1.0 - tolerance);
+        if m.hit_rate < floor {
+            println!(
+                "FAIL {}: fastpath_hit_rate {:.4} fell below {:.4} (baseline {:.4} - {:.0}%)",
+                m.name,
+                m.hit_rate,
+                floor,
+                base.hit_rate,
+                tolerance * 100.0
+            );
+            failures += 1;
+        } else {
+            println!(
+                "PASS {}: fastpath_hit_rate {:.4} (baseline {:.4})",
+                m.name, m.hit_rate, base.hit_rate
+            );
+        }
+        // p50 latency: higher is a regression.
+        let ceiling = base.p50_subsequent_cycles * (1.0 + tolerance);
+        let p50 = m.p50_subsequent_cycles as f64;
+        if p50 > ceiling {
+            println!(
+                "FAIL {}: p50_subsequent_cycles {} rose above {:.0} (baseline {:.0} + {:.0}%)",
+                m.name,
+                m.p50_subsequent_cycles,
+                ceiling,
+                base.p50_subsequent_cycles,
+                tolerance * 100.0
+            );
+            failures += 1;
+        } else {
+            println!(
+                "PASS {}: p50_subsequent_cycles {} (baseline {:.0})",
+                m.name, m.p50_subsequent_cycles, base.p50_subsequent_cycles
+            );
+            if p50 < base.p50_subsequent_cycles * (1.0 - tolerance) {
+                println!(
+                    "  note: p50 improved by more than {:.0}% — consider refreshing the baseline",
+                    tolerance * 100.0
+                );
+            }
+        }
+    }
+    failures
+}
+
+fn value_of<'a>(argv: &'a [String], name: &str) -> Option<&'a str> {
+    argv.iter().position(|a| a == name).and_then(|i| argv.get(i + 1)).map(String::as_str)
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance = match value_of(&argv, "--tolerance") {
+        None => DEFAULT_TOLERANCE,
+        Some(v) => {
+            let pct: f64 = v.parse().map_err(|_| format!("bad --tolerance: {v}"))?;
+            pct / 100.0
+        }
+    };
+
+    println!("perfgate: {FLOWS} flows, seed {SEED}, tolerance {:.0}%", tolerance * 100.0);
+    let measurements = measure();
+    for m in &measurements {
+        println!(
+            "  {}: {} packets, hit rate {:.4}, p50 fast-path {} cycles",
+            m.name, m.snapshot.packets, m.hit_rate, m.p50_subsequent_cycles
+        );
+    }
+
+    if let Some(path) = value_of(&argv, "--out") {
+        std::fs::write(path, report_json(&measurements))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+
+    if let Some(path) = value_of(&argv, "--write-baseline") {
+        std::fs::write(path, baseline_json(&measurements))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("baseline written to {path}");
+        return Ok(true);
+    }
+
+    let baseline_path = value_of(&argv, "--baseline").unwrap_or("crates/bench/baseline.json");
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read {baseline_path}: {e} (seed one with --write-baseline)"))?;
+    let baseline = parse_baseline(&text)?;
+    let failures = gate(&measurements, &baseline, tolerance);
+    if failures == 0 {
+        println!("perfgate: all metrics within tolerance");
+    } else {
+        println!("perfgate: {failures} metric(s) regressed");
+    }
+    Ok(failures == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("perfgate error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

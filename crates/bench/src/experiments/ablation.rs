@@ -113,12 +113,8 @@ fn a2() -> EventCheckCost {
 fn a3() -> ModifyWidthCost {
     use speedybox_packet::HeaderField;
     let model = CycleModel::new();
-    let fields = [
-        HeaderField::DstIp,
-        HeaderField::DstPort,
-        HeaderField::SrcIp,
-        HeaderField::SrcPort,
-    ];
+    let fields =
+        [HeaderField::DstIp, HeaderField::DstPort, HeaderField::SrcIp, HeaderField::SrcPort];
     let points = (0..=4usize)
         .map(|width| {
             let sbox = SpeedyBox::new(1, SboxConfig::default());
@@ -155,11 +151,7 @@ fn a3() -> ModifyWidthCost {
 /// Runs all three ablations.
 #[must_use]
 pub fn run() -> Ablation {
-    Ablation {
-        recording: vec![a1(1), a1(3), a1(6)],
-        event_checks: a2(),
-        modify_width: a3(),
-    }
+    Ablation { recording: vec![a1(1), a1(3), a1(6)], event_checks: a2(), modify_width: a3() }
 }
 
 impl fmt::Display for Ablation {

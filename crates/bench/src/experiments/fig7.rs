@@ -110,8 +110,22 @@ pub fn run() -> Fig7 {
             env,
             original: latency(env, None),
             full: latency(env, Some(SboxConfig::default())),
-            ha_only: latency(env, Some(SboxConfig { consolidate_ha: true, parallelize_sf: false, ..SboxConfig::default() })),
-            sf_only: latency(env, Some(SboxConfig { consolidate_ha: false, parallelize_sf: true, ..SboxConfig::default() })),
+            ha_only: latency(
+                env,
+                Some(SboxConfig {
+                    consolidate_ha: true,
+                    parallelize_sf: false,
+                    ..SboxConfig::default()
+                }),
+            ),
+            sf_only: latency(
+                env,
+                Some(SboxConfig {
+                    consolidate_ha: false,
+                    parallelize_sf: true,
+                    ..SboxConfig::default()
+                }),
+            ),
         })
         .collect();
     Fig7 { envs }
@@ -120,14 +134,8 @@ pub fn run() -> Fig7 {
 impl fmt::Display for Fig7 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig 7 — latency reduction on Snort+Monitor, and who contributed\n")?;
-        let mut t = Table::new(vec![
-            "",
-            "Original(us)",
-            "w/ SBox(us)",
-            "total",
-            "HA share",
-            "SF share",
-        ]);
+        let mut t =
+            Table::new(vec!["", "Original(us)", "w/ SBox(us)", "total", "HA share", "SF share"]);
         for e in &self.envs {
             let (ha, sf) = e.shares();
             t.row(vec![

@@ -115,8 +115,7 @@ impl fmt::Display for Fig8 {
         for (title, rate) in [("processing latency (us)", false), ("processing rate (Mpps)", true)]
         {
             writeln!(f, "{title}")?;
-            let mut t =
-                Table::new(vec!["len", "BESS", "BESS w/ SBox", "ONVM", "ONVM w/ SBox"]);
+            let mut t = Table::new(vec!["len", "BESS", "BESS w/ SBox", "ONVM", "ONVM w/ SBox"]);
             for n in 1..=BESS_MAX {
                 t.row(vec![
                     n.to_string(),

@@ -156,10 +156,7 @@ impl fmt::Display for Fig9 {
             }
             writeln!(f)?;
         }
-        writeln!(
-            f,
-            "paper p50: chain1 -39.6% (BESS) / -40.2% (ONVM); chain2 -41.3% / -34.2%"
-        )
+        writeln!(f, "paper p50: chain1 -39.6% (BESS) / -40.2% (ONVM); chain2 -41.3% / -34.2%")
     }
 }
 

@@ -110,10 +110,7 @@ impl fmt::Display for Table2 {
             ]);
         }
         writeln!(f, "{t}")?;
-        writeln!(
-            f,
-            "paper (C sources): Snort 1129/+27 (2.4%), Maglev 141/+23, IPFilter 110/+20,"
-        )?;
+        writeln!(f, "paper (C sources): Snort 1129/+27 (2.4%), Maglev 141/+23, IPFilter 110/+20,")?;
         writeln!(f, "                   Monitor 223/+19, MazuNAT 358/+20")
     }
 }

@@ -127,7 +127,11 @@ pub fn steady_state(stats: &RunStats, model: &CycleModel) -> SteadyState {
     let n = stats.sent.max(1) as f64;
     let work = stats.work_cycles.iter().sum::<u64>() as f64 / n;
     let latency = stats.mean_latency_cycles();
-    SteadyState { work_cycles: work, latency_cycles: latency, latency_us: model.micros(latency as u64) }
+    SteadyState {
+        work_cycles: work,
+        latency_cycles: latency,
+        latency_us: model.micros(latency as u64),
+    }
 }
 
 #[cfg(test)]

@@ -6,9 +6,11 @@
 //! The classifier also watches TCP FIN/RST to garbage-collect rules.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use speedybox_packet::{Fid, FiveTuple, Packet};
+use speedybox_telemetry::{CounterShard, Telemetry};
 
 use crate::ops::OpCounter;
 
@@ -92,6 +94,10 @@ pub struct PacketClassifier {
     /// post-handshake packet. Off by default (record from the very first
     /// packet, which is what synthetic pktgen-style traffic needs).
     handshake_aware: bool,
+    /// Optional telemetry sink: flow lifecycle counters (opens, closes,
+    /// expiries, FID collisions, handshake packets). Relaxed atomics; no
+    /// effect on steering.
+    sink: Option<Arc<Telemetry>>,
 }
 
 impl Default for PacketClassifier {
@@ -130,6 +136,7 @@ impl PacketClassifier {
             shard_mask: n - 1,
             clock: std::sync::atomic::AtomicU64::new(0),
             handshake_aware: false,
+            sink: None,
         }
     }
 
@@ -156,6 +163,18 @@ impl PacketClassifier {
         self.handshake_aware
     }
 
+    /// Attaches a telemetry sink for flow lifecycle counters.
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Arc<Telemetry>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The telemetry cell for a FID, if a sink is attached.
+    fn cell(&self, fid: Fid) -> Option<&CounterShard> {
+        self.sink.as_ref().map(|t| t.shard(fid.index() as u64))
+    }
+
     /// Classifies a packet: computes and attaches the FID, decides
     /// initial vs. subsequent, and flags flow teardown.
     ///
@@ -178,12 +197,14 @@ impl PacketClassifier {
         let now = self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let is_syn = packet.tcp_flags().syn();
         let mut flows = self.shard(fid).lock();
-        let class = Self::steer(&mut flows, fid, tuple, now, is_syn, self.handshake_aware);
+        let class =
+            Self::steer(&mut flows, fid, tuple, now, is_syn, self.handshake_aware, self.cell(fid));
         let closes_flow = packet.tcp_flags().closes_flow();
         Ok(Classification { fid, class, closes_flow })
     }
 
     /// The steering decision proper, applied to one (locked) shard.
+    #[allow(clippy::too_many_arguments)]
     fn steer(
         flows: &mut HashMap<Fid, FlowState>,
         fid: Fid,
@@ -191,8 +212,13 @@ impl PacketClassifier {
         now: u64,
         is_syn: bool,
         handshake_aware: bool,
+        cell: Option<&CounterShard>,
     ) -> PacketClass {
-        let state = flows.entry(fid).or_default();
+        let mut opened = false;
+        let state = flows.entry(fid).or_insert_with(|| {
+            opened = true;
+            FlowState::default()
+        });
         state.last_seen = now;
         let class = match state.owner {
             Some(owner) if owner != tuple => PacketClass::Collision,
@@ -214,6 +240,16 @@ impl PacketClassifier {
         };
         if class != PacketClass::Collision {
             state.packets += 1;
+        }
+        if let Some(cell) = cell {
+            if opened {
+                cell.add_flows_opened(1);
+            }
+            match class {
+                PacketClass::Collision => cell.add_fid_collisions(1),
+                PacketClass::Handshake => cell.add_handshake_packets(1),
+                _ => {}
+            }
         }
         class
     }
@@ -276,9 +312,7 @@ impl PacketClassifier {
         // One clock advance for the whole batch; packet i gets the tick it
         // would have drawn classifying sequentially (parse failures draw
         // none, as in the per-packet path).
-        let base = self
-            .clock
-            .fetch_add(pending.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let base = self.clock.fetch_add(pending.len() as u64, std::sync::atomic::Ordering::Relaxed);
         for (j, p) in pending.iter_mut().enumerate() {
             p.now = base + j as u64;
         }
@@ -294,12 +328,24 @@ impl PacketClassifier {
             let mut flows = self.shards[shard_idx].lock();
             for j in members {
                 let p = &pending[j];
-                let class =
-                    Self::steer(&mut flows, p.fid, p.tuple, p.now, p.is_syn, self.handshake_aware);
+                let cell = self.cell(p.fid);
+                let class = Self::steer(
+                    &mut flows,
+                    p.fid,
+                    p.tuple,
+                    p.now,
+                    p.is_syn,
+                    self.handshake_aware,
+                    cell,
+                );
                 if p.closes && class != PacketClass::Collision {
                     // Sequential teardown point: the per-packet caller
                     // removes the flow before classifying the next packet.
-                    flows.remove(&p.fid);
+                    if flows.remove(&p.fid).is_some() {
+                        if let Some(cell) = cell {
+                            cell.add_flows_closed(1);
+                        }
+                    }
                 }
                 slots[p.idx] =
                     Some(Ok(Classification { fid: p.fid, class, closes_flow: p.closes }));
@@ -326,7 +372,11 @@ impl PacketClassifier {
     /// FIN/RST packet has finished processing). The next packet with this
     /// FID is treated as initial again.
     pub fn remove_flow(&self, fid: Fid) {
-        self.shard(fid).lock().remove(&fid);
+        if self.shard(fid).lock().remove(&fid).is_some() {
+            if let Some(cell) = self.cell(fid) {
+                cell.add_flows_closed(1);
+            }
+        }
     }
 
     /// Number of tracked flows.
@@ -373,6 +423,9 @@ impl PacketClassifier {
                 .collect();
             for fid in &dead {
                 flows.remove(fid);
+                if let Some(cell) = self.cell(*fid) {
+                    cell.add_flows_expired(1);
+                }
             }
             expired.extend(dead);
         }

@@ -173,10 +173,7 @@ pub fn consolidate(actions: &[HeaderAction]) -> ConsolidatedAction {
 pub fn xor_compose(p0: &[u8], p1: &[u8], p2: &[u8]) -> Vec<u8> {
     assert_eq!(p0.len(), p1.len(), "modify outputs must preserve length");
     assert_eq!(p0.len(), p2.len(), "modify outputs must preserve length");
-    p0.iter()
-        .zip(p1.iter().zip(p2))
-        .map(|(&b0, (&b1, &b2))| b0 ^ ((b0 ^ b1) | (b0 ^ b2)))
-        .collect()
+    p0.iter().zip(p1.iter().zip(p2)).map(|(&b0, (&b1, &b2))| b0 ^ ((b0 ^ b1) | (b0 ^ b2))).collect()
 }
 
 /// Iterated XOR composition over any number of modify outputs, applying

@@ -58,7 +58,10 @@ impl fmt::Debug for RulePatch {
             .field("header_actions", &self.header_actions)
             .field(
                 "state_functions",
-                &self.state_functions.as_ref().map(|v| v.iter().map(|s| s.name().to_owned()).collect::<Vec<_>>()),
+                &self
+                    .state_functions
+                    .as_ref()
+                    .map(|v| v.iter().map(|s| s.name().to_owned()).collect::<Vec<_>>()),
             )
             .finish()
     }
@@ -168,6 +171,10 @@ impl fmt::Debug for Event {
 #[derive(Debug, Default)]
 pub struct EventTable {
     events: RwLock<HashMap<Fid, Vec<Event>>>,
+    /// Optional telemetry sink (events-fired counter). Set once, after
+    /// construction, because the table is created inside `GlobalMat` and
+    /// shared as an `Arc`.
+    sink: std::sync::OnceLock<Arc<speedybox_telemetry::Telemetry>>,
 }
 
 impl EventTable {
@@ -175,6 +182,12 @@ impl EventTable {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a telemetry sink. Later calls on an already-sinked table
+    /// are ignored (first sink wins).
+    pub fn set_telemetry(&self, sink: Arc<speedybox_telemetry::Telemetry>) {
+        let _ = self.sink.set(sink);
     }
 
     /// Registers an event (the `register_event` API of Fig 2).
@@ -215,6 +228,11 @@ impl EventTable {
         if list.is_empty() {
             events.remove(&fid);
         }
+        if !fired.is_empty() {
+            if let Some(sink) = self.sink.get() {
+                sink.shard(fid.index() as u64).add_events_fired(fired.len() as u64);
+            }
+        }
         fired
     }
 
@@ -249,7 +267,13 @@ mod tests {
     #[test]
     fn untriggered_event_stays() {
         let table = EventTable::new();
-        table.register(Event::new(fid(1), NfId::new(0), "never", |_| false, |_| RulePatch::default()));
+        table.register(Event::new(
+            fid(1),
+            NfId::new(0),
+            "never",
+            |_| false,
+            |_| RulePatch::default(),
+        ));
         let mut ops = OpCounter::default();
         assert!(table.check(fid(1), &mut ops).is_empty());
         assert_eq!(table.len(), 1);

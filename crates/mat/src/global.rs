@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use speedybox_packet::{Fid, Packet};
+use speedybox_telemetry::{CounterShard, Telemetry};
 
 use crate::consolidate::{consolidate, ConsolidatedAction};
 use crate::event::EventTable;
@@ -116,6 +117,9 @@ pub struct GlobalMat {
     /// `shards.len() - 1`; the shard of a FID is `fid & shard_mask`.
     shard_mask: usize,
     events: Arc<EventTable>,
+    /// Optional telemetry sink: fast-path hit/miss, rule install/rewrite/
+    /// removal counters. Relaxed atomics; no effect on processing.
+    sink: Option<Arc<Telemetry>>,
 }
 
 impl GlobalMat {
@@ -137,7 +141,22 @@ impl GlobalMat {
             shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
             shard_mask: n - 1,
             events: Arc::new(EventTable::new()),
+            sink: None,
         }
+    }
+
+    /// Attaches a telemetry sink for fast-path and rule-churn counters.
+    /// The shared Event Table sinks into the same hub (events fired).
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: Arc<Telemetry>) -> Self {
+        self.events.set_telemetry(Arc::clone(&sink));
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The telemetry cell for a FID, if a sink is attached.
+    fn cell(&self, fid: Fid) -> Option<&CounterShard> {
+        self.sink.as_ref().map(|t| t.shard(fid.index() as u64))
     }
 
     /// Number of rule-table shards.
@@ -181,7 +200,12 @@ impl GlobalMat {
         let consolidated = consolidate(&actions);
         let sched = schedule(&batches);
         ops.consolidations += 1;
-        self.shard(fid).write().insert(fid, Arc::new(GlobalRule::new(consolidated, batches, sched)));
+        if let Some(cell) = self.cell(fid) {
+            cell.add_rules_installed(1);
+        }
+        self.shard(fid)
+            .write()
+            .insert(fid, Arc::new(GlobalRule::new(consolidated, batches, sched)));
     }
 
     /// The installed rule for a flow, if any.
@@ -212,7 +236,11 @@ impl GlobalMat {
     /// Table ("we delete the corresponding rule from the Global MAT and all
     /// Local MATs and free the associated memory space", §VI-B).
     pub fn remove_flow(&self, fid: Fid) {
-        self.shard(fid).write().remove(&fid);
+        if self.shard(fid).write().remove(&fid).is_some() {
+            if let Some(cell) = self.cell(fid) {
+                cell.add_rules_removed(1);
+            }
+        }
         for local in &self.locals {
             local.remove(fid);
         }
@@ -227,7 +255,11 @@ impl GlobalMat {
     /// state functions can reuse the event/lookup logic.
     pub fn prepare(&self, fid: Fid, ops: &mut OpCounter) -> Option<Arc<GlobalRule>> {
         ops.mat_lookups += 1;
+        let cell = self.cell(fid);
         if !self.contains(fid) {
+            if let Some(cell) = cell {
+                cell.add_fastpath_misses(1);
+            }
             return None;
         }
         let fired = self.events.check(fid, ops);
@@ -244,8 +276,17 @@ impl GlobalMat {
             }
             // Fig 3: "a new consolidated global MAT is computed".
             self.install(fid, ops);
+            if let Some(cell) = cell {
+                cell.add_rule_rewrites(1);
+            }
         }
         let rule = self.rule(fid);
+        if let Some(cell) = cell {
+            match &rule {
+                Some(_) => cell.add_fastpath_hits(1),
+                None => cell.add_fastpath_misses(1),
+            }
+        }
         if let Some(r) = &rule {
             r.record_hit();
         }
@@ -294,7 +335,11 @@ impl GlobalMat {
         ops: &mut OpCounter,
     ) -> (Option<Arc<GlobalRule>>, bool) {
         ops.mat_lookups += 1;
+        let cell = self.cell(fid);
         let Some(cached) = cached else {
+            if let Some(cell) = cell {
+                cell.add_fastpath_misses(1);
+            }
             return (None, false);
         };
         let fired = self.events.check(fid, ops);
@@ -311,11 +356,23 @@ impl GlobalMat {
             }
             // Fig 3: "a new consolidated global MAT is computed".
             self.install(fid, ops);
+            if let Some(cell) = cell {
+                cell.add_rule_rewrites(1);
+            }
             let rule = self.rule(fid);
+            if let Some(cell) = cell {
+                match &rule {
+                    Some(_) => cell.add_fastpath_hits(1),
+                    None => cell.add_fastpath_misses(1),
+                }
+            }
             if let Some(r) = &rule {
                 r.record_hit();
             }
             return (rule, true);
+        }
+        if let Some(cell) = cell {
+            cell.add_fastpath_hits(1);
         }
         cached.record_hit();
         (Some(Arc::clone(cached)), false)
@@ -395,12 +452,8 @@ impl GlobalMat {
             } else if r.consolidated.is_noop() {
                 "forward".to_owned()
             } else {
-                let fields: Vec<String> = r
-                    .consolidated
-                    .modifies()
-                    .iter()
-                    .map(|(f, _)| f.to_string())
-                    .collect();
+                let fields: Vec<String> =
+                    r.consolidated.modifies().iter().map(|(f, _)| f.to_string()).collect();
                 let mut a = format!("modify({})", fields.join(","));
                 if r.consolidated.net_decaps() > 0 || !r.consolidated.net_encaps().is_empty() {
                     let _ = write!(
@@ -412,11 +465,8 @@ impl GlobalMat {
                 }
                 a
             };
-            let batch_names: Vec<String> = r
-                .batches
-                .iter()
-                .map(|b| format!("{}[{}]", b.nf, b.access()))
-                .collect();
+            let batch_names: Vec<String> =
+                r.batches.iter().map(|b| format!("{}[{}]", b.nf, b.access())).collect();
             let _ = writeln!(
                 out,
                 "  {fid}: {action}; batches=[{}] waves={:?} hits={}",
@@ -511,10 +561,7 @@ mod tests {
         gm.install(fid, &mut ops);
         assert_eq!(gm.process(&mut p, &mut ops).unwrap(), FastPathOutcome::Forwarded);
         // Latter NF's modify wins.
-        assert_eq!(
-            p.get_field(HeaderField::DstIp).unwrap().as_ipv4(),
-            Ipv4Addr::new(2, 2, 2, 2)
-        );
+        assert_eq!(p.get_field(HeaderField::DstIp).unwrap().as_ipv4(), Ipv4Addr::new(2, 2, 2, 2));
         assert_eq!(ops.consolidations, 1);
     }
 
@@ -624,7 +671,13 @@ mod tests {
         let (_, fid) = pkt_with_fid();
         let mut ops = OpCounter::default();
         locals[0].add_header_action(fid, HeaderAction::Forward, &mut ops);
-        gm.events().register(Event::new(fid, NfId::new(0), "e", |_| false, |_| RulePatch::default()));
+        gm.events().register(Event::new(
+            fid,
+            NfId::new(0),
+            "e",
+            |_| false,
+            |_| RulePatch::default(),
+        ));
         gm.install(fid, &mut ops);
         assert!(gm.contains(fid));
         gm.remove_flow(fid);

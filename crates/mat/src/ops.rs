@@ -9,7 +9,6 @@
 //! which makes every figure deterministic and unit-testable while keeping
 //! the paper's *ratios* (the actual claims) intact.
 
-
 /// Counts of abstract operations performed while processing packets.
 ///
 /// Additive: combine counters from pipeline stages with `+`/`+=`.
@@ -77,6 +76,33 @@ impl OpCounter {
         self.event_checks += other.event_checks;
         self.ring_hops += other.ring_hops;
         self.drops += other.drops;
+    }
+
+    /// The counter as telemetry [`OpTotals`](speedybox_telemetry::OpTotals),
+    /// field order matching `speedybox_telemetry::OP_NAMES`. The
+    /// differential test in the workspace root keeps the two types in
+    /// lock-step.
+    #[must_use]
+    pub fn telemetry_totals(&self) -> speedybox_telemetry::OpTotals {
+        speedybox_telemetry::OpTotals([
+            self.parses,
+            self.classifications,
+            self.acl_rules_scanned,
+            self.hash_lookups,
+            self.hash_updates,
+            self.field_writes,
+            self.checksum_fixes,
+            self.encaps,
+            self.payload_bytes_scanned,
+            self.sf_invocations,
+            self.state_updates,
+            self.mat_records,
+            self.mat_lookups,
+            self.consolidations,
+            self.event_checks,
+            self.ring_hops,
+            self.drops,
+        ])
     }
 
     /// Sum of all counted operations (rough activity measure for tests).

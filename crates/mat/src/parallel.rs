@@ -52,8 +52,8 @@ pub fn schedule_batches(accesses: &[PayloadAccess]) -> Vec<Vec<usize>> {
     let mut waves: Vec<Vec<usize>> = Vec::new();
     let mut current: Vec<usize> = Vec::new();
     for (i, &acc) in accesses.iter().enumerate() {
-        let fits = !current.is_empty()
-            && current.iter().all(|&j| can_parallelize(accesses[j], acc));
+        let fits =
+            !current.is_empty() && current.iter().all(|&j| can_parallelize(accesses[j], acc));
         if current.is_empty() || fits {
             current.push(i);
         } else {
@@ -82,10 +82,7 @@ pub fn schedule(batches: &[SfBatch]) -> Vec<Vec<usize>> {
 /// batches falls out of this.
 #[must_use]
 pub fn schedule_latency(waves: &[Vec<usize>], costs: &[u64]) -> u64 {
-    waves
-        .iter()
-        .map(|wave| wave.iter().map(|&i| costs[i]).max().unwrap_or(0))
-        .sum()
+    waves.iter().map(|wave| wave.iter().map(|&i| costs[i]).max().unwrap_or(0)).sum()
 }
 
 #[cfg(test)]

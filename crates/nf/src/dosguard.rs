@@ -69,9 +69,9 @@ impl Nf for DosGuard {
     }
 
     fn process(&mut self, packet: &mut Packet, ctx: &mut NfContext<'_>) -> NfVerdict {
-        let fid = packet.fid().unwrap_or_else(|| {
-            packet.five_tuple().map(|t| t.fid()).unwrap_or_default()
-        });
+        let fid = packet
+            .fid()
+            .unwrap_or_else(|| packet.five_tuple().map(|t| t.fid()).unwrap_or_default());
         ctx.ops.parses += 1;
         let is_syn = packet.tcp_flags().syn();
         let count = Self::observe(&self.syn_counts, fid, is_syn);
@@ -205,11 +205,8 @@ mod tests {
         let rule = inst.local_mat().rule(fid).unwrap();
         for _ in 0..3 {
             let mut sub = syn_packet();
-            let mut sfctx = speedybox_mat::state_fn::SfContext {
-                packet: &mut sub,
-                fid,
-                ops: &mut ops,
-            };
+            let mut sfctx =
+                speedybox_mat::state_fn::SfContext { packet: &mut sub, fid, ops: &mut ops };
             rule.state_functions[0].invoke(&mut sfctx);
         }
         let fired = events.check(fid, &mut ops);

@@ -158,10 +158,7 @@ mod tests {
         let mut p = packet(16500);
         assert_eq!(gw.process(&mut p, &mut ctx), NfVerdict::Forward);
         assert_eq!(p.get_field(HeaderField::Tos).unwrap().as_byte(), 0xB8);
-        assert_eq!(
-            p.get_field(HeaderField::DstIp).unwrap().as_ipv4(),
-            Ipv4Addr::new(10, 30, 0, 1)
-        );
+        assert_eq!(p.get_field(HeaderField::DstIp).unwrap().as_ipv4(), Ipv4Addr::new(10, 30, 0, 1));
         assert!(p.verify_checksums().unwrap());
     }
 

@@ -64,10 +64,10 @@ impl FromStr for Prefix {
             return Ok(Prefix::any());
         }
         let (addr, len) = match s.split_once('/') {
-            Some((a, l)) => {
-                (a.parse::<Ipv4Addr>().map_err(|e| e.to_string())?,
-                 l.parse::<u8>().map_err(|e| e.to_string())?)
-            }
+            Some((a, l)) => (
+                a.parse::<Ipv4Addr>().map_err(|e| e.to_string())?,
+                l.parse::<u8>().map_err(|e| e.to_string())?,
+            ),
             None => (s.parse::<Ipv4Addr>().map_err(|e| e.to_string())?, 32),
         };
         if len > 32 {
@@ -102,7 +102,13 @@ impl AclRule {
     /// An allow-everything rule.
     #[must_use]
     pub fn allow_all() -> Self {
-        Self { src: Prefix::any(), dst: Prefix::any(), protocol: None, dst_port: None, verdict: AclVerdict::Allow }
+        Self {
+            src: Prefix::any(),
+            dst: Prefix::any(),
+            protocol: None,
+            dst_port: None,
+            verdict: AclVerdict::Allow,
+        }
     }
 
     /// A rule denying traffic to `dst`.
@@ -134,7 +140,9 @@ pub struct IpFilter {
     /// Verdict when no rule matches.
     default_verdict: AclVerdict,
     /// Per-flow verdict cache.
-    cache: std::sync::Arc<parking_lot::Mutex<std::collections::HashMap<speedybox_packet::Fid, AclVerdict>>>,
+    cache: std::sync::Arc<
+        parking_lot::Mutex<std::collections::HashMap<speedybox_packet::Fid, AclVerdict>>,
+    >,
 }
 
 impl IpFilter {

@@ -41,8 +41,8 @@ pub mod synthetic;
 pub mod vpn;
 
 pub use inspect::AhoCorasick;
-pub use regex::Regex;
 pub use nf::{Nf, NfContext, NfVerdict};
+pub use regex::Regex;
 
 /// Result alias re-exported for NF implementations.
 pub type Result<T, E = speedybox_mat::MatError> = core::result::Result<T, E>;

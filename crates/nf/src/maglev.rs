@@ -226,9 +226,9 @@ impl Nf for Maglev {
     }
 
     fn process(&mut self, packet: &mut Packet, ctx: &mut NfContext<'_>) -> NfVerdict {
-        let fid = packet.fid().unwrap_or_else(|| {
-            packet.five_tuple().map(|t| t.fid()).unwrap_or_default()
-        });
+        let fid = packet
+            .fid()
+            .unwrap_or_else(|| packet.five_tuple().map(|t| t.fid()).unwrap_or_default());
         ctx.ops.parses += 1;
         let backend = {
             let mut st = self.state.lock();
@@ -391,10 +391,7 @@ mod tests {
         }
         let rerouted = lb.assigned_backend(fid).unwrap();
         assert_ne!(rerouted, original);
-        assert_eq!(
-            p2.get_field(HeaderField::DstIp).unwrap().as_ipv4(),
-            *rerouted.ip()
-        );
+        assert_eq!(p2.get_field(HeaderField::DstIp).unwrap().as_ipv4(), *rerouted.ip());
     }
 
     #[test]
@@ -412,11 +409,7 @@ mod tests {
         // Slots that didn't point at the failed backend should mostly be
         // unchanged (consistent hashing's whole point).
         let dead: SocketAddrV4 = "10.1.0.1:8080".parse().unwrap();
-        let stable = before
-            .iter()
-            .zip(&after)
-            .filter(|(b, a)| **b != dead && *b == *a)
-            .count();
+        let stable = before.iter().zip(&after).filter(|(b, a)| **b != dead && *b == *a).count();
         let unaffected_before = before.iter().filter(|b| **b != dead).count();
         assert!(
             stable as f64 >= unaffected_before as f64 * 0.8,

@@ -70,9 +70,9 @@ impl Nf for Monitor {
     }
 
     fn process(&mut self, packet: &mut Packet, ctx: &mut NfContext<'_>) -> NfVerdict {
-        let fid = packet.fid().unwrap_or_else(|| {
-            packet.five_tuple().map(|t| t.fid()).unwrap_or_default()
-        });
+        let fid = packet
+            .fid()
+            .unwrap_or_else(|| packet.five_tuple().map(|t| t.fid()).unwrap_or_default());
         ctx.ops.parses += 1;
         Self::count(&self.counters, fid, packet.len());
         ctx.ops.state_updates += 1;

@@ -62,9 +62,9 @@ impl Nf for QuotaLimiter {
     }
 
     fn process(&mut self, packet: &mut Packet, ctx: &mut NfContext<'_>) -> NfVerdict {
-        let fid = packet.fid().unwrap_or_else(|| {
-            packet.five_tuple().map(|t| t.fid()).unwrap_or_default()
-        });
+        let fid = packet
+            .fid()
+            .unwrap_or_else(|| packet.five_tuple().map(|t| t.fid()).unwrap_or_default());
         ctx.ops.parses += 1;
         let total = Self::meter(&self.consumed, fid, packet.len() as u64);
         ctx.ops.state_updates += 1;

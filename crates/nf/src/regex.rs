@@ -364,10 +364,8 @@ impl Regex {
     /// # Errors
     /// Returns [`RegexError`] for malformed patterns.
     pub fn new(pattern: &str) -> Result<Self, RegexError> {
-        let trimmed = pattern
-            .strip_prefix('/')
-            .and_then(|p| p.strip_suffix('/'))
-            .unwrap_or(pattern);
+        let trimmed =
+            pattern.strip_prefix('/').and_then(|p| p.strip_suffix('/')).unwrap_or(pattern);
         if trimmed.is_empty() {
             return Err(RegexError::Empty);
         }
@@ -571,7 +569,7 @@ mod tests {
         // Shellcode-ish NOP sled.
         let sled = Regex::new(r"\x90*AAAA").unwrap();
         let _ = sled; // \x not supported: 'x' literal — verify it compiles
-        // SQL injection heuristic.
+                      // SQL injection heuristic.
         assert!(m(r"union\s+select", "x' UNION  select".to_lowercase().as_str()));
         // Directory traversal.
         assert!(m(r"(\.\./)+", "GET /../../etc/passwd"));

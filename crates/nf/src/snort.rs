@@ -145,9 +145,7 @@ impl Rule {
     /// True if the rule's header constraints accept this flow.
     #[must_use]
     pub fn matches_header(&self, proto: Protocol, src_port: u16, dst_port: u16) -> bool {
-        self.protocol == proto
-            && self.src_port.matches(src_port)
-            && self.dst_port.matches(dst_port)
+        self.protocol == proto && self.src_port.matches(src_port) && self.dst_port.matches(dst_port)
     }
 
     /// True if every content spec and every pcre matches the payload.
@@ -574,9 +572,8 @@ mod tests {
 
     #[test]
     fn offset_and_depth_constrain_match_window() {
-        let rule: Rule = r#"alert tcp any any -> any any (content:"GET"; offset:4; depth:8;)"#
-            .parse()
-            .unwrap();
+        let rule: Rule =
+            r#"alert tcp any any -> any any (content:"GET"; offset:4; depth:8;)"#.parse().unwrap();
         // Match must start at byte >= 4 and lie within [4, 12).
         assert!(!rule.matches_payload(b"GET xxxxxxxx"), "match at 0 violates offset");
         assert!(rule.matches_payload(b"xxxxGETxxxxx"));

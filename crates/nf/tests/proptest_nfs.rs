@@ -13,7 +13,10 @@ use speedybox_packet::{HeaderField, Packet, PacketBuilder};
 fn backends(n: usize) -> Vec<(String, SocketAddrV4)> {
     (0..n)
         .map(|i| {
-            (format!("backend-{i}"), format!("10.1.{}.{}:8080", i / 250, (i % 250) + 1).parse().unwrap())
+            (
+                format!("backend-{i}"),
+                format!("10.1.{}.{}:8080", i / 250, (i % 250) + 1).parse().unwrap(),
+            )
         })
         .collect()
 }

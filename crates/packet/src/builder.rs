@@ -180,8 +180,7 @@ impl PacketBuilder {
                 udp.write(&mut frame[l4_off..l4_off + UDP_LEN]);
             }
         }
-        frame[l4_off + l4_hdr..l4_off + l4_hdr + self.payload.len()]
-            .copy_from_slice(&self.payload);
+        frame[l4_off + l4_hdr..l4_off + l4_hdr + self.payload.len()].copy_from_slice(&self.payload);
         let mut pkt = Packet::from_valid_frame(&frame);
         pkt.fix_checksums().expect("builder produces parseable packets");
         pkt

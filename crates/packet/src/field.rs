@@ -8,7 +8,6 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
-
 /// A modifiable packet-header field.
 ///
 /// The "primary" fields (addresses and ports) carry routing semantics and

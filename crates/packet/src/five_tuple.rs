@@ -8,7 +8,6 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
-
 /// Width of a SpeedyBox flow ID in bits (paper §VI-B: "hashes the five tuple
 /// of a packet header to a 20 bits FID").
 pub const FID_BITS: u32 = 20;
@@ -143,9 +142,7 @@ impl fmt::Display for FiveTuple {
 /// 5-tuple and remains stable even when NFs rewrite headers, which is what
 /// lets Local MATs and the Global MAT agree on flow identity (paper §III,
 /// §VI-B).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Fid(u32);
 
 impl Fid {

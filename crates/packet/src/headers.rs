@@ -452,8 +452,15 @@ mod tests {
 
     #[test]
     fn tcp_round_trip() {
-        let tcp =
-            Tcp { src_port: 1234, dst_port: 80, seq: 99, ack: 100, flags: 0x12, window: 4096, ..Tcp::default() };
+        let tcp = Tcp {
+            src_port: 1234,
+            dst_port: 80,
+            seq: 99,
+            ack: 100,
+            flags: 0x12,
+            window: 4096,
+            ..Tcp::default()
+        };
         let mut buf = [0u8; TCP_LEN];
         tcp.write(&mut buf);
         let parsed = Tcp::parse(&buf).unwrap();

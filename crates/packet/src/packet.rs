@@ -12,9 +12,7 @@ use bytes::BytesMut;
 use crate::checksum;
 use crate::field::{FieldValue, HeaderField};
 use crate::five_tuple::{Fid, FiveTuple, Protocol};
-use crate::headers::{
-    AuthHeader, Ethernet, Ipv4, AH_LEN, ETHERNET_LEN, IPPROTO_AH, UDP_LEN,
-};
+use crate::headers::{AuthHeader, Ethernet, Ipv4, AH_LEN, ETHERNET_LEN, IPPROTO_AH, UDP_LEN};
 use crate::Result;
 
 /// Headroom reserved in front of every packet for encapsulation.
@@ -233,8 +231,7 @@ impl Packet {
     #[must_use]
     pub fn vlan_id(&self) -> Option<u16> {
         let et_off = self.start + 12;
-        let ethertype =
-            u16::from_be_bytes([*self.buf.get(et_off)?, *self.buf.get(et_off + 1)?]);
+        let ethertype = u16::from_be_bytes([*self.buf.get(et_off)?, *self.buf.get(et_off + 1)?]);
         if ethertype != crate::headers::ETHERTYPE_VLAN {
             return None;
         }
@@ -547,8 +544,7 @@ impl Packet {
         };
         self.buf[ck_off..ck_off + 2].copy_from_slice(&[0, 0]);
         let seg_start = off;
-        let ck =
-            checksum::l4_checksum(ip.src, ip.dst, proto.number(), &self.buf[seg_start..]);
+        let ck = checksum::l4_checksum(ip.src, ip.dst, proto.number(), &self.buf[seg_start..]);
         self.buf[ck_off..ck_off + 2].copy_from_slice(&ck.to_be_bytes());
         Ok(())
     }
@@ -731,7 +727,7 @@ mod tests {
         let b = base.as_bytes();
         let mut f = Vec::new();
         f.extend_from_slice(&b[..14]); // Ethernet
-        // IPv4 with one 4-byte NOP-padded option.
+                                       // IPv4 with one 4-byte NOP-padded option.
         let mut ip = b[14..34].to_vec();
         ip[0] = 0x46; // IHL = 6
         let payload_after_ip = &b[34..];

@@ -257,10 +257,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(
-            read_pcap(&[0u8; 24][..]),
-            Err(PcapError::BadMagic(_))
-        ));
+        assert!(matches!(read_pcap(&[0u8; 24][..]), Err(PcapError::BadMagic(_))));
     }
 
     #[test]

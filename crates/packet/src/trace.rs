@@ -8,7 +8,6 @@
 
 use std::io::{BufRead, Write};
 
-
 use crate::packet::Packet;
 use crate::Result;
 

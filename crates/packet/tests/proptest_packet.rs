@@ -6,18 +6,11 @@ use proptest::prelude::*;
 use speedybox_packet::{HeaderField, Packet, PacketBuilder, Protocol};
 
 fn arb_addr() -> impl Strategy<Value = SocketAddrV4> {
-    (any::<u32>(), any::<u16>())
-        .prop_map(|(ip, port)| SocketAddrV4::new(Ipv4Addr::from(ip), port))
+    (any::<u32>(), any::<u16>()).prop_map(|(ip, port)| SocketAddrV4::new(Ipv4Addr::from(ip), port))
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
-    (
-        arb_addr(),
-        arb_addr(),
-        prop::bool::ANY,
-        prop::collection::vec(any::<u8>(), 0..512),
-        1u8..=255,
-    )
+    (arb_addr(), arb_addr(), prop::bool::ANY, prop::collection::vec(any::<u8>(), 0..512), 1u8..=255)
         .prop_map(|(src, dst, tcp, payload, ttl)| {
             let mut b = if tcp { PacketBuilder::tcp() } else { PacketBuilder::udp() };
             b.src(src).dst(dst).payload(&payload).ttl(ttl);

@@ -13,9 +13,10 @@ use std::sync::Arc;
 use speedybox_mat::{GlobalRule, OpCounter, PacketClass};
 use speedybox_nf::Nf;
 use speedybox_packet::{Fid, Packet};
+use speedybox_telemetry::Telemetry;
 
 use crate::cycles::CycleModel;
-use crate::metrics::{PathKind, ProcessedPacket, RunStats};
+use crate::metrics::{observe, PathKind, ProcessedPacket, RunStats};
 use crate::runtime::{
     classify, fast_path, fast_path_cached, notify_flow_closed, tag_ingress, traverse_chain,
     SboxConfig, SpeedyBox,
@@ -36,17 +37,17 @@ pub struct BessChain {
     nfs: Vec<Box<dyn Nf>>,
     model: CycleModel,
     sbox: Option<SpeedyBox>,
+    /// Live counters. Shared with `sbox.telemetry` when SpeedyBox is on
+    /// (one hub for classifier, MAT and per-packet outcomes); a private
+    /// hub for baseline chains.
+    telemetry: Arc<Telemetry>,
 }
 
 impl BessChain {
     /// The original (uninstrumented) chain — the paper's `BESS` baseline.
     #[must_use]
     pub fn original(nfs: Vec<Box<dyn Nf>>) -> Self {
-        Self {
-            nfs,
-            model: CycleModel::new(),
-            sbox: None,
-        }
+        Self { nfs, model: CycleModel::new(), sbox: None, telemetry: Arc::new(Telemetry::new(1)) }
     }
 
     /// The chain with SpeedyBox enabled — the paper's `BESS w/ SBox`.
@@ -59,11 +60,14 @@ impl BessChain {
     #[must_use]
     pub fn speedybox_with(nfs: Vec<Box<dyn Nf>>, config: SboxConfig) -> Self {
         let sbox = SpeedyBox::new(nfs.len(), config);
-        Self {
-            nfs,
-            model: CycleModel::new(),
-            sbox: Some(sbox),
-        }
+        let telemetry = Arc::clone(&sbox.telemetry);
+        Self { nfs, model: CycleModel::new(), sbox: Some(sbox), telemetry }
+    }
+
+    /// The chain's live telemetry hub.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Replaces the cycle model (calibration experiments).
@@ -116,7 +120,8 @@ impl BessChain {
                         notify_flow_closed(&mut self.nfs, fid);
                     }
                 }
-                ProcessedPacket {
+                let hint = packet.fid().map_or(0, |f| f.index() as u64);
+                let outcome = ProcessedPacket {
                     packet: res.survived.then(|| {
                         packet.clear_fid();
                         packet
@@ -125,7 +130,9 @@ impl BessChain {
                     latency_cycles: cycles,
                     path: PathKind::Baseline,
                     ops,
-                }
+                };
+                observe(&self.telemetry, hint, &outcome);
+                outcome
             }
             Some(_) => self.process_speedybox(packet),
         }
@@ -144,13 +151,15 @@ impl BessChain {
     fn classifier_drop(&self, mut cls_ops: OpCounter) -> ProcessedPacket {
         cls_ops.drops += 1;
         let cycles = self.model.cycles(&cls_ops);
-        ProcessedPacket {
+        let outcome = ProcessedPacket {
             packet: None,
             work_cycles: cycles,
             latency_cycles: cycles,
             path: PathKind::Initial,
             ops: cls_ops,
-        }
+        };
+        observe(&self.telemetry, 0, &outcome);
+        outcome
     }
 
     /// Everything after classification, shared by the per-packet and
@@ -313,6 +322,7 @@ impl BessChain {
             }
             notify_flow_closed(&mut self.nfs, fid);
         }
+        observe(&self.telemetry, fid.index() as u64, &outcome);
         outcome
     }
 
@@ -336,13 +346,7 @@ impl BessChain {
                 .map(|c| c.fid)
                 .collect();
             let cache = sbox.global.prefetch(&fast_fids);
-            (
-                classified,
-                BatchState {
-                    cache,
-                    stale: HashSet::new(),
-                },
-            )
+            (classified, BatchState { cache, stale: HashSet::new() })
         };
         let mut batch = Some(batch_state);
         packets
@@ -422,9 +426,7 @@ mod tests {
     }
 
     fn fw_chain(n: usize) -> Vec<Box<dyn Nf>> {
-        (0..n)
-            .map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>)
-            .collect()
+        (0..n).map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>).collect()
     }
 
     #[test]

@@ -39,9 +39,10 @@ pub fn ipfilter_chain(n: usize, rules: usize) -> Vec<Box<dyn Nf>> {
 pub fn synthetic_sf_chain(n: usize, scan_passes: u32) -> Vec<Box<dyn Nf>> {
     (0..n)
         .map(|i| {
-            Box::new(SyntheticNf::forward(format!("synthetic-{i}")).with_state_function(
-                SyntheticSf { access: PayloadAccess::Read, scan_passes },
-            )) as Box<dyn Nf>
+            Box::new(
+                SyntheticNf::forward(format!("synthetic-{i}"))
+                    .with_state_function(SyntheticSf { access: PayloadAccess::Read, scan_passes }),
+            ) as Box<dyn Nf>
         })
         .collect()
 }
@@ -89,9 +90,7 @@ pub fn chain1(backends: usize) -> (Vec<Box<dyn Nf>>, Chain1Handles) {
     let nat = MazuNat::new(Ipv4Addr::new(198, 51, 100, 1), (40000, 60000));
     let maglev = Maglev::new(
         (0..backends.max(1))
-            .map(|i| {
-                (format!("backend-{i}"), format!("10.1.0.{}:8080", i + 1).parse().unwrap())
-            })
+            .map(|i| (format!("backend-{i}"), format!("10.1.0.{}:8080", i + 1).parse().unwrap()))
             .collect::<Vec<(String, _)>>(),
         251,
     );

@@ -2,6 +2,7 @@
 
 use speedybox_mat::OpCounter;
 use speedybox_packet::Packet;
+use speedybox_telemetry::{PathClass, Telemetry};
 
 use crate::cycles::CycleModel;
 
@@ -15,6 +16,29 @@ pub enum PathKind {
     Initial,
     /// SpeedyBox fast path: consolidated processing from the Global MAT.
     Subsequent,
+}
+
+impl PathKind {
+    /// The telemetry path class with the same `path_counts` index.
+    #[must_use]
+    pub fn telemetry_class(self) -> PathClass {
+        match self {
+            PathKind::Baseline => PathClass::Baseline,
+            PathKind::Initial => PathClass::Initial,
+            PathKind::Subsequent => PathClass::Subsequent,
+        }
+    }
+}
+
+/// Records a finished packet into the telemetry hub: path mix, delivery
+/// outcome, latency histogram and the abstract-operation mirror. Called by
+/// the environments at the same points where `RunStats::record` would fold
+/// the outcome in — the differential test holds the two byte-for-byte
+/// equal.
+pub fn observe(telemetry: &Telemetry, hint: u64, outcome: &ProcessedPacket) {
+    let shard = telemetry.shard(hint);
+    shard.record_packet(outcome.path.telemetry_class(), outcome.latency_cycles, outcome.survived());
+    shard.add_ops(&outcome.ops.telemetry_totals());
 }
 
 /// Outcome of processing one packet.
@@ -127,11 +151,8 @@ impl RunStats {
         if self.sent == 0 {
             return 0.0;
         }
-        let bottleneck = self
-            .stage_cycles
-            .iter()
-            .map(|&c| c as f64 / self.sent as f64)
-            .fold(0.0f64, f64::max);
+        let bottleneck =
+            self.stage_cycles.iter().map(|&c| c as f64 / self.sent as f64).fold(0.0f64, f64::max);
         model.rate_mpps(bottleneck)
     }
 

@@ -15,14 +15,16 @@
 //! architecture used by integration tests and wall-clock benches.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use speedybox_mat::{OpCounter, PacketClass};
 use speedybox_nf::Nf;
 use speedybox_packet::{Fid, Packet};
+use speedybox_telemetry::Telemetry;
 
 use crate::bess::BatchState;
 use crate::cycles::CycleModel;
-use crate::metrics::{PathKind, ProcessedPacket, RunStats};
+use crate::metrics::{observe, PathKind, ProcessedPacket, RunStats};
 use crate::runtime::{
     classify, fast_path, fast_path_cached, notify_flow_closed, tag_ingress, traverse_chain,
     SboxConfig, SpeedyBox,
@@ -37,6 +39,9 @@ pub struct OnvmChain {
     /// Per-stage cycle totals: index 0 = manager (RX/classifier/Global
     /// MAT), 1..=N the NFs.
     stage_cycles: Vec<u64>,
+    /// Live counters. Shared with `sbox.telemetry` when SpeedyBox is on;
+    /// a private hub for baseline chains.
+    telemetry: Arc<Telemetry>,
 }
 
 impl OnvmChain {
@@ -49,7 +54,14 @@ impl OnvmChain {
             model: CycleModel::new(),
             sbox: None,
             stage_cycles: vec![0; stages],
+            telemetry: Arc::new(Telemetry::new(1)),
         }
+    }
+
+    /// The chain's live telemetry hub.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The chain with SpeedyBox — the paper's `ONVM w/ SBox`. The Global
@@ -65,11 +77,13 @@ impl OnvmChain {
     pub fn speedybox_with(nfs: Vec<Box<dyn Nf>>, config: SboxConfig) -> Self {
         let stages = nfs.len() + 1;
         let sbox = SpeedyBox::new(nfs.len(), config);
+        let telemetry = Arc::clone(&sbox.telemetry);
         Self {
             nfs,
             model: CycleModel::new(),
             sbox: Some(sbox),
             stage_cycles: vec![0; stages],
+            telemetry,
         }
     }
 
@@ -134,7 +148,8 @@ impl OnvmChain {
                         notify_flow_closed(&mut self.nfs, fid);
                     }
                 }
-                ProcessedPacket {
+                let hint = packet.fid().map_or(0, |f| f.index() as u64);
+                let outcome = ProcessedPacket {
                     packet: res.survived.then(|| {
                         packet.clear_fid();
                         packet
@@ -143,7 +158,9 @@ impl OnvmChain {
                     latency_cycles: latency,
                     path: PathKind::Baseline,
                     ops,
-                }
+                };
+                observe(&self.telemetry, hint, &outcome);
+                outcome
             }
             Some(_) => self.process_speedybox(packet),
         }
@@ -162,13 +179,15 @@ impl OnvmChain {
         cls_ops.drops += 1;
         let cycles = self.model.cycles(&cls_ops);
         self.stage_cycles[0] += cycles;
-        ProcessedPacket {
+        let outcome = ProcessedPacket {
             packet: None,
             work_cycles: cycles,
             latency_cycles: cycles,
             path: PathKind::Initial,
             ops: cls_ops,
-        }
+        };
+        observe(&self.telemetry, 0, &outcome);
+        outcome
     }
 
     /// Everything after classification, shared by the per-packet and
@@ -358,6 +377,7 @@ impl OnvmChain {
             }
             notify_flow_closed(&mut self.nfs, fid);
         }
+        observe(&self.telemetry, fid.index() as u64, &outcome);
         outcome
     }
 
@@ -379,13 +399,7 @@ impl OnvmChain {
                 .map(|c| c.fid)
                 .collect();
             let cache = sbox.global.prefetch(&fast_fids);
-            (
-                classified,
-                BatchState {
-                    cache,
-                    stale: HashSet::new(),
-                },
-            )
+            (classified, BatchState { cache, stale: HashSet::new() })
         };
         let mut batch = Some(batch_state);
         packets
@@ -416,12 +430,7 @@ impl OnvmChain {
         for p in packets {
             stats.record(self.process(p));
         }
-        stats.stage_cycles = self
-            .stage_cycles
-            .iter()
-            .zip(&before)
-            .map(|(a, b)| a - b)
-            .collect();
+        stats.stage_cycles = self.stage_cycles.iter().zip(&before).map(|(a, b)| a - b).collect();
         stats
     }
 
@@ -450,12 +459,7 @@ impl OnvmChain {
                 stats.record(outcome);
             }
         }
-        stats.stage_cycles = self
-            .stage_cycles
-            .iter()
-            .zip(&before)
-            .map(|(a, b)| a - b)
-            .collect();
+        stats.stage_cycles = self.stage_cycles.iter().zip(&before).map(|(a, b)| a - b).collect();
         stats
     }
 }
@@ -480,55 +484,34 @@ mod tests {
     }
 
     fn fw_chain(n: usize) -> Vec<Box<dyn Nf>> {
-        (0..n)
-            .map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>)
-            .collect()
+        (0..n).map(|_| Box::new(IpFilter::pass_through(30)) as Box<dyn Nf>).collect()
     }
 
     #[test]
     fn baseline_latency_grows_with_chain_length() {
-        let l3 = OnvmChain::original(fw_chain(3))
-            .run(packets(1000, 10))
-            .mean_latency_cycles();
-        let l1 = OnvmChain::original(fw_chain(1))
-            .run(packets(1000, 10))
-            .mean_latency_cycles();
-        assert!(
-            l3 > 2.0 * l1,
-            "pipelined latency must grow with length: {l1} vs {l3}"
-        );
+        let l3 = OnvmChain::original(fw_chain(3)).run(packets(1000, 10)).mean_latency_cycles();
+        let l1 = OnvmChain::original(fw_chain(1)).run(packets(1000, 10)).mean_latency_cycles();
+        assert!(l3 > 2.0 * l1, "pipelined latency must grow with length: {l1} vs {l3}");
     }
 
     #[test]
     fn baseline_rate_is_stable_across_lengths() {
         let model = CycleModel::new();
-        let r1 = OnvmChain::original(fw_chain(1))
-            .run(packets(1000, 50))
-            .pipelined_rate_mpps(&model);
-        let r5 = OnvmChain::original(fw_chain(5))
-            .run(packets(1000, 50))
-            .pipelined_rate_mpps(&model);
+        let r1 =
+            OnvmChain::original(fw_chain(1)).run(packets(1000, 50)).pipelined_rate_mpps(&model);
+        let r5 =
+            OnvmChain::original(fw_chain(5)).run(packets(1000, 50)).pipelined_rate_mpps(&model);
         // Identical NFs: bottleneck stage cost unchanged -> rate ~flat.
-        assert!(
-            (r1 - r5).abs() / r1 < 0.15,
-            "pipelined rate should be ~flat: {r1} vs {r5}"
-        );
+        assert!((r1 - r5).abs() / r1 < 0.15, "pipelined rate should be ~flat: {r1} vs {r5}");
     }
 
     #[test]
     fn speedybox_latency_is_flat_across_lengths() {
         let pkts = packets(1000, 100);
-        let l1 = OnvmChain::speedybox(fw_chain(1))
-            .run(pkts.clone())
-            .mean_latency_cycles();
-        let l5 = OnvmChain::speedybox(fw_chain(5))
-            .run(pkts)
-            .mean_latency_cycles();
+        let l1 = OnvmChain::speedybox(fw_chain(1)).run(pkts.clone()).mean_latency_cycles();
+        let l5 = OnvmChain::speedybox(fw_chain(5)).run(pkts).mean_latency_cycles();
         // Subsequent packets dominate; their cost is length-independent.
-        assert!(
-            l5 < 1.6 * l1,
-            "SpeedyBox latency must be ~flat: {l1} vs {l5}"
-        );
+        assert!(l5 < 1.6 * l1, "SpeedyBox latency must be ~flat: {l1} vs {l5}");
     }
 
     #[test]
@@ -536,24 +519,15 @@ mod tests {
         // The ring hops removed by consolidation are ONVM-only costs, so
         // the relative latency cut should be at least as large as BESS's.
         let pkts = packets(1000, 100);
-        let onvm_orig = OnvmChain::original(fw_chain(3))
-            .run(pkts.clone())
-            .mean_latency_cycles();
-        let onvm_sbox = OnvmChain::speedybox(fw_chain(3))
-            .run(pkts.clone())
-            .mean_latency_cycles();
-        let bess_orig = crate::bess::BessChain::original(fw_chain(3))
-            .run(pkts.clone())
-            .mean_latency_cycles();
-        let bess_sbox = crate::bess::BessChain::speedybox(fw_chain(3))
-            .run(pkts)
-            .mean_latency_cycles();
+        let onvm_orig = OnvmChain::original(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
+        let onvm_sbox = OnvmChain::speedybox(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
+        let bess_orig =
+            crate::bess::BessChain::original(fw_chain(3)).run(pkts.clone()).mean_latency_cycles();
+        let bess_sbox =
+            crate::bess::BessChain::speedybox(fw_chain(3)).run(pkts).mean_latency_cycles();
         let onvm_cut = 1.0 - onvm_sbox / onvm_orig;
         let bess_cut = 1.0 - bess_sbox / bess_orig;
-        assert!(
-            onvm_cut > bess_cut,
-            "ONVM cut {onvm_cut:.2} vs BESS cut {bess_cut:.2}"
-        );
+        assert!(onvm_cut > bess_cut, "ONVM cut {onvm_cut:.2} vs BESS cut {bess_cut:.2}");
     }
 
     #[test]
@@ -584,9 +558,6 @@ mod tests {
         // NF stages only saw the single initial packet.
         let manager = stats.stage_cycles[0];
         let nf_total: u64 = stats.stage_cycles[1..].iter().sum();
-        assert!(
-            manager > nf_total,
-            "manager {manager} should dominate NF stages {nf_total}"
-        );
+        assert!(manager > nf_total, "manager {manager} should dominate NF stages {nf_total}");
     }
 }

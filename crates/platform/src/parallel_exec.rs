@@ -35,8 +35,10 @@ pub fn execute_parallel(rule: &GlobalRule, packet: &mut Packet, fid: Fid) -> OpC
             }
             many => {
                 // At most one writer per wave (Table I invariant).
-                let writer =
-                    many.iter().copied().find(|&i| rule.batches[i].access() == PayloadAccess::Write);
+                let writer = many
+                    .iter()
+                    .copied()
+                    .find(|&i| rule.batches[i].access() == PayloadAccess::Write);
                 let ops_list = std::thread::scope(|scope| {
                     let mut join = Vec::new();
                     for &i in many {

@@ -14,6 +14,7 @@ use speedybox_mat::{
 };
 use speedybox_nf::{Nf, NfContext, NfVerdict};
 use speedybox_packet::{Fid, Packet};
+use speedybox_telemetry::Telemetry;
 
 use crate::cycles::CycleModel;
 
@@ -66,31 +67,30 @@ pub struct SpeedyBox {
     pub instruments: Vec<NfInstrument>,
     /// Active optimizations.
     pub config: SboxConfig,
+    /// Live telemetry hub. The classifier, Global MAT and Event Table all
+    /// sink into this same instance; environments additionally record
+    /// per-packet outcomes (path mix, latency, op totals) into it.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl SpeedyBox {
     /// Creates SpeedyBox state for a chain of `nf_count` NFs.
     #[must_use]
     pub fn new(nf_count: usize, config: SboxConfig) -> Self {
-        let locals: Vec<Arc<LocalMat>> = (0..nf_count)
-            .map(|i| Arc::new(LocalMat::new(NfId::new(i))))
-            .collect();
-        let global = GlobalMat::with_shards(locals.clone(), config.shards);
+        let locals: Vec<Arc<LocalMat>> =
+            (0..nf_count).map(|i| Arc::new(LocalMat::new(NfId::new(i)))).collect();
+        let telemetry = Arc::new(Telemetry::new(config.shards));
+        let global = GlobalMat::with_shards(locals.clone(), config.shards)
+            .with_telemetry(Arc::clone(&telemetry));
         let events: Arc<EventTable> = Arc::clone(global.events());
-        let instruments = locals
-            .iter()
-            .map(|l| NfInstrument::new(Arc::clone(l), Arc::clone(&events)))
-            .collect();
-        let mut classifier = PacketClassifier::with_shards(config.shards);
+        let instruments =
+            locals.iter().map(|l| NfInstrument::new(Arc::clone(l), Arc::clone(&events))).collect();
+        let mut classifier =
+            PacketClassifier::with_shards(config.shards).with_telemetry(Arc::clone(&telemetry));
         if config.handshake_aware {
             classifier = classifier.handshake_aware();
         }
-        Self {
-            classifier,
-            global,
-            instruments,
-            config,
-        }
+        Self { classifier, global, instruments, config, telemetry }
     }
 
     /// Tears down a closed flow across all tables.
@@ -156,11 +156,7 @@ pub fn traverse_chain(
         total_ops.merge(&ops);
         survived = verdict.survives();
     }
-    SlowPathResult {
-        survived,
-        per_nf_cycles,
-        ops: total_ops,
-    }
+    SlowPathResult { survived, per_nf_cycles, ops: total_ops }
 }
 
 /// Result of a fast-path execution.
@@ -213,10 +209,7 @@ pub fn fast_path_cached(
     let mut ctl_ops = OpCounter::default();
     let (rule, fired) = sbox.global.prepare_cached(fid, cached, &mut ctl_ops);
     match rule {
-        Some(rule) => (
-            Some(fast_path_execute(sbox, packet, fid, model, &rule, ctl_ops)),
-            fired,
-        ),
+        Some(rule) => (Some(fast_path_execute(sbox, packet, fid, model, &rule, ctl_ops)), fired),
         None => (None, fired),
     }
 }
@@ -236,9 +229,7 @@ fn fast_path_execute(
     // Step 2: header actions.
     let mut ha_ops = OpCounter::default();
     let survived = if sbox.config.consolidate_ha {
-        rule.consolidated
-            .apply(packet, &mut ha_ops)
-            .unwrap_or(false)
+        rule.consolidated.apply(packet, &mut ha_ops).unwrap_or(false)
     } else {
         // Ablation: replay each NF's recorded header actions sequentially,
         // paying the per-NF re-parse the consolidation would have removed.
@@ -295,12 +286,7 @@ fn fast_path_execute(
     let mut ops = ctl_ops;
     ops.merge(&ha_ops);
     ops.merge(&sf_ops);
-    let per_batch = rule
-        .batches
-        .iter()
-        .zip(&batch_cycles)
-        .map(|(b, &c)| (b.nf, c))
-        .collect();
+    let per_batch = rule.batches.iter().zip(&batch_cycles).map(|(b, &c)| (b.nf, c)).collect();
     FastPathResult {
         survived: true,
         work_cycles: ctl_cycles + ha_cycles + sf_work + fixed,
@@ -428,32 +414,18 @@ mod tests {
         let consolidated = SpeedyBox::new(2, SboxConfig::default());
         let mut initial = packet(1000);
         let fid = initial.fid().unwrap();
-        traverse_chain(
-            &mut nfs,
-            Some(&consolidated.instruments),
-            &mut initial,
-            &model,
-        );
+        traverse_chain(&mut nfs, Some(&consolidated.instruments), &mut initial, &model);
         let mut ops = OpCounter::default();
         consolidated.global.install(fid, &mut ops);
         let fast = fast_path(&consolidated, &mut packet(1000), fid, &model).unwrap();
 
         let unconsolidated = SpeedyBox::new(
             2,
-            SboxConfig {
-                consolidate_ha: false,
-                parallelize_sf: true,
-                ..SboxConfig::default()
-            },
+            SboxConfig { consolidate_ha: false, parallelize_sf: true, ..SboxConfig::default() },
         );
         let mut nfs2 = chain();
         let mut initial2 = packet(1000);
-        traverse_chain(
-            &mut nfs2,
-            Some(&unconsolidated.instruments),
-            &mut initial2,
-            &model,
-        );
+        traverse_chain(&mut nfs2, Some(&unconsolidated.instruments), &mut initial2, &model);
         let mut ops2 = OpCounter::default();
         unconsolidated.global.install(fid, &mut ops2);
         let slow = fast_path(&unconsolidated, &mut packet(1000), fid, &model).unwrap();
@@ -476,9 +448,8 @@ mod tests {
     fn drop_rule_short_circuits_fast_path() {
         let model = CycleModel::new();
         let sbox = SpeedyBox::new(1, SboxConfig::default());
-        let mut nfs: Vec<Box<dyn Nf>> = vec![Box::new(
-            SyntheticNf::forward("d").with_header_action(HeaderAction::Drop),
-        )];
+        let mut nfs: Vec<Box<dyn Nf>> =
+            vec![Box::new(SyntheticNf::forward("d").with_header_action(HeaderAction::Drop))];
         let mut initial = packet(1000);
         let fid = initial.fid().unwrap();
         let res = traverse_chain(&mut nfs, Some(&sbox.instruments), &mut initial, &model);
@@ -501,10 +472,7 @@ mod tests {
             (0..3)
                 .map(|i| {
                     Box::new(SyntheticNf::forward(format!("s{i}")).with_state_function(
-                        SyntheticSf {
-                            access: PayloadAccess::Read,
-                            scan_passes: 50,
-                        },
+                        SyntheticSf { access: PayloadAccess::Read, scan_passes: 50 },
                     )) as Box<dyn Nf>
                 })
                 .collect()
@@ -527,10 +495,7 @@ mod tests {
             parallelize_sf: false,
             ..SboxConfig::default()
         });
-        assert_eq!(
-            par.work_cycles, seq.work_cycles,
-            "parallelism is free work-wise"
-        );
+        assert_eq!(par.work_cycles, seq.work_cycles, "parallelism is free work-wise");
         assert!(
             par.latency_cycles < seq.latency_cycles,
             "parallel latency {} must beat sequential {}",

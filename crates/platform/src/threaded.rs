@@ -8,6 +8,7 @@
 //! output under true concurrency; wall-clock benches use it for real
 //! latency numbers.
 
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
@@ -15,6 +16,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use speedybox_mat::{FastPathOutcome, OpCounter, PacketClass};
 use speedybox_nf::{Nf, NfContext};
 use speedybox_packet::{Fid, Packet};
+use speedybox_telemetry::{PathClass, Telemetry, TelemetrySnapshot};
 
 use crate::runtime::{SboxConfig, SpeedyBox};
 
@@ -23,12 +25,7 @@ enum Msg {
     /// A packet in flight, with its injection order, send timestamp, and
     /// whether NFs should record its flow's behaviour (false for packets
     /// whose FID collides with another flow's).
-    Packet {
-        pkt: Packet,
-        seq: usize,
-        sent_at: Instant,
-        record: bool,
-    },
+    Packet { pkt: Packet, seq: usize, sent_at: Instant, record: bool },
     /// Tear down per-flow state.
     FlowClosed(Fid),
     /// Drain and exit.
@@ -37,15 +34,8 @@ enum Msg {
 
 /// Completion record returned to the manager.
 enum Done {
-    Delivered {
-        pkt: Packet,
-        seq: usize,
-        sent_at: Instant,
-    },
-    Dropped {
-        seq: usize,
-        sent_at: Instant,
-    },
+    Delivered { pkt: Packet, seq: usize, sent_at: Instant },
+    Dropped { seq: usize, sent_at: Instant },
 }
 
 /// Result of a threaded run.
@@ -58,6 +48,9 @@ pub struct ThreadedReport {
     /// Wall latency per packet (nanoseconds), indexed by injection order;
     /// dropped packets report the latency to the drop point.
     pub latencies_ns: Vec<u64>,
+    /// Final telemetry snapshot for the run (latencies in nanoseconds, not
+    /// model cycles). Merged across every shard, classifier and NF thread.
+    pub snapshot: TelemetrySnapshot,
 }
 
 /// Runs `packets` through `nfs`, each NF on its own thread connected by
@@ -94,17 +87,40 @@ pub fn run_threaded_batched(
     ring_capacity: usize,
     batch_size: usize,
 ) -> ThreadedReport {
+    run_threaded_observed(nfs, packets, speedybox, ring_capacity, batch_size, 0, |_| {})
+}
+
+/// [`run_threaded_batched`] with a live-telemetry hook: every
+/// `snapshot_every` completed packets the manager merges all counter shards
+/// and hands the snapshot to `on_snapshot` (pass `0` to disable periodic
+/// snapshots — the final one is always available via
+/// [`ThreadedReport::snapshot`]). Snapshots are taken from the manager
+/// thread while NF threads keep running, exercising the lock-free
+/// read-while-written path.
+///
+/// # Panics
+/// Panics if an NF thread panics.
+#[must_use]
+pub fn run_threaded_observed(
+    nfs: Vec<Box<dyn Nf>>,
+    packets: Vec<Packet>,
+    speedybox: bool,
+    ring_capacity: usize,
+    batch_size: usize,
+    snapshot_every: usize,
+    mut on_snapshot: impl FnMut(&TelemetrySnapshot),
+) -> ThreadedReport {
     let nf_count = nfs.len();
-    let sbox = speedybox.then(|| {
-        SpeedyBox::new(
-            nf_count,
-            SboxConfig {
-                batch_size,
-                ..SboxConfig::default()
-            },
-        )
-    });
+    let sbox = speedybox
+        .then(|| SpeedyBox::new(nf_count, SboxConfig { batch_size, ..SboxConfig::default() }));
     let total = packets.len();
+    // Speedybox runs share the runtime's hub so classifier/MAT/Event Table
+    // counters and per-packet records land in one place; baseline runs get
+    // a private single-shard hub.
+    let telemetry = match &sbox {
+        Some(s) => Arc::clone(&s.telemetry),
+        None => Arc::new(Telemetry::new(1)),
+    };
 
     let (done_tx, done_rx) = bounded::<Done>(ring_capacity.max(total));
     // Build the ring chain back to front.
@@ -115,15 +131,11 @@ pub fn run_threaded_batched(
         let downstream = next_tx.take();
         let done = done_tx.clone();
         let instrument = sbox.as_ref().map(|s| s.instruments[i].clone());
+        let telem = Arc::clone(&telemetry);
         let handle = thread::spawn(move || {
             while let Ok(msg) = rx.recv() {
                 match msg {
-                    Msg::Packet {
-                        mut pkt,
-                        seq,
-                        sent_at,
-                        record,
-                    } => {
+                    Msg::Packet { mut pkt, seq, sent_at, record } => {
                         let mut ops = OpCounter::default();
                         let verdict = match instrument.as_ref().filter(|_| record) {
                             Some(inst) => {
@@ -135,17 +147,13 @@ pub fn run_threaded_batched(
                                 nf.process(&mut pkt, &mut ctx)
                             }
                         };
+                        telem.shard(seq as u64).add_ops(&ops.telemetry_totals());
                         if !verdict.survives() {
                             let _ = done.send(Done::Dropped { seq, sent_at });
                         } else {
                             match &downstream {
                                 Some(next) => {
-                                    let _ = next.send(Msg::Packet {
-                                        pkt,
-                                        seq,
-                                        sent_at,
-                                        record,
-                                    });
+                                    let _ = next.send(Msg::Packet { pkt, seq, sent_at, record });
                                 }
                                 None => {
                                     let _ = done.send(Done::Delivered { pkt, seq, sent_at });
@@ -180,23 +188,30 @@ pub fn run_threaded_batched(
     let mut dropped = 0usize;
     let mut completed = 0usize;
     let mut in_flight = 0usize;
+    // Path class per injection order, fixed at classification time so the
+    // completion side knows which latency histogram to feed. Baseline runs
+    // (and Collision/Handshake packets, which traverse the original chain)
+    // stay at the default.
+    let mut path_class = vec![PathClass::Baseline; total];
+    let mut next_snap = if snapshot_every > 0 { snapshot_every } else { usize::MAX };
 
     let drain_one = |done: Done,
                      delivered: &mut Vec<Option<Packet>>,
                      latencies: &mut Vec<u64>,
-                     dropped: &mut usize| {
+                     dropped: &mut usize,
+                     paths: &[PathClass]| {
         match done {
-            Done::Delivered {
-                mut pkt,
-                seq,
-                sent_at,
-            } => {
-                latencies[seq] = sent_at.elapsed().as_nanos() as u64;
+            Done::Delivered { mut pkt, seq, sent_at } => {
+                let lat = sent_at.elapsed().as_nanos() as u64;
+                latencies[seq] = lat;
+                telemetry.shard(seq as u64).record_packet(paths[seq], lat, true);
                 pkt.clear_fid();
                 delivered[seq] = Some(pkt);
             }
             Done::Dropped { seq, sent_at } => {
-                latencies[seq] = sent_at.elapsed().as_nanos() as u64;
+                let lat = sent_at.elapsed().as_nanos() as u64;
+                latencies[seq] = lat;
+                telemetry.shard(seq as u64).record_packet(paths[seq], lat, false);
                 *dropped += 1;
             }
         }
@@ -208,16 +223,12 @@ pub fn run_threaded_batched(
                 let start = Instant::now();
                 let mut ops = OpCounter::default();
                 crate::runtime::tag_ingress(&mut pkt, &mut ops);
+                telemetry.shard(seq as u64).add_ops(&ops.telemetry_totals());
                 let closes = pkt.tcp_flags().closes_flow();
                 let fid = pkt.fid();
                 if let Some(tx) = &first_tx {
-                    tx.send(Msg::Packet {
-                        pkt,
-                        seq,
-                        sent_at: start,
-                        record: false,
-                    })
-                    .expect("ring closed");
+                    tx.send(Msg::Packet { pkt, seq, sent_at: start, record: false })
+                        .expect("ring closed");
                     in_flight += 1;
                     if closes {
                         if let Some(fid) = fid {
@@ -226,15 +237,21 @@ pub fn run_threaded_batched(
                     }
                 } else {
                     pkt.clear_fid();
-                    latencies_ns[seq] = start.elapsed().as_nanos() as u64;
+                    let lat = start.elapsed().as_nanos() as u64;
+                    latencies_ns[seq] = lat;
+                    telemetry.shard(seq as u64).record_packet(PathClass::Baseline, lat, true);
                     delivered[seq] = Some(pkt);
                     completed += 1;
                 }
                 // Opportunistically drain completions to keep rings moving.
                 while let Ok(done) = done_rx.try_recv() {
-                    drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped);
+                    drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped, &path_class);
                     completed += 1;
                     in_flight -= 1;
+                }
+                while completed >= next_snap {
+                    on_snapshot(&telemetry.snapshot());
+                    next_snap = next_snap.saturating_add(snapshot_every);
                 }
             }
         }
@@ -262,29 +279,48 @@ pub fn run_threaded_batched(
                     pkts.push(pkt);
                 }
                 let mut fp_ops = vec![OpCounter::default(); pkts.len()];
-                match sbox.global.process_batch(&mut pkts, &mut fp_ops) {
+                let result = sbox.global.process_batch(&mut pkts, &mut fp_ops);
+                for (&(seq, _, _), op) in meta.iter().zip(&fp_ops) {
+                    telemetry.shard(seq as u64).add_ops(&op.telemetry_totals());
+                }
+                match result {
                     Ok(outcomes) => {
                         for ((&(seq, _, _), mut pkt), outcome) in
                             meta.iter().zip(pkts).zip(outcomes)
                         {
+                            let cell = telemetry.shard(seq as u64);
                             match outcome {
                                 FastPathOutcome::Forwarded => {
                                     pkt.clear_fid();
-                                    latencies_ns[seq] = start.elapsed().as_nanos() as u64;
+                                    let lat = start.elapsed().as_nanos() as u64;
+                                    latencies_ns[seq] = lat;
+                                    cell.record_packet(PathClass::Subsequent, lat, true);
                                     delivered[seq] = Some(pkt);
                                 }
                                 FastPathOutcome::Dropped => {
-                                    latencies_ns[seq] = start.elapsed().as_nanos() as u64;
+                                    let lat = start.elapsed().as_nanos() as u64;
+                                    latencies_ns[seq] = lat;
+                                    cell.record_packet(PathClass::Subsequent, lat, false);
                                     *dropped += 1;
                                 }
                                 // Rule missing: treat as drop (does not
                                 // occur with the blocking install below).
-                                FastPathOutcome::NoRule => *dropped += 1,
+                                FastPathOutcome::NoRule => {
+                                    cell.record_packet(PathClass::Subsequent, 0, false);
+                                    *dropped += 1;
+                                }
                             }
                             *completed += 1;
                         }
                     }
                     Err(_) => {
+                        for &(seq, _, _) in &meta {
+                            telemetry.shard(seq as u64).record_packet(
+                                PathClass::Subsequent,
+                                0,
+                                false,
+                            );
+                        }
                         *dropped += meta.len();
                         *completed += meta.len();
                     }
@@ -315,6 +351,9 @@ pub fn run_threaded_batched(
                 let (seqs, mut pkts): (Vec<usize>, Vec<Packet>) = chunk.into_iter().unzip();
                 let mut cls_ops = vec![OpCounter::default(); pkts.len()];
                 let classified = sbox.classifier.classify_batch(&mut pkts, &mut cls_ops);
+                for (&seq, op) in seqs.iter().zip(&cls_ops) {
+                    telemetry.shard(seq as u64).add_ops(&op.telemetry_totals());
+                }
                 // Consecutive fast-path packets accumulate here and are
                 // flushed together; any slow-path packet flushes first so
                 // overall processing order is preserved.
@@ -331,12 +370,15 @@ pub fn run_threaded_batched(
                                 &mut dropped,
                                 &mut completed,
                             );
+                            path_class[seq] = PathClass::Initial;
+                            telemetry.shard(seq as u64).record_packet(PathClass::Initial, 0, false);
                             dropped += 1;
                             completed += 1;
                             continue;
                         }
                     };
                     if c.class == PacketClass::Subsequent {
+                        path_class[seq] = PathClass::Subsequent;
                         fast_run.push((seq, pkt, c.fid, c.closes_flow));
                         continue;
                     }
@@ -349,15 +391,14 @@ pub fn run_threaded_batched(
                         &mut completed,
                     );
                     let record = c.class == PacketClass::Initial;
+                    // Collision/Handshake packets traverse the original
+                    // chain without recording, mirroring the deterministic
+                    // environments' `Baseline` attribution.
+                    path_class[seq] = if record { PathClass::Initial } else { PathClass::Baseline };
                     match &first_tx {
                         Some(tx) => {
-                            tx.send(Msg::Packet {
-                                pkt,
-                                seq,
-                                sent_at: start,
-                                record,
-                            })
-                            .expect("ring closed");
+                            tx.send(Msg::Packet { pkt, seq, sent_at: start, record })
+                                .expect("ring closed");
                             // Block until THIS packet completes so the
                             // rule is installed before any subsequent
                             // packet of the flow is fast-pathed.
@@ -366,7 +407,13 @@ pub fn run_threaded_batched(
                                 let done_seq = match &done {
                                     Done::Delivered { seq, .. } | Done::Dropped { seq, .. } => *seq,
                                 };
-                                drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped);
+                                drain_one(
+                                    done,
+                                    &mut delivered,
+                                    &mut latencies_ns,
+                                    &mut dropped,
+                                    &path_class,
+                                );
                                 completed += 1;
                                 if done_seq == seq {
                                     break;
@@ -376,7 +423,9 @@ pub fn run_threaded_batched(
                         }
                         None => {
                             pkt.clear_fid();
-                            latencies_ns[seq] = start.elapsed().as_nanos() as u64;
+                            let lat = start.elapsed().as_nanos() as u64;
+                            latencies_ns[seq] = lat;
+                            telemetry.shard(seq as u64).record_packet(path_class[seq], lat, true);
                             delivered[seq] = Some(pkt);
                             completed += 1;
                         }
@@ -384,6 +433,7 @@ pub fn run_threaded_batched(
                     if record {
                         let mut install_ops = OpCounter::default();
                         sbox.global.install(c.fid, &mut install_ops);
+                        telemetry.shard(seq as u64).add_ops(&install_ops.telemetry_totals());
                     }
                     if c.closes_flow && c.class != PacketClass::Collision {
                         // Classifier entry already removed inline by
@@ -402,6 +452,10 @@ pub fn run_threaded_batched(
                     &mut dropped,
                     &mut completed,
                 );
+                while completed >= next_snap {
+                    on_snapshot(&telemetry.snapshot());
+                    next_snap = next_snap.saturating_add(snapshot_every);
+                }
             }
         }
     }
@@ -409,9 +463,13 @@ pub fn run_threaded_batched(
     // Drain remaining in-flight packets and shut down.
     while in_flight > 0 {
         let done = done_rx.recv().expect("NF threads alive");
-        drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped);
+        drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped, &path_class);
         completed += 1;
         in_flight -= 1;
+        while completed >= next_snap {
+            on_snapshot(&telemetry.snapshot());
+            next_snap = next_snap.saturating_add(snapshot_every);
+        }
     }
     let _ = completed;
     if let Some(tx) = first_tx {
@@ -423,13 +481,15 @@ pub fn run_threaded_batched(
     }
     // Collect any completions that raced with shutdown.
     while let Ok(done) = done_rx.try_recv() {
-        drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped);
+        drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped, &path_class);
     }
 
+    let snapshot = telemetry.snapshot();
     ThreadedReport {
         delivered: delivered.into_iter().flatten().collect(),
         dropped,
         latencies_ns,
+        snapshot,
     }
 }
 
@@ -472,11 +532,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 PacketBuilder::tcp()
-                    .src(
-                        format!("10.0.0.1:{}", 1000 + (i as u16 % flows))
-                            .parse()
-                            .unwrap(),
-                    )
+                    .src(format!("10.0.0.1:{}", 1000 + (i as u16 % flows)).parse().unwrap())
                     .dst("10.0.0.2:80".parse().unwrap())
                     .payload(format!("p{i}").as_bytes())
                     .build()
@@ -485,9 +541,7 @@ mod tests {
     }
 
     fn fw_chain(n: usize) -> Vec<Box<dyn Nf>> {
-        (0..n)
-            .map(|_| Box::new(IpFilter::pass_through(10)) as Box<dyn Nf>)
-            .collect()
+        (0..n).map(|_| Box::new(IpFilter::pass_through(10)) as Box<dyn Nf>).collect()
     }
 
     #[test]
@@ -520,15 +574,11 @@ mod tests {
     fn drops_happen_in_both_modes() {
         let deny: Vec<Box<dyn Nf>> = vec![
             Box::new(IpFilter::pass_through(5)),
-            Box::new(IpFilter::new(vec![AclRule::deny_dst(
-                "10.0.0.2".parse().unwrap(),
-            )])),
+            Box::new(IpFilter::new(vec![AclRule::deny_dst("10.0.0.2".parse().unwrap())])),
         ];
         let deny2: Vec<Box<dyn Nf>> = vec![
             Box::new(IpFilter::pass_through(5)),
-            Box::new(IpFilter::new(vec![AclRule::deny_dst(
-                "10.0.0.2".parse().unwrap(),
-            )])),
+            Box::new(IpFilter::new(vec![AclRule::deny_dst("10.0.0.2".parse().unwrap())])),
         ];
         let a = ThreadedOnvm::run(deny, packets(20, 2), false);
         let b = ThreadedOnvm::run(deny2, packets(20, 2), true);
@@ -576,16 +626,47 @@ mod tests {
         let single = ThreadedOnvm::run(fw_chain(3), pkts.clone(), true);
         for batch in [2, 8, 32, 128] {
             let batched = ThreadedOnvm::run_batched(fw_chain(3), pkts.clone(), true, batch);
-            assert_eq!(
-                single.delivered.len(),
-                batched.delivered.len(),
-                "batch {batch}"
-            );
+            assert_eq!(single.delivered.len(), batched.delivered.len(), "batch {batch}");
             assert_eq!(single.dropped, batched.dropped, "batch {batch}");
             for (x, y) in single.delivered.iter().zip(&batched.delivered) {
                 assert_eq!(x.as_bytes(), y.as_bytes(), "batch {batch}");
             }
         }
+    }
+
+    #[test]
+    fn snapshot_accounts_for_every_packet() {
+        for speedybox in [false, true] {
+            let pkts = packets(40, 4);
+            let expect_lat: usize = pkts.len();
+            let report = ThreadedOnvm::run(fw_chain(2), pkts, speedybox);
+            let s = &report.snapshot;
+            assert_eq!(s.packets, 40, "speedybox={speedybox}");
+            assert_eq!(s.delivered as usize, report.delivered.len());
+            assert_eq!(s.dropped as usize, report.dropped);
+            let lat = s.latency_total();
+            assert_eq!(lat.count as usize, expect_lat);
+            assert_eq!(lat.sum, report.latencies_ns.iter().sum::<u64>());
+            if speedybox {
+                // Every fast-pathed packet is exactly one Global MAT hit.
+                assert_eq!(s.fastpath_hits, s.paths[2]);
+                assert!(s.paths[2] > 0, "expected fast-path traffic");
+                assert_eq!(s.flows_opened, 4);
+            } else {
+                assert_eq!(s.paths, [40, 0, 0]);
+            }
+        }
+    }
+
+    #[test]
+    fn observed_hook_fires_and_grows_monotonically() {
+        let mut seen: Vec<u64> = Vec::new();
+        let report = run_threaded_observed(fw_chain(2), packets(50, 5), true, 256, 8, 10, |s| {
+            seen.push(s.packets)
+        });
+        assert!(!seen.is_empty(), "periodic hook never fired");
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.snapshot.packets, 50);
     }
 
     #[test]

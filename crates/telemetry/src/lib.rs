@@ -1,0 +1,32 @@
+//! Lock-free live telemetry for the SpeedyBox data plane.
+//!
+//! `RunStats` (in the platform crate) is a *post-run* aggregate: it only
+//! exists after a workload finishes, so nothing can observe rule churn,
+//! event firings or path mix while traffic is flowing, and CI has nothing
+//! to gate on. This crate adds the live layer:
+//!
+//! * [`Telemetry`] — a sharded hub of cache-padded, relaxed-atomic
+//!   counter cells ([`CounterShard`]). The hot path pays one uncontended
+//!   RMW per event and never takes a lock.
+//! * [`AtomicHistogram`] — fixed-bucket log2 latency histograms, one per
+//!   path kind ([`PathClass`]: baseline / initial / subsequent).
+//! * [`TelemetrySnapshot`] — a mergeable point-in-time copy with
+//!   Prometheus text exposition and an exact-round-trip JSON dump
+//!   (numbers stay `u64`; no `serde` needed).
+//!
+//! The crate is intentionally dependency-free so the classifier, Global
+//! MAT and Event Table (in `speedybox-mat`) can sink into it without a
+//! cycle. A differential test in the workspace root proves snapshot
+//! totals equal the `RunStats` aggregates byte-for-byte.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod counters;
+pub mod hist;
+pub mod json;
+pub mod snapshot;
+
+pub use counters::{CounterShard, OpTotals, PathClass, Telemetry, OP_KINDS, OP_NAMES};
+pub use hist::{AtomicHistogram, HistogramSnapshot, BUCKETS};
+pub use snapshot::TelemetrySnapshot;

@@ -1,0 +1,102 @@
+//! Property tests: histogram and snapshot merging is associative and
+//! commutative, and merging per-shard snapshots equals recording the
+//! concatenated stream into one histogram.
+
+use proptest::prelude::*;
+use speedybox_telemetry::{AtomicHistogram, HistogramSnapshot, PathClass, Telemetry};
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = AtomicHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..1_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000, 0..40),
+        c in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha;
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut right = ha;
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..1_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(
+        a in prop::collection::vec(0u64..1_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    #[test]
+    fn sharded_recording_equals_single_shard(
+        values in prop::collection::vec((0u64..4096, 0u64..100_000), 0..60),
+    ) {
+        // Record (hint, latency) pairs into a 8-shard hub and a 1-shard
+        // hub; the merged snapshots must agree on every total.
+        let sharded = Telemetry::new(8);
+        let single = Telemetry::new(1);
+        for &(hint, latency) in &values {
+            sharded.shard(hint).record_packet(PathClass::Subsequent, latency, true);
+            single.shard(hint).record_packet(PathClass::Subsequent, latency, true);
+        }
+        prop_assert_eq!(sharded.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative(
+        specs in prop::collection::vec((0u64..3, 0u64..100_000), 0..30),
+    ) {
+        // Build three snapshots by splitting the stream round-robin.
+        let hubs = [Telemetry::new(1), Telemetry::new(2), Telemetry::new(4)];
+        for (i, &(path, latency)) in specs.iter().enumerate() {
+            let path = PathClass::ALL[path as usize];
+            hubs[i % 3].shard(i as u64).record_packet(path, latency, latency % 7 != 0);
+        }
+        let [sa, sb, sc] = [hubs[0].snapshot(), hubs[1].snapshot(), hubs[2].snapshot()];
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.packets, specs.len() as u64);
+    }
+}

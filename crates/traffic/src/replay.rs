@@ -195,12 +195,11 @@ mod tests {
         let normal = ReplaySchedule::new(&w, 1.0);
         let fast = ReplaySchedule::new(&w, 2.0);
         assert_eq!(normal.len(), w.len());
-        assert!(normal.iter().zip(fast.iter()).all(|(a, b)| b.at_ns == a.at_ns / 2
-            || b.at_ns == (a.at_ns as f64 / 2.0) as u64));
         assert!(normal
             .iter()
-            .zip(normal.iter().skip(1))
-            .all(|(a, b)| a.at_ns <= b.at_ns));
+            .zip(fast.iter())
+            .all(|(a, b)| b.at_ns == a.at_ns / 2 || b.at_ns == (a.at_ns as f64 / 2.0) as u64));
+        assert!(normal.iter().zip(normal.iter().skip(1)).all(|(a, b)| a.at_ns <= b.at_ns));
         // Twice the speed, roughly twice the offered load.
         let ratio = fast.offered_pps() / normal.offered_pps();
         assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");

@@ -135,8 +135,8 @@ impl Workload {
             let payload = if rng.gen_bool(config.suspicious_fraction.clamp(0.0, 1.0))
                 && !config.suspicious_patterns.is_empty()
             {
-                let p = &config.suspicious_patterns
-                    [rng.gen_range(0..config.suspicious_patterns.len())];
+                let p =
+                    &config.suspicious_patterns[rng.gen_range(0..config.suspicious_patterns.len())];
                 PayloadKind::suspicious(p)
             } else {
                 PayloadKind::Clean
@@ -310,11 +310,8 @@ mod tests {
 
     #[test]
     fn suspicious_fraction_respected() {
-        let cfg = WorkloadConfig {
-            flows: 1000,
-            suspicious_fraction: 0.3,
-            ..WorkloadConfig::default()
-        };
+        let cfg =
+            WorkloadConfig { flows: 1000, suspicious_fraction: 0.3, ..WorkloadConfig::default() };
         let w = Workload::generate(&cfg);
         let sus = w.flows.iter().filter(|f| !f.payload.is_clean()).count();
         assert!((250..=350).contains(&sus), "suspicious flows: {sus}");
@@ -322,11 +319,8 @@ mod tests {
 
     #[test]
     fn zero_suspicious_fraction_is_all_clean() {
-        let cfg = WorkloadConfig {
-            flows: 50,
-            suspicious_fraction: 0.0,
-            ..WorkloadConfig::default()
-        };
+        let cfg =
+            WorkloadConfig { flows: 50, suspicious_fraction: 0.0, ..WorkloadConfig::default() };
         let w = Workload::generate(&cfg);
         assert!(w.flows.iter().all(|f| f.payload.is_clean()));
     }
@@ -381,11 +375,7 @@ mod tests {
 
     #[test]
     fn udp_fraction_mixes_protocols() {
-        let cfg = WorkloadConfig {
-            flows: 400,
-            udp_fraction: 0.5,
-            ..WorkloadConfig::default()
-        };
+        let cfg = WorkloadConfig { flows: 400, udp_fraction: 0.5, ..WorkloadConfig::default() };
         let w = Workload::generate(&cfg);
         let udp = w.flows.iter().filter(|f| f.tuple.protocol == Protocol::Udp).count();
         assert!((140..=260).contains(&udp), "~half UDP, got {udp}");
@@ -397,11 +387,8 @@ mod tests {
         }
         // TCP flows still open and close properly.
         let tcp_spec = w.flows.iter().find(|f| f.tuple.protocol == Protocol::Tcp).unwrap();
-        let tcp_pkts: Vec<_> = w
-            .arrivals
-            .iter()
-            .filter(|(_, p)| p.five_tuple().unwrap() == tcp_spec.tuple)
-            .collect();
+        let tcp_pkts: Vec<_> =
+            w.arrivals.iter().filter(|(_, p)| p.five_tuple().unwrap() == tcp_spec.tuple).collect();
         assert!(tcp_pkts.first().unwrap().1.tcp_flags().syn());
         assert!(tcp_pkts.last().unwrap().1.tcp_flags().fin());
     }

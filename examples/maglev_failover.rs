@@ -53,11 +53,7 @@ fn main() {
             let fb = *first_backend.get_or_insert(dst);
             assert_eq!(dst, fb, "packets 1-5 stick to the original backend");
         } else {
-            assert_ne!(
-                Some(dst),
-                first_backend,
-                "packets 6-10 must go to the re-routed backend"
-            );
+            assert_ne!(Some(dst), first_backend, "packets 6-10 must go to the re-routed backend");
         }
     }
     println!("\nevent fired exactly at packet 6; flow re-routed without leaving the fast path ✓");

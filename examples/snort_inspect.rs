@@ -19,8 +19,7 @@ log tcp any any -> any any (msg:"probe seen"; content:"probe";)
 fn run(speedybox: bool) -> Vec<(String, String)> {
     let ids = SnortLite::from_rules_text(RULES).expect("rules parse");
     let nfs: Vec<Box<dyn Nf>> = vec![Box::new(ids.clone())];
-    let mut chain =
-        if speedybox { BessChain::speedybox(nfs) } else { BessChain::original(nfs) };
+    let mut chain = if speedybox { BessChain::speedybox(nfs) } else { BessChain::original(nfs) };
 
     // Three flows exercising the three rule classes (Pass/Alert/Log).
     let flows: [(&str, &[u8]); 3] = [

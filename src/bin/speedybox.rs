@@ -21,6 +21,7 @@ use speedybox::platform::onvm::OnvmChain;
 use speedybox::platform::runtime::SboxConfig;
 use speedybox::platform::RunStats;
 use speedybox::stats::Summary;
+use speedybox::telemetry::TelemetrySnapshot;
 use speedybox::traffic::{Workload, WorkloadConfig};
 
 const USAGE: &str = "\
@@ -43,6 +44,9 @@ RUN OPTIONS:
   --batch-size <N>    fast-path packets per batch (default: 1 = per-packet)
   --shards <N>        classifier/Global-MAT lock shards, power of two (default: 16)
   --dump-mat          print the Global MAT after the run (implies --speedybox)
+  --metrics <FILE>    write the run's telemetry snapshot; *.prom gets
+                      Prometheus text exposition, anything else JSON
+                      (with --compare, the SpeedyBox run is exported)
 
 GEN-TRACE OPTIONS:
   --flows <N>         flows to synthesize (default: 100)
@@ -61,7 +65,11 @@ impl Args {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.flags.iter().position(|f| f == name).and_then(|i| self.flags.get(i + 1)).map(String::as_str)
+        self.flags
+            .iter()
+            .position(|f| f == name)
+            .and_then(|i| self.flags.get(i + 1))
+            .map(String::as_str)
     }
 
     fn usize_value(&self, name: &str, default: usize) -> Result<usize, String> {
@@ -96,8 +104,7 @@ fn load_packets(args: &Args) -> Result<Vec<Packet>, String> {
             speedybox::packet::pcap::read_pcap(BufReader::new(file))
                 .map_err(|e| format!("parse {path}: {e}"))?
         } else {
-            Trace::read_lines(BufReader::new(file))
-                .map_err(|e| format!("parse {path}: {e}"))?
+            Trace::read_lines(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))?
         };
         return trace.packets().map_err(|e| format!("trace packet invalid: {e}"));
     }
@@ -149,13 +156,34 @@ impl Chain {
         }?;
         Some(sbox.global.dump())
     }
+
+    fn snapshot(&self) -> TelemetrySnapshot {
+        match self {
+            Chain::Bess(c) => c.telemetry().snapshot(),
+            Chain::Onvm(c) => c.telemetry().snapshot(),
+        }
+    }
+}
+
+fn write_metrics(path: &str, snap: &TelemetrySnapshot) -> Result<(), String> {
+    let text = if path.ends_with(".prom") { snap.to_prometheus() } else { snap.to_json() };
+    std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+    println!(
+        "\nmetrics: wrote {path} ({} packets, {:.1}% fast-path)",
+        snap.packets,
+        snap.fastpath_hit_rate() * 100.0
+    );
+    Ok(())
 }
 
 fn print_run(label: &str, chain: &Chain, stats: &RunStats) {
     let (cycles, latency, rate) = chain.report(stats);
     let lat = Summary::from_u64(&stats.latencies_cycles);
     println!("{label}");
-    println!("  packets: {} in, {} delivered, {} dropped", stats.sent, stats.delivered, stats.dropped);
+    println!(
+        "  packets: {} in, {} delivered, {} dropped",
+        stats.sent, stats.delivered, stats.dropped
+    );
     println!(
         "  paths:   {} baseline, {} initial, {} fast-path",
         stats.path_counts[0], stats.path_counts[1], stats.path_counts[2]
@@ -192,6 +220,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         print_run("\nspeedybox", &fast, &sf);
         let cut = 1.0 - sf.mean_latency_cycles() / so.mean_latency_cycles();
         println!("\nlatency reduction: {:.1}%", cut * 100.0);
+        if let Some(path) = args.value("--metrics") {
+            write_metrics(path, &fast.snapshot())?;
+        }
         return Ok(());
     }
 
@@ -201,6 +232,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if dump {
         println!("\n{}", chain.dump_mat().expect("speedybox enabled"));
     }
+    if let Some(path) = args.value("--metrics") {
+        write_metrics(path, &chain.snapshot())?;
+    }
     Ok(())
 }
 
@@ -208,19 +242,14 @@ fn cmd_gen_trace(args: &Args) -> Result<(), String> {
     let out = args.value("--out").ok_or("--out <FILE> is required")?;
     let flows = args.usize_value("--flows", 100)?;
     let seed = args.usize_value("--seed", 1)? as u64;
-    let workload =
-        Workload::generate(&WorkloadConfig { flows, seed, ..WorkloadConfig::default() });
+    let workload = Workload::generate(&WorkloadConfig { flows, seed, ..WorkloadConfig::default() });
     let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    let format = args.value("--format").unwrap_or(if out.ends_with(".pcap") {
-        "pcap"
-    } else {
-        "lines"
-    });
+    let format =
+        args.value("--format").unwrap_or(if out.ends_with(".pcap") { "pcap" } else { "lines" });
     match format {
-        "lines" => workload
-            .to_trace()
-            .write_lines(BufWriter::new(file))
-            .map_err(|e| e.to_string())?,
+        "lines" => {
+            workload.to_trace().write_lines(BufWriter::new(file)).map_err(|e| e.to_string())?
+        }
         "pcap" => speedybox::packet::pcap::write_pcap(&workload.to_trace(), BufWriter::new(file))
             .map_err(|e| e.to_string())?,
         other => return Err(format!("unknown trace format: {other}")),

@@ -10,6 +10,8 @@
 //!   IPFilter, Monitor, MazuNAT, …);
 //! * [`platform`] — BESS-style and OpenNetVM-style execution environments
 //!   with a calibrated cycle model;
+//! * [`telemetry`] — lock-free runtime counters and latency histograms
+//!   with Prometheus/JSON exposition;
 //! * [`traffic`] — deterministic datacenter-style workload synthesis;
 //! * [`stats`] — CDFs, percentiles and table rendering.
 //!
@@ -35,4 +37,5 @@ pub use speedybox_nf as nf;
 pub use speedybox_packet as packet;
 pub use speedybox_platform as platform;
 pub use speedybox_stats as stats;
+pub use speedybox_telemetry as telemetry;
 pub use speedybox_traffic as traffic;

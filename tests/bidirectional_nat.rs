@@ -41,8 +41,7 @@ fn both_directions_fast_path_independently() {
     // Outbound: initial then fast.
     let out1 = c.process(outbound(4000, 0));
     assert_eq!(out1.path, PathKind::Initial);
-    let ext_port =
-        out1.packet.as_ref().unwrap().get_field(HeaderField::SrcPort).unwrap().as_port();
+    let ext_port = out1.packet.as_ref().unwrap().get_field(HeaderField::SrcPort).unwrap().as_port();
     assert_eq!(c.process(outbound(4000, 1)).path, PathKind::Subsequent);
 
     // Reply direction: its own rule, also initial then fast.
@@ -56,10 +55,7 @@ fn both_directions_fast_path_independently() {
     assert_eq!(delivered.get_field(HeaderField::DstPort).unwrap().as_port(), 4000);
     let back2 = c.process(reply(ext_port, 1));
     assert_eq!(back2.path, PathKind::Subsequent);
-    assert_eq!(
-        back2.packet.unwrap().get_field(HeaderField::DstPort).unwrap().as_port(),
-        4000
-    );
+    assert_eq!(back2.packet.unwrap().get_field(HeaderField::DstPort).unwrap().as_port(), 4000);
     // Two rules installed: one per direction.
     assert_eq!(c.sbox().unwrap().global.len(), 2);
 }

@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn speedybox(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_speedybox"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_speedybox")).args(args).output().expect("binary runs")
 }
 
 #[test]

@@ -92,8 +92,7 @@ fn run_chain1(packets: &[Packet], batch_size: usize, shards: usize) -> Observati
     );
     let stats = chain.run(packets.iter().cloned());
     let snapshot = handles.monitor.snapshot();
-    let totals =
-        snapshot.values().fold((0u64, 0u64), |a, c| (a.0 + c.packets, a.1 + c.bytes));
+    let totals = snapshot.values().fold((0u64, 0u64), |a, c| (a.0 + c.packets, a.1 + c.bytes));
     Observation {
         outputs: stats.outputs.iter().map(|p| p.as_bytes().to_vec()).collect(),
         delivered: stats.delivered,
@@ -118,10 +117,8 @@ fn run_chain2(packets: &[Packet], batch_size: usize, shards: usize) -> (Observat
     );
     let stats = chain.run(packets.iter().cloned());
     let snapshot = monitor.snapshot();
-    let totals =
-        snapshot.values().fold((0u64, 0u64), |a, c| (a.0 + c.packets, a.1 + c.bytes));
-    let logs =
-        snort.log().into_iter().map(|e| format!("{:?} {}", e.action, e.msg)).collect();
+    let totals = snapshot.values().fold((0u64, 0u64), |a, c| (a.0 + c.packets, a.1 + c.bytes));
+    let logs = snort.log().into_iter().map(|e| format!("{:?} {}", e.action, e.msg)).collect();
     let obs = Observation {
         outputs: stats.outputs.iter().map(|p| p.as_bytes().to_vec()).collect(),
         delivered: stats.delivered,

@@ -47,7 +47,8 @@ fn run_chain1(packets: &[Packet], speedybox: bool) -> Chain1Run {
         }
     }
     let snapshot = handles.monitor.snapshot();
-    let totals = snapshot.values().fold((0u64, 0u64), |acc, c| (acc.0 + c.packets, acc.1 + c.bytes));
+    let totals =
+        snapshot.values().fold((0u64, 0u64), |acc, c| (acc.0 + c.packets, acc.1 + c.bytes));
     Chain1Run { outputs, handles, monitor_totals: totals }
 }
 

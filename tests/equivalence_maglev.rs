@@ -79,10 +79,7 @@ fn remaining_headers_and_payloads_intact_after_event() {
     let out = chain.process(flow_packet(6)).packet.unwrap();
     // Payload untouched, source fields untouched, checksums valid.
     assert_eq!(out.payload().unwrap(), b"segment-6");
-    assert_eq!(
-        out.get_field(HeaderField::SrcIp).unwrap().as_ipv4(),
-        Ipv4Addr::new(10, 0, 0, 7)
-    );
+    assert_eq!(out.get_field(HeaderField::SrcIp).unwrap().as_ipv4(), Ipv4Addr::new(10, 0, 0, 7));
     assert_eq!(out.get_field(HeaderField::SrcPort).unwrap().as_port(), 6000);
     assert!(out.verify_checksums().unwrap());
 }

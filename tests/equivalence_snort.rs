@@ -24,11 +24,11 @@ log udp any any -> any any (msg:"udp beacon"; content:"beacon";)
 /// each, interleaved round-robin the way real traffic arrives.
 fn traffic() -> Vec<Packet> {
     let tcp_flows: [(&str, &[u8]); 5] = [
-        ("10.0.0.1:1000", b"healthcheck evil probe"),    // pass rule wins
-        ("10.0.0.1:2000", b"GET /evil HTTP/1.1"),        // alert (port 80)
-        ("10.0.0.1:3000", b"XFIL BEGIN data data"),      // alert (two contents)
-        ("10.0.0.1:4000", b"a probe packet"),            // log
-        ("10.0.0.1:4500", b"GET /../../etc/passwd"),     // alert (pcre)
+        ("10.0.0.1:1000", b"healthcheck evil probe"), // pass rule wins
+        ("10.0.0.1:2000", b"GET /evil HTTP/1.1"),     // alert (port 80)
+        ("10.0.0.1:3000", b"XFIL BEGIN data data"),   // alert (two contents)
+        ("10.0.0.1:4000", b"a probe packet"),         // log
+        ("10.0.0.1:4500", b"GET /../../etc/passwd"),  // alert (pcre)
     ];
     let mut out = Vec::new();
     for round in 0..5u32 {

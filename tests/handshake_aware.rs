@@ -81,11 +81,9 @@ fn nat_allocates_during_handshake_and_rule_matches() {
     let mut chain = BessChain::speedybox_with(nfs, cfg());
 
     let syn_out = chain.process(pkt(TcpFlags::SYN, b"", 0)).packet.unwrap();
-    let syn_port =
-        syn_out.get_field(speedybox::packet::HeaderField::SrcPort).unwrap().as_port();
+    let syn_port = syn_out.get_field(speedybox::packet::HeaderField::SrcPort).unwrap().as_port();
     let data_out = chain.process(pkt(TcpFlags::ACK, b"hello", 1)).packet.unwrap();
-    let data_port =
-        data_out.get_field(speedybox::packet::HeaderField::SrcPort).unwrap().as_port();
+    let data_port = data_out.get_field(speedybox::packet::HeaderField::SrcPort).unwrap().as_port();
     assert_eq!(syn_port, data_port, "fast-path rule reuses the handshake-time mapping");
     let fast_out = chain.process(pkt(TcpFlags::ACK, b"again", 2)).packet.unwrap();
     assert_eq!(

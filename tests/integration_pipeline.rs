@@ -117,8 +117,5 @@ fn baseline_threaded_latency_exceeds_fast_path_latency() {
     let fast = ThreadedOnvm::run(ipfilter_chain(4, 200), pkts, true);
     let b = Summary::new(base.latencies_ns.iter().map(|&x| x as f64)).median();
     let f = Summary::new(fast.latencies_ns.iter().map(|&x| x as f64)).median();
-    assert!(
-        f <= b * 3.0,
-        "fast-path median {f}ns should not be far above baseline {b}ns"
-    );
+    assert!(f <= b * 3.0, "fast-path median {f}ns should not be far above baseline {b}ns");
 }

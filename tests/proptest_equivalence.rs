@@ -60,25 +60,21 @@ fn build_chain(kinds: &[NfKind]) -> Vec<Box<dyn Nf>> {
                     .with_header_action(HeaderAction::modify(HeaderField::DstPort, *p)),
             )),
             NfKind::ModifyIp(o) => nfs.push(Box::new(
-                SyntheticNf::forward(format!("modip{i}")).with_header_action(
-                    HeaderAction::modify(
-                        HeaderField::DstIp,
-                        std::net::Ipv4Addr::new(10, 88, 0, *o),
-                    ),
-                ),
+                SyntheticNf::forward(format!("modip{i}")).with_header_action(HeaderAction::modify(
+                    HeaderField::DstIp,
+                    std::net::Ipv4Addr::new(10, 88, 0, *o),
+                )),
             )),
-            NfKind::ReadSf => nfs.push(Box::new(
-                SyntheticNf::forward(format!("read{i}")).with_state_function(SyntheticSf {
-                    access: speedybox::mat::PayloadAccess::Read,
-                    scan_passes: 2,
-                }),
-            )),
-            NfKind::WriteSf => nfs.push(Box::new(
-                SyntheticNf::forward(format!("write{i}")).with_state_function(SyntheticSf {
-                    access: speedybox::mat::PayloadAccess::Write,
-                    scan_passes: 1,
-                }),
-            )),
+            NfKind::ReadSf => {
+                nfs.push(Box::new(SyntheticNf::forward(format!("read{i}")).with_state_function(
+                    SyntheticSf { access: speedybox::mat::PayloadAccess::Read, scan_passes: 2 },
+                )))
+            }
+            NfKind::WriteSf => {
+                nfs.push(Box::new(SyntheticNf::forward(format!("write{i}")).with_state_function(
+                    SyntheticSf { access: speedybox::mat::PayloadAccess::Write, scan_passes: 1 },
+                )))
+            }
             NfKind::VpnPair => {
                 nfs.push(Box::new(VpnGateway::encap(i as u32)));
                 nfs.push(Box::new(VpnGateway::decap(i as u32)));
@@ -90,13 +86,8 @@ fn build_chain(kinds: &[NfKind]) -> Vec<Box<dyn Nf>> {
 
 fn arb_packets() -> impl Strategy<Value = Vec<Packet>> {
     // 1-4 flows, 1-8 packets each, mixed payloads; interleaved round-robin.
-    (
-        prop::collection::vec(
-            (prop::collection::vec(any::<u8>(), 0..64), 1usize..8),
-            1..4,
-        ),
-    )
-        .prop_map(|(flows,)| {
+    (prop::collection::vec((prop::collection::vec(any::<u8>(), 0..64), 1usize..8), 1..4),).prop_map(
+        |(flows,)| {
             let mut out = Vec::new();
             let max_len = flows.iter().map(|(_, n)| *n).max().unwrap_or(0);
             for round in 0..max_len {
@@ -114,7 +105,8 @@ fn arb_packets() -> impl Strategy<Value = Vec<Packet>> {
                 }
             }
             out
-        })
+        },
+    )
 }
 
 proptest! {

@@ -63,9 +63,7 @@ fn event_storm_under_backend_flapping() {
     // the chain must never wedge.
     let maglev = Maglev::new(
         (0..4)
-            .map(|i| {
-                (format!("backend-{i}"), format!("10.1.0.{}:8080", i + 1).parse().unwrap())
-            })
+            .map(|i| (format!("backend-{i}"), format!("10.1.0.{}:8080", i + 1).parse().unwrap()))
             .collect::<Vec<(String, _)>>(),
         251,
     );
@@ -90,10 +88,7 @@ fn event_storm_under_backend_flapping() {
         let out = chain.process(p);
         if let Some(pkt) = out.packet {
             delivered += 1;
-            let dst = pkt
-                .get_field(speedybox::packet::HeaderField::DstIp)
-                .unwrap()
-                .as_ipv4();
+            let dst = pkt.get_field(speedybox::packet::HeaderField::DstIp).unwrap().as_ipv4();
             assert_eq!(dst.octets()[..3], [10, 1, 0], "always a backend address");
         }
     }
@@ -150,8 +145,69 @@ fn large_flow_population_with_aging_stays_bounded() {
         chain.sbox().unwrap().expire_idle_flows(600);
         max_rules = max_rules.max(chain.sbox().unwrap().global.len());
     }
-    assert!(
-        max_rules <= 1100,
-        "rule table should track the active window, got {max_rules}"
-    );
+    assert!(max_rules <= 1100, "rule table should track the active window, got {max_rules}");
+}
+
+#[test]
+fn telemetry_stays_consistent_under_threaded_churn() {
+    // The heavy-churn workload from above, but on the real thread-per-NF
+    // runtime: NF threads record op counters concurrently with the
+    // manager's packet records, and the final merged snapshot must still
+    // account for every packet exactly once.
+    use speedybox::platform::threaded::ThreadedOnvm;
+    let w = Workload::generate(&WorkloadConfig {
+        flows: 300,
+        median_packets: 4.0,
+        payload_len: 64,
+        seed: 0xbeef,
+        ..WorkloadConfig::default()
+    });
+    let packets = w.packets();
+    let total = packets.len();
+    let report = ThreadedOnvm::run_batched(ipfilter_chain(4, 50), packets, true, 16);
+    let s = &report.snapshot;
+    assert_eq!(s.packets as usize, total, "every packet counted once");
+    assert_eq!(s.delivered as usize, report.delivered.len());
+    assert_eq!(s.dropped as usize, report.dropped);
+    assert_eq!(s.delivered + s.dropped, s.packets);
+    let lat = s.latency_total();
+    assert_eq!(lat.count as usize, total);
+    assert_eq!(lat.sum, report.latencies_ns.iter().sum::<u64>());
+    assert_eq!(s.fastpath_hits, s.paths[2], "one MAT hit per fast-pathed packet");
+    assert_eq!(s.flows_opened, 300);
+    assert_eq!(s.rules_installed, 300, "one consolidation per flow");
+}
+
+#[test]
+fn concurrent_snapshots_are_monotone_and_exact_at_quiescence() {
+    // Periodic snapshots taken while NF threads are still writing their
+    // shards: totals may lag but can never go backwards, and the final
+    // quiescent snapshot is exact.
+    use speedybox::platform::threaded::run_threaded_observed;
+    let w = Workload::generate(&WorkloadConfig {
+        flows: 200,
+        median_packets: 5.0,
+        seed: 77,
+        ..WorkloadConfig::default()
+    });
+    let packets = w.packets();
+    let total = packets.len();
+    let mut last_packets = 0u64;
+    let mut last_ops = 0u64;
+    let mut fired = 0usize;
+    let report = run_threaded_observed(ipfilter_chain(3, 50), packets, true, 256, 8, 40, |snap| {
+        fired += 1;
+        assert!(snap.packets >= last_packets, "packet count went backwards");
+        let ops_sum: u64 = snap.ops.0.iter().sum();
+        assert!(ops_sum >= last_ops, "op totals went backwards");
+        // Packet records happen on the manager thread (the same
+        // thread snapshotting), so delivery accounting is exact even
+        // mid-run.
+        assert_eq!(snap.delivered + snap.dropped, snap.packets);
+        last_packets = snap.packets;
+        last_ops = ops_sum;
+    });
+    assert!(fired >= 2, "periodic hook fired {fired} times");
+    assert_eq!(report.snapshot.packets as usize, total);
+    assert_eq!(report.snapshot.delivered as usize, report.delivered.len());
 }

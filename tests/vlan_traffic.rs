@@ -76,7 +76,9 @@ fn nat_rewrites_through_the_tag() {
 
 #[test]
 fn tagged_capture_round_trips_pcap() {
-    let t: Trace = (0..4u32).map(|i| TraceRecord::capture(u64::from(i) * 1_000, &tagged(7, 4400, i))).collect();
+    let t: Trace = (0..4u32)
+        .map(|i| TraceRecord::capture(u64::from(i) * 1_000, &tagged(7, 4400, i)))
+        .collect();
     let mut buf = Vec::new();
     write_pcap(&t, &mut buf).unwrap();
     let t2 = read_pcap(&buf[..]).unwrap();
