@@ -12,6 +12,7 @@
 //! `table2`, `table3`). Criterion wall-clock benches covering the same
 //! axes live in `benches/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

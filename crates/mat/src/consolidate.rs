@@ -300,6 +300,66 @@ mod tests {
     }
 
     #[test]
+    fn encap_then_own_decap_is_true_noop_and_skips_checksum() {
+        // Regression: an encap immediately undone by its own decap must
+        // cancel to a *true* no-op — `is_noop()` true, zero residual
+        // decaps/encaps — so `apply` skips header surgery and the checksum
+        // fix entirely.
+        let c = consolidate(&[
+            HeaderAction::Encap(EncapSpec::new(0x1001)),
+            HeaderAction::Decap(EncapSpec::new(0x1001)),
+        ]);
+        assert!(c.is_noop());
+        assert_eq!(c.net_decaps(), 0);
+        assert!(c.net_encaps().is_empty());
+        let mut p = pkt();
+        let before = p.as_bytes().to_vec();
+        let mut ops = OpCounter::default();
+        assert!(c.apply(&mut p, &mut ops).unwrap());
+        assert_eq!(p.as_bytes(), &before[..]);
+        assert_eq!(ops.checksum_fixes, 0);
+        assert_eq!(ops.encaps, 0);
+    }
+
+    #[test]
+    fn encap_own_decap_cancels_between_other_actions() {
+        // The cancelled pair must not disturb surrounding modifies, and an
+        // extra decap after the pair pops an *arrival* header, not the
+        // already-annihilated in-chain one.
+        let c = consolidate(&[
+            HeaderAction::modify(HeaderField::DstIp, ip(4)),
+            HeaderAction::Encap(EncapSpec::new(7)),
+            HeaderAction::Decap(EncapSpec::new(7)),
+            HeaderAction::Decap(EncapSpec::new(1)),
+        ]);
+        assert!(!c.is_noop());
+        assert_eq!(c.modifies(), &[(HeaderField::DstIp, ip(4).into())]);
+        assert_eq!(c.net_decaps(), 1);
+        assert!(c.net_encaps().is_empty());
+    }
+
+    #[test]
+    fn mismatched_spec_decap_still_pops_in_chain_encap() {
+        // Decap pops the outermost header regardless of the spec it names
+        // (mirroring `Packet::decap_ah`), so a mismatched spec still
+        // annihilates the in-chain encap and the pair is byte-equivalent to
+        // doing nothing. The static verifier flags the spec mismatch as
+        // SBX002 — the consolidation itself stays sound.
+        let actions =
+            [HeaderAction::Encap(EncapSpec::new(1)), HeaderAction::Decap(EncapSpec::new(2))];
+        let c = consolidate(&actions);
+        assert!(c.is_noop());
+        let mut seq = pkt();
+        let mut ops = OpCounter::default();
+        for a in &actions {
+            a.apply(&mut seq, &mut ops).unwrap();
+        }
+        let mut fast = pkt();
+        c.apply(&mut fast, &mut ops).unwrap();
+        assert_eq!(seq.as_bytes(), fast.as_bytes());
+    }
+
+    #[test]
     fn decap_then_encap_does_not_annihilate() {
         // Popping an arriving header then pushing a new one is NOT a no-op.
         let c = consolidate(&[
@@ -405,7 +465,7 @@ mod tests {
         pre2.set_field(HeaderField::SrcPort, 999u16).unwrap();
         let composed = xor_compose(base.as_bytes(), pre1.as_bytes(), pre2.as_bytes());
 
-        let mut fast = base.clone();
+        let mut fast = base;
         consolidate(&[m1, m2]).apply(&mut fast, &mut ops).unwrap();
         let mut composed_pkt = Packet::from_frame(&composed).unwrap();
         composed_pkt.fix_checksums().unwrap();

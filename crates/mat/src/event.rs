@@ -252,6 +252,15 @@ impl EventTable {
     pub fn remove_flow(&self, fid: Fid) {
         self.events.write().remove(&fid);
     }
+
+    /// A snapshot of the events registered for `fid`, in registration
+    /// order. Used by `speedybox-verify`'s event-rewrite pass to check the
+    /// rule each registered `(condition, update)` pair would install,
+    /// before any condition ever fires.
+    #[must_use]
+    pub fn events_for(&self, fid: Fid) -> Vec<Event> {
+        self.events.read().get(&fid).cloned().unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -283,7 +292,7 @@ mod tests {
     #[test]
     fn one_shot_event_fires_once() {
         let armed = Arc::new(AtomicBool::new(true));
-        let a = armed.clone();
+        let a = armed;
         let table = EventTable::new();
         table.register(Event::new(
             fid(1),

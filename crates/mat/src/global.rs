@@ -636,7 +636,7 @@ mod tests {
             }),
             &mut ops,
         );
-        let c2 = counter.clone();
+        let c2 = counter;
         gm.events().register(Event::new(
             fid,
             NfId::new(0),

@@ -46,8 +46,10 @@
 //! assert_eq!(merged.modifies().len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::needless_pass_by_value, clippy::redundant_clone, clippy::cast_possible_truncation)]
 
 pub mod action;
 pub mod api;
@@ -60,6 +62,7 @@ pub mod local;
 pub mod ops;
 pub mod parallel;
 pub mod state_fn;
+pub mod track;
 
 pub use action::{EncapSpec, HeaderAction};
 pub use api::NfInstrument;
@@ -72,6 +75,7 @@ pub use local::{LocalMat, LocalRule, NfId};
 pub use ops::OpCounter;
 pub use parallel::{can_parallelize, schedule_batches};
 pub use state_fn::{PayloadAccess, SfContext, StateFunction};
+pub use track::AccessViolation;
 
 /// Result alias for MAT operations.
 pub type Result<T, E = MatError> = core::result::Result<T, E>;

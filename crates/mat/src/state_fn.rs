@@ -93,8 +93,25 @@ impl StateFunction {
     }
 
     /// Invokes the handler, accounting the invocation.
+    ///
+    /// In debug builds, handlers declared [`PayloadAccess::Ignore`] or
+    /// [`PayloadAccess::Read`] run under the payload-access tracker: the
+    /// payload is snapshotted around the call and any byte change is
+    /// recorded as an [`crate::track::AccessViolation`] — a lying
+    /// declaration becomes a diagnostic instead of silent corruption on a
+    /// parallel schedule. Release builds compile the snapshot out.
     pub fn invoke(&self, ctx: &mut SfContext<'_>) {
         ctx.ops.sf_invocations += 1;
+        if crate::track::enabled() && self.access != PayloadAccess::Write {
+            let before = ctx.packet.payload().ok().map(<[u8]>::to_vec);
+            (self.handler)(ctx);
+            if let Some(before) = before {
+                if ctx.packet.payload().map(|p| p != &before[..]).unwrap_or(false) {
+                    crate::track::record_write_violation(&self.name, self.access);
+                }
+            }
+            return;
+        }
         (self.handler)(ctx);
     }
 }

@@ -23,6 +23,7 @@
 //! `SPEEDYBOX-INTEGRATION-BEGIN/END`, which is also how the Table II
 //! "added LOC" metric is reproduced.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -8,12 +8,14 @@
 use std::net::Ipv4Addr;
 
 use speedybox_mat::state_fn::PayloadAccess;
+use speedybox_nf::dosguard::DosGuard;
 use speedybox_nf::ipfilter::IpFilter;
 use speedybox_nf::maglev::Maglev;
 use speedybox_nf::mazunat::MazuNat;
 use speedybox_nf::monitor::Monitor;
 use speedybox_nf::snort::SnortLite;
 use speedybox_nf::synthetic::{SyntheticNf, SyntheticSf};
+use speedybox_nf::vpn::VpnGateway;
 use speedybox_nf::Nf;
 
 /// Default rule set used wherever a Snort instance is needed.
@@ -128,6 +130,58 @@ pub fn chain2() -> (Vec<Box<dyn Nf>>, Chain2Handles) {
     (nfs, Chain2Handles { snort, monitor })
 }
 
+/// The VPN tunnel walkthrough (`examples/vpn_tunnel.rs`): tunnel ingress →
+/// monitored core → tunnel egress, all on security association `spi`. The
+/// in-chain encap/decap pair annihilates under consolidation, so the
+/// flow's fast-path rule reduces to the monitor's counter alone.
+#[must_use]
+pub fn vpn_tunnel_chain(spi: u32) -> (Vec<Box<dyn Nf>>, Monitor) {
+    let monitor = Monitor::new();
+    let nfs: Vec<Box<dyn Nf>> = vec![
+        Box::new(VpnGateway::encap(spi)),
+        Box::new(monitor.clone()),
+        Box::new(VpnGateway::decap(spi)),
+    ];
+    (nfs, monitor)
+}
+
+/// The Fig 3 DoS-mitigation walkthrough (`examples/dos_mitigation.rs`):
+/// MazuNAT followed by a DoS guard that flips the flow's rule to `drop`
+/// through the Event Table once `threshold` SYNs are seen.
+#[must_use]
+pub fn dos_mitigation_chain(threshold: u64) -> (Vec<Box<dyn Nf>>, DosGuard) {
+    let nat = MazuNat::new(Ipv4Addr::new(198, 51, 100, 1), (40000, 60000));
+    let guard = DosGuard::new(threshold);
+    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(nat), Box::new(guard.clone())];
+    (nfs, guard)
+}
+
+/// The Maglev failover walkthrough (`examples/maglev_failover.rs`): a lone
+/// load balancer over `backends` backends whose recurring `maglev.reroute`
+/// event re-routes flows off failed backends on the fast path.
+#[must_use]
+pub fn maglev_failover_chain(backends: usize) -> (Vec<Box<dyn Nf>>, Maglev) {
+    let maglev = Maglev::new(
+        (0..backends.max(1))
+            .map(|i| (format!("backend-{i}"), format!("10.1.0.{}:8080", i + 1).parse().unwrap()))
+            .collect::<Vec<(String, _)>>(),
+        251,
+    );
+    (vec![Box::new(maglev.clone()) as Box<dyn Nf>], maglev)
+}
+
+/// The Snort inspection walkthrough (`examples/snort_inspect.rs`): the IDS
+/// alone, with the default rule set — its payload-READ state function keeps
+/// inspecting on the fast path.
+///
+/// # Panics
+/// Panics if the built-in rule set fails to parse (programming error).
+#[must_use]
+pub fn snort_chain() -> (Vec<Box<dyn Nf>>, SnortLite) {
+    let snort = SnortLite::from_rules_text(DEFAULT_SNORT_RULES).expect("built-in rules parse");
+    (vec![Box::new(snort.clone()) as Box<dyn Nf>], snort)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +193,10 @@ mod tests {
         assert_eq!(snort_monitor_chain().0.len(), 2);
         assert_eq!(chain1(4).0.len(), 4);
         assert_eq!(chain2().0.len(), 3);
+        assert_eq!(vpn_tunnel_chain(0x1001).0.len(), 3);
+        assert_eq!(dos_mitigation_chain(5).0.len(), 2);
+        assert_eq!(maglev_failover_chain(4).0.len(), 1);
+        assert_eq!(snort_chain().0.len(), 1);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! assert_eq!(stats.path_counts[2], 9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

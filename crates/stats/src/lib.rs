@@ -1,6 +1,7 @@
 //! Measurement utilities for the SpeedyBox reproduction: percentiles,
 //! CDFs, histograms and plain-text table rendering for the figure harness.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -248,6 +248,8 @@ impl Telemetry {
     /// Selects the counter cell for a flow hint (e.g. the FID index).
     #[must_use]
     #[inline]
+    // The mask is `shards.len() - 1`, so the masked value always fits usize.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn shard(&self, hint: u64) -> &CounterShard {
         &self.shards[(hint & self.mask) as usize]
     }

@@ -147,6 +147,9 @@ impl HistogramSnapshot {
     /// q-th observation, clamped to the observed max (same estimator as
     /// `speedybox_stats::Histogram::quantile`).
     #[must_use]
+    // `q` is clamped to [0, 1], so the product is in [0, count] and the
+    // cast back to u64 cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;

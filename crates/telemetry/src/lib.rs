@@ -19,7 +19,9 @@
 //! cycle. A differential test in the workspace root proves snapshot
 //! totals equal the `RunStats` aggregates byte-for-byte.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::needless_pass_by_value, clippy::redundant_clone, clippy::cast_possible_truncation)]
 #![warn(missing_debug_implementations)]
 
 pub mod counters;

@@ -279,7 +279,8 @@ impl TelemetrySnapshot {
                 let pair = pair.as_array().ok_or("bucket entry is not a pair")?;
                 let (i, n) = match pair {
                     [i, n] => (
-                        i.as_u64().ok_or("bad bucket index")? as usize,
+                        usize::try_from(i.as_u64().ok_or("bad bucket index")?)
+                            .map_err(|_| "bad bucket index")?,
                         n.as_u64().ok_or("bad bucket count")?,
                     ),
                     _ => return Err("bucket entry is not a pair".into()),

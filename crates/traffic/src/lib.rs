@@ -13,6 +13,7 @@
 //! * [`payload`] synthesizes payloads, a controlled fraction of which
 //!   contain the patterns the Snort rules match.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

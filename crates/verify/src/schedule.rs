@@ -1,0 +1,181 @@
+//! Pass 3: schedule safety against the paper's Table I conflict matrix,
+//! plus rendering of runtime payload-access-tracker findings.
+//!
+//! A wavefront schedule is safe iff (a) it is an order-preserving partition
+//! of the batch list — flattening the waves yields exactly `0..n` — and
+//! (b) no wave holds a pair Table I forbids: two payload writers, or a
+//! writer ordered against a reader in either direction. The declared
+//! accesses the matrix runs on are only trustworthy if the state functions
+//! are honest about them; [`check_access_log`] turns the debug-build
+//! tracker's observed-write records ([`AccessViolation`]) into `SBX010`
+//! diagnostics, closing the declared-vs-observed loop.
+
+use speedybox_mat::parallel::can_parallelize;
+use speedybox_mat::state_fn::PayloadAccess;
+use speedybox_mat::track::AccessViolation;
+use speedybox_mat::GlobalRule;
+
+use crate::diag::{LintCode, Report, Span};
+
+/// Names the Table I cell a conflicting pair falls into.
+fn conflict_rule(earlier: PayloadAccess, later: PayloadAccess) -> &'static str {
+    match (earlier, later) {
+        (PayloadAccess::Write, PayloadAccess::Write) => "WRITE x WRITE",
+        (PayloadAccess::Write, PayloadAccess::Read) => "WRITE before READ",
+        (PayloadAccess::Read, PayloadAccess::Write) => "READ before WRITE",
+        _ => "conflict",
+    }
+}
+
+/// Validates `waves` over batches with the given payload `accesses`,
+/// reporting SBX008 (forbidden pair in a wave) and SBX009 (not an
+/// order-preserving partition).
+#[must_use]
+pub fn check_schedule(chain: &str, accesses: &[PayloadAccess], waves: &[Vec<usize>]) -> Report {
+    let mut report = Report::new(chain);
+
+    let flat: Vec<usize> = waves.iter().flatten().copied().collect();
+    let expected: Vec<usize> = (0..accesses.len()).collect();
+    if flat != expected {
+        report.push(
+            LintCode::ScheduleOrder,
+            Span::chain(),
+            format!(
+                "schedule is not an order-preserving partition of the {} batches: \
+                 flattened waves are {flat:?}",
+                accesses.len()
+            ),
+        );
+        // Indices may be out of range; skip the pairwise check.
+        if flat.iter().any(|&i| i >= accesses.len()) {
+            return report;
+        }
+    }
+
+    for (wave_idx, wave) in waves.iter().enumerate() {
+        for (pos, &i) in wave.iter().enumerate() {
+            for &j in &wave[pos + 1..] {
+                if !can_parallelize(accesses[i], accesses[j]) {
+                    report.push(
+                        LintCode::ScheduleConflict,
+                        Span::chain(),
+                        format!(
+                            "wave {wave_idx} runs batch {i} ({}) in parallel with batch {j} \
+                             ({}): Table I forbids {} in one wave",
+                            accesses[i],
+                            accesses[j],
+                            conflict_rule(accesses[i], accesses[j])
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Validates an installed fast-path rule's precomputed schedule against its
+/// batches' declared accesses.
+#[must_use]
+pub fn check_rule_schedule(chain: &str, rule: &GlobalRule) -> Report {
+    let accesses: Vec<PayloadAccess> =
+        rule.batches.iter().map(speedybox_mat::state_fn::SfBatch::access).collect();
+    check_schedule(chain, &accesses, &rule.schedule)
+}
+
+/// Renders runtime access-tracker findings as SBX010 errors: a state
+/// function that declared Read/Ignore but was observed writing the payload
+/// invalidates every schedule built from its declaration.
+#[must_use]
+pub fn check_access_log(chain: &str, violations: &[AccessViolation]) -> Report {
+    let mut report = Report::new(chain);
+    for v in violations {
+        report.push(
+            LintCode::AccessViolation,
+            Span::chain(),
+            format!(
+                "state function `{}` declared payload access `{}` but was observed writing \
+                 the payload ({} invocation(s)); Table I schedules built from the declaration \
+                 are unsound",
+                v.function, v.declared, v.count
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use speedybox_mat::parallel::schedule_batches;
+    use PayloadAccess::{Ignore, Read, Write};
+
+    use super::*;
+
+    #[test]
+    fn generated_schedules_verify() {
+        for accesses in [
+            vec![],
+            vec![Read, Ignore, Write],
+            vec![Write, Write, Write],
+            vec![Read, Read, Ignore, Write, Ignore],
+        ] {
+            let waves = schedule_batches(&accesses);
+            let report = check_schedule("gen", &accesses, &waves);
+            assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn write_write_wave_is_flagged() {
+        let report = check_schedule("bad", &[Write, Write], &[vec![0, 1]]);
+        assert!(report.has_code(LintCode::ScheduleConflict));
+        assert!(report.diagnostics[0].message.contains("WRITE x WRITE"));
+    }
+
+    #[test]
+    fn write_before_read_wave_is_flagged() {
+        let report = check_schedule("bad", &[Write, Read], &[vec![0, 1]]);
+        assert!(report.has_code(LintCode::ScheduleConflict));
+        assert!(report.diagnostics[0].message.contains("WRITE before READ"));
+    }
+
+    #[test]
+    fn read_before_write_wave_is_flagged() {
+        let report = check_schedule("bad", &[Read, Write], &[vec![0, 1]]);
+        assert!(report.has_code(LintCode::ScheduleConflict));
+        assert!(report.diagnostics[0].message.contains("READ before WRITE"));
+    }
+
+    #[test]
+    fn reordered_partition_is_flagged() {
+        let report = check_schedule("bad", &[Ignore, Ignore], &[vec![1], vec![0]]);
+        assert!(report.has_code(LintCode::ScheduleOrder));
+    }
+
+    #[test]
+    fn missing_batch_is_flagged() {
+        let report = check_schedule("bad", &[Ignore, Ignore], &[vec![0]]);
+        assert!(report.has_code(LintCode::ScheduleOrder));
+    }
+
+    #[test]
+    fn out_of_range_index_is_flagged_without_panicking() {
+        let report = check_schedule("bad", &[Ignore], &[vec![0, 5]]);
+        assert!(report.has_code(LintCode::ScheduleOrder));
+    }
+
+    #[test]
+    fn access_log_renders_sbx010() {
+        let violations = vec![AccessViolation {
+            function: "liar".into(),
+            declared: Ignore,
+            observed: Write,
+            count: 3,
+        }];
+        let report = check_access_log("tracked", &violations);
+        assert!(report.has_code(LintCode::AccessViolation));
+        assert!(report.has_errors());
+        assert!(report.diagnostics[0].message.contains("`liar`"));
+        assert!(check_access_log("clean", &[]).diagnostics.is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Pass 1: consolidation soundness by abstract interpretation.
+//!
+//! The chain's recorded header actions are interpreted sequentially over a
+//! symbolic packet header — each field is either *original* (absent from
+//! the map) or a known constant; encap/decap run against a symbolic header
+//! stack. The final symbolic state is the ground truth of what the original
+//! chain does to the header; [`check_consolidation`] then proves that
+//! [`consolidate`]'s one-shot [`ConsolidatedAction`] produces the same
+//! state, and flags the chain-structure smells discovered along the way
+//! (dead actions after a drop, unbalanced or mismatched encap/decap,
+//! conflicting modifies, early trailing-field writes).
+
+use std::collections::BTreeMap;
+
+use speedybox_mat::action::{EncapSpec, HeaderAction};
+use speedybox_mat::consolidate::consolidate;
+use speedybox_packet::{FieldValue, HeaderField};
+
+use crate::diag::{LintCode, Report, Span};
+
+/// One NF's contribution to the chain under verification: its diagnostic
+/// name and the header actions it recorded, in order.
+#[derive(Debug, Clone, Default)]
+pub struct NfActions {
+    /// Diagnostic name ("snort", "maglev", ...).
+    pub name: String,
+    /// Recorded header actions, in recording order.
+    pub actions: Vec<HeaderAction>,
+}
+
+impl NfActions {
+    /// Builds one NF's action list.
+    #[must_use]
+    pub fn new(name: impl Into<String>, actions: Vec<HeaderAction>) -> Self {
+        NfActions { name: name.into(), actions }
+    }
+}
+
+/// The symbolic header state after sequentially interpreting a chain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolicState {
+    /// Final constant value per written field; unwritten fields keep their
+    /// arrival value and are absent.
+    pub fields: BTreeMap<HeaderField, FieldValue>,
+    /// Headers popped that arrived on the packet (decap underflows).
+    pub arrival_decaps: usize,
+    /// In-chain encapsulations still on the stack at chain end,
+    /// bottom-to-top.
+    pub pushed: Vec<EncapSpec>,
+    /// True once a drop action executed.
+    pub dropped: bool,
+}
+
+/// Sequentially interprets `nfs`' actions, appending structural findings
+/// (SBX001–SBX005) to `report`, and returns the final symbolic state.
+pub fn interpret(nfs: &[NfActions], report: &mut Report) -> SymbolicState {
+    let mut state = SymbolicState::default();
+    // Last writer per field, for SBX004 attribution.
+    let mut last_writer: BTreeMap<HeaderField, (usize, FieldValue)> = BTreeMap::new();
+    // Earliest trailing-field write not yet followed by primary surgery.
+    let mut pending_trailing: Vec<(usize, usize, HeaderField)> = Vec::new();
+
+    for (nf_idx, nf) in nfs.iter().enumerate() {
+        for (act_idx, action) in nf.actions.iter().enumerate() {
+            let span = || Span::nf(nf_idx, &nf.name).action(act_idx);
+            if state.dropped {
+                if !action.is_forward() {
+                    report.push(
+                        LintCode::DeadActionAfterDrop,
+                        span(),
+                        format!(
+                            "`{action}` is dead: an earlier drop already discards the packet, \
+                             so this action can never have been recorded from the original path"
+                        ),
+                    );
+                }
+                continue;
+            }
+            match action {
+                HeaderAction::Forward => {}
+                HeaderAction::Drop => state.dropped = true,
+                HeaderAction::Modify(writes) => {
+                    for (field, value) in writes {
+                        if let Some((prev_nf, prev_value)) = last_writer.get(field) {
+                            if *prev_nf != nf_idx && prev_value != value {
+                                report.push(
+                                    LintCode::ConflictingModify,
+                                    span(),
+                                    format!(
+                                        "{field} is written to {value} here but nf{prev_nf} \
+                                         ({}) already wrote {prev_value}; the earlier write is \
+                                         dead (latter wins)",
+                                        nfs[*prev_nf].name
+                                    ),
+                                );
+                            }
+                        }
+                        last_writer.insert(*field, (nf_idx, *value));
+                        state.fields.insert(*field, *value);
+                        if field.is_trailing() {
+                            pending_trailing.push((nf_idx, act_idx, *field));
+                        } else {
+                            drain_trailing(nfs, &mut pending_trailing, report, &field.to_string());
+                        }
+                    }
+                }
+                HeaderAction::Encap(spec) => {
+                    state.pushed.push(*spec);
+                    drain_trailing(nfs, &mut pending_trailing, report, &format!("encap({spec})"));
+                }
+                HeaderAction::Decap(spec) => {
+                    match state.pushed.pop() {
+                        Some(top) if top.spi != spec.spi => {
+                            report.push(
+                                LintCode::DecapSpecMismatch,
+                                span(),
+                                format!(
+                                    "decap names {spec} but pops the in-chain encapsulation \
+                                     {top}; the egress strips a header from a different tunnel"
+                                ),
+                            );
+                        }
+                        Some(_) => {}
+                        None => {
+                            state.arrival_decaps += 1;
+                            report.push(
+                                LintCode::DecapUnderflow,
+                                span(),
+                                format!(
+                                    "decap({spec}) has no matching in-chain encap; sound only \
+                                     if every packet of the flow arrives encapsulated"
+                                ),
+                            );
+                        }
+                    }
+                    drain_trailing(nfs, &mut pending_trailing, report, &format!("decap({spec})"));
+                }
+            }
+        }
+    }
+    state
+}
+
+/// Flushes pending trailing-field writes as SBX005 once primary surgery
+/// follows them.
+fn drain_trailing(
+    nfs: &[NfActions],
+    pending: &mut Vec<(usize, usize, HeaderField)>,
+    report: &mut Report,
+    follower: &str,
+) {
+    for (nf_idx, act_idx, field) in pending.drain(..) {
+        report.push(
+            LintCode::EarlyTrailingWrite,
+            Span::nf(nf_idx, &nfs[nf_idx].name).action(act_idx),
+            format!(
+                "trailing field {field} is written before later header surgery ({follower}); \
+                 consolidation defers trailing fixes to the end of the one-shot apply"
+            ),
+        );
+    }
+}
+
+/// Pass 1 entry point: interprets `nfs` symbolically and proves the
+/// consolidated action equivalent, reporting SBX001–SBX006.
+#[must_use]
+pub fn check_consolidation(chain: &str, nfs: &[NfActions]) -> Report {
+    let mut report = Report::new(chain);
+    let state = interpret(nfs, &mut report);
+
+    let flat: Vec<HeaderAction> = nfs.iter().flat_map(|nf| nf.actions.iter().cloned()).collect();
+    let consolidated = consolidate(&flat);
+
+    if consolidated.is_drop() != state.dropped {
+        report.push(
+            LintCode::ConsolidationMismatch,
+            Span::chain(),
+            format!(
+                "sequential interpretation says dropped={}, consolidate() says dropped={}",
+                state.dropped,
+                consolidated.is_drop()
+            ),
+        );
+        return report;
+    }
+    if state.dropped {
+        // A dropped packet has no residual header effects to compare; the
+        // consolidation algorithm guarantees drop short-circuits cleanly
+        // (locked in by its own unit tests).
+        return report;
+    }
+
+    let merged: BTreeMap<HeaderField, FieldValue> =
+        consolidated.modifies().iter().copied().collect();
+    if merged != state.fields {
+        report.push(
+            LintCode::ConsolidationMismatch,
+            Span::chain(),
+            format!(
+                "merged field writes diverge: sequential {:?} vs consolidated {:?}",
+                state.fields, merged
+            ),
+        );
+    }
+    if consolidated.net_decaps() != state.arrival_decaps {
+        report.push(
+            LintCode::ConsolidationMismatch,
+            Span::chain(),
+            format!(
+                "arrival decap count diverges: sequential {} vs consolidated {}",
+                state.arrival_decaps,
+                consolidated.net_decaps()
+            ),
+        );
+    }
+    if consolidated.net_encaps() != state.pushed.as_slice() {
+        report.push(
+            LintCode::ConsolidationMismatch,
+            Span::chain(),
+            format!(
+                "residual encapsulations diverge: sequential {:?} vs consolidated {:?}",
+                state.pushed,
+                consolidated.net_encaps()
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use super::*;
+
+    fn ip(a: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, a)
+    }
+
+    #[test]
+    fn clean_chain_verifies() {
+        let nfs = [
+            NfActions::new("nat", vec![HeaderAction::modify(HeaderField::SrcIp, ip(1))]),
+            NfActions::new("lb", vec![HeaderAction::modify(HeaderField::DstIp, ip(2))]),
+            NfActions::new("fw", vec![HeaderAction::Forward]),
+        ];
+        let report = check_consolidation("clean", &nfs);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn drop_then_modify_is_dead_action() {
+        let nfs = [
+            NfActions::new("fw", vec![HeaderAction::Drop]),
+            NfActions::new("nat", vec![HeaderAction::modify(HeaderField::DstIp, ip(1))]),
+        ];
+        let report = check_consolidation("bad", &nfs);
+        assert!(report.has_code(LintCode::DeadActionAfterDrop));
+        assert!(report.has_errors());
+        // The dead action points at the right NF.
+        let d = &report.diagnostics[0];
+        assert_eq!(d.span.nf, Some(1));
+        assert_eq!(d.span.nf_name.as_deref(), Some("nat"));
+    }
+
+    #[test]
+    fn dead_forward_is_not_reported() {
+        let nfs = [
+            NfActions::new("fw", vec![HeaderAction::Drop]),
+            NfActions::new("mon", vec![HeaderAction::Forward]),
+        ];
+        let report = check_consolidation("drop-fwd", &nfs);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn balanced_tunnel_verifies() {
+        let nfs = [
+            NfActions::new("vpn-in", vec![HeaderAction::Encap(EncapSpec::new(0x1001))]),
+            NfActions::new("mon", vec![HeaderAction::Forward]),
+            NfActions::new("vpn-out", vec![HeaderAction::Decap(EncapSpec::new(0x1001))]),
+        ];
+        let report = check_consolidation("tunnel", &nfs);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn mismatched_tunnel_spi_is_an_error() {
+        let nfs = [
+            NfActions::new("vpn-in", vec![HeaderAction::Encap(EncapSpec::new(1))]),
+            NfActions::new("vpn-out", vec![HeaderAction::Decap(EncapSpec::new(2))]),
+        ];
+        let report = check_consolidation("mismatch", &nfs);
+        assert!(report.has_code(LintCode::DecapSpecMismatch));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn arrival_decap_warns_but_is_not_an_error() {
+        let nfs = [NfActions::new("vpn-out", vec![HeaderAction::Decap(EncapSpec::new(7))])];
+        let report = check_consolidation("egress-only", &nfs);
+        assert!(report.has_code(LintCode::DecapUnderflow));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn cross_nf_conflicting_modify_warns() {
+        let nfs = [
+            NfActions::new("a", vec![HeaderAction::modify(HeaderField::DstIp, ip(1))]),
+            NfActions::new("b", vec![HeaderAction::modify(HeaderField::DstIp, ip(2))]),
+        ];
+        let report = check_consolidation("conflict", &nfs);
+        assert!(report.has_code(LintCode::ConflictingModify));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn same_nf_rewrite_is_not_a_conflict() {
+        let nfs = [NfActions::new(
+            "nat",
+            vec![
+                HeaderAction::modify(HeaderField::DstIp, ip(1)),
+                HeaderAction::modify(HeaderField::DstIp, ip(2)),
+            ],
+        )];
+        let report = check_consolidation("self", &nfs);
+        assert!(!report.has_code(LintCode::ConflictingModify), "{}", report.render_text());
+    }
+
+    #[test]
+    fn early_trailing_write_warns() {
+        let nfs = [
+            NfActions::new("shaper", vec![HeaderAction::modify(HeaderField::Ttl, 9u8)]),
+            NfActions::new("nat", vec![HeaderAction::modify(HeaderField::DstIp, ip(1))]),
+        ];
+        let report = check_consolidation("ttl-first", &nfs);
+        assert!(report.has_code(LintCode::EarlyTrailingWrite));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn trailing_write_at_end_is_fine() {
+        let nfs = [
+            NfActions::new("nat", vec![HeaderAction::modify(HeaderField::DstIp, ip(1))]),
+            NfActions::new("shaper", vec![HeaderAction::modify(HeaderField::Ttl, 9u8)]),
+        ];
+        let report = check_consolidation("ttl-last", &nfs);
+        assert!(!report.has_code(LintCode::EarlyTrailingWrite), "{}", report.render_text());
+    }
+
+    #[test]
+    fn symbolic_state_tracks_net_effects() {
+        let mut report = Report::new("t");
+        let nfs = [
+            NfActions::new("a", vec![HeaderAction::Encap(EncapSpec::new(1))]),
+            NfActions::new("b", vec![HeaderAction::Decap(EncapSpec::new(1))]),
+            NfActions::new("c", vec![HeaderAction::Decap(EncapSpec::new(2))]),
+            NfActions::new("d", vec![HeaderAction::Encap(EncapSpec::new(3))]),
+        ];
+        let state = interpret(&nfs, &mut report);
+        assert_eq!(state.arrival_decaps, 1);
+        assert_eq!(state.pushed, vec![EncapSpec::new(3)]);
+        assert!(!state.dropped);
+    }
+}

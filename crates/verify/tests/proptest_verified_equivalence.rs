@@ -1,0 +1,160 @@
+//! Property: any chain the verifier accepts (no Error-level findings) is
+//! differentially equivalent — applying its actions sequentially produces
+//! the same packet bytes and survival verdict as applying the consolidated
+//! action once. This ties the static passes to the runtime ground truth:
+//! the verifier may reject sound chains, but it must never accept an
+//! unsound one.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use speedybox_mat::action::{EncapSpec, HeaderAction};
+use speedybox_mat::consolidate::consolidate;
+use speedybox_mat::ops::OpCounter;
+use speedybox_packet::{HeaderField, Packet, PacketBuilder};
+use speedybox_verify::{check_consolidation, NfActions};
+
+fn arb_action() -> impl Strategy<Value = HeaderAction> {
+    prop_oneof![
+        Just(HeaderAction::Forward),
+        Just(HeaderAction::Drop),
+        (
+            prop::sample::select(vec![
+                HeaderField::SrcIp,
+                HeaderField::DstIp,
+                HeaderField::SrcPort,
+                HeaderField::DstPort,
+                HeaderField::Ttl,
+                HeaderField::Tos,
+            ]),
+            any::<u32>()
+        )
+            .prop_map(|(f, v)| {
+                let value = match f {
+                    HeaderField::SrcIp | HeaderField::DstIp => Ipv4Addr::from(v).into(),
+                    HeaderField::SrcPort | HeaderField::DstPort => (v as u16).into(),
+                    _ => (v as u8).into(),
+                };
+                HeaderAction::Modify(vec![(f, value)])
+            }),
+        (0u32..8).prop_map(|spi| HeaderAction::Encap(EncapSpec::new(spi))),
+        (0u32..8).prop_map(|spi| HeaderAction::Decap(EncapSpec::new(spi))),
+    ]
+}
+
+/// Chops a flat action list into 1-3 NFs at arbitrary boundaries.
+fn arb_chain() -> impl Strategy<Value = Vec<NfActions>> {
+    (prop::collection::vec(arb_action(), 0..8), any::<u8>()).prop_map(|(actions, split)| {
+        let n = actions.len();
+        let cut = if n == 0 { 0 } else { (split as usize) % (n + 1) };
+        vec![
+            NfActions::new("nf-a", actions[..cut].to_vec()),
+            NfActions::new("nf-b", actions[cut..].to_vec()),
+        ]
+    })
+}
+
+/// How deep the arriving packet must be pre-tunneled for every decap to
+/// succeed (`pre`), and the maximum simultaneous header depth either path
+/// can reach (`peak`, bounded by headroom: 128 B / 24 B AH = 5 headers).
+fn tunnel_needs(flat: &[HeaderAction]) -> (usize, usize) {
+    let (mut depth, mut min_depth, mut max_depth) = (0i64, 0i64, 0i64);
+    for a in flat {
+        match a {
+            HeaderAction::Encap(_) => depth += 1,
+            HeaderAction::Decap(_) => depth -= 1,
+            HeaderAction::Drop => break,
+            _ => {}
+        }
+        min_depth = min_depth.min(depth);
+        max_depth = max_depth.max(depth);
+    }
+    let pre = usize::try_from(-min_depth).unwrap();
+    let peak = usize::try_from(pre as i64 + max_depth).unwrap();
+    (pre, peak)
+}
+
+/// The base packet arrives wrapped in `pre` AH headers, so generated
+/// decap-underflow actions model a flow that genuinely arrives
+/// encapsulated (the case SBX003 warns about) instead of failing outright
+/// on both paths.
+fn base_packet(pre: usize) -> Packet {
+    let mut pkt = PacketBuilder::tcp()
+        .src("10.1.2.3:5555".parse().unwrap())
+        .dst("10.4.5.6:80".parse().unwrap())
+        .payload(b"verified-equivalence")
+        .build();
+    let mut ops = OpCounter::default();
+    for i in 0..pre {
+        HeaderAction::Encap(EncapSpec::new(100 + i as u32)).apply(&mut pkt, &mut ops).unwrap();
+    }
+    pkt
+}
+
+/// Sequential application; `Ok(survived)` or `Err` if an action failed
+/// outright (e.g. a decap on a packet with no header to strip).
+fn apply_sequentially(actions: &[HeaderAction], pkt: &mut Packet) -> Result<bool, String> {
+    let mut ops = OpCounter::default();
+    for a in actions {
+        match a.apply(pkt, &mut ops) {
+            Ok(true) => {}
+            Ok(false) => return Ok(false),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(true)
+}
+
+proptest! {
+    /// Soundness of acceptance: verifier-accepted chains are differentially
+    /// equivalent. Chains the verifier rejects (any Error finding) are out
+    /// of scope — rejection is allowed to be conservative.
+    #[test]
+    fn accepted_chains_are_equivalent(nfs in arb_chain()) {
+        let report = check_consolidation("prop", &nfs);
+        prop_assume!(!report.has_errors());
+
+        let flat: Vec<HeaderAction> =
+            nfs.iter().flat_map(|nf| nf.actions.iter().cloned()).collect();
+        let (pre, peak) = tunnel_needs(&flat);
+        // Deeper would exhaust mbuf headroom on either path.
+        prop_assume!(peak <= 5);
+
+        let mut seq = base_packet(pre);
+        let seq_result = apply_sequentially(&flat, &mut seq);
+
+        let mut fast = base_packet(pre);
+        let mut ops = OpCounter::default();
+        let consolidated = consolidate(&flat);
+        let fast_result = consolidated.apply(&mut fast, &mut ops).map_err(|e| e.to_string());
+
+        match (seq_result, fast_result) {
+            (Ok(s), Ok(f)) => {
+                prop_assert_eq!(s, f, "survival verdicts diverge");
+                if s {
+                    prop_assert_eq!(seq.as_bytes(), fast.as_bytes(), "packet bytes diverge");
+                }
+            }
+            // A decap of a packet that arrived untunneled fails on both
+            // paths; the verifier already warned (SBX003) without erroring.
+            (Err(_), Err(_)) => {}
+            (seq_r, fast_r) => prop_assert!(
+                false,
+                "one path failed and the other did not: sequential={seq_r:?} fast={fast_r:?}"
+            ),
+        }
+    }
+
+    /// The verifier never reports a consolidation mismatch (SBX006) for any
+    /// generated chain — the symbolic interpreter and `consolidate()` agree
+    /// on drop/field/stack effects across the whole action space.
+    #[test]
+    fn sbx006_never_fires(nfs in arb_chain()) {
+        let report = check_consolidation("prop", &nfs);
+        prop_assert!(
+            !report.has_code(speedybox_verify::LintCode::ConsolidationMismatch),
+            "symbolic vs consolidate() divergence:\n{}",
+            report.render_text()
+        );
+    }
+}

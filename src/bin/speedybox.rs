@@ -4,19 +4,20 @@
 //! ```text
 //! speedybox run --chain chain1 --speedybox --flows 200
 //! speedybox run --chain ipfilter:5 --env onvm --compare
+//! speedybox lint --all
+//! speedybox run --chain chain2 --verify --speedybox
 //! speedybox gen-trace --flows 50 --out /tmp/workload.trace
-//! speedybox run --chain chain2 --trace /tmp/workload.trace --dump-mat
 //! ```
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use speedybox::lint::{build_chain, lint_chain, CHAIN_REGISTRY, LINT_ALL};
 use speedybox::nf::Nf;
 use speedybox::packet::trace::Trace;
 use speedybox::packet::Packet;
 use speedybox::platform::bess::BessChain;
-use speedybox::platform::chains;
 use speedybox::platform::onvm::OnvmChain;
 use speedybox::platform::runtime::SboxConfig;
 use speedybox::platform::RunStats;
@@ -29,14 +30,16 @@ speedybox — SpeedyBox NFV service chains (ICDCS 2019 reproduction)
 
 USAGE:
   speedybox run [OPTIONS]        process a workload through a chain
+  speedybox lint <CHAIN>|--all   statically verify a chain (SBX0xx lints)
   speedybox gen-trace [OPTIONS]  synthesize a workload trace file
   speedybox chains               list available chain names
 
 RUN OPTIONS:
-  --chain <NAME>      chain1 | chain2 | snort-monitor | ipfilter:<N> | synthetic:<N>
-                      (default: chain1)
+  --chain <NAME>      any name from `speedybox chains` (default: chain1)
   --env <ENV>         bess | onvm (default: bess)
   --speedybox         enable SpeedyBox (default: original chain)
+  --verify            lint a fresh instance of the chain first; refuse to
+                      run if any Error-level finding is reported
   --compare           run both original and SpeedyBox, report the delta
   --flows <N>         synthetic workload flows (default: 100)
   --seed <N>          workload seed (default: 1)
@@ -47,6 +50,10 @@ RUN OPTIONS:
   --metrics <FILE>    write the run's telemetry snapshot; *.prom gets
                       Prometheus text exposition, anything else JSON
                       (with --compare, the SpeedyBox run is exported)
+
+LINT OPTIONS:
+  --all               lint every registry chain; exit non-zero on Errors
+  --json              emit findings as JSON instead of rendered text
 
 GEN-TRACE OPTIONS:
   --flows <N>         flows to synthesize (default: 100)
@@ -77,23 +84,6 @@ impl Args {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
         }
-    }
-}
-
-fn build_chain(name: &str) -> Result<Vec<Box<dyn Nf>>, String> {
-    if let Some(n) = name.strip_prefix("ipfilter:") {
-        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
-        return Ok(chains::ipfilter_chain(n, 200));
-    }
-    if let Some(n) = name.strip_prefix("synthetic:") {
-        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
-        return Ok(chains::synthetic_sf_chain(n, 80));
-    }
-    match name {
-        "chain1" => Ok(chains::chain1(8).0),
-        "chain2" => Ok(chains::chain2().0),
-        "snort-monitor" => Ok(chains::snort_monitor_chain().0),
-        other => Err(format!("unknown chain: {other} (try `speedybox chains`)")),
     }
 }
 
@@ -208,6 +198,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         shards: args.usize_value("--shards", default_cfg.shards)?,
         ..default_cfg
     };
+    if args.flag("--verify") {
+        // Preflight on a fresh instance: pass 2 statically invokes event
+        // update handlers, which may mutate NF state, so the linted chain
+        // must never be the one that processes traffic.
+        let report = lint_chain(chain_name)?;
+        if report.has_errors() {
+            return Err(format!(
+                "chain {chain_name} failed verification:\n{}",
+                report.render_text()
+            ));
+        }
+        println!("verify: {chain_name} passed ({} warning(s))\n", report.warn_count());
+    }
     let packets = load_packets(args)?;
     println!("chain: {chain_name} on {env}, {} packets\n", packets.len());
 
@@ -234,6 +237,34 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     if let Some(path) = args.value("--metrics") {
         write_metrics(path, &chain.snapshot())?;
+    }
+    Ok(())
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let json = args.flag("--json");
+    let names: Vec<&str> = if args.flag("--all") {
+        LINT_ALL.to_vec()
+    } else {
+        let name = args
+            .flags
+            .iter()
+            .find(|f| !f.starts_with("--"))
+            .ok_or("usage: speedybox lint <CHAIN> | --all [--json]")?;
+        vec![name.as_str()]
+    };
+    let mut errors = 0usize;
+    for name in names {
+        let report = lint_chain(name)?;
+        errors += report.error_count();
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+    }
+    if errors > 0 {
+        return Err(format!("{errors} error-level finding(s)"));
     }
     Ok(())
 }
@@ -268,13 +299,12 @@ fn main() -> ExitCode {
     let args = Args { flags: rest.to_vec() };
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
+        "lint" => cmd_lint(&args),
         "gen-trace" => cmd_gen_trace(&args),
         "chains" => {
-            println!("chain1          MazuNAT -> Maglev -> Monitor -> IPFilter (paper §VII-B3)");
-            println!("chain2          IPFilter -> Snort -> Monitor (paper §VII-B3)");
-            println!("snort-monitor   Snort -> Monitor (paper Fig 6/7)");
-            println!("ipfilter:<N>    N pass-through firewalls (paper Fig 4/8)");
-            println!("synthetic:<N>   N Snort-like synthetic NFs (paper Fig 5)");
+            for (name, desc) in CHAIN_REGISTRY {
+                println!("{name:<16}{desc}");
+            }
             Ok(())
         }
         "--help" | "-h" | "help" => {

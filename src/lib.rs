@@ -13,7 +13,10 @@
 //! * [`telemetry`] — lock-free runtime counters and latency histograms
 //!   with Prometheus/JSON exposition;
 //! * [`traffic`] — deterministic datacenter-style workload synthesis;
-//! * [`stats`] — CDFs, percentiles and table rendering.
+//! * [`stats`] — CDFs, percentiles and table rendering;
+//! * [`verify`] — the static chain verifier behind `speedybox lint`
+//!   (consolidation soundness, event-rewrite safety, schedule safety);
+//!   the [`lint`] module holds the chain registry and lint driver.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `crates/bench` for the harness regenerating every table and figure of
@@ -30,7 +33,10 @@
 //! assert!(out.survived());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod lint;
 
 pub use speedybox_mat as mat;
 pub use speedybox_nf as nf;
@@ -39,3 +45,4 @@ pub use speedybox_platform as platform;
 pub use speedybox_stats as stats;
 pub use speedybox_telemetry as telemetry;
 pub use speedybox_traffic as traffic;
+pub use speedybox_verify as verify;

@@ -1,0 +1,190 @@
+//! The `speedybox lint` driver: chain registry plus the harness that runs
+//! every static-verifier pass over a named chain.
+//!
+//! Linting a chain means exercising it the way the runtime would — a small
+//! deterministic workload records each flow's rule through the instrumented
+//! slow path, the rule is installed, and fast-path packets run over it with
+//! the debug-build payload-access tracker armed — then handing what was
+//! recorded to `speedybox-verify`:
+//!
+//! * per-flow recorded header actions → pass 1 (consolidation soundness);
+//! * every registered Event Table entry → pass 2 (rewrite safety);
+//! * the installed rule's precomputed wavefront schedule → pass 3
+//!   (Table I schedule safety);
+//! * the access tracker's observed-write log → `SBX010`.
+//!
+//! The driver always builds a **fresh** chain instance: pass 2 invokes
+//! update handlers statically, and a handler is allowed to mutate its NF's
+//! state (Maglev's reroute does), so linting must never run against a chain
+//! about to process traffic.
+
+use speedybox_mat::track;
+use speedybox_mat::{OpCounter, PacketClass};
+use speedybox_nf::Nf;
+use speedybox_platform::chains;
+use speedybox_platform::cycles::CycleModel;
+use speedybox_platform::runtime::{classify, fast_path, traverse_chain, SboxConfig, SpeedyBox};
+use speedybox_traffic::{Workload, WorkloadConfig};
+use speedybox_verify::{check_access_log, verify_flow, EventSpec, NfActions, Report};
+
+/// Every chain name the CLI accepts, with the parameterized forms shown in
+/// their `name:<N>` shape, plus a one-line description. `lint --all` and
+/// `speedybox chains` iterate this.
+pub const CHAIN_REGISTRY: &[(&str, &str)] = &[
+    ("chain1", "MazuNAT -> Maglev -> Monitor -> IPFilter (paper §VII-B3)"),
+    ("chain2", "IPFilter -> Snort -> Monitor (paper §VII-B3)"),
+    ("snort-monitor", "Snort -> Monitor (paper Fig 6/7)"),
+    ("ipfilter:<N>", "N pass-through firewalls (paper Fig 4/8)"),
+    ("synthetic:<N>", "N Snort-like synthetic NFs (paper Fig 5)"),
+    ("vpn-tunnel", "VPN encap -> Monitor -> VPN decap (in-chain annihilation)"),
+    ("dos-mitigation", "MazuNAT -> DosGuard (paper Fig 3 event rewrite)"),
+    ("maglev-failover", "Maglev alone with recurring reroute event"),
+    ("snort", "Snort alone (payload-READ state function)"),
+];
+
+/// The concrete chain names `lint --all` verifies (parameterized entries
+/// pinned to representative sizes).
+pub const LINT_ALL: &[&str] = &[
+    "chain1",
+    "chain2",
+    "snort-monitor",
+    "ipfilter:3",
+    "synthetic:3",
+    "vpn-tunnel",
+    "dos-mitigation",
+    "maglev-failover",
+    "snort",
+];
+
+/// Builds a chain by registry name. `ipfilter:<N>` and `synthetic:<N>`
+/// take a chain length.
+///
+/// # Errors
+/// Returns a message naming the unknown chain or the malformed length.
+pub fn build_chain(name: &str) -> Result<Vec<Box<dyn Nf>>, String> {
+    if let Some(n) = name.strip_prefix("ipfilter:") {
+        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
+        return Ok(chains::ipfilter_chain(n, 200));
+    }
+    if let Some(n) = name.strip_prefix("synthetic:") {
+        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
+        return Ok(chains::synthetic_sf_chain(n, 80));
+    }
+    match name {
+        "chain1" => Ok(chains::chain1(8).0),
+        "chain2" => Ok(chains::chain2().0),
+        "snort-monitor" => Ok(chains::snort_monitor_chain().0),
+        "vpn-tunnel" => Ok(chains::vpn_tunnel_chain(0x1001).0),
+        "dos-mitigation" => Ok(chains::dos_mitigation_chain(5).0),
+        "maglev-failover" => Ok(chains::maglev_failover_chain(4).0),
+        "snort" => Ok(chains::snort_chain().0),
+        other => Err(format!("unknown chain: {other} (try `speedybox chains`)")),
+    }
+}
+
+/// Lints a chain by registry name on a fresh instance.
+///
+/// # Errors
+/// Returns a message if the name is unknown.
+pub fn lint_chain(name: &str) -> Result<Report, String> {
+    Ok(lint_nfs(name, build_chain(name)?))
+}
+
+/// Lints an already-built chain: records per-flow rules through a small
+/// deterministic workload, then runs every verify pass over what was
+/// recorded. The chain instance is consumed conceptually — pass 2 may have
+/// mutated NF state — so callers must not run traffic through it afterwards.
+#[must_use]
+pub fn lint_nfs(chain_name: &str, mut nfs: Vec<Box<dyn Nf>>) -> Report {
+    // Drain stale tracker records so SBX010 findings are attributable to
+    // this chain's fast-path packets alone.
+    let _ = track::take_violations();
+
+    let sbox = SpeedyBox::new(nfs.len(), SboxConfig::default());
+    let model = CycleModel::new();
+    let names: Vec<String> = nfs.iter().map(|nf| nf.name().to_string()).collect();
+
+    // Deterministic workload: enough flows to hit every NF code path
+    // (suspicious payloads included for Snort-bearing chains), enough
+    // packets per flow to exercise the fast path and the access tracker.
+    let packets = Workload::generate(&WorkloadConfig {
+        flows: 12,
+        seed: 7,
+        suspicious_fraction: 0.25,
+        ..WorkloadConfig::default()
+    })
+    .packets();
+
+    let mut fids = std::collections::BTreeSet::new();
+    for mut packet in packets {
+        let mut ops = OpCounter::default();
+        let Ok((fid, class, _closes)) = classify(&sbox, &mut packet, &mut ops) else {
+            continue;
+        };
+        match class {
+            PacketClass::Initial => {
+                traverse_chain(&mut nfs, Some(&sbox.instruments), &mut packet, &model);
+                sbox.global.install(fid, &mut ops);
+                fids.insert(fid);
+            }
+            PacketClass::Subsequent => {
+                if fast_path(&sbox, &mut packet, fid, &model).is_none() {
+                    traverse_chain(&mut nfs, None, &mut packet, &model);
+                }
+            }
+            _ => {
+                traverse_chain(&mut nfs, None, &mut packet, &model);
+            }
+        }
+    }
+
+    let mut report = Report::new(chain_name);
+    for fid in fids {
+        let nf_actions: Vec<NfActions> = sbox
+            .global
+            .locals()
+            .iter()
+            .enumerate()
+            .map(|(i, local)| {
+                NfActions::new(
+                    &names[i],
+                    local.rule(fid).map(|r| r.header_actions).unwrap_or_default(),
+                )
+            })
+            .collect();
+        let events: Vec<EventSpec> =
+            sbox.global.events().events_for(fid).iter().map(EventSpec::from_event).collect();
+        let rule = sbox.global.rule(fid);
+        report.merge(verify_flow(chain_name, &nf_actions, &events, rule.as_deref()));
+    }
+
+    // Close the declared-vs-observed loop: any state function the debug
+    // build caught writing the payload under a Read/Ignore declaration.
+    report.merge(check_access_log(chain_name, &track::take_violations()));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_build() {
+        for name in LINT_ALL {
+            assert!(build_chain(name).is_ok(), "{name} failed to build");
+        }
+    }
+
+    #[test]
+    fn unknown_chain_is_rejected() {
+        assert!(build_chain("nope").is_err());
+        assert!(build_chain("ipfilter:x").is_err());
+        assert!(lint_chain("nope").is_err());
+    }
+
+    #[test]
+    fn lint_vpn_tunnel_is_clean() {
+        let report = lint_chain("vpn-tunnel").unwrap();
+        assert!(!report.has_errors(), "{}", report.render_text());
+    }
+}

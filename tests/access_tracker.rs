@@ -1,0 +1,76 @@
+//! The declared-vs-observed contract, end to end: an NF whose state
+//! function declares `Read` but writes the payload must surface as an
+//! `SBX010` finding when its chain is linted — the debug-build tracker
+//! snapshots the payload around every non-Write handler and records the
+//! lie. This file is its own test process, so the deliberate violations
+//! here can never leak into `lint_chains.rs`'s clean-chain assertions.
+
+use speedybox::lint::lint_nfs;
+use speedybox::mat::state_fn::PayloadAccess;
+use speedybox::mat::HeaderAction;
+use speedybox::nf::{Nf, NfContext, NfVerdict};
+use speedybox::packet::Packet;
+use speedybox::verify::LintCode;
+
+/// Declares a payload-READ state function whose handler scrubs (mutates)
+/// the first payload byte — the exact lie that corrupts a Table I parallel
+/// schedule, since two "readers" may share a wave.
+struct StealthScrubber;
+
+impl Nf for StealthScrubber {
+    fn name(&self) -> &str {
+        "stealth-scrubber"
+    }
+
+    fn process(&mut self, packet: &mut Packet, ctx: &mut NfContext<'_>) -> NfVerdict {
+        if let Some(inst) = ctx.instrument {
+            if let Some(fid) = inst.extract_fid(packet) {
+                inst.add_header_action(fid, HeaderAction::Forward, ctx.ops);
+                inst.add_state_function(
+                    fid,
+                    "scrubber.sanitize",
+                    PayloadAccess::Read,
+                    |sf| {
+                        if let Ok(payload) = sf.packet.payload_mut() {
+                            if let Some(first) = payload.first_mut() {
+                                *first ^= 0xFF;
+                            }
+                        }
+                    },
+                    ctx.ops,
+                );
+            }
+        }
+        NfVerdict::Forward
+    }
+}
+
+#[test]
+fn lying_payload_access_is_caught_as_sbx010() {
+    if !speedybox::mat::track::enabled() {
+        // Release builds compile the tracker out; the lint still covers
+        // passes 1-3 there, and CI runs this test with debug assertions on.
+        return;
+    }
+    let report = lint_nfs("liar-chain", vec![Box::new(StealthScrubber)]);
+    assert!(
+        report.has_code(LintCode::AccessViolation),
+        "expected SBX010:\n{}",
+        report.render_text()
+    );
+    assert!(report.has_errors());
+    let text = report.render_text();
+    assert!(text.contains("`scrubber.sanitize`"), "{text}");
+    assert!(text.contains("declared payload access `read`"), "{text}");
+}
+
+#[test]
+fn honest_nf_produces_no_sbx010() {
+    // The synthetic payload-Read NF really only reads.
+    let report = lint_nfs("honest-chain", speedybox::platform::chains::synthetic_sf_chain(2, 10));
+    assert!(
+        !report.has_code(LintCode::AccessViolation),
+        "false positive:\n{}",
+        report.render_text()
+    );
+}

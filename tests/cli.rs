@@ -18,9 +18,56 @@ fn chains_lists_all_names() {
     let out = speedybox(&["chains"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for name in ["chain1", "chain2", "snort-monitor", "ipfilter:<N>", "synthetic:<N>"] {
+    for name in [
+        "chain1",
+        "chain2",
+        "snort-monitor",
+        "ipfilter:<N>",
+        "synthetic:<N>",
+        "vpn-tunnel",
+        "dos-mitigation",
+        "maglev-failover",
+        "snort",
+    ] {
         assert!(text.contains(name), "missing {name} in:\n{text}");
     }
+}
+
+#[test]
+fn lint_single_chain_reports_clean() {
+    let out = speedybox(&["lint", "vpn-tunnel"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vpn-tunnel: 0 error(s)"), "{text}");
+}
+
+#[test]
+fn lint_all_chains_is_clean_and_json_renders() {
+    let out = speedybox(&["lint", "--all"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chain1: 0 error(s)"), "{text}");
+
+    let out = speedybox(&["lint", "chain2", "--json"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"chain\":\"chain2\""), "{text}");
+}
+
+#[test]
+fn lint_unknown_chain_fails() {
+    let out = speedybox(&["lint", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown chain"));
+}
+
+#[test]
+fn run_with_verify_preflights_and_proceeds() {
+    let out = speedybox(&["run", "--chain", "chain2", "--verify", "--speedybox", "--flows", "10"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verify: chain2 passed"), "{text}");
+    assert!(text.contains("fast-path"), "{text}");
 }
 
 #[test]

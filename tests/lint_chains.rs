@@ -1,0 +1,38 @@
+//! Acceptance gate for the static verifier: every registry chain must lint
+//! with zero Error-level diagnostics. CI runs this test; a chain change
+//! that introduces an Error finding fails the build.
+//!
+//! All chains are linted inside ONE test function: the payload-access
+//! tracker behind `SBX010` is process-global, and serializing the lints
+//! keeps each chain's findings attributable.
+
+use speedybox::lint::{lint_chain, LINT_ALL};
+
+#[test]
+fn all_registry_chains_lint_clean() {
+    for name in LINT_ALL {
+        let report = lint_chain(name).unwrap_or_else(|e| panic!("lint {name}: {e}"));
+        assert!(
+            !report.has_errors(),
+            "chain {name} has Error-level findings:\n{}",
+            report.render_text()
+        );
+        // Parameterized sizes beyond the registry defaults stay clean too.
+        if name.starts_with("ipfilter") || name.starts_with("synthetic") {
+            let bigger = name.replace(":3", ":6");
+            let report = lint_chain(&bigger).unwrap();
+            assert!(!report.has_errors(), "{bigger}:\n{}", report.render_text());
+        }
+    }
+}
+
+#[test]
+fn lint_reports_render_both_formats() {
+    let report = lint_chain("vpn-tunnel").unwrap();
+    let text = report.render_text();
+    assert!(text.contains("vpn-tunnel:"), "{text}");
+    assert!(text.ends_with('\n'), "text rendering must be newline-terminated");
+    let json = report.to_json();
+    assert!(json.contains("\"chain\":\"vpn-tunnel\""), "{json}");
+    assert!(json.contains("\"diagnostics\":["), "{json}");
+}
