@@ -26,6 +26,7 @@ use std::process::ExitCode;
 
 use speedybox_bench::harness::{Env, Runner};
 use speedybox_platform::chains;
+use speedybox_platform::runtime::SboxConfig;
 use speedybox_telemetry::json::{escape, Json};
 use speedybox_telemetry::TelemetrySnapshot;
 use speedybox_traffic::{Workload, WorkloadConfig};
@@ -41,35 +42,55 @@ const SEED: u64 = 7;
 struct Measurement {
     name: &'static str,
     hit_rate: f64,
+    /// p50 fast-path latency with the default compiled rule programs.
     p50_subsequent_cycles: u64,
+    /// p50 fast-path latency with `SboxConfig::compiled` off — the
+    /// interpreter the compiled path must strictly beat.
+    p50_interpreted_cycles: u64,
     snapshot: TelemetrySnapshot,
 }
 
-fn run_scenario(name: &'static str, env: Env, nfs: Vec<Box<dyn speedybox_nf::Nf>>) -> Measurement {
+fn p50_with(
+    env: Env,
+    nfs: Vec<Box<dyn speedybox_nf::Nf>>,
+    compiled: bool,
+) -> (u64, TelemetrySnapshot) {
     let packets = Workload::generate(&WorkloadConfig {
         flows: FLOWS,
         seed: SEED,
         ..WorkloadConfig::default()
     })
     .packets();
-    let mut runner = Runner::new(env, nfs, true);
+    let config = SboxConfig { compiled, ..SboxConfig::default() };
+    let mut runner = Runner::with_config(env, nfs, config);
     let _ = runner.run(packets);
     let snapshot = match &runner {
         Runner::Bess(c) => c.telemetry().snapshot(),
         Runner::Onvm(c) => c.telemetry().snapshot(),
     };
+    (snapshot.latency[2].quantile(0.5), snapshot)
+}
+
+fn run_scenario(
+    name: &'static str,
+    env: Env,
+    build: impl Fn() -> Vec<Box<dyn speedybox_nf::Nf>>,
+) -> Measurement {
+    let (p50_compiled, snapshot) = p50_with(env, build(), true);
+    let (p50_interpreted, _) = p50_with(env, build(), false);
     Measurement {
         name,
         hit_rate: snapshot.fastpath_hit_rate(),
-        p50_subsequent_cycles: snapshot.latency[2].quantile(0.5),
+        p50_subsequent_cycles: p50_compiled,
+        p50_interpreted_cycles: p50_interpreted,
         snapshot,
     }
 }
 
 fn measure() -> Vec<Measurement> {
     vec![
-        run_scenario("chain1-bess", Env::Bess, chains::chain1(8).0),
-        run_scenario("chain2-onvm", Env::Onvm, chains::chain2().0),
+        run_scenario("chain1-bess", Env::Bess, || chains::chain1(8).0),
+        run_scenario("chain2-onvm", Env::Onvm, || chains::chain2().0),
     ]
 }
 
@@ -93,10 +114,11 @@ fn report_json(measurements: &[Measurement]) -> String {
     for (i, m) in measurements.iter().enumerate() {
         let sep = if i + 1 == measurements.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"fastpath_hit_rate\": {:.6}, \"p50_subsequent_cycles\": {}, \"snapshot\": {}}}{sep}\n",
+            "    {{\"name\": \"{}\", \"fastpath_hit_rate\": {:.6}, \"p50_subsequent_cycles\": {}, \"p50_interpreted_cycles\": {}, \"snapshot\": {}}}{sep}\n",
             escape(m.name),
             m.hit_rate,
             m.p50_subsequent_cycles,
+            m.p50_interpreted_cycles,
             m.snapshot.to_json()
         ));
     }
@@ -139,6 +161,21 @@ fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
 fn gate(measurements: &[Measurement], baseline: &[BaselineEntry], tolerance: f64) -> usize {
     let mut failures = 0;
     for m in measurements {
+        // The compiled fast path must strictly beat the interpreter — no
+        // tolerance: if lowering stops paying for itself, the default mode
+        // is wrong.
+        if m.p50_subsequent_cycles < m.p50_interpreted_cycles {
+            println!(
+                "PASS {}: compiled p50 {} < interpreted p50 {}",
+                m.name, m.p50_subsequent_cycles, m.p50_interpreted_cycles
+            );
+        } else {
+            println!(
+                "FAIL {}: compiled p50 {} must be strictly below interpreted p50 {}",
+                m.name, m.p50_subsequent_cycles, m.p50_interpreted_cycles
+            );
+            failures += 1;
+        }
         let Some(base) = baseline.iter().find(|b| b.name == m.name) else {
             println!("FAIL {}: no baseline entry (refresh with --write-baseline)", m.name);
             failures += 1;

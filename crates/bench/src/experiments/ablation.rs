@@ -227,14 +227,16 @@ mod tests {
     }
 
     #[test]
-    fn modify_width_marginal_cost_is_one_field_write() {
+    fn modify_width_marginal_cost_is_one_word_write() {
         let a = run();
         let model = CycleModel::new();
         let p = &a.modify_width.points;
-        // Going from 1 to 2 fields costs exactly one extra field write.
+        // The default fast path runs the compiled program: going from 1 to
+        // 2 fields costs exactly one extra masked word write.
         let marginal = p[2].1 - p[1].1;
-        assert_eq!(marginal, model.field_write);
-        // Going from 0 to 1 additionally pays the single checksum fix.
-        assert_eq!(p[1].1 - p[0].1, model.field_write + model.checksum_fix);
+        assert_eq!(marginal, model.word_write);
+        // Going from 0 to 1 additionally pays the single trailing
+        // incremental-checksum patch.
+        assert_eq!(p[1].1 - p[0].1, model.word_write + model.checksum_patch);
     }
 }

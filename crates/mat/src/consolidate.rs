@@ -72,7 +72,9 @@ impl ConsolidatedAction {
     /// further processing). All header surgery happens here, and checksums
     /// are fixed exactly once — this one-shot application is where the R1
     /// (repeated parse), R2 (late drop) and R3 (overwrite) savings come
-    /// from.
+    /// from. The trailing fix is an O(1) incremental patch (RFC 1624) over
+    /// the field deltas rather than a full recompute; the two agree
+    /// whenever the ingress checksums were valid.
     ///
     /// # Errors
     /// Propagates packet manipulation failures.
@@ -89,12 +91,25 @@ impl ConsolidatedAction {
             packet.encap_ah(spec.spi, 0)?;
             ops.encaps += 1;
         }
+        let (mut ip_old, mut ip_new) = (0u32, 0u32);
+        let (mut l4_old, mut l4_new) = (0u32, 0u32);
         for (field, value) in &self.modifies {
+            let old = packet.get_field(*field)?;
+            let (ip, l4) = crate::compiled::checksum_domains(*field);
+            if ip {
+                ip_old += crate::compiled::word_contribution(*field, old);
+                ip_new += crate::compiled::word_contribution(*field, *value);
+            }
+            if l4 {
+                l4_old += crate::compiled::word_contribution(*field, old);
+                l4_new += crate::compiled::word_contribution(*field, *value);
+            }
             packet.set_field(*field, *value)?;
             ops.field_writes += 1;
         }
         if !self.is_noop() {
-            packet.fix_checksums()?;
+            packet.patch_ipv4_checksum_incremental(ip_old, ip_new);
+            packet.patch_l4_checksum_incremental(l4_old, l4_new)?;
             ops.checksum_fixes += 1;
         }
         Ok(true)

@@ -15,6 +15,7 @@ use parking_lot::RwLock;
 use speedybox_packet::{Fid, Packet};
 use speedybox_telemetry::{CounterShard, Telemetry};
 
+use crate::compiled::{compile, CompiledProgram};
 use crate::consolidate::{consolidate, ConsolidatedAction};
 use crate::event::EventTable;
 use crate::local::LocalMat;
@@ -23,11 +24,24 @@ use crate::parallel::schedule;
 use crate::state_fn::SfBatch;
 use crate::{MatError, Result};
 
+/// The rule's hit counter, padded onto its own cache line (128 bytes
+/// covers adjacent-line prefetch pairs) so relaxed increments from
+/// concurrent fast-path cores never false-share with the read-mostly rule
+/// data sitting next to it.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct PaddedCounter(std::sync::atomic::AtomicU64);
+
 /// A consolidated fast-path rule for one flow.
 #[derive(Debug)]
 pub struct GlobalRule {
     /// The single header action equivalent to the whole chain's.
     pub consolidated: ConsolidatedAction,
+    /// `consolidated` lowered to a straight-line micro-op program at
+    /// install/rewrite time ([`crate::compiled`]). Event-Table rewrites go
+    /// through [`GlobalRule::new`], so the program can never go stale
+    /// relative to the action.
+    pub compiled: CompiledProgram,
     /// Per-NF state-function batches, in chain order (empty batches
     /// omitted).
     pub batches: Vec<SfBatch>,
@@ -35,39 +49,42 @@ pub struct GlobalRule {
     /// consolidation time.
     pub schedule: Vec<Vec<usize>>,
     /// Fast-path hits served by this rule (operational statistics).
-    hits: std::sync::atomic::AtomicU64,
+    hits: PaddedCounter,
 }
 
 impl Clone for GlobalRule {
     fn clone(&self) -> Self {
         Self {
             consolidated: self.consolidated.clone(),
+            compiled: self.compiled.clone(),
             batches: self.batches.clone(),
             schedule: self.schedule.clone(),
-            hits: std::sync::atomic::AtomicU64::new(self.hits()),
+            hits: PaddedCounter(std::sync::atomic::AtomicU64::new(self.hits())),
         }
     }
 }
 
 impl GlobalRule {
-    /// Builds a rule (hit counter starts at zero).
+    /// Builds a rule, lowering the consolidated action to its compiled
+    /// program (hit counter starts at zero).
     #[must_use]
     pub fn new(
         consolidated: ConsolidatedAction,
         batches: Vec<SfBatch>,
         schedule: Vec<Vec<usize>>,
     ) -> Self {
-        Self { consolidated, batches, schedule, hits: std::sync::atomic::AtomicU64::new(0) }
+        let compiled = compile(&consolidated);
+        Self { consolidated, compiled, batches, schedule, hits: PaddedCounter::default() }
     }
 
     /// Fast-path packets served by this rule so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+        self.hits.0.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn record_hit(&self) {
-        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.hits.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Executes all state-function batches sequentially (the
@@ -120,6 +137,10 @@ pub struct GlobalMat {
     /// Optional telemetry sink: fast-path hit/miss, rule install/rewrite/
     /// removal counters. Relaxed atomics; no effect on processing.
     sink: Option<Arc<Telemetry>>,
+    /// Whether header actions execute as compiled micro-op programs
+    /// (default) or through the interpreted [`ConsolidatedAction::apply`]
+    /// (`--interpreted` escape hatch / ablation).
+    compiled: bool,
 }
 
 impl GlobalMat {
@@ -142,6 +163,7 @@ impl GlobalMat {
             shard_mask: n - 1,
             events: Arc::new(EventTable::new()),
             sink: None,
+            compiled: true,
         }
     }
 
@@ -152,6 +174,45 @@ impl GlobalMat {
         self.events.set_telemetry(Arc::clone(&sink));
         self.sink = Some(sink);
         self
+    }
+
+    /// Selects compiled (default) or interpreted header-action execution.
+    /// Never changes processing results — only which op kinds are counted
+    /// (`word_writes`/`checksum_patches` vs `field_writes`/
+    /// `checksum_fixes`).
+    #[must_use]
+    pub fn with_compiled(mut self, compiled: bool) -> Self {
+        self.compiled = compiled;
+        self
+    }
+
+    /// True if header actions run as compiled micro-op programs.
+    #[must_use]
+    pub fn is_compiled(&self) -> bool {
+        self.compiled
+    }
+
+    /// Runs a rule's header action via the configured execution mode,
+    /// counting compiled hits/fallbacks. Returns `false` for dropped
+    /// packets.
+    fn apply_rule(
+        &self,
+        rule: &GlobalRule,
+        fid: Fid,
+        packet: &mut Packet,
+        ops: &mut OpCounter,
+    ) -> Result<bool> {
+        if self.compiled {
+            if let Some(cell) = self.cell(fid) {
+                cell.add_compiled_hits(1);
+            }
+            rule.compiled.run(packet, ops)
+        } else {
+            if let Some(cell) = self.cell(fid) {
+                cell.add_compiled_fallbacks(1);
+            }
+            rule.consolidated.apply(packet, ops)
+        }
     }
 
     /// The telemetry cell for a FID, if a sink is attached.
@@ -406,15 +467,28 @@ impl GlobalMat {
         let wanted: Vec<Fid> = fids.iter().flatten().copied().collect();
         let cache = self.prefetch(&wanted);
         let mut stale: std::collections::HashSet<Fid> = std::collections::HashSet::new();
+        // Flow-affinity memo: real traffic arrives in same-flow runs, so
+        // remember the last FID's rule handle and skip the HashMap probe on
+        // a run. The memo only ever replaces *where the cached handle comes
+        // from* — `prepare_cached` (with its observable event check) still
+        // runs for every packet — and is dropped as soon as an event fires.
+        let mut last: Option<(Fid, Arc<GlobalRule>)> = None;
         let mut outcomes = Vec::with_capacity(packets.len());
         for (i, packet) in packets.iter_mut().enumerate() {
             let fid = fids[i].ok_or(MatError::InvalidActionSequence("packet has no FID"))?;
             let rule = if stale.contains(&fid) {
                 self.prepare(fid, &mut ops[i])
             } else {
-                let (rule, fired) = self.prepare_cached(fid, cache.get(&fid), &mut ops[i]);
+                let memo = match &last {
+                    Some((lf, r)) if *lf == fid => Some(r),
+                    _ => cache.get(&fid),
+                };
+                let (rule, fired) = self.prepare_cached(fid, memo, &mut ops[i]);
                 if fired {
                     stale.insert(fid);
+                    last = None;
+                } else if let Some(r) = &rule {
+                    last = Some((fid, Arc::clone(r)));
                 }
                 rule
             };
@@ -422,7 +496,7 @@ impl GlobalMat {
                 outcomes.push(FastPathOutcome::NoRule);
                 continue;
             };
-            if !rule.consolidated.apply(packet, &mut ops[i])? {
+            if !self.apply_rule(&rule, fid, packet, &mut ops[i])? {
                 outcomes.push(FastPathOutcome::Dropped);
                 continue;
             }
@@ -490,7 +564,7 @@ impl GlobalMat {
         let Some(rule) = self.prepare(fid, ops) else {
             return Ok(FastPathOutcome::NoRule);
         };
-        if !rule.consolidated.apply(packet, ops)? {
+        if !self.apply_rule(&rule, fid, packet, ops)? {
             return Ok(FastPathOutcome::Dropped);
         }
         rule.execute_batches(packet, fid, ops);

@@ -54,6 +54,7 @@
 pub mod action;
 pub mod api;
 pub mod classifier;
+pub mod compiled;
 pub mod consolidate;
 pub mod error;
 pub mod event;
@@ -67,6 +68,7 @@ pub mod track;
 pub use action::{EncapSpec, HeaderAction};
 pub use api::NfInstrument;
 pub use classifier::{Classification, PacketClass, PacketClassifier};
+pub use compiled::{compile, Anchor, CompiledProgram, MicroOp};
 pub use consolidate::{consolidate, ConsolidatedAction};
 pub use error::MatError;
 pub use event::{Event, EventTable, RulePatch};

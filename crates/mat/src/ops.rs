@@ -48,6 +48,10 @@ pub struct OpCounter {
     pub ring_hops: u64,
     /// Packets dropped.
     pub drops: u64,
+    /// Masked word writes executed by compiled fast-path programs.
+    pub word_writes: u64,
+    /// O(1) incremental checksum patches (RFC 1624) by compiled programs.
+    pub checksum_patches: u64,
 }
 
 impl OpCounter {
@@ -76,6 +80,8 @@ impl OpCounter {
         self.event_checks += other.event_checks;
         self.ring_hops += other.ring_hops;
         self.drops += other.drops;
+        self.word_writes += other.word_writes;
+        self.checksum_patches += other.checksum_patches;
     }
 
     /// The counter as telemetry [`OpTotals`](speedybox_telemetry::OpTotals),
@@ -102,6 +108,8 @@ impl OpCounter {
             self.event_checks,
             self.ring_hops,
             self.drops,
+            self.word_writes,
+            self.checksum_patches,
         ])
     }
 
@@ -125,6 +133,8 @@ impl OpCounter {
             + self.event_checks
             + self.ring_hops
             + self.drops
+            + self.word_writes
+            + self.checksum_patches
     }
 }
 

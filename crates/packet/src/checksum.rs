@@ -57,6 +57,26 @@ pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, l4_len: u16
     acc
 }
 
+/// Incrementally updates a stored checksum after some covered 16-bit words
+/// changed (RFC 1624, eqn. 3): `HC' = ~(~HC + ~m + m')`.
+///
+/// `old_sum` is the ones-complement sum (un-complemented, as produced by
+/// [`sum_bytes`]) of the covered words *before* the change and `new_sum`
+/// the sum of the same words *after*. Including unchanged words in both
+/// sums is harmless — they cancel under the end-around fold.
+///
+/// The raw result is byte-identical to [`internet_checksum`] over the new
+/// contents whenever `old_ck` was valid for the old contents *and* the
+/// covered data is not all-zero — impossible for an IPv4 header (first
+/// byte `0x45`) or an L4 segment with its pseudo-header (protocol ≥ 6),
+/// so no negative-zero forcing is applied here. UDP's "0 means no
+/// checksum, transmit 0xFFFF" rule (RFC 768) is the caller's job, exactly
+/// as with [`l4_checksum`].
+#[must_use]
+pub fn incremental_update(old_ck: u16, old_sum: u32, new_sum: u32) -> u16 {
+    !fold(u32::from(!old_ck) + u32::from(!fold(old_sum)) + new_sum)
+}
+
 /// Computes a TCP or UDP checksum given the pseudo-header inputs and the L4
 /// segment (header + payload) with its checksum field zeroed.
 #[must_use]
@@ -108,6 +128,54 @@ mod tests {
     #[test]
     fn empty_data_checksum() {
         assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        // Valid IPv4-style header; rewrite a covered word and check the
+        // RFC 1624 patch lands on exactly what a recompute would store.
+        let mut data =
+            vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+
+        for (offset, word) in [(12usize, [192u8, 168u8]), (4, [0xAB, 0xCD]), (8, [0x3F, 0x11])] {
+            let old_ck = u16::from_be_bytes([data[10], data[11]]);
+            let old_sum = sum_bytes(0, &data[offset..offset + 2]);
+            data[offset..offset + 2].copy_from_slice(&word);
+            let new_sum = sum_bytes(0, &data[offset..offset + 2]);
+            let patched = incremental_update(old_ck, old_sum, new_sum);
+
+            let mut zeroed = data.clone();
+            zeroed[10..12].copy_from_slice(&[0, 0]);
+            assert_eq!(patched, internet_checksum(&zeroed), "offset {offset}");
+            data[10..12].copy_from_slice(&patched.to_be_bytes());
+            assert!(verify(&data));
+        }
+    }
+
+    #[test]
+    fn incremental_unchanged_words_cancel() {
+        // Feeding words that did not change into both sums is a no-op.
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x06, 0, 0];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        let sum = sum_bytes(0, &data[0..8]);
+        assert_eq!(incremental_update(ck, sum, sum), ck);
+    }
+
+    #[test]
+    fn incremental_can_produce_zero_like_tcp_recompute() {
+        // When the true recomputed checksum is 0 (covered data folds to
+        // 0xFFFF), the raw incremental result must also be 0 — matching
+        // internet_checksum / TCP semantics, with no negative-zero forcing.
+        let old = [0x00u8, 0x01, 0x00, 0x02];
+        let old_ck = internet_checksum(&old);
+        // New contents folding to 0xFFFF: 0xFFFF + 0x0000.
+        let new = [0xFFu8, 0xFF, 0x00, 0x00];
+        assert_eq!(internet_checksum(&new), 0);
+        let patched = incremental_update(old_ck, sum_bytes(0, &old), sum_bytes(0, &new));
+        assert_eq!(patched, 0);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod trace;
 pub use builder::PacketBuilder;
 pub use field::{FieldValue, HeaderField};
 pub use five_tuple::{Fid, FiveTuple, Protocol, FID_BITS, FID_MASK};
-pub use packet::{Packet, PacketError, TcpFlags};
+pub use packet::{HeaderLayout, Packet, PacketError, TcpFlags};
 pub use pool::PacketPool;
 
 /// Result alias used throughout this crate.

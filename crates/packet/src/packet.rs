@@ -103,6 +103,20 @@ impl TcpFlags {
     }
 }
 
+/// Resolved frame-relative offsets of the L3/L4 headers plus the transport
+/// protocol — the anchor table compiled fast-path programs use for
+/// straight-line masked word writes (resolved once per packet, not per op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderLayout {
+    /// Offset of the IPv4 header from the frame start.
+    pub l3: usize,
+    /// Offset of the innermost L4 (TCP/UDP) header from the frame start,
+    /// past any AH encapsulation layers.
+    pub l4: usize,
+    /// The transport protocol found at `l4`.
+    pub protocol: Protocol,
+}
+
 /// An owned Ethernet/IPv4/{TCP,UDP} packet with mbuf-style headroom and
 /// SpeedyBox flow metadata.
 #[derive(Clone)]
@@ -269,6 +283,25 @@ impl Packet {
         Protocol::from_number(proto)
             .map(|p| (off, p))
             .ok_or(PacketError::UnsupportedProtocol(proto))
+    }
+
+    /// Resolves the current header layout: frame-relative L3/L4 offsets
+    /// and the transport protocol, walking any AH layers once.
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn layout(&self) -> Result<HeaderLayout> {
+        let (l4_abs, protocol) = self.l4_offset_and_proto()?;
+        Ok(HeaderLayout { l3: self.l3_offset() - self.start, l4: l4_abs - self.start, protocol })
+    }
+
+    /// Mutable access to the raw frame bytes (Ethernet onward). Compiled
+    /// fast-path programs perform masked word writes here; keeping the
+    /// checksums consistent is the caller's responsibility (see the
+    /// incremental patch methods).
+    #[must_use]
+    pub fn frame_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.start..]
     }
 
     // ---- header views ----
@@ -546,6 +579,64 @@ impl Packet {
         let seg_start = off;
         let ck = checksum::l4_checksum(ip.src, ip.dst, proto.number(), &self.buf[seg_start..]);
         self.buf[ck_off..ck_off + 2].copy_from_slice(&ck.to_be_bytes());
+        Ok(())
+    }
+
+    /// Patches the IPv4 header checksum incrementally (RFC 1624) after
+    /// covered 16-bit words summing to `old_sum` were rewritten to words
+    /// summing to `new_sum`. O(1): no header bytes are re-read. The result
+    /// is byte-identical to a full recompute whenever the stored checksum
+    /// was valid for the old contents.
+    pub fn patch_ipv4_checksum_incremental(&mut self, old_sum: u32, new_sum: u32) {
+        let l3 = self.l3_offset();
+        let old_ck = u16::from_be_bytes([self.buf[l3 + 10], self.buf[l3 + 11]]);
+        let ck = checksum::incremental_update(old_ck, old_sum, new_sum);
+        self.buf[l3 + 10..l3 + 12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Patches the L4 (TCP/UDP) checksum incrementally (RFC 1624),
+    /// applying UDP's zero-transmits-as-`0xFFFF` rule (RFC 768) so the
+    /// result mirrors what [`Packet::fix_checksums`] would store.
+    ///
+    /// # Errors
+    /// Returns an error if the packet does not parse.
+    pub fn patch_l4_checksum_incremental(&mut self, old_sum: u32, new_sum: u32) -> Result<()> {
+        let (off, proto) = self.l4_offset_and_proto()?;
+        let ck_off = match proto {
+            Protocol::Tcp => off + 16,
+            Protocol::Udp => off + 6,
+        };
+        let old_ck = u16::from_be_bytes([self.buf[ck_off], self.buf[ck_off + 1]]);
+        let mut ck = checksum::incremental_update(old_ck, old_sum, new_sum);
+        if ck == 0 && proto == Protocol::Udp {
+            ck = 0xFFFF;
+        }
+        self.buf[ck_off..ck_off + 2].copy_from_slice(&ck.to_be_bytes());
+        Ok(())
+    }
+
+    /// [`Packet::encap_ah`] from a precompiled `AH_LEN`-byte template: the
+    /// SPI/sequence/ICV bytes are copied verbatim and only the
+    /// next-header byte is patched from the packet's current protocol.
+    /// Byte-identical to `encap_ah(spi, seq)` for a template produced by
+    /// [`AuthHeader::write`] with the same SPI and sequence.
+    ///
+    /// # Errors
+    /// Returns [`PacketError::HeadroomExhausted`] if headroom is gone, or a
+    /// parse error for an invalid packet.
+    pub fn encap_ah_template(&mut self, template: &[u8; AH_LEN]) -> Result<()> {
+        if self.start < AH_LEN {
+            return Err(PacketError::HeadroomExhausted);
+        }
+        let ip = self.ipv4()?;
+        let l3 = self.l3_offset();
+        let new_start = self.start - AH_LEN;
+        self.buf.copy_within(self.start..l3 + ip.header_len, new_start);
+        self.start = new_start;
+        let ah_off = self.l3_offset() + ip.header_len;
+        self.buf[ah_off..ah_off + AH_LEN].copy_from_slice(template);
+        self.buf[ah_off] = ip.protocol;
+        self.patch_ipv4(IPPROTO_AH, ip.total_len + AH_LEN as u16, ip.header_len);
         Ok(())
     }
 
@@ -831,5 +922,62 @@ mod tests {
         let p = sample();
         let p2 = Packet::from_frame(p.as_bytes()).unwrap();
         assert_eq!(p2.as_bytes(), p.as_bytes());
+    }
+
+    #[test]
+    fn layout_resolves_offsets() {
+        let p = sample();
+        let lay = p.layout().unwrap();
+        assert_eq!(lay.l3, ETHERNET_LEN);
+        assert_eq!(lay.l4, ETHERNET_LEN + 20);
+        assert_eq!(lay.protocol, Protocol::Tcp);
+        // VLAN tag shifts L3; an AH layer shifts L4.
+        let mut tagged = PacketBuilder::tcp().vlan(3).payload(b"x").build();
+        assert_eq!(tagged.layout().unwrap().l3, ETHERNET_LEN + 4);
+        tagged.encap_ah(1, 0).unwrap();
+        let lay2 = tagged.layout().unwrap();
+        assert_eq!(lay2.l4, ETHERNET_LEN + 4 + 20 + AH_LEN);
+        assert_eq!(lay2.protocol, Protocol::Tcp);
+    }
+
+    #[test]
+    fn encap_template_matches_encap_ah() {
+        use crate::headers::AuthHeader;
+        let mut a = sample();
+        let mut b = sample();
+        a.encap_ah(0xbeef, 0).unwrap();
+        let mut template = [0u8; AH_LEN];
+        AuthHeader::new(0xbeef, 0, 0).write(&mut template);
+        b.encap_ah_template(&template).unwrap();
+        assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn incremental_patches_match_full_recompute() {
+        use crate::checksum::sum_bytes;
+        for mut p in [
+            sample(),
+            PacketBuilder::udp()
+                .src("10.0.0.1:53".parse().unwrap())
+                .dst("10.0.0.2:5353".parse().unwrap())
+                .payload(b"q")
+                .build(),
+        ] {
+            let lay = p.layout().unwrap();
+            // Rewrite DstIp (affects both checksums) + DstPort (L4 only),
+            // summing the changed words by hand as a compiled program would.
+            let old_ip = sum_bytes(0, &p.as_bytes()[lay.l3 + 16..lay.l3 + 20]);
+            let old_port = sum_bytes(0, &p.as_bytes()[lay.l4 + 2..lay.l4 + 4]);
+            p.set_field(HeaderField::DstIp, Ipv4Addr::new(203, 0, 113, 9)).unwrap();
+            p.set_field(HeaderField::DstPort, 4420u16).unwrap();
+            let new_ip = sum_bytes(0, &p.as_bytes()[lay.l3 + 16..lay.l3 + 20]);
+            let new_port = sum_bytes(0, &p.as_bytes()[lay.l4 + 2..lay.l4 + 4]);
+            let mut q = p.clone();
+            p.patch_ipv4_checksum_incremental(old_ip, new_ip);
+            p.patch_l4_checksum_incremental(old_ip + old_port, new_ip + new_port).unwrap();
+            q.fix_checksums().unwrap();
+            assert_eq!(p.as_bytes(), q.as_bytes());
+            assert!(p.verify_checksums().unwrap());
+        }
     }
 }

@@ -29,6 +29,24 @@ use crate::runtime::{
 pub(crate) struct BatchState {
     pub(crate) cache: HashMap<Fid, Arc<GlobalRule>>,
     pub(crate) stale: HashSet<Fid>,
+    /// Flow-affinity memo: the last fast-path FID and its rule handle.
+    /// Same-flow packet runs skip the `cache` HashMap probe entirely. Only
+    /// ever substitutes for the probe — event checks still run per packet —
+    /// and is cleared whenever the flow's rule is rewritten or removed.
+    pub(crate) last: Option<(Fid, Arc<GlobalRule>)>,
+}
+
+impl BatchState {
+    pub(crate) fn new(cache: HashMap<Fid, Arc<GlobalRule>>) -> Self {
+        Self { cache, stale: HashSet::new(), last: None }
+    }
+
+    /// Drops the memo if it holds `fid` (rule rewritten/removed/expired).
+    pub(crate) fn forget(&mut self, fid: Fid) {
+        if self.last.as_ref().is_some_and(|(lf, _)| *lf == fid) {
+            self.last = None;
+        }
+    }
 }
 
 /// A service chain running in the BESS-style single-process environment.
@@ -191,6 +209,7 @@ impl BessChain {
                 sbox.global.install(fid, &mut install_ops);
                 if let Some(bs) = batch {
                     bs.stale.insert(fid);
+                    bs.forget(fid);
                 }
                 let traversed = res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
                 let hops = traversed * self.model.bess_module_hop;
@@ -239,15 +258,21 @@ impl BessChain {
             PacketClass::Subsequent => {
                 let fp = match batch.as_mut() {
                     Some(bs) if !bs.stale.contains(&fid) => {
-                        let (res, fired) = fast_path_cached(
-                            sbox,
-                            &mut packet,
-                            fid,
-                            &self.model,
-                            bs.cache.get(&fid),
-                        );
+                        let memo_hit = bs.last.as_ref().is_some_and(|(lf, _)| *lf == fid);
+                        let handle = if memo_hit {
+                            bs.last.as_ref().map(|(_, r)| r)
+                        } else {
+                            bs.cache.get(&fid)
+                        };
+                        let (res, fired) =
+                            fast_path_cached(sbox, &mut packet, fid, &self.model, handle);
                         if fired {
                             bs.stale.insert(fid);
+                            bs.last = None;
+                        } else if !memo_hit {
+                            if let Some(r) = bs.cache.get(&fid) {
+                                bs.last = Some((fid, Arc::clone(r)));
+                            }
                         }
                         res
                     }
@@ -318,6 +343,7 @@ impl BessChain {
                     // later in-batch packet's re-claimed flow state.
                     sbox.global.remove_flow(fid);
                     bs.stale.insert(fid);
+                    bs.forget(fid);
                 }
             }
             notify_flow_closed(&mut self.nfs, fid);
@@ -346,7 +372,7 @@ impl BessChain {
                 .map(|c| c.fid)
                 .collect();
             let cache = sbox.global.prefetch(&fast_fids);
-            (classified, BatchState { cache, stale: HashSet::new() })
+            (classified, BatchState::new(cache))
         };
         let mut batch = Some(batch_state);
         packets

@@ -79,6 +79,17 @@ pub struct CycleModel {
     /// Global-MAT executor dispatch). Dropped packets skip it — early drop
     /// short-circuits before dispatch.
     pub fastpath_forward_fixed: u64,
+    /// Fixed fast-path cost for forwarded packets when the header action
+    /// runs as a *compiled* micro-op program: straight-line dispatch with
+    /// no interpretive branching over the consolidated action's vectors,
+    /// so it undercuts [`CycleModel::fastpath_forward_fixed`].
+    pub compiled_forward_fixed: u64,
+    /// One masked word write from a compiled program (cheaper than
+    /// [`CycleModel::field_write`]: no per-field parse/offset resolution).
+    pub word_write: u64,
+    /// One O(1) incremental checksum patch (RFC 1624) — cheaper than the
+    /// full [`CycleModel::checksum_fix`] recompute.
+    pub checksum_patch: u64,
     /// CPU frequency in cycles per microsecond (2.0 GHz testbed → 2000).
     pub cycles_per_us: u64,
 }
@@ -106,6 +117,9 @@ impl Default for CycleModel {
             drop: 35,
             bess_module_hop: 110,
             fastpath_forward_fixed: 150,
+            compiled_forward_fixed: 110,
+            word_write: 30,
+            checksum_patch: 60,
             cycles_per_us: 2000,
         }
     }
@@ -138,6 +152,8 @@ impl CycleModel {
             + ops.event_checks * self.event_check
             + ops.ring_hops * self.ring_hop
             + ops.drops * self.drop
+            + ops.word_writes * self.word_write
+            + ops.checksum_patches * self.checksum_patch
     }
 
     /// Converts cycles to microseconds at the model's clock.
@@ -213,6 +229,8 @@ mod tests {
             event_checks: 1,
             ring_hops: 1,
             drops: 1,
+            word_writes: 1,
+            checksum_patches: 1,
         };
         let expected = m.parse
             + m.classification
@@ -230,7 +248,20 @@ mod tests {
             + m.consolidation
             + m.event_check
             + m.ring_hop
-            + m.drop;
+            + m.drop
+            + m.word_write
+            + m.checksum_patch;
         assert_eq!(m.cycles(&ones), expected);
+    }
+
+    #[test]
+    fn compiled_costs_undercut_interpreted() {
+        // The compiled path's premise: straight-line masked writes and
+        // O(1) checksum patches must price below their interpreted
+        // counterparts, and so must the fixed forward dispatch.
+        let m = CycleModel::new();
+        assert!(m.word_write < m.field_write);
+        assert!(m.checksum_patch < m.checksum_fix);
+        assert!(m.compiled_forward_fixed < m.fastpath_forward_fixed);
     }
 }

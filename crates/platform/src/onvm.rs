@@ -14,7 +14,6 @@
 //! [`crate::threaded`] is a real thread-per-NF implementation of the same
 //! architecture used by integration tests and wall-clock benches.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use speedybox_mat::{OpCounter, PacketClass};
@@ -220,6 +219,7 @@ impl OnvmChain {
                 sbox.global.install(fid, &mut install_ops);
                 if let Some(bs) = batch {
                     bs.stale.insert(fid);
+                    bs.forget(fid);
                 }
                 // Consolidation "involves inter-core communication": one
                 // message hop per Local MAT back to the manager (§VI-A).
@@ -279,15 +279,21 @@ impl OnvmChain {
             PacketClass::Subsequent => {
                 let fp = match batch.as_mut() {
                     Some(bs) if !bs.stale.contains(&fid) => {
-                        let (res, fired) = fast_path_cached(
-                            sbox,
-                            &mut packet,
-                            fid,
-                            &self.model,
-                            bs.cache.get(&fid),
-                        );
+                        let memo_hit = bs.last.as_ref().is_some_and(|(lf, _)| *lf == fid);
+                        let handle = if memo_hit {
+                            bs.last.as_ref().map(|(_, r)| r)
+                        } else {
+                            bs.cache.get(&fid)
+                        };
+                        let (res, fired) =
+                            fast_path_cached(sbox, &mut packet, fid, &self.model, handle);
                         if fired {
                             bs.stale.insert(fid);
+                            bs.last = None;
+                        } else if !memo_hit {
+                            if let Some(r) = bs.cache.get(&fid) {
+                                bs.last = Some((fid, Arc::clone(r)));
+                            }
                         }
                         res
                     }
@@ -343,6 +349,7 @@ impl OnvmChain {
                         sbox.global.install(fid, &mut install_ops);
                         if let Some(bs) = batch {
                             bs.stale.insert(fid);
+                            bs.forget(fid);
                         }
                         let cycles = cls_cycles
                             + res.per_nf_cycles.iter().sum::<u64>()
@@ -373,6 +380,7 @@ impl OnvmChain {
                     // `classify_batch`.
                     sbox.global.remove_flow(fid);
                     bs.stale.insert(fid);
+                    bs.forget(fid);
                 }
             }
             notify_flow_closed(&mut self.nfs, fid);
@@ -399,7 +407,7 @@ impl OnvmChain {
                 .map(|c| c.fid)
                 .collect();
             let cache = sbox.global.prefetch(&fast_fids);
-            (classified, BatchState { cache, stale: HashSet::new() })
+            (classified, BatchState::new(cache))
         };
         let mut batch = Some(batch_state);
         packets

@@ -42,6 +42,11 @@ pub struct SboxConfig {
     /// (rounded up to a power of two). Sharding never changes results —
     /// only lock granularity under concurrency.
     pub shards: usize,
+    /// Execute consolidated header actions as compiled micro-op programs
+    /// (default). When off (`--interpreted`), the fast path walks the
+    /// [`ConsolidatedAction`](speedybox_mat::ConsolidatedAction) vectors
+    /// per packet instead — same packet bytes, higher per-packet cost.
+    pub compiled: bool,
 }
 
 impl Default for SboxConfig {
@@ -52,6 +57,7 @@ impl Default for SboxConfig {
             handshake_aware: false,
             batch_size: 1,
             shards: speedybox_mat::classifier::DEFAULT_CLASSIFIER_SHARDS,
+            compiled: true,
         }
     }
 }
@@ -81,7 +87,8 @@ impl SpeedyBox {
             (0..nf_count).map(|i| Arc::new(LocalMat::new(NfId::new(i)))).collect();
         let telemetry = Arc::new(Telemetry::new(config.shards));
         let global = GlobalMat::with_shards(locals.clone(), config.shards)
-            .with_telemetry(Arc::clone(&telemetry));
+            .with_telemetry(Arc::clone(&telemetry))
+            .with_compiled(config.compiled);
         let events: Arc<EventTable> = Arc::clone(global.events());
         let instruments =
             locals.iter().map(|l| NfInstrument::new(Arc::clone(l), Arc::clone(&events))).collect();
@@ -226,11 +233,21 @@ fn fast_path_execute(
 ) -> FastPathResult {
     let ctl_cycles = model.cycles(&ctl_ops);
 
-    // Step 2: header actions.
+    // Step 2: header actions — compiled micro-op program by default, the
+    // interpreted walk under `--interpreted`, per-NF replay in the
+    // consolidation ablation.
     let mut ha_ops = OpCounter::default();
+    let cell = sbox.telemetry.shard(fid.index() as u64);
     let survived = if sbox.config.consolidate_ha {
-        rule.consolidated.apply(packet, &mut ha_ops).unwrap_or(false)
+        if sbox.config.compiled {
+            cell.add_compiled_hits(1);
+            rule.compiled.run(packet, &mut ha_ops).unwrap_or(false)
+        } else {
+            cell.add_compiled_fallbacks(1);
+            rule.consolidated.apply(packet, &mut ha_ops).unwrap_or(false)
+        }
     } else {
+        cell.add_compiled_fallbacks(1);
         // Ablation: replay each NF's recorded header actions sequentially,
         // paying the per-NF re-parse the consolidation would have removed.
         let mut alive = true;
@@ -282,7 +299,13 @@ fn fast_path_execute(
         sf_work
     };
 
-    let fixed = model.fastpath_forward_fixed;
+    // Compiled dispatch is straight-line: its fixed forward overhead
+    // undercuts the interpreted executor's.
+    let fixed = if sbox.config.consolidate_ha && sbox.config.compiled {
+        model.compiled_forward_fixed
+    } else {
+        model.fastpath_forward_fixed
+    };
     let mut ops = ctl_ops;
     ops.merge(&ha_ops);
     ops.merge(&sf_ops);

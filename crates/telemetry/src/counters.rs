@@ -49,9 +49,9 @@ impl PathClass {
 
 /// Number of abstract-operation kinds mirrored from the MAT crate's
 /// `OpCounter` (kept in lock-step by the differential test).
-pub const OP_KINDS: usize = 17;
+pub const OP_KINDS: usize = 19;
 
-/// Exposition names for the 17 abstract-operation counters, in the same
+/// Exposition names for the 19 abstract-operation counters, in the same
 /// order as the fields of `speedybox_mat::OpCounter`.
 pub const OP_NAMES: [&str; OP_KINDS] = [
     "parses",
@@ -71,9 +71,11 @@ pub const OP_NAMES: [&str; OP_KINDS] = [
     "event_checks",
     "ring_hops",
     "drops",
+    "word_writes",
+    "checksum_patches",
 ];
 
-/// Plain-old-data totals for the 17 abstract-operation counters.
+/// Plain-old-data totals for the 19 abstract-operation counters.
 ///
 /// The MAT crate converts its `OpCounter` into this (see
 /// `OpCounter::telemetry_totals`) so the telemetry crate stays
@@ -122,6 +124,9 @@ pub struct CounterShard {
     rule_rewrites: AtomicU64,
     rules_removed: AtomicU64,
     events_fired: AtomicU64,
+    // Compiled fast path.
+    compiled_hits: AtomicU64,
+    compiled_fallbacks: AtomicU64,
     // Abstract-operation mirror of `RunStats::ops`.
     ops: [AtomicU64; OP_KINDS],
 }
@@ -163,6 +168,12 @@ impl CounterShard {
         add_rules_removed => rules_removed,
         /// Counts Event Table conditions that fired.
         add_events_fired => events_fired,
+        /// Counts fast-path packets whose header action ran as a compiled
+        /// micro-op program.
+        add_compiled_hits => compiled_hits,
+        /// Counts fast-path packets that executed interpretively although
+        /// a compiled program existed (`--interpreted` or ablation).
+        add_compiled_fallbacks => compiled_fallbacks,
     }
 
     /// Records a finished packet: path mix, delivery outcome and latency
@@ -211,6 +222,8 @@ impl CounterShard {
         s.rule_rewrites += self.rule_rewrites.load(Relaxed);
         s.rules_removed += self.rules_removed.load(Relaxed);
         s.events_fired += self.events_fired.load(Relaxed);
+        s.compiled_hits += self.compiled_hits.load(Relaxed);
+        s.compiled_fallbacks += self.compiled_fallbacks.load(Relaxed);
         for (dst, src) in s.ops.0.iter_mut().zip(&self.ops) {
             *dst += src.load(Relaxed);
         }

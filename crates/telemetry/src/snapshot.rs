@@ -45,7 +45,12 @@ pub struct TelemetrySnapshot {
     pub rules_removed: u64,
     /// Event Table conditions that fired.
     pub events_fired: u64,
-    /// Mirror of the 17 abstract-operation counters.
+    /// Packets whose header action ran as a compiled micro-op program.
+    pub compiled_hits: u64,
+    /// Packets that fell back to the interpreted header action even though
+    /// a compiled program was available (`--interpreted` or ablation).
+    pub compiled_fallbacks: u64,
+    /// Mirror of the abstract-operation counters (see `OP_NAMES`).
     pub ops: OpTotals,
 }
 
@@ -72,6 +77,8 @@ impl TelemetrySnapshot {
         self.rule_rewrites += other.rule_rewrites;
         self.rules_removed += other.rules_removed;
         self.events_fired += other.events_fired;
+        self.compiled_hits += other.compiled_hits;
+        self.compiled_fallbacks += other.compiled_fallbacks;
         self.ops.merge(&other.ops);
     }
 
@@ -98,7 +105,7 @@ impl TelemetrySnapshot {
     /// Named scalar counters in exposition order (everything except the
     /// per-path arrays, histograms and op mirror).
     #[must_use]
-    pub fn scalars(&self) -> [(&'static str, u64); 14] {
+    pub fn scalars(&self) -> [(&'static str, u64); 16] {
         [
             ("packets", self.packets),
             ("delivered", self.delivered),
@@ -114,6 +121,8 @@ impl TelemetrySnapshot {
             ("rule_rewrites", self.rule_rewrites),
             ("rules_removed", self.rules_removed),
             ("events_fired", self.events_fired),
+            ("compiled_hits", self.compiled_hits),
+            ("compiled_fallbacks", self.compiled_fallbacks),
         ]
     }
 
@@ -246,6 +255,8 @@ impl TelemetrySnapshot {
             rule_rewrites: field("rule_rewrites")?,
             rules_removed: field("rules_removed")?,
             events_fired: field("events_fired")?,
+            compiled_hits: field("compiled_hits")?,
+            compiled_fallbacks: field("compiled_fallbacks")?,
             ..TelemetrySnapshot::default()
         };
         let paths = doc.get("paths").ok_or("missing 'paths'")?;

@@ -1,0 +1,148 @@
+//! Pass 4 — compiled-program equivalence (SBX011).
+//!
+//! The fast path executes a [`speedybox_mat::CompiledProgram`] — straight-line
+//! masked word writes with incremental checksum patches — lowered from the
+//! rule's [`speedybox_mat::ConsolidatedAction`]. A lowering bug would make
+//! the compiled and interpreted paths disagree at runtime, so this pass runs
+//! both over concrete sample packets (TCP and UDP; pre-encapsulated when the
+//! rule nets out to a decap) and demands byte-identical output and identical
+//! forward/drop verdicts.
+
+use speedybox_mat::{GlobalRule, OpCounter};
+use speedybox_packet::{Packet, PacketBuilder};
+
+use crate::diag::{LintCode, Report, Span};
+
+/// Sample packets covering both L4 protocols the lowering special-cases
+/// (TCP checksums vs UDP's zero-means-none rule), with enough AH layers
+/// pushed for the rule's net decaps to succeed.
+fn sample_packets(rule: &GlobalRule) -> Vec<Packet> {
+    let mut samples = vec![
+        PacketBuilder::tcp()
+            .src("192.168.7.21:4321".parse().unwrap())
+            .dst("10.1.2.3:443".parse().unwrap())
+            .payload(b"sbx011-probe")
+            .build(),
+        PacketBuilder::udp()
+            .src("192.168.7.21:4321".parse().unwrap())
+            .dst("10.1.2.3:53".parse().unwrap())
+            .payload(b"sbx011-probe")
+            .build(),
+    ];
+    let decaps = rule.consolidated.net_decaps();
+    for pkt in &mut samples {
+        for layer in 0..decaps {
+            let spi = 0x5b0 + u32::try_from(layer).expect("decap depth fits u32");
+            pkt.encap_ah(spi, 0).expect("sample encap");
+        }
+    }
+    samples
+}
+
+/// Checks that `rule.compiled` and interpreting `rule.consolidated` agree
+/// on every sample packet; divergences are reported as SBX011 errors.
+#[must_use]
+pub fn check_compiled(chain: &str, rule: &GlobalRule) -> Report {
+    let mut report = Report::new(chain);
+    for (i, sample) in sample_packets(rule).into_iter().enumerate() {
+        let mut interpreted = sample.clone();
+        let mut compiled = sample;
+        let mut iops = OpCounter::default();
+        let mut cops = OpCounter::default();
+        let ires = rule.consolidated.apply(&mut interpreted, &mut iops);
+        let cres = rule.compiled.run(&mut compiled, &mut cops);
+        match (ires, cres) {
+            (Ok(isurv), Ok(csurv)) if isurv != csurv => report.push(
+                LintCode::CompiledDivergence,
+                Span::chain(),
+                format!(
+                    "sample packet {i}: interpreted verdict {} but compiled verdict {}",
+                    verdict(isurv),
+                    verdict(csurv)
+                ),
+            ),
+            (Ok(true), Ok(true)) if interpreted.as_bytes() != compiled.as_bytes() => report.push(
+                LintCode::CompiledDivergence,
+                Span::chain(),
+                format!(
+                    "sample packet {i}: compiled output differs from interpreted at byte {}",
+                    first_diff(interpreted.as_bytes(), compiled.as_bytes())
+                ),
+            ),
+            (Ok(_), Err(e)) => report.push(
+                LintCode::CompiledDivergence,
+                Span::chain(),
+                format!("sample packet {i}: interpreted succeeded but compiled failed: {e}"),
+            ),
+            (Err(e), Ok(_)) => report.push(
+                LintCode::CompiledDivergence,
+                Span::chain(),
+                format!("sample packet {i}: compiled succeeded but interpreted failed: {e}"),
+            ),
+            // Both succeeded and agreed, or both failed (same verdict on a
+            // packet neither path can process).
+            _ => {}
+        }
+    }
+    report
+}
+
+fn verdict(survived: bool) -> &'static str {
+    if survived {
+        "forward"
+    } else {
+        "drop"
+    }
+}
+
+fn first_diff(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).position(|(x, y)| x != y).unwrap_or_else(|| a.len().min(b.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use speedybox_mat::{consolidate, EncapSpec, HeaderAction};
+    use speedybox_packet::HeaderField;
+
+    use super::*;
+
+    fn rule_of(actions: &[HeaderAction]) -> GlobalRule {
+        GlobalRule::new(consolidate(actions), vec![], vec![])
+    }
+
+    #[test]
+    fn sound_rules_pass() {
+        for actions in [
+            vec![HeaderAction::Forward],
+            vec![HeaderAction::modify(HeaderField::DstIp, std::net::Ipv4Addr::new(10, 0, 0, 9))],
+            vec![HeaderAction::modify(HeaderField::SrcPort, 9999u16), HeaderAction::Drop],
+            vec![HeaderAction::Encap(EncapSpec::new(7))],
+            vec![HeaderAction::Decap(EncapSpec::new(7))],
+        ] {
+            let report = check_compiled("t", &rule_of(&actions));
+            assert!(report.diagnostics.is_empty(), "{:?}\n{}", actions, report.render_text());
+        }
+    }
+
+    #[test]
+    fn corrupted_program_is_flagged() {
+        let mut rule = rule_of(&[HeaderAction::modify(HeaderField::DstPort, 8080u16)]);
+        // Sabotage the compiled side: swap in the program for a different
+        // consolidated action.
+        rule.compiled = speedybox_mat::compile(&consolidate(&[HeaderAction::modify(
+            HeaderField::DstPort,
+            9999u16,
+        )]));
+        let report = check_compiled("t", &rule);
+        assert!(report.has_code(LintCode::CompiledDivergence), "{}", report.render_text());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn verdict_divergence_is_flagged() {
+        let mut rule = rule_of(&[HeaderAction::Drop]);
+        rule.compiled = speedybox_mat::CompiledProgram::default();
+        let report = check_compiled("t", &rule);
+        assert!(report.has_code(LintCode::CompiledDivergence), "{}", report.render_text());
+    }
+}

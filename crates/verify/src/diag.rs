@@ -70,11 +70,15 @@ pub enum LintCode {
     /// SBX010: the runtime payload-access tracker observed a state function
     /// writing the payload despite declaring Read or Ignore.
     AccessViolation,
+    /// SBX011: the compiled micro-op program for a rule produces different
+    /// bytes (or a different drop verdict) than interpreting the rule's
+    /// consolidated action — a rule-compilation soundness bug.
+    CompiledDivergence,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 10] = [
+    pub const ALL: [LintCode; 11] = [
         LintCode::DeadActionAfterDrop,
         LintCode::DecapSpecMismatch,
         LintCode::DecapUnderflow,
@@ -85,6 +89,7 @@ impl LintCode {
         LintCode::ScheduleConflict,
         LintCode::ScheduleOrder,
         LintCode::AccessViolation,
+        LintCode::CompiledDivergence,
     ];
 
     /// The stable code string (`SBX001`...).
@@ -101,6 +106,7 @@ impl LintCode {
             LintCode::ScheduleConflict => "SBX008",
             LintCode::ScheduleOrder => "SBX009",
             LintCode::AccessViolation => "SBX010",
+            LintCode::CompiledDivergence => "SBX011",
         }
     }
 
@@ -118,6 +124,7 @@ impl LintCode {
             LintCode::ScheduleConflict => "schedule-conflict",
             LintCode::ScheduleOrder => "schedule-order",
             LintCode::AccessViolation => "access-violation",
+            LintCode::CompiledDivergence => "compiled-divergence",
         }
     }
 
@@ -131,7 +138,8 @@ impl LintCode {
             | LintCode::EventRewriteUnsound
             | LintCode::ScheduleConflict
             | LintCode::ScheduleOrder
-            | LintCode::AccessViolation => Severity::Error,
+            | LintCode::AccessViolation
+            | LintCode::CompiledDivergence => Severity::Error,
             LintCode::DecapUnderflow
             | LintCode::ConflictingModify
             | LintCode::EarlyTrailingWrite => Severity::Warn,
@@ -359,7 +367,7 @@ mod tests {
             codes,
             vec![
                 "SBX001", "SBX002", "SBX003", "SBX004", "SBX005", "SBX006", "SBX007", "SBX008",
-                "SBX009", "SBX010"
+                "SBX009", "SBX010", "SBX011"
             ]
         );
         let names: std::collections::HashSet<&str> =

@@ -19,6 +19,10 @@
 //!   schedule is validated against the paper's Table I conflict matrix and
 //!   must be an order-preserving partition; the debug-build payload-access
 //!   tracker's findings are rendered as diagnostics.
+//! * **Pass 4 — compiled equivalence** ([`compiled`]): the rule's compiled
+//!   micro-op program is executed next to the interpreted consolidated
+//!   action on concrete sample packets and must match byte-for-byte
+//!   (SBX011).
 //!
 //! Findings carry stable `SBX0xx` codes ([`diag::LintCode`]) with fixed
 //! severities; `speedybox lint <chain>` renders them as text or JSON and
@@ -30,11 +34,13 @@
 #![warn(missing_debug_implementations)]
 #![warn(clippy::needless_pass_by_value, clippy::redundant_clone, clippy::cast_possible_truncation)]
 
+pub mod compiled;
 pub mod diag;
 pub mod events;
 pub mod schedule;
 pub mod symbolic;
 
+pub use compiled::check_compiled;
 pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
 pub use events::{check_event_rewrites, EventSpec};
 pub use schedule::{check_access_log, check_rule_schedule, check_schedule};
@@ -57,6 +63,7 @@ pub fn verify_flow(
     report.merge(check_event_rewrites(chain, nfs, &accesses, events));
     if let Some(rule) = rule {
         report.merge(check_rule_schedule(chain, rule));
+        report.merge(check_compiled(chain, rule));
     }
     report
 }

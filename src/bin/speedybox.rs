@@ -38,6 +38,9 @@ RUN OPTIONS:
   --chain <NAME>      any name from `speedybox chains` (default: chain1)
   --env <ENV>         bess | onvm (default: bess)
   --speedybox         enable SpeedyBox (default: original chain)
+  --interpreted       apply consolidated rules through the interpreter
+                      instead of compiled micro-op programs (escape hatch;
+                      compiled is the default)
   --verify            lint a fresh instance of the chain first; refuse to
                       run if any Error-level finding is reported
   --compare           run both original and SpeedyBox, report the delta
@@ -196,6 +199,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let config = SboxConfig {
         batch_size: args.usize_value("--batch-size", default_cfg.batch_size)?,
         shards: args.usize_value("--shards", default_cfg.shards)?,
+        compiled: !args.flag("--interpreted"),
         ..default_cfg
     };
     if args.flag("--verify") {
