@@ -76,6 +76,19 @@ impl HeaderAction {
         matches!(self, HeaderAction::Forward)
     }
 
+    /// Frame-length delta this action applies when executed: `+AH_LEN`
+    /// for encap, `-AH_LEN` for decap, zero otherwise. Consolidation uses
+    /// this to give each state-function batch a positionally exact frame
+    /// length even when an encap/decap pair annihilates (§V-B).
+    #[must_use]
+    pub fn len_delta(&self) -> i64 {
+        match self {
+            HeaderAction::Encap(_) => speedybox_packet::headers::AH_LEN as i64,
+            HeaderAction::Decap(_) => -(speedybox_packet::headers::AH_LEN as i64),
+            _ => 0,
+        }
+    }
+
     /// Applies this action to a packet the way the *original* (slow-path)
     /// chain would: immediately and in isolation.
     ///

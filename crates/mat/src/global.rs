@@ -139,8 +139,10 @@ pub struct GlobalMat {
     sink: Option<Arc<Telemetry>>,
     /// Whether header actions execute as compiled micro-op programs
     /// (default) or through the interpreted [`ConsolidatedAction::apply`]
-    /// (`--interpreted` escape hatch / ablation).
-    compiled: bool,
+    /// (`--interpreted` escape hatch / ablation). Atomic so the mode can be
+    /// flipped mid-run through a shared handle (fault-injection harnesses);
+    /// every rule carries both forms, so a flip is always safe.
+    compiled: std::sync::atomic::AtomicBool,
 }
 
 impl GlobalMat {
@@ -163,7 +165,7 @@ impl GlobalMat {
             shard_mask: n - 1,
             events: Arc::new(EventTable::new()),
             sink: None,
-            compiled: true,
+            compiled: std::sync::atomic::AtomicBool::new(true),
         }
     }
 
@@ -181,15 +183,23 @@ impl GlobalMat {
     /// (`word_writes`/`checksum_patches` vs `field_writes`/
     /// `checksum_fixes`).
     #[must_use]
-    pub fn with_compiled(mut self, compiled: bool) -> Self {
-        self.compiled = compiled;
+    pub fn with_compiled(self, compiled: bool) -> Self {
+        self.set_compiled(compiled);
         self
     }
 
     /// True if header actions run as compiled micro-op programs.
     #[must_use]
     pub fn is_compiled(&self) -> bool {
-        self.compiled
+        self.compiled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Switches between compiled and interpreted execution at runtime.
+    /// Always safe mid-run: every installed rule carries both its
+    /// [`CompiledProgram`] and its [`ConsolidatedAction`], and both produce
+    /// identical packet bytes.
+    pub fn set_compiled(&self, compiled: bool) {
+        self.compiled.store(compiled, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Runs a rule's header action via the configured execution mode,
@@ -202,7 +212,7 @@ impl GlobalMat {
         packet: &mut Packet,
         ops: &mut OpCounter,
     ) -> Result<bool> {
-        if self.compiled {
+        if self.is_compiled() {
             if let Some(cell) = self.cell(fid) {
                 cell.add_compiled_hits(1);
             }
@@ -250,13 +260,30 @@ impl GlobalMat {
     pub fn install(&self, fid: Fid, ops: &mut OpCounter) {
         let mut actions = Vec::new();
         let mut batches = Vec::new();
+        // Cumulative frame-length delta of the header actions *upstream*
+        // of the NF currently being visited. An NF's state functions run
+        // against the consolidated (egress) packet on the fast path, so
+        // each batch records input-position minus egress length — this is
+        // what keeps length-reading state functions (e.g. the monitor's
+        // byte counter) positionally exact when an encap/decap pair
+        // annihilates around them during consolidation.
+        let mut upstream_delta = 0i64;
         for local in &self.locals {
             if let Some(rule) = local.rule(fid) {
-                actions.extend(rule.header_actions.iter().cloned());
                 if !rule.state_functions.is_empty() {
-                    batches.push(SfBatch::new(local.nf(), rule.state_functions));
+                    batches.push(
+                        SfBatch::new(local.nf(), rule.state_functions)
+                            .with_len_adjust(upstream_delta),
+                    );
                 }
+                upstream_delta +=
+                    rule.header_actions.iter().map(crate::HeaderAction::len_delta).sum::<i64>();
+                actions.extend(rule.header_actions.iter().cloned());
             }
+        }
+        let egress_delta = upstream_delta;
+        for batch in &mut batches {
+            batch.len_adjust -= egress_delta;
         }
         let consolidated = consolidate(&actions);
         let sched = schedule(&batches);
@@ -795,6 +822,73 @@ mod tests {
     fn dump_of_empty_mat() {
         let gm = GlobalMat::new(mats(1));
         assert!(gm.dump().contains("0 rule(s)"));
+    }
+
+    #[test]
+    fn sf_inside_annihilated_tunnel_sees_positional_length() {
+        // vpn-encap -> length-reading SF -> vpn-decap. Consolidation
+        // annihilates the encap/decap pair, so the fast-path packet never
+        // carries the AH — but the SF must still observe the mid-tunnel
+        // (encapsulated) frame length it would have seen on the original
+        // path.
+        use crate::action::EncapSpec;
+        let locals = mats(3);
+        let gm = GlobalMat::new(locals.clone());
+        let (mut p, fid) = pkt_with_fid();
+        let plain_len = p.len();
+        let mut ops = OpCounter::default();
+        locals[0].add_header_action(fid, HeaderAction::Encap(EncapSpec::new(7)), &mut ops);
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = seen.clone();
+        locals[1].add_state_function(
+            fid,
+            StateFunction::new("len", PayloadAccess::Ignore, move |ctx| {
+                s.store(ctx.frame_len() as u64, Ordering::Relaxed);
+            }),
+            &mut ops,
+        );
+        locals[2].add_header_action(fid, HeaderAction::Decap(EncapSpec::new(7)), &mut ops);
+        gm.install(fid, &mut ops);
+        let rule = gm.rule(fid).unwrap();
+        assert!(rule.consolidated.is_noop(), "encap/decap pair annihilates");
+        assert_eq!(rule.batches[0].len_adjust, speedybox_packet::headers::AH_LEN as i64);
+        assert_eq!(gm.process(&mut p, &mut ops).unwrap(), FastPathOutcome::Forwarded);
+        assert_eq!(p.len(), plain_len, "egress frame is unencapsulated");
+        assert_eq!(
+            seen.load(Ordering::Relaxed),
+            (plain_len + speedybox_packet::headers::AH_LEN) as u64,
+            "SF observes the mid-tunnel length"
+        );
+    }
+
+    #[test]
+    fn sf_after_surviving_encap_needs_no_adjustment() {
+        // An unmatched encap survives consolidation, so a downstream SF
+        // sees the encapsulated egress frame directly: adjust = 0.
+        use crate::action::EncapSpec;
+        let locals = mats(2);
+        let gm = GlobalMat::new(locals.clone());
+        let (mut p, fid) = pkt_with_fid();
+        let plain_len = p.len();
+        let mut ops = OpCounter::default();
+        locals[0].add_header_action(fid, HeaderAction::Encap(EncapSpec::new(9)), &mut ops);
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = seen.clone();
+        locals[1].add_state_function(
+            fid,
+            StateFunction::new("len", PayloadAccess::Ignore, move |ctx| {
+                s.store(ctx.frame_len() as u64, Ordering::Relaxed);
+            }),
+            &mut ops,
+        );
+        gm.install(fid, &mut ops);
+        let rule = gm.rule(fid).unwrap();
+        assert_eq!(rule.batches[0].len_adjust, 0);
+        assert_eq!(gm.process(&mut p, &mut ops).unwrap(), FastPathOutcome::Forwarded);
+        assert_eq!(
+            seen.load(Ordering::Relaxed),
+            (plain_len + speedybox_packet::headers::AH_LEN) as u64
+        );
     }
 
     #[test]

@@ -52,6 +52,29 @@ pub struct SfContext<'a> {
     pub fid: Fid,
     /// Operation counter for cost accounting.
     pub ops: &'a mut OpCounter,
+    /// Positional frame-length correction (see [`SfContext::frame_len`]).
+    /// Zero on the original path and for every batch outside an
+    /// encap/decap window.
+    pub len_adjust: i64,
+}
+
+impl SfContext<'_> {
+    /// The frame length the owning NF would observe at its position in the
+    /// *original* chain.
+    ///
+    /// On the fast path the consolidated header action runs before any
+    /// state function, so `packet.len()` is the egress length. When an
+    /// encap/decap pair annihilates during consolidation (paper §V-B), an
+    /// NF that sat inside the tunnel window never sees the encapsulated
+    /// frame — its recorded state functions would under-count by the
+    /// header length. `len_adjust` (computed at consolidation time from
+    /// the chain's per-NF length deltas) restores the positional view;
+    /// length-reading handlers must use this instead of
+    /// `packet.len()`.
+    #[must_use]
+    pub fn frame_len(&self) -> usize {
+        usize::try_from(self.packet.len() as i64 + self.len_adjust).unwrap_or(0)
+    }
 }
 
 /// Handler signature for state functions.
@@ -134,13 +157,25 @@ pub struct SfBatch {
     pub nf: NfId,
     /// The functions, in registration order.
     pub funcs: Vec<StateFunction>,
+    /// Positional frame-length correction for this batch's NF: input
+    /// length at the NF's chain position minus the chain's egress length.
+    /// Computed at consolidation time; exposed to handlers through
+    /// [`SfContext::frame_len`].
+    pub len_adjust: i64,
 }
 
 impl SfBatch {
-    /// Creates a batch for one NF.
+    /// Creates a batch for one NF (no positional length correction).
     #[must_use]
     pub fn new(nf: NfId, funcs: Vec<StateFunction>) -> Self {
-        Self { nf, funcs }
+        Self { nf, funcs, len_adjust: 0 }
+    }
+
+    /// Sets the positional frame-length correction (consolidation time).
+    #[must_use]
+    pub fn with_len_adjust(mut self, len_adjust: i64) -> Self {
+        self.len_adjust = len_adjust;
+        self
     }
 
     /// The batch's effective payload access: "the action of the state
@@ -153,7 +188,7 @@ impl SfBatch {
 
     /// Runs all functions in order against the packet.
     pub fn execute(&self, packet: &mut Packet, fid: Fid, ops: &mut OpCounter) {
-        let mut ctx = SfContext { packet, fid, ops };
+        let mut ctx = SfContext { packet, fid, ops, len_adjust: self.len_adjust };
         for f in &self.funcs {
             f.invoke(&mut ctx);
         }
@@ -194,11 +229,44 @@ mod tests {
         let mut p = pkt();
         let mut ops = OpCounter::default();
         let fid = p.five_tuple().unwrap().fid();
-        let mut ctx = SfContext { packet: &mut p, fid, ops: &mut ops };
+        let mut ctx = SfContext { packet: &mut p, fid, ops: &mut ops, len_adjust: 0 };
         sf.invoke(&mut ctx);
         sf.invoke(&mut ctx);
         assert_eq!(hits.load(Ordering::Relaxed), 2);
         assert_eq!(ops.sf_invocations, 2);
+    }
+
+    #[test]
+    fn frame_len_applies_positional_adjustment() {
+        let mut p = pkt();
+        let plain = p.len();
+        let fid = p.five_tuple().unwrap().fid();
+        let mut ops = OpCounter::default();
+        let ctx = SfContext { packet: &mut p, fid, ops: &mut ops, len_adjust: 24 };
+        assert_eq!(ctx.frame_len(), plain + 24);
+        let ctx0 = SfContext { packet: &mut p, fid, ops: &mut ops, len_adjust: 0 };
+        assert_eq!(ctx0.frame_len(), plain);
+        // A pathological negative adjustment saturates at zero rather
+        // than panicking.
+        let neg = SfContext { packet: &mut p, fid, ops: &mut ops, len_adjust: -(plain as i64) - 8 };
+        assert_eq!(neg.frame_len(), 0);
+    }
+
+    #[test]
+    fn batch_len_adjust_reaches_handlers() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = seen.clone();
+        let sf = StateFunction::new("len", PayloadAccess::Ignore, move |ctx| {
+            s.store(ctx.frame_len() as u64, Ordering::Relaxed);
+        });
+        let batch = SfBatch::new(NfId::new(0), vec![sf]).with_len_adjust(24);
+        assert_eq!(batch.len_adjust, 24);
+        let mut p = pkt();
+        let plain = p.len();
+        let fid = p.five_tuple().unwrap().fid();
+        let mut ops = OpCounter::default();
+        batch.execute(&mut p, fid, &mut ops);
+        assert_eq!(seen.load(Ordering::Relaxed), (plain + 24) as u64);
     }
 
     #[test]
@@ -248,7 +316,7 @@ mod tests {
         let mut p = pkt();
         let fid = p.five_tuple().unwrap().fid();
         let mut ops = OpCounter::default();
-        let mut ctx = SfContext { packet: &mut p, fid, ops: &mut ops };
+        let mut ctx = SfContext { packet: &mut p, fid, ops: &mut ops, len_adjust: 0 };
         sf.invoke(&mut ctx);
         assert_eq!(p.payload().unwrap(), b"ABC");
     }

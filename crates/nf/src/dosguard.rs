@@ -205,8 +205,12 @@ mod tests {
         let rule = inst.local_mat().rule(fid).unwrap();
         for _ in 0..3 {
             let mut sub = syn_packet();
-            let mut sfctx =
-                speedybox_mat::state_fn::SfContext { packet: &mut sub, fid, ops: &mut ops };
+            let mut sfctx = speedybox_mat::state_fn::SfContext {
+                packet: &mut sub,
+                fid,
+                ops: &mut ops,
+                len_adjust: 0,
+            };
             rule.state_functions[0].invoke(&mut sfctx);
         }
         let fired = events.check(fid, &mut ops);

@@ -53,6 +53,13 @@ struct State {
     table_size: usize,
     /// Connection tracking: flow -> backend index.
     connections: HashMap<Fid, usize>,
+    /// What the SpeedyBox fast-path rule currently encodes for each
+    /// instrumented flow: `Some(backend)` for a modify, `None` for a drop
+    /// (load shed while no backend was healthy). The reroute event fires
+    /// whenever this diverges from what the original path would pick *now*
+    /// — covering backend failure, recovery after a total outage, and
+    /// flows whose very first packet arrived while every backend was dead.
+    rule_target: HashMap<Fid, Option<usize>>,
 }
 
 impl State {
@@ -118,6 +125,18 @@ impl State {
         self.connections.insert(fid, b);
         Some(b)
     }
+
+    /// [`State::assign`] without the tracker write: what the original path
+    /// would pick for this flow right now. Used by the reroute event's
+    /// condition, which must not mutate.
+    fn preview(&self, fid: Fid) -> Option<usize> {
+        if let Some(&b) = self.connections.get(&fid) {
+            if self.backends[b].healthy {
+                return Some(b);
+            }
+        }
+        self.lookup(fid)
+    }
 }
 
 /// The Maglev load-balancer NF.
@@ -168,8 +187,13 @@ impl Maglev {
             .into_iter()
             .map(|(name, addr)| Backend { name: name.into(), addr, healthy: true })
             .collect();
-        let mut state =
-            State { backends, table: Vec::new(), table_size, connections: HashMap::new() };
+        let mut state = State {
+            backends,
+            table: Vec::new(),
+            table_size,
+            connections: HashMap::new(),
+            rule_target: HashMap::new(),
+        };
         state.rebuild_table();
         Self { state: Arc::new(Mutex::new(state)) }
     }
@@ -207,6 +231,48 @@ impl Maglev {
         self.state.lock().connections.len()
     }
 
+    /// Registers the recurring reroute event for `fid`: it fires whenever
+    /// the fast-path rule's recorded target (`rule_target`) no longer
+    /// matches what the original path would pick for the flow — a failed
+    /// tracked backend, a recovery ending a total outage, or a recovered
+    /// preferred backend for a flow recorded as a load-shedding drop. The
+    /// patch re-runs [`State::assign`] (the original path's choice,
+    /// tracker update included) so both paths converge on the same
+    /// backend.
+    fn register_reroute_event(&self, fid: Fid, inst: &speedybox_mat::NfInstrument) {
+        let cond_state = Arc::clone(&self.state);
+        let update_state = Arc::clone(&self.state);
+        inst.register_event_full(
+            speedybox_mat::Event::new(
+                fid,
+                inst.nf(),
+                "maglev.reroute",
+                move |fid| {
+                    let st = cond_state.lock();
+                    st.rule_target.get(&fid).is_some_and(|t| *t != st.preview(fid))
+                },
+                move |fid| {
+                    let mut st = update_state.lock();
+                    match st.assign(fid) {
+                        Some(b) => {
+                            let addr = st.backends[b].addr;
+                            st.rule_target.insert(fid, Some(b));
+                            RulePatch::set_action(HeaderAction::modify2(
+                                (HeaderField::DstIp, (*addr.ip()).into()),
+                                (HeaderField::DstPort, addr.port().into()),
+                            ))
+                        }
+                        None => {
+                            st.rule_target.insert(fid, None);
+                            RulePatch::set_action(HeaderAction::Drop)
+                        }
+                    }
+                },
+            )
+            .recurring(),
+        );
+    }
+
     /// Distribution of lookup-table slots per healthy backend (for the
     /// balance tests).
     #[must_use]
@@ -235,16 +301,23 @@ impl Nf for Maglev {
             ctx.ops.hash_lookups += 1;
             st.assign(fid).map(|b| {
                 ctx.ops.hash_updates += 1;
-                st.backends[b].addr
+                (b, st.backends[b].addr)
             })
         };
-        let Some(backend_addr) = backend else {
+        let Some((backend_idx, backend_addr)) = backend else {
             // No healthy backend: shed load (and record the drop so the
-            // fast path sheds too).
+            // fast path sheds too). The reroute event is still registered:
+            // once a backend recovers, the original path resumes
+            // forwarding, so the fast-path rule must be rewritten back
+            // from drop to modify.
             ctx.ops.drops += 1;
+            // SPEEDYBOX-INTEGRATION-BEGIN (maglev/shed: 5 lines)
             if let Some(inst) = ctx.instrument {
                 inst.add_header_action(fid, HeaderAction::Drop, ctx.ops);
+                self.state.lock().rule_target.insert(fid, None);
+                self.register_reroute_event(fid, inst);
             }
+            // SPEEDYBOX-INTEGRATION-END
             return NfVerdict::Drop;
         };
         let action = HeaderAction::modify2(
@@ -254,44 +327,20 @@ impl Nf for Maglev {
         if !action.apply(packet, ctx.ops).unwrap_or(false) {
             return NfVerdict::Drop;
         }
-        // SPEEDYBOX-INTEGRATION-BEGIN (maglev: 20 lines)
+        // SPEEDYBOX-INTEGRATION-BEGIN (maglev: 5 lines)
         if let Some(inst) = ctx.instrument {
             inst.add_header_action(fid, action, ctx.ops);
-            let cond_state = Arc::clone(&self.state);
-            let update_state = Arc::clone(&self.state);
-            inst.register_event_full(
-                speedybox_mat::Event::new(
-                    fid,
-                    inst.nf(),
-                    "maglev.reroute",
-                    move |fid| {
-                        let st = cond_state.lock();
-                        st.connections.get(&fid).is_some_and(|&b| !st.backends[b].healthy)
-                    },
-                    move |fid| {
-                        let mut st = update_state.lock();
-                        st.connections.remove(&fid);
-                        match st.assign(fid) {
-                            Some(b) => {
-                                let addr = st.backends[b].addr;
-                                RulePatch::set_action(HeaderAction::modify2(
-                                    (HeaderField::DstIp, (*addr.ip()).into()),
-                                    (HeaderField::DstPort, addr.port().into()),
-                                ))
-                            }
-                            None => RulePatch::set_action(HeaderAction::Drop),
-                        }
-                    },
-                )
-                .recurring(),
-            );
+            self.state.lock().rule_target.insert(fid, Some(backend_idx));
+            self.register_reroute_event(fid, inst);
         }
         // SPEEDYBOX-INTEGRATION-END
         NfVerdict::Forward
     }
 
     fn flow_closed(&mut self, fid: Fid) {
-        self.state.lock().connections.remove(&fid);
+        let mut st = self.state.lock();
+        st.connections.remove(&fid);
+        st.rule_target.remove(&fid);
     }
 }
 
@@ -450,6 +499,76 @@ mod tests {
         assert_eq!(lb.connection_count(), 1);
         lb.flow_closed(p.fid().unwrap());
         assert_eq!(lb.connection_count(), 0);
+    }
+
+    #[test]
+    fn total_outage_then_recovery_rewrites_drop_back_to_modify() {
+        use std::sync::Arc as StdArc;
+
+        use speedybox_mat::{EventTable, LocalMat, NfId, NfInstrument};
+
+        let mut lb = lb();
+        let events = StdArc::new(EventTable::new());
+        let inst = NfInstrument::new(StdArc::new(LocalMat::new(NfId::new(0))), events.clone());
+        let mut ops = OpCounter::default();
+        let mut p = packet(1000);
+        {
+            let mut ctx = NfContext::instrumented(&inst, &mut ops);
+            lb.process(&mut p, &mut ctx);
+        }
+        let fid = p.fid().unwrap();
+        // Kill every backend: the event must flip the rule to drop.
+        for i in 0..4 {
+            lb.fail_backend(&format!("backend-{i}"));
+        }
+        let fired = events.check(fid, &mut ops);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].1.header_actions, Some(vec![HeaderAction::Drop]));
+        // While the outage lasts the recurring event is quiescent.
+        assert!(events.check(fid, &mut ops).is_empty());
+        // First recovery: the rule must come back as a modify — exactly the
+        // backend the original path would pick.
+        lb.recover_backend("backend-2");
+        let fired = events.check(fid, &mut ops);
+        assert_eq!(fired.len(), 1, "recovery after a total outage must re-fire");
+        match &fired[0].1.header_actions.as_ref().unwrap()[0] {
+            HeaderAction::Modify(writes) => {
+                let (_, ip) = writes.iter().find(|(f, _)| *f == HeaderField::DstIp).unwrap();
+                assert_eq!(ip.as_ipv4(), "10.1.0.3".parse::<std::net::Ipv4Addr>().unwrap());
+            }
+            other => panic!("expected modify after recovery, got {other}"),
+        }
+        assert_eq!(lb.assigned_backend(fid).unwrap(), "10.1.0.3:8080".parse().unwrap());
+    }
+
+    #[test]
+    fn flow_born_during_outage_recovers_when_backends_return() {
+        use std::sync::Arc as StdArc;
+
+        use speedybox_mat::{EventTable, LocalMat, NfId, NfInstrument};
+
+        let mut lb = lb();
+        for i in 0..4 {
+            lb.fail_backend(&format!("backend-{i}"));
+        }
+        let events = StdArc::new(EventTable::new());
+        let inst = NfInstrument::new(StdArc::new(LocalMat::new(NfId::new(0))), events.clone());
+        let mut ops = OpCounter::default();
+        let mut p = packet(1000);
+        {
+            let mut ctx = NfContext::instrumented(&inst, &mut ops);
+            assert_eq!(lb.process(&mut p, &mut ctx), NfVerdict::Drop, "shed during outage");
+        }
+        let fid = p.fid().unwrap();
+        // The load-shedding drop was recorded — and so was the event.
+        assert!(events.check(fid, &mut ops).is_empty(), "quiescent while dead");
+        lb.recover_backend("backend-1");
+        let fired = events.check(fid, &mut ops);
+        assert_eq!(fired.len(), 1, "the shed flow must be rewritten to a live backend");
+        match &fired[0].1.header_actions.as_ref().unwrap()[0] {
+            HeaderAction::Modify(_) => {}
+            other => panic!("expected modify after recovery, got {other}"),
+        }
     }
 
     #[test]

@@ -82,8 +82,12 @@ impl Nf for Monitor {
             let counters = Arc::clone(&self.counters);
             inst.add_state_function_handle(
                 fid,
+                // `frame_len()` (not `packet.len()`): on the fast path the
+                // packet is already in egress form, and the positional
+                // adjustment keeps byte counts exact when the monitor sits
+                // inside an annihilated encap/decap window.
                 StateFunction::new("monitor.count", PayloadAccess::Ignore, move |sfctx| {
-                    Self::count(&counters, sfctx.fid, sfctx.packet.len());
+                    Self::count(&counters, sfctx.fid, sfctx.frame_len());
                     sfctx.ops.state_updates += 1;
                 }),
                 ctx.ops,
@@ -167,7 +171,7 @@ mod tests {
         assert_eq!(rule.state_functions[0].access(), PayloadAccess::Ignore);
         // Fast-path invocation updates the same counters.
         let mut sub = packet(1000, b"sub");
-        let mut sfctx = SfContext { packet: &mut sub, fid, ops: &mut ops };
+        let mut sfctx = SfContext { packet: &mut sub, fid, ops: &mut ops, len_adjust: 0 };
         rule.state_functions[0].invoke(&mut sfctx);
         assert_eq!(mon.counters(fid).unwrap().packets, 2);
     }

@@ -188,7 +188,7 @@ mod tests {
         let rule = inst.local_mat().rule(fid).unwrap();
         for _ in 0..2 {
             let mut sub = packet(100);
-            let mut sfctx = SfContext { packet: &mut sub, fid, ops: &mut ops };
+            let mut sfctx = SfContext { packet: &mut sub, fid, ops: &mut ops, len_adjust: 0 };
             rule.state_functions[0].invoke(&mut sfctx);
         }
         let fired = events.check(fid, &mut ops);

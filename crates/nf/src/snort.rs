@@ -738,7 +738,7 @@ mod tests {
         let fid = initial.fid().unwrap();
         let rule = inst.local_mat().rule(fid).unwrap();
         let mut subsequent = tcp_packet(80, b"an evil payload");
-        let mut sfctx = SfContext { packet: &mut subsequent, fid, ops: &mut ops };
+        let mut sfctx = SfContext { packet: &mut subsequent, fid, ops: &mut ops, len_adjust: 0 };
         rule.state_functions[0].invoke(&mut sfctx);
         let log = nf.log();
         assert_eq!(log.len(), 1);

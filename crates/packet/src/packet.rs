@@ -164,23 +164,49 @@ impl Packet {
 
     fn validate(&self) -> Result<()> {
         let ip = self.ipv4()?;
+        // The declared datagram must fit its own headers and the frame
+        // must carry all of it. A frame longer than `total_len` is fine
+        // (Ethernet pads short frames to the 64-byte minimum); a shorter
+        // one is a truncation that would otherwise slip through as long as
+        // the L4 header happened to survive the cut.
+        let declared = usize::from(ip.total_len);
+        if declared < ip.header_len {
+            return Err(PacketError::Malformed("IPv4 total length below header length"));
+        }
+        let l3 = self.l3_offset();
+        let avail = self.buf.len() - l3;
+        if avail < declared {
+            return Err(PacketError::Truncated { needed: declared, have: avail });
+        }
         let mut proto = ip.protocol;
-        let mut off = self.l3_offset() + ip.header_len;
+        let mut off = l3 + ip.header_len;
         while proto == IPPROTO_AH {
             let ah = AuthHeader::parse(&self.buf[off..])?;
             proto = ah.next_header;
             off += AH_LEN;
         }
-        match Protocol::from_number(proto) {
-            Some(Protocol::Tcp) => {
-                crate::headers::Tcp::parse(&self.buf[off..])?;
-            }
+        let l4_hdr = match Protocol::from_number(proto) {
+            Some(Protocol::Tcp) => crate::headers::Tcp::parse(&self.buf[off..])?.header_len,
             Some(Protocol::Udp) => {
                 crate::headers::Udp::parse(&self.buf[off..])?;
+                UDP_LEN
             }
             None => return Err(PacketError::UnsupportedProtocol(proto)),
+        };
+        // The L4 header must lie inside the declared datagram, not in
+        // trailing padding bytes that happen to parse.
+        let needed = off + l4_hdr - l3;
+        if declared < needed {
+            return Err(PacketError::Truncated { needed, have: declared });
         }
         Ok(())
+    }
+
+    /// One past the last byte of the IPv4 datagram within `buf`: the
+    /// logical end of the packet, excluding any Ethernet trailer padding.
+    fn datagram_end(&self) -> Result<usize> {
+        let ip = self.ipv4()?;
+        Ok((self.l3_offset() + usize::from(ip.total_len)).min(self.buf.len()))
     }
 
     /// The complete frame bytes (Ethernet onward).
@@ -395,7 +421,9 @@ impl Packet {
             Protocol::Tcp => crate::headers::Tcp::parse(self.tail(off))?.header_len,
             Protocol::Udp => UDP_LEN,
         };
-        Ok(&self.buf[off + hdr..])
+        // Bounded by `total_len`: Ethernet trailer padding is not payload.
+        let end = self.datagram_end()?;
+        Ok(&self.buf[(off + hdr).min(end)..end])
     }
 
     /// Mutable access to the application payload.
@@ -408,7 +436,8 @@ impl Packet {
             Protocol::Tcp => crate::headers::Tcp::parse(self.tail(off))?.header_len,
             Protocol::Udp => UDP_LEN,
         };
-        Ok(&mut self.buf[off + hdr..])
+        let end = self.datagram_end()?;
+        Ok(&mut self.buf[(off + hdr).min(end)..end])
     }
 
     // ---- field access ----
@@ -576,8 +605,8 @@ impl Packet {
             Protocol::Udp => off + 6,
         };
         self.buf[ck_off..ck_off + 2].copy_from_slice(&[0, 0]);
-        let seg_start = off;
-        let ck = checksum::l4_checksum(ip.src, ip.dst, proto.number(), &self.buf[seg_start..]);
+        let end = self.datagram_end()?;
+        let ck = checksum::l4_checksum(ip.src, ip.dst, proto.number(), &self.buf[off..end]);
         self.buf[ck_off..ck_off + 2].copy_from_slice(&ck.to_be_bytes());
         Ok(())
     }
@@ -651,13 +680,9 @@ impl Packet {
             return Ok(false);
         }
         let (off, proto) = self.l4_offset_and_proto()?;
-        let acc = checksum::pseudo_header_sum(
-            ip.src,
-            ip.dst,
-            proto.number(),
-            (self.buf.len() - off) as u16,
-        );
-        Ok(checksum::fold(checksum::sum_bytes(acc, &self.buf[off..])) == 0xFFFF)
+        let end = self.datagram_end()?;
+        let acc = checksum::pseudo_header_sum(ip.src, ip.dst, proto.number(), (end - off) as u16);
+        Ok(checksum::fold(checksum::sum_bytes(acc, &self.buf[off..end])) == 0xFFFF)
     }
 }
 
@@ -822,7 +847,9 @@ mod tests {
         let mut ip = b[14..34].to_vec();
         ip[0] = 0x46; // IHL = 6
         let payload_after_ip = &b[34..];
-        let new_total = (24 + payload_after_ip.len()) as u16;
+        // 24-byte IP header + the original L4 bytes + the 4 TCP option
+        // bytes appended below.
+        let new_total = (24 + payload_after_ip.len() + 4) as u16;
         ip[2..4].copy_from_slice(&new_total.to_be_bytes());
         // Recompute the header checksum over header + options.
         ip.extend_from_slice(&[0x01, 0x01, 0x01, 0x00]); // NOP NOP NOP EOOL

@@ -1,0 +1,176 @@
+//! Malformed-frame fuzzing for the packet substrate.
+//!
+//! The simulation harness feeds adversarial frames to whole chains; these
+//! tests pin the substrate-level contract that makes that safe: parsing
+//! never panics, and a frame is either accepted with self-consistent
+//! headers or rejected with a typed error. In particular,
+//! `Packet::from_frame` must reject frames whose IPv4 `total_len` declares
+//! more bytes than the frame carries — a truncation that previously
+//! slipped through whenever the L4 header happened to survive the cut.
+
+use proptest::prelude::*;
+use speedybox_packet::packet::PacketError;
+use speedybox_packet::{Packet, PacketBuilder};
+
+/// A plain TCP packet with a payload, as raw frame bytes.
+fn valid_frame() -> Vec<u8> {
+    PacketBuilder::tcp()
+        .src("10.0.0.1:4000".parse().unwrap())
+        .dst("10.0.0.2:80".parse().unwrap())
+        .payload(b"some application payload")
+        .build()
+        .as_bytes()
+        .to_vec()
+}
+
+/// Exercises every accessor that the NFs and the sim oracle rely on; the
+/// point is that none of them panic, whatever `from_frame` accepted.
+fn poke(frame: &[u8]) {
+    if let Ok(p) = Packet::from_frame(frame) {
+        let _ = p.five_tuple();
+        let _ = p.payload();
+        let _ = p.tcp_flags();
+        let _ = p.layout();
+        let _ = p.verify_checksums();
+        let _ = p.ipv4();
+        let _ = p.vlan_id();
+    }
+}
+
+#[test]
+fn bad_ihl_is_rejected() {
+    let mut frame = valid_frame();
+    frame[14] = 0x42; // version 4, IHL 2 (< 5)
+    assert!(matches!(Packet::from_frame(&frame), Err(PacketError::Malformed(_))));
+}
+
+#[test]
+fn bad_version_is_rejected() {
+    let mut frame = valid_frame();
+    frame[14] = 0x65; // version 6
+    assert!(matches!(Packet::from_frame(&frame), Err(PacketError::Malformed(_))));
+}
+
+#[test]
+fn oversized_ihl_claiming_past_frame_is_rejected() {
+    let mut frame = valid_frame();
+    frame[14] = 0x4f; // IHL 15: 60-byte header the frame cannot hold
+    assert!(Packet::from_frame(&frame).is_err());
+}
+
+#[test]
+fn short_ah_is_rejected() {
+    let mut frame = valid_frame();
+    frame[23] = 51; // IPPROTO_AH, but no AH bytes follow the IP header
+    frame.truncate(40);
+    assert!(matches!(Packet::from_frame(&frame), Err(PacketError::Truncated { .. })));
+}
+
+#[test]
+fn zero_length_payload_is_accepted() {
+    let p = PacketBuilder::tcp()
+        .src("10.0.0.1:4000".parse().unwrap())
+        .dst("10.0.0.2:80".parse().unwrap())
+        .build();
+    let re = Packet::from_frame(p.as_bytes()).unwrap();
+    assert_eq!(re.payload().unwrap(), b"");
+    assert_eq!(re.as_bytes(), p.as_bytes());
+}
+
+#[test]
+fn truncated_payload_is_rejected() {
+    // The L4 header survives the cut, so before the total_len check this
+    // frame parsed "successfully" with a silently shortened payload.
+    let mut frame = valid_frame();
+    frame.truncate(frame.len() - 10);
+    match Packet::from_frame(&frame) {
+        Err(PacketError::Truncated { needed, have }) => {
+            assert_eq!(needed, have + 10);
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_prefix_truncation_is_rejected() {
+    let frame = valid_frame();
+    for cut in 0..frame.len() {
+        assert!(Packet::from_frame(&frame[..cut]).is_err(), "prefix of {cut} bytes must not parse");
+    }
+    assert!(Packet::from_frame(&frame).is_ok());
+}
+
+#[test]
+fn ethernet_padding_is_tolerated() {
+    // Frames shorter than the Ethernet minimum arrive padded: the frame is
+    // longer than `total_len` declares. That must stay accepted, and the
+    // padding must not leak into the payload view.
+    let p = PacketBuilder::tcp()
+        .src("10.0.0.1:4000".parse().unwrap())
+        .dst("10.0.0.2:80".parse().unwrap())
+        .payload(b"ab")
+        .build();
+    let mut frame = p.as_bytes().to_vec();
+    frame.extend_from_slice(&[0u8; 18]);
+    let re = Packet::from_frame(&frame).unwrap();
+    assert!(re.verify_checksums().unwrap());
+    assert_eq!(re.five_tuple().unwrap(), p.five_tuple().unwrap());
+}
+
+#[test]
+fn total_len_below_header_len_is_rejected() {
+    let mut frame = valid_frame();
+    frame[16] = 0;
+    frame[17] = 10; // total_len 10 < 20-byte header
+    assert!(matches!(Packet::from_frame(&frame), Err(PacketError::Malformed(_))));
+}
+
+#[test]
+fn declared_longer_than_frame_is_rejected() {
+    let mut frame = valid_frame();
+    frame[16] = 0xff;
+    frame[17] = 0xff;
+    assert!(matches!(Packet::from_frame(&frame), Err(PacketError::Truncated { .. })));
+}
+
+proptest! {
+    /// No single-byte corruption of a valid frame can cause a panic, in
+    /// parsing or in any downstream accessor.
+    #[test]
+    fn single_byte_corruption_never_panics(offset in 0usize..66, value in any::<u8>()) {
+        let mut frame = valid_frame();
+        let offset = offset % frame.len();
+        frame[offset] = value;
+        poke(&frame);
+    }
+
+    /// Random truncation combined with random corruption never panics.
+    #[test]
+    fn truncated_corrupted_frames_never_panic(
+        cut in 0usize..66,
+        mutations in prop::collection::vec((0usize..66, any::<u8>()), 0..8),
+    ) {
+        let mut frame = valid_frame();
+        for (off, val) in mutations {
+            let off = off % frame.len();
+            frame[off] = val;
+        }
+        frame.truncate(cut.min(frame.len()));
+        poke(&frame);
+    }
+
+    /// Arbitrary garbage is either rejected or parses into a packet whose
+    /// accessors all behave.
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        poke(&bytes);
+    }
+
+    /// Whatever `from_frame` accepts must re-serialize to the same bytes.
+    #[test]
+    fn accepted_frames_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok(p) = Packet::from_frame(&bytes) {
+            prop_assert_eq!(p.as_bytes(), &bytes[..]);
+        }
+    }
+}

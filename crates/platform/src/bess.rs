@@ -119,6 +119,21 @@ impl BessChain {
         self.sbox.as_ref()
     }
 
+    /// Mutable access to the SpeedyBox runtime (fault-injection harnesses
+    /// flip execution modes between packets).
+    pub fn sbox_mut(&mut self) -> Option<&mut SpeedyBox> {
+        self.sbox.as_mut()
+    }
+
+    /// Flips the fast path between compiled and interpreted header-action
+    /// execution. No-op on a baseline chain. Safe between packets — see
+    /// [`SpeedyBox::set_compiled`].
+    pub fn set_compiled(&mut self, compiled: bool) {
+        if let Some(sbox) = self.sbox.as_mut() {
+            sbox.set_compiled(compiled);
+        }
+    }
+
     /// Processes one packet through the chain.
     pub fn process(&mut self, mut packet: Packet) -> ProcessedPacket {
         match &self.sbox {

@@ -182,9 +182,150 @@ pub fn snort_chain() -> (Vec<Box<dyn Nf>>, SnortLite) {
     (vec![Box::new(snort.clone()) as Box<dyn Nf>], snort)
 }
 
+/// Every chain name the CLI accepts, with the parameterized forms shown in
+/// their `name:<N>` shape, plus a one-line description. `lint --all`,
+/// `speedybox chains` and the simulation harness's `--all` sweep iterate
+/// this.
+pub const CHAIN_REGISTRY: &[(&str, &str)] = &[
+    ("chain1", "MazuNAT -> Maglev -> Monitor -> IPFilter (paper §VII-B3)"),
+    ("chain2", "IPFilter -> Snort -> Monitor (paper §VII-B3)"),
+    ("snort-monitor", "Snort -> Monitor (paper Fig 6/7)"),
+    ("ipfilter:<N>", "N pass-through firewalls (paper Fig 4/8)"),
+    ("synthetic:<N>", "N Snort-like synthetic NFs (paper Fig 5)"),
+    ("vpn-tunnel", "VPN encap -> Monitor -> VPN decap (in-chain annihilation)"),
+    ("dos-mitigation", "MazuNAT -> DosGuard (paper Fig 3 event rewrite)"),
+    ("maglev-failover", "Maglev alone with recurring reroute event"),
+    ("snort", "Snort alone (payload-READ state function)"),
+];
+
+/// The concrete chain names sweep tools (`lint --all`, `sim --all`) run
+/// over: every registry entry, parameterized ones pinned to representative
+/// sizes.
+pub const ALL_CHAINS: &[&str] = &[
+    "chain1",
+    "chain2",
+    "snort-monitor",
+    "ipfilter:3",
+    "synthetic:3",
+    "vpn-tunnel",
+    "dos-mitigation",
+    "maglev-failover",
+    "snort",
+];
+
+/// Cloned handles into whichever stateful NFs a registry chain contains.
+/// Our NFs share state through `Arc`, so a handle observes (and can
+/// mutate — e.g. [`Maglev::fail_backend`]) the live chain. Harnesses use
+/// these to inject faults and to cross-check NF-level counters.
+#[derive(Debug, Clone, Default)]
+pub struct ChainHooks {
+    /// The NAT, when present (chain1, dos-mitigation).
+    pub nat: Option<MazuNat>,
+    /// The load balancer, when present (chain1, maglev-failover).
+    pub maglev: Option<Maglev>,
+    /// The monitor, when present.
+    pub monitor: Option<Monitor>,
+    /// The IDS, when present.
+    pub snort: Option<SnortLite>,
+    /// The DoS guard, when present (dos-mitigation).
+    pub dos: Option<DosGuard>,
+}
+
+/// Builds a chain by registry name, returning the NFs plus handles to the
+/// chain's stateful NFs. `ipfilter:<N>` and `synthetic:<N>` take a chain
+/// length.
+///
+/// # Errors
+/// Returns a message naming the unknown chain or the malformed length.
+pub fn build_chain_hooks(name: &str) -> Result<(Vec<Box<dyn Nf>>, ChainHooks), String> {
+    if let Some(n) = name.strip_prefix("ipfilter:") {
+        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
+        return Ok((ipfilter_chain(n, 200), ChainHooks::default()));
+    }
+    if let Some(n) = name.strip_prefix("synthetic:") {
+        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
+        return Ok((synthetic_sf_chain(n, 80), ChainHooks::default()));
+    }
+    match name {
+        "chain1" => {
+            let (nfs, h) = chain1(8);
+            let hooks = ChainHooks {
+                nat: Some(h.nat),
+                maglev: Some(h.maglev),
+                monitor: Some(h.monitor),
+                ..ChainHooks::default()
+            };
+            Ok((nfs, hooks))
+        }
+        "chain2" => {
+            let (nfs, h) = chain2();
+            let hooks = ChainHooks {
+                snort: Some(h.snort),
+                monitor: Some(h.monitor),
+                ..ChainHooks::default()
+            };
+            Ok((nfs, hooks))
+        }
+        "snort-monitor" => {
+            let (nfs, h) = snort_monitor_chain();
+            let hooks = ChainHooks {
+                snort: Some(h.snort),
+                monitor: Some(h.monitor),
+                ..ChainHooks::default()
+            };
+            Ok((nfs, hooks))
+        }
+        "vpn-tunnel" => {
+            let (nfs, monitor) = vpn_tunnel_chain(0x1001);
+            Ok((nfs, ChainHooks { monitor: Some(monitor), ..ChainHooks::default() }))
+        }
+        "dos-mitigation" => {
+            let (nfs, dos) = dos_mitigation_chain(5);
+            Ok((nfs, ChainHooks { dos: Some(dos), ..ChainHooks::default() }))
+        }
+        "maglev-failover" => {
+            let (nfs, maglev) = maglev_failover_chain(4);
+            Ok((nfs, ChainHooks { maglev: Some(maglev), ..ChainHooks::default() }))
+        }
+        "snort" => {
+            let (nfs, snort) = snort_chain();
+            Ok((nfs, ChainHooks { snort: Some(snort), ..ChainHooks::default() }))
+        }
+        other => Err(format!("unknown chain: {other} (try `speedybox chains`)")),
+    }
+}
+
+/// Builds a chain by registry name, discarding the handles.
+///
+/// # Errors
+/// Returns a message naming the unknown chain or the malformed length.
+pub fn build_chain(name: &str) -> Result<Vec<Box<dyn Nf>>, String> {
+    build_chain_hooks(name).map(|(nfs, _)| nfs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_names_build_with_hooks() {
+        for name in ALL_CHAINS {
+            let (nfs, _) = build_chain_hooks(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!nfs.is_empty(), "{name} built an empty chain");
+        }
+        assert!(build_chain_hooks("nope").is_err());
+        assert!(build_chain_hooks("ipfilter:x").is_err());
+    }
+
+    #[test]
+    fn hooks_expose_the_expected_nfs() {
+        let (_, h) = build_chain_hooks("chain1").unwrap();
+        assert!(h.nat.is_some() && h.maglev.is_some() && h.monitor.is_some());
+        let (_, h) = build_chain_hooks("dos-mitigation").unwrap();
+        assert!(h.dos.is_some());
+        let (_, h) = build_chain_hooks("ipfilter:2").unwrap();
+        assert!(h.nat.is_none() && h.maglev.is_none());
+    }
 
     #[test]
     fn builders_produce_expected_lengths() {

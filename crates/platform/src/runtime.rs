@@ -65,10 +65,14 @@ impl Default for SboxConfig {
 /// The per-chain SpeedyBox state.
 #[derive(Debug)]
 pub struct SpeedyBox {
-    /// Packet classifier (FID assignment + steering).
-    pub classifier: PacketClassifier,
-    /// Consolidated fast-path rules.
-    pub global: GlobalMat,
+    /// Packet classifier (FID assignment + steering). Shared (`Arc`) so
+    /// concurrent harnesses — e.g. the simulation fault plan's install/
+    /// remove churn thread — can hold a handle while the owning
+    /// environment keeps processing packets.
+    pub classifier: Arc<PacketClassifier>,
+    /// Consolidated fast-path rules. Shared for the same reason as
+    /// [`SpeedyBox::classifier`].
+    pub global: Arc<GlobalMat>,
     /// One instrumentation handle per NF, chain order.
     pub instruments: Vec<NfInstrument>,
     /// Active optimizations.
@@ -97,7 +101,22 @@ impl SpeedyBox {
         if config.handshake_aware {
             classifier = classifier.handshake_aware();
         }
-        Self { classifier, global, instruments, config, telemetry }
+        Self {
+            classifier: Arc::new(classifier),
+            global: Arc::new(global),
+            instruments,
+            config,
+            telemetry,
+        }
+    }
+
+    /// Switches the fast path between compiled and interpreted
+    /// header-action execution mid-run (the simulation harness's
+    /// `flip@N` fault). Safe at any packet boundary: every installed rule
+    /// carries both execution forms and they produce identical bytes.
+    pub fn set_compiled(&mut self, compiled: bool) {
+        self.config.compiled = compiled;
+        self.global.set_compiled(compiled);
     }
 
     /// Tears down a closed flow across all tables.

@@ -1,0 +1,206 @@
+//! The scripted fault plan DSL.
+//!
+//! A fault plan is a `;`-separated list of actions pinned to packet
+//! indices of the **original** trace (so plans stay meaningful while the
+//! shrinker removes packets):
+//!
+//! ```text
+//! kill@12=backend-0      mark a Maglev backend unhealthy before packet 12
+//! recover@40=backend-0   mark it healthy again
+//! flip@20                toggle compiled ↔ interpreted execution (SUT only)
+//! expire@30=4            evict flows idle for ≥ 4 classifier ticks (SUT only)
+//! remove@25              remove the next packet's flow rule from the
+//!                        Global MAT (SUT only; forces a slow-path reinstall)
+//! churn@10..50           run install/remove churn from a second thread
+//!                        between packets 10 and 50 (SUT only)
+//! ```
+//!
+//! Kill/recover apply to **both** the oracle and the SUT at the same
+//! packet boundary — they model real control-plane events. The rest are
+//! SUT-only perturbations that must be equivalence-preserving; the
+//! harness exists to prove that they are.
+
+/// One fault action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Mark a Maglev backend unhealthy (both sides).
+    KillBackend(String),
+    /// Mark a Maglev backend healthy (both sides).
+    RecoverBackend(String),
+    /// Toggle compiled ↔ interpreted rule execution (SUT only).
+    FlipMode,
+    /// Evict flows idle for at least this many classifier ticks (SUT
+    /// only).
+    ExpireIdle(u64),
+    /// Remove the next packet's flow rule from the Global MAT (SUT only).
+    RemoveNextFlowRule,
+    /// Start the install/remove churn thread (SUT only).
+    ChurnStart,
+    /// Stop the churn thread.
+    ChurnStop,
+}
+
+/// A fault pinned to an original-trace packet index: it fires immediately
+/// before the first surviving packet whose original index is ≥ `at`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAt {
+    /// Original-trace packet index.
+    pub at: usize,
+    /// The action.
+    pub fault: Fault,
+}
+
+/// An ordered fault plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faults sorted by `at` (stable for equal indices).
+    pub faults: Vec<FaultAt>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from faults, sorting by index (stable).
+    #[must_use]
+    pub fn new(mut faults: Vec<FaultAt>) -> Self {
+        faults.sort_by_key(|f| f.at);
+        Self { faults }
+    }
+
+    /// Parses the DSL described in the module docs.
+    ///
+    /// # Errors
+    /// Returns a message naming the offending clause.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for clause in text.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (verb, rest) =
+                clause.split_once('@').ok_or_else(|| format!("missing '@' in {clause:?}"))?;
+            match verb {
+                "kill" | "recover" => {
+                    let (at, name) = rest
+                        .split_once('=')
+                        .ok_or_else(|| format!("missing '=<backend>' in {clause:?}"))?;
+                    let at = parse_index(at, clause)?;
+                    let fault = if verb == "kill" {
+                        Fault::KillBackend(name.to_string())
+                    } else {
+                        Fault::RecoverBackend(name.to_string())
+                    };
+                    faults.push(FaultAt { at, fault });
+                }
+                "flip" => {
+                    faults.push(FaultAt { at: parse_index(rest, clause)?, fault: Fault::FlipMode });
+                }
+                "expire" => {
+                    let (at, idle) = rest
+                        .split_once('=')
+                        .ok_or_else(|| format!("missing '=<idle>' in {clause:?}"))?;
+                    let idle =
+                        idle.parse::<u64>().map_err(|e| format!("bad idle in {clause:?}: {e}"))?;
+                    faults.push(FaultAt {
+                        at: parse_index(at, clause)?,
+                        fault: Fault::ExpireIdle(idle),
+                    });
+                }
+                "remove" => {
+                    faults.push(FaultAt {
+                        at: parse_index(rest, clause)?,
+                        fault: Fault::RemoveNextFlowRule,
+                    });
+                }
+                "churn" => {
+                    let (a, b) = rest
+                        .split_once("..")
+                        .ok_or_else(|| format!("missing '..' in {clause:?}"))?;
+                    let (a, b) = (parse_index(a, clause)?, parse_index(b, clause)?);
+                    if b < a {
+                        return Err(format!("empty churn window in {clause:?}"));
+                    }
+                    faults.push(FaultAt { at: a, fault: Fault::ChurnStart });
+                    faults.push(FaultAt { at: b, fault: Fault::ChurnStop });
+                }
+                _ => return Err(format!("unknown fault verb in {clause:?}")),
+            }
+        }
+        Ok(Self::new(faults))
+    }
+
+    /// Renders the plan back to canonical DSL text. Churn start/stop pairs
+    /// are re-joined in order; an unpaired start renders as an open-ended
+    /// window ending at the same index (degenerate but parseable).
+    #[must_use]
+    pub fn to_dsl(&self) -> String {
+        let mut clauses = Vec::new();
+        let mut pending_churn: Vec<usize> = Vec::new();
+        for f in &self.faults {
+            match &f.fault {
+                Fault::KillBackend(name) => clauses.push(format!("kill@{}={name}", f.at)),
+                Fault::RecoverBackend(name) => clauses.push(format!("recover@{}={name}", f.at)),
+                Fault::FlipMode => clauses.push(format!("flip@{}", f.at)),
+                Fault::ExpireIdle(idle) => clauses.push(format!("expire@{}={idle}", f.at)),
+                Fault::RemoveNextFlowRule => clauses.push(format!("remove@{}", f.at)),
+                Fault::ChurnStart => pending_churn.push(f.at),
+                Fault::ChurnStop => {
+                    let start = pending_churn.pop().unwrap_or(f.at);
+                    clauses.push(format!("churn@{start}..{}", f.at));
+                }
+            }
+        }
+        for start in pending_churn {
+            clauses.push(format!("churn@{start}..{start}"));
+        }
+        clauses.join(";")
+    }
+
+    /// True when no faults are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+fn parse_index(text: &str, clause: &str) -> Result<usize, String> {
+    text.trim().parse::<usize>().map_err(|e| format!("bad index in {clause:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_verb() {
+        let dsl =
+            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50";
+        let plan = FaultPlan::parse(dsl).unwrap();
+        assert_eq!(plan.faults.len(), 7);
+        let re = FaultPlan::parse(&plan.to_dsl()).unwrap();
+        assert_eq!(re, plan);
+    }
+
+    #[test]
+    fn sorts_by_index() {
+        let plan = FaultPlan::parse("flip@30;kill@5=b;remove@10").unwrap();
+        let ats: Vec<usize> = plan.faults.iter().map(|f| f.at).collect();
+        assert_eq!(ats, vec![5, 10, 30]);
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("kill@12").is_err());
+        assert!(FaultPlan::parse("flip@x").is_err());
+        assert!(FaultPlan::parse("churn@9..3").is_err());
+        assert!(FaultPlan::parse("teleport@1").is_err());
+        assert!(FaultPlan::parse("expire@1=z").is_err());
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert_eq!(FaultPlan::empty().to_dsl(), "");
+    }
+}

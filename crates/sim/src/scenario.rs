@@ -1,0 +1,398 @@
+//! Seeded scenario generation: adversarial packet traces plus scripted
+//! fault plans.
+//!
+//! Every scenario is fully determined by `(seed, chain)`. On top of a
+//! small base workload (mice/elephant mix, suspicious payloads, SYN/FIN
+//! handshakes) the generator splices in the traffic shapes most likely to
+//! expose consolidation bugs:
+//!
+//! * **malformed frames** — truncated mid-header, bad version/IHL
+//!   nibbles, short AH, pure garbage — which must be rejected (or
+//!   mis-parsed) *identically* by oracle and SUT;
+//! * **FID collisions** — two 5-tuples sharing one 20-bit FID, forcing
+//!   the collision slow path while the owner flow keeps its rule;
+//! * **mid-stream RST** followed by a re-opened flow (teardown +
+//!   re-install);
+//! * **SYN storms** tripping the DoS threshold (Event Table Drop
+//!   rewrites);
+//! * **long-lived flows** that stay open across every fault window.
+//!
+//! Fault plans are sized as percentages of the final trace so any seed
+//! produces kills inside live-flow windows.
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::sync::OnceLock;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use speedybox_packet::{FiveTuple, PacketBuilder, Protocol, TcpFlags};
+use speedybox_traffic::{Workload, WorkloadConfig};
+
+use crate::fault::{Fault, FaultAt, FaultPlan};
+
+/// One trace entry: the raw frame plus its index in the original
+/// (unshrunk) trace, which fault plans key on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceItem {
+    /// Index in the original generated trace.
+    pub orig: usize,
+    /// Raw Ethernet frame bytes.
+    pub frame: Vec<u8>,
+}
+
+/// Inputs to [`generate`].
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// RNG seed; same seed + chain → byte-identical scenario.
+    pub seed: u64,
+    /// Registry chain name (drives chain-specific traffic shapes).
+    pub chain: String,
+    /// Include a scripted fault plan.
+    pub with_faults: bool,
+}
+
+/// A generated scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The packet trace.
+    pub items: Vec<TraceItem>,
+    /// The fault plan (empty when faults are disabled).
+    pub faults: FaultPlan,
+}
+
+/// FNV-1a over a string, to fold the chain name into the seed.
+fn fnv_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Generates the deterministic scenario for a `(seed, chain)` pair.
+#[must_use]
+pub fn generate(cfg: &ScenarioConfig) -> Scenario {
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ fnv_str(&cfg.chain));
+
+    // Base workload: a handful of short handshaked flows, some carrying
+    // Snort-suspicious payloads. Kept small so debug-mode sweeps of
+    // thousands of cases stay fast.
+    let base = Workload::generate(&WorkloadConfig {
+        flows: 6,
+        median_packets: 3.0,
+        sigma: 0.8,
+        payload_len: 48,
+        suspicious_fraction: 0.3,
+        with_handshake: true,
+        seed: rng.gen(),
+        ..WorkloadConfig::default()
+    });
+    let mut frames: Vec<Vec<u8>> = base.packets().iter().map(|p| p.as_bytes().to_vec()).collect();
+    let template = frames.first().cloned().unwrap_or_default();
+
+    // Two long-lived flows (SYN + data, FIN withheld until the very end)
+    // so every fault window lands on live consolidated rules.
+    let mut fins = Vec::new();
+    for i in 0..2u8 {
+        let src = SocketAddrV4::new(Ipv4Addr::new(10, 7, 0, i + 1), 2101 + u16::from(i));
+        let (open, fin) = long_flow(src, 12, i);
+        insert_spread(&mut rng, &mut frames, open);
+        fins.push(fin);
+    }
+
+    // Mid-stream RST, then the same tuple re-opens: teardown + re-install.
+    insert_spread(&mut rng, &mut frames, rst_reopen_flow());
+
+    // FID collision pair: the owner keeps its rule, the collider must take
+    // the slow path on both sides.
+    insert_spread(&mut rng, &mut frames, collision_frames());
+
+    // Malformed / degenerate frames.
+    let malformed = malformed_frames(&mut rng, &template);
+    insert_spread(&mut rng, &mut frames, malformed);
+
+    // SYN storm for DoS-guarded chains: 12 SYNs against threshold 5.
+    if cfg.chain.starts_with("dos") {
+        insert_block(&mut rng, &mut frames, syn_storm(12));
+    }
+
+    // Close the long-lived flows last.
+    frames.extend(fins);
+
+    let faults = if cfg.with_faults {
+        fault_plan(&mut rng, &cfg.chain, frames.len())
+    } else {
+        FaultPlan::empty()
+    };
+
+    let items =
+        frames.into_iter().enumerate().map(|(orig, frame)| TraceItem { orig, frame }).collect();
+    Scenario { items, faults }
+}
+
+/// Inserts a group into the trace at sorted random positions, preserving
+/// the group's internal order.
+fn insert_spread(rng: &mut StdRng, frames: &mut Vec<Vec<u8>>, group: Vec<Vec<u8>>) {
+    let mut positions: Vec<usize> = group.iter().map(|_| rng.gen_range(0..=frames.len())).collect();
+    positions.sort_unstable();
+    for (i, (pos, frame)) in positions.into_iter().zip(group).enumerate() {
+        frames.insert(pos + i, frame);
+    }
+}
+
+/// Inserts a group as one contiguous burst at a random position.
+fn insert_block(rng: &mut StdRng, frames: &mut Vec<Vec<u8>>, group: Vec<Vec<u8>>) {
+    let pos = rng.gen_range(0..=frames.len());
+    for (i, frame) in group.into_iter().enumerate() {
+        frames.insert(pos + i, frame);
+    }
+}
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(10, 99, 99, 99);
+
+/// A SYN-opened flow with `n` data packets; the FIN is returned
+/// separately so the caller can park it at the end of the trace.
+fn long_flow(src: SocketAddrV4, n: u32, tag: u8) -> (Vec<Vec<u8>>, Vec<u8>) {
+    let mut b = PacketBuilder::tcp();
+    b.src(src).dst(SocketAddrV4::new(SERVER, 80));
+    let mut frames = vec![b.flags(TcpFlags::SYN).seq(0).payload(b"").build().as_bytes().to_vec()];
+    for k in 0..n {
+        let payload = format!("long-{tag}-{k}");
+        frames.push(
+            b.flags(TcpFlags::ACK)
+                .seq(k + 1)
+                .payload(payload.as_bytes())
+                .build()
+                .as_bytes()
+                .to_vec(),
+        );
+    }
+    let fin =
+        b.flags(TcpFlags::FIN | TcpFlags::ACK).seq(n + 1).payload(b"").build().as_bytes().to_vec();
+    (frames, fin)
+}
+
+/// SYN, data, RST, then the same tuple re-opens with a fresh handshake.
+fn rst_reopen_flow() -> Vec<Vec<u8>> {
+    let mut b = PacketBuilder::tcp();
+    b.src(SocketAddrV4::new(Ipv4Addr::new(10, 7, 1, 1), 2200)).dst(SocketAddrV4::new(SERVER, 80));
+    let mut frames = Vec::new();
+    frames.push(b.flags(TcpFlags::SYN).seq(0).payload(b"").build().as_bytes().to_vec());
+    for k in 0..2u32 {
+        frames.push(
+            b.flags(TcpFlags::ACK).seq(k + 1).payload(b"pre-rst").build().as_bytes().to_vec(),
+        );
+    }
+    frames.push(b.flags(TcpFlags::RST).seq(3).payload(b"").build().as_bytes().to_vec());
+    frames.push(b.flags(TcpFlags::SYN).seq(0).payload(b"").build().as_bytes().to_vec());
+    for k in 0..2u32 {
+        frames.push(
+            b.flags(TcpFlags::ACK).seq(k + 1).payload(b"post-rst").build().as_bytes().to_vec(),
+        );
+    }
+    frames
+}
+
+/// Two distinct 5-tuples sharing one 20-bit FID (bounded deterministic
+/// search, cached process-wide — the search scans ~2^18 tuples once).
+fn colliding_pair() -> &'static (FiveTuple, FiveTuple) {
+    static PAIR: OnceLock<(FiveTuple, FiveTuple)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let mut seen: HashMap<u32, FiveTuple> = HashMap::new();
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                for port in [1000u16, 2000, 3000, 4000] {
+                    let t = FiveTuple::new(
+                        Ipv4Addr::new(10, 5, a, b),
+                        port,
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        80,
+                        Protocol::Tcp,
+                    );
+                    let fid = t.fid().value();
+                    if let Some(prev) = seen.get(&fid) {
+                        if *prev != t {
+                            return (*prev, t);
+                        }
+                    }
+                    seen.insert(fid, t);
+                }
+            }
+        }
+        unreachable!("no FID collision in a 2^18 tuple space against a 20-bit hash")
+    })
+}
+
+/// Owner flow (3 packets) plus collider flow (2 packets) on the shared
+/// FID. Deliberately FIN-free: the platforms skip teardown for
+/// collision-class packets while the baseline tears down on any FIN with
+/// the FID, a *known, intended* asymmetry the harness must not trip on.
+fn collision_frames() -> Vec<Vec<u8>> {
+    let (owner, collider) = colliding_pair();
+    let mk = |t: &FiveTuple, seq: u32, payload: &str| {
+        let mut b = PacketBuilder::tcp();
+        b.src(SocketAddrV4::new(t.src_ip, t.src_port))
+            .dst(SocketAddrV4::new(t.dst_ip, t.dst_port))
+            .flags(TcpFlags::ACK)
+            .seq(seq)
+            .payload(payload.as_bytes());
+        b.build().as_bytes().to_vec()
+    };
+    vec![
+        mk(owner, 0, "owner-0"),
+        mk(collider, 0, "collider-0"),
+        mk(owner, 1, "owner-1"),
+        mk(collider, 1, "collider-1"),
+        mk(owner, 2, "owner-2"),
+    ]
+}
+
+/// Malformed and degenerate frames derived from a valid template. All of
+/// them must be handled identically by oracle and SUT — most are rejected
+/// at parse time, a few remain valid edge cases (zero-length payload,
+/// payload-truncated datagrams).
+fn malformed_frames(rng: &mut StdRng, template: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    if template.len() > 34 {
+        // Truncated mid-IP-header.
+        out.push(template[..rng.gen_range(15..34)].to_vec());
+        // Truncated inside the payload (L2 capture cut short).
+        out.push(template[..template.len() - 10].to_vec());
+        // Bad version nibble.
+        let mut f = template.to_vec();
+        f[14] = 0x65;
+        out.push(f);
+        // IHL below the minimum header length.
+        let mut f = template.to_vec();
+        f[14] = 0x42;
+        out.push(f);
+        // AH packet too short to hold the authentication header.
+        let mut f = template[..14 + 20 + 6].to_vec();
+        f[14 + 9] = 51;
+        out.push(f);
+    }
+    // Pure garbage (never parses: needs ethertype, version, proto to line
+    // up).
+    let garbage: Vec<u8> =
+        (0..rng.gen_range(16..40)).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+    out.push(garbage);
+    // Valid zero-length payload packet.
+    let mut b = PacketBuilder::tcp();
+    b.src(SocketAddrV4::new(Ipv4Addr::new(10, 8, 0, 1), 2300))
+        .dst(SocketAddrV4::new(SERVER, 80))
+        .flags(TcpFlags::ACK)
+        .payload(b"");
+    out.push(b.build().as_bytes().to_vec());
+    out
+}
+
+/// A burst of SYNs from one tuple, tripping DosGuard's threshold.
+fn syn_storm(n: u32) -> Vec<Vec<u8>> {
+    let mut b = PacketBuilder::tcp();
+    b.src(SocketAddrV4::new(Ipv4Addr::new(10, 66, 0, 1), 4321))
+        .dst(SocketAddrV4::new(SERVER, 80))
+        .payload(b"");
+    (0..n).map(|k| b.flags(TcpFlags::SYN).seq(k).build().as_bytes().to_vec()).collect()
+}
+
+/// Whether the chain routes traffic through a Maglev instance.
+fn has_maglev(chain: &str) -> bool {
+    chain == "chain1" || chain == "maglev-failover"
+}
+
+/// Builds the scripted fault plan, positions scaled to the trace length.
+fn fault_plan(rng: &mut StdRng, chain: &str, n: usize) -> FaultPlan {
+    let pct = |p: usize| (n * p) / 100;
+    let mut faults = vec![
+        FaultAt { at: pct(15), fault: Fault::ChurnStart },
+        FaultAt { at: pct(85), fault: Fault::ChurnStop },
+        FaultAt { at: pct(35), fault: Fault::FlipMode },
+        FaultAt { at: pct(70), fault: Fault::FlipMode },
+        FaultAt { at: pct(55), fault: Fault::ExpireIdle(3) },
+        FaultAt { at: pct(25), fault: Fault::RemoveNextFlowRule },
+        FaultAt { at: pct(60), fault: Fault::RemoveNextFlowRule },
+    ];
+    if has_maglev(chain) {
+        if chain == "maglev-failover" && rng.gen_bool(0.33) {
+            // Total outage: every backend down, then staggered recovery.
+            // Exercises the Drop-patch → Modify-patch rewrite cycle.
+            for i in 0..4 {
+                faults.push(FaultAt {
+                    at: pct(30),
+                    fault: Fault::KillBackend(format!("backend-{i}")),
+                });
+            }
+            let first = rng.gen_range(0..4u32);
+            faults.push(FaultAt {
+                at: pct(65),
+                fault: Fault::RecoverBackend(format!("backend-{first}")),
+            });
+            for i in 0..4 {
+                faults.push(FaultAt {
+                    at: pct(85),
+                    fault: Fault::RecoverBackend(format!("backend-{i}")),
+                });
+            }
+        } else {
+            let victim = rng.gen_range(0..4u32);
+            faults.push(FaultAt {
+                at: pct(30),
+                fault: Fault::KillBackend(format!("backend-{victim}")),
+            });
+            faults.push(FaultAt {
+                at: pct(65),
+                fault: Fault::RecoverBackend(format!("backend-{victim}")),
+            });
+        }
+    }
+    FaultPlan::new(faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let cfg = ScenarioConfig { seed: 7, chain: "chain1".into(), with_faults: true };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.faults, b.faults);
+        assert!(!a.faults.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&ScenarioConfig { seed: 1, chain: "snort".into(), with_faults: false });
+        let b = generate(&ScenarioConfig { seed: 2, chain: "snort".into(), with_faults: false });
+        assert_ne!(a.items, b.items);
+        assert!(a.faults.is_empty());
+    }
+
+    #[test]
+    fn dos_chains_get_a_syn_storm() {
+        let s = generate(&ScenarioConfig {
+            seed: 3,
+            chain: "dos-mitigation".into(),
+            with_faults: false,
+        });
+        let syns = s
+            .items
+            .iter()
+            .filter_map(|i| speedybox_packet::Packet::from_frame(&i.frame).ok())
+            .filter(|p| p.tcp_flags().syn())
+            .count();
+        assert!(syns >= 12, "expected a SYN storm, saw {syns}");
+    }
+
+    #[test]
+    fn collision_pair_shares_a_fid() {
+        let (a, b) = colliding_pair();
+        assert_ne!(a, b);
+        assert_eq!(a.fid(), b.fid());
+    }
+}

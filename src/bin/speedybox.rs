@@ -21,6 +21,7 @@ use speedybox::platform::bess::BessChain;
 use speedybox::platform::onvm::OnvmChain;
 use speedybox::platform::runtime::SboxConfig;
 use speedybox::platform::RunStats;
+use speedybox::sim;
 use speedybox::stats::Summary;
 use speedybox::telemetry::TelemetrySnapshot;
 use speedybox::traffic::{Workload, WorkloadConfig};
@@ -31,6 +32,8 @@ speedybox — SpeedyBox NFV service chains (ICDCS 2019 reproduction)
 USAGE:
   speedybox run [OPTIONS]        process a workload through a chain
   speedybox lint <CHAIN>|--all   statically verify a chain (SBX0xx lints)
+  speedybox sim [OPTIONS]        differential simulation vs the reference
+                                 oracle, with scripted fault injection
   speedybox gen-trace [OPTIONS]  synthesize a workload trace file
   speedybox chains               list available chain names
 
@@ -57,6 +60,22 @@ RUN OPTIONS:
 LINT OPTIONS:
   --all               lint every registry chain; exit non-zero on Errors
   --json              emit findings as JSON instead of rendered text
+
+SIM OPTIONS:
+  --seeds <N>         sweep seeds 0..N (default: 8)
+  --seed <N>          run one specific seed instead of a sweep
+  --all               sweep every registry chain on both environments,
+                      both execution modes, batch sizes 1 and 8
+  --chain <NAME>      one chain (default: chain1; ignored with --all)
+  --env <ENV>         bess | onvm (default: bess; ignored with --all)
+  --batch <N>         packets per batch (default: 1; ignored with --all)
+  --interpreted       start in interpreted rule execution
+  --no-faults         disable the scripted fault plans
+  --inject-bug <B>    seed a deliberate SUT bug to validate the harness
+                      (skip-checksum-fix)
+  --artifact-dir <D>  write shrunk divergence reproducers here as JSON
+  --replay <FILE>     re-run a divergence artifact byte-for-byte
+  exit code: 0 = equivalent, 1 = divergence found, 2 = usage error
 
 GEN-TRACE OPTIONS:
   --flows <N>         flows to synthesize (default: 100)
@@ -273,6 +292,168 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One configuration axis of the sim sweep.
+struct SimConfig {
+    chain: String,
+    env: sim::EnvKind,
+    compiled: bool,
+    batch: usize,
+}
+
+fn sim_configs(args: &Args) -> Result<Vec<SimConfig>, String> {
+    if args.flag("--all") {
+        let mut configs = Vec::new();
+        for chain in LINT_ALL {
+            for env in [sim::EnvKind::Bess, sim::EnvKind::Onvm] {
+                for compiled in [true, false] {
+                    for batch in [1usize, 8] {
+                        configs.push(SimConfig {
+                            chain: (*chain).to_string(),
+                            env,
+                            compiled,
+                            batch,
+                        });
+                    }
+                }
+            }
+        }
+        return Ok(configs);
+    }
+    Ok(vec![SimConfig {
+        chain: args.value("--chain").unwrap_or("chain1").to_string(),
+        env: sim::EnvKind::parse(args.value("--env").unwrap_or("bess"))?,
+        compiled: !args.flag("--interpreted"),
+        batch: args.usize_value("--batch", 1)?.max(1),
+    }])
+}
+
+fn sim_report_divergence(case: &sim::SimCase, out: &sim::RunOutcome) {
+    let Some(d) = &out.divergence else { return };
+    println!(
+        "DIVERGENCE chain={} env={} mode={} batch={} seed={}: {} at packet {} (orig {})",
+        case.chain,
+        case.env.as_str(),
+        if case.compiled { "compiled" } else { "interpreted" },
+        case.batch,
+        case.seed,
+        d.kind.as_str(),
+        d.index,
+        d.orig
+    );
+    println!("  {}", d.detail.replace('\n', "\n  "));
+}
+
+fn cmd_sim(args: &Args) -> Result<ExitCode, String> {
+    if let Some(path) = args.value("--replay") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let case = sim::artifact::from_json(&text)?;
+        let out = sim::run_case(&case)?;
+        println!(
+            "replay {path}: {} packets, {} delivered, {} dropped, {} rejected, {} excused-lag, hash {:016x}",
+            case.items.len(),
+            out.delivered,
+            out.dropped,
+            out.rejected,
+            out.excused_lag,
+            out.output_hash
+        );
+        return Ok(if out.divergence.is_some() {
+            sim_report_divergence(&case, &out);
+            ExitCode::from(1)
+        } else {
+            println!("replay: equivalent (no divergence)");
+            ExitCode::SUCCESS
+        });
+    }
+
+    let seeds: Vec<u64> = match args.value("--seed") {
+        Some(s) => vec![s.parse().map_err(|_| format!("bad value for --seed: {s}"))?],
+        None => (0..args.usize_value("--seeds", 8)? as u64).collect(),
+    };
+    let with_faults = !args.flag("--no-faults");
+    let bug = args.value("--inject-bug").map(sim::BugKind::parse).transpose()?;
+    let artifact_dir = args.value("--artifact-dir");
+    let configs = sim_configs(args)?;
+
+    let mut cases = 0usize;
+    let mut divergent = 0usize;
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    let mut sweep_hash = 0xcbf2_9ce4_8422_2325u64;
+    for config in &configs {
+        for &seed in &seeds {
+            let scenario = sim::generate(&sim::ScenarioConfig {
+                seed,
+                chain: config.chain.clone(),
+                with_faults,
+            });
+            let case = sim::SimCase {
+                chain: config.chain.clone(),
+                env: config.env,
+                compiled: config.compiled,
+                batch: config.batch,
+                seed,
+                bug,
+                items: scenario.items,
+                faults: scenario.faults,
+            };
+            let out = sim::run_case(&case)?;
+            cases += 1;
+            totals.0 += out.delivered;
+            totals.1 += out.dropped;
+            totals.2 += out.rejected;
+            totals.3 += out.excused_lag;
+            for b in out.output_hash.to_be_bytes() {
+                sweep_hash ^= u64::from(b);
+                sweep_hash = sweep_hash.wrapping_mul(0x0100_0000_01b3);
+            }
+            if out.divergence.is_some() {
+                divergent += 1;
+                sim_report_divergence(&case, &out);
+                let (small, spent) = sim::shrink(&case, 256);
+                let small_out = sim::run_case(&small)?;
+                println!(
+                    "  shrunk to {} packet(s), {} fault clause(s) in {spent} run(s)",
+                    small.items.len(),
+                    small.faults.faults.len()
+                );
+                if let Some(dir) = artifact_dir {
+                    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+                    let file = format!(
+                        "{dir}/sim-{}-{}-{}-b{}-s{}.json",
+                        small.chain,
+                        small.env.as_str(),
+                        if small.compiled { "compiled" } else { "interpreted" },
+                        small.batch,
+                        small.seed
+                    );
+                    std::fs::write(
+                        &file,
+                        sim::artifact::to_json(&small, small_out.divergence.as_ref()),
+                    )
+                    .map_err(|e| format!("write {file}: {e}"))?;
+                    println!("  artifact: {file}");
+                }
+            }
+        }
+    }
+    println!(
+        "sim: {cases} case(s) over {} config(s) x {} seed(s); {} delivered, {} dropped, {} rejected, {} excused-lag; sweep hash {sweep_hash:016x}",
+        configs.len(),
+        seeds.len(),
+        totals.0,
+        totals.1,
+        totals.2,
+        totals.3
+    );
+    if divergent > 0 {
+        println!("sim: {divergent} divergent case(s)");
+        Ok(ExitCode::from(1))
+    } else {
+        println!("sim: zero divergences");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn cmd_gen_trace(args: &Args) -> Result<(), String> {
     let out = args.value("--out").ok_or("--out <FILE> is required")?;
     let flows = args.usize_value("--flows", 100)?;
@@ -301,6 +482,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let args = Args { flags: rest.to_vec() };
+    if cmd == "sim" {
+        return match cmd_sim(&args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
         "lint" => cmd_lint(&args),

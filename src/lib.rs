@@ -42,6 +42,7 @@ pub use speedybox_mat as mat;
 pub use speedybox_nf as nf;
 pub use speedybox_packet as packet;
 pub use speedybox_platform as platform;
+pub use speedybox_sim as sim;
 pub use speedybox_stats as stats;
 pub use speedybox_telemetry as telemetry;
 pub use speedybox_traffic as traffic;

@@ -27,60 +27,13 @@ use speedybox_platform::runtime::{classify, fast_path, traverse_chain, SboxConfi
 use speedybox_traffic::{Workload, WorkloadConfig};
 use speedybox_verify::{check_access_log, verify_flow, EventSpec, NfActions, Report};
 
-/// Every chain name the CLI accepts, with the parameterized forms shown in
-/// their `name:<N>` shape, plus a one-line description. `lint --all` and
-/// `speedybox chains` iterate this.
-pub const CHAIN_REGISTRY: &[(&str, &str)] = &[
-    ("chain1", "MazuNAT -> Maglev -> Monitor -> IPFilter (paper §VII-B3)"),
-    ("chain2", "IPFilter -> Snort -> Monitor (paper §VII-B3)"),
-    ("snort-monitor", "Snort -> Monitor (paper Fig 6/7)"),
-    ("ipfilter:<N>", "N pass-through firewalls (paper Fig 4/8)"),
-    ("synthetic:<N>", "N Snort-like synthetic NFs (paper Fig 5)"),
-    ("vpn-tunnel", "VPN encap -> Monitor -> VPN decap (in-chain annihilation)"),
-    ("dos-mitigation", "MazuNAT -> DosGuard (paper Fig 3 event rewrite)"),
-    ("maglev-failover", "Maglev alone with recurring reroute event"),
-    ("snort", "Snort alone (payload-READ state function)"),
-];
-
 /// The concrete chain names `lint --all` verifies (parameterized entries
 /// pinned to representative sizes).
-pub const LINT_ALL: &[&str] = &[
-    "chain1",
-    "chain2",
-    "snort-monitor",
-    "ipfilter:3",
-    "synthetic:3",
-    "vpn-tunnel",
-    "dos-mitigation",
-    "maglev-failover",
-    "snort",
-];
-
-/// Builds a chain by registry name. `ipfilter:<N>` and `synthetic:<N>`
-/// take a chain length.
-///
-/// # Errors
-/// Returns a message naming the unknown chain or the malformed length.
-pub fn build_chain(name: &str) -> Result<Vec<Box<dyn Nf>>, String> {
-    if let Some(n) = name.strip_prefix("ipfilter:") {
-        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
-        return Ok(chains::ipfilter_chain(n, 200));
-    }
-    if let Some(n) = name.strip_prefix("synthetic:") {
-        let n: usize = n.parse().map_err(|_| format!("bad chain length in {name}"))?;
-        return Ok(chains::synthetic_sf_chain(n, 80));
-    }
-    match name {
-        "chain1" => Ok(chains::chain1(8).0),
-        "chain2" => Ok(chains::chain2().0),
-        "snort-monitor" => Ok(chains::snort_monitor_chain().0),
-        "vpn-tunnel" => Ok(chains::vpn_tunnel_chain(0x1001).0),
-        "dos-mitigation" => Ok(chains::dos_mitigation_chain(5).0),
-        "maglev-failover" => Ok(chains::maglev_failover_chain(4).0),
-        "snort" => Ok(chains::snort_chain().0),
-        other => Err(format!("unknown chain: {other} (try `speedybox chains`)")),
-    }
-}
+pub use chains::ALL_CHAINS as LINT_ALL;
+/// The chain registry (moved to [`speedybox_platform::chains`] so harness
+/// crates can use it without depending on the CLI crate), re-exported here
+/// for compatibility.
+pub use chains::{build_chain, build_chain_hooks, ChainHooks, CHAIN_REGISTRY};
 
 /// Lints a chain by registry name on a fresh instance.
 ///

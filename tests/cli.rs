@@ -119,3 +119,85 @@ fn onvm_env_works() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("Mpps"));
 }
+
+#[test]
+fn sim_single_chain_is_clean_and_deterministic() {
+    let args = ["sim", "--chain", "chain2", "--seeds", "2"];
+    let a = speedybox(&args);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("sim: zero divergences"), "{text}");
+    assert!(text.contains("sweep hash"), "{text}");
+    // Same seed, same chain: byte-identical report.
+    let b = speedybox(&args);
+    assert!(b.status.success());
+    assert_eq!(a.stdout, b.stdout, "sim output must be deterministic");
+}
+
+#[test]
+fn sim_seeded_bug_is_caught_shrunk_and_replayable() {
+    let dir = std::env::temp_dir().join("speedybox-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap();
+    // The injected consolidation bug must be detected, shrunk, and dumped
+    // as a replayable artifact; the run exits 1.
+    let out = speedybox(&[
+        "sim",
+        "--chain",
+        "ipfilter:3",
+        "--seeds",
+        "4",
+        "--no-faults",
+        "--env",
+        "bess",
+        "--inject-bug",
+        "skip-checksum-fix",
+        "--artifact-dir",
+        dir_s,
+    ]);
+    assert!(!out.status.success(), "injected bug must fail the sweep");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DIVERGENCE"), "{text}");
+    assert!(text.contains("divergent case(s)"), "{text}");
+
+    let artifact = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().starts_with("sim-"))
+        .expect("an artifact was written");
+    let path = artifact.path();
+    let path_s = path.to_str().unwrap();
+
+    // The artifact replays to the same divergence, byte-for-byte stable.
+    let r1 = speedybox(&["sim", "--replay", path_s]);
+    assert_eq!(r1.status.code(), Some(1), "replay of a divergent case exits 1");
+    let rt = String::from_utf8_lossy(&r1.stdout);
+    assert!(rt.contains("DIVERGENCE"), "{rt}");
+    let r2 = speedybox(&["sim", "--replay", path_s]);
+    assert_eq!(r1.stdout, r2.stdout, "replay must be deterministic");
+
+    // The shrunk reproducer is small.
+    let json = std::fs::read_to_string(&path).unwrap();
+    let packets = json.matches("\"frame\"").count();
+    assert!(packets <= 20, "shrunk artifact has {packets} packets (> 20)");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sim_replay_of_missing_file_is_a_clean_error() {
+    let out = speedybox(&["sim", "--replay", "/nonexistent/sim-artifact.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("read"));
+}
+
+#[test]
+fn sim_rejects_unknown_bug_and_env() {
+    let out = speedybox(&["sim", "--inject-bug", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown bug"));
+    let out = speedybox(&["sim", "--env", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown environment"));
+}

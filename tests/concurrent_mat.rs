@@ -219,6 +219,112 @@ fn collision_detected_under_concurrent_classification() {
 }
 
 #[test]
+fn affinity_memo_invalidated_by_event_under_churn() {
+    // Regression for the batch fast path's flow-affinity memo: when an
+    // Event Table entry fires mid-batch and re-consolidates the rule, the
+    // memoized `Arc<GlobalRule>` for that FID is stale and must be
+    // dropped — otherwise every later same-flow packet in the batch would
+    // be served the pre-event rule. Install/remove churn on disjoint FIDs
+    // runs concurrently, so the shard locks and prefetch snapshot are
+    // exercised while the memo is being invalidated (the sim harness's
+    // `churn@` fault clause, pinned as a deterministic test).
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use speedybox::mat::state_fn::PayloadAccess;
+    use speedybox::mat::{Event, FastPathOutcome, RulePatch, StateFunction};
+
+    const CHURN_FIDS: u32 = 256;
+    const BATCH: usize = 64;
+    const THRESHOLD: u64 = 5;
+
+    let local = Arc::new(LocalMat::new(NfId::new(0)));
+    for i in 0..CHURN_FIDS {
+        local.set_header_actions(Fid::new(i), vec![HeaderAction::Forward]);
+    }
+    let flow = Fid::new(2000);
+    local.set_header_actions(flow, vec![HeaderAction::Forward]);
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&counter);
+    let mut ops = OpCounter::default();
+    local.add_state_function(
+        flow,
+        StateFunction::new("count", PayloadAccess::Ignore, move |ctx| {
+            c.fetch_add(1, Ordering::Relaxed);
+            ctx.ops.state_updates += 1;
+        }),
+        &mut ops,
+    );
+    let gm = GlobalMat::with_shards(vec![local], 8);
+    let c2 = Arc::clone(&counter);
+    gm.events().register(Event::new(
+        flow,
+        NfId::new(0),
+        "threshold",
+        move |_| c2.load(Ordering::Relaxed) > THRESHOLD,
+        |_| RulePatch::set_action(HeaderAction::Drop),
+    ));
+    gm.install(flow, &mut ops);
+
+    let stop = AtomicBool::new(false);
+    let outcomes = std::thread::scope(|s| {
+        for t in 0..THREADS as u32 {
+            let gm = &gm;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut ops = OpCounter::default();
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let fid = Fid::new(i % CHURN_FIDS);
+                    gm.install(fid, &mut ops);
+                    gm.remove_flow(fid);
+                    i = i.wrapping_add(THREADS as u32);
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // One batch of same-flow packets: the memo engages from packet 2
+        // onward, the event fires once the counter crosses the threshold.
+        let mut packets: Vec<Packet> = (0..BATCH as u32)
+            .map(|i| {
+                let mut p = packet_for(
+                    &FiveTuple::new(
+                        Ipv4Addr::new(10, 6, 0, 1),
+                        5000,
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        80,
+                        Protocol::Tcp,
+                    ),
+                    i,
+                );
+                p.set_fid(flow);
+                p
+            })
+            .collect();
+        let mut per_ops: Vec<OpCounter> = vec![OpCounter::default(); BATCH];
+        let outcomes = gm.process_batch(&mut packets, &mut per_ops).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        outcomes
+    });
+
+    // The state function runs per forwarded packet; the event predicate is
+    // checked before each packet's header action, so packets 0..=THRESHOLD
+    // forward and every later packet must hit the patched Drop rule — a
+    // stale memo would keep forwarding them.
+    for (i, o) in outcomes.iter().enumerate() {
+        let expected = if (i as u64) <= THRESHOLD {
+            FastPathOutcome::Forwarded
+        } else {
+            FastPathOutcome::Dropped
+        };
+        assert_eq!(*o, expected, "packet {i}");
+    }
+    assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), THRESHOLD + 1);
+    // Churned FIDs settled: either state is fine, but the flow's own rule
+    // must still be installed (remove_flow was never called for it).
+    assert!(gm.contains(flow));
+}
+
+#[test]
 fn concurrent_expire_idle_expires_each_flow_once() {
     let classifier = PacketClassifier::with_shards(4);
     const FLOWS: u16 = 200;
