@@ -16,15 +16,29 @@
 //! (hit rate falling, latency rising); improvements beyond tolerance are
 //! reported as a hint to refresh the baseline with `--write-baseline`.
 //!
+//! A third, absolute gate covers worker scaling: chain1 over an
+//! interleaved trace with concurrent rule churn must show at least a 3x
+//! modeled-throughput gain at 8 symmetric workers versus 1, and the
+//! 8-worker compiled fast-path p50 may not exceed the single-worker p50
+//! (worker steering redistributes work; it must never add latency).
+//!
 //! ```text
 //! perfgate --baseline crates/bench/baseline.json            # CI gate
 //! perfgate --write-baseline crates/bench/baseline.json      # refresh
 //! perfgate --baseline ... --out /tmp/perfgate-report.json   # keep artifacts
 //! ```
 
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use speedybox_bench::harness::{Env, Runner};
+use speedybox_mat::OpCounter;
+use speedybox_packet::{FiveTuple, Packet, Protocol};
+use speedybox_platform::bess::BessChain;
 use speedybox_platform::chains;
 use speedybox_platform::runtime::SboxConfig;
 use speedybox_telemetry::json::{escape, Json};
@@ -94,6 +108,155 @@ fn measure() -> Vec<Measurement> {
     ]
 }
 
+/// Required modeled speedup at 8 workers over 1 worker. Absolute, not
+/// baseline-relative: if symmetric scaling stops paying, the runtime broke.
+const MIN_SPEEDUP_8W: f64 = 3.0;
+/// Scaling trace: enough flows to spread across every FID slice, long
+/// enough that steady-state fast-path traffic dominates.
+const SCALING_FLOWS: usize = 256;
+
+/// The worker-scaling scenario's numbers at one worker count.
+struct ScalingPoint {
+    workers: usize,
+    /// Modeled throughput over the busiest-worker wall clock.
+    rate_mpps: f64,
+    /// Compiled fast-path p50 — must not move with the worker count.
+    p50_subsequent_cycles: u64,
+    /// Install/remove rounds the churn thread completed during the run.
+    churn_rounds: u64,
+}
+
+/// Round-robin interleave: keep each flow's packet order, merge flows one
+/// packet at a time so every batch spans many FID slices (what an RSS NIC
+/// delivers to a symmetric worker pool).
+fn interleave(packets: Vec<Packet>) -> Vec<Packet> {
+    let mut flows: Vec<Vec<Packet>> = Vec::new();
+    let mut index: HashMap<u32, usize> = HashMap::new();
+    for p in packets {
+        let fid = p.five_tuple().expect("tcp workload").fid().value();
+        let slot = *index.entry(fid).or_insert_with(|| {
+            flows.push(Vec::new());
+            flows.len() - 1
+        });
+        flows[slot].push(p);
+    }
+    let mut out = Vec::new();
+    let mut cursor = vec![0usize; flows.len()];
+    loop {
+        let mut emitted = false;
+        for (f, c) in flows.iter().zip(cursor.iter_mut()) {
+            if *c < f.len() {
+                out.push(f[*c].clone());
+                *c += 1;
+                emitted = true;
+            }
+        }
+        if !emitted {
+            return out;
+        }
+    }
+}
+
+/// Runs chain1 on BESS at `workers` symmetric workers, batch 32, with a
+/// churn thread hammering install/remove on off-trace FIDs for the whole
+/// run — the differential-scaling setup, measured instead of checked.
+fn scaling_point(workers: usize) -> ScalingPoint {
+    let packets = interleave(
+        Workload::generate(&WorkloadConfig {
+            flows: SCALING_FLOWS,
+            median_packets: 16.0,
+            seed: SEED,
+            ..WorkloadConfig::default()
+        })
+        .packets(),
+    );
+    let avoid: HashSet<u32> =
+        packets.iter().filter_map(|p| p.five_tuple().ok()).map(|t| t.fid().value()).collect();
+    let config = SboxConfig { workers, batch_size: 32, ..SboxConfig::default() };
+    let mut chain = BessChain::speedybox_with(chains::chain1(8).0, config);
+    let global = Arc::clone(&chain.sbox().expect("speedybox enabled").global);
+
+    // Churn rules the trace never touches: publication races with the
+    // measured readers, but the modeled per-packet work stays deterministic.
+    let mut tuples = Vec::new();
+    'search: for x in 0..=255u8 {
+        for y in 1..=254u8 {
+            let t = FiveTuple::new(
+                Ipv4Addr::new(10, 250, x, y),
+                7777,
+                Ipv4Addr::new(10, 250, 255, 254),
+                9999,
+                Protocol::Tcp,
+            );
+            if !avoid.contains(&t.fid().value()) {
+                tuples.push(t);
+                if tuples.len() == 8 {
+                    break 'search;
+                }
+            }
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn_stop = Arc::clone(&stop);
+    let churn = std::thread::spawn(move || {
+        let mut ops = OpCounter::default();
+        let mut rounds = 0u64;
+        while !churn_stop.load(Ordering::Relaxed) {
+            for t in &tuples {
+                let fid = t.fid();
+                global.install(fid, &mut ops);
+                let _ = global.rule(fid);
+                global.remove_flow(fid);
+            }
+            rounds += 1;
+            std::thread::yield_now();
+        }
+        rounds
+    });
+    let stats = chain.run(packets);
+    stop.store(true, Ordering::Relaxed);
+    let churn_rounds = churn.join().unwrap_or(0);
+    ScalingPoint {
+        workers,
+        rate_mpps: stats.worker_rate_mpps(chain.model()),
+        p50_subsequent_cycles: chain.telemetry().snapshot().latency[2].quantile(0.5),
+        churn_rounds,
+    }
+}
+
+/// Gates the scaling scenario absolutely. Returns the number of failures.
+fn gate_scaling(points: &[ScalingPoint]) -> usize {
+    let one = points.iter().find(|p| p.workers == 1).expect("1-worker point");
+    let eight = points.iter().find(|p| p.workers == 8).expect("8-worker point");
+    let mut failures = 0;
+    let speedup = if one.rate_mpps > 0.0 { eight.rate_mpps / one.rate_mpps } else { 0.0 };
+    if speedup >= MIN_SPEEDUP_8W {
+        println!(
+            "PASS scaling: {:.2} -> {:.2} Mpps modeled, {speedup:.2}x at 8 workers (>= {MIN_SPEEDUP_8W}x)",
+            one.rate_mpps, eight.rate_mpps
+        );
+    } else {
+        println!(
+            "FAIL scaling: {speedup:.2}x at 8 workers is below the {MIN_SPEEDUP_8W}x floor ({:.2} -> {:.2} Mpps)",
+            one.rate_mpps, eight.rate_mpps
+        );
+        failures += 1;
+    }
+    if eight.p50_subsequent_cycles <= one.p50_subsequent_cycles {
+        println!(
+            "PASS scaling: 8-worker compiled p50 {} <= single-worker p50 {}",
+            eight.p50_subsequent_cycles, one.p50_subsequent_cycles
+        );
+    } else {
+        println!(
+            "FAIL scaling: 8-worker compiled p50 {} exceeds single-worker p50 {}",
+            eight.p50_subsequent_cycles, one.p50_subsequent_cycles
+        );
+        failures += 1;
+    }
+    failures
+}
+
 fn baseline_json(measurements: &[Measurement]) -> String {
     let mut out = String::from("{\n  \"scenarios\": [\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -109,7 +272,7 @@ fn baseline_json(measurements: &[Measurement]) -> String {
     out
 }
 
-fn report_json(measurements: &[Measurement]) -> String {
+fn report_json(measurements: &[Measurement], scaling: &[ScalingPoint]) -> String {
     let mut out = String::from("{\n  \"scenarios\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let sep = if i + 1 == measurements.len() { "" } else { "," };
@@ -120,6 +283,14 @@ fn report_json(measurements: &[Measurement]) -> String {
             m.p50_subsequent_cycles,
             m.p50_interpreted_cycles,
             m.snapshot.to_json()
+        ));
+    }
+    out.push_str("  ],\n  \"scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let sep = if i + 1 == scaling.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"rate_mpps\": {:.6}, \"p50_subsequent_cycles\": {}, \"churn_rounds\": {}}}{sep}\n",
+            p.workers, p.rate_mpps, p.p50_subsequent_cycles, p.churn_rounds
         ));
     }
     out.push_str("  ]\n}\n");
@@ -250,9 +421,16 @@ fn run() -> Result<bool, String> {
             m.name, m.snapshot.packets, m.hit_rate, m.p50_subsequent_cycles
         );
     }
+    let scaling: Vec<ScalingPoint> = [1usize, 2, 4, 8].iter().map(|&w| scaling_point(w)).collect();
+    for p in &scaling {
+        println!(
+            "  scaling w={}: {:.2} Mpps modeled, p50 {} cycles, {} churn rounds",
+            p.workers, p.rate_mpps, p.p50_subsequent_cycles, p.churn_rounds
+        );
+    }
 
     if let Some(path) = value_of(&argv, "--out") {
-        std::fs::write(path, report_json(&measurements))
+        std::fs::write(path, report_json(&measurements, &scaling))
             .map_err(|e| format!("write {path}: {e}"))?;
         println!("report written to {path}");
     }
@@ -268,7 +446,7 @@ fn run() -> Result<bool, String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("read {baseline_path}: {e} (seed one with --write-baseline)"))?;
     let baseline = parse_baseline(&text)?;
-    let failures = gate(&measurements, &baseline, tolerance);
+    let failures = gate(&measurements, &baseline, tolerance) + gate_scaling(&scaling);
     if failures == 0 {
         println!("perfgate: all metrics within tolerance");
     } else {

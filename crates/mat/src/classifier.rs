@@ -6,8 +6,10 @@
 //! The classifier also watches TCP FIN/RST to garbage-collect rules.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
+use arcswap::ArcSwap;
 use parking_lot::Mutex;
 use speedybox_packet::{Fid, FiveTuple, Packet};
 use speedybox_telemetry::{CounterShard, Telemetry};
@@ -39,17 +41,88 @@ pub enum PacketClass {
 }
 
 /// Per-flow classifier bookkeeping.
-#[derive(Debug, Clone, Default)]
-struct FlowState {
-    packets: u64,
-    /// The 5-tuple that claimed this FID (collision detection).
-    owner: Option<FiveTuple>,
+///
+/// Shared across flow-table generations as an `Arc`, with every mutable
+/// field an atomic: steering an *existing* flow only updates these atomics
+/// and is therefore wait-free — no lock, no generation rebuild. Structural
+/// changes (first packet of a flow, teardown, expiry) go through the
+/// shard's writer path instead.
+#[derive(Debug)]
+struct FlowEntry {
+    /// The 5-tuple that claimed this FID (collision detection). Fixed at
+    /// creation — a FID slot is never re-owned without a remove + reopen.
+    owner: FiveTuple,
+    packets: AtomicU64,
     /// Classifier clock value when the flow last saw a packet (idle-flow
     /// aging; see [`PacketClassifier::expire_idle`]).
-    last_seen: u64,
+    last_seen: AtomicU64,
     /// In handshake-aware mode: the flow's rule has been recorded (its
     /// post-handshake initial packet already went down the slow path).
-    recorded: bool,
+    recorded: AtomicBool,
+}
+
+impl FlowEntry {
+    fn new(owner: FiveTuple, now: u64) -> Self {
+        Self {
+            owner,
+            packets: AtomicU64::new(0),
+            last_seen: AtomicU64::new(now),
+            recorded: AtomicBool::new(false),
+        }
+    }
+}
+
+/// One immutable published flow-table generation.
+type FlowGeneration = HashMap<Fid, Arc<FlowEntry>>;
+
+/// One shard of the flow table, published RCU-style (same protocol as the
+/// Global MAT's rule shards): readers load the current generation with one
+/// wait-free atomic op; structural writers serialize on `writer`, clone,
+/// mutate and publish.
+#[derive(Debug)]
+struct FlowShard {
+    current: ArcSwap<FlowGeneration>,
+    writer: Mutex<()>,
+}
+
+impl FlowShard {
+    fn new() -> Self {
+        Self { current: ArcSwap::new(Arc::new(HashMap::new())), writer: Mutex::new(()) }
+    }
+
+    /// Wait-free snapshot of the current generation.
+    fn load(&self) -> Arc<FlowGeneration> {
+        self.current.load()
+    }
+
+    /// Opens a flow slot for `fid`, or returns the existing entry if a
+    /// concurrent opener won the race. Second result is `true` iff this
+    /// call created the entry.
+    fn open(&self, fid: Fid, tuple: FiveTuple, now: u64) -> (Arc<FlowEntry>, bool) {
+        let _build = self.writer.lock();
+        let cur = self.current.load();
+        if let Some(existing) = cur.get(&fid) {
+            return (Arc::clone(existing), false);
+        }
+        let entry = Arc::new(FlowEntry::new(tuple, now));
+        let mut next = FlowGeneration::clone(&cur);
+        next.insert(fid, Arc::clone(&entry));
+        self.current.store(Arc::new(next));
+        (entry, true)
+    }
+
+    /// Publishes a generation without `fid`; true if it was present.
+    fn remove(&self, fid: Fid) -> bool {
+        let _build = self.writer.lock();
+        let cur = self.current.load();
+        if !cur.contains_key(&fid) {
+            return false;
+        }
+        let mut next = FlowGeneration::clone(&cur);
+        next.remove(&fid);
+        self.current.store(Arc::new(next));
+        true
+    }
 }
 
 /// Default shard count for the flow table. Power of two so the shard index
@@ -59,10 +132,12 @@ pub const DEFAULT_CLASSIFIER_SHARDS: usize = 16;
 /// The SpeedyBox Packet Classifier.
 ///
 /// The flow table is split into power-of-two shards keyed by
-/// `fid & (shards - 1)`, so concurrent classification of different flows
-/// contends only when the flows share a shard, and batch classification
-/// ([`PacketClassifier::classify_batch`]) pays one lock acquisition per
-/// shard per batch instead of one per packet.
+/// `fid & (shards - 1)`, each publishing immutable generations RCU-style
+/// (see [`FlowShard`]): steering an already-tracked flow is wait-free —
+/// one atomic generation load plus atomic per-flow counter updates, no
+/// lock — while structural changes (flow open / teardown / expiry) build
+/// and publish a new generation under a per-shard writer mutex that
+/// readers never touch.
 ///
 /// ```
 /// use speedybox_mat::{OpCounter, PacketClass, PacketClassifier};
@@ -82,7 +157,7 @@ pub const DEFAULT_CLASSIFIER_SHARDS: usize = 16;
 /// ```
 #[derive(Debug)]
 pub struct PacketClassifier {
-    shards: Box<[Mutex<HashMap<Fid, FlowState>>]>,
+    shards: Box<[FlowShard]>,
     /// `shards.len() - 1`; the shard of a FID is `fid & shard_mask`.
     shard_mask: usize,
     /// Monotonic packet clock: incremented per classified packet. Used as
@@ -132,7 +207,7 @@ impl PacketClassifier {
     pub fn with_shards(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         Self {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| FlowShard::new()).collect(),
             shard_mask: n - 1,
             clock: std::sync::atomic::AtomicU64::new(0),
             handshake_aware: false,
@@ -146,7 +221,7 @@ impl PacketClassifier {
         self.shards.len()
     }
 
-    fn shard(&self, fid: Fid) -> &Mutex<HashMap<Fid, FlowState>> {
+    fn shard(&self, fid: Fid) -> &FlowShard {
         &self.shards[fid.index() & self.shard_mask]
     }
 
@@ -196,17 +271,26 @@ impl PacketClassifier {
         packet.set_fid(fid);
         let now = self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let is_syn = packet.tcp_flags().syn();
-        let mut flows = self.shard(fid).lock();
-        let class =
-            Self::steer(&mut flows, fid, tuple, now, is_syn, self.handshake_aware, self.cell(fid));
+        let class = Self::steer(
+            self.shard(fid),
+            fid,
+            tuple,
+            now,
+            is_syn,
+            self.handshake_aware,
+            self.cell(fid),
+        );
         let closes_flow = packet.tcp_flags().closes_flow();
         Ok(Classification { fid, class, closes_flow })
     }
 
-    /// The steering decision proper, applied to one (locked) shard.
+    /// The steering decision proper, applied to one shard. Wait-free for
+    /// already-tracked flows (one generation load + atomic field updates);
+    /// only a flow's *first* packet takes the shard's writer path to
+    /// publish the new entry.
     #[allow(clippy::too_many_arguments)]
     fn steer(
-        flows: &mut HashMap<Fid, FlowState>,
+        shard: &FlowShard,
         fid: Fid,
         tuple: FiveTuple,
         now: u64,
@@ -214,37 +298,36 @@ impl PacketClassifier {
         handshake_aware: bool,
         cell: Option<&CounterShard>,
     ) -> PacketClass {
-        let mut opened = false;
-        let state = flows.entry(fid).or_insert_with(|| {
-            opened = true;
-            FlowState::default()
-        });
-        state.last_seen = now;
-        let class = match state.owner {
-            Some(owner) if owner != tuple => PacketClass::Collision,
-            existing => {
-                if existing.is_none() {
-                    state.owner = Some(tuple);
+        let entry = match shard.load().get(&fid) {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                let (entry, opened) = shard.open(fid, tuple, now);
+                if opened {
+                    if let Some(cell) = cell {
+                        cell.add_flows_opened(1);
+                    }
                 }
-                if handshake_aware && is_syn && !state.recorded {
-                    // §III: handshake packets precede the "initial packet";
-                    // they ride the original chain without recording.
-                    PacketClass::Handshake
-                } else if !state.recorded {
-                    state.recorded = true;
-                    PacketClass::Initial
-                } else {
-                    PacketClass::Subsequent
-                }
+                entry
             }
         };
+        entry.last_seen.store(now, Relaxed);
+        let class = if entry.owner != tuple {
+            PacketClass::Collision
+        } else if handshake_aware && is_syn && !entry.recorded.load(Relaxed) {
+            // §III: handshake packets precede the "initial packet";
+            // they ride the original chain without recording.
+            PacketClass::Handshake
+        } else if entry.recorded.compare_exchange(false, true, Relaxed, Relaxed).is_ok() {
+            // The CAS guarantees exactly one packet is steered Initial per
+            // flow slot even under concurrent classification.
+            PacketClass::Initial
+        } else {
+            PacketClass::Subsequent
+        };
         if class != PacketClass::Collision {
-            state.packets += 1;
+            entry.packets.fetch_add(1, Relaxed);
         }
         if let Some(cell) = cell {
-            if opened {
-                cell.add_flows_opened(1);
-            }
             match class {
                 PacketClass::Collision => cell.add_fid_collisions(1),
                 PacketClass::Handshake => cell.add_handshake_packets(1),
@@ -254,8 +337,9 @@ impl PacketClassifier {
         class
     }
 
-    /// Classifies a batch of packets, amortizing one shard-lock acquisition
-    /// per touched shard instead of one per packet.
+    /// Classifies a batch of packets, drawing one clock advance for the
+    /// whole batch. Steering itself is the wait-free [`Self::steer`] path;
+    /// there is no lock left to amortize.
     ///
     /// Equivalent to calling [`PacketClassifier::classify`] on each packet
     /// in slice order — same clock values, same steering, same per-packet
@@ -316,40 +400,22 @@ impl PacketClassifier {
         for (j, p) in pending.iter_mut().enumerate() {
             p.now = base + j as u64;
         }
-        // Group by shard, preserving slice order within each shard.
-        let mut by_shard: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for (j, p) in pending.iter().enumerate() {
-            by_shard[p.fid.index() & self.shard_mask].push(j);
-        }
-        for (shard_idx, members) in by_shard.into_iter().enumerate() {
-            if members.is_empty() {
-                continue;
-            }
-            let mut flows = self.shards[shard_idx].lock();
-            for j in members {
-                let p = &pending[j];
-                let cell = self.cell(p.fid);
-                let class = Self::steer(
-                    &mut flows,
-                    p.fid,
-                    p.tuple,
-                    p.now,
-                    p.is_syn,
-                    self.handshake_aware,
-                    cell,
-                );
-                if p.closes && class != PacketClass::Collision {
-                    // Sequential teardown point: the per-packet caller
-                    // removes the flow before classifying the next packet.
-                    if flows.remove(&p.fid).is_some() {
-                        if let Some(cell) = cell {
-                            cell.add_flows_closed(1);
-                        }
+        for p in &pending {
+            let cell = self.cell(p.fid);
+            let shard = self.shard(p.fid);
+            let class =
+                Self::steer(shard, p.fid, p.tuple, p.now, p.is_syn, self.handshake_aware, cell);
+            if p.closes && class != PacketClass::Collision {
+                // Sequential teardown point: the per-packet caller removes
+                // the flow before classifying the next packet, so a later
+                // in-batch packet with this FID sees a fresh slot.
+                if shard.remove(p.fid) {
+                    if let Some(cell) = cell {
+                        cell.add_flows_closed(1);
                     }
                 }
-                slots[p.idx] =
-                    Some(Ok(Classification { fid: p.fid, class, closes_flow: p.closes }));
             }
+            slots[p.idx] = Some(Ok(Classification { fid: p.fid, class, closes_flow: p.closes }));
         }
         slots.into_iter().map(|s| s.expect("every packet classified")).collect()
     }
@@ -359,10 +425,9 @@ impl PacketClassifier {
     #[must_use]
     pub fn peek(&self, tuple: &FiveTuple) -> PacketClass {
         let fid = tuple.fid();
-        let flows = self.shard(fid).lock();
-        match flows.get(&fid) {
-            Some(s) if s.owner == Some(*tuple) && s.recorded => PacketClass::Subsequent,
-            Some(s) if s.owner == Some(*tuple) => PacketClass::Initial,
+        match self.shard(fid).load().get(&fid) {
+            Some(s) if s.owner == *tuple && s.recorded.load(Relaxed) => PacketClass::Subsequent,
+            Some(s) if s.owner == *tuple => PacketClass::Initial,
             Some(_) => PacketClass::Collision,
             None => PacketClass::Initial,
         }
@@ -372,7 +437,7 @@ impl PacketClassifier {
     /// FIN/RST packet has finished processing). The next packet with this
     /// FID is treated as initial again.
     pub fn remove_flow(&self, fid: Fid) {
-        if self.shard(fid).lock().remove(&fid).is_some() {
+        if self.shard(fid).remove(fid) {
             if let Some(cell) = self.cell(fid) {
                 cell.add_flows_closed(1);
             }
@@ -382,19 +447,31 @@ impl PacketClassifier {
     /// Number of tracked flows.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.load().len()).sum()
     }
 
     /// True if no flows are tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.load().is_empty())
     }
 
     /// Packets seen so far for a flow.
     #[must_use]
     pub fn packets_seen(&self, fid: Fid) -> u64 {
-        self.shard(fid).lock().get(&fid).map_or(0, |s| s.packets)
+        self.shard(fid).load().get(&fid).map_or(0, |s| s.packets.load(Relaxed))
+    }
+
+    /// Number of replaced flow-table generations not yet reclaimed.
+    #[must_use]
+    pub fn pending_generations(&self) -> usize {
+        self.shards.iter().map(|s| s.current.pending()).sum()
+    }
+
+    /// Attempts to reclaim retired flow-table generations; returns how
+    /// many were freed.
+    pub fn collect_generations(&self) -> usize {
+        self.shards.iter().map(|s| s.current.collect()).sum()
     }
 
     /// The classifier's monotonic packet clock (one tick per classified
@@ -415,18 +492,24 @@ impl PacketClassifier {
         let now = self.clock();
         let mut expired = Vec::new();
         for shard in self.shards.iter() {
-            let mut flows = shard.lock();
-            let dead: Vec<Fid> = flows
+            let _build = shard.writer.lock();
+            let cur = shard.load();
+            let dead: Vec<Fid> = cur
                 .iter()
-                .filter(|(_, s)| now.saturating_sub(s.last_seen) > max_idle)
+                .filter(|(_, s)| now.saturating_sub(s.last_seen.load(Relaxed)) > max_idle)
                 .map(|(&fid, _)| fid)
                 .collect();
+            if dead.is_empty() {
+                continue;
+            }
+            let mut next = FlowGeneration::clone(&cur);
             for fid in &dead {
-                flows.remove(fid);
+                next.remove(fid);
                 if let Some(cell) = self.cell(*fid) {
                     cell.add_flows_expired(1);
                 }
             }
+            shard.current.store(Arc::new(next));
             expired.extend(dead);
         }
         expired

@@ -11,7 +11,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use arcswap::ArcSwap;
+use parking_lot::Mutex;
 use speedybox_packet::{Fid, Packet};
 use speedybox_telemetry::{CounterShard, Telemetry};
 
@@ -113,8 +114,58 @@ pub enum FastPathOutcome {
 /// is a mask of the (uniformly hashed) 20-bit FID.
 pub const DEFAULT_GLOBAL_SHARDS: usize = 16;
 
-/// One lock shard of the rule table.
-type RuleShard = RwLock<HashMap<Fid, Arc<GlobalRule>>>;
+/// One immutable published rule-table generation: every mutation builds a
+/// new map and swaps it in whole.
+type Generation = HashMap<Fid, Arc<GlobalRule>>;
+
+/// One shard of the rule table, published RCU-style.
+///
+/// Readers load the current [`Generation`] with a single wait-free atomic
+/// op ([`ArcSwap::load`]) and then work on an immutable snapshot — they
+/// never take a lock and can never observe a half-built table. Writers
+/// (install / Event-Table rewrite / removal / expiry) serialize on
+/// `writer`, clone the current generation (shallow: `Arc` handles, not
+/// rules), mutate the clone, and publish it with one atomic swap. Replaced
+/// generations are retired by the cell and reclaimed once no reader holds
+/// them.
+#[derive(Debug)]
+struct RuleShard {
+    current: ArcSwap<Generation>,
+    /// Serializes generation builders; never touched by readers.
+    writer: Mutex<()>,
+}
+
+impl RuleShard {
+    fn new() -> Self {
+        Self { current: ArcSwap::new(Arc::new(HashMap::new())), writer: Mutex::new(()) }
+    }
+
+    /// Wait-free snapshot of the current generation.
+    fn load(&self) -> Arc<Generation> {
+        self.current.load()
+    }
+
+    /// Publishes a generation with `fid -> rule` added/replaced.
+    fn insert(&self, fid: Fid, rule: Arc<GlobalRule>) {
+        let _build = self.writer.lock();
+        let mut next = Generation::clone(&self.current.load());
+        next.insert(fid, rule);
+        self.current.store(Arc::new(next));
+    }
+
+    /// Publishes a generation without `fid`; true if it was present.
+    fn remove(&self, fid: Fid) -> bool {
+        let _build = self.writer.lock();
+        let cur = self.current.load();
+        if !cur.contains_key(&fid) {
+            return false;
+        }
+        let mut next = Generation::clone(&cur);
+        next.remove(&fid);
+        self.current.store(Arc::new(next));
+        true
+    }
+}
 
 /// The Global MAT, shared by the classifier and all NFs of one chain.
 ///
@@ -122,11 +173,12 @@ type RuleShard = RwLock<HashMap<Fid, Arc<GlobalRule>>>;
 /// written back and re-consolidated in place (Fig 3).
 ///
 /// The rule table is split into power-of-two shards keyed by
-/// `fid & (shards - 1)`: readers of different shards never contend, writers
-/// block only their own shard, and batch processing amortizes one read-lock
-/// acquisition per shard per batch ([`GlobalMat::prefetch`]). Rule
-/// execution itself stays lock-free after the lookup — rules are handed out
-/// as `Arc<GlobalRule>` clones.
+/// `fid & (shards - 1)`, each publishing immutable generations RCU-style
+/// (see [`RuleShard`]): fast-path lookups are **wait-free** — one atomic
+/// generation load, no lock, regardless of concurrent rule churn — and
+/// batch processing amortizes that load to one per shard per batch
+/// ([`GlobalMat::prefetch`]). Rule execution itself stays lock-free after
+/// the lookup — rules are handed out as `Arc<GlobalRule>` clones.
 #[derive(Debug)]
 pub struct GlobalMat {
     locals: Vec<Arc<LocalMat>>,
@@ -161,7 +213,7 @@ impl GlobalMat {
         let n = shards.max(1).next_power_of_two();
         Self {
             locals,
-            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| RuleShard::new()).collect(),
             shard_mask: n - 1,
             events: Arc::new(EventTable::new()),
             sink: None,
@@ -291,40 +343,54 @@ impl GlobalMat {
         if let Some(cell) = self.cell(fid) {
             cell.add_rules_installed(1);
         }
-        self.shard(fid)
-            .write()
-            .insert(fid, Arc::new(GlobalRule::new(consolidated, batches, sched)));
+        self.shard(fid).insert(fid, Arc::new(GlobalRule::new(consolidated, batches, sched)));
     }
 
-    /// The installed rule for a flow, if any.
+    /// The installed rule for a flow, if any. Wait-free.
     #[must_use]
     pub fn rule(&self, fid: Fid) -> Option<Arc<GlobalRule>> {
-        self.shard(fid).read().get(&fid).cloned()
+        self.shard(fid).load().get(&fid).cloned()
     }
 
-    /// True if the flow has a fast-path rule.
+    /// True if the flow has a fast-path rule. Wait-free.
     #[must_use]
     pub fn contains(&self, fid: Fid) -> bool {
-        self.shard(fid).read().contains_key(&fid)
+        self.shard(fid).load().contains_key(&fid)
     }
 
     /// Number of installed fast-path rules.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.load().len()).sum()
     }
 
     /// True if no rules are installed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.shards.iter().all(|s| s.load().is_empty())
+    }
+
+    /// Number of replaced rule-table generations not yet reclaimed.
+    /// Bounded by rule-churn frequency, never by reader count: every
+    /// publication retries reclamation, and [`GlobalMat::collect_generations`]
+    /// forces a retry from the control plane.
+    #[must_use]
+    pub fn pending_generations(&self) -> usize {
+        self.shards.iter().map(|s| s.current.pending()).sum()
+    }
+
+    /// Attempts to reclaim retired rule-table generations; returns how
+    /// many were freed. Safe at any time — a generation is freed only once
+    /// provably unreferenced.
+    pub fn collect_generations(&self) -> usize {
+        self.shards.iter().map(|s| s.current.collect()).sum()
     }
 
     /// Removes a flow everywhere: Global MAT, all Local MATs and the Event
     /// Table ("we delete the corresponding rule from the Global MAT and all
     /// Local MATs and free the associated memory space", §VI-B).
     pub fn remove_flow(&self, fid: Fid) {
-        if self.shard(fid).write().remove(&fid).is_some() {
+        if self.shard(fid).remove(fid) {
             if let Some(cell) = self.cell(fid) {
                 cell.add_rules_removed(1);
             }
@@ -381,10 +447,10 @@ impl GlobalMat {
         rule
     }
 
-    /// Snapshots the installed rules for `fids`, acquiring each touched
-    /// shard's read lock once — the batch fast path's amortized lookup.
-    /// FIDs without a rule are simply absent from the result. Duplicate
-    /// FIDs are fine.
+    /// Snapshots the installed rules for `fids`, loading each touched
+    /// shard's generation once — the batch fast path's amortized lookup.
+    /// Wait-free throughout. FIDs without a rule are simply absent from
+    /// the result. Duplicate FIDs are fine.
     #[must_use]
     pub fn prefetch(&self, fids: &[Fid]) -> HashMap<Fid, Arc<GlobalRule>> {
         let mut by_shard: Vec<Vec<Fid>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
@@ -396,7 +462,7 @@ impl GlobalMat {
             if members.is_empty() {
                 continue;
             }
-            let rules = self.shards[shard_idx].read();
+            let rules = self.shards[shard_idx].load();
             for fid in members {
                 if let Some(rule) = rules.get(&fid) {
                     cache.insert(fid, Arc::clone(rule));
@@ -541,7 +607,7 @@ impl GlobalMat {
         use std::fmt::Write as _;
         let mut rules: Vec<(Fid, Arc<GlobalRule>)> = Vec::new();
         for shard in self.shards.iter() {
-            let map = shard.read();
+            let map = shard.load();
             rules.extend(map.iter().map(|(&fid, r)| (fid, Arc::clone(r))));
         }
         rules.sort_by_key(|(fid, _)| *fid);

@@ -59,13 +59,26 @@ pub struct BessChain {
     /// (one hub for classifier, MAT and per-packet outcomes); a private
     /// hub for baseline chains.
     telemetry: Arc<Telemetry>,
+    /// Per-worker cumulative work cycles under FID-slice steering
+    /// (`fid & (workers - 1)`); one slot when running single-worker.
+    worker_cycles: Vec<u64>,
+    /// Cumulative modeled wall cycles: per batch, the busiest worker's
+    /// share (see [`RunStats::worker_wall_cycles`]).
+    worker_wall: u64,
 }
 
 impl BessChain {
     /// The original (uninstrumented) chain — the paper's `BESS` baseline.
     #[must_use]
     pub fn original(nfs: Vec<Box<dyn Nf>>) -> Self {
-        Self { nfs, model: CycleModel::new(), sbox: None, telemetry: Arc::new(Telemetry::new(1)) }
+        Self {
+            nfs,
+            model: CycleModel::new(),
+            sbox: None,
+            telemetry: Arc::new(Telemetry::new(1)),
+            worker_cycles: vec![0; 1],
+            worker_wall: 0,
+        }
     }
 
     /// The chain with SpeedyBox enabled — the paper's `BESS w/ SBox`.
@@ -77,9 +90,17 @@ impl BessChain {
     /// SpeedyBox with explicit optimization knobs (Fig 7 ablations).
     #[must_use]
     pub fn speedybox_with(nfs: Vec<Box<dyn Nf>>, config: SboxConfig) -> Self {
+        let workers = config.worker_count();
         let sbox = SpeedyBox::new(nfs.len(), config);
         let telemetry = Arc::clone(&sbox.telemetry);
-        Self { nfs, model: CycleModel::new(), sbox: Some(sbox), telemetry }
+        Self {
+            nfs,
+            model: CycleModel::new(),
+            sbox: Some(sbox),
+            telemetry,
+            worker_cycles: vec![0; workers],
+            worker_wall: 0,
+        }
     }
 
     /// The chain's live telemetry hub.
@@ -134,6 +155,13 @@ impl BessChain {
         }
     }
 
+    /// Attributes `work` to the run-to-completion worker owning the FID
+    /// slice of `fid_hint` (RSS-style steering: `fid & (workers - 1)`).
+    fn attribute_worker(&mut self, fid_hint: u64, work: u64) {
+        let w = (fid_hint as usize) & (self.worker_cycles.len() - 1);
+        self.worker_cycles[w] += work;
+    }
+
     /// Processes one packet through the chain.
     pub fn process(&mut self, mut packet: Packet) -> ProcessedPacket {
         match &self.sbox {
@@ -165,6 +193,8 @@ impl BessChain {
                     ops,
                 };
                 observe(&self.telemetry, hint, &outcome);
+                self.attribute_worker(hint, outcome.work_cycles);
+                self.worker_wall += outcome.work_cycles;
                 outcome
             }
             Some(_) => self.process_speedybox(packet),
@@ -174,14 +204,20 @@ impl BessChain {
     fn process_speedybox(&mut self, mut packet: Packet) -> ProcessedPacket {
         let sbox = self.sbox.as_ref().expect("speedybox enabled");
         let mut cls_ops = OpCounter::default();
-        let Ok((fid, class, closes_flow)) = classify(sbox, &mut packet, &mut cls_ops) else {
+        let outcome = match classify(sbox, &mut packet, &mut cls_ops) {
             // Unparseable packet: drop at the classifier.
-            return self.classifier_drop(cls_ops);
+            Err(_) => self.classifier_drop(cls_ops),
+            Ok((fid, class, closes_flow)) => {
+                self.finish_speedybox(packet, fid, class, closes_flow, cls_ops, &mut None)
+            }
         };
-        self.finish_speedybox(packet, fid, class, closes_flow, cls_ops, &mut None)
+        // Per-packet mode: the owning worker is busy for the whole packet
+        // while the others idle, so wall time is the packet's own work.
+        self.worker_wall += outcome.work_cycles;
+        outcome
     }
 
-    fn classifier_drop(&self, mut cls_ops: OpCounter) -> ProcessedPacket {
+    fn classifier_drop(&mut self, mut cls_ops: OpCounter) -> ProcessedPacket {
         cls_ops.drops += 1;
         let cycles = self.model.cycles(&cls_ops);
         let outcome = ProcessedPacket {
@@ -192,6 +228,8 @@ impl BessChain {
             ops: cls_ops,
         };
         observe(&self.telemetry, 0, &outcome);
+        // Parse failures carry no FID; worker 0 owns them by convention.
+        self.attribute_worker(0, outcome.work_cycles);
         outcome
     }
 
@@ -364,13 +402,16 @@ impl BessChain {
             notify_flow_closed(&mut self.nfs, fid);
         }
         observe(&self.telemetry, fid.index() as u64, &outcome);
+        self.attribute_worker(fid.index() as u64, outcome.work_cycles);
         outcome
     }
 
-    /// Processes a batch of packets, classifying them with one shard-lock
-    /// acquisition per touched shard and serving fast-path lookups from a
+    /// Processes a batch of packets, classifying them with one generation
+    /// load per touched shard and serving fast-path lookups from a
     /// prefetched rule cache. Per-packet results (bytes, paths, op counts,
     /// cycles) are identical to calling [`BessChain::process`] in order.
+    /// Each packet's work is attributed to the worker owning its FID
+    /// slice; the batch's modeled wall time is the busiest worker's share.
     pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<ProcessedPacket> {
         if self.sbox.is_none() {
             return packets.into_iter().map(|p| self.process(p)).collect();
@@ -389,8 +430,9 @@ impl BessChain {
             let cache = sbox.global.prefetch(&fast_fids);
             (classified, BatchState::new(cache))
         };
+        let before = self.worker_cycles.clone();
         let mut batch = Some(batch_state);
-        packets
+        let outcomes: Vec<ProcessedPacket> = packets
             .into_iter()
             .zip(classified)
             .zip(ops)
@@ -400,7 +442,17 @@ impl BessChain {
                     self.finish_speedybox(pkt, c.fid, c.class, c.closes_flow, cls_ops, &mut batch)
                 }
             })
-            .collect()
+            .collect();
+        // Symmetric workers drain their slices of the batch concurrently;
+        // the busiest worker bounds the batch's wall time.
+        self.worker_wall += self
+            .worker_cycles
+            .iter()
+            .zip(&before)
+            .map(|(after, before)| after - before)
+            .max()
+            .unwrap_or(0);
+        outcomes
     }
 
     /// Runs a sequence of packets, collecting statistics. Processes in
@@ -411,10 +463,15 @@ impl BessChain {
         if batch_size > 1 {
             return self.run_batched(packets, batch_size);
         }
+        let workers_before = self.worker_cycles.clone();
+        let wall_before = self.worker_wall;
         let mut stats = RunStats::default();
         for p in packets {
             stats.record(self.process(p));
         }
+        stats.worker_cycles =
+            self.worker_cycles.iter().zip(&workers_before).map(|(a, b)| a - b).collect();
+        stats.worker_wall_cycles = self.worker_wall - wall_before;
         stats
     }
 
@@ -427,6 +484,8 @@ impl BessChain {
         batch_size: usize,
     ) -> RunStats {
         let batch_size = batch_size.max(1);
+        let workers_before = self.worker_cycles.clone();
+        let wall_before = self.worker_wall;
         let mut stats = RunStats::default();
         let mut buf = Vec::with_capacity(batch_size);
         for p in packets {
@@ -442,6 +501,9 @@ impl BessChain {
                 stats.record(outcome);
             }
         }
+        stats.worker_cycles =
+            self.worker_cycles.iter().zip(&workers_before).map(|(a, b)| a - b).collect();
+        stats.worker_wall_cycles = self.worker_wall - wall_before;
         stats
     }
 }

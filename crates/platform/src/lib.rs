@@ -10,6 +10,9 @@
 //!   ring hops, pipelined throughput (deterministic model);
 //! * [`threaded`] — a real thread-per-NF OpenNetVM runtime over crossbeam
 //!   rings, for wall-clock measurements and concurrency tests;
+//! * [`workers`] — N symmetric run-to-completion worker threads sharing
+//!   one classifier + Global MAT via wait-free generation loads, each
+//!   owning a FID slice (RSS-style steering);
 //! * [`runtime::SpeedyBox`] — the classifier + Global MAT + instrumentation
 //!   bundle both environments share, with the Fig 7 ablation knobs
 //!   ([`runtime::SboxConfig`]);
@@ -54,6 +57,7 @@ pub mod onvm;
 pub mod parallel_exec;
 pub mod runtime;
 pub mod threaded;
+pub mod workers;
 
 pub use bess::BessChain;
 pub use cycles::CycleModel;
@@ -61,3 +65,4 @@ pub use metrics::{PathKind, ProcessedPacket, RunStats};
 pub use onvm::OnvmChain;
 pub use runtime::{SboxConfig, SpeedyBox};
 pub use threaded::{run_threaded, run_threaded_batched, ThreadedOnvm, ThreadedReport};
+pub use workers::{run_workers, WorkerReport};

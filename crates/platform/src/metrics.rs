@@ -90,6 +90,15 @@ pub struct RunStats {
     pub stage_cycles: Vec<u64>,
     /// Packets counted per path kind: `[baseline, initial, subsequent]`.
     pub path_counts: [usize; 3],
+    /// Per-worker total work cycles under FID-slice steering (index =
+    /// `fid & (workers - 1)`). One entry (all work) when the chain runs a
+    /// single worker or no SpeedyBox.
+    pub worker_cycles: Vec<u64>,
+    /// Modeled wall cycles across the symmetric workers: per batch, the
+    /// busiest worker's share, summed over batches. Equals total work with
+    /// one worker; with N balanced workers it approaches `total / N` — the
+    /// scaling bench's throughput denominator.
+    pub worker_wall_cycles: u64,
 }
 
 impl RunStats {
@@ -154,6 +163,19 @@ impl RunStats {
         let bottleneck =
             self.stage_cycles.iter().map(|&c| c as f64 / self.sent as f64).fold(0.0f64, f64::max);
         model.rate_mpps(bottleneck)
+    }
+
+    /// Processing rate for the symmetric-worker runtime: per batch the
+    /// busiest worker bounds wall time, so throughput is packets over the
+    /// accumulated per-batch maxima ([`RunStats::worker_wall_cycles`]).
+    /// Deterministic — a pure function of the cycle model and the FID
+    /// partition, independent of host core count.
+    #[must_use]
+    pub fn worker_rate_mpps(&self, model: &CycleModel) -> f64 {
+        if self.sent == 0 || self.worker_wall_cycles == 0 {
+            return 0.0;
+        }
+        model.rate_mpps(self.worker_wall_cycles as f64 / self.sent as f64)
     }
 
     /// Mean latency restricted to fast-path (subsequent) packets — the

@@ -38,6 +38,13 @@ pub struct OnvmChain {
     /// Per-stage cycle totals: index 0 = manager (RX/classifier/Global
     /// MAT), 1..=N the NFs.
     stage_cycles: Vec<u64>,
+    /// Per-worker cycle totals under symmetric run-to-completion steering:
+    /// each packet's full work is attributed to the worker owning its FID
+    /// slice (`fid & (workers - 1)`). One entry for baseline chains.
+    worker_cycles: Vec<u64>,
+    /// Modeled wall cycles across the workers: per batch, the busiest
+    /// worker's share (see [`RunStats::worker_wall_cycles`]).
+    worker_wall: u64,
     /// Live counters. Shared with `sbox.telemetry` when SpeedyBox is on;
     /// a private hub for baseline chains.
     telemetry: Arc<Telemetry>,
@@ -53,6 +60,8 @@ impl OnvmChain {
             model: CycleModel::new(),
             sbox: None,
             stage_cycles: vec![0; stages],
+            worker_cycles: vec![0; 1],
+            worker_wall: 0,
             telemetry: Arc::new(Telemetry::new(1)),
         }
     }
@@ -82,6 +91,8 @@ impl OnvmChain {
             model: CycleModel::new(),
             sbox: Some(sbox),
             stage_cycles: vec![0; stages],
+            worker_cycles: vec![0; config.worker_count()],
+            worker_wall: 0,
             telemetry,
         }
     }
@@ -132,6 +143,13 @@ impl OnvmChain {
         }
     }
 
+    /// Attributes `work` to the run-to-completion worker owning the FID
+    /// slice of `fid_hint` (RSS-style steering: `fid & (workers - 1)`).
+    fn attribute_worker(&mut self, fid_hint: u64, work: u64) {
+        let w = (fid_hint as usize) & (self.worker_cycles.len() - 1);
+        self.worker_cycles[w] += work;
+    }
+
     /// Processes one packet.
     pub fn process(&mut self, mut packet: Packet) -> ProcessedPacket {
         match &self.sbox {
@@ -174,6 +192,8 @@ impl OnvmChain {
                     ops,
                 };
                 observe(&self.telemetry, hint, &outcome);
+                self.attribute_worker(hint, outcome.work_cycles);
+                self.worker_wall += outcome.work_cycles;
                 outcome
             }
             Some(_) => self.process_speedybox(packet),
@@ -183,10 +203,16 @@ impl OnvmChain {
     fn process_speedybox(&mut self, mut packet: Packet) -> ProcessedPacket {
         let sbox = self.sbox.as_ref().expect("speedybox enabled");
         let mut cls_ops = OpCounter::default();
-        let Ok((fid, class, closes_flow)) = classify(sbox, &mut packet, &mut cls_ops) else {
-            return self.classifier_drop(cls_ops);
+        let outcome = match classify(sbox, &mut packet, &mut cls_ops) {
+            Err(_) => self.classifier_drop(cls_ops),
+            Ok((fid, class, closes_flow)) => {
+                self.finish_speedybox(packet, fid, class, closes_flow, cls_ops, &mut None)
+            }
         };
-        self.finish_speedybox(packet, fid, class, closes_flow, cls_ops, &mut None)
+        // Per-packet mode: the owning worker is busy for the whole packet
+        // while the others idle, so wall time is the packet's own work.
+        self.worker_wall += outcome.work_cycles;
+        outcome
     }
 
     fn classifier_drop(&mut self, mut cls_ops: OpCounter) -> ProcessedPacket {
@@ -201,6 +227,8 @@ impl OnvmChain {
             ops: cls_ops,
         };
         observe(&self.telemetry, 0, &outcome);
+        // Parse failures carry no FID; worker 0 owns them by convention.
+        self.attribute_worker(0, outcome.work_cycles);
         outcome
     }
 
@@ -401,11 +429,14 @@ impl OnvmChain {
             notify_flow_closed(&mut self.nfs, fid);
         }
         observe(&self.telemetry, fid.index() as u64, &outcome);
+        self.attribute_worker(fid.index() as u64, outcome.work_cycles);
         outcome
     }
 
-    /// Processes a batch of packets with amortized shard locking; results
-    /// are identical to calling [`OnvmChain::process`] in order.
+    /// Processes a batch of packets with amortized generation loads;
+    /// results are identical to calling [`OnvmChain::process`] in order.
+    /// Each packet's work is attributed to the worker owning its FID
+    /// slice; the batch's modeled wall time is the busiest worker's share.
     pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<ProcessedPacket> {
         if self.sbox.is_none() {
             return packets.into_iter().map(|p| self.process(p)).collect();
@@ -424,8 +455,9 @@ impl OnvmChain {
             let cache = sbox.global.prefetch(&fast_fids);
             (classified, BatchState::new(cache))
         };
+        let before = self.worker_cycles.clone();
         let mut batch = Some(batch_state);
-        packets
+        let outcomes: Vec<ProcessedPacket> = packets
             .into_iter()
             .zip(classified)
             .zip(ops)
@@ -435,7 +467,17 @@ impl OnvmChain {
                     self.finish_speedybox(pkt, c.fid, c.class, c.closes_flow, cls_ops, &mut batch)
                 }
             })
-            .collect()
+            .collect();
+        // Symmetric workers drain their slices of the batch concurrently;
+        // the busiest worker bounds the batch's wall time.
+        self.worker_wall += self
+            .worker_cycles
+            .iter()
+            .zip(&before)
+            .map(|(after, before)| after - before)
+            .max()
+            .unwrap_or(0);
+        outcomes
     }
 
     /// Runs a sequence of packets, collecting statistics (including the
@@ -449,11 +491,16 @@ impl OnvmChain {
             return self.run_batched(packets, batch_size);
         }
         let before = self.stage_cycles.clone();
+        let workers_before = self.worker_cycles.clone();
+        let wall_before = self.worker_wall;
         let mut stats = RunStats::default();
         for p in packets {
             stats.record(self.process(p));
         }
         stats.stage_cycles = self.stage_cycles.iter().zip(&before).map(|(a, b)| a - b).collect();
+        stats.worker_cycles =
+            self.worker_cycles.iter().zip(&workers_before).map(|(a, b)| a - b).collect();
+        stats.worker_wall_cycles = self.worker_wall - wall_before;
         stats
     }
 
@@ -467,6 +514,8 @@ impl OnvmChain {
     ) -> RunStats {
         let batch_size = batch_size.max(1);
         let before = self.stage_cycles.clone();
+        let workers_before = self.worker_cycles.clone();
+        let wall_before = self.worker_wall;
         let mut stats = RunStats::default();
         let mut buf = Vec::with_capacity(batch_size);
         for p in packets {
@@ -483,6 +532,9 @@ impl OnvmChain {
             }
         }
         stats.stage_cycles = self.stage_cycles.iter().zip(&before).map(|(a, b)| a - b).collect();
+        stats.worker_cycles =
+            self.worker_cycles.iter().zip(&workers_before).map(|(a, b)| a - b).collect();
+        stats.worker_wall_cycles = self.worker_wall - wall_before;
         stats
     }
 }

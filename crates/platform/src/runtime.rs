@@ -47,6 +47,15 @@ pub struct SboxConfig {
     /// [`ConsolidatedAction`](speedybox_mat::ConsolidatedAction) vectors
     /// per packet instead — same packet bytes, higher per-packet cost.
     pub compiled: bool,
+    /// Number of symmetric run-to-completion workers (rounded up to a
+    /// power of two). Each worker owns the FID slice
+    /// `fid & (workers - 1) == worker_index` (RSS-style steering) and
+    /// drives classify → consolidated-apply → telemetry to completion for
+    /// its slice of every batch. Per-flow packet order is preserved (same
+    /// flow → same worker, slice order within the worker), so results are
+    /// identical at any worker count — only the work partition changes.
+    /// `1` (the default) is the single-path mode.
+    pub workers: usize,
 }
 
 impl Default for SboxConfig {
@@ -58,7 +67,17 @@ impl Default for SboxConfig {
             batch_size: 1,
             shards: speedybox_mat::classifier::DEFAULT_CLASSIFIER_SHARDS,
             compiled: true,
+            workers: 1,
         }
+    }
+}
+
+impl SboxConfig {
+    /// The effective worker count: at least 1, rounded up to a power of
+    /// two so a worker's FID slice is a mask.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.max(1).next_power_of_two()
     }
 }
 
@@ -135,6 +154,21 @@ impl SpeedyBox {
             self.global.remove_flow(*fid);
         }
         expired.len()
+    }
+
+    /// Retired (replaced but not yet reclaimed) table generations across
+    /// the Global MAT and the classifier. Bounded by rule-churn frequency;
+    /// see [`SpeedyBox::collect_generations`].
+    #[must_use]
+    pub fn pending_generations(&self) -> usize {
+        self.global.pending_generations() + self.classifier.pending_generations()
+    }
+
+    /// Forces a reclamation pass over retired table generations (the sim
+    /// harness's `retire@N` fault); returns how many were freed. Purely a
+    /// memory operation — never changes processing results.
+    pub fn collect_generations(&self) -> usize {
+        self.global.collect_generations() + self.classifier.collect_generations()
     }
 }
 

@@ -24,6 +24,7 @@ pub fn to_json(case: &SimCase, divergence: Option<&Divergence>) -> String {
         ("env".to_string(), Json::Str(case.env.as_str().to_string())),
         ("compiled".to_string(), Json::Bool(case.compiled)),
         ("batch".to_string(), Json::Num(case.batch as f64)),
+        ("workers".to_string(), Json::Num(case.workers.max(1) as f64)),
         ("seed".to_string(), Json::Num(seed_f64(case.seed))),
         ("bug".to_string(), case.bug.map_or(Json::Null, |b| Json::Str(b.as_str().to_string()))),
         ("faults".to_string(), Json::Str(case.faults.to_dsl())),
@@ -77,6 +78,8 @@ pub fn from_json(text: &str) -> Result<SimCase, String> {
     let env = EnvKind::parse(root.get("env").and_then(Json::as_str).ok_or("missing env")?)?;
     let compiled = root.get("compiled").and_then(Json::as_bool).ok_or("missing compiled")?;
     let batch = root.get("batch").and_then(Json::as_u64).ok_or("missing batch")?.max(1) as usize;
+    // Absent in pre-worker artifacts: replay those single-worker.
+    let workers = root.get("workers").and_then(Json::as_u64).unwrap_or(1).max(1) as usize;
     let seed = root.get("seed").and_then(Json::as_u64).unwrap_or(0);
     let bug = match root.get("bug") {
         None | Some(Json::Null) => None,
@@ -93,7 +96,7 @@ pub fn from_json(text: &str) -> Result<SimCase, String> {
         )?;
         items.push(TraceItem { orig, frame });
     }
-    Ok(SimCase { chain, env, compiled, batch, seed, bug, items, faults })
+    Ok(SimCase { chain, env, compiled, batch, workers, seed, bug, items, faults })
 }
 
 #[cfg(test)]
@@ -110,6 +113,7 @@ mod tests {
             env: EnvKind::Onvm,
             compiled: false,
             batch: 8,
+            workers: 4,
             seed: 9,
             bug: Some(BugKind::SkipChecksumFix),
             items: s.items,
@@ -127,6 +131,7 @@ mod tests {
         assert_eq!(back.env, case.env);
         assert_eq!(back.compiled, case.compiled);
         assert_eq!(back.batch, case.batch);
+        assert_eq!(back.workers, case.workers);
         assert_eq!(back.seed, case.seed);
         assert_eq!(back.bug, case.bug);
         assert_eq!(back.faults, case.faults);
@@ -138,5 +143,27 @@ mod tests {
         assert!(from_json("{}").is_err());
         assert!(from_json("not json").is_err());
         assert!(from_json(r#"{"version":99}"#).is_err());
+    }
+
+    #[test]
+    fn pre_worker_artifacts_replay_single_worker() {
+        let s = generate(&ScenarioConfig { seed: 2, chain: "chain1".into(), with_faults: false });
+        let case = SimCase {
+            chain: "chain1".into(),
+            env: EnvKind::Bess,
+            compiled: true,
+            batch: 1,
+            workers: 1,
+            seed: 2,
+            bug: None,
+            items: s.items,
+            faults: s.faults,
+        };
+        let mut text = to_json(&case, None);
+        // Simulate an artifact written before the workers field existed.
+        text = text.replace("\"workers\":1,", "");
+        assert!(!text.contains("workers"));
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.workers, 1);
     }
 }

@@ -13,6 +13,9 @@
 //!                        Global MAT (SUT only; forces a slow-path reinstall)
 //! churn@10..50           run install/remove churn from a second thread
 //!                        between packets 10 and 50 (SUT only)
+//! retire@35              force a reclamation pass over retired table
+//!                        generations (SUT only; a memory operation that
+//!                        must never change packet results)
 //! ```
 //!
 //! Kill/recover apply to **both** the oracle and the SUT at the same
@@ -38,6 +41,10 @@ pub enum Fault {
     ChurnStart,
     /// Stop the churn thread.
     ChurnStop,
+    /// Reclaim retired rule/flow-table generations (SUT only). Proves
+    /// generation retirement is invisible to packet processing and that
+    /// the retired backlog drains once readers go quiet.
+    RetireGenerations,
 }
 
 /// A fault pinned to an original-trace packet index: it fires immediately
@@ -113,6 +120,12 @@ impl FaultPlan {
                         fault: Fault::RemoveNextFlowRule,
                     });
                 }
+                "retire" => {
+                    faults.push(FaultAt {
+                        at: parse_index(rest, clause)?,
+                        fault: Fault::RetireGenerations,
+                    });
+                }
                 "churn" => {
                     let (a, b) = rest
                         .split_once("..")
@@ -144,6 +157,7 @@ impl FaultPlan {
                 Fault::FlipMode => clauses.push(format!("flip@{}", f.at)),
                 Fault::ExpireIdle(idle) => clauses.push(format!("expire@{}={idle}", f.at)),
                 Fault::RemoveNextFlowRule => clauses.push(format!("remove@{}", f.at)),
+                Fault::RetireGenerations => clauses.push(format!("retire@{}", f.at)),
                 Fault::ChurnStart => pending_churn.push(f.at),
                 Fault::ChurnStop => {
                     let start = pending_churn.pop().unwrap_or(f.at);
@@ -175,11 +189,19 @@ mod tests {
     #[test]
     fn round_trips_every_verb() {
         let dsl =
-            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50";
+            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50;retire@55";
         let plan = FaultPlan::parse(dsl).unwrap();
-        assert_eq!(plan.faults.len(), 7);
+        assert_eq!(plan.faults.len(), 8);
         let re = FaultPlan::parse(&plan.to_dsl()).unwrap();
         assert_eq!(re, plan);
+    }
+
+    #[test]
+    fn retire_parses_and_renders() {
+        let plan = FaultPlan::parse("retire@7").unwrap();
+        assert_eq!(plan.faults[0].fault, Fault::RetireGenerations);
+        assert_eq!(plan.to_dsl(), "retire@7");
+        assert!(FaultPlan::parse("retire@x").is_err());
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct SimCase {
     pub compiled: bool,
     /// Packets per `process_batch` call; 1 means the per-packet path.
     pub batch: usize,
+    /// Symmetric run-to-completion workers (rounded up to a power of two
+    /// by the runtime); 1 is the single-path default. Results must be
+    /// identical at any count — the worker sweep proves it.
+    pub workers: usize,
     /// Scenario seed (informational once `items` are materialized).
     pub seed: u64,
     /// Seeded SUT bug, if any.
@@ -322,8 +326,12 @@ pub fn run_case(case: &SimCase) -> Result<RunOutcome, String> {
     let mut oracle = Oracle::new(oracle_nfs);
     let (sut_nfs, sut_hooks) = build_chain_hooks(&case.chain)?;
     let batch_cap = case.batch.max(1);
-    let config =
-        SboxConfig { compiled: case.compiled, batch_size: batch_cap, ..SboxConfig::default() };
+    let config = SboxConfig {
+        compiled: case.compiled,
+        batch_size: batch_cap,
+        workers: case.workers.max(1),
+        ..SboxConfig::default()
+    };
     let mut sut = match case.env {
         EnvKind::Bess => Sut::Bess(BessChain::speedybox_with(sut_nfs, config)),
         EnvKind::Onvm => Sut::Onvm(OnvmChain::speedybox_with(sut_nfs, config)),
@@ -461,6 +469,11 @@ fn apply_fault(
         Fault::ChurnStop => {
             if let Some(churn) = st.churn.take() {
                 churn.stop();
+            }
+        }
+        Fault::RetireGenerations => {
+            if let Some(sbox) = sut.sbox() {
+                sbox.collect_generations();
             }
         }
     }
@@ -731,6 +744,7 @@ mod tests {
             env,
             compiled: true,
             batch,
+            workers: 1,
             seed: 11,
             bug: None,
             items: s.items,
@@ -767,6 +781,27 @@ mod tests {
     fn faulted_run_stays_equivalent() {
         let out = run_case(&case("maglev-failover", EnvKind::Bess, 1, true)).unwrap();
         assert!(out.divergence.is_none(), "{:?}", out.divergence);
+    }
+
+    #[test]
+    fn retire_fault_is_equivalence_preserving() {
+        let mut c = case("chain2", EnvKind::Bess, 4, false);
+        c.faults = FaultPlan::parse("churn@0..40;retire@20;retire@41").unwrap();
+        let out = run_case(&c).unwrap();
+        assert!(out.divergence.is_none(), "{:?}", out.divergence);
+    }
+
+    #[test]
+    fn worker_counts_share_one_output_hash() {
+        let base = run_case(&case("chain1", EnvKind::Bess, 8, false)).unwrap();
+        assert!(base.divergence.is_none(), "{:?}", base.divergence);
+        for workers in [2, 4, 8] {
+            let mut c = case("chain1", EnvKind::Bess, 8, false);
+            c.workers = workers;
+            let out = run_case(&c).unwrap();
+            assert!(out.divergence.is_none(), "workers={workers}: {:?}", out.divergence);
+            assert_eq!(out.output_hash, base.output_hash, "workers={workers}");
+        }
     }
 
     #[test]

@@ -142,6 +142,7 @@ mod tests {
             env: EnvKind::Bess,
             compiled: true,
             batch: 1,
+            workers: 1,
             seed: 5,
             bug: Some(BugKind::SkipChecksumFix),
             items: s.items,

@@ -51,7 +51,10 @@ RUN OPTIONS:
   --seed <N>          workload seed (default: 1)
   --trace <FILE>      replay a trace file instead of synthesizing
   --batch-size <N>    fast-path packets per batch (default: 1 = per-packet)
-  --shards <N>        classifier/Global-MAT lock shards, power of two (default: 16)
+  --workers <N>       symmetric run-to-completion workers; rounded up to a
+                      power of two; each owns the FID slice fid & (N-1)
+                      (default: 1 = single-path)
+  --shards <N>        classifier/Global-MAT table shards, power of two (default: 16)
   --dump-mat          print the Global MAT after the run (implies --speedybox)
   --metrics <FILE>    write the run's telemetry snapshot; *.prom gets
                       Prometheus text exposition, anything else JSON
@@ -65,10 +68,13 @@ SIM OPTIONS:
   --seeds <N>         sweep seeds 0..N (default: 8)
   --seed <N>          run one specific seed instead of a sweep
   --all               sweep every registry chain on both environments,
-                      both execution modes, batch sizes 1 and 8
+                      both execution modes, batch sizes 1 and 8, worker
+                      counts 1, 2, 4 and 8
   --chain <NAME>      one chain (default: chain1; ignored with --all)
   --env <ENV>         bess | onvm (default: bess; ignored with --all)
   --batch <N>         packets per batch (default: 1; ignored with --all)
+  --workers <N>       symmetric workers for the SUT (default: 1; ignored
+                      with --all)
   --interpreted       start in interpreted rule execution
   --no-faults         disable the scripted fault plans
   --inject-bug <B>    seed a deliberate SUT bug to validate the harness
@@ -161,6 +167,13 @@ impl Chain {
         (stats.mean_work_cycles(), stats.mean_latency_us(model), rate)
     }
 
+    fn model(&self) -> &speedybox::platform::CycleModel {
+        match self {
+            Chain::Bess(c) => c.model(),
+            Chain::Onvm(c) => c.model(),
+        }
+    }
+
     fn dump_mat(&self) -> Option<String> {
         let sbox = match self {
             Chain::Bess(c) => c.sbox(),
@@ -207,6 +220,16 @@ fn print_run(label: &str, chain: &Chain, stats: &RunStats) {
         lat.quantile(0.9),
         lat.p99()
     );
+    if stats.worker_cycles.len() > 1 {
+        let total: u64 = stats.worker_cycles.iter().sum();
+        let busiest = stats.worker_cycles.iter().copied().max().unwrap_or(0);
+        let share = if total > 0 { busiest as f64 / total as f64 * 100.0 } else { 0.0 };
+        println!(
+            "  workers: {} symmetric, busiest carries {share:.1}% of work, {:.2} Mpps modeled",
+            stats.worker_cycles.len(),
+            stats.worker_rate_mpps(chain.model())
+        );
+    }
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -218,6 +241,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let config = SboxConfig {
         batch_size: args.usize_value("--batch-size", default_cfg.batch_size)?,
         shards: args.usize_value("--shards", default_cfg.shards)?,
+        workers: args.usize_value("--workers", default_cfg.workers)?,
         compiled: !args.flag("--interpreted"),
         ..default_cfg
     };
@@ -298,6 +322,7 @@ struct SimConfig {
     env: sim::EnvKind,
     compiled: bool,
     batch: usize,
+    workers: usize,
 }
 
 fn sim_configs(args: &Args) -> Result<Vec<SimConfig>, String> {
@@ -307,12 +332,15 @@ fn sim_configs(args: &Args) -> Result<Vec<SimConfig>, String> {
             for env in [sim::EnvKind::Bess, sim::EnvKind::Onvm] {
                 for compiled in [true, false] {
                     for batch in [1usize, 8] {
-                        configs.push(SimConfig {
-                            chain: (*chain).to_string(),
-                            env,
-                            compiled,
-                            batch,
-                        });
+                        for workers in [1usize, 2, 4, 8] {
+                            configs.push(SimConfig {
+                                chain: (*chain).to_string(),
+                                env,
+                                compiled,
+                                batch,
+                                workers,
+                            });
+                        }
                     }
                 }
             }
@@ -324,17 +352,19 @@ fn sim_configs(args: &Args) -> Result<Vec<SimConfig>, String> {
         env: sim::EnvKind::parse(args.value("--env").unwrap_or("bess"))?,
         compiled: !args.flag("--interpreted"),
         batch: args.usize_value("--batch", 1)?.max(1),
+        workers: args.usize_value("--workers", 1)?.max(1),
     }])
 }
 
 fn sim_report_divergence(case: &sim::SimCase, out: &sim::RunOutcome) {
     let Some(d) = &out.divergence else { return };
     println!(
-        "DIVERGENCE chain={} env={} mode={} batch={} seed={}: {} at packet {} (orig {})",
+        "DIVERGENCE chain={} env={} mode={} batch={} workers={} seed={}: {} at packet {} (orig {})",
         case.chain,
         case.env.as_str(),
         if case.compiled { "compiled" } else { "interpreted" },
         case.batch,
+        case.workers,
         case.seed,
         d.kind.as_str(),
         d.index,
@@ -391,6 +421,7 @@ fn cmd_sim(args: &Args) -> Result<ExitCode, String> {
                 env: config.env,
                 compiled: config.compiled,
                 batch: config.batch,
+                workers: config.workers,
                 seed,
                 bug,
                 items: scenario.items,
@@ -419,11 +450,12 @@ fn cmd_sim(args: &Args) -> Result<ExitCode, String> {
                 if let Some(dir) = artifact_dir {
                     std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
                     let file = format!(
-                        "{dir}/sim-{}-{}-{}-b{}-s{}.json",
+                        "{dir}/sim-{}-{}-{}-b{}-w{}-s{}.json",
                         small.chain,
                         small.env.as_str(),
                         if small.compiled { "compiled" } else { "interpreted" },
                         small.batch,
+                        small.workers,
                         small.seed
                     );
                     std::fs::write(

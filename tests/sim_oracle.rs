@@ -6,7 +6,9 @@
 //! One `#[test]` per chain so the sweep parallelizes across the harness's
 //! worker threads. Each test runs 32 seeds x {bess,onvm} x
 //! {compiled,interpreted} x batch {1,8} = 256 differential cases and
-//! requires zero divergences.
+//! requires zero divergences. A separate worker sweep re-runs every chain
+//! at worker counts {1,2,4,8} and requires the output hash to be
+//! worker-count invariant.
 
 use speedybox::sim::{
     generate, run_case, shrink, BugKind, DivergenceKind, EnvKind, ScenarioConfig, SimCase,
@@ -28,6 +30,7 @@ fn sweep_chain(chain: &str) {
                         env,
                         compiled,
                         batch,
+                        workers: 1,
                         seed,
                         bug: None,
                         items: scenario.items.clone(),
@@ -114,6 +117,7 @@ fn seeded_bug_is_caught_and_shrunk() {
             env: EnvKind::Bess,
             compiled: true,
             batch: 1,
+            workers: 1,
             seed,
             bug: Some(BugKind::SkipChecksumFix),
             items: scenario.items,
@@ -137,6 +141,62 @@ fn seeded_bug_is_caught_and_shrunk() {
     assert!(re.divergence.is_some(), "shrunk case must still diverge");
 }
 
+/// Differential scaling sweep: every registry chain x worker counts
+/// {1, 2, 4, 8} over 32 seeds, faults on. Requires zero divergences AND a
+/// worker-count-invariant output hash: the symmetric-worker runtime may
+/// only redistribute work, never change what happens to a packet.
+#[test]
+fn worker_sweep_is_divergence_free_and_hash_stable() {
+    let chains = [
+        "chain1",
+        "chain2",
+        "snort-monitor",
+        "ipfilter:3",
+        "synthetic:3",
+        "vpn-tunnel",
+        "dos-mitigation",
+        "maglev-failover",
+        "snort",
+    ];
+    let mut cases = 0usize;
+    for chain in chains {
+        for seed in 0..SEEDS {
+            let scenario =
+                generate(&ScenarioConfig { seed, chain: chain.to_owned(), with_faults: true });
+            let mut base_hash = None;
+            for workers in [1usize, 2, 4, 8] {
+                let case = SimCase {
+                    chain: chain.to_owned(),
+                    env: EnvKind::Bess,
+                    compiled: true,
+                    batch: 8,
+                    workers,
+                    seed,
+                    bug: None,
+                    items: scenario.items.clone(),
+                    faults: scenario.faults.clone(),
+                };
+                let out = run_case(&case)
+                    .unwrap_or_else(|e| panic!("chain={chain} workers={workers} seed={seed}: {e}"));
+                assert!(
+                    out.divergence.is_none(),
+                    "chain={chain} workers={workers} seed={seed}: {:?}",
+                    out.divergence
+                );
+                match base_hash {
+                    None => base_hash = Some(out.output_hash),
+                    Some(h) => assert_eq!(
+                        out.output_hash, h,
+                        "chain={chain} seed={seed}: hash differs at workers={workers}"
+                    ),
+                }
+                cases += 1;
+            }
+        }
+    }
+    assert_eq!(cases, chains.len() * (SEEDS as usize) * 4);
+}
+
 /// The same case always produces the same outcome stream — the determinism
 /// guarantee replay artifacts rely on.
 #[test]
@@ -148,6 +208,7 @@ fn run_case_is_deterministic() {
         env: EnvKind::Onvm,
         compiled: true,
         batch: 8,
+        workers: 1,
         seed: 11,
         bug: None,
         items: scenario.items,

@@ -1,0 +1,220 @@
+//! Offline stand-in for the `arc-swap` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the one primitive it needs from `arc-swap`: an atomic cell
+//! holding an `Arc<T>` whose readers are **wait-free** — [`ArcSwap::load`]
+//! is a short, branch-free sequence of atomic operations with no loops
+//! and no locks, so a reader can never be blocked (or even delayed
+//! unboundedly) by a writer republishing the cell.
+//!
+//! # Reclamation scheme
+//!
+//! The real `arc-swap` uses hazard-pointer-like debt slots. This stand-in
+//! uses a simpler *guard-counter* scheme that preserves the wait-free
+//! reader guarantee at the cost of slightly lazier reclamation:
+//!
+//! * `load` increments a shared reader counter, reads the current pointer,
+//!   bumps the Arc's strong count to take ownership, then decrements the
+//!   counter. Four straight-line atomics — wait-free.
+//! * `store` swaps the pointer and pushes the old value onto a *retired*
+//!   list. Retired values are freed only when the writer observes the
+//!   reader counter at zero **after** the swap: at that point (SeqCst
+//!   total order) every in-flight reader either finished or will read the
+//!   *new* pointer, so no raw reference to a retired value can exist.
+//! * Under continuous reader pressure the retired list may briefly grow;
+//!   every later `store` (or an explicit [`ArcSwap::collect`]) retries the
+//!   drain, so the backlog is bounded by writer frequency, never by
+//!   reader count.
+//!
+//! Writers serialize on a small internal mutex for the retired list only;
+//! the pointer swap itself is a single atomic and readers never touch the
+//! mutex.
+
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An atomic cell holding an `Arc<T>` with wait-free loads.
+pub struct ArcSwap<T> {
+    /// Current value, as a raw pointer owning one strong count.
+    ptr: AtomicPtr<T>,
+    /// Number of readers currently between `ptr.load` and their
+    /// strong-count increment. Zero means no raw pointer is in flight.
+    readers: AtomicUsize,
+    /// Swapped-out values awaiting a reader-free window to be released.
+    retired: Mutex<Vec<*mut T>>,
+}
+
+// SAFETY: the cell owns `Arc<T>` values and hands out clones; it is as
+// thread-safe as `Arc<T>` itself, which requires `T: Send + Sync`.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            readers: AtomicUsize::new(0),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns a clone of the current value. Wait-free: four atomic
+    /// operations, no loops, no locks.
+    pub fn load(&self) -> Arc<T> {
+        self.readers.fetch_add(1, SeqCst);
+        let p = self.ptr.load(SeqCst);
+        // SAFETY: `p` was produced by `Arc::into_raw` and is kept alive:
+        // it is either the current value (owned by the cell) or, if a
+        // writer swapped it out concurrently, it sits on the retired list
+        // and cannot be freed while `readers > 0` (see `try_collect`).
+        let value = unsafe {
+            Arc::increment_strong_count(p);
+            Arc::from_raw(p)
+        };
+        self.readers.fetch_sub(1, SeqCst);
+        value
+    }
+
+    /// Publishes `value` as the new current value. The previous value is
+    /// retired and freed once no reader can still hold a raw reference.
+    pub fn store(&self, value: Arc<T>) {
+        let old = self.ptr.swap(Arc::into_raw(value).cast_mut(), SeqCst);
+        let mut retired = self.retired.lock().unwrap_or_else(PoisonError::into_inner);
+        retired.push(old);
+        Self::try_collect(&self.readers, &mut retired);
+    }
+
+    /// Number of retired values not yet reclaimed.
+    pub fn pending(&self) -> usize {
+        self.retired.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Attempts to reclaim retired values; returns how many were freed.
+    /// Succeeds whenever no load is mid-flight at the moment of the check.
+    pub fn collect(&self) -> usize {
+        let mut retired = self.retired.lock().unwrap_or_else(PoisonError::into_inner);
+        let before = retired.len();
+        Self::try_collect(&self.readers, &mut retired);
+        before - retired.len()
+    }
+
+    /// Frees the retired backlog iff the reader counter reads zero.
+    ///
+    /// Correctness: this load happens after the `ptr.swap` that retired
+    /// these values (program order within `store`, SeqCst total order
+    /// across threads). A reader that had already incremented `readers`
+    /// before our load would still be visible as non-zero; a reader that
+    /// increments after our load performs its `ptr.load` after our swap
+    /// and therefore sees the new pointer, never a retired one.
+    fn try_collect(readers: &AtomicUsize, retired: &mut Vec<*mut T>) {
+        if readers.load(SeqCst) == 0 {
+            for p in retired.drain(..) {
+                // SAFETY: `p` came from `Arc::into_raw` in `new`/`store`
+                // and, per the argument above, no raw use is in flight.
+                drop(unsafe { Arc::from_raw(p) });
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcSwap").field("value", &self.load()).finish()
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        Self::new(Arc::new(T::default()))
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no readers or writers can exist any more.
+        let current = *self.ptr.get_mut();
+        // SAFETY: the cell owns one strong count on the current value.
+        drop(unsafe { Arc::from_raw(current) });
+        let retired = self.retired.get_mut().unwrap_or_else(PoisonError::into_inner);
+        for p in retired.drain(..) {
+            // SAFETY: retired values each own one strong count.
+            drop(unsafe { Arc::from_raw(p) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = ArcSwap::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+    }
+
+    #[test]
+    fn drop_frees_current_and_retired() {
+        let probe = Arc::new(17u64);
+        let cell = ArcSwap::new(Arc::clone(&probe));
+        cell.store(Arc::new(18));
+        cell.store(Arc::new(19));
+        drop(cell);
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn retired_backlog_is_reclaimed_once_quiet() {
+        let cell = ArcSwap::new(Arc::new(0u64));
+        for i in 1..=64 {
+            cell.store(Arc::new(i));
+        }
+        // No concurrent readers, so every store collects eagerly.
+        assert_eq!(cell.pending(), 0);
+        assert_eq!(cell.collect(), 0);
+    }
+
+    #[test]
+    fn concurrent_loads_during_stores_stay_consistent() {
+        let cell = Arc::new(ArcSwap::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut loads = 0u64;
+                    // Load before checking `stop`, so even a reader first
+                    // scheduled after the writer finished verifies once.
+                    loop {
+                        let v = cell.load();
+                        // Both halves published together: a torn value
+                        // would mean a reader saw a half-built state.
+                        assert_eq!(v.0, v.1);
+                        loads += 1;
+                        if stop.load(SeqCst) {
+                            break;
+                        }
+                    }
+                    loads
+                })
+            })
+            .collect();
+        for i in 1..=10_000u64 {
+            cell.store(Arc::new((i, i)));
+        }
+        stop.store(true, SeqCst);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        // Quiescent now: a final collect must fully drain the backlog.
+        cell.collect();
+        assert_eq!(cell.pending(), 0);
+    }
+}
