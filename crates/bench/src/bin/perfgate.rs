@@ -36,8 +36,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use speedybox_bench::harness::{Env, Runner};
-use speedybox_mat::OpCounter;
-use speedybox_packet::{FiveTuple, Packet, Protocol};
+use speedybox_mat::{AdmissionPolicy, FlowTable, OpCounter, FID_SPACE};
+use speedybox_packet::{Fid, FiveTuple, Packet, Protocol};
 use speedybox_platform::bess::BessChain;
 use speedybox_platform::chains;
 use speedybox_platform::runtime::SboxConfig;
@@ -257,7 +257,172 @@ fn gate_scaling(points: &[ScalingPoint]) -> usize {
     failures
 }
 
-fn baseline_json(measurements: &[Measurement]) -> String {
+/// Live flows the bounded store must sustain in `--flow-scale` mode. The
+/// 20-bit FID space tops out at 1,048,576, so one million live flows is
+/// a ~95%-full slab.
+const FLOW_SCALE_FLOWS: u32 = 1_000_000;
+/// Hard resident-memory ceiling (peak, `VmHWM`) for the whole 1M-flow
+/// exercise, MiB. Absolute, like the scaling gate: the slab + timer wheel
+/// cost ~150 B/flow, so a breach means a per-entry memory regression, not
+/// noise.
+const FLOW_RSS_CEILING_MIB: u64 = 512;
+/// Absolute sanity ceiling on the slab lookup p99, nanoseconds. A slab
+/// lookup is two array index loads and an RCU guard — generous enough for
+/// a noisy shared runner, tight enough to catch an accidental O(n) path.
+const FLOW_LOOKUP_P99_CEILING_NS: u64 = 20_000;
+
+/// `--flow-scale` measurements: install → lookup → idle-evict → re-install
+/// over one million flows.
+struct FlowScale {
+    install_rate_mpps: f64,
+    reinstall_rate_mpps: f64,
+    lookup_p99_ns: u64,
+    evict_rate_mpps: f64,
+    evicted: usize,
+    live_flows: usize,
+    pending_generations: usize,
+    /// Peak resident set (`VmHWM`), MiB — `None` off Linux.
+    peak_rss_mib: Option<u64>,
+}
+
+/// Peak resident set size in MiB from `/proc/self/status` (Linux only).
+fn peak_rss_mib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib.div_ceil(1024))
+}
+
+/// The 1M-flow smoke: fill the slab, sample lookups, idle-evict the whole
+/// population through the timer wheel, then refill into the recycled
+/// slots. Clocks are synthetic ticks — one per install — so the wheel
+/// cascade is exercised deterministically; only the rates are wall-clock.
+fn flow_scale() -> FlowScale {
+    use std::time::Instant;
+    let n = FLOW_SCALE_FLOWS;
+    let table: FlowTable<u64> = FlowTable::new(64, FID_SPACE, AdmissionPolicy::EvictOldest);
+
+    let start = Instant::now();
+    for i in 0..n {
+        table.insert(Fid::new(i), Arc::new(u64::from(i)), u64::from(i));
+    }
+    let install_rate_mpps = f64::from(n) / start.elapsed().as_secs_f64() / 1e6;
+    assert_eq!(table.len(), n as usize, "every install must take a slab slot");
+
+    // Lookup p99 over a strided sweep of the live table (200k samples).
+    let mut samples: Vec<u64> = Vec::with_capacity(n as usize / 5 + 1);
+    for i in (0..n).step_by(5) {
+        let t = Instant::now();
+        let hit = table.lookup(Fid::new(i));
+        let ns = t.elapsed().as_nanos() as u64;
+        assert!(hit.is_some(), "installed fid {i} must resolve");
+        samples.push(ns);
+    }
+    samples.sort_unstable();
+    let lookup_p99_ns = samples[samples.len() * 99 / 100];
+
+    // Idle-evict the entire population: newest touch is n-1, so a clock of
+    // n + 2000 with max_idle 1000 expires every flow through the wheel.
+    let start = Instant::now();
+    let evicted = table.expire_idle(u64::from(n) + 2_000, 1_000);
+    let evict_rate_mpps = evicted.len() as f64 / start.elapsed().as_secs_f64() / 1e6;
+    let evicted_count = evicted.len();
+    drop(evicted);
+    table.collect_generations();
+
+    // Re-install: the freed slots must be recycled off the free list — the
+    // arena's high-water mark cannot grow, so neither can peak memory.
+    let start = Instant::now();
+    for i in 0..n {
+        table.insert(Fid::new(i), Arc::new(u64::from(i)), u64::from(n) + 3_000 + u64::from(i));
+    }
+    let reinstall_rate_mpps = f64::from(n) / start.elapsed().as_secs_f64() / 1e6;
+    table.collect_generations();
+
+    FlowScale {
+        install_rate_mpps,
+        reinstall_rate_mpps,
+        lookup_p99_ns,
+        evict_rate_mpps,
+        evicted: evicted_count,
+        live_flows: table.len(),
+        pending_generations: table.pending_generations(),
+        peak_rss_mib: peak_rss_mib(),
+    }
+}
+
+/// Gates the flow-scale run absolutely. Returns the number of failures.
+fn gate_flow_scale(fs: &FlowScale) -> usize {
+    let mut failures = 0;
+    if fs.live_flows >= FLOW_SCALE_FLOWS as usize {
+        println!("PASS flow-scale: {} live flows sustained (>= {FLOW_SCALE_FLOWS})", fs.live_flows);
+    } else {
+        println!(
+            "FAIL flow-scale: only {} live flows after re-install (need {FLOW_SCALE_FLOWS})",
+            fs.live_flows
+        );
+        failures += 1;
+    }
+    if fs.evicted == FLOW_SCALE_FLOWS as usize {
+        println!("PASS flow-scale: idle eviction reclaimed all {} flows", fs.evicted);
+    } else {
+        println!(
+            "FAIL flow-scale: idle eviction reclaimed {} of {FLOW_SCALE_FLOWS} flows",
+            fs.evicted
+        );
+        failures += 1;
+    }
+    if fs.lookup_p99_ns <= FLOW_LOOKUP_P99_CEILING_NS {
+        println!(
+            "PASS flow-scale: lookup p99 {} ns (ceiling {FLOW_LOOKUP_P99_CEILING_NS} ns)",
+            fs.lookup_p99_ns
+        );
+    } else {
+        println!(
+            "FAIL flow-scale: lookup p99 {} ns exceeds the {FLOW_LOOKUP_P99_CEILING_NS} ns ceiling",
+            fs.lookup_p99_ns
+        );
+        failures += 1;
+    }
+    match fs.peak_rss_mib {
+        Some(mib) if mib <= FLOW_RSS_CEILING_MIB => {
+            println!("PASS flow-scale: peak RSS {mib} MiB (ceiling {FLOW_RSS_CEILING_MIB} MiB)");
+        }
+        Some(mib) => {
+            println!(
+                "FAIL flow-scale: peak RSS {mib} MiB exceeds the {FLOW_RSS_CEILING_MIB} MiB ceiling"
+            );
+            failures += 1;
+        }
+        None => {
+            println!("WARN flow-scale: /proc/self/status unavailable, memory ceiling not gated");
+        }
+    }
+    if fs.pending_generations == 0 {
+        println!("PASS flow-scale: retired generations drained to zero");
+    } else {
+        println!("FAIL flow-scale: {} retired generations leaked", fs.pending_generations);
+        failures += 1;
+    }
+    failures
+}
+
+fn flow_scale_json(fs: &FlowScale) -> String {
+    format!(
+        "{{\n  \"flow_scale\": {{\"live_flows\": {}, \"install_rate_mpps\": {:.3}, \"reinstall_rate_mpps\": {:.3}, \"lookup_p99_ns\": {}, \"evict_rate_mpps\": {:.3}, \"evicted\": {}, \"peak_rss_mib\": {}, \"rss_ceiling_mib\": {}, \"pending_generations\": {}}}\n}}\n",
+        fs.live_flows,
+        fs.install_rate_mpps,
+        fs.reinstall_rate_mpps,
+        fs.lookup_p99_ns,
+        fs.evict_rate_mpps,
+        fs.evicted,
+        fs.peak_rss_mib.map_or_else(|| "null".to_owned(), |v| v.to_string()),
+        FLOW_RSS_CEILING_MIB,
+        fs.pending_generations
+    )
+}
+
+fn baseline_json(measurements: &[Measurement], flow: &FlowScale) -> String {
     let mut out = String::from("{\n  \"scenarios\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let sep = if i + 1 == measurements.len() { "" } else { "," };
@@ -268,7 +433,16 @@ fn baseline_json(measurements: &[Measurement]) -> String {
             m.p50_subsequent_cycles
         ));
     }
-    out.push_str("  ]\n}\n");
+    // Reference numbers for the bounded flow-state store. The flow-scale
+    // gates are absolute (ceilings baked into perfgate), so these are a
+    // recorded point of comparison, not gated thresholds.
+    out.push_str(&format!(
+        "  ],\n  \"flow_scale\": {{\"live_flows\": {}, \"lookup_p99_ns\": {}, \"peak_rss_mib\": {}, \"rss_ceiling_mib\": {}}}\n}}\n",
+        flow.live_flows,
+        flow.lookup_p99_ns,
+        flow.peak_rss_mib.map_or_else(|| "null".to_owned(), |v| v.to_string()),
+        FLOW_RSS_CEILING_MIB
+    ));
     out
 }
 
@@ -413,6 +587,30 @@ fn run() -> Result<bool, String> {
         }
     };
 
+    if argv.iter().any(|a| a == "--flow-scale") {
+        println!("perfgate --flow-scale: {FLOW_SCALE_FLOWS} flows, {} slab slots", FID_SPACE);
+        let fs = flow_scale();
+        println!(
+            "  install {:.2} M/s, re-install {:.2} M/s, lookup p99 {} ns, evict {:.2} M/s, peak RSS {}",
+            fs.install_rate_mpps,
+            fs.reinstall_rate_mpps,
+            fs.lookup_p99_ns,
+            fs.evict_rate_mpps,
+            fs.peak_rss_mib.map_or_else(|| "n/a".to_owned(), |v| format!("{v} MiB")),
+        );
+        if let Some(path) = value_of(&argv, "--out") {
+            std::fs::write(path, flow_scale_json(&fs)).map_err(|e| format!("write {path}: {e}"))?;
+            println!("flow report written to {path}");
+        }
+        let failures = gate_flow_scale(&fs);
+        if failures == 0 {
+            println!("perfgate: flow-scale within bounds");
+        } else {
+            println!("perfgate: {failures} flow-scale gate(s) failed");
+        }
+        return Ok(failures == 0);
+    }
+
     println!("perfgate: {FLOWS} flows, seed {SEED}, tolerance {:.0}%", tolerance * 100.0);
     let measurements = measure();
     for m in &measurements {
@@ -436,7 +634,8 @@ fn run() -> Result<bool, String> {
     }
 
     if let Some(path) = value_of(&argv, "--write-baseline") {
-        std::fs::write(path, baseline_json(&measurements))
+        let flow = flow_scale();
+        std::fs::write(path, baseline_json(&measurements, &flow))
             .map_err(|e| format!("write {path}: {e}"))?;
         println!("baseline written to {path}");
         return Ok(true);

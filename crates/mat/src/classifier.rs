@@ -4,16 +4,20 @@
 //! it as metadata, and steer the packet — initial packets to the original
 //! chain (slow path), subsequent packets to the Global MAT (fast path).
 //! The classifier also watches TCP FIN/RST to garbage-collect rules.
+//!
+//! Flow state lives in a bounded [`FlowTable`]: slab slots addressed by a
+//! direct FID index (lookups are wait-free — no hashing, no generation
+//! clone), a per-shard timer wheel driven by the deterministic packet
+//! clock for idle expiry, and a configurable capacity with LRU eviction or
+//! admission rejection when full (see [`PacketClass::Rejected`]).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use arcswap::ArcSwap;
-use parking_lot::Mutex;
 use speedybox_packet::{Fid, FiveTuple, Packet};
 use speedybox_telemetry::{CounterShard, Telemetry};
 
+use crate::flow_table::{AdmissionPolicy, FlowTable, Opened, FID_SPACE};
 use crate::ops::OpCounter;
 
 /// How the classifier steers a packet.
@@ -38,90 +42,35 @@ pub enum PacketClass {
     /// handshake)". Handshake packets traverse the original chain without
     /// recording.
     Handshake,
+    /// The flow table is at capacity under [`AdmissionPolicy::Reject`] and
+    /// this packet's flow was not admitted: no state is tracked and no
+    /// rule is recorded — the packet rides the original chain
+    /// uninstrumented (graceful degradation, identical forwarding
+    /// behaviour, no fast path).
+    Rejected,
 }
 
 /// Per-flow classifier bookkeeping.
 ///
-/// Shared across flow-table generations as an `Arc`, with every mutable
-/// field an atomic: steering an *existing* flow only updates these atomics
-/// and is therefore wait-free — no lock, no generation rebuild. Structural
-/// changes (first packet of a flow, teardown, expiry) go through the
-/// shard's writer path instead.
+/// Held by the flow table as an `Arc`, with every mutable field an atomic:
+/// steering an *existing* flow only updates these atomics and is therefore
+/// wait-free — no lock, no table mutation. Structural changes (first
+/// packet of a flow, teardown, expiry) go through the table's writer path
+/// instead. Recency lives in the flow-table slot (`touch`), not here.
 #[derive(Debug)]
 struct FlowEntry {
     /// The 5-tuple that claimed this FID (collision detection). Fixed at
     /// creation — a FID slot is never re-owned without a remove + reopen.
     owner: FiveTuple,
     packets: AtomicU64,
-    /// Classifier clock value when the flow last saw a packet (idle-flow
-    /// aging; see [`PacketClassifier::expire_idle`]).
-    last_seen: AtomicU64,
     /// In handshake-aware mode: the flow's rule has been recorded (its
     /// post-handshake initial packet already went down the slow path).
     recorded: AtomicBool,
 }
 
 impl FlowEntry {
-    fn new(owner: FiveTuple, now: u64) -> Self {
-        Self {
-            owner,
-            packets: AtomicU64::new(0),
-            last_seen: AtomicU64::new(now),
-            recorded: AtomicBool::new(false),
-        }
-    }
-}
-
-/// One immutable published flow-table generation.
-type FlowGeneration = HashMap<Fid, Arc<FlowEntry>>;
-
-/// One shard of the flow table, published RCU-style (same protocol as the
-/// Global MAT's rule shards): readers load the current generation with one
-/// wait-free atomic op; structural writers serialize on `writer`, clone,
-/// mutate and publish.
-#[derive(Debug)]
-struct FlowShard {
-    current: ArcSwap<FlowGeneration>,
-    writer: Mutex<()>,
-}
-
-impl FlowShard {
-    fn new() -> Self {
-        Self { current: ArcSwap::new(Arc::new(HashMap::new())), writer: Mutex::new(()) }
-    }
-
-    /// Wait-free snapshot of the current generation.
-    fn load(&self) -> Arc<FlowGeneration> {
-        self.current.load()
-    }
-
-    /// Opens a flow slot for `fid`, or returns the existing entry if a
-    /// concurrent opener won the race. Second result is `true` iff this
-    /// call created the entry.
-    fn open(&self, fid: Fid, tuple: FiveTuple, now: u64) -> (Arc<FlowEntry>, bool) {
-        let _build = self.writer.lock();
-        let cur = self.current.load();
-        if let Some(existing) = cur.get(&fid) {
-            return (Arc::clone(existing), false);
-        }
-        let entry = Arc::new(FlowEntry::new(tuple, now));
-        let mut next = FlowGeneration::clone(&cur);
-        next.insert(fid, Arc::clone(&entry));
-        self.current.store(Arc::new(next));
-        (entry, true)
-    }
-
-    /// Publishes a generation without `fid`; true if it was present.
-    fn remove(&self, fid: Fid) -> bool {
-        let _build = self.writer.lock();
-        let cur = self.current.load();
-        if !cur.contains_key(&fid) {
-            return false;
-        }
-        let mut next = FlowGeneration::clone(&cur);
-        next.remove(&fid);
-        self.current.store(Arc::new(next));
-        true
+    fn new(owner: FiveTuple) -> Self {
+        Self { owner, packets: AtomicU64::new(0), recorded: AtomicBool::new(false) }
     }
 }
 
@@ -129,15 +78,20 @@ impl FlowShard {
 /// is a mask of the (uniformly hashed) 20-bit FID.
 pub const DEFAULT_CLASSIFIER_SHARDS: usize = 16;
 
+/// Teardown hook invoked (outside all table locks) with each flow the
+/// classifier evicts under capacity pressure, so the owner can remove the
+/// flow's Global-MAT rule and notify NFs.
+pub type EvictHook = Arc<dyn Fn(Fid) + Send + Sync>;
+
 /// The SpeedyBox Packet Classifier.
 ///
-/// The flow table is split into power-of-two shards keyed by
-/// `fid & (shards - 1)`, each publishing immutable generations RCU-style
-/// (see [`FlowShard`]): steering an already-tracked flow is wait-free —
-/// one atomic generation load plus atomic per-flow counter updates, no
-/// lock — while structural changes (flow open / teardown / expiry) build
-/// and publish a new generation under a per-shard writer mutex that
-/// readers never touch.
+/// Flow state is a bounded [`FlowTable`] keyed by FID: steering an
+/// already-tracked flow is wait-free — one direct-index lookup plus atomic
+/// per-flow counter updates, no lock — while structural changes (flow open
+/// / teardown / expiry) serialize on per-shard writer mutexes that readers
+/// never touch. Capacity and the when-full policy come from
+/// [`PacketClassifier::with_limits`]; evictions fire the
+/// [`EvictHook`] so MAT rules are torn down with the flow state.
 ///
 /// ```
 /// use speedybox_mat::{OpCounter, PacketClass, PacketClassifier};
@@ -155,14 +109,11 @@ pub const DEFAULT_CLASSIFIER_SHARDS: usize = 16;
 /// assert_eq!(c2.class, PacketClass::Subsequent);
 /// # Ok::<(), speedybox_packet::PacketError>(())
 /// ```
-#[derive(Debug)]
 pub struct PacketClassifier {
-    shards: Box<[FlowShard]>,
-    /// `shards.len() - 1`; the shard of a FID is `fid & shard_mask`.
-    shard_mask: usize,
+    table: FlowTable<FlowEntry>,
     /// Monotonic packet clock: incremented per classified packet. Used as
     /// the timebase for idle-flow expiry (deterministic, no wall clock).
-    clock: std::sync::atomic::AtomicU64,
+    clock: AtomicU64,
     /// Implement the paper's §III initial-packet definition: TCP SYN
     /// packets of unestablished flows are steered as
     /// [`PacketClass::Handshake`] and recording starts with the first
@@ -170,9 +121,22 @@ pub struct PacketClassifier {
     /// packet, which is what synthetic pktgen-style traffic needs).
     handshake_aware: bool,
     /// Optional telemetry sink: flow lifecycle counters (opens, closes,
-    /// expiries, FID collisions, handshake packets). Relaxed atomics; no
-    /// effect on steering.
+    /// expiries, evictions, rejections, FID collisions, handshake
+    /// packets). Relaxed atomics; no effect on steering.
     sink: Option<Arc<Telemetry>>,
+    /// Capacity-eviction teardown hook (see [`EvictHook`]).
+    evictor: Option<EvictHook>,
+}
+
+impl std::fmt::Debug for PacketClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PacketClassifier")
+            .field("table", &self.table)
+            .field("clock", &self.clock)
+            .field("handshake_aware", &self.handshake_aware)
+            .field("evictor", &self.evictor.is_some())
+            .finish()
+    }
 }
 
 impl Default for PacketClassifier {
@@ -194,7 +158,8 @@ pub struct Classification {
 }
 
 impl PacketClassifier {
-    /// Creates an empty classifier with the default shard count.
+    /// Creates an empty classifier with the default shard count and an
+    /// unbounded (full-FID-space) flow table.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -205,24 +170,33 @@ impl PacketClassifier {
     /// steering decisions — only lock granularity.
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
+        Self::with_limits(shards, FID_SPACE, AdmissionPolicy::EvictOldest)
+    }
+
+    /// Creates an empty classifier with explicit flow-table bounds: at
+    /// most `max_flows` live flows (0 = unbounded), handling overflow per
+    /// `policy`.
+    #[must_use]
+    pub fn with_limits(shards: usize, max_flows: usize, policy: AdmissionPolicy) -> Self {
         Self {
-            shards: (0..n).map(|_| FlowShard::new()).collect(),
-            shard_mask: n - 1,
-            clock: std::sync::atomic::AtomicU64::new(0),
+            table: FlowTable::new(shards, max_flows, policy),
+            clock: AtomicU64::new(0),
             handshake_aware: false,
             sink: None,
+            evictor: None,
         }
     }
 
     /// Number of flow-table shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.table.shard_count()
     }
 
-    fn shard(&self, fid: Fid) -> &FlowShard {
-        &self.shards[fid.index() & self.shard_mask]
+    /// The flow-table capacity (live-flow bound).
+    #[must_use]
+    pub fn max_flows(&self) -> usize {
+        self.table.capacity()
     }
 
     /// Enables the paper's §III handshake-aware initial-packet definition.
@@ -242,6 +216,17 @@ impl PacketClassifier {
     #[must_use]
     pub fn with_telemetry(mut self, sink: Arc<Telemetry>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches the capacity-eviction teardown hook, called with each
+    /// flow evicted to make room (after the table locks are released).
+    /// Idle expiry does *not* fire the hook —
+    /// [`PacketClassifier::expire_idle`] returns the FIDs to its caller
+    /// instead.
+    #[must_use]
+    pub fn with_evictor(mut self, hook: EvictHook) -> Self {
+        self.evictor = Some(hook);
         self
     }
 
@@ -269,51 +254,53 @@ impl PacketClassifier {
         // FID attach (priced as a unit by the cycle model).
         ops.classifications += 1;
         packet.set_fid(fid);
-        let now = self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let now = self.clock.fetch_add(1, Relaxed);
         let is_syn = packet.tcp_flags().syn();
-        let class = Self::steer(
-            self.shard(fid),
-            fid,
-            tuple,
-            now,
-            is_syn,
-            self.handshake_aware,
-            self.cell(fid),
-        );
+        let class = self.steer(fid, tuple, now, is_syn);
         let closes_flow = packet.tcp_flags().closes_flow();
         Ok(Classification { fid, class, closes_flow })
     }
 
-    /// The steering decision proper, applied to one shard. Wait-free for
-    /// already-tracked flows (one generation load + atomic field updates);
-    /// only a flow's *first* packet takes the shard's writer path to
-    /// publish the new entry.
-    #[allow(clippy::too_many_arguments)]
-    fn steer(
-        shard: &FlowShard,
-        fid: Fid,
-        tuple: FiveTuple,
-        now: u64,
-        is_syn: bool,
-        handshake_aware: bool,
-        cell: Option<&CounterShard>,
-    ) -> PacketClass {
-        let entry = match shard.load().get(&fid) {
-            Some(existing) => Arc::clone(existing),
-            None => {
-                let (entry, opened) = shard.open(fid, tuple, now);
-                if opened {
+    /// The steering decision proper. Wait-free for already-tracked flows
+    /// (one direct-index lookup + atomic field updates); only a flow's
+    /// *first* packet takes the table's writer path to open its slot.
+    fn steer(&self, fid: Fid, tuple: FiveTuple, now: u64, is_syn: bool) -> PacketClass {
+        let cell = self.cell(fid);
+        let entry = match self.table.lookup(fid) {
+            Some((handle, entry)) => {
+                self.table.touch(handle, now);
+                entry
+            }
+            None => match self.table.open_with(fid, now, || Arc::new(FlowEntry::new(tuple))) {
+                Opened::Existing { value, .. } => value,
+                Opened::Created { value, evicted, .. } => {
                     if let Some(cell) = cell {
                         cell.add_flows_opened(1);
                     }
+                    if let Some(victim) = evicted {
+                        // Capacity pressure displaced the table-wide LRU
+                        // flow: count it and let the owner tear down its
+                        // MAT rules (the hook runs outside table locks).
+                        if let Some(vcell) = self.cell(victim.fid) {
+                            vcell.add_flows_evicted(1);
+                        }
+                        if let Some(hook) = &self.evictor {
+                            hook(victim.fid);
+                        }
+                    }
+                    value
                 }
-                entry
-            }
+                Opened::Rejected => {
+                    if let Some(cell) = cell {
+                        cell.add_flows_rejected(1);
+                    }
+                    return PacketClass::Rejected;
+                }
+            },
         };
-        entry.last_seen.store(now, Relaxed);
         let class = if entry.owner != tuple {
             PacketClass::Collision
-        } else if handshake_aware && is_syn && !entry.recorded.load(Relaxed) {
+        } else if self.handshake_aware && is_syn && !entry.recorded.load(Relaxed) {
             // §III: handshake packets precede the "initial packet";
             // they ride the original chain without recording.
             PacketClass::Handshake
@@ -396,21 +383,19 @@ impl PacketClassifier {
         // One clock advance for the whole batch; packet i gets the tick it
         // would have drawn classifying sequentially (parse failures draw
         // none, as in the per-packet path).
-        let base = self.clock.fetch_add(pending.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let base = self.clock.fetch_add(pending.len() as u64, Relaxed);
         for (j, p) in pending.iter_mut().enumerate() {
             p.now = base + j as u64;
         }
         for p in &pending {
-            let cell = self.cell(p.fid);
-            let shard = self.shard(p.fid);
-            let class =
-                Self::steer(shard, p.fid, p.tuple, p.now, p.is_syn, self.handshake_aware, cell);
+            let class = self.steer(p.fid, p.tuple, p.now, p.is_syn);
             if p.closes && class != PacketClass::Collision {
                 // Sequential teardown point: the per-packet caller removes
                 // the flow before classifying the next packet, so a later
-                // in-batch packet with this FID sees a fresh slot.
-                if shard.remove(p.fid) {
-                    if let Some(cell) = cell {
+                // in-batch packet with this FID sees a fresh slot. A
+                // Rejected packet's FID has no entry, so this no-ops.
+                if self.table.remove(p.fid).is_some() {
+                    if let Some(cell) = self.cell(p.fid) {
                         cell.add_flows_closed(1);
                     }
                 }
@@ -425,7 +410,7 @@ impl PacketClassifier {
     #[must_use]
     pub fn peek(&self, tuple: &FiveTuple) -> PacketClass {
         let fid = tuple.fid();
-        match self.shard(fid).load().get(&fid) {
+        match self.table.get(fid) {
             Some(s) if s.owner == *tuple && s.recorded.load(Relaxed) => PacketClass::Subsequent,
             Some(s) if s.owner == *tuple => PacketClass::Initial,
             Some(_) => PacketClass::Collision,
@@ -433,11 +418,27 @@ impl PacketClassifier {
         }
     }
 
+    /// Force-evicts the `k` least-recently-seen flows — the same
+    /// wheel-driven LRU path capacity pressure takes — returning the
+    /// victims' FIDs. Unlike automatic capacity eviction, the evictor
+    /// hook does **not** fire: the caller owns the rest of the teardown
+    /// (Global MAT, Local MATs, Event Table).
+    pub fn evict_oldest(&self, k: usize) -> Vec<Fid> {
+        let mut out = Vec::new();
+        for victim in self.table.evict_oldest(k) {
+            if let Some(cell) = self.cell(victim.fid) {
+                cell.add_flows_evicted(1);
+            }
+            out.push(victim.fid);
+        }
+        out
+    }
+
     /// Forgets a flow (called together with `GlobalMat::remove_flow` when a
     /// FIN/RST packet has finished processing). The next packet with this
     /// FID is treated as initial again.
     pub fn remove_flow(&self, fid: Fid) {
-        if self.shard(fid).remove(fid) {
+        if self.table.remove(fid).is_some() {
             if let Some(cell) = self.cell(fid) {
                 cell.add_flows_closed(1);
             }
@@ -447,38 +448,48 @@ impl PacketClassifier {
     /// Number of tracked flows.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.load().len()).sum()
+        self.table.len()
     }
 
     /// True if no flows are tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.load().is_empty())
+        self.table.is_empty()
     }
 
     /// Packets seen so far for a flow.
     #[must_use]
     pub fn packets_seen(&self, fid: Fid) -> u64 {
-        self.shard(fid).load().get(&fid).map_or(0, |s| s.packets.load(Relaxed))
+        self.table.get(fid).map_or(0, |s| s.packets.load(Relaxed))
     }
 
-    /// Number of replaced flow-table generations not yet reclaimed.
+    /// Retired flow-slot values not yet reclaimed (removed, evicted or
+    /// replaced entries awaiting RCU collection).
     #[must_use]
     pub fn pending_generations(&self) -> usize {
-        self.shards.iter().map(|s| s.current.pending()).sum()
+        self.table.pending_generations()
     }
 
-    /// Attempts to reclaim retired flow-table generations; returns how
-    /// many were freed.
+    /// Attempts to reclaim retired flow-slot values; returns how many
+    /// were freed.
     pub fn collect_generations(&self) -> usize {
-        self.shards.iter().map(|s| s.current.collect()).sum()
+        self.table.collect_generations()
     }
 
     /// The classifier's monotonic packet clock (one tick per classified
     /// packet).
     #[must_use]
     pub fn clock(&self) -> u64 {
-        self.clock.load(std::sync::atomic::Ordering::Relaxed)
+        self.clock.load(Relaxed)
+    }
+
+    /// A conservative lower bound on the earliest clock tick any flow
+    /// could expire at (`u64::MAX` when no flows are tracked). Lets batch
+    /// loops skip [`PacketClassifier::expire_idle`] entirely while nothing
+    /// can be due.
+    #[must_use]
+    pub fn next_expiry_due(&self) -> u64 {
+        self.table.next_due()
     }
 
     /// Expires flows idle for more than `max_idle` clock ticks, returning
@@ -487,30 +498,16 @@ impl PacketClassifier {
     /// TCP flows are normally garbage-collected on FIN/RST (§VI-B of the
     /// paper); this extension reclaims UDP flows and half-dead TCP flows
     /// that never close. The timebase is the deterministic packet clock,
-    /// so tests and the simulators stay reproducible.
+    /// so tests and the simulators stay reproducible; the scan is the flow
+    /// table's timer wheel — amortized O(1) per tick, not O(flows).
     pub fn expire_idle(&self, max_idle: u64) -> Vec<Fid> {
         let now = self.clock();
         let mut expired = Vec::new();
-        for shard in self.shards.iter() {
-            let _build = shard.writer.lock();
-            let cur = shard.load();
-            let dead: Vec<Fid> = cur
-                .iter()
-                .filter(|(_, s)| now.saturating_sub(s.last_seen.load(Relaxed)) > max_idle)
-                .map(|(&fid, _)| fid)
-                .collect();
-            if dead.is_empty() {
-                continue;
+        for victim in self.table.expire_idle(now, max_idle) {
+            if let Some(cell) = self.cell(victim.fid) {
+                cell.add_flows_expired(1);
             }
-            let mut next = FlowGeneration::clone(&cur);
-            for fid in &dead {
-                next.remove(fid);
-                if let Some(cell) = self.cell(*fid) {
-                    cell.add_flows_expired(1);
-                }
-            }
-            shard.current.store(Arc::new(next));
-            expired.extend(dead);
+            expired.push(victim.fid);
         }
         expired
     }
@@ -518,6 +515,8 @@ impl PacketClassifier {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::AtomicUsize;
+
     use speedybox_packet::{PacketBuilder, TcpFlags};
 
     use super::*;
@@ -700,5 +699,81 @@ mod tests {
         cl.classify(&mut p, &mut ops).unwrap();
         assert_eq!(ops.classifications, 1);
         assert_eq!(ops.parses, 0, "classification op covers its own parse");
+    }
+
+    #[test]
+    fn capacity_eviction_fires_hook_and_keeps_bound() {
+        let evictions = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&evictions);
+        let cl = PacketClassifier::with_limits(1, 3, AdmissionPolicy::EvictOldest)
+            .with_evictor(Arc::new(move |fid| log.lock().push(fid)));
+        let mut ops = OpCounter::default();
+        let mut fids = Vec::new();
+        for port in [1000u16, 2000, 3000, 4000, 5000] {
+            let mut p = pkt(port, TcpFlags::ACK);
+            fids.push(cl.classify(&mut p, &mut ops).unwrap().fid);
+        }
+        assert_eq!(cl.len(), 3, "table stays at capacity");
+        // The two oldest flows were displaced, in order.
+        assert_eq!(*evictions.lock(), vec![fids[0], fids[1]]);
+        // An evicted flow is initial again on return (and displaces the
+        // now-oldest).
+        let mut back = pkt(1000, TcpFlags::ACK);
+        assert_eq!(cl.classify(&mut back, &mut ops).unwrap().class, PacketClass::Initial);
+        assert_eq!(cl.len(), 3);
+    }
+
+    use parking_lot::Mutex;
+
+    #[test]
+    fn reject_policy_steers_rejected_without_state() {
+        let cl = PacketClassifier::with_limits(1, 2, AdmissionPolicy::Reject);
+        let mut ops = OpCounter::default();
+        for port in [1000u16, 2000] {
+            let mut p = pkt(port, TcpFlags::ACK);
+            cl.classify(&mut p, &mut ops).unwrap();
+        }
+        let mut p = pkt(3000, TcpFlags::ACK);
+        let c = cl.classify(&mut p, &mut ops).unwrap();
+        assert_eq!(c.class, PacketClass::Rejected);
+        assert_eq!(cl.len(), 2, "rejected flow leaves no state");
+        assert_eq!(cl.packets_seen(c.fid), 0);
+        // Tracked flows keep normal service at capacity.
+        let mut p2 = pkt(1000, TcpFlags::ACK);
+        assert_eq!(cl.classify(&mut p2, &mut ops).unwrap().class, PacketClass::Subsequent);
+        // A closing rejected packet must not disturb tracked state.
+        let mut fin = pkt(3000, TcpFlags::FIN | TcpFlags::ACK);
+        let cf = cl.classify(&mut fin, &mut ops).unwrap();
+        assert_eq!(cf.class, PacketClass::Rejected);
+        assert!(cf.closes_flow);
+        cl.remove_flow(cf.fid); // what a teardown path would do
+        assert_eq!(cl.len(), 2);
+        // Capacity frees up once a tracked flow departs.
+        let mut p3 = pkt(1000, TcpFlags::ACK);
+        let fid1 = cl.classify(&mut p3, &mut ops).unwrap().fid;
+        cl.remove_flow(fid1);
+        let mut p4 = pkt(3000, TcpFlags::ACK);
+        assert_eq!(cl.classify(&mut p4, &mut ops).unwrap().class, PacketClass::Initial);
+    }
+
+    #[test]
+    fn eviction_and_removal_retire_through_rcu() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let cl = PacketClassifier::with_limits(1, 2, AdmissionPolicy::EvictOldest).with_evictor(
+            Arc::new(move |_| {
+                h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }),
+        );
+        let mut ops = OpCounter::default();
+        for port in [1000u16, 2000, 3000] {
+            let mut p = pkt(port, TcpFlags::ACK);
+            cl.classify(&mut p, &mut ops).unwrap();
+        }
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        // Evicted + removed entries sit in the retired backlog until
+        // collected; nothing leaks after a full drain.
+        cl.collect_generations();
+        assert_eq!(cl.pending_generations(), 0);
     }
 }

@@ -9,16 +9,16 @@
 //! immediately (Fig 1's workflow).
 
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use arcswap::ArcSwap;
-use parking_lot::Mutex;
 use speedybox_packet::{Fid, Packet};
 use speedybox_telemetry::{CounterShard, Telemetry};
 
 use crate::compiled::{compile, CompiledProgram};
 use crate::consolidate::{consolidate, ConsolidatedAction};
 use crate::event::EventTable;
+use crate::flow_table::{Admission, AdmissionPolicy, FlowTable, FID_SPACE};
 use crate::local::LocalMat;
 use crate::ops::OpCounter;
 use crate::parallel::schedule;
@@ -114,77 +114,27 @@ pub enum FastPathOutcome {
 /// is a mask of the (uniformly hashed) 20-bit FID.
 pub const DEFAULT_GLOBAL_SHARDS: usize = 16;
 
-/// One immutable published rule-table generation: every mutation builds a
-/// new map and swaps it in whole.
-type Generation = HashMap<Fid, Arc<GlobalRule>>;
-
-/// One shard of the rule table, published RCU-style.
-///
-/// Readers load the current [`Generation`] with a single wait-free atomic
-/// op ([`ArcSwap::load`]) and then work on an immutable snapshot — they
-/// never take a lock and can never observe a half-built table. Writers
-/// (install / Event-Table rewrite / removal / expiry) serialize on
-/// `writer`, clone the current generation (shallow: `Arc` handles, not
-/// rules), mutate the clone, and publish it with one atomic swap. Replaced
-/// generations are retired by the cell and reclaimed once no reader holds
-/// them.
-#[derive(Debug)]
-struct RuleShard {
-    current: ArcSwap<Generation>,
-    /// Serializes generation builders; never touched by readers.
-    writer: Mutex<()>,
-}
-
-impl RuleShard {
-    fn new() -> Self {
-        Self { current: ArcSwap::new(Arc::new(HashMap::new())), writer: Mutex::new(()) }
-    }
-
-    /// Wait-free snapshot of the current generation.
-    fn load(&self) -> Arc<Generation> {
-        self.current.load()
-    }
-
-    /// Publishes a generation with `fid -> rule` added/replaced.
-    fn insert(&self, fid: Fid, rule: Arc<GlobalRule>) {
-        let _build = self.writer.lock();
-        let mut next = Generation::clone(&self.current.load());
-        next.insert(fid, rule);
-        self.current.store(Arc::new(next));
-    }
-
-    /// Publishes a generation without `fid`; true if it was present.
-    fn remove(&self, fid: Fid) -> bool {
-        let _build = self.writer.lock();
-        let cur = self.current.load();
-        if !cur.contains_key(&fid) {
-            return false;
-        }
-        let mut next = Generation::clone(&cur);
-        next.remove(&fid);
-        self.current.store(Arc::new(next));
-        true
-    }
-}
-
 /// The Global MAT, shared by the classifier and all NFs of one chain.
 ///
 /// Holds the chain's Local MATs so that event-triggered rule patches can be
 /// written back and re-consolidated in place (Fig 3).
 ///
-/// The rule table is split into power-of-two shards keyed by
-/// `fid & (shards - 1)`, each publishing immutable generations RCU-style
-/// (see [`RuleShard`]): fast-path lookups are **wait-free** — one atomic
-/// generation load, no lock, regardless of concurrent rule churn — and
-/// batch processing amortizes that load to one per shard per batch
-/// ([`GlobalMat::prefetch`]). Rule execution itself stays lock-free after
-/// the lookup — rules are handed out as `Arc<GlobalRule>` clones.
+/// Rules live in a bounded [`FlowTable`] keyed by FID: fast-path lookups
+/// are **wait-free** — one direct-index probe plus one RCU slot load, no
+/// lock, no hashing, regardless of concurrent rule churn — and rule
+/// execution stays lock-free after the lookup (rules are handed out as
+/// `Arc<GlobalRule>` clones). The table is bounded like the classifier's
+/// (`max_flows`); it always uses LRU eviction as its when-full policy —
+/// the classifier governs *admission*, this table's bound is a safety net
+/// that can never refuse an install for an admitted flow.
 #[derive(Debug)]
 pub struct GlobalMat {
     locals: Vec<Arc<LocalMat>>,
-    shards: Box<[RuleShard]>,
-    /// `shards.len() - 1`; the shard of a FID is `fid & shard_mask`.
-    shard_mask: usize,
+    table: FlowTable<GlobalRule>,
+    /// Monotonic install/touch counter: the recency timebase for the rule
+    /// table's LRU safety net (the classifier's packet clock stays the
+    /// authoritative idle-expiry timebase).
+    tick: AtomicU64,
     events: Arc<EventTable>,
     /// Optional telemetry sink: fast-path hit/miss, rule install/rewrite/
     /// removal counters. Relaxed atomics; no effect on processing.
@@ -210,11 +160,18 @@ impl GlobalMat {
     /// results — only lock granularity.
     #[must_use]
     pub fn with_shards(locals: Vec<Arc<LocalMat>>, shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
+        Self::with_limits(locals, shards, FID_SPACE)
+    }
+
+    /// Creates a Global MAT with explicit rule-table bounds: at most
+    /// `max_flows` installed rules (0 = unbounded), evicting the
+    /// least-recently-installed rule when full.
+    #[must_use]
+    pub fn with_limits(locals: Vec<Arc<LocalMat>>, shards: usize, max_flows: usize) -> Self {
         Self {
             locals,
-            shards: (0..n).map(|_| RuleShard::new()).collect(),
-            shard_mask: n - 1,
+            table: FlowTable::new(shards, max_flows, AdmissionPolicy::EvictOldest),
+            tick: AtomicU64::new(0),
             events: Arc::new(EventTable::new()),
             sink: None,
             compiled: std::sync::atomic::AtomicBool::new(true),
@@ -285,11 +242,18 @@ impl GlobalMat {
     /// Number of rule-table shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.table.shard_count()
     }
 
-    fn shard(&self, fid: Fid) -> &RuleShard {
-        &self.shards[fid.index() & self.shard_mask]
+    /// Maximum number of installed rules (the table's safety-net bound).
+    #[must_use]
+    pub fn max_flows(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Next recency tick for the rule table's LRU timebase.
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
     }
 
     /// The chain's Local MATs, in chain order.
@@ -305,11 +269,9 @@ impl GlobalMat {
         &self.events
     }
 
-    /// Consolidates the flow's Local-MAT rules into a fast-path rule
-    /// ("As soon as the service chain finishes processing the packet,
-    /// SpeedyBox notifies the Global MAT to consolidate the rules for the
-    /// FID from all Local MATs", §III).
-    pub fn install(&self, fid: Fid, ops: &mut OpCounter) {
+    /// Consolidates the flow's Local-MAT rules into a [`GlobalRule`]
+    /// without publishing it. Counts the consolidation.
+    fn build_rule(&self, fid: Fid, ops: &mut OpCounter) -> Arc<GlobalRule> {
         let mut actions = Vec::new();
         let mut batches = Vec::new();
         // Cumulative frame-length delta of the header actions *upstream*
@@ -340,57 +302,104 @@ impl GlobalMat {
         let consolidated = consolidate(&actions);
         let sched = schedule(&batches);
         ops.consolidations += 1;
+        Arc::new(GlobalRule::new(consolidated, batches, sched))
+    }
+
+    /// Consolidates the flow's Local-MAT rules into a fast-path rule
+    /// ("As soon as the service chain finishes processing the packet,
+    /// SpeedyBox notifies the Global MAT to consolidate the rules for the
+    /// FID from all Local MATs", §III).
+    ///
+    /// If the table is at its safety-net bound, the least-recently-used
+    /// rule is evicted first and fully torn down (Local MATs + Event
+    /// Table), exactly like [`GlobalMat::remove_flow`].
+    pub fn install(&self, fid: Fid, ops: &mut OpCounter) {
+        let rule = self.build_rule(fid, ops);
         if let Some(cell) = self.cell(fid) {
             cell.add_rules_installed(1);
         }
-        self.shard(fid).insert(fid, Arc::new(GlobalRule::new(consolidated, batches, sched)));
+        match self.table.insert(fid, rule, self.next_tick()) {
+            Admission::Inserted { evicted: Some(victim), .. } => {
+                // Safety-net LRU eviction: the displaced flow must not
+                // linger half-installed — tear it down everywhere.
+                if let Some(cell) = self.cell(victim.fid) {
+                    cell.add_rules_removed(1);
+                }
+                for local in &self.locals {
+                    local.remove(victim.fid);
+                }
+                self.events.remove_flow(victim.fid);
+            }
+            Admission::Inserted { .. } | Admission::Replaced { .. } | Admission::Rejected => {}
+        }
+    }
+
+    /// Re-consolidates and republishes the flow's rule **only if it is
+    /// still installed** — the Event-Table rewrite path. Returns whether
+    /// the rule was replaced.
+    ///
+    /// This is the eviction-vs-rewrite atomicity guarantee: a rewrite that
+    /// races a concurrent eviction/removal of the same flow must not
+    /// resurrect the rule after its Local-MAT and Event-Table state is
+    /// gone. `FlowTable::replace_if_present` decides presence and
+    /// publication in one writer-side critical section, so the outcome is
+    /// always "fully rewritten" or "fully evicted", never a hybrid.
+    fn reinstall_if_present(&self, fid: Fid, ops: &mut OpCounter) -> bool {
+        let rule = self.build_rule(fid, ops);
+        if !self.table.replace_if_present(fid, rule, self.next_tick()) {
+            return false;
+        }
+        if let Some(cell) = self.cell(fid) {
+            cell.add_rules_installed(1);
+        }
+        true
     }
 
     /// The installed rule for a flow, if any. Wait-free.
     #[must_use]
     pub fn rule(&self, fid: Fid) -> Option<Arc<GlobalRule>> {
-        self.shard(fid).load().get(&fid).cloned()
+        self.table.get(fid)
     }
 
     /// True if the flow has a fast-path rule. Wait-free.
     #[must_use]
     pub fn contains(&self, fid: Fid) -> bool {
-        self.shard(fid).load().contains_key(&fid)
+        self.table.contains(fid)
     }
 
     /// Number of installed fast-path rules.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.load().len()).sum()
+        self.table.len()
     }
 
     /// True if no rules are installed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.load().is_empty())
+        self.table.is_empty()
     }
 
-    /// Number of replaced rule-table generations not yet reclaimed.
-    /// Bounded by rule-churn frequency, never by reader count: every
-    /// publication retries reclamation, and [`GlobalMat::collect_generations`]
+    /// Number of replaced rule slots not yet reclaimed. Bounded by
+    /// rule-churn frequency, never by reader count: every publication
+    /// retries reclamation, and [`GlobalMat::collect_generations`]
     /// forces a retry from the control plane.
     #[must_use]
     pub fn pending_generations(&self) -> usize {
-        self.shards.iter().map(|s| s.current.pending()).sum()
+        self.table.pending_generations()
     }
 
-    /// Attempts to reclaim retired rule-table generations; returns how
-    /// many were freed. Safe at any time — a generation is freed only once
-    /// provably unreferenced.
+    /// Attempts to reclaim retired rule slots; returns how many were
+    /// freed. Safe at any time — a slot value is freed only once provably
+    /// unreferenced.
     pub fn collect_generations(&self) -> usize {
-        self.shards.iter().map(|s| s.current.collect()).sum()
+        self.table.collect_generations()
     }
 
     /// Removes a flow everywhere: Global MAT, all Local MATs and the Event
     /// Table ("we delete the corresponding rule from the Global MAT and all
     /// Local MATs and free the associated memory space", §VI-B).
     pub fn remove_flow(&self, fid: Fid) {
-        if self.shard(fid).remove(fid) {
+        if self.table.remove(fid).is_some() {
             if let Some(cell) = self.cell(fid) {
                 cell.add_rules_removed(1);
             }
@@ -428,13 +437,23 @@ impl GlobalMat {
                     }
                 }
             }
-            // Fig 3: "a new consolidated global MAT is computed".
-            self.install(fid, ops);
-            if let Some(cell) = cell {
-                cell.add_rule_rewrites(1);
+            // Fig 3: "a new consolidated global MAT is computed". The
+            // conditional reinstall loses (and the rewrite is abandoned)
+            // if a concurrent eviction tore the flow down after the
+            // `contains` check above — the lookup below then misses.
+            if self.reinstall_if_present(fid, ops) {
+                if let Some(cell) = cell {
+                    cell.add_rule_rewrites(1);
+                }
             }
         }
-        let rule = self.rule(fid);
+        let rule = match self.table.lookup(fid) {
+            Some((handle, r)) => {
+                self.table.touch(handle, self.next_tick());
+                Some(r)
+            }
+            None => None,
+        };
         if let Some(cell) = cell {
             match &rule {
                 Some(_) => cell.add_fastpath_hits(1),
@@ -447,26 +466,20 @@ impl GlobalMat {
         rule
     }
 
-    /// Snapshots the installed rules for `fids`, loading each touched
-    /// shard's generation once — the batch fast path's amortized lookup.
-    /// Wait-free throughout. FIDs without a rule are simply absent from
-    /// the result. Duplicate FIDs are fine.
+    /// Snapshots the installed rules for `fids` — the batch fast path's
+    /// up-front lookup. Wait-free throughout: each FID is one direct-index
+    /// probe into the flow table (no hashing, no generation clone). FIDs
+    /// without a rule are simply absent from the result. Duplicate FIDs
+    /// are fine.
     #[must_use]
     pub fn prefetch(&self, fids: &[Fid]) -> HashMap<Fid, Arc<GlobalRule>> {
-        let mut by_shard: Vec<Vec<Fid>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for &fid in fids {
-            by_shard[fid.index() & self.shard_mask].push(fid);
-        }
         let mut cache = HashMap::with_capacity(fids.len());
-        for (shard_idx, members) in by_shard.into_iter().enumerate() {
-            if members.is_empty() {
+        for &fid in fids {
+            if cache.contains_key(&fid) {
                 continue;
             }
-            let rules = self.shards[shard_idx].load();
-            for fid in members {
-                if let Some(rule) = rules.get(&fid) {
-                    cache.insert(fid, Arc::clone(rule));
-                }
+            if let Some(rule) = self.table.get(fid) {
+                cache.insert(fid, rule);
             }
         }
         cache
@@ -508,10 +521,13 @@ impl GlobalMat {
                     }
                 }
             }
-            // Fig 3: "a new consolidated global MAT is computed".
-            self.install(fid, ops);
-            if let Some(cell) = cell {
-                cell.add_rule_rewrites(1);
+            // Fig 3: "a new consolidated global MAT is computed". As in
+            // [`GlobalMat::prepare`], a rewrite that loses to a concurrent
+            // eviction is abandoned whole — the lookup below then misses.
+            if self.reinstall_if_present(fid, ops) {
+                if let Some(cell) = cell {
+                    cell.add_rule_rewrites(1);
+                }
             }
             let rule = self.rule(fid);
             if let Some(cell) = cell {
@@ -606,10 +622,7 @@ impl GlobalMat {
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
         let mut rules: Vec<(Fid, Arc<GlobalRule>)> = Vec::new();
-        for shard in self.shards.iter() {
-            let map = shard.load();
-            rules.extend(map.iter().map(|(&fid, r)| (fid, Arc::clone(r))));
-        }
+        self.table.for_each(|fid, rule, _touch| rules.push((fid, Arc::clone(rule))));
         rules.sort_by_key(|(fid, _)| *fid);
         let mut out = String::new();
         let _ = writeln!(out, "global MAT: {} rule(s)", rules.len());

@@ -58,11 +58,13 @@ pub mod compiled;
 pub mod consolidate;
 pub mod error;
 pub mod event;
+pub mod flow_table;
 pub mod global;
 pub mod local;
 pub mod ops;
 pub mod parallel;
 pub mod state_fn;
+pub mod timer_wheel;
 pub mod track;
 
 pub use action::{EncapSpec, HeaderAction};
@@ -72,11 +74,15 @@ pub use compiled::{compile, Anchor, CompiledProgram, MicroOp};
 pub use consolidate::{consolidate, ConsolidatedAction};
 pub use error::MatError;
 pub use event::{Event, EventTable, RulePatch};
+pub use flow_table::{
+    Admission, AdmissionPolicy, Evicted, FlowHandle, FlowTable, Opened, FID_SPACE,
+};
 pub use global::{FastPathOutcome, GlobalMat, GlobalRule};
 pub use local::{LocalMat, LocalRule, NfId};
 pub use ops::OpCounter;
 pub use parallel::{can_parallelize, schedule_batches};
 pub use state_fn::{PayloadAccess, SfContext, StateFunction};
+pub use timer_wheel::{TimerWheel, WheelItem};
 pub use track::AccessViolation;
 
 /// Result alias for MAT operations.

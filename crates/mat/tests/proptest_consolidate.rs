@@ -263,7 +263,7 @@ proptest! {
                     PacketClass::Subsequent | PacketClass::Handshake => {
                         let _ = gm.prepare(c.fid, &mut ops);
                     }
-                    PacketClass::Collision => {}
+                    PacketClass::Collision | PacketClass::Rejected => {}
                 }
                 let hits = gm.rule(c.fid).map_or(0, |r| r.hits());
                 trace.push((c.fid, c.class, c.closes_flow, hits));

@@ -214,6 +214,11 @@ impl BessChain {
         // Per-packet mode: the owning worker is busy for the whole packet
         // while the others idle, so wall time is the packet's own work.
         self.worker_wall += outcome.work_cycles;
+        // Per-packet mode is a batch of one: the idle-eviction tick runs
+        // at the same boundary. O(1) unless flows are actually due.
+        if let Some(sbox) = &self.sbox {
+            sbox.tick_idle_eviction();
+        }
         outcome
     }
 
@@ -284,12 +289,14 @@ impl BessChain {
                     ops,
                 }
             }
-            PacketClass::Collision | PacketClass::Handshake => {
+            PacketClass::Collision | PacketClass::Handshake | PacketClass::Rejected => {
                 // Collision: a different flow owns this FID's rule slot —
                 // traverse the original chain uninstrumented so the
                 // owner's rule is never corrupted. Handshake (§III): the
                 // connection is not yet established, so nothing is
-                // recorded either.
+                // recorded either. Rejected: the flow table is full under
+                // the Reject admission policy — the packet rides the
+                // original chain with no per-flow state.
                 let res = traverse_chain(&mut self.nfs, None, &mut packet, &self.model);
                 let traversed = res.per_nf_cycles.iter().filter(|&&c| c > 0).count() as u64;
                 let cycles = cls_cycles
@@ -452,6 +459,10 @@ impl BessChain {
             .map(|(after, before)| after - before)
             .max()
             .unwrap_or(0);
+        // Batch-boundary idle eviction (control plane, not packet work).
+        if let Some(sbox) = &self.sbox {
+            sbox.tick_idle_eviction();
+        }
         outcomes
     }
 

@@ -212,6 +212,11 @@ impl OnvmChain {
         // Per-packet mode: the owning worker is busy for the whole packet
         // while the others idle, so wall time is the packet's own work.
         self.worker_wall += outcome.work_cycles;
+        // Per-packet mode is a batch of one: the idle-eviction tick runs
+        // at the same boundary. O(1) unless flows are actually due.
+        if let Some(sbox) = &self.sbox {
+            sbox.tick_idle_eviction();
+        }
         outcome
     }
 
@@ -292,9 +297,9 @@ impl OnvmChain {
                     ops,
                 }
             }
-            PacketClass::Collision | PacketClass::Handshake => {
-                // Colliding or pre-handshake packet: original chain,
-                // uninstrumented.
+            PacketClass::Collision | PacketClass::Handshake | PacketClass::Rejected => {
+                // Colliding, pre-handshake or capacity-rejected packet:
+                // original chain, uninstrumented.
                 let res = traverse_chain(&mut self.nfs, None, &mut packet, &self.model);
                 for (i, &c) in res.per_nf_cycles.iter().enumerate() {
                     self.stage_cycles[i + 1] += c;
@@ -477,6 +482,10 @@ impl OnvmChain {
             .map(|(after, before)| after - before)
             .max()
             .unwrap_or(0);
+        // Batch-boundary idle eviction (control plane, not packet work).
+        if let Some(sbox) = &self.sbox {
+            sbox.tick_idle_eviction();
+        }
         outcomes
     }
 

@@ -10,7 +10,8 @@ use std::sync::Arc;
 
 use speedybox_mat::parallel::schedule_latency;
 use speedybox_mat::{
-    EventTable, GlobalMat, LocalMat, NfId, NfInstrument, OpCounter, PacketClass, PacketClassifier,
+    AdmissionPolicy, EventTable, GlobalMat, LocalMat, NfId, NfInstrument, OpCounter, PacketClass,
+    PacketClassifier, FID_SPACE,
 };
 use speedybox_nf::{Nf, NfContext, NfVerdict};
 use speedybox_packet::{Fid, Packet};
@@ -56,6 +57,23 @@ pub struct SboxConfig {
     /// identical at any worker count — only the work partition changes.
     /// `1` (the default) is the single-path mode.
     pub workers: usize,
+    /// Bound on live flow-table entries (classifier) and installed rules
+    /// (Global MAT). `0` means unbounded; the default is the full 20-bit
+    /// FID space — one slot per possible FID, i.e. never full in practice.
+    /// When the classifier is full, [`SboxConfig::admission`] decides the
+    /// newcomer's fate; a capacity eviction tears the victim's state down
+    /// everywhere (classifier, Global MAT, Local MATs, Event Table).
+    pub max_flows: usize,
+    /// Idle-flow timeout in classifier clock ticks (one tick per
+    /// classified packet). Flows with no traffic for more than this many
+    /// ticks are reclaimed at batch boundaries. `0` (the default)
+    /// disables timeout eviction — flows are reclaimed only by FIN/RST
+    /// teardown or capacity pressure.
+    pub idle_timeout: u64,
+    /// What happens to a *new* flow when the table is at `max_flows`:
+    /// evict the least-recently-seen flow to make room (default), or
+    /// reject the newcomer (it rides the original chain, uninstrumented).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for SboxConfig {
@@ -68,6 +86,9 @@ impl Default for SboxConfig {
             shards: speedybox_mat::classifier::DEFAULT_CLASSIFIER_SHARDS,
             compiled: true,
             workers: 1,
+            max_flows: FID_SPACE,
+            idle_timeout: 0,
+            admission: AdmissionPolicy::EvictOldest,
         }
     }
 }
@@ -109,24 +130,29 @@ impl SpeedyBox {
         let locals: Vec<Arc<LocalMat>> =
             (0..nf_count).map(|i| Arc::new(LocalMat::new(NfId::new(i)))).collect();
         let telemetry = Arc::new(Telemetry::new(config.shards));
-        let global = GlobalMat::with_shards(locals.clone(), config.shards)
-            .with_telemetry(Arc::clone(&telemetry))
-            .with_compiled(config.compiled);
+        let global = Arc::new(
+            GlobalMat::with_limits(locals.clone(), config.shards, config.max_flows)
+                .with_telemetry(Arc::clone(&telemetry))
+                .with_compiled(config.compiled),
+        );
         let events: Arc<EventTable> = Arc::clone(global.events());
         let instruments =
             locals.iter().map(|l| NfInstrument::new(Arc::clone(l), Arc::clone(&events))).collect();
         let mut classifier =
-            PacketClassifier::with_shards(config.shards).with_telemetry(Arc::clone(&telemetry));
+            PacketClassifier::with_limits(config.shards, config.max_flows, config.admission)
+                .with_telemetry(Arc::clone(&telemetry));
+        // Capacity evictions must not strand fast-path state: the hook
+        // tears the victim down across the Global MAT, Local MATs and
+        // Event Table, mirroring FIN teardown (NFs are not notified — the
+        // flow did not close; its state simply stops being accelerated).
+        classifier = classifier.with_evictor({
+            let global = Arc::clone(&global);
+            Arc::new(move |fid| global.remove_flow(fid))
+        });
         if config.handshake_aware {
             classifier = classifier.handshake_aware();
         }
-        Self {
-            classifier: Arc::new(classifier),
-            global: Arc::new(global),
-            instruments,
-            config,
-            telemetry,
-        }
+        Self { classifier: Arc::new(classifier), global, instruments, config, telemetry }
     }
 
     /// Switches the fast path between compiled and interpreted
@@ -154,6 +180,41 @@ impl SpeedyBox {
             self.global.remove_flow(*fid);
         }
         expired.len()
+    }
+
+    /// Force-evicts the `k` least-recently-seen flows with full teardown
+    /// (the sim harness's `evict@N` fault): classifier entry, Global MAT
+    /// rule, Local MATs and Event Table — exactly what capacity-pressure
+    /// LRU eviction does. Evicted flows re-record on their next packet,
+    /// so packet results are unchanged. Returns how many flows were
+    /// evicted.
+    pub fn force_evict_flows(&self, k: usize) -> usize {
+        let victims = self.classifier.evict_oldest(k);
+        for fid in &victims {
+            self.global.remove_flow(*fid);
+        }
+        victims.len()
+    }
+
+    /// Batch-boundary idle-eviction tick: when [`SboxConfig::idle_timeout`]
+    /// is enabled and the classifier clock has passed the earliest
+    /// possible expiry deadline, sweeps idle flows out of every table.
+    /// O(1) when nothing can be due (one atomic clock read plus the
+    /// wheel's cached lower bound), so environments call it once per
+    /// batch unconditionally. Returns how many flows were reclaimed.
+    pub fn tick_idle_eviction(&self) -> usize {
+        let max_idle = self.config.idle_timeout;
+        if max_idle == 0 {
+            return 0;
+        }
+        // An entry last touched at tick `t` expires once `now - t >
+        // max_idle`; `next_expiry_due` lower-bounds the earliest touch
+        // deadline, so nothing can be due before `due + max_idle + 1`.
+        let now = self.classifier.clock();
+        if now <= self.classifier.next_expiry_due().saturating_add(max_idle) {
+            return 0;
+        }
+        self.expire_idle_flows(max_idle)
     }
 
     /// Retired (replaced but not yet reclaimed) table generations across

@@ -105,6 +105,10 @@ pub fn run_workers(
             lanes.push(h.join().expect("worker thread panicked"));
         }
     });
+    // Idle-eviction tick at the run boundary: the threaded harness has no
+    // deterministic mid-run batch boundary, so idle flows are reclaimed
+    // once all lanes drain. O(1) when nothing is due.
+    sbox.tick_idle_eviction();
 
     let mut delivered = Vec::new();
     let mut dropped = 0;
@@ -165,7 +169,7 @@ fn worker_loop(
                 let work = res.per_nf_cycles.iter().sum::<u64>() + model.cycles(&install_ops);
                 (res.survived, PathClass::Initial, work)
             }
-            PacketClass::Collision | PacketClass::Handshake => {
+            PacketClass::Collision | PacketClass::Handshake | PacketClass::Rejected => {
                 let res = traverse_chain(nfs, None, &mut pkt, &model);
                 cls_ops.merge(&res.ops);
                 (res.survived, PathClass::Baseline, res.per_nf_cycles.iter().sum())

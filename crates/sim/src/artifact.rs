@@ -26,6 +26,7 @@ pub fn to_json(case: &SimCase, divergence: Option<&Divergence>) -> String {
         ("batch".to_string(), Json::Num(case.batch as f64)),
         ("workers".to_string(), Json::Num(case.workers.max(1) as f64)),
         ("seed".to_string(), Json::Num(seed_f64(case.seed))),
+        ("max_flows".to_string(), Json::Num(case.max_flows as f64)),
         ("bug".to_string(), case.bug.map_or(Json::Null, |b| Json::Str(b.as_str().to_string()))),
         ("faults".to_string(), Json::Str(case.faults.to_dsl())),
         (
@@ -81,6 +82,8 @@ pub fn from_json(text: &str) -> Result<SimCase, String> {
     // Absent in pre-worker artifacts: replay those single-worker.
     let workers = root.get("workers").and_then(Json::as_u64).unwrap_or(1).max(1) as usize;
     let seed = root.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    // Absent in pre-bounded-table artifacts: replay those unbounded.
+    let max_flows = root.get("max_flows").and_then(Json::as_u64).unwrap_or(0) as usize;
     let bug = match root.get("bug") {
         None | Some(Json::Null) => None,
         Some(v) => Some(BugKind::parse(v.as_str().ok_or("bug must be a string")?)?),
@@ -96,7 +99,7 @@ pub fn from_json(text: &str) -> Result<SimCase, String> {
         )?;
         items.push(TraceItem { orig, frame });
     }
-    Ok(SimCase { chain, env, compiled, batch, workers, seed, bug, items, faults })
+    Ok(SimCase { chain, env, compiled, batch, workers, seed, max_flows, bug, items, faults })
 }
 
 #[cfg(test)]
@@ -115,6 +118,7 @@ mod tests {
             batch: 8,
             workers: 4,
             seed: 9,
+            max_flows: 48,
             bug: Some(BugKind::SkipChecksumFix),
             items: s.items,
             faults: s.faults,
@@ -133,6 +137,7 @@ mod tests {
         assert_eq!(back.batch, case.batch);
         assert_eq!(back.workers, case.workers);
         assert_eq!(back.seed, case.seed);
+        assert_eq!(back.max_flows, case.max_flows);
         assert_eq!(back.bug, case.bug);
         assert_eq!(back.faults, case.faults);
         assert_eq!(back.items, case.items);
@@ -155,6 +160,7 @@ mod tests {
             batch: 1,
             workers: 1,
             seed: 2,
+            max_flows: 0,
             bug: None,
             items: s.items,
             faults: s.faults,

@@ -16,6 +16,10 @@
 //! retire@35              force a reclamation pass over retired table
 //!                        generations (SUT only; a memory operation that
 //!                        must never change packet results)
+//! evict@15=3             force-evict the 3 least-recently-seen flows with
+//!                        full teardown (SUT only; models capacity-pressure
+//!                        LRU eviction — evicted flows re-record on their
+//!                        next packet, so output bytes never change)
 //! ```
 //!
 //! Kill/recover apply to **both** the oracle and the SUT at the same
@@ -45,6 +49,11 @@ pub enum Fault {
     /// generation retirement is invisible to packet processing and that
     /// the retired backlog drains once readers go quiet.
     RetireGenerations,
+    /// Force-evict this many least-recently-seen flows with full teardown
+    /// (SUT only). Exercises the capacity-pressure LRU path: an evicted
+    /// flow's next packet re-records via the slow path, so packet bytes
+    /// must be unchanged.
+    EvictOldest(u64),
 }
 
 /// A fault pinned to an original-trace packet index: it fires immediately
@@ -120,6 +129,17 @@ impl FaultPlan {
                         fault: Fault::RemoveNextFlowRule,
                     });
                 }
+                "evict" => {
+                    let (at, k) = rest
+                        .split_once('=')
+                        .ok_or_else(|| format!("missing '=<count>' in {clause:?}"))?;
+                    let k =
+                        k.parse::<u64>().map_err(|e| format!("bad count in {clause:?}: {e}"))?;
+                    faults.push(FaultAt {
+                        at: parse_index(at, clause)?,
+                        fault: Fault::EvictOldest(k),
+                    });
+                }
                 "retire" => {
                     faults.push(FaultAt {
                         at: parse_index(rest, clause)?,
@@ -158,6 +178,7 @@ impl FaultPlan {
                 Fault::ExpireIdle(idle) => clauses.push(format!("expire@{}={idle}", f.at)),
                 Fault::RemoveNextFlowRule => clauses.push(format!("remove@{}", f.at)),
                 Fault::RetireGenerations => clauses.push(format!("retire@{}", f.at)),
+                Fault::EvictOldest(k) => clauses.push(format!("evict@{}={k}", f.at)),
                 Fault::ChurnStart => pending_churn.push(f.at),
                 Fault::ChurnStop => {
                     let start = pending_churn.pop().unwrap_or(f.at);
@@ -189,11 +210,20 @@ mod tests {
     #[test]
     fn round_trips_every_verb() {
         let dsl =
-            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50;retire@55";
+            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50;retire@55;evict@15=3";
         let plan = FaultPlan::parse(dsl).unwrap();
-        assert_eq!(plan.faults.len(), 8);
+        assert_eq!(plan.faults.len(), 9);
         let re = FaultPlan::parse(&plan.to_dsl()).unwrap();
         assert_eq!(re, plan);
+    }
+
+    #[test]
+    fn evict_parses_and_renders() {
+        let plan = FaultPlan::parse("evict@15=3").unwrap();
+        assert_eq!(plan.faults[0].fault, Fault::EvictOldest(3));
+        assert_eq!(plan.to_dsl(), "evict@15=3");
+        assert!(FaultPlan::parse("evict@15").is_err());
+        assert!(FaultPlan::parse("evict@15=x").is_err());
     }
 
     #[test]

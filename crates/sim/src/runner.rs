@@ -72,6 +72,12 @@ pub enum BugKind {
     /// Emulate a consolidation that forgets the trailing IPv4 checksum
     /// fix-up: the checksum of every fast-path output frame is zeroed.
     SkipChecksumFix,
+    /// Emulate an eviction with the teardown half-done: the classifier
+    /// entry is removed but the Global MAT rule, Local MAT rules and
+    /// Event Table conditions are "forgotten" (the §VI-B hazard). The
+    /// flow's next packet re-records on the slow path and the stale
+    /// Local-MAT rules double up, corrupting the re-consolidated rule.
+    EvictOrdering,
 }
 
 impl BugKind {
@@ -80,6 +86,7 @@ impl BugKind {
     pub fn as_str(self) -> &'static str {
         match self {
             BugKind::SkipChecksumFix => "skip-checksum-fix",
+            BugKind::EvictOrdering => "evict-ordering",
         }
     }
 
@@ -90,7 +97,10 @@ impl BugKind {
     pub fn parse(text: &str) -> Result<Self, String> {
         match text {
             "skip-checksum-fix" => Ok(BugKind::SkipChecksumFix),
-            other => Err(format!("unknown bug {other:?} (expected skip-checksum-fix)")),
+            "evict-ordering" => Ok(BugKind::EvictOrdering),
+            other => {
+                Err(format!("unknown bug {other:?} (expected skip-checksum-fix|evict-ordering)"))
+            }
         }
     }
 }
@@ -112,6 +122,12 @@ pub struct SimCase {
     pub workers: usize,
     /// Scenario seed (informational once `items` are materialized).
     pub seed: u64,
+    /// Flow-table bound for the SUT (`SboxConfig::max_flows`); 0 means
+    /// unbounded. Small values put the run under constant capacity-evict
+    /// pressure: installs displace the least-recently-used flow, which
+    /// must stay byte-equivalent (the displaced flow re-records through
+    /// the slow path).
+    pub max_flows: usize,
     /// Seeded SUT bug, if any.
     pub bug: Option<BugKind>,
     /// The packet trace.
@@ -326,12 +342,15 @@ pub fn run_case(case: &SimCase) -> Result<RunOutcome, String> {
     let mut oracle = Oracle::new(oracle_nfs);
     let (sut_nfs, sut_hooks) = build_chain_hooks(&case.chain)?;
     let batch_cap = case.batch.max(1);
-    let config = SboxConfig {
+    let mut config = SboxConfig {
         compiled: case.compiled,
         batch_size: batch_cap,
         workers: case.workers.max(1),
         ..SboxConfig::default()
     };
+    if case.max_flows > 0 {
+        config.max_flows = case.max_flows;
+    }
     let mut sut = match case.env {
         EnvKind::Bess => Sut::Bess(BessChain::speedybox_with(sut_nfs, config)),
         EnvKind::Onvm => Sut::Onvm(OnvmChain::speedybox_with(sut_nfs, config)),
@@ -373,6 +392,7 @@ pub fn run_case(case: &SimCase) -> Result<RunOutcome, String> {
                 &sut_hooks,
                 &mut st,
                 &used_fids,
+                case.bug,
             );
             fault_cursor += 1;
         }
@@ -399,6 +419,7 @@ pub fn run_case(case: &SimCase) -> Result<RunOutcome, String> {
             &sut_hooks,
             &mut st,
             &used_fids,
+            case.bug,
         );
         fault_cursor += 1;
     }
@@ -429,6 +450,7 @@ fn apply_fault(
     sut_hooks: &ChainHooks,
     st: &mut RunState,
     used_fids: &HashSet<u32>,
+    bug: Option<BugKind>,
 ) {
     match fault {
         Fault::KillBackend(name) => {
@@ -474,6 +496,20 @@ fn apply_fault(
         Fault::RetireGenerations => {
             if let Some(sbox) = sut.sbox() {
                 sbox.collect_generations();
+            }
+        }
+        Fault::EvictOldest(k) => {
+            if let Some(sbox) = sut.sbox() {
+                let k = usize::try_from(*k).unwrap_or(usize::MAX);
+                if bug == Some(BugKind::EvictOrdering) {
+                    // Seeded bug: evict the classifier entry but "forget"
+                    // the Global MAT / Local MAT / Event Table teardown.
+                    // The victims' next packets re-record as initial and
+                    // the stale Local-MAT rules duplicate.
+                    sbox.classifier.evict_oldest(k);
+                } else {
+                    sbox.force_evict_flows(k);
+                }
             }
         }
     }
@@ -746,6 +782,7 @@ mod tests {
             batch,
             workers: 1,
             seed: 11,
+            max_flows: 0,
             bug: None,
             items: s.items,
             faults: s.faults,
@@ -789,6 +826,30 @@ mod tests {
         c.faults = FaultPlan::parse("churn@0..40;retire@20;retire@41").unwrap();
         let out = run_case(&c).unwrap();
         assert!(out.divergence.is_none(), "{:?}", out.divergence);
+    }
+
+    #[test]
+    fn evict_fault_is_equivalence_preserving() {
+        // Heavy eviction pressure: force out up to 8 LRU flows at several
+        // points; victims must transparently re-record on their next
+        // packet with identical bytes and end-of-run NF state.
+        for batch in [1usize, 4] {
+            let mut c = case("chain2", EnvKind::Bess, batch, false);
+            c.faults = FaultPlan::parse("evict@5=8;evict@20=2;evict@40=8").unwrap();
+            let out = run_case(&c).unwrap();
+            assert!(out.divergence.is_none(), "batch={batch}: {:?}", out.divergence);
+        }
+    }
+
+    #[test]
+    fn evict_ordering_bug_is_caught() {
+        // The seeded half-teardown eviction leaves stale Local-MAT rules;
+        // re-recording doubles them up, which the referee must notice.
+        let mut c = case("chain2", EnvKind::Bess, 1, false);
+        c.bug = Some(BugKind::EvictOrdering);
+        c.faults = FaultPlan::parse("evict@5=8;evict@20=8").unwrap();
+        let out = run_case(&c).unwrap();
+        assert!(out.divergence.is_some(), "half-done eviction teardown must diverge");
     }
 
     #[test]

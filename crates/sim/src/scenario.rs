@@ -314,6 +314,10 @@ fn fault_plan(rng: &mut StdRng, chain: &str, n: usize) -> FaultPlan {
         FaultAt { at: pct(55), fault: Fault::ExpireIdle(3) },
         FaultAt { at: pct(25), fault: Fault::RemoveNextFlowRule },
         FaultAt { at: pct(60), fault: Fault::RemoveNextFlowRule },
+        // Capacity-pressure LRU eviction: force out a few least-recently
+        // seen flows mid-run; they must transparently re-record.
+        FaultAt { at: pct(45), fault: Fault::EvictOldest(rng.gen_range(1..=4)) },
+        FaultAt { at: pct(75), fault: Fault::EvictOldest(rng.gen_range(1..=4)) },
     ];
     if has_maglev(chain) {
         if chain == "maglev-failover" && rng.gen_bool(0.33) {

@@ -144,6 +144,7 @@ mod tests {
             batch: 1,
             workers: 1,
             seed: 5,
+            max_flows: 0,
             bug: Some(BugKind::SkipChecksumFix),
             items: s.items,
             faults: s.faults,

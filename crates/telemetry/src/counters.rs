@@ -115,6 +115,8 @@ pub struct CounterShard {
     flows_opened: AtomicU64,
     flows_closed: AtomicU64,
     flows_expired: AtomicU64,
+    flows_evicted: AtomicU64,
+    flows_rejected: AtomicU64,
     fid_collisions: AtomicU64,
     handshake_packets: AtomicU64,
     // Global MAT / fast path.
@@ -151,6 +153,10 @@ impl CounterShard {
         add_flows_closed => flows_closed,
         /// Counts flows reclaimed by idle expiry.
         add_flows_expired => flows_expired,
+        /// Counts flows displaced by capacity-pressure LRU eviction.
+        add_flows_evicted => flows_evicted,
+        /// Counts flows refused admission at capacity (Reject policy).
+        add_flows_rejected => flows_rejected,
         /// Counts packets steered to the slow path because their 20-bit
         /// FID collided with a live flow.
         add_fid_collisions => fid_collisions,
@@ -214,6 +220,8 @@ impl CounterShard {
         s.flows_opened += self.flows_opened.load(Relaxed);
         s.flows_closed += self.flows_closed.load(Relaxed);
         s.flows_expired += self.flows_expired.load(Relaxed);
+        s.flows_evicted += self.flows_evicted.load(Relaxed);
+        s.flows_rejected += self.flows_rejected.load(Relaxed);
         s.fid_collisions += self.fid_collisions.load(Relaxed);
         s.handshake_packets += self.handshake_packets.load(Relaxed);
         s.fastpath_hits += self.fastpath_hits.load(Relaxed);

@@ -29,6 +29,10 @@ pub struct TelemetrySnapshot {
     pub flows_closed: u64,
     /// Flows reclaimed by idle expiry.
     pub flows_expired: u64,
+    /// Flows displaced by capacity-pressure LRU eviction.
+    pub flows_evicted: u64,
+    /// Flows refused admission at capacity (Reject policy).
+    pub flows_rejected: u64,
     /// Packets steered to the slow path by a 20-bit FID collision.
     pub fid_collisions: u64,
     /// TCP handshake packets steered around the fast path.
@@ -69,6 +73,8 @@ impl TelemetrySnapshot {
         self.flows_opened += other.flows_opened;
         self.flows_closed += other.flows_closed;
         self.flows_expired += other.flows_expired;
+        self.flows_evicted += other.flows_evicted;
+        self.flows_rejected += other.flows_rejected;
         self.fid_collisions += other.fid_collisions;
         self.handshake_packets += other.handshake_packets;
         self.fastpath_hits += other.fastpath_hits;
@@ -105,7 +111,7 @@ impl TelemetrySnapshot {
     /// Named scalar counters in exposition order (everything except the
     /// per-path arrays, histograms and op mirror).
     #[must_use]
-    pub fn scalars(&self) -> [(&'static str, u64); 16] {
+    pub fn scalars(&self) -> [(&'static str, u64); 18] {
         [
             ("packets", self.packets),
             ("delivered", self.delivered),
@@ -113,6 +119,8 @@ impl TelemetrySnapshot {
             ("flows_opened", self.flows_opened),
             ("flows_closed", self.flows_closed),
             ("flows_expired", self.flows_expired),
+            ("flows_evicted", self.flows_evicted),
+            ("flows_rejected", self.flows_rejected),
             ("fid_collisions", self.fid_collisions),
             ("handshake_packets", self.handshake_packets),
             ("fastpath_hits", self.fastpath_hits),
@@ -247,6 +255,8 @@ impl TelemetrySnapshot {
             flows_opened: field("flows_opened")?,
             flows_closed: field("flows_closed")?,
             flows_expired: field("flows_expired")?,
+            flows_evicted: field("flows_evicted")?,
+            flows_rejected: field("flows_rejected")?,
             fid_collisions: field("fid_collisions")?,
             handshake_packets: field("handshake_packets")?,
             fastpath_hits: field("fastpath_hits")?,

@@ -14,6 +14,7 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use speedybox::lint::{build_chain, lint_chain, CHAIN_REGISTRY, LINT_ALL};
+use speedybox::mat::AdmissionPolicy;
 use speedybox::nf::Nf;
 use speedybox::packet::trace::Trace;
 use speedybox::packet::Packet;
@@ -51,10 +52,18 @@ RUN OPTIONS:
   --seed <N>          workload seed (default: 1)
   --trace <FILE>      replay a trace file instead of synthesizing
   --batch-size <N>    fast-path packets per batch (default: 1 = per-packet)
-  --workers <N>       symmetric run-to-completion workers; rounded up to a
-                      power of two; each owns the FID slice fid & (N-1)
+  --workers <N>       symmetric run-to-completion workers; must be a power
+                      of two; each owns the FID slice fid & (N-1)
                       (default: 1 = single-path)
   --shards <N>        classifier/Global-MAT table shards, power of two (default: 16)
+  --max-flows <N>     bound on live flow-table entries / installed rules
+                      (default: 1048576 = the full 20-bit FID space)
+  --idle-timeout <N>  reclaim flows idle for more than N classifier ticks,
+                      swept at batch boundaries (default: 0 = disabled)
+  --admission <P>     evict | reject — what happens to a new flow when the
+                      table is at --max-flows: evict the least-recently-seen
+                      flow (default) or reject the newcomer (it rides the
+                      original chain uninstrumented)
   --dump-mat          print the Global MAT after the run (implies --speedybox)
   --metrics <FILE>    write the run's telemetry snapshot; *.prom gets
                       Prometheus text exposition, anything else JSON
@@ -77,8 +86,11 @@ SIM OPTIONS:
                       with --all)
   --interpreted       start in interpreted rule execution
   --no-faults         disable the scripted fault plans
+  --evict-pressure    bound the SUT flow table at 64 entries so installs
+                      continuously displace LRU flows mid-trace — the
+                      capacity-eviction path under byte-equivalence check
   --inject-bug <B>    seed a deliberate SUT bug to validate the harness
-                      (skip-checksum-fix)
+                      (skip-checksum-fix | evict-ordering)
   --artifact-dir <D>  write shrunk divergence reproducers here as JSON
   --replay <FILE>     re-run a divergence artifact byte-for-byte
   exit code: 0 = equivalent, 1 = divergence found, 2 = usage error
@@ -112,6 +124,20 @@ impl Args {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
         }
+    }
+
+    /// `--workers`, validated: the flag must carry a value, and the value
+    /// must be a power of two (worker steering masks the FID with
+    /// `workers - 1`, so anything else would silently misroute flows).
+    fn workers_value(&self, default: usize) -> Result<usize, String> {
+        if self.flag("--workers") && self.value("--workers").is_none() {
+            return Err("--workers requires a value".to_owned());
+        }
+        let w = self.usize_value("--workers", default)?;
+        if w == 0 || !w.is_power_of_two() {
+            return Err(format!("bad value for --workers: {w} (must be a power of two >= 1)"));
+        }
+        Ok(w)
     }
 }
 
@@ -238,11 +264,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let dump = args.flag("--dump-mat");
     let speedybox = args.flag("--speedybox") || dump;
     let default_cfg = SboxConfig::default();
+    let admission = match args.value("--admission") {
+        None | Some("evict") => AdmissionPolicy::EvictOldest,
+        Some("reject") => AdmissionPolicy::Reject,
+        Some(other) => return Err(format!("bad value for --admission: {other} (evict | reject)")),
+    };
     let config = SboxConfig {
         batch_size: args.usize_value("--batch-size", default_cfg.batch_size)?,
         shards: args.usize_value("--shards", default_cfg.shards)?,
-        workers: args.usize_value("--workers", default_cfg.workers)?,
+        workers: args.workers_value(default_cfg.workers)?,
         compiled: !args.flag("--interpreted"),
+        max_flows: args.usize_value("--max-flows", default_cfg.max_flows)?,
+        idle_timeout: args.usize_value("--idle-timeout", 0)? as u64,
+        admission,
         ..default_cfg
     };
     if args.flag("--verify") {
@@ -352,7 +386,7 @@ fn sim_configs(args: &Args) -> Result<Vec<SimConfig>, String> {
         env: sim::EnvKind::parse(args.value("--env").unwrap_or("bess"))?,
         compiled: !args.flag("--interpreted"),
         batch: args.usize_value("--batch", 1)?.max(1),
-        workers: args.usize_value("--workers", 1)?.max(1),
+        workers: args.workers_value(1)?,
     }])
 }
 
@@ -403,6 +437,10 @@ fn cmd_sim(args: &Args) -> Result<ExitCode, String> {
     let with_faults = !args.flag("--no-faults");
     let bug = args.value("--inject-bug").map(sim::BugKind::parse).transpose()?;
     let artifact_dir = args.value("--artifact-dir");
+    // Pressure mode: a tiny flow-table bound keeps every case under
+    // constant capacity-evict churn (installs displace LRU flows, which
+    // re-record through the slow path — byte equivalence must survive).
+    let max_flows = if args.flag("--evict-pressure") { 64 } else { 0 };
     let configs = sim_configs(args)?;
 
     let mut cases = 0usize;
@@ -423,6 +461,7 @@ fn cmd_sim(args: &Args) -> Result<ExitCode, String> {
                 batch: config.batch,
                 workers: config.workers,
                 seed,
+                max_flows,
                 bug,
                 items: scenario.items,
                 faults: scenario.faults,

@@ -88,6 +88,51 @@ fn unknown_chain_is_a_clean_error() {
 }
 
 #[test]
+fn run_rejects_bad_worker_counts() {
+    for bad in ["3", "0", "six"] {
+        let out = speedybox(&["run", "--chain", "chain2", "--speedybox", "--workers", bad]);
+        assert!(!out.status.success(), "--workers {bad} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--workers"), "error names the flag: {err}");
+    }
+    // And a missing value is a clean error, not a silent default.
+    let out = speedybox(&["run", "--chain", "chain2", "--speedybox", "--workers"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers requires a value"));
+}
+
+#[test]
+fn run_with_flow_bounds_and_admission_policies() {
+    // A tiny bounded table still processes every packet: overflow flows
+    // are evicted (default) or ride the original chain (reject).
+    for policy in ["evict", "reject"] {
+        let out = speedybox(&[
+            "run",
+            "--chain",
+            "chain2",
+            "--speedybox",
+            "--flows",
+            "20",
+            "--max-flows",
+            "4",
+            "--idle-timeout",
+            "64",
+            "--admission",
+            policy,
+        ]);
+        assert!(
+            out.status.success(),
+            "--admission {policy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("fast-path"));
+    }
+    let out = speedybox(&["run", "--chain", "chain2", "--admission", "bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--admission"));
+}
+
+#[test]
 fn gen_trace_then_replay_lines_and_pcap() {
     let dir = std::env::temp_dir();
     for (ext, fmt_probe) in [("trace", "lines"), ("pcap", "pcap")] {

@@ -476,6 +476,151 @@ fn classifier_generations_drain_after_expiry() {
     assert_eq!(classifier.pending_generations(), 0, "flow-table generations leak");
 }
 
+/// Eviction racing rewrite racing install: a capacity-bounded Global MAT
+/// under four threads — an installer driving safety-net LRU evictions, a
+/// remover tearing flows down (including the event flow), an event thread
+/// whose recurring event rewrites its rule on every `prepare`, and a
+/// reader sweeping lookups while draining retired generations.
+///
+/// The contract under test is the eviction-vs-rewrite atomicity guarantee:
+/// a rewrite that loses to a concurrent removal must be abandoned whole —
+/// `prepare` returns `None` and the rule is **not** resurrected in the
+/// table. After churn settles, the capacity bound has held throughout and
+/// the retired-generation backlog drains to exactly zero.
+#[test]
+fn evict_vs_install_vs_event_fire_settles_with_zero_leak() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use speedybox::mat::{Event, RulePatch};
+
+    const CAPACITY: usize = 64;
+    const CHURN_FIDS: u32 = 256;
+    const INSTALLS: u32 = 20_000;
+    let event_fid = Fid::new(9000);
+
+    let local = Arc::new(LocalMat::new(NfId::new(0)));
+    for i in 0..CHURN_FIDS {
+        local.set_header_actions(Fid::new(i), vec![HeaderAction::Forward]);
+    }
+    local.set_header_actions(event_fid, vec![HeaderAction::Forward]);
+    let gm = GlobalMat::with_limits(vec![Arc::clone(&local)], 8, CAPACITY);
+    let register_event = |gm: &GlobalMat| {
+        gm.events().register(
+            Event::new(
+                event_fid,
+                NfId::new(0),
+                "always",
+                |_| true,
+                |_| RulePatch::set_action(HeaderAction::Forward),
+            )
+            .recurring(),
+        );
+    };
+    register_event(&gm);
+    let mut ops = OpCounter::default();
+    gm.install(event_fid, &mut ops);
+
+    let stop = AtomicBool::new(false);
+    let rewrites = AtomicU64::new(0);
+    let lost_races = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // Installer: pounds the bounded table far past capacity, so every
+        // insert once full evicts the LRU victim with full teardown.
+        {
+            let gm = &gm;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut ops = OpCounter::default();
+                for i in 0..INSTALLS {
+                    gm.install(Fid::new(i % CHURN_FIDS), &mut ops);
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+        // Remover: tears down churn flows, and periodically the event flow
+        // itself — the direct eviction-vs-rewrite collision.
+        {
+            let gm = &gm;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    gm.remove_flow(Fid::new(i % CHURN_FIDS));
+                    if i.is_multiple_of(64) {
+                        gm.remove_flow(event_fid);
+                    }
+                    i = i.wrapping_add(1);
+                }
+            });
+        }
+        // Event thread: every successful prepare fires the recurring event
+        // and republishes the rule. A None means the removal won — the
+        // rewrite was abandoned whole, so re-seed and start over.
+        {
+            let gm = &gm;
+            let local = &local;
+            let stop = &stop;
+            let rewrites = &rewrites;
+            let lost_races = &lost_races;
+            s.spawn(move || {
+                let mut ops = OpCounter::default();
+                while !stop.load(Ordering::Relaxed) {
+                    match gm.prepare(event_fid, &mut ops) {
+                        Some(_) => {
+                            rewrites.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            // The losing rewrite must not have resurrected
+                            // the table entry.
+                            assert!(
+                                !gm.contains(event_fid),
+                                "abandoned rewrite left the rule installed"
+                            );
+                            lost_races.fetch_add(1, Ordering::Relaxed);
+                            local.set_header_actions(event_fid, vec![HeaderAction::Forward]);
+                            register_event(gm);
+                            gm.install(event_fid, &mut ops);
+                        }
+                    }
+                }
+            });
+        }
+        // Reader: sweeps wait-free lookups, checks the capacity bound
+        // continuously, and drains retired generations opportunistically
+        // so the backlog stays bounded mid-churn.
+        {
+            let gm = &gm;
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let len = gm.len();
+                    assert!(len <= CAPACITY, "table grew past its bound: {len} > {CAPACITY}");
+                    for i in (0..CHURN_FIDS).step_by(19) {
+                        let _ = gm.rule(Fid::new(i));
+                    }
+                    gm.collect_generations();
+                }
+            });
+        }
+    });
+
+    // The stress actually exercised both sides of the race.
+    assert!(rewrites.load(Ordering::Relaxed) > 0, "no event rewrite ever fired");
+    assert!(lost_races.load(Ordering::Relaxed) > 0, "no rewrite ever lost to a removal");
+    assert!(gm.len() <= CAPACITY);
+    // Zero generation leak after settle: with all threads joined, every
+    // retired rule slot is provably unreferenced and must be reclaimed.
+    gm.collect_generations();
+    assert_eq!(gm.pending_generations(), 0, "retired generations leak after evict churn");
+    // The event flow finished in a coherent state: either fully installed
+    // (rule resolvable) or fully gone (no table entry).
+    if gm.contains(event_fid) {
+        assert!(gm.rule(event_fid).is_some());
+    } else {
+        assert!(gm.rule(event_fid).is_none());
+    }
+}
+
 #[test]
 fn concurrent_expire_idle_expires_each_flow_once() {
     let classifier = PacketClassifier::with_shards(4);

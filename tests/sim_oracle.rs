@@ -32,6 +32,7 @@ fn sweep_chain(chain: &str) {
                         batch,
                         workers: 1,
                         seed,
+                        max_flows: 0,
                         bug: None,
                         items: scenario.items.clone(),
                         faults: scenario.faults.clone(),
@@ -119,6 +120,7 @@ fn seeded_bug_is_caught_and_shrunk() {
             batch: 1,
             workers: 1,
             seed,
+            max_flows: 0,
             bug: Some(BugKind::SkipChecksumFix),
             items: scenario.items,
             faults: scenario.faults,
@@ -172,6 +174,7 @@ fn worker_sweep_is_divergence_free_and_hash_stable() {
                     batch: 8,
                     workers,
                     seed,
+                    max_flows: 0,
                     bug: None,
                     items: scenario.items.clone(),
                     faults: scenario.faults.clone(),
@@ -197,6 +200,40 @@ fn worker_sweep_is_divergence_free_and_hash_stable() {
     assert_eq!(cases, chains.len() * (SEEDS as usize) * 4);
 }
 
+/// Capacity-evict pressure: with the flow table bounded far below the
+/// trace's flow count, installs continuously LRU-evict live flows — each
+/// displaced flow must re-record through the slow path with identical
+/// bytes, on top of the fault plans' forced `evict@N=k` clauses.
+#[test]
+fn bounded_table_sweep_is_equivalent() {
+    for chain in ["chain1", "chain2", "maglev-failover"] {
+        for seed in 0..8u64 {
+            let scenario =
+                generate(&ScenarioConfig { seed, chain: chain.to_owned(), with_faults: true });
+            for batch in [1usize, 8] {
+                let case = SimCase {
+                    chain: chain.to_owned(),
+                    env: EnvKind::Bess,
+                    compiled: true,
+                    batch,
+                    workers: 1,
+                    seed,
+                    max_flows: 48,
+                    bug: None,
+                    items: scenario.items.clone(),
+                    faults: scenario.faults.clone(),
+                };
+                let out = run_case(&case).unwrap();
+                assert!(
+                    out.divergence.is_none(),
+                    "chain={chain} seed={seed} batch={batch} under evict pressure: {:?}",
+                    out.divergence
+                );
+            }
+        }
+    }
+}
+
 /// The same case always produces the same outcome stream — the determinism
 /// guarantee replay artifacts rely on.
 #[test]
@@ -210,6 +247,7 @@ fn run_case_is_deterministic() {
         batch: 8,
         workers: 1,
         seed: 11,
+        max_flows: 0,
         bug: None,
         items: scenario.items,
         faults: scenario.faults,
