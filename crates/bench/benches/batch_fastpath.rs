@@ -7,6 +7,8 @@
 //! shard per batch and one clock update per batch), and shard count is a
 //! pure scalability knob with no single-threaded penalty.
 
+#![allow(clippy::cast_possible_truncation)] // bench data built from loop indices
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use speedybox_packet::{Packet, PacketBuilder};
 use speedybox_platform::bess::BessChain;

@@ -2,6 +2,8 @@
 //! consolidated action vs. replaying the chain's actions sequentially —
 //! the real-time counterpart of Fig 4.
 
+#![allow(clippy::cast_possible_truncation)] // bench data built from loop indices
+
 use std::net::Ipv4Addr;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -1,6 +1,8 @@
 //! Wall-clock payload-inspection throughput: the Aho–Corasick engine and
 //! the full SnortLite NF.
 
+#![allow(clippy::cast_possible_truncation)] // bench data built from loop indices
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use speedybox_nf::snort::SnortLite;
 use speedybox_nf::{AhoCorasick, Nf, NfContext};

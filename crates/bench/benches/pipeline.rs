@@ -2,6 +2,8 @@
 //! (`platform::threaded`): baseline rings-all-the-way vs SpeedyBox
 //! manager-side fast path.
 
+#![allow(clippy::cast_possible_truncation)] // bench data built from loop indices
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use speedybox_packet::{Packet, PacketBuilder};
 use speedybox_platform::chains::ipfilter_chain;

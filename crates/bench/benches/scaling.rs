@@ -15,6 +15,8 @@
 //! The trace interleaves flows round-robin so every batch spans many FID
 //! slices — what RSS hands a symmetric pool.
 
+#![allow(clippy::cast_possible_truncation)] // bench data built from loop indices
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use speedybox_mat::OpCounter;
 use speedybox_nf::ipfilter::IpFilter;

@@ -314,6 +314,7 @@ fn flow_scale() -> FlowScale {
     for i in (0..n).step_by(5) {
         let t = Instant::now();
         let hit = table.lookup(Fid::new(i));
+        #[allow(clippy::cast_possible_truncation)] // sub-second interval fits u64 ns
         let ns = t.elapsed().as_nanos() as u64;
         assert!(hit.is_some(), "installed fid {i} must resolve");
         samples.push(ns);

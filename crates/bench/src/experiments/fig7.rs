@@ -77,7 +77,7 @@ fn workload() -> Vec<Packet> {
                 PacketBuilder::tcp()
                     .src(format!("10.0.0.1:{}", 3100 + flow).parse().unwrap())
                     .dst("10.0.0.2:80".parse().unwrap())
-                    .seq(round as u32)
+                    .seq(u32::try_from(round).unwrap())
                     .payload(b"benignbody")
                     .pad_to(64)
                     .build(),

@@ -190,7 +190,11 @@ mod tests {
                         "{} on {}: p{} must improve",
                         chain.label(),
                         env.label(),
-                        (p * 100.0) as u32
+                        {
+                            #[allow(clippy::cast_possible_truncation)] // p in [0, 1]
+                            let pct = (p * 100.0) as u32;
+                            pct
+                        }
                     );
                 }
             }

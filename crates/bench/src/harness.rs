@@ -103,7 +103,9 @@ pub fn flow_packets(n: usize, src_port: u16, payload_len: usize) -> Vec<Packet> 
         .pad_to(64);
     (0..n)
         .map(|i| {
+            #[allow(clippy::cast_possible_truncation)] // mod 23, and seq counters
             let payload: Vec<u8> = (0..payload_len).map(|j| b'a' + ((i + j) % 23) as u8).collect();
+            #[allow(clippy::cast_possible_truncation)]
             b.seq(i as u32).payload(&payload).build()
         })
         .collect()
@@ -130,6 +132,7 @@ pub fn steady_state(stats: &RunStats, model: &CycleModel) -> SteadyState {
     SteadyState {
         work_cycles: work,
         latency_cycles: latency,
+        #[allow(clippy::cast_possible_truncation)] // positive cycle count
         latency_us: model.micros(latency as u64),
     }
 }

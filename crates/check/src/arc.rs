@@ -1,0 +1,123 @@
+//! Model reference counting: a safe reimplementation of the `Arc` raw-
+//! pointer API (`into_raw` / `from_raw` / `increment_strong_count`) over a
+//! table of tracked allocations, so the checker can catch use-after-free,
+//! double-free, and leaks that the real API would turn into UB.
+//!
+//! A raw handle is just the allocation's table index ([`RawId`]); "freeing"
+//! marks the entry dead and drops the payload. Refcount ops are scheduling
+//! points, mirroring the atomic refcount traffic of the real `Arc`.
+
+use std::any::Any;
+use std::panic;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+
+use crate::exec::{ctx, AbortToken, Op};
+
+/// Raw strong-reference handle: the model analogue of `*const T` obtained
+/// from `Arc::into_raw`. Plain `usize`, freely copyable and storable in a
+/// `ModelAtomicUsize` — exactly how the RCU cell uses real raw pointers.
+pub type RawId = usize;
+
+/// Model analogue of `Arc<T>`: owns one strong reference to a tracked
+/// allocation. Clone and drop are scheduling points (refcount RMWs).
+pub struct ModelArc<T: Send + Sync + 'static> {
+    id: RawId,
+    data: Arc<T>,
+    /// Set by `into_raw`: the strong reference moved into the raw handle,
+    /// so the destructor must not decrement. A (host-level, not model)
+    /// atomic only so `ModelArc` stays `Sync` and model structs can hold
+    /// shared instances; it is never actually contended.
+    defused: AtomicBool,
+}
+
+impl<T: Send + Sync + 'static> ModelArc<T> {
+    /// Allocate. Not a scheduling point: a fresh allocation is unshared.
+    pub fn new(label: &str, value: T) -> Self {
+        let (exec, _) = ctx();
+        let data = Arc::new(value);
+        let erased: Arc<dyn Any + Send + Sync> = data.clone();
+        let id = exec.with_state(|g| g.register_alloc(label.to_string(), erased));
+        ModelArc { id, data, defused: AtomicBool::new(false) }
+    }
+
+    /// Borrow the payload. Safe without a scheduling point: holding a
+    /// strong reference keeps the allocation alive (same as real `Arc`).
+    pub fn value(&self) -> &T {
+        &self.data
+    }
+
+    pub fn raw_id(&self) -> RawId {
+        self.id
+    }
+
+    /// Model `Arc::into_raw`: transfer this strong reference into a raw
+    /// handle without touching the refcount.
+    pub fn into_raw(self) -> RawId {
+        self.defused.store(true, Relaxed);
+        self.id
+    }
+
+    /// Model `Arc::from_raw`: adopt the strong reference held by a raw
+    /// handle. Like the real API this performs no refcount op; pairing it
+    /// with a reference the handle does not own is the bug the checker
+    /// exists to catch (via the later decrement or read).
+    pub fn from_raw(id: RawId) -> Self {
+        let (exec, _) = ctx();
+        let erased = exec.with_state(|g| g.alloc_value(id));
+        let Some(erased) = erased else {
+            // Already freed: the refcount op that exposed this has recorded
+            // the bug and poisoned the execution; unwind this thread.
+            panic::panic_any(AbortToken);
+        };
+        let data = erased.downcast::<T>().expect("ModelArc::from_raw: payload type mismatch");
+        ModelArc { id, data, defused: AtomicBool::new(false) }
+    }
+}
+
+impl<T: Send + Sync + 'static> Clone for ModelArc<T> {
+    fn clone(&self) -> Self {
+        let (exec, me) = ctx();
+        exec.yield_op(me, Op::ArcIncr { alloc: self.id });
+        ModelArc { id: self.id, data: self.data.clone(), defused: AtomicBool::new(false) }
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for ModelArc<T> {
+    fn drop(&mut self) {
+        if self.defused.load(Relaxed) {
+            return;
+        }
+        let (exec, me) = ctx();
+        exec.yield_op(me, Op::ArcDecr { alloc: self.id });
+    }
+}
+
+/// Model `Arc::increment_strong_count(raw)`: mint a new strong reference
+/// from a raw handle. Scheduling point; reports use-after-free if the
+/// allocation was already reclaimed.
+pub fn raw_increment_strong_count(id: RawId) {
+    let (exec, me) = ctx();
+    exec.yield_op(me, Op::ArcIncr { alloc: id });
+}
+
+/// Model of dereferencing a raw handle *without* owning a strong reference
+/// (the hazard a buggy cache/memo commits). Scheduling point; reports
+/// use-after-free if the allocation was reclaimed.
+pub fn raw_read<T: Clone + Send + Sync + 'static>(id: RawId) -> T {
+    let (exec, me) = ctx();
+    exec.yield_op(me, Op::ArcRead { alloc: id });
+    let erased = exec.with_state(|g| g.alloc_value(id));
+    let Some(erased) = erased else {
+        panic::panic_any(AbortToken);
+    };
+    erased.downcast_ref::<T>().expect("raw_read: payload type mismatch").clone()
+}
+
+/// Model of dropping the strong reference held by a raw handle without
+/// reconstructing the `ModelArc` (used by retire lists). Scheduling point;
+/// frees the allocation when the count hits zero.
+pub fn raw_drop(id: RawId) {
+    let (exec, me) = ctx();
+    exec.yield_op(me, Op::ArcDecr { alloc: id });
+}

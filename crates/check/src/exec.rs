@@ -1,0 +1,866 @@
+//! Execution engine: one controlled execution of a scenario.
+//!
+//! Model threads are real OS threads, but only one ever runs between two
+//! *scheduling points*. Every operation on a model primitive (atomic,
+//! mutex, refcount) is a scheduling point: the thread parks, publishes the
+//! operation it is about to perform, and waits until the controller grants
+//! it the right to run. The controller (driven by a [`Chooser`]) therefore
+//! sees the full set of enabled transitions at every step and can
+//! enumerate or randomize interleavings deterministically.
+//!
+//! The memory model is a documented simplification of C11 (DESIGN.md §14):
+//! each atomic location keeps its full store history plus the release view
+//! captured at each releasing store, and each thread keeps a per-location
+//! view index. `SeqCst` loads read the newest store; `Acquire`/`Relaxed`
+//! loads may read any store at or after the thread's view index — the
+//! choice is a branch point for the explorer, which is exactly how a
+//! weakened ordering becomes an observable (and checkable) bug.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread as os_thread;
+
+/// All model atomics are modelled over `u64`.
+pub type Value = u64;
+
+/// Memory orderings understood by the model (mirrors `std::sync::atomic`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ordering {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl Ordering {
+    pub(crate) fn acquires(self) -> bool {
+        matches!(self, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+    pub(crate) fn releases(self) -> bool {
+        matches!(self, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+}
+
+impl fmt::Display for Ordering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ordering::Relaxed => "Relaxed",
+            Ordering::Acquire => "Acquire",
+            Ordering::Release => "Release",
+            Ordering::AcqRel => "AcqRel",
+            Ordering::SeqCst => "SeqCst",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Read-modify-write flavours.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum RmwKind {
+    FetchAdd(Value),
+    FetchSub(Value),
+    Swap(Value),
+    CompareExchange { expect: Value, new: Value },
+}
+
+/// A pending operation at a scheduling point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First scheduling point of every thread; keeps thread start-up under
+    /// scheduler control so object registration order stays deterministic.
+    Start,
+    Load {
+        loc: usize,
+        ord: Ordering,
+    },
+    Store {
+        loc: usize,
+        ord: Ordering,
+        val: Value,
+    },
+    Rmw {
+        loc: usize,
+        ord: Ordering,
+        kind: RmwKind,
+    },
+    Lock {
+        mutex: usize,
+    },
+    Unlock {
+        mutex: usize,
+    },
+    ArcIncr {
+        alloc: usize,
+    },
+    ArcDecr {
+        alloc: usize,
+    },
+    ArcRead {
+        alloc: usize,
+    },
+    Join {
+        target: usize,
+    },
+}
+
+/// Object touched by an op, for the independence relation.
+#[derive(PartialEq, Eq)]
+enum Obj {
+    Atomic(usize),
+    Mutex(usize),
+    Alloc(usize),
+    Control,
+}
+
+impl Op {
+    fn obj(&self) -> Obj {
+        match self {
+            Op::Load { loc, .. } | Op::Store { loc, .. } | Op::Rmw { loc, .. } => Obj::Atomic(*loc),
+            Op::Lock { mutex } | Op::Unlock { mutex } => Obj::Mutex(*mutex),
+            Op::ArcIncr { alloc } | Op::ArcDecr { alloc } | Op::ArcRead { alloc } => {
+                Obj::Alloc(*alloc)
+            }
+            Op::Start | Op::Join { .. } => Obj::Control,
+        }
+    }
+
+    fn is_read(&self) -> bool {
+        matches!(self, Op::Load { .. } | Op::ArcRead { .. })
+    }
+}
+
+/// Conservative dependence relation for sleep-set pruning: two ops commute
+/// iff they touch different objects, or both only read the same object.
+/// Control ops (spawn/start/join) are treated as dependent on everything.
+pub(crate) fn dependent(a: &Op, b: &Op) -> bool {
+    let (oa, ob) = (a.obj(), b.obj());
+    if oa == Obj::Control || ob == Obj::Control {
+        return true;
+    }
+    oa == ob && !(a.is_read() && b.is_read())
+}
+
+/// Classes of property violation the oracles can report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BugKind {
+    /// A raw refcount handle was used after its allocation was freed.
+    UseAfterFree,
+    /// An allocation's refcount was decremented after it was freed.
+    DoubleFree,
+    /// An allocation was still live when the execution finished.
+    Leak,
+    /// No enabled thread, but not all threads finished.
+    Deadlock,
+    /// A model thread panicked (failed assertion in the scenario).
+    Panic,
+    /// Execution exceeded the per-execution step budget.
+    StepLimit,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugKind::UseAfterFree => "use-after-free",
+            BugKind::DoubleFree => "double-free",
+            BugKind::Leak => "leak",
+            BugKind::Deadlock => "deadlock",
+            BugKind::Panic => "panic",
+            BugKind::StepLimit => "step-limit",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Bug {
+    pub kind: BugKind,
+    pub message: String,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// OS thread exists but has not reached its first scheduling point.
+    Starting,
+    Parked(Op),
+    /// Granted and running user code until the next scheduling point.
+    Running,
+    Finished,
+}
+
+pub(crate) struct ThreadSlot {
+    pub phase: Phase,
+    /// Per-atomic minimum visible store index.
+    pub view: Vec<usize>,
+    pub name: String,
+}
+
+struct StoreRec {
+    val: Value,
+    /// Release view captured at a releasing store; `None` for `Relaxed`.
+    view: Option<Vec<usize>>,
+}
+
+struct LocState {
+    label: String,
+    stores: Vec<StoreRec>,
+}
+
+struct MutexState {
+    label: String,
+    locked_by: Option<usize>,
+    /// View released at the last unlock; joined on the next lock.
+    release_view: Option<Vec<usize>>,
+}
+
+struct AllocState {
+    label: String,
+    strong: usize,
+    alive: bool,
+    value: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+/// Result of executing one op.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpResult {
+    pub val: Value,
+    pub ok: bool,
+}
+
+const TRACE_CAP: usize = 4096;
+
+pub(crate) struct ExecInner {
+    pub threads: Vec<ThreadSlot>,
+    atomics: Vec<LocState>,
+    mutexes: Vec<MutexState>,
+    allocs: Vec<AllocState>,
+    /// Thread currently granted the right to run its parked op.
+    granted: Option<usize>,
+    /// Absolute store index chosen for the granted load, if branching.
+    value_choice: Option<usize>,
+    pub poisoned: bool,
+    pub pruned: bool,
+    pub bugs: Vec<Bug>,
+    pub facts: BTreeSet<String>,
+    pub trace: Vec<String>,
+    steps: usize,
+    max_steps: usize,
+    os_handles: Vec<os_thread::JoinHandle<()>>,
+}
+
+pub(crate) struct ExecShared {
+    pub state: Mutex<ExecInner>,
+    pub cv: Condvar,
+}
+
+/// Panic payload used to abort surviving threads once an execution is
+/// poisoned (bug found, deadlock, or prune). Never surfaces to the user.
+pub(crate) struct AbortToken;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<ExecShared>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> (Arc<ExecShared>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("speedybox-check model primitive used outside a checked execution")
+    })
+}
+
+impl ExecShared {
+    fn new(max_steps: usize) -> Self {
+        ExecShared {
+            state: Mutex::new(ExecInner {
+                threads: Vec::new(),
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                allocs: Vec::new(),
+                granted: None,
+                value_choice: None,
+                poisoned: false,
+                pruned: false,
+                bugs: Vec::new(),
+                facts: BTreeSet::new(),
+                trace: Vec::new(),
+                steps: 0,
+                max_steps,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Park at a scheduling point, wait for the grant, execute the op.
+    pub(crate) fn yield_op(self: &Arc<Self>, me: usize, op: Op) -> OpResult {
+        let mut g = self.state.lock().unwrap();
+        if g.poisoned {
+            if os_thread::panicking() {
+                // Free-run teardown: drops during unwinding still execute
+                // their ops (so refcounts stay coherent) without parking.
+                return g.execute(me, &op, None);
+            }
+            drop(g);
+            panic::panic_any(AbortToken);
+        }
+        g.threads[me].phase = Phase::Parked(op);
+        self.cv.notify_all();
+        loop {
+            if g.poisoned {
+                drop(g);
+                if os_thread::panicking() {
+                    // Cannot happen in practice (an unwinding thread was
+                    // free-run above), but never park while unwinding.
+                    return OpResult { val: 0, ok: false };
+                }
+                panic::panic_any(AbortToken);
+            }
+            if g.granted == Some(me) {
+                break;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+        g.granted = None;
+        let choice = g.value_choice.take();
+        let Phase::Parked(op) = std::mem::replace(&mut g.threads[me].phase, Phase::Running) else {
+            unreachable!("granted thread must be parked");
+        };
+        let res = g.execute(me, &op, choice);
+        self.cv.notify_all();
+        res
+    }
+
+    pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut ExecInner) -> R) -> R {
+        f(&mut self.state.lock().unwrap())
+    }
+
+    fn poison(&self, g: &mut ExecInner) {
+        g.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+impl ExecInner {
+    fn bug(&mut self, kind: BugKind, message: String) {
+        // First bug wins; everything after it runs in teardown mode.
+        if self.bugs.is_empty() {
+            self.push_trace(format!("!! {kind}: {message}"));
+            self.bugs.push(Bug { kind, message });
+            self.poisoned = true;
+        }
+    }
+
+    pub(crate) fn record_panic(&mut self, tid: usize, message: &str) {
+        let name = self.threads[tid].name.clone();
+        self.bug(BugKind::Panic, format!("[{name}] {message}"));
+    }
+
+    fn push_trace(&mut self, line: String) {
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push(line);
+        }
+    }
+
+    fn ensure_view(&mut self, loc: usize) {
+        for t in &mut self.threads {
+            if t.view.len() <= loc {
+                t.view.resize(loc + 1, 0);
+            }
+        }
+    }
+
+    pub(crate) fn register_atomic(&mut self, label: String, init: Value) -> usize {
+        let loc = self.atomics.len();
+        self.atomics.push(LocState { label, stores: vec![StoreRec { val: init, view: None }] });
+        self.ensure_view(loc);
+        loc
+    }
+
+    pub(crate) fn register_mutex(&mut self, label: String) -> usize {
+        self.mutexes.push(MutexState { label, locked_by: None, release_view: None });
+        self.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_alloc(
+        &mut self,
+        label: String,
+        value: Arc<dyn Any + Send + Sync>,
+    ) -> usize {
+        self.allocs.push(AllocState { label, strong: 1, alive: true, value: Some(value) });
+        self.allocs.len() - 1
+    }
+
+    /// Clone the payload of a live allocation (no scheduling point; callers
+    /// hold or just took a strong reference). Returns `None` if freed — the
+    /// corresponding bug has already been recorded by the refcount op.
+    pub(crate) fn alloc_value(&self, alloc: usize) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.allocs[alloc].value.clone()
+    }
+
+    pub(crate) fn register_thread(&mut self, name: String, view: Vec<usize>) -> usize {
+        self.threads.push(ThreadSlot { phase: Phase::Starting, view, name });
+        self.threads.len() - 1
+    }
+
+    pub(crate) fn add_os_handle(&mut self, h: os_thread::JoinHandle<()>) {
+        self.os_handles.push(h);
+    }
+
+    pub(crate) fn enabled(&self, op: &Op) -> bool {
+        match op {
+            Op::Lock { mutex } => self.mutexes[*mutex].locked_by.is_none(),
+            Op::Join { target } => self.threads[*target].phase == Phase::Finished,
+            _ => true,
+        }
+    }
+
+    /// Number of store-history candidates a load of `loc` by `tid` has.
+    pub(crate) fn load_arity(&self, tid: usize, op: &Op) -> usize {
+        match op {
+            Op::Load { loc, ord } if *ord != Ordering::SeqCst => {
+                let latest = self.atomics[*loc].stores.len() - 1;
+                let base = self.threads[tid].view.get(*loc).copied().unwrap_or(0);
+                latest - base.min(latest) + 1
+            }
+            _ => 1,
+        }
+    }
+
+    /// Map a relative choice (0 = newest candidate) to an absolute store
+    /// index for the granted load.
+    pub(crate) fn grant(&mut self, tid: usize, op: &Op, rel_choice: usize) {
+        let abs = match op {
+            Op::Load { loc, .. } => {
+                let latest = self.atomics[*loc].stores.len() - 1;
+                Some(latest - rel_choice)
+            }
+            _ => None,
+        };
+        self.granted = Some(tid);
+        self.value_choice = abs;
+    }
+
+    fn join_view(&mut self, tid: usize, other: &[usize]) {
+        let view = &mut self.threads[tid].view;
+        if view.len() < other.len() {
+            view.resize(other.len(), 0);
+        }
+        for (v, o) in view.iter_mut().zip(other) {
+            *v = (*v).max(*o);
+        }
+    }
+
+    fn execute(&mut self, me: usize, op: &Op, choice: Option<usize>) -> OpResult {
+        self.steps += 1;
+        if self.steps > self.max_steps && !self.poisoned {
+            self.bug(
+                BugKind::StepLimit,
+                format!("execution exceeded {} scheduling points", self.max_steps),
+            );
+        }
+        let teardown = self.poisoned;
+        let name = self.threads[me].name.clone();
+        let line = |s: String, inner: &mut Self| {
+            if !teardown {
+                inner.push_trace(format!("[{name}] {s}"));
+            }
+        };
+        match op {
+            Op::Start => {
+                line("start".to_string(), self);
+                OpResult { val: 0, ok: true }
+            }
+            Op::Load { loc, ord } => {
+                let latest = self.atomics[*loc].stores.len() - 1;
+                let base = self.threads[me].view.get(*loc).copied().unwrap_or(0);
+                let j = match (ord, choice) {
+                    (Ordering::SeqCst, _) | (_, None) => latest,
+                    (_, Some(j)) => j.clamp(base.min(latest), latest),
+                };
+                let val = self.atomics[*loc].stores[j].val;
+                self.ensure_view(*loc);
+                self.threads[me].view[*loc] = j;
+                if ord.acquires() {
+                    if let Some(v) = self.atomics[*loc].stores[j].view.clone() {
+                        self.join_view(me, &v);
+                    }
+                }
+                let stale = if j < latest {
+                    format!(" (stale: {} behind)", latest - j)
+                } else {
+                    String::new()
+                };
+                line(format!("{}.load({ord}) -> {val}{stale}", self.atomics[*loc].label), self);
+                OpResult { val, ok: true }
+            }
+            Op::Store { loc, ord, val } => {
+                self.ensure_view(*loc);
+                let new_idx = self.atomics[*loc].stores.len();
+                self.threads[me].view[*loc] = new_idx;
+                let view = ord.releases().then(|| self.threads[me].view.clone());
+                self.atomics[*loc].stores.push(StoreRec { val: *val, view });
+                line(format!("{}.store({val}, {ord})", self.atomics[*loc].label), self);
+                OpResult { val: *val, ok: true }
+            }
+            Op::Rmw { loc, ord, kind } => {
+                // RMWs always read the newest store: per-location coherence
+                // makes anything else a violated atomicity, and the
+                // scheduler's serialization supplies the modification order.
+                self.ensure_view(*loc);
+                let latest = self.atomics[*loc].stores.len() - 1;
+                let old = self.atomics[*loc].stores[latest].val;
+                if ord.acquires() {
+                    if let Some(v) = self.atomics[*loc].stores[latest].view.clone() {
+                        self.join_view(me, &v);
+                    }
+                }
+                let (new, ok, desc) = match kind {
+                    RmwKind::FetchAdd(d) => (old.wrapping_add(*d), true, format!("fetch_add({d}")),
+                    RmwKind::FetchSub(d) => (old.wrapping_sub(*d), true, format!("fetch_sub({d}")),
+                    RmwKind::Swap(v) => (*v, true, format!("swap({v}")),
+                    RmwKind::CompareExchange { expect, new } => {
+                        let ok = old == *expect;
+                        (
+                            if ok { *new } else { old },
+                            ok,
+                            format!("compare_exchange({expect}, {new}"),
+                        )
+                    }
+                };
+                if ok {
+                    let new_idx = self.atomics[*loc].stores.len();
+                    self.threads[me].view[*loc] = new_idx;
+                    let view = ord.releases().then(|| self.threads[me].view.clone());
+                    self.atomics[*loc].stores.push(StoreRec { val: new, view });
+                } else {
+                    self.threads[me].view[*loc] = latest;
+                }
+                line(
+                    format!(
+                        "{}.{desc}, {ord}) -> {old}{}",
+                        self.atomics[*loc].label,
+                        if ok { "" } else { " [failed]" }
+                    ),
+                    self,
+                );
+                OpResult { val: old, ok }
+            }
+            Op::Lock { mutex } => {
+                let m = &mut self.mutexes[*mutex];
+                debug_assert!(teardown || m.locked_by.is_none());
+                m.locked_by = Some(me);
+                if let Some(v) = m.release_view.clone() {
+                    self.join_view(me, &v);
+                }
+                line(format!("{}.lock()", self.mutexes[*mutex].label), self);
+                OpResult { val: 0, ok: true }
+            }
+            Op::Unlock { mutex } => {
+                let view = self.threads[me].view.clone();
+                let m = &mut self.mutexes[*mutex];
+                m.locked_by = None;
+                m.release_view = Some(view);
+                line(format!("{}.unlock()", self.mutexes[*mutex].label), self);
+                OpResult { val: 0, ok: true }
+            }
+            Op::ArcIncr { alloc } => {
+                let a = &mut self.allocs[*alloc];
+                if !a.alive {
+                    let label = a.label.clone();
+                    self.bug(
+                        BugKind::UseAfterFree,
+                        format!("strong-count increment on freed allocation `{label}`"),
+                    );
+                    return OpResult { val: 0, ok: false };
+                }
+                a.strong += 1;
+                let s = a.strong;
+                line(format!("arc[{}].incr -> strong={s}", self.allocs[*alloc].label), self);
+                OpResult { val: s as Value, ok: true }
+            }
+            Op::ArcDecr { alloc } => {
+                let a = &mut self.allocs[*alloc];
+                if !a.alive {
+                    let label = a.label.clone();
+                    self.bug(
+                        BugKind::DoubleFree,
+                        format!("strong-count decrement on freed allocation `{label}`"),
+                    );
+                    return OpResult { val: 0, ok: false };
+                }
+                a.strong -= 1;
+                let s = a.strong;
+                if s == 0 {
+                    a.alive = false;
+                    a.value = None;
+                }
+                let freed = if s == 0 { " [freed]" } else { "" };
+                line(format!("arc[{}].decr -> strong={s}{freed}", self.allocs[*alloc].label), self);
+                OpResult { val: s as Value, ok: true }
+            }
+            Op::ArcRead { alloc } => {
+                let a = &self.allocs[*alloc];
+                if !a.alive {
+                    let label = a.label.clone();
+                    self.bug(
+                        BugKind::UseAfterFree,
+                        format!("read through raw handle of freed allocation `{label}`"),
+                    );
+                    return OpResult { val: 0, ok: false };
+                }
+                line(format!("arc[{}].read", self.allocs[*alloc].label), self);
+                OpResult { val: 0, ok: true }
+            }
+            Op::Join { target } => {
+                line(format!("join({})", self.threads[*target].name), self);
+                OpResult { val: 0, ok: true }
+            }
+        }
+    }
+
+    /// Leak oracle: every allocation must be freed by execution end.
+    fn check_leaks(&mut self) {
+        if !self.bugs.is_empty() || self.pruned {
+            return;
+        }
+        let leaked: Vec<String> = self
+            .allocs
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| format!("`{}` (strong={})", a.label, a.strong))
+            .collect();
+        if !leaked.is_empty() {
+            let msg = format!("allocations still live at execution end: {}", leaked.join(", "));
+            self.bugs.push(Bug { kind: BugKind::Leak, message: msg.clone() });
+            self.push_trace(format!("!! leak: {msg}"));
+        }
+    }
+}
+
+/// Record a fact observed in this execution; aggregated across the whole
+/// exploration so tests can assert "this state is reachable in at least one
+/// schedule" alongside per-execution invariants.
+pub fn fact(msg: &str) {
+    let (exec, _) = ctx();
+    exec.with_state(|g| {
+        g.facts.insert(msg.to_string());
+    });
+}
+
+/// Spawn a model thread. Must be called from inside a checked execution.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, me) = ctx();
+    let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot = result.clone();
+    let exec2 = exec.clone();
+    let tid = exec.with_state(|g| {
+        let view = g.threads[me].view.clone();
+        g.register_thread(format!("t{}", g.threads.len()), view)
+    });
+    let handle = os_thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || run_model_thread(&exec2, tid, f, &slot))
+        .expect("failed to spawn model thread");
+    exec.with_state(|g| g.add_os_handle(handle));
+    JoinHandle { tid, result }
+}
+
+fn run_model_thread<T: Send + 'static>(
+    exec: &Arc<ExecShared>,
+    tid: usize,
+    f: impl FnOnce() -> T,
+    slot: &Mutex<Option<T>>,
+) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+    let out = panic::catch_unwind(AssertUnwindSafe(|| {
+        exec.yield_op(tid, Op::Start);
+        f()
+    }));
+    let mut g = exec.state.lock().unwrap();
+    match out {
+        Ok(v) => {
+            *slot.lock().unwrap() = Some(v);
+        }
+        Err(payload) => {
+            if !payload.is::<AbortToken>() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                g.record_panic(tid, &msg);
+            }
+        }
+    }
+    g.threads[tid].phase = Phase::Finished;
+    exec.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Handle to a model thread; `join` is itself a scheduling point and only
+/// becomes enabled once the target thread finished.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> T {
+        let (exec, me) = ctx();
+        exec.yield_op(me, Op::Join { target: self.tid });
+        match self.result.lock().unwrap().take() {
+            Some(v) => v,
+            // Target aborted or panicked; this execution is poisoned.
+            None => panic::panic_any(AbortToken),
+        }
+    }
+}
+
+/// A scheduling decision taken by the controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Grant thread `tid`.
+    Thread(usize),
+    /// Pick load candidate `k` (0 = newest visible store).
+    Value(usize),
+}
+
+/// Strategy interface: the controller asks the chooser at every branch.
+pub(crate) trait Chooser {
+    /// Pick a thread among `enabled` (tid + pending op), or `None` to prune
+    /// this execution as redundant. `last` is the previously granted thread.
+    fn choose_thread(&mut self, enabled: &[(usize, Op)], last: Option<usize>) -> Option<usize>;
+    /// Pick a load candidate among `arity` options (0 = newest).
+    fn choose_value(&mut self, arity: usize) -> usize;
+}
+
+pub(crate) struct ExecResult {
+    pub bugs: Vec<Bug>,
+    pub facts: BTreeSet<String>,
+    pub trace: Vec<String>,
+    pub schedule: Vec<Decision>,
+    pub pruned: bool,
+}
+
+/// Run one controlled execution of `scenario` under `chooser`.
+pub(crate) fn run_one(
+    scenario: &Arc<dyn Fn() + Send + Sync>,
+    chooser: &mut dyn Chooser,
+    max_steps: usize,
+) -> ExecResult {
+    let exec = Arc::new(ExecShared::new(max_steps));
+    let slot: Arc<Mutex<Option<()>>> = Arc::new(Mutex::new(None));
+    {
+        let mut g = exec.state.lock().unwrap();
+        g.register_thread("main".to_string(), Vec::new());
+    }
+    let exec2 = exec.clone();
+    let scenario = scenario.clone();
+    let main_handle = os_thread::Builder::new()
+        .name("model-main".to_string())
+        .spawn(move || run_model_thread(&exec2, 0, move || scenario(), &slot))
+        .expect("failed to spawn model main thread");
+    exec.with_state(|g| g.add_os_handle(main_handle));
+
+    let mut schedule: Vec<Decision> = Vec::new();
+    let mut last: Option<usize> = None;
+    loop {
+        let mut g = exec.state.lock().unwrap();
+        // Wait for quiescence: the previous grant consumed (the grantee
+        // flips itself to Running when it wakes — until then it still
+        // looks parked) and nobody running or starting up.
+        while g.granted.is_some()
+            || g.threads.iter().any(|t| matches!(t.phase, Phase::Starting | Phase::Running))
+        {
+            g = exec.cv.wait(g).unwrap();
+        }
+        if g.poisoned {
+            break;
+        }
+        let enabled: Vec<(usize, Op)> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, t)| match &t.phase {
+                Phase::Parked(op) if g.enabled(op) => Some((tid, op.clone())),
+                _ => None,
+            })
+            .collect();
+        let parked_any = g.threads.iter().any(|t| matches!(t.phase, Phase::Parked(_)));
+        if enabled.is_empty() {
+            if parked_any {
+                let stuck: Vec<String> = g
+                    .threads
+                    .iter()
+                    .filter(|t| matches!(t.phase, Phase::Parked(_)))
+                    .map(|t| t.name.clone())
+                    .collect();
+                g.bug(
+                    BugKind::Deadlock,
+                    format!("no enabled thread; parked: {}", stuck.join(", ")),
+                );
+                exec.cv.notify_all();
+            }
+            break; // all finished, or deadlock poisoned
+        }
+        drop(g);
+        let Some(tid) = chooser.choose_thread(&enabled, last) else {
+            let mut g = exec.state.lock().unwrap();
+            g.pruned = true;
+            exec.poison(&mut g);
+            drop(g);
+            break;
+        };
+        schedule.push(Decision::Thread(tid));
+        last = Some(tid);
+        let op = enabled
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|(_, op)| op.clone())
+            .expect("chooser picked a non-enabled thread");
+        let mut g = exec.state.lock().unwrap();
+        let arity = g.load_arity(tid, &op);
+        let rel = if arity > 1 {
+            drop(g);
+            let k = chooser.choose_value(arity).min(arity - 1);
+            schedule.push(Decision::Value(k));
+            g = exec.state.lock().unwrap();
+            k
+        } else {
+            0
+        };
+        g.grant(tid, &op, rel);
+        exec.cv.notify_all();
+        drop(g);
+    }
+
+    // Teardown: wait for every model thread to finish, then run oracles.
+    let handles = {
+        let mut g = exec.state.lock().unwrap();
+        while !g.threads.iter().all(|t| t.phase == Phase::Finished) {
+            g = exec.cv.wait(g).unwrap();
+        }
+        g.check_leaks();
+        std::mem::take(&mut g.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    let g = exec.state.lock().unwrap();
+    ExecResult {
+        bugs: g.bugs.clone(),
+        facts: g.facts.clone(),
+        trace: g.trace.clone(),
+        schedule,
+        pruned: g.pruned,
+    }
+}

@@ -1,0 +1,526 @@
+//! Schedule exploration strategies and the public checking entry points.
+//!
+//! - **Exhaustive**: depth-first enumeration of every interleaving up to a
+//!   bounded number of preemptions (context switches away from a thread
+//!   that could still run), with DPOR-style sleep-set pruning of schedules
+//!   that only commute independent operations. Load-value branches (stale
+//!   reads admitted by weak orderings) are always fully enumerated.
+//! - **Random**: seeded random walk, unbounded preemptions — the nightly
+//!   tier for depths the exhaustive tier cannot afford.
+//! - **Replay**: re-run one printed schedule deterministically.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::exec::{dependent, run_one, BugKind, Chooser, Decision, Op};
+use crate::rng::SplitMix64;
+use crate::schedule::Schedule;
+
+#[derive(Clone, Debug)]
+pub enum Mode {
+    Exhaustive,
+    Random { seed: u64, iterations: usize },
+    Replay { schedule: Schedule },
+}
+
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub mode: Mode,
+    /// Max context switches away from a still-runnable thread, per
+    /// execution. `None` = unbounded (full enumeration). Ignored by the
+    /// random walk.
+    pub preemption_bound: Option<usize>,
+    /// DPOR-style sleep sets; independent-op permutations explored once.
+    pub sleep_sets: bool,
+    /// Per-execution scheduling-point budget (runaway guard).
+    pub max_steps: usize,
+    /// Exploration budget; exceeding it is reported in the outcome.
+    pub max_executions: usize,
+    /// Stop at the first bug (mutation twins only need one witness).
+    pub stop_on_bug: bool,
+}
+
+impl Config {
+    pub fn exhaustive(preemption_bound: usize) -> Self {
+        Config {
+            mode: Mode::Exhaustive,
+            preemption_bound: Some(preemption_bound),
+            sleep_sets: true,
+            max_steps: 10_000,
+            max_executions: 500_000,
+            stop_on_bug: true,
+        }
+    }
+
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Config {
+            mode: Mode::Random { seed, iterations },
+            preemption_bound: None,
+            sleep_sets: false,
+            max_steps: 10_000,
+            max_executions: iterations,
+            stop_on_bug: true,
+        }
+    }
+
+    pub fn replay(schedule: Schedule) -> Self {
+        Config {
+            mode: Mode::Replay { schedule },
+            preemption_bound: None,
+            sleep_sets: false,
+            max_steps: 10_000,
+            max_executions: 1,
+            stop_on_bug: true,
+        }
+    }
+}
+
+/// One confirmed property violation with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    pub kind: BugKind,
+    pub message: String,
+    /// Replayable decision sequence (`Mode::Replay`).
+    pub schedule: String,
+    /// Seed of the random-walk iteration that found it, if any.
+    pub seed: Option<u64>,
+    /// Human-readable op log of the failing execution.
+    pub trace: Vec<String>,
+}
+
+/// Aggregate result of an exploration.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    pub name: String,
+    /// Executions fully run (including the failing one).
+    pub executions: usize,
+    /// Executions cut off by sleep-set pruning (redundant interleavings).
+    pub pruned: usize,
+    pub bugs: Vec<BugReport>,
+    /// Union of `check::fact` observations over all executions.
+    pub facts: BTreeSet<String>,
+    /// True if `max_executions` was exhausted before the DFS finished —
+    /// the exploration is then *incomplete* and "no bugs" proves nothing.
+    pub execution_cap_hit: bool,
+}
+
+impl Outcome {
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} executions (+{} pruned), {} bug(s), {} fact(s){}",
+            self.name,
+            self.executions,
+            self.pruned,
+            self.bugs.len(),
+            self.facts.len(),
+            if self.execution_cap_hit { " [EXECUTION CAP HIT — incomplete]" } else { "" }
+        )
+    }
+
+    fn render_bug(b: &BugReport) -> String {
+        let mut s = format!("  {}: {}\n  schedule: {}\n", b.kind, b.message, b.schedule);
+        if let Some(seed) = b.seed {
+            s.push_str(&format!("  seed: {seed}\n"));
+        }
+        s.push_str("  trace:\n");
+        for line in &b.trace {
+            s.push_str("    ");
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Assert the exploration completed and found no violation.
+    pub fn assert_clean(&self) {
+        assert!(
+            !self.execution_cap_hit,
+            "{}: execution cap hit — exploration incomplete",
+            self.name
+        );
+        if let Some(b) = self.bugs.first() {
+            panic!(
+                "{}: model check failed after {} executions\n{}",
+                self.name,
+                self.executions,
+                Self::render_bug(b)
+            );
+        }
+    }
+
+    /// Assert a `check::fact` was observed in at least one schedule
+    /// (reachability companion to the all-schedules invariants).
+    pub fn assert_fact(&self, fact: &str) {
+        assert!(
+            self.facts.contains(fact),
+            "{}: fact `{fact}` was never observed; saw: {:?}",
+            self.name,
+            self.facts
+        );
+    }
+
+    /// Assert the checker caught a bug of the given kind (mutation twins).
+    pub fn expect_bug(&self, kind: BugKind) -> &BugReport {
+        match self.bugs.iter().find(|b| b.kind == kind) {
+            Some(b) => b,
+            None => panic!(
+                "{}: expected a {kind} bug, found {:?} after {} executions",
+                self.name,
+                self.bugs.iter().map(|b| b.kind).collect::<Vec<_>>(),
+                self.executions
+            ),
+        }
+    }
+}
+
+/// Exploration driver for one scenario.
+pub struct Checker {
+    config: Config,
+}
+
+impl Checker {
+    pub fn new(config: Config) -> Self {
+        Checker { config }
+    }
+
+    pub fn check<F>(&self, name: &str, scenario: F) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+        match self.config.mode.clone() {
+            Mode::Exhaustive => self.run_exhaustive(name, &scenario),
+            Mode::Random { seed, iterations } => self.run_random(name, &scenario, seed, iterations),
+            Mode::Replay { schedule } => self.run_replay(name, &scenario, &schedule),
+        }
+    }
+
+    fn run_exhaustive(&self, name: &str, scenario: &Arc<dyn Fn() + Send + Sync>) -> Outcome {
+        let mut out = Outcome { name: name.to_string(), ..Outcome::default() };
+        let mut dfs = DfsChooser::new(self.config.preemption_bound, self.config.sleep_sets);
+        loop {
+            dfs.begin_execution();
+            let res = run_one(scenario, &mut dfs, self.config.max_steps);
+            if res.pruned {
+                out.pruned += 1;
+            } else {
+                out.executions += 1;
+            }
+            out.facts.extend(res.facts);
+            if !res.bugs.is_empty() {
+                let schedule = Schedule(res.schedule).to_string();
+                for b in &res.bugs {
+                    out.bugs.push(BugReport {
+                        kind: b.kind,
+                        message: b.message.clone(),
+                        schedule: schedule.clone(),
+                        seed: None,
+                        trace: res.trace.clone(),
+                    });
+                }
+                if self.config.stop_on_bug {
+                    break;
+                }
+            }
+            if !dfs.advance() {
+                break;
+            }
+            if out.executions + out.pruned >= self.config.max_executions {
+                out.execution_cap_hit = true;
+                break;
+            }
+        }
+        out
+    }
+
+    fn run_random(
+        &self,
+        name: &str,
+        scenario: &Arc<dyn Fn() + Send + Sync>,
+        seed: u64,
+        iterations: usize,
+    ) -> Outcome {
+        let mut out = Outcome { name: name.to_string(), ..Outcome::default() };
+        for i in 0..iterations {
+            let iter_seed = seed.wrapping_add(i as u64);
+            let mut chooser = RandomChooser { rng: SplitMix64::new(iter_seed) };
+            let res = run_one(scenario, &mut chooser, self.config.max_steps);
+            out.executions += 1;
+            out.facts.extend(res.facts);
+            if !res.bugs.is_empty() {
+                let schedule = Schedule(res.schedule).to_string();
+                for b in &res.bugs {
+                    out.bugs.push(BugReport {
+                        kind: b.kind,
+                        message: b.message.clone(),
+                        schedule: schedule.clone(),
+                        seed: Some(iter_seed),
+                        trace: res.trace.clone(),
+                    });
+                }
+                if self.config.stop_on_bug {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn run_replay(
+        &self,
+        name: &str,
+        scenario: &Arc<dyn Fn() + Send + Sync>,
+        schedule: &Schedule,
+    ) -> Outcome {
+        let mut chooser = ReplayChooser { decisions: schedule.0.clone(), pos: 0 };
+        let res = run_one(scenario, &mut chooser, self.config.max_steps);
+        let mut out = Outcome { name: name.to_string(), executions: 1, ..Outcome::default() };
+        out.facts.extend(res.facts);
+        let replayed = Schedule(res.schedule).to_string();
+        for b in &res.bugs {
+            out.bugs.push(BugReport {
+                kind: b.kind,
+                message: b.message.clone(),
+                schedule: replayed.clone(),
+                seed: None,
+                trace: res.trace.clone(),
+            });
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS chooser: records a stack of decision nodes; replays the prefix, takes
+// the first unexplored alternative at the deepest branch, and prunes via
+// sleep sets and the preemption budget.
+
+enum Rec {
+    Thread(ThreadRec),
+    Value(ValueRec),
+}
+
+struct ThreadRec {
+    /// Enabled (tid, op) pairs as offered by the controller.
+    enabled: Vec<(usize, Op)>,
+    /// Sleep set on entry: tids whose exploration here is redundant.
+    sleep: Vec<(usize, Op)>,
+    /// Allowed choices (tids), continuation-first.
+    options: Vec<usize>,
+    /// Index into `options` of the choice taken on the current path.
+    next: usize,
+}
+
+struct ValueRec {
+    arity: usize,
+    next: usize,
+}
+
+struct DfsChooser {
+    bound: Option<usize>,
+    sleep_sets: bool,
+    stack: Vec<Rec>,
+    /// Current depth within the stack during an execution.
+    depth: usize,
+    /// Sleep set to install at the next new thread node.
+    sleep_cur: Vec<(usize, Op)>,
+    /// Remaining preemption budget on the current path.
+    budget: Option<usize>,
+}
+
+impl DfsChooser {
+    fn new(bound: Option<usize>, sleep_sets: bool) -> Self {
+        DfsChooser {
+            bound,
+            sleep_sets,
+            stack: Vec::new(),
+            depth: 0,
+            sleep_cur: Vec::new(),
+            budget: bound,
+        }
+    }
+
+    fn begin_execution(&mut self) {
+        self.depth = 0;
+        self.sleep_cur.clear();
+        self.budget = self.bound;
+    }
+
+    /// Move to the next unexplored branch; false when the space is done.
+    fn advance(&mut self) -> bool {
+        while let Some(rec) = self.stack.last_mut() {
+            match rec {
+                Rec::Thread(r) => {
+                    r.next += 1;
+                    if r.next < r.options.len() {
+                        return true;
+                    }
+                }
+                Rec::Value(r) => {
+                    r.next += 1;
+                    if r.next < r.arity {
+                        return true;
+                    }
+                }
+            }
+            self.stack.pop();
+        }
+        false
+    }
+
+    /// Apply the bookkeeping shared by replayed and fresh choices: compute
+    /// the child sleep set and charge the preemption budget.
+    fn descend(&mut self, rec_idx: usize, chosen: usize, last: Option<usize>) {
+        let Rec::Thread(r) = &self.stack[rec_idx] else {
+            unreachable!("descend on a value record");
+        };
+        let chosen_op = r
+            .enabled
+            .iter()
+            .find(|(t, _)| *t == chosen)
+            .map(|(_, op)| op.clone())
+            .expect("chosen tid not in enabled set");
+        if self.sleep_sets {
+            // Sleep for the child: everything asleep here, plus the
+            // siblings already explored, minus whatever depends on the op
+            // we are about to execute (those become meaningful again).
+            let mut pool: Vec<(usize, Op)> = r.sleep.clone();
+            for &t in &r.options[..r.next] {
+                if let Some((_, op)) = r.enabled.iter().find(|(et, _)| *et == t) {
+                    pool.push((t, op.clone()));
+                }
+            }
+            pool.retain(|(t, op)| *t != chosen && !dependent(op, &chosen_op));
+            self.sleep_cur = pool;
+        }
+        if let (Some(b), Some(l)) = (self.budget, last) {
+            let last_enabled = r.enabled.iter().any(|(t, _)| *t == l);
+            if last_enabled && chosen != l {
+                self.budget = Some(b.saturating_sub(1));
+            }
+        }
+        self.depth += 1;
+    }
+}
+
+impl Chooser for DfsChooser {
+    fn choose_thread(&mut self, enabled: &[(usize, Op)], last: Option<usize>) -> Option<usize> {
+        if self.depth < self.stack.len() {
+            // Replay the recorded prefix.
+            let idx = self.depth;
+            let chosen = {
+                let Rec::Thread(r) = &self.stack[idx] else {
+                    unreachable!("decision kind mismatch on replay (thread)");
+                };
+                debug_assert_eq!(r.enabled, enabled, "non-deterministic scenario");
+                r.options[r.next]
+            };
+            self.descend(idx, chosen, last);
+            return Some(chosen);
+        }
+        // Fresh node.
+        let sleep: Vec<(usize, Op)> = if self.sleep_sets {
+            std::mem::take(&mut self.sleep_cur)
+                .into_iter()
+                .filter(|(t, _)| enabled.iter().any(|(et, _)| et == t))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut options: Vec<usize> = enabled
+            .iter()
+            .map(|(t, _)| *t)
+            .filter(|t| !sleep.iter().any(|(st, _)| st == t))
+            .collect();
+        // Preemption budget exhausted: only continuing `last` stays free.
+        if let (Some(0), Some(l)) = (self.budget, last) {
+            if enabled.iter().any(|(t, _)| *t == l) {
+                options.retain(|&t| t == l);
+            }
+        }
+        // Continuation-first keeps the first path preemption-free.
+        if let Some(l) = last {
+            options.sort_by_key(|&t| (t != l, t));
+        }
+        if options.is_empty() {
+            // Every choice is asleep (or over budget): this subtree is
+            // covered by a sibling; prune.
+            return None;
+        }
+        self.stack.push(Rec::Thread(ThreadRec {
+            enabled: enabled.to_vec(),
+            sleep,
+            options,
+            next: 0,
+        }));
+        let idx = self.stack.len() - 1;
+        let Rec::Thread(r) = &self.stack[idx] else {
+            unreachable!();
+        };
+        let chosen = r.options[0];
+        self.descend(idx, chosen, last);
+        Some(chosen)
+    }
+
+    fn choose_value(&mut self, arity: usize) -> usize {
+        if self.depth < self.stack.len() {
+            let Rec::Value(r) = &self.stack[self.depth] else {
+                unreachable!("decision kind mismatch on replay (value)");
+            };
+            debug_assert_eq!(r.arity, arity, "non-deterministic scenario");
+            let k = r.next;
+            self.depth += 1;
+            return k;
+        }
+        self.stack.push(Rec::Value(ValueRec { arity, next: 0 }));
+        self.depth += 1;
+        0
+    }
+}
+
+struct RandomChooser {
+    rng: SplitMix64,
+}
+
+impl Chooser for RandomChooser {
+    fn choose_thread(&mut self, enabled: &[(usize, Op)], _last: Option<usize>) -> Option<usize> {
+        Some(enabled[self.rng.below(enabled.len())].0)
+    }
+
+    fn choose_value(&mut self, arity: usize) -> usize {
+        self.rng.below(arity)
+    }
+}
+
+struct ReplayChooser {
+    decisions: Vec<Decision>,
+    pos: usize,
+}
+
+impl Chooser for ReplayChooser {
+    fn choose_thread(&mut self, enabled: &[(usize, Op)], _last: Option<usize>) -> Option<usize> {
+        let want = match self.decisions.get(self.pos) {
+            Some(Decision::Thread(t)) => {
+                self.pos += 1;
+                Some(*t)
+            }
+            _ => None,
+        };
+        match want {
+            Some(t) if enabled.iter().any(|(et, _)| *et == t) => Some(t),
+            // Schedule exhausted or diverged: fall back to the first
+            // enabled thread so the execution still completes.
+            _ => Some(enabled[0].0),
+        }
+    }
+
+    fn choose_value(&mut self, arity: usize) -> usize {
+        match self.decisions.get(self.pos) {
+            Some(Decision::Value(k)) => {
+                self.pos += 1;
+                (*k).min(arity - 1)
+            }
+            _ => 0,
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # speedybox-check: deterministic concurrency model checking
+//!
+//! A loom/shuttle-style stateless model checker, dependency-free, built to
+//! verify the three load-bearing concurrent protocols in this repository
+//! (the vendored arcswap RCU cell, the `FlowTable` slab, and classifier
+//! generation publication — see DESIGN.md §14).
+//!
+//! ## How it works
+//!
+//! A *scenario* is a closure that builds model objects ([`ModelAtomicUsize`],
+//! [`ModelArc`], [`ModelMutex`]) and spawns model threads with
+//! [`spawn`]. Every operation on a model object is a scheduling point: the
+//! checker runs exactly one thread between two points, so an execution is
+//! fully described by the sequence of (thread, load-candidate) decisions —
+//! a [`Schedule`] — and replays deterministically.
+//!
+//! The explorer enumerates schedules exhaustively up to a preemption bound
+//! with sleep-set pruning ([`Config::exhaustive`]), or samples them with a
+//! seeded random walk ([`Config::random`]). Oracles catch panics (failed
+//! scenario assertions), use-after-free and double-free through the raw
+//! refcount API, leaks, deadlocks, and runaway executions.
+//!
+//! ## What is modelled
+//!
+//! Atomics keep their full store history. `SeqCst` operations read the
+//! newest store (scheduler order is their total order); `Acquire`/`Relaxed`
+//! loads may read any store at or after the thread's per-location view,
+//! and the choice is an explored branch — weakening an ordering therefore
+//! *adds* behaviours the explorer will find. Release stores publish the
+//! writer's view; acquire loads that read them join it. RMWs read the
+//! newest store (coherence). This is a documented simplification of C11 —
+//! no release sequences, no fences, and `SeqCst` is modelled stronger than
+//! the standard requires — sound for bug *absence* only within these rules
+//! (DESIGN.md §14 spells out the limits).
+
+#![forbid(unsafe_code)]
+
+mod arc;
+mod exec;
+mod explorer;
+mod mutex;
+mod rng;
+mod schedule;
+pub mod sync;
+
+pub use arc::{raw_drop, raw_increment_strong_count, raw_read, ModelArc, RawId};
+pub use exec::{fact, spawn, BugKind, Decision, JoinHandle, Ordering};
+pub use explorer::{BugReport, Checker, Config, Mode, Outcome};
+pub use mutex::{ModelMutex, ModelMutexGuard};
+pub use schedule::Schedule;
+pub use sync::{ModelAtomicBool, ModelAtomicU32, ModelAtomicU64, ModelAtomicUsize};
+
+/// Check a scenario exhaustively with the given preemption bound and
+/// panic on any violation; the common happy path for tests.
+pub fn check_exhaustive<F>(name: &str, preemption_bound: usize, scenario: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let out = Checker::new(Config::exhaustive(preemption_bound)).check(name, scenario);
+    out.assert_clean();
+    out
+}
+
+/// Run a scenario once under a printed schedule, returning what was found.
+pub fn replay<F>(name: &str, schedule: &str, scenario: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let parsed: Schedule = schedule.parse().expect("invalid schedule string");
+    Checker::new(Config::replay(parsed)).check(name, scenario)
+}

@@ -1,0 +1,58 @@
+//! Model mutex. Lock/unlock are scheduling points; a `Lock` op is only
+//! enabled while the mutex is free, so blocked threads simply stay parked
+//! (and a cycle of them is reported by the deadlock oracle). The data
+//! itself sits in a real `std::sync::Mutex` that is uncontended by
+//! construction — only the granted owner ever touches it.
+
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdGuard;
+
+use crate::exec::{ctx, Op};
+
+pub struct ModelMutex<T> {
+    id: usize,
+    data: StdMutex<T>,
+}
+
+impl<T> ModelMutex<T> {
+    pub fn new(label: &str, value: T) -> Self {
+        let (exec, _) = ctx();
+        let id = exec.with_state(|g| g.register_mutex(label.to_string()));
+        ModelMutex { id, data: StdMutex::new(value) }
+    }
+
+    pub fn lock(&self) -> ModelMutexGuard<'_, T> {
+        let (exec, me) = ctx();
+        exec.yield_op(me, Op::Lock { mutex: self.id });
+        let inner = self.data.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        ModelMutexGuard { inner: Some(inner), id: self.id }
+    }
+}
+
+pub struct ModelMutexGuard<'a, T> {
+    inner: Option<StdGuard<'a, T>>,
+    id: usize,
+}
+
+impl<T> std::ops::Deref for ModelMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for ModelMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for ModelMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data guard before the model unlock so the next owner
+        // (granted only after the Unlock op executes) finds it free.
+        self.inner.take();
+        let (exec, me) = ctx();
+        exec.yield_op(me, Op::Unlock { mutex: self.id });
+    }
+}

@@ -1,0 +1,56 @@
+//! Printable, replayable schedules. A schedule is the exact decision
+//! sequence of one execution: `t<tid>` grants a thread, `v<k>` picks load
+//! candidate `k` (0 = newest visible store). `"t0.t1.v1.t0"` replays
+//! deterministically via [`crate::Mode::Replay`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::exec::Decision;
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule(pub Vec<Decision>);
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            match d {
+                Decision::Thread(t) => write!(f, "t{t}")?,
+                Decision::Value(k) => write!(f, "v{k}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+pub struct ScheduleParseError(pub String);
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schedule token `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+impl FromStr for Schedule {
+    type Err = ScheduleParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = Vec::new();
+        for tok in s.split('.').filter(|t| !t.is_empty()) {
+            let (kind, num) = tok.split_at(1);
+            let n: usize = num.parse().map_err(|_| ScheduleParseError(tok.to_string()))?;
+            match kind {
+                "t" => out.push(Decision::Thread(n)),
+                "v" => out.push(Decision::Value(n)),
+                _ => return Err(ScheduleParseError(tok.to_string())),
+            }
+        }
+        Ok(Schedule(out))
+    }
+}

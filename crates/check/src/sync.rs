@@ -1,0 +1,114 @@
+//! Model atomics. Each operation is a scheduling point; loads with
+//! non-`SeqCst` ordering additionally branch over the visible store
+//! history (see `exec.rs` for the visibility rules).
+
+use crate::exec::{ctx, Op, Ordering, RmwKind, Value};
+
+macro_rules! model_atomic {
+    ($name:ident, $prim:ty) => {
+        /// Virtual atomic: the value lives in the execution's store
+        /// history, not in the struct.
+        pub struct $name {
+            loc: usize,
+        }
+
+        // Model values are `u64`; narrowing back to the fronting type is
+        // lossless by construction (the model only ever holds values the
+        // fronting type stored or wrapped).
+        #[allow(clippy::cast_possible_truncation)]
+        impl $name {
+            /// Register a new atomic. `label` names it in traces.
+            pub fn new(label: &str, init: $prim) -> Self {
+                let (exec, _) = ctx();
+                let loc = exec.with_state(|g| g.register_atomic(label.to_string(), init as Value));
+                $name { loc }
+            }
+
+            pub fn load(&self, ord: Ordering) -> $prim {
+                let (exec, me) = ctx();
+                exec.yield_op(me, Op::Load { loc: self.loc, ord }).val as $prim
+            }
+
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                let (exec, me) = ctx();
+                exec.yield_op(me, Op::Store { loc: self.loc, ord, val: val as Value });
+            }
+
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                self.rmw(RmwKind::Swap(val as Value), ord).0 as $prim
+            }
+
+            pub fn fetch_add(&self, d: $prim, ord: Ordering) -> $prim {
+                self.rmw(RmwKind::FetchAdd(d as Value), ord).0 as $prim
+            }
+
+            pub fn fetch_sub(&self, d: $prim, ord: Ordering) -> $prim {
+                self.rmw(RmwKind::FetchSub(d as Value), ord).0 as $prim
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expect: $prim,
+                new: $prim,
+                ord: Ordering,
+                _fail: Ordering,
+            ) -> Result<$prim, $prim> {
+                let (old, ok) = self.rmw(
+                    RmwKind::CompareExchange { expect: expect as Value, new: new as Value },
+                    ord,
+                );
+                if ok {
+                    Ok(old as $prim)
+                } else {
+                    Err(old as $prim)
+                }
+            }
+
+            fn rmw(&self, kind: RmwKind, ord: Ordering) -> (Value, bool) {
+                let (exec, me) = ctx();
+                let r = exec.yield_op(me, Op::Rmw { loc: self.loc, ord, kind });
+                (r.val, r.ok)
+            }
+        }
+    };
+}
+
+model_atomic!(ModelAtomicUsize, usize);
+model_atomic!(ModelAtomicU64, u64);
+model_atomic!(ModelAtomicU32, u32);
+
+/// Boolean atomic built on the same machinery (0 = false, 1 = true).
+pub struct ModelAtomicBool {
+    inner: ModelAtomicU64,
+}
+
+impl ModelAtomicBool {
+    pub fn new(label: &str, init: bool) -> Self {
+        ModelAtomicBool { inner: ModelAtomicU64::new(label, u64::from(init)) }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.inner.load(ord) != 0
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        self.inner.store(u64::from(val), ord);
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        self.inner.swap(u64::from(val), ord) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expect: bool,
+        new: bool,
+        ord: Ordering,
+        fail: Ordering,
+    ) -> Result<bool, bool> {
+        self.inner
+            .compare_exchange(u64::from(expect), u64::from(new), ord, fail)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}

@@ -1,0 +1,292 @@
+//! Framework litmus tests: before trusting the checker on the SpeedyBox
+//! protocols, prove it (a) explores enough schedules to find classic weak-
+//! memory behaviours, (b) does not invent behaviours strong orderings
+//! forbid, and (c) replays printed schedules deterministically.
+
+use std::sync::Arc as StdArc;
+
+use speedybox_check::{
+    check_exhaustive, fact, spawn, BugKind, Checker, Config, ModelArc, ModelAtomicUsize,
+    ModelMutex, Ordering,
+};
+
+/// Store buffering (Dekker): with SeqCst everywhere, both threads reading
+/// 0 is impossible — the checker must never observe it.
+#[test]
+fn store_buffering_seqcst_is_sc() {
+    let out = check_exhaustive("sb-seqcst", 4, || {
+        let x = StdArc::new(ModelAtomicUsize::new("x", 0));
+        let y = StdArc::new(ModelAtomicUsize::new("y", 0));
+        let (x1, y1) = (x.clone(), y.clone());
+        let a = spawn(move || {
+            x1.store(1, Ordering::SeqCst);
+            y1.load(Ordering::SeqCst)
+        });
+        let b = spawn(move || {
+            y.store(1, Ordering::SeqCst);
+            x.load(Ordering::SeqCst)
+        });
+        let (ra, rb) = (a.join(), b.join());
+        assert!(!(ra == 0 && rb == 0), "SeqCst store buffering produced r1=r2=0");
+        if ra == 0 || rb == 0 {
+            fact("one thread read 0");
+        }
+    });
+    // Sanity: the interesting interleaving (one stale side) is reachable.
+    out.assert_fact("one thread read 0");
+}
+
+/// The same shape with Relaxed loads must exhibit r1=r2=0 in at least one
+/// explored schedule — this is what proves stale-read branching works.
+#[test]
+fn store_buffering_relaxed_reorders() {
+    let out = check_exhaustive("sb-relaxed", 4, || {
+        let x = StdArc::new(ModelAtomicUsize::new("x", 0));
+        let y = StdArc::new(ModelAtomicUsize::new("y", 0));
+        let (x1, y1) = (x.clone(), y.clone());
+        let a = spawn(move || {
+            x1.store(1, Ordering::Relaxed);
+            y1.load(Ordering::Relaxed)
+        });
+        let b = spawn(move || {
+            y.store(1, Ordering::Relaxed);
+            x.load(Ordering::Relaxed)
+        });
+        if a.join() == 0 && b.join() == 0 {
+            fact("both read 0");
+        }
+    });
+    out.assert_fact("both read 0");
+}
+
+/// Message passing: release store of the flag publishes the relaxed data
+/// store; an acquire reader that sees the flag must see the data.
+#[test]
+fn message_passing_release_acquire() {
+    check_exhaustive("mp-rel-acq", 4, || {
+        let data = StdArc::new(ModelAtomicUsize::new("data", 0));
+        let flag = StdArc::new(ModelAtomicUsize::new("flag", 0));
+        let (d1, f1) = (data.clone(), flag.clone());
+        let w = spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Release);
+        });
+        let r = spawn(move || {
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(
+                    data.load(Ordering::Relaxed),
+                    42,
+                    "acquire read the flag but not the data"
+                );
+            }
+        });
+        w.join();
+        r.join();
+    });
+}
+
+/// Mutation twin of the above: a Relaxed flag store publishes nothing, so
+/// the stale-data read must surface as a caught panic.
+#[test]
+fn message_passing_relaxed_flag_is_caught() {
+    let out = Checker::new(Config::exhaustive(4)).check("mp-relaxed-twin", || {
+        let data = StdArc::new(ModelAtomicUsize::new("data", 0));
+        let flag = StdArc::new(ModelAtomicUsize::new("flag", 0));
+        let (d1, f1) = (data.clone(), flag.clone());
+        let w = spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Relaxed); // seeded bug: Release -> Relaxed
+        });
+        let r = spawn(move || {
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data");
+            }
+        });
+        w.join();
+        r.join();
+    });
+    let bug = out.expect_bug(BugKind::Panic).clone();
+
+    // The printed schedule must replay to the same violation.
+    let replayed = speedybox_check::replay("mp-relaxed-twin-replay", &bug.schedule, || {
+        let data = StdArc::new(ModelAtomicUsize::new("data", 0));
+        let flag = StdArc::new(ModelAtomicUsize::new("flag", 0));
+        let (d1, f1) = (data.clone(), flag.clone());
+        let w = spawn(move || {
+            d1.store(42, Ordering::Relaxed);
+            f1.store(1, Ordering::Relaxed);
+        });
+        let r = spawn(move || {
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data");
+            }
+        });
+        w.join();
+        r.join();
+    });
+    replayed.expect_bug(BugKind::Panic);
+}
+
+/// Lost update: unsynchronized load+store (not an RMW) must lose an
+/// increment in some schedule, while fetch_add never does.
+#[test]
+fn lost_update_vs_rmw() {
+    let out = check_exhaustive("lost-update", 4, || {
+        let c = StdArc::new(ModelAtomicUsize::new("c", 0));
+        let c1 = c.clone();
+        let a = spawn(move || {
+            let v = c1.load(Ordering::SeqCst);
+            c1.store(v + 1, Ordering::SeqCst);
+        });
+        let c2 = c.clone();
+        let b = spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        a.join();
+        b.join();
+        if c.load(Ordering::SeqCst) == 1 {
+            fact("update lost");
+        }
+    });
+    out.assert_fact("update lost");
+
+    check_exhaustive("rmw-no-lost-update", 4, || {
+        let c = StdArc::new(ModelAtomicUsize::new("c", 0));
+        let c1 = c.clone();
+        let a = spawn(move || {
+            c1.fetch_add(1, Ordering::SeqCst);
+        });
+        let c2 = c.clone();
+        let b = spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        a.join();
+        b.join();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "fetch_add lost an update");
+    });
+}
+
+/// Mutexes provide mutual exclusion and publish writes to the next owner.
+#[test]
+fn mutex_counter() {
+    check_exhaustive("mutex-counter", 4, || {
+        let m = StdArc::new(ModelMutex::new("m", 0u64));
+        let m1 = m.clone();
+        let a = spawn(move || {
+            let mut g = m1.lock();
+            *g += 1;
+        });
+        let m2 = m.clone();
+        let b = spawn(move || {
+            let mut g = m2.lock();
+            *g += 1;
+        });
+        a.join();
+        b.join();
+        assert_eq!(*m.lock(), 2);
+    });
+}
+
+/// AB-BA lock ordering must be reported by the deadlock oracle.
+#[test]
+fn abba_deadlock_detected() {
+    let out = Checker::new(Config::exhaustive(4)).check("abba", || {
+        let a = StdArc::new(ModelMutex::new("a", ()));
+        let b = StdArc::new(ModelMutex::new("b", ()));
+        let (a1, b1) = (a.clone(), b.clone());
+        let t1 = spawn(move || {
+            let _ga = a1.lock();
+            let _gb = b1.lock();
+        });
+        let t2 = spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        });
+        t1.join();
+        t2.join();
+    });
+    out.expect_bug(BugKind::Deadlock);
+}
+
+/// An allocation that is never released must trip the leak oracle.
+#[test]
+fn leak_detected() {
+    let out = Checker::new(Config::exhaustive(2)).check("leak", || {
+        let v = ModelArc::new("leaked", 7u64);
+        let _raw = v.into_raw(); // strong ref parked in a raw handle forever
+    });
+    out.expect_bug(BugKind::Leak);
+}
+
+/// Raw-handle misuse: freeing while a raw copy is still in use.
+#[test]
+fn use_after_free_detected() {
+    let out = Checker::new(Config::exhaustive(4)).check("uaf", || {
+        let v = ModelArc::new("v", 1u64);
+        let raw = v.into_raw();
+        let reader = spawn(move || {
+            // Mint a reference from the raw handle; races with the free.
+            speedybox_check::raw_increment_strong_count(raw);
+            speedybox_check::raw_drop(raw);
+        });
+        // Drop the only counted reference; frees if the reader lost.
+        speedybox_check::raw_drop(raw);
+        reader.join();
+    });
+    out.expect_bug(BugKind::UseAfterFree);
+}
+
+/// The random walk finds the relaxed store-buffering behaviour too, and
+/// reports the seed that did.
+#[test]
+fn random_walk_finds_weak_behaviour() {
+    let out = Checker::new(Config::random(0xC0FFEE, 300)).check("sb-relaxed-random", || {
+        let x = StdArc::new(ModelAtomicUsize::new("x", 0));
+        let y = StdArc::new(ModelAtomicUsize::new("y", 0));
+        let (x1, y1) = (x.clone(), y.clone());
+        let a = spawn(move || {
+            x1.store(1, Ordering::Relaxed);
+            y1.load(Ordering::Relaxed)
+        });
+        let b = spawn(move || {
+            y.store(1, Ordering::Relaxed);
+            x.load(Ordering::Relaxed)
+        });
+        if a.join() == 0 && b.join() == 0 {
+            fact("both read 0");
+        }
+    });
+    out.assert_fact("both read 0");
+}
+
+/// Sleep sets only prune redundant interleavings: the independent-ops
+/// scenario still explores both orders' single representative and the
+/// exploration count shrinks versus the unpruned run.
+#[test]
+fn sleep_sets_prune_but_preserve() {
+    let scenario = || {
+        let x = StdArc::new(ModelAtomicUsize::new("x", 0));
+        let y = StdArc::new(ModelAtomicUsize::new("y", 0));
+        let x1 = x.clone();
+        let a = spawn(move || x1.store(1, Ordering::SeqCst));
+        let y1 = y.clone();
+        let b = spawn(move || y1.store(1, Ordering::SeqCst));
+        a.join();
+        b.join();
+        assert_eq!(x.load(Ordering::SeqCst), 1);
+        assert_eq!(y.load(Ordering::SeqCst), 1);
+    };
+    let pruned = Checker::new(Config::exhaustive(8)).check("indep-pruned", scenario);
+    pruned.assert_clean();
+    let mut unpruned_cfg = Config::exhaustive(8);
+    unpruned_cfg.sleep_sets = false;
+    let unpruned = Checker::new(unpruned_cfg).check("indep-unpruned", scenario);
+    unpruned.assert_clean();
+    assert!(
+        pruned.executions < unpruned.executions,
+        "sleep sets failed to prune: {} vs {}",
+        pruned.executions,
+        unpruned.executions
+    );
+}

@@ -95,6 +95,16 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
+    /// Builds a program directly from micro-ops.
+    ///
+    /// [`compile`] is the production entry point; this constructor exists
+    /// for the static verifier's SBX012 bounds pass and for tests that
+    /// need programs `compile` would never emit.
+    #[must_use]
+    pub fn from_ops(ops: Vec<MicroOp>) -> Self {
+        CompiledProgram { ops }
+    }
+
     /// The lowered instruction sequence.
     #[must_use]
     pub fn ops(&self) -> &[MicroOp] {

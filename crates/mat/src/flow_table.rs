@@ -662,6 +662,7 @@ impl<T: Send + Sync> FlowTable<T> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::cast_possible_truncation)] // test data built from small constants
     use super::*;
 
     fn fid(n: u32) -> Fid {

@@ -49,7 +49,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![warn(clippy::needless_pass_by_value, clippy::redundant_clone, clippy::cast_possible_truncation)]
 
 pub mod action;
 pub mod api;
@@ -61,6 +60,8 @@ pub mod event;
 pub mod flow_table;
 pub mod global;
 pub mod local;
+#[cfg(feature = "model")]
+pub mod model;
 pub mod ops;
 pub mod parallel;
 pub mod state_fn;

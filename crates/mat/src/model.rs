@@ -1,0 +1,429 @@
+//! Model-checkable ports of the two concurrency-critical MAT protocols,
+//! built on `speedybox-check`'s virtual primitives so the checker can
+//! exhaustively enumerate interleavings within a preemption bound.
+//!
+//! Two protocols are distilled here:
+//!
+//! * [`FlowTableModel`] — the slab slot protocol of
+//!   [`crate::flow_table::FlowTable`], shrunk to one shard, two FIDs and
+//!   two slots but keeping every step that matters for the races: the
+//!   direct FID index (`AtomicU32` holding slot + 1), the per-slot RCU
+//!   value cell, the owner check on lookup, the shared-empty store that
+//!   retires cleared values, the free-list recycle, and the writer mutex
+//!   that serializes all structural changes. The proved invariants are the
+//!   eviction-vs-rewrite atomicity of
+//!   [`crate::flow_table::FlowTable::replace_if_present`] (a rewrite that
+//!   loses to an eviction must not resurrect the entry) and index/slot
+//!   agreement across slab recycling under a concurrent wait-free reader.
+//! * [`ClassifierModel`] — the rule-generation publication protocol of
+//!   [`crate::global::GlobalMat::process_batch`]'s flow-affinity memo: a
+//!   batch reader resolves a flow's rule once and serves same-flow
+//!   packets from the memo while the control plane republishes. The
+//!   proved invariants are memo-run generation consistency and liveness
+//!   of the memoized handle (the memo holds a strong clone, so a
+//!   republication plus drain cannot free it).
+//!
+//! Each model carries seeded-bug mutations ([`FtMutation`],
+//! [`ClMutation`]) that weaken the protocol the way a plausible
+//! refactoring would; the checker must catch every one, which is the
+//! evidence a clean run means something. The correspondence argument
+//! between these distillations and the real code is written out in
+//! DESIGN.md §14.
+
+use std::sync::Arc as StdArc;
+
+use arcswap::model::{ArcSwapModel, Mutation as CellMutation};
+use speedybox_check::{fact, raw_read, ModelArc, ModelAtomicUsize, ModelMutex, Ordering};
+
+/// FIDs used by the distilled flow-table model.
+const FIDS: usize = 2;
+/// Slab slots. Two are enough to express recycling.
+const SLOTS: usize = 2;
+
+/// A slot's published state: empty, or `(owner fid, value)` — the model
+/// twin of `flow_table::SlotVal`.
+type SlotVal = Option<(usize, u64)>;
+
+/// Seeded bugs for the flow-table slot protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FtMutation {
+    /// Faithful port of the shipped protocol.
+    None,
+    /// `replace_if_present` releases the writer lock between its index
+    /// check and its store — the TOCTOU a "shorten the critical section"
+    /// refactoring would introduce. A rewrite can then lose to an
+    /// eviction yet still publish, resurrecting the entry into a freed
+    /// (and recyclable) slot.
+    ToctouReplace,
+    /// `clear_slot` forgets to reset the FID index cell, leaving the
+    /// index pointing at an empty (and soon recycled) slot.
+    SkipIndexReset,
+}
+
+/// Mutable shard-writer state, serialized behind the writer mutex —
+/// the model twin of `flow_table::ShardWriter` (no timer wheel: recency
+/// is not part of the proved invariants).
+struct Writer {
+    free: Vec<usize>,
+    allocated: usize,
+    live: usize,
+}
+
+/// Distilled one-shard [`crate::flow_table::FlowTable`]. See module docs
+/// for what is kept and what is elided.
+pub struct FlowTableModel {
+    /// `index[fid]` holds slot + 1, or 0 when the FID is absent — the
+    /// model twin of the `AtomicU32` FID-index cells.
+    index: [ModelAtomicUsize; FIDS],
+    /// Slot value cells, each the model twin of `Slot::val`.
+    slots: [ArcSwapModel<SlotVal>; SLOTS],
+    writer: ModelMutex<Writer>,
+    /// Shared empty value: clearing a slot stores a clone of this, which
+    /// retires the old `(fid, value)` through the slot's RCU path —
+    /// exactly like `FlowTable::empty`.
+    empty: ModelArc<SlotVal>,
+    mutation: FtMutation,
+}
+
+impl std::fmt::Debug for FlowTableModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowTableModel").field("mutation", &self.mutation).finish_non_exhaustive()
+    }
+}
+
+impl FlowTableModel {
+    /// Creates the empty distilled table (must run inside a checker
+    /// execution).
+    pub fn new(mutation: FtMutation) -> Self {
+        FlowTableModel {
+            index: [ModelAtomicUsize::new("ft.index0", 0), ModelAtomicUsize::new("ft.index1", 0)],
+            slots: [
+                ArcSwapModel::new("ft.slot0.empty", None, CellMutation::None),
+                ArcSwapModel::new("ft.slot1.empty", None, CellMutation::None),
+            ],
+            writer: ModelMutex::new(
+                "ft.writer",
+                Writer { free: Vec::new(), allocated: 0, live: 0 },
+            ),
+            empty: ModelArc::new("ft.empty", None),
+            mutation,
+        }
+    }
+
+    /// Mirror of `FlowTable::lookup`: index load, slot cell load, owner
+    /// check. Wait-free — never touches the writer mutex.
+    pub fn lookup(&self, fid: usize) -> Option<u64> {
+        let slot_plus_one = self.index[fid].load(Ordering::SeqCst);
+        if slot_plus_one == 0 {
+            return None;
+        }
+        let val = self.slots[slot_plus_one - 1].load();
+        match val.value() {
+            // Owner check: the slot may have been recycled to a different
+            // FID between the index load and the cell load; a mismatch
+            // linearizes as "absent".
+            Some((owner, value)) if *owner == fid => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Mirror of `FlowTable::insert` (fresh-entry path plus in-place
+    /// replace), minus capacity/eviction policy.
+    pub fn insert(&self, fid: usize, value: u64) {
+        let mut w = self.writer.lock();
+        let slot_plus_one = self.index[fid].load(Ordering::SeqCst);
+        if slot_plus_one != 0 {
+            // In-place replace: the old value retires through the slot's
+            // RCU cell.
+            self.slots[slot_plus_one - 1].store(ModelArc::new("ft.val", Some((fid, value))));
+            return;
+        }
+        let slot = w.free.pop().unwrap_or_else(|| {
+            let s = w.allocated;
+            w.allocated += 1;
+            s
+        });
+        // Publish order matters and matches `FlowTable::publish`: value
+        // first, then the index — a reader racing the index store must
+        // find either nothing or the fully published entry.
+        self.slots[slot].store(ModelArc::new("ft.val", Some((fid, value))));
+        self.index[fid].store(slot + 1, Ordering::SeqCst);
+        w.live += 1;
+    }
+
+    /// Mirror of `FlowTable::remove` / the eviction half of `clear_slot`.
+    pub fn remove(&self, fid: usize) -> bool {
+        let mut w = self.writer.lock();
+        let slot_plus_one = self.index[fid].load(Ordering::SeqCst);
+        if slot_plus_one == 0 {
+            return false;
+        }
+        self.clear_slot(&mut w, fid, slot_plus_one - 1);
+        true
+    }
+
+    /// Mirror of `FlowTable::clear_slot`: store the shared empty (which
+    /// retires the old value through the RCU path), reset the index,
+    /// recycle the slot. Caller holds the writer lock.
+    fn clear_slot(&self, w: &mut Writer, fid: usize, slot: usize) {
+        self.slots[slot].store(self.empty.clone());
+        if self.mutation != FtMutation::SkipIndexReset {
+            self.index[fid].store(0, Ordering::SeqCst);
+        }
+        w.free.push(slot);
+        w.live -= 1;
+    }
+
+    /// Mirror of `FlowTable::replace_if_present`: replace the entry only
+    /// if the flow is still present, atomically with respect to evictions
+    /// — the primitive that keeps a lost rewrite from resurrecting a rule
+    /// whose Local MATs were already torn down.
+    pub fn replace_if_present(&self, fid: usize, value: u64) -> bool {
+        if self.mutation == FtMutation::ToctouReplace {
+            // Seeded bug: check and store in separate critical sections.
+            let slot = {
+                let _w = self.writer.lock();
+                let slot_plus_one = self.index[fid].load(Ordering::SeqCst);
+                if slot_plus_one == 0 {
+                    return false;
+                }
+                slot_plus_one - 1
+            };
+            let _w = self.writer.lock();
+            self.slots[slot].store(ModelArc::new("ft.val", Some((fid, value))));
+            return true;
+        }
+        let _w = self.writer.lock();
+        let slot_plus_one = self.index[fid].load(Ordering::SeqCst);
+        if slot_plus_one == 0 {
+            return false;
+        }
+        self.slots[slot_plus_one - 1].store(ModelArc::new("ft.val", Some((fid, value))));
+        true
+    }
+
+    /// Quiescent-state invariant: the index and the slots agree. Checked
+    /// by scenarios after all racing threads joined, so a violation means
+    /// a race left the table permanently inconsistent (not merely a
+    /// transiently stale view).
+    pub fn check_consistency(&self) {
+        for fid in 0..FIDS {
+            let slot_plus_one = self.index[fid].load(Ordering::SeqCst);
+            if slot_plus_one == 0 {
+                continue;
+            }
+            let val = self.slots[slot_plus_one - 1].load();
+            match val.value() {
+                Some((owner, _)) => {
+                    assert_eq!(*owner, fid, "index[{fid}] points at a slot owned by fid {owner}")
+                }
+                None => panic!("index[{fid}] points at an empty slot"),
+            }
+        }
+        for slot in 0..SLOTS {
+            let val = self.slots[slot].load();
+            if let Some((owner, _)) = val.value() {
+                assert_eq!(
+                    self.index[*owner].load(Ordering::SeqCst),
+                    slot + 1,
+                    "slot {slot} holds fid {owner} but the index does not point at it \
+                     (resurrected entry)"
+                );
+            }
+        }
+    }
+
+    /// Retired slot values not yet reclaimed, summed over the slots — the
+    /// model twin of `FlowTable::pending_generations`.
+    pub fn pending_generations(&self) -> usize {
+        self.slots.iter().map(ArcSwapModel::pending).sum()
+    }
+
+    /// Model twin of `FlowTable::collect_generations`.
+    pub fn collect_generations(&self) -> usize {
+        self.slots.iter().map(ArcSwapModel::collect).sum()
+    }
+}
+
+/// Seeded bugs for the classifier/batch affinity-memo protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClMutation {
+    /// Faithful port: the memo holds a strong clone of the rule handle.
+    None,
+    /// The memo caches the raw allocation handle instead of a clone —
+    /// the "avoid the refcount bump per packet" optimization. A
+    /// republication plus drain between two same-flow packets then frees
+    /// the memoized rule under the batch.
+    MemoRawHandle,
+}
+
+/// Distilled rule-publication cell for one flow: the model twin of the
+/// Global MAT's per-flow rule slot as seen by
+/// [`crate::global::GlobalMat::process_batch`]'s affinity memo.
+pub struct ClassifierModel {
+    rule: ArcSwapModel<u64>,
+}
+
+impl std::fmt::Debug for ClassifierModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassifierModel").finish_non_exhaustive()
+    }
+}
+
+impl ClassifierModel {
+    /// Creates the cell publishing generation 0 (must run inside a
+    /// checker execution).
+    pub fn new() -> Self {
+        ClassifierModel { rule: ArcSwapModel::new("rule-g0", 0, CellMutation::None) }
+    }
+
+    /// Mirror of the batch fast path for a two-packet same-flow run: the
+    /// first packet resolves the rule through the cell, the memo serves
+    /// the second. Returns `(first, second)` generation observations.
+    pub fn batch_of_two(&self, mutation: ClMutation) -> (u64, u64) {
+        let resolved = self.rule.load();
+        let first = *resolved.value();
+        match mutation {
+            ClMutation::None => {
+                // The memo is a strong clone (`Arc::clone` in
+                // `process_batch`); the resolved guard itself is dropped,
+                // as the real code drops its temporaries.
+                let memo = resolved.clone();
+                drop(resolved);
+                let second = *memo.value();
+                (first, second)
+            }
+            ClMutation::MemoRawHandle => {
+                // Seeded bug: cache the raw handle, drop the strong
+                // reference, dereference later.
+                let raw = resolved.raw_id();
+                drop(resolved);
+                let second = raw_read::<u64>(raw);
+                (first, second)
+            }
+        }
+    }
+
+    /// Control-plane republication: publish generation `gen`.
+    pub fn republish(&self, gen: u64) {
+        self.rule.store(ModelArc::new("rule-g1", gen));
+    }
+
+    /// Retired rule generations not yet reclaimed.
+    pub fn pending(&self) -> usize {
+        self.rule.pending()
+    }
+
+    /// Attempts to reclaim retired generations; returns how many freed.
+    pub fn collect(&self) -> usize {
+        self.rule.collect()
+    }
+}
+
+impl Default for ClassifierModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Checker scenarios over the MAT models, shared by the `cargo test`
+/// exhaustive tier (tests/model_flow_table.rs, tests/model_classifier.rs)
+/// and the `speedybox-check` binary.
+pub mod scenarios {
+    use super::*;
+
+    /// Eviction racing a conditional rewrite on the same flow. In every
+    /// schedule the quiescent table must be consistent: either the
+    /// rewrite won (entry present, indexed, owned by the flow) or the
+    /// eviction won (entry absent, slot free) — never a resurrected
+    /// entry in a freed slot. [`FtMutation::ToctouReplace`] must be
+    /// caught by the consistency check.
+    pub fn ft_evict_vs_rewrite(mutation: FtMutation) -> impl Fn() + Send + Sync + 'static {
+        move || {
+            let table = StdArc::new(FlowTableModel::new(mutation));
+            table.insert(0, 10);
+            let t = table.clone();
+            let evictor = speedybox_check::spawn(move || {
+                if t.remove(0) {
+                    fact("eviction won the race");
+                }
+            });
+            let t = table.clone();
+            let rewriter = speedybox_check::spawn(move || {
+                if t.replace_if_present(0, 11) {
+                    fact("rewrite found the flow present");
+                }
+            });
+            evictor.join();
+            rewriter.join();
+            table.check_consistency();
+            // Whatever the outcome, retired values must drain now.
+            table.collect_generations();
+            assert_eq!(table.pending_generations(), 0, "retired backlog not drained");
+        }
+    }
+
+    /// A wait-free reader racing a remove + insert that recycles the
+    /// freed slot for a different flow. The reader must observe its FID's
+    /// value or a miss — never the other flow's value (the owner check),
+    /// and the quiescent index must agree with the slots.
+    /// [`FtMutation::SkipIndexReset`] must be caught.
+    pub fn ft_recycle_vs_reader(mutation: FtMutation) -> impl Fn() + Send + Sync + 'static {
+        move || {
+            let table = StdArc::new(FlowTableModel::new(mutation));
+            table.insert(0, 10);
+            let t = table.clone();
+            let reader = speedybox_check::spawn(move || match t.lookup(0) {
+                Some(v) => {
+                    assert_eq!(v, 10, "reader observed another flow's value for fid 0");
+                    fact("reader hit before the recycle");
+                }
+                None => fact("reader missed (evicted or mid-recycle)"),
+            });
+            let t = table.clone();
+            let recycler = speedybox_check::spawn(move || {
+                t.remove(0);
+                // Recycles slot 0 for fid 1 through the free list.
+                t.insert(1, 20);
+            });
+            reader.join();
+            recycler.join();
+            table.check_consistency();
+            assert_eq!(table.lookup(1), Some(20), "recycled entry lost");
+            if mutation == FtMutation::None {
+                assert_eq!(table.lookup(0), None, "removed entry still resolves");
+            }
+            table.collect_generations();
+            assert_eq!(table.pending_generations(), 0, "retired backlog not drained");
+        }
+    }
+
+    /// A batch's two-packet same-flow memo run racing a rule
+    /// republication. Invariants: the memo run observes one consistent
+    /// generation, and the memoized handle stays alive across the
+    /// republication and its drain. [`ClMutation::MemoRawHandle`] must be
+    /// caught as a use-after-free.
+    pub fn cl_memo_vs_republish(mutation: ClMutation) -> impl Fn() + Send + Sync + 'static {
+        move || {
+            let cl = StdArc::new(ClassifierModel::new());
+            let c = cl.clone();
+            let batch = speedybox_check::spawn(move || {
+                let (first, second) = c.batch_of_two(mutation);
+                assert_eq!(first, second, "memo run saw two generations");
+                if first == 0 {
+                    fact("memo pinned the pre-publication rule");
+                } else {
+                    fact("batch began after republication");
+                }
+            });
+            let c = cl.clone();
+            let publisher = speedybox_check::spawn(move || {
+                c.republish(1);
+            });
+            batch.join();
+            publisher.join();
+            cl.collect();
+            assert_eq!(cl.pending(), 0, "retired rule generation not drained");
+        }
+    }
+}

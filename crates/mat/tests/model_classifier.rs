@@ -1,0 +1,41 @@
+//! Exhaustive model-check tier for the batch affinity-memo protocol
+//! (runs under plain `cargo test`; CI's `model-check` job runs exactly
+//! this).
+//!
+//! Clean runs prove memo-run generation consistency and memo-handle
+//! liveness across a concurrent rule republication; the mutation twin
+//! proves a raw-handle memo is caught as a use-after-free with a
+//! deterministically replayable schedule.
+#![cfg(feature = "model")]
+
+use speedybox_check::{BugKind, Checker, Config};
+use speedybox_mat::model::{scenarios, ClMutation};
+
+const BOUND: usize = 3;
+
+#[test]
+fn memo_vs_republish_is_clean() {
+    let out = Checker::new(Config::exhaustive(BOUND))
+        .check("cl-memo-vs-republish", scenarios::cl_memo_vs_republish(ClMutation::None));
+    out.assert_clean();
+    // Both interleavings of the memo run and the republication are
+    // reachable: the memo pinning the old generation, and the batch
+    // starting on the new one.
+    out.assert_fact("memo pinned the pre-publication rule");
+    out.assert_fact("batch began after republication");
+}
+
+#[test]
+fn mutation_memo_raw_handle_is_caught() {
+    let out = Checker::new(Config::exhaustive(BOUND))
+        .check("cl-memo-raw-handle", scenarios::cl_memo_vs_republish(ClMutation::MemoRawHandle));
+    let bug = out.expect_bug(BugKind::UseAfterFree).clone();
+    assert!(!bug.schedule.is_empty() && !bug.trace.is_empty());
+    let replayed = Checker::new(Config::replay(bug.schedule.parse().expect("schedule parses")))
+        .check("replay", scenarios::cl_memo_vs_republish(ClMutation::MemoRawHandle));
+    assert!(
+        replayed.bugs.iter().any(|b| b.kind == BugKind::UseAfterFree),
+        "schedule `{}` did not replay to the use-after-free",
+        bug.schedule
+    );
+}

@@ -4,6 +4,8 @@
 //! across L4 protocols, and across Event-Table rewrites — and the batched
 //! fast path's flow-affinity memo must never serve a stale rule.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

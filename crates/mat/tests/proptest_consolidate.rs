@@ -1,6 +1,8 @@
 //! Property-based tests for the consolidation algorithm and the parallel
 //! scheduler — the paper's central correctness claims.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -158,7 +160,7 @@ proptest! {
         let refs: Vec<&[u8]> = outputs.iter().map(Vec::as_slice).collect();
         let composed = xor_compose_all(base.as_bytes(), &refs);
 
-        let mut merged = base.clone();
+        let mut merged = base;
         for (f, v) in writes {
             merged.set_field(f, v).unwrap();
         }
@@ -246,7 +248,8 @@ proptest! {
         // One run = classify the stream and mirror the platform's MAT
         // bookkeeping (install on Initial, prepare on Subsequent, remove on
         // FIN); the observable trace must not depend on the shard count.
-        let run = |shards: usize| -> (Vec<(Fid, PacketClass, bool, u64)>, usize, usize, String) {
+        type TraceEntry = (Fid, PacketClass, bool, u64);
+        let run = |shards: usize| -> (Vec<TraceEntry>, usize, usize, String) {
             let classifier = PacketClassifier::with_shards(shards);
             let local = Arc::new(LocalMat::new(NfId::new(0)));
             let gm = GlobalMat::with_shards(vec![local.clone()], shards);

@@ -65,7 +65,8 @@ impl AhoCorasick {
                 state = match nodes[state as usize].child(byte) {
                     Some(next) => next,
                     None => {
-                        let next = nodes.len() as u32;
+                        let next = u32::try_from(nodes.len())
+                            .expect("automaton size bounded by total pattern bytes");
                         nodes.push(Node::default());
                         nodes[state as usize].children.push((byte, next));
                         next
@@ -255,7 +256,9 @@ mod tests {
         let mut seed = 0x12345u32;
         for _ in 0..2000 {
             seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
-            text.push(b'a' + (seed >> 16) as u8 % 3);
+            #[allow(clippy::cast_possible_truncation)] // reduced mod 3 below
+            let byte = (seed >> 16) as u8;
+            text.push(b'a' + byte % 3);
         }
         let got = ac.matching_patterns(&text);
         let want: Vec<usize> = patterns

@@ -77,7 +77,10 @@ impl State {
         let mut offset_skip: Vec<(usize, usize)> = Vec::with_capacity(healthy.len());
         for &i in &healthy {
             let name = &self.backends[i].name;
+            // `% m` bounds both values below the (usize) table size.
+            #[allow(clippy::cast_possible_truncation)]
             let offset = (hash_str(name, 1) % m as u64) as usize;
+            #[allow(clippy::cast_possible_truncation)]
             let skip = (hash_str(name, 2) % (m as u64 - 1)) as usize + 1;
             offset_skip.push((offset, skip));
         }
@@ -108,6 +111,8 @@ impl State {
         if self.table.is_empty() {
             return None;
         }
+        // `% len` bounds the slot below the (usize) table size.
+        #[allow(clippy::cast_possible_truncation)]
         let slot = (u64::from(fid.value()).wrapping_mul(0x9e37_79b9_7f4a_7c15)
             % self.table.len() as u64) as usize;
         Some(self.table[slot])

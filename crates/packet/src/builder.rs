@@ -149,6 +149,7 @@ impl PacketBuilder {
         }
         let ip = Ipv4 {
             tos: self.tos,
+            #[allow(clippy::cast_possible_truncation)] // payload is MTU-bounded
             total_len: (IPV4_LEN + l4_hdr + payload_len) as u16,
             ttl: self.ttl,
             protocol: self.protocol.number(),
@@ -174,6 +175,7 @@ impl PacketBuilder {
                 let udp = Udp {
                     src_port: self.src.port(),
                     dst_port: self.dst.port(),
+                    #[allow(clippy::cast_possible_truncation)] // payload is MTU-bounded
                     length: (UDP_LEN + payload_len) as u16,
                     checksum: 0,
                 };

@@ -39,6 +39,7 @@ pub fn sum_bytes(mut acc: u32, data: &[u8]) -> u32 {
 
 /// Folds a 32-bit accumulator into 16 bits with end-around carry.
 #[must_use]
+#[allow(clippy::cast_possible_truncation)] // loop exits with acc <= 0xFFFF
 pub fn fold(mut acc: u32) -> u16 {
     while acc > 0xFFFF {
         acc = (acc & 0xFFFF) + (acc >> 16);
@@ -80,6 +81,7 @@ pub fn incremental_update(old_ck: u16, old_sum: u32, new_sum: u32) -> u16 {
 /// Computes a TCP or UDP checksum given the pseudo-header inputs and the L4
 /// segment (header + payload) with its checksum field zeroed.
 #[must_use]
+#[allow(clippy::cast_possible_truncation)] // L4 segments fit the 16-bit length field
 pub fn l4_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> u16 {
     let acc = pseudo_header_sum(src, dst, protocol, segment.len() as u16);
     let out = !fold(sum_bytes(acc, segment));

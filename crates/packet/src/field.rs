@@ -116,18 +116,21 @@ impl FieldValue {
 
     /// Interprets the value as an IPv4 address.
     #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // narrowing IS the interpretation
     pub fn as_ipv4(self) -> Ipv4Addr {
         Ipv4Addr::from(self.0 as u32)
     }
 
     /// Interprets the value as a port number.
     #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // narrowing IS the interpretation
     pub fn as_port(self) -> u16 {
         self.0 as u16
     }
 
     /// Interprets the value as a single byte (TTL/ToS).
     #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // narrowing IS the interpretation
     pub fn as_byte(self) -> u8 {
         self.0 as u8
     }

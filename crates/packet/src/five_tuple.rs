@@ -121,6 +121,7 @@ impl FiveTuple {
         }
         eat(self.protocol.number());
         // XOR-fold 64 -> 20 bits to keep the avalanche of the full hash.
+        #[allow(clippy::cast_possible_truncation)] // fold then mask to FID_BITS
         let folded = (h ^ (h >> FID_BITS) ^ (h >> (2 * FID_BITS))) as u32;
         Fid(folded & FID_MASK)
     }

@@ -168,6 +168,7 @@ impl Default for Ipv4 {
         Self {
             header_len: IPV4_LEN,
             tos: 0,
+            #[allow(clippy::cast_possible_truncation)] // IPV4_LEN = 20
             total_len: IPV4_LEN as u16,
             identification: 0,
             flags_frag: 0x4000, // don't fragment

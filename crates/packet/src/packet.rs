@@ -18,6 +18,10 @@ use crate::Result;
 /// Headroom reserved in front of every packet for encapsulation.
 pub const HEADROOM: usize = 128;
 
+/// [`AH_LEN`] as it appears in 16-bit IPv4 length arithmetic.
+#[allow(clippy::cast_possible_truncation)] // AH_LEN = 24
+const AH_LEN_U16: u16 = AH_LEN as u16;
+
 /// Errors from parsing or manipulating packets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PacketError {
@@ -545,7 +549,7 @@ impl Packet {
         let ah = AuthHeader::new(spi, seq, ip.protocol);
         ah.write(&mut self.buf[ah_off..ah_off + AH_LEN]);
         // Patch the IPv4 header: protocol = AH, total_len += AH_LEN.
-        self.patch_ipv4(IPPROTO_AH, ip.total_len + AH_LEN as u16, ip.header_len);
+        self.patch_ipv4(IPPROTO_AH, ip.total_len + AH_LEN_U16, ip.header_len);
         Ok(())
     }
 
@@ -565,7 +569,7 @@ impl Packet {
         self.buf.copy_within(self.start..ah_off, self.start + AH_LEN);
         self.start += AH_LEN;
         // Patch the IPv4 header.
-        self.patch_ipv4(ah.next_header, ip.total_len - AH_LEN as u16, ip.header_len);
+        self.patch_ipv4(ah.next_header, ip.total_len - AH_LEN_U16, ip.header_len);
         Ok(ah)
     }
 
@@ -665,7 +669,7 @@ impl Packet {
         let ah_off = self.l3_offset() + ip.header_len;
         self.buf[ah_off..ah_off + AH_LEN].copy_from_slice(template);
         self.buf[ah_off] = ip.protocol;
-        self.patch_ipv4(IPPROTO_AH, ip.total_len + AH_LEN as u16, ip.header_len);
+        self.patch_ipv4(IPPROTO_AH, ip.total_len + AH_LEN_U16, ip.header_len);
         Ok(())
     }
 
@@ -681,6 +685,7 @@ impl Packet {
         }
         let (off, proto) = self.l4_offset_and_proto()?;
         let end = self.datagram_end()?;
+        #[allow(clippy::cast_possible_truncation)] // datagram fits ip.total_len (u16)
         let acc = checksum::pseudo_header_sum(ip.src, ip.dst, proto.number(), (end - off) as u16);
         Ok(checksum::fold(checksum::sum_bytes(acc, &self.buf[off..end])) == 0xFFFF)
     }
@@ -688,6 +693,7 @@ impl Packet {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::cast_possible_truncation)] // test data built from small literals
     use std::net::Ipv4Addr;
 
     use super::*;

@@ -67,6 +67,7 @@ impl From<std::io::Error> for PcapError {
 ///
 /// # Errors
 /// Propagates I/O errors.
+#[allow(clippy::cast_possible_truncation)] // pcap format: u32 seconds + snap-capped frames
 pub fn write_pcap<W: Write>(trace: &Trace, mut writer: W) -> Result<(), PcapError> {
     writer.write_all(&MAGIC_US.to_le_bytes())?;
     writer.write_all(&2u16.to_le_bytes())?; // version major
@@ -165,6 +166,7 @@ pub fn read_pcap<R: Read>(mut reader: R) -> Result<Trace, PcapError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::cast_possible_truncation)] // test data built from small literals
     use super::*;
     use crate::builder::PacketBuilder;
 

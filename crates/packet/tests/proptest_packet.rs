@@ -1,5 +1,7 @@
 //! Property-based tests for the packet substrate.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use std::net::{Ipv4Addr, SocketAddrV4};
 
 use proptest::prelude::*;

@@ -158,6 +158,9 @@ impl BessChain {
     /// Attributes `work` to the run-to-completion worker owning the FID
     /// slice of `fid_hint` (RSS-style steering: `fid & (workers - 1)`).
     fn attribute_worker(&mut self, fid_hint: u64, work: u64) {
+        // Masked by the (power-of-two) worker count, so the cast cannot lose
+        // anything the mask keeps.
+        #[allow(clippy::cast_possible_truncation)]
         let w = (fid_hint as usize) & (self.worker_cycles.len() - 1);
         self.worker_cycles[w] += work;
     }

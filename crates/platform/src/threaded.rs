@@ -20,6 +20,12 @@ use speedybox_telemetry::{PathClass, Telemetry, TelemetrySnapshot};
 
 use crate::runtime::{SboxConfig, SpeedyBox};
 
+/// Nanoseconds of a wall-clock interval as `u64` (584 years of headroom).
+#[allow(clippy::cast_possible_truncation)]
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos() as u64
+}
+
 /// Message on an NF ring.
 enum Msg {
     /// A packet in flight, with its injection order, send timestamp, and
@@ -202,14 +208,14 @@ pub fn run_threaded_observed(
                      paths: &[PathClass]| {
         match done {
             Done::Delivered { mut pkt, seq, sent_at } => {
-                let lat = sent_at.elapsed().as_nanos() as u64;
+                let lat = elapsed_ns(sent_at);
                 latencies[seq] = lat;
                 telemetry.shard(seq as u64).record_packet(paths[seq], lat, true);
                 pkt.clear_fid();
                 delivered[seq] = Some(pkt);
             }
             Done::Dropped { seq, sent_at } => {
-                let lat = sent_at.elapsed().as_nanos() as u64;
+                let lat = elapsed_ns(sent_at);
                 latencies[seq] = lat;
                 telemetry.shard(seq as u64).record_packet(paths[seq], lat, false);
                 *dropped += 1;
@@ -237,7 +243,7 @@ pub fn run_threaded_observed(
                     }
                 } else {
                     pkt.clear_fid();
-                    let lat = start.elapsed().as_nanos() as u64;
+                    let lat = elapsed_ns(start);
                     latencies_ns[seq] = lat;
                     telemetry.shard(seq as u64).record_packet(PathClass::Baseline, lat, true);
                     delivered[seq] = Some(pkt);
@@ -292,13 +298,13 @@ pub fn run_threaded_observed(
                             match outcome {
                                 FastPathOutcome::Forwarded => {
                                     pkt.clear_fid();
-                                    let lat = start.elapsed().as_nanos() as u64;
+                                    let lat = elapsed_ns(start);
                                     latencies_ns[seq] = lat;
                                     cell.record_packet(PathClass::Subsequent, lat, true);
                                     delivered[seq] = Some(pkt);
                                 }
                                 FastPathOutcome::Dropped => {
-                                    let lat = start.elapsed().as_nanos() as u64;
+                                    let lat = elapsed_ns(start);
                                     latencies_ns[seq] = lat;
                                     cell.record_packet(PathClass::Subsequent, lat, false);
                                     *dropped += 1;
@@ -423,7 +429,7 @@ pub fn run_threaded_observed(
                         }
                         None => {
                             pkt.clear_fid();
-                            let lat = start.elapsed().as_nanos() as u64;
+                            let lat = elapsed_ns(start);
                             latencies_ns[seq] = lat;
                             telemetry.shard(seq as u64).record_packet(path_class[seq], lat, true);
                             delivered[seq] = Some(pkt);
@@ -522,6 +528,7 @@ impl ThreadedOnvm {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::cast_possible_truncation)] // test data built from loop indices
     use speedybox_nf::ipfilter::{AclRule, IpFilter};
     use speedybox_nf::monitor::Monitor;
     use speedybox_packet::{PacketBuilder, TcpFlags};

@@ -213,6 +213,7 @@ fn worker_loop(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::cast_possible_truncation)] // test data built from loop indices
     use std::collections::HashMap;
 
     use speedybox_nf::ipfilter::IpFilter;

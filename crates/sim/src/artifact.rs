@@ -78,12 +78,13 @@ pub fn from_json(text: &str) -> Result<SimCase, String> {
     let chain = root.get("chain").and_then(Json::as_str).ok_or("missing chain")?.to_string();
     let env = EnvKind::parse(root.get("env").and_then(Json::as_str).ok_or("missing env")?)?;
     let compiled = root.get("compiled").and_then(Json::as_bool).ok_or("missing compiled")?;
-    let batch = root.get("batch").and_then(Json::as_u64).ok_or("missing batch")?.max(1) as usize;
+    let as_size = |v: u64| usize::try_from(v).map_err(|_| "field exceeds usize".to_string());
+    let batch = as_size(root.get("batch").and_then(Json::as_u64).ok_or("missing batch")?.max(1))?;
     // Absent in pre-worker artifacts: replay those single-worker.
-    let workers = root.get("workers").and_then(Json::as_u64).unwrap_or(1).max(1) as usize;
+    let workers = as_size(root.get("workers").and_then(Json::as_u64).unwrap_or(1).max(1))?;
     let seed = root.get("seed").and_then(Json::as_u64).unwrap_or(0);
     // Absent in pre-bounded-table artifacts: replay those unbounded.
-    let max_flows = root.get("max_flows").and_then(Json::as_u64).unwrap_or(0) as usize;
+    let max_flows = as_size(root.get("max_flows").and_then(Json::as_u64).unwrap_or(0))?;
     let bug = match root.get("bug") {
         None | Some(Json::Null) => None,
         Some(v) => Some(BugKind::parse(v.as_str().ok_or("bug must be a string")?)?),
@@ -93,7 +94,7 @@ pub fn from_json(text: &str) -> Result<SimCase, String> {
     let mut items = Vec::with_capacity(trace.len());
     for entry in trace {
         let orig =
-            entry.get("i").and_then(Json::as_u64).ok_or("trace entry missing index")? as usize;
+            as_size(entry.get("i").and_then(Json::as_u64).ok_or("trace entry missing index")?)?;
         let frame = hex_decode(
             entry.get("frame").and_then(Json::as_str).ok_or("trace entry missing frame")?,
         )?;

@@ -87,7 +87,9 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => {
                 if n.fract() == 0.0 && n.abs() < 9e15 {
-                    let _ = write!(out, "{}", *n as i64);
+                    #[allow(clippy::cast_possible_truncation)] // |n| < 9e15 < i64::MAX
+                    let int = *n as i64;
+                    let _ = write!(out, "{int}");
                 } else {
                     let _ = write!(out, "{n}");
                 }

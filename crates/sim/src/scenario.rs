@@ -276,8 +276,9 @@ fn malformed_frames(rng: &mut StdRng, template: &[u8]) -> Vec<Vec<u8>> {
     }
     // Pure garbage (never parses: needs ethertype, version, proto to line
     // up).
-    let garbage: Vec<u8> =
-        (0..rng.gen_range(16..40)).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+    let garbage: Vec<u8> = (0..rng.gen_range(16..40))
+        .map(|_| u8::try_from(rng.gen_range(0..=255u32)).unwrap())
+        .collect();
     out.push(garbage);
     // Valid zero-length payload packet.
     let mut b = PacketBuilder::tcp();

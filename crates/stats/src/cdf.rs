@@ -43,6 +43,7 @@ impl Cdf {
     pub fn value_at(&self, p: f64) -> f64 {
         assert!(p > 0.0 && p <= 1.0, "probability out of range");
         assert!(!self.sorted.is_empty(), "empty CDF");
+        #[allow(clippy::cast_possible_truncation)] // ceil of len * p<=1 fits usize
         let idx = ((self.sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
         self.sorted[idx.min(self.sorted.len() - 1)]
     }

@@ -89,12 +89,15 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
+        #[allow(clippy::cast_possible_truncation)] // ceil of count * q<=1 fits u64
         let target = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return (2u64).saturating_pow(i as u32 + 1).saturating_sub(1).min(self.max);
+                #[allow(clippy::cast_possible_truncation)] // 64 buckets at most
+                let exp = i as u32 + 1;
+                return (2u64).saturating_pow(exp).saturating_sub(1).min(self.max);
             }
         }
         self.max
@@ -131,6 +134,7 @@ impl Histogram {
         let mut out = String::new();
         let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
         for (lo, n) in self.nonzero_buckets() {
+            #[allow(clippy::cast_possible_truncation)] // bar length <= 40
             let bar = "#".repeat((n * 40 / peak).max(1) as usize);
             let _ = writeln!(out, "{lo:>12} | {bar} {n}");
         }

@@ -59,6 +59,7 @@ impl Summary {
         if self.sorted.is_empty() {
             return 0.0;
         }
+        #[allow(clippy::cast_possible_truncation)] // bounded by len - 1
         let idx = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
         self.sorted[idx]
     }

@@ -21,7 +21,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![warn(clippy::needless_pass_by_value, clippy::redundant_clone, clippy::cast_possible_truncation)]
 #![warn(missing_debug_implementations)]
 
 pub mod counters;

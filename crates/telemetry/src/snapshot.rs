@@ -345,8 +345,7 @@ mod tests {
 
     #[test]
     fn json_round_trip_extreme_values() {
-        let mut snap = TelemetrySnapshot::default();
-        snap.packets = u64::MAX;
+        let mut snap = TelemetrySnapshot { packets: u64::MAX, ..Default::default() };
         snap.latency[0].count = 1;
         snap.latency[0].sum = u64::MAX;
         snap.latency[0].min = u64::MAX;
@@ -386,8 +385,7 @@ mod tests {
         // Cumulative buckets end at the total count.
         let last_sub_bucket = text
             .lines()
-            .filter(|l| l.starts_with("speedybox_latency_bucket{path=\"initial\""))
-            .last()
+            .rfind(|l| l.starts_with("speedybox_latency_bucket{path=\"initial\""))
             .unwrap();
         assert!(last_sub_bucket.ends_with(" 1"));
     }

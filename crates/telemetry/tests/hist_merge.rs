@@ -82,7 +82,7 @@ proptest! {
         // Build three snapshots by splitting the stream round-robin.
         let hubs = [Telemetry::new(1), Telemetry::new(2), Telemetry::new(4)];
         for (i, &(path, latency)) in specs.iter().enumerate() {
-            let path = PathClass::ALL[path as usize];
+            let path = PathClass::ALL[usize::try_from(path).unwrap()];
             hubs[i % 3].shard(i as u64).record_packet(path, latency, latency % 7 != 0);
         }
         let [sa, sb, sc] = [hubs[0].snapshot(), hubs[1].snapshot(), hubs[2].snapshot()];
@@ -93,7 +93,7 @@ proptest! {
 
         let mut bc = sb.clone();
         bc.merge(&sc);
-        let mut right = sa.clone();
+        let mut right = sa;
         right.merge(&bc);
 
         prop_assert_eq!(&left, &right);

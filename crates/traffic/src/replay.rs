@@ -38,6 +38,7 @@ impl ReplaySchedule {
             .arrivals
             .iter()
             .map(|(ts, p)| ScheduledPacket {
+                #[allow(clippy::cast_possible_truncation)] // trace spans fit u64 ns
                 at_ns: (*ts as f64 / speedup) as u64,
                 packet: p.clone(),
             })
@@ -195,10 +196,11 @@ mod tests {
         let normal = ReplaySchedule::new(&w, 1.0);
         let fast = ReplaySchedule::new(&w, 2.0);
         assert_eq!(normal.len(), w.len());
-        assert!(normal
-            .iter()
-            .zip(fast.iter())
-            .all(|(a, b)| b.at_ns == a.at_ns / 2 || b.at_ns == (a.at_ns as f64 / 2.0) as u64));
+        assert!(normal.iter().zip(fast.iter()).all(|(a, b)| {
+            #[allow(clippy::cast_possible_truncation)]
+            let halved = (a.at_ns as f64 / 2.0) as u64;
+            b.at_ns == a.at_ns / 2 || b.at_ns == halved
+        }));
         assert!(normal.iter().zip(normal.iter().skip(1)).all(|(a, b)| a.at_ns <= b.at_ns));
         // Twice the speed, roughly twice the offered load.
         let ratio = fast.offered_pps() / normal.offered_pps();

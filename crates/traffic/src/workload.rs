@@ -131,6 +131,7 @@ impl Workload {
             // Box-Muller for a standard normal; log-normal flow size.
             let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen_range(0.0..1.0));
             let z = (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos();
+            #[allow(clippy::cast_possible_truncation)] // rounded positive flow size
             let data_packets = (mu + config.sigma * z).exp().round().max(1.0) as usize;
             let payload = if rng.gen_bool(config.suspicious_fraction.clamp(0.0, 1.0))
                 && !config.suspicious_patterns.is_empty()
@@ -141,7 +142,9 @@ impl Workload {
             } else {
                 PayloadKind::Clean
             };
+            #[allow(clippy::cast_possible_truncation)] // reduced mod 60000 (fits u16)
             let src_port = 1024 + (i as u16 % 60_000);
+            #[allow(clippy::cast_possible_truncation)] // flow count bounds the octet
             let src_octet = (i / 60_000) as u8;
             let protocol = if rng.gen_bool(config.udp_fraction.clamp(0.0, 1.0)) {
                 Protocol::Udp
@@ -299,7 +302,7 @@ mod tests {
         let w = Workload::generate(&cfg);
         let sizes: Vec<usize> = w.flows.iter().map(|f| f.data_packets).collect();
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
-        let mut sorted = sizes.clone();
+        let mut sorted = sizes;
         sorted.sort_unstable();
         let median = sorted[sorted.len() / 2] as f64;
         // Log-normal: mean well above median (tail), median near config.

@@ -74,11 +74,16 @@ pub enum LintCode {
     /// bytes (or a different drop verdict) than interpreting the rule's
     /// consolidated action — a rule-compilation soundness bug.
     CompiledDivergence,
+    /// SBX012: a compiled micro-op's write window can escape the frame on
+    /// some admissible header geometry (VLAN tag, IPv4 options, L4 header
+    /// length, AH depth) — proven by exhaustive enumeration of the
+    /// geometry domain, not by sampling.
+    MicroOpOutOfBounds,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 11] = [
+    pub const ALL: [LintCode; 12] = [
         LintCode::DeadActionAfterDrop,
         LintCode::DecapSpecMismatch,
         LintCode::DecapUnderflow,
@@ -90,6 +95,7 @@ impl LintCode {
         LintCode::ScheduleOrder,
         LintCode::AccessViolation,
         LintCode::CompiledDivergence,
+        LintCode::MicroOpOutOfBounds,
     ];
 
     /// The stable code string (`SBX001`...).
@@ -107,6 +113,7 @@ impl LintCode {
             LintCode::ScheduleOrder => "SBX009",
             LintCode::AccessViolation => "SBX010",
             LintCode::CompiledDivergence => "SBX011",
+            LintCode::MicroOpOutOfBounds => "SBX012",
         }
     }
 
@@ -125,6 +132,7 @@ impl LintCode {
             LintCode::ScheduleOrder => "schedule-order",
             LintCode::AccessViolation => "access-violation",
             LintCode::CompiledDivergence => "compiled-divergence",
+            LintCode::MicroOpOutOfBounds => "microop-out-of-bounds",
         }
     }
 
@@ -139,7 +147,8 @@ impl LintCode {
             | LintCode::ScheduleConflict
             | LintCode::ScheduleOrder
             | LintCode::AccessViolation
-            | LintCode::CompiledDivergence => Severity::Error,
+            | LintCode::CompiledDivergence
+            | LintCode::MicroOpOutOfBounds => Severity::Error,
             LintCode::DecapUnderflow
             | LintCode::ConflictingModify
             | LintCode::EarlyTrailingWrite => Severity::Warn,
@@ -367,7 +376,7 @@ mod tests {
             codes,
             vec![
                 "SBX001", "SBX002", "SBX003", "SBX004", "SBX005", "SBX006", "SBX007", "SBX008",
-                "SBX009", "SBX010", "SBX011"
+                "SBX009", "SBX010", "SBX011", "SBX012"
             ]
         );
         let names: std::collections::HashSet<&str> =

@@ -23,6 +23,10 @@
 //!   micro-op program is executed next to the interpreted consolidated
 //!   action on concrete sample packets and must match byte-for-byte
 //!   (SBX011).
+//! * **Pass 5 — micro-op bounds proof** ([`bounds`]): every compiled write
+//!   window is proven in-frame by exhaustive enumeration of the admissible
+//!   header geometries — VLAN tagging, IPv4/TCP options, AH depth, minimal
+//!   payloads (SBX012).
 //!
 //! Findings carry stable `SBX0xx` codes ([`diag::LintCode`]) with fixed
 //! severities; `speedybox lint <chain>` renders them as text or JSON and
@@ -32,14 +36,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![warn(clippy::needless_pass_by_value, clippy::redundant_clone, clippy::cast_possible_truncation)]
 
+pub mod bounds;
 pub mod compiled;
 pub mod diag;
 pub mod events;
 pub mod schedule;
 pub mod symbolic;
 
+pub use bounds::{check_bounds, check_program_bounds};
 pub use compiled::check_compiled;
 pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
 pub use events::{check_event_rewrites, EventSpec};
@@ -64,6 +69,7 @@ pub fn verify_flow(
     if let Some(rule) = rule {
         report.merge(check_rule_schedule(chain, rule));
         report.merge(check_compiled(chain, rule));
+        report.merge(check_bounds(chain, rule));
     }
     report
 }

@@ -5,6 +5,8 @@
 //! the verifier may reject sound chains, but it must never accept an
 //! unsound one.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use std::net::Ipv4Addr;
 
 use proptest::prelude::*;

@@ -37,7 +37,11 @@ fn main() {
         "workload: {} flows, {} packets (log-normal sizes, {}% suspicious)\n",
         config.flows,
         workload.len(),
-        (config.suspicious_fraction * 100.0) as u32
+        {
+            #[allow(clippy::cast_possible_truncation)] // fraction in [0, 1]
+            let pct = (config.suspicious_fraction * 100.0) as u32;
+            pct
+        }
     );
 
     let (nfs, _handles) = chain1(8);

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Unsafe-code gate (DESIGN.md §14.5).
+#
+# Three invariants, checked in order:
+#
+#  1. Every first-party crate root carries `#![forbid(unsafe_code)]`, so
+#     a new unsafe block cannot compile even if this script is skipped.
+#  2. No `unsafe` keyword appears anywhere in first-party sources
+#     (src/, crates/, examples/, tests/) — belt and braces for files
+#     outside a crate root's reach (build scripts, doc examples).
+#  3. The one sanctioned exception, vendor/arcswap, must justify every
+#     `unsafe` with a `// SAFETY:` comment in the contiguous comment
+#     block directly above it (same-line trailing comments count too).
+#     Every other vendored crate must stay unsafe-free so a stub growing
+#     real unsafe code shows up in review.
+#
+# Exit status: 0 = clean, 1 = violation (each printed on stderr).
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. forbid attribute on every first-party crate root -------------------
+for lib in src/lib.rs crates/*/src/lib.rs; do
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$lib"; then
+        echo "error: $lib is missing #![forbid(unsafe_code)]" >&2
+        fail=1
+    fi
+done
+
+# --- 2. no unsafe keyword in first-party sources ---------------------------
+# Matches the keyword in the positions Rust allows it (fn/impl/trait/block),
+# so identifiers or prose containing "unsafe" do not trip the gate.
+if grep -rEn 'unsafe +(fn|impl|trait)|unsafe *\{' \
+        --include='*.rs' src/ crates/ examples/ tests/ 2>/dev/null; then
+    echo "error: unsafe code found in first-party sources (see above)" >&2
+    fail=1
+fi
+
+# --- 3. vendored crates: arcswap annotated, everything else unsafe-free ----
+for dir in vendor/*/; do
+    crate=$(basename "$dir")
+    if [ "$crate" = "arcswap" ]; then
+        continue
+    fi
+    if grep -rEn 'unsafe +(fn|impl|trait)|unsafe *\{' --include='*.rs' "$dir"; then
+        echo "error: vendored crate '$crate' grew unsafe code (see above);" \
+             "only vendor/arcswap may use unsafe, with SAFETY comments" >&2
+        fail=1
+    fi
+done
+
+# Every unsafe site in arcswap needs a SAFETY comment: either trailing on
+# the same line, or inside the contiguous `//` comment block directly
+# above the statement the unsafe expression starts on.
+while IFS= read -r rsfile; do
+    if ! awk -v file="$rsfile" '
+        # Track the most recent contiguous comment block: once a comment
+        # line appears, remember whether the block mentions SAFETY: until
+        # a non-comment, non-continuation line breaks the chain.
+        {
+            line = $0
+            sub(/^[ \t]+/, "", line)
+        }
+        line ~ /^\/\// {
+            if (!in_comment) { in_comment = 1; block_safety = 0 }
+            if (line ~ /SAFETY:/) block_safety = 1
+            covered = block_safety
+            next
+        }
+        {
+            # A statement spanning multiple lines keeps its comment
+            # cover: only reset once the statement ends (; or }).
+            in_comment = 0
+            if (/unsafe[ \t]+(fn|impl|trait)|unsafe[ \t]*\{/) {
+                if (!covered && $0 !~ /\/\/.*SAFETY:/) {
+                    printf "error: %s:%d: unsafe without a SAFETY comment\n", file, NR > "/dev/stderr"
+                    bad = 1
+                }
+            }
+            if (line ~ /[;}][ \t]*$/) covered = 0
+        }
+        END { exit bad }
+    ' "$rsfile"; then
+        fail=1
+    fi
+done < <(find vendor/arcswap -name '*.rs')
+
+if [ "$fail" -eq 0 ]; then
+    echo "unsafe gate: clean"
+fi
+exit "$fail"

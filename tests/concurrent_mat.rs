@@ -9,6 +9,8 @@
 //! sum exactly, and FID-collision detection that still routes colliding
 //! flows to the slow path under contention.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use std::collections::{HashMap, HashSet};
 use std::net::{Ipv4Addr, SocketAddrV4};
 use std::sync::Arc;

@@ -57,7 +57,7 @@ fn idle_udp_flows_are_reclaimed() {
 #[test]
 fn expiry_tears_down_nf_mat_state() {
     let mon = Monitor::new();
-    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(mon.clone())];
+    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(mon)];
     let mut chain = BessChain::speedybox(nfs);
     chain.process(udp_packet(6000, 0));
     let fid = udp_packet(6000, 0).five_tuple().unwrap().fid();

@@ -77,7 +77,7 @@ fn nat_allocates_during_handshake_and_rule_matches() {
     // same mapping — the consolidated path stays consistent with the
     // connection the peer observed during the handshake.
     let nat = MazuNat::new("198.51.100.1".parse().unwrap(), (50000, 51000));
-    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(nat.clone())];
+    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(nat)];
     let mut chain = BessChain::speedybox_with(nfs, cfg());
 
     let syn_out = chain.process(pkt(TcpFlags::SYN, b"", 0)).packet.unwrap();

@@ -3,6 +3,8 @@
 //! byte-identical outputs to the original chain — the paper's central
 //! correctness property, fuzzed.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use proptest::prelude::*;
 use speedybox::mat::HeaderAction;
 use speedybox::nf::ipfilter::IpFilter;

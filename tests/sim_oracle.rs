@@ -10,6 +10,8 @@
 //! at worker counts {1,2,4,8} and requires the output hash to be
 //! worker-count invariant.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use speedybox::sim::{
     generate, run_case, shrink, BugKind, DivergenceKind, EnvKind, ScenarioConfig, SimCase,
 };

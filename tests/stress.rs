@@ -1,5 +1,7 @@
 //! Stress and soak tests: long chains, many flows, churn, event storms.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use speedybox::nf::dosguard::DosGuard;
 use speedybox::nf::maglev::Maglev;
 use speedybox::nf::monitor::Monitor;
@@ -68,7 +70,7 @@ fn event_storm_under_backend_flapping() {
         251,
     );
     let mon = Monitor::new();
-    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(maglev.clone()), Box::new(mon.clone())];
+    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(maglev.clone()), Box::new(mon)];
     let mut chain = BessChain::speedybox(nfs);
 
     let mut delivered = 0;
@@ -98,7 +100,7 @@ fn event_storm_under_backend_flapping() {
 #[test]
 fn dos_guard_blocks_attackers_not_bystanders_at_scale() {
     let guard = DosGuard::new(10);
-    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(guard.clone())];
+    let nfs: Vec<Box<dyn Nf>> = vec![Box::new(guard)];
     let mut chain = BessChain::speedybox(nfs);
     let mut dropped_attacker = 0;
     let mut delivered_legit = 0;

@@ -5,6 +5,8 @@
 //! telemetry counts the same events live through relaxed atomics. Any
 //! divergence means a counting site is missing, doubled, or misattributed.
 
+#![allow(clippy::cast_possible_truncation)] // test data built from loop indices
+
 use speedybox::nf::Nf;
 use speedybox::packet::Packet;
 use speedybox::platform::bess::BessChain;

@@ -30,6 +30,9 @@
 //! the pointer swap itself is a single atomic and readers never touch the
 //! mutex.
 
+#[cfg(feature = "model")]
+pub mod model;
+
 use std::fmt;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -45,9 +48,13 @@ pub struct ArcSwap<T> {
     retired: Mutex<Vec<*mut T>>,
 }
 
-// SAFETY: the cell owns `Arc<T>` values and hands out clones; it is as
-// thread-safe as `Arc<T>` itself, which requires `T: Send + Sync`.
+// SAFETY: sending the cell moves ownership of its `Arc<T>` values (current
+// pointer and retired list) to another thread, which is sound exactly when
+// `Arc<T>` itself is sendable, i.e. `T: Send + Sync`.
 unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+// SAFETY: shared access hands out `Arc<T>` clones and mutates only the
+// atomics and the mutex-guarded retired list; the cell is as thread-safe
+// as `Arc<T>` itself, which requires `T: Send + Sync`.
 unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
 
 impl<T> ArcSwap<T> {

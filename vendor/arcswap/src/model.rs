@@ -1,0 +1,249 @@
+//! Model-checkable port of the guard-counter RCU cell (`crate::ArcSwap`),
+//! line-for-line over `speedybox-check`'s virtual primitives so the
+//! checker can exhaustively enumerate interleavings of `load`/`store`/
+//! retire and prove — within the explored bound — that no schedule frees a
+//! value a reader still holds raw, and none leaks a retired generation.
+//!
+//! The port must track `src/lib.rs` exactly: same fields, same operation
+//! order, same orderings. Divergence here silently verifies the wrong
+//! protocol, so any change to the real cell must be mirrored (the written
+//! correspondence argument lives in DESIGN.md §14).
+//!
+//! [`Mutation`] selects a seeded bug for the checker to catch — the
+//! evidence that a clean run means something.
+
+use std::marker::PhantomData;
+use std::sync::Arc as StdArc;
+
+use speedybox_check::{
+    fact, raw_drop, raw_increment_strong_count, ModelArc, ModelAtomicUsize, ModelMutex, Ordering,
+    RawId,
+};
+
+/// Seeded bugs: each weakens the protocol in a way the checker must
+/// detect, proving the oracles cover the hazard the real code guards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Faithful port of the shipped protocol.
+    None,
+    /// `try_collect` reads the reader counter with `Relaxed` instead of
+    /// `SeqCst`: a stale zero admits freeing under a live reader.
+    WeakCollectLoad,
+    /// `store` retires (and possibly frees) the old value *before*
+    /// unpublishing it: a reader can load a pointer to freed memory.
+    RetireBeforeSwap,
+    /// `store` drops the swapped-out pointer on the floor: the retired
+    /// generation leaks.
+    SkipRetire,
+}
+
+/// Model twin of [`crate::ArcSwap`]. Field-for-field: `ptr` holds the raw
+/// allocation handle (the model analogue of `*mut T` from
+/// `Arc::into_raw`), `readers` is the guard counter, `retired` the
+/// swapped-out backlog.
+pub struct ArcSwapModel<T: Send + Sync + 'static> {
+    ptr: ModelAtomicUsize,
+    readers: ModelAtomicUsize,
+    retired: ModelMutex<Vec<RawId>>,
+    mutation: Mutation,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Send + Sync + 'static> ArcSwapModel<T> {
+    pub fn new(label: &str, value: T, mutation: Mutation) -> Self {
+        let initial = ModelArc::new(label, value);
+        ArcSwapModel {
+            ptr: ModelAtomicUsize::new("cell.ptr", initial.into_raw()),
+            readers: ModelAtomicUsize::new("cell.readers", 0),
+            retired: ModelMutex::new("cell.retired", Vec::new()),
+            mutation,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Mirror of `ArcSwap::load`: guard-counter increment, pointer read,
+    /// strong-count mint, guard-counter decrement. The strong-count mint
+    /// is the hazard point — on a freed allocation the checker reports
+    /// use-after-free exactly where the real code would touch freed memory.
+    pub fn load(&self) -> ModelArc<T> {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let p = self.ptr.load(Ordering::SeqCst);
+        raw_increment_strong_count(p);
+        let value = ModelArc::from_raw(p);
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        value
+    }
+
+    /// Mirror of `ArcSwap::store`: swap, retire the old value, attempt a
+    /// drain. The mutations reorder or omit steps.
+    pub fn store(&self, value: ModelArc<T>) {
+        match self.mutation {
+            Mutation::RetireBeforeSwap => {
+                // Seeded bug: the old value is retired — and can be freed —
+                // while still published.
+                let old = self.ptr.load(Ordering::SeqCst);
+                {
+                    let mut retired = self.retired.lock();
+                    retired.push(old);
+                    self.try_collect(&mut retired);
+                }
+                self.ptr.store(value.into_raw(), Ordering::SeqCst);
+            }
+            Mutation::SkipRetire => {
+                // Seeded bug: the swapped-out strong count is never
+                // released; the leak oracle must flag it.
+                let _old = self.ptr.swap(value.into_raw(), Ordering::SeqCst);
+            }
+            Mutation::None | Mutation::WeakCollectLoad => {
+                let old = self.ptr.swap(value.into_raw(), Ordering::SeqCst);
+                let mut retired = self.retired.lock();
+                retired.push(old);
+                self.try_collect(&mut retired);
+            }
+        }
+    }
+
+    pub fn pending(&self) -> usize {
+        self.retired.lock().len()
+    }
+
+    pub fn collect(&self) -> usize {
+        let mut retired = self.retired.lock();
+        let before = retired.len();
+        // The explicit quiescent drain always uses the full-strength
+        // check; `WeakCollectLoad` seeds the bug in the hot path only
+        // (the drain attempt inside `store`).
+        self.try_collect_with(&mut retired, Ordering::SeqCst);
+        before - retired.len()
+    }
+
+    /// Mirror of `ArcSwap::try_collect`: free the backlog iff the reader
+    /// counter reads zero (the SeqCst total-order argument; see lib.rs).
+    fn try_collect(&self, retired: &mut Vec<RawId>) {
+        let ord = match self.mutation {
+            Mutation::WeakCollectLoad => Ordering::Relaxed,
+            _ => Ordering::SeqCst,
+        };
+        self.try_collect_with(retired, ord);
+    }
+
+    fn try_collect_with(&self, retired: &mut Vec<RawId>, ord: Ordering) {
+        if self.readers.load(ord) == 0 {
+            for id in retired.drain(..) {
+                raw_drop(id);
+            }
+        } else if !retired.is_empty() {
+            // Reachability probe for the drain-deferral tests.
+            fact("collect deferred: reader in flight");
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for ArcSwapModel<T> {
+    fn drop(&mut self) {
+        // Mirror of `ArcSwap::drop`: release the current value and the
+        // retired backlog. Exclusive access at this point.
+        let current = self.ptr.load(Ordering::SeqCst);
+        raw_drop(current);
+        let mut retired = self.retired.lock();
+        for id in retired.drain(..) {
+            raw_drop(id);
+        }
+    }
+}
+
+/// Checker scenarios over the model cell, shared by the `cargo test`
+/// exhaustive tier (tests/model_rcu.rs) and the `speedybox-check` binary.
+pub mod scenarios {
+    use super::*;
+
+    /// One reader racing one writer through a single republication, then a
+    /// quiescent drain. Invariants checked in every schedule: the reader
+    /// only ever observes generation 0 or 1; the post-join drain leaves no
+    /// retired backlog; no use-after-free; no leak (execution-end oracle).
+    pub fn rcu_load_store(mutation: Mutation) -> impl Fn() + Send + Sync + 'static {
+        move || {
+            let cell = StdArc::new(ArcSwapModel::new("gen0", 0u64, mutation));
+            let c = cell.clone();
+            let reader = speedybox_check::spawn(move || {
+                let v = c.load();
+                let x = *v.value();
+                assert!(x == 0 || x == 1, "reader saw impossible generation {x}");
+            });
+            let c = cell.clone();
+            let writer = speedybox_check::spawn(move || {
+                c.store(ModelArc::new("gen1", 1u64));
+            });
+            reader.join();
+            writer.join();
+            // Quiescent: the drain must complete now even if the store
+            // deferred it while the reader was in flight.
+            cell.collect();
+            assert_eq!(cell.pending(), 0, "retired generation not drained");
+        }
+    }
+
+    /// Two readers against one writer: the guard counter must not confuse
+    /// overlapping reader windows (decrement of one reader must not free
+    /// under the other).
+    pub fn rcu_two_readers(mutation: Mutation) -> impl Fn() + Send + Sync + 'static {
+        move || {
+            let cell = StdArc::new(ArcSwapModel::new("gen0", 0u64, mutation));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = cell.clone();
+                    speedybox_check::spawn(move || {
+                        let v = c.load();
+                        let x = *v.value();
+                        assert!(x == 0 || x == 1, "reader saw impossible generation {x}");
+                    })
+                })
+                .collect();
+            let c = cell.clone();
+            let writer = speedybox_check::spawn(move || {
+                c.store(ModelArc::new("gen1", 1u64));
+            });
+            for h in handles {
+                h.join();
+            }
+            writer.join();
+            cell.collect();
+            assert_eq!(cell.pending(), 0, "retired generation not drained");
+        }
+    }
+
+    /// Generation-drain edge (ISSUE 8 satellite): a reader pinned between
+    /// its guard increment and decrement while the writer republishes must
+    /// defer the drain (observable via the `collect deferred` fact in at
+    /// least one schedule), and the post-release drain must always finish.
+    /// The main-thread asserts after joins make the second half an
+    /// every-schedule invariant.
+    pub fn rcu_drain_deferred(mutation: Mutation) -> impl Fn() + Send + Sync + 'static {
+        move || {
+            let cell = StdArc::new(ArcSwapModel::new("gen0", 0u64, mutation));
+            let c = cell.clone();
+            let reader = speedybox_check::spawn(move || {
+                // Hold the loaded generation across a second touch so the
+                // pin window is wide enough to overlap the store.
+                let v = c.load();
+                let first = *v.value();
+                let again = *v.value();
+                assert_eq!(first, again, "pinned generation changed under the reader");
+            });
+            let c = cell.clone();
+            let writer = speedybox_check::spawn(move || {
+                c.store(ModelArc::new("gen1", 1u64));
+                if c.pending() > 0 {
+                    speedybox_check::fact("retire deferred past store");
+                }
+            });
+            reader.join();
+            writer.join();
+            let drained = cell.collect();
+            if drained > 0 {
+                speedybox_check::fact("deferred generation drained after release");
+            }
+            assert_eq!(cell.pending(), 0, "drain did not complete at quiescence");
+        }
+    }
+}
