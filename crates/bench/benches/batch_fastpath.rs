@@ -9,13 +9,14 @@
 
 #![allow(clippy::cast_possible_truncation)] // bench data built from loop indices
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use speedybox_packet::{Packet, PacketBuilder};
 use speedybox_platform::bess::BessChain;
 use speedybox_platform::chains::ipfilter_chain;
 use speedybox_platform::runtime::SboxConfig;
 use speedybox_platform::threaded::run_threaded_batched;
 use std::hint::black_box;
+use std::sync::Arc;
 
 const PACKETS: usize = 512;
 const FLOWS: u16 = 16;
@@ -46,10 +47,21 @@ fn bench_bess_batch(c: &mut Criterion) {
     for batch in [1usize, 8, 32, 128] {
         g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
             let mut chain = BessChain::speedybox_with(ipfilter_chain(3, 200), config(batch, 16));
-            // Warm: install every flow's rule so iterations measure the
-            // steady-state fast path.
-            let _ = chain.run(packets.iter().cloned());
-            b.iter(|| black_box(chain.run(packets.iter().cloned())));
+            // Warm: install every flow's rule and seed the buffer pool so
+            // iterations measure the steady-state fast path; the pooled
+            // trace copy happens in setup, outside the timed region.
+            let pool = Arc::clone(chain.pool());
+            let warm = chain.run(pool.copy_packets(&packets));
+            pool.free_batch(warm.outputs);
+            b.iter_batched(
+                || pool.copy_packets(&packets),
+                |trace| {
+                    let mut stats = chain.run(trace);
+                    pool.free_batch(stats.outputs.drain(..));
+                    black_box(stats)
+                },
+                BatchSize::LargeInput,
+            );
         });
     }
     g.finish();
@@ -65,10 +77,13 @@ fn bench_threaded_batch(c: &mut Criterion) {
     g.sample_size(10);
     for batch in [1usize, 8, 32, 128] {
         g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
-            b.iter(|| {
-                let nfs = ipfilter_chain(3, 200);
-                black_box(run_threaded_batched(nfs, packets.clone(), true, 256, batch))
-            });
+            // NF construction and the trace clone are setup work; the timed
+            // region is the threaded run alone.
+            b.iter_batched(
+                || (ipfilter_chain(3, 200), packets.clone()),
+                |(nfs, trace)| black_box(run_threaded_batched(nfs, trace, true, 256, batch)),
+                BatchSize::LargeInput,
+            );
         });
     }
     g.finish();
@@ -84,8 +99,18 @@ fn bench_shard_ablation(c: &mut Criterion) {
     for shards in [1usize, 4, 16] {
         g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
             let mut chain = BessChain::speedybox_with(ipfilter_chain(3, 200), config(32, shards));
-            let _ = chain.run(packets.iter().cloned());
-            b.iter(|| black_box(chain.run(packets.iter().cloned())));
+            let pool = Arc::clone(chain.pool());
+            let warm = chain.run(pool.copy_packets(&packets));
+            pool.free_batch(warm.outputs);
+            b.iter_batched(
+                || pool.copy_packets(&packets),
+                |trace| {
+                    let mut stats = chain.run(trace);
+                    pool.free_batch(stats.outputs.drain(..));
+                    black_box(stats)
+                },
+                BatchSize::LargeInput,
+            );
         });
     }
     g.finish();

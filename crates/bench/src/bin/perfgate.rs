@@ -22,6 +22,14 @@
 //! 8-worker compiled fast-path p50 may not exceed the single-worker p50
 //! (worker steering redistributes work; it must never add latency).
 //!
+//! A fourth gate covers the pooled packet substrate: after one warm run
+//! of chain1 seeds the buffer pool, pooled reruns of the same trace must
+//! record **zero** pool misses (the steady state never falls back to the
+//! heap), and the reruns' wall-clock throughput is gated against the
+//! baseline with a deliberately generous tolerance — the deterministic
+//! cycle gates catch per-packet work regressions; the wall gate only
+//! catches order-of-magnitude collapses.
+//!
 //! ```text
 //! perfgate --baseline crates/bench/baseline.json            # CI gate
 //! perfgate --write-baseline crates/bench/baseline.json      # refresh
@@ -106,6 +114,107 @@ fn measure() -> Vec<Measurement> {
         run_scenario("chain1-bess", Env::Bess, || chains::chain1(8).0),
         run_scenario("chain2-onvm", Env::Onvm, || chains::chain2().0),
     ]
+}
+
+/// Pooled reruns of the chain1 trace after the warm run.
+const POOL_RERUNS: usize = 8;
+/// Wall-clock throughput may regress by up to this fraction against the
+/// baseline. Wall time on a shared CI runner is noisy, so this is
+/// deliberately generous: the deterministic cycle-model gates above catch
+/// real per-packet work regressions, while this bound only catches
+/// collapses like an accidental per-packet allocation or copy creeping
+/// back into the steady state.
+const WALL_TOLERANCE: f64 = 0.5;
+
+/// Steady-state numbers for the pooled packet substrate on chain1.
+struct PoolSteadyState {
+    /// Pool misses across all pooled reruns — the steady state must never
+    /// fall back to the heap, so this gates at exactly zero.
+    steady_misses: u64,
+    /// Pool hits across the reruns (reported for context).
+    steady_hits: u64,
+    /// Best-of-reruns wall-clock throughput of `chain.run` alone (trace
+    /// copies and recycling happen outside the timed window).
+    wall_mpps: f64,
+}
+
+/// One warm run of chain1 installs every flow's rules and seeds the pool
+/// with recycled buffers; then each rerun copies the trace through the
+/// pool, runs the chain, and recycles every output buffer.
+fn pool_steady_state() -> PoolSteadyState {
+    use std::time::Instant;
+    let packets = Workload::generate(&WorkloadConfig {
+        flows: FLOWS,
+        seed: SEED,
+        ..WorkloadConfig::default()
+    })
+    .packets();
+    let config = SboxConfig { batch_size: 32, ..SboxConfig::default() };
+    let mut chain = BessChain::speedybox_with(chains::chain1(8).0, config);
+    let pool = Arc::clone(chain.pool());
+    let warm = chain.run(pool.copy_packets(&packets));
+    pool.free_batch(warm.outputs);
+
+    let before = pool.stats();
+    let mut best_mpps = 0.0f64;
+    for _ in 0..POOL_RERUNS {
+        let trace = pool.copy_packets(&packets);
+        let n = trace.len();
+        let t = Instant::now();
+        let mut stats = chain.run(trace);
+        let secs = t.elapsed().as_secs_f64();
+        pool.free_batch(stats.outputs.drain(..));
+        if secs > 0.0 {
+            best_mpps = best_mpps.max(n as f64 / secs / 1e6);
+        }
+    }
+    let after = pool.stats();
+    PoolSteadyState {
+        steady_misses: after.misses - before.misses,
+        steady_hits: after.hits - before.hits,
+        wall_mpps: best_mpps,
+    }
+}
+
+/// Gates the pooled substrate. Returns the number of failures.
+fn gate_pool(ps: &PoolSteadyState, baseline_wall_mpps: Option<f64>) -> usize {
+    let mut failures = 0;
+    if ps.steady_misses == 0 {
+        println!(
+            "PASS pool: 0 steady-state misses across {POOL_RERUNS} pooled reruns ({} hits)",
+            ps.steady_hits
+        );
+    } else {
+        println!(
+            "FAIL pool: {} steady-state pool misses (heap fallbacks) — the warm data path must \
+             be served entirely by the pool",
+            ps.steady_misses
+        );
+        failures += 1;
+    }
+    match baseline_wall_mpps {
+        Some(base) => {
+            let floor = base * (1.0 - WALL_TOLERANCE);
+            if ps.wall_mpps < floor {
+                println!(
+                    "FAIL pool: wall throughput {:.3} Mpps fell below {floor:.3} (baseline {base:.3} - {:.0}%)",
+                    ps.wall_mpps,
+                    WALL_TOLERANCE * 100.0
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "PASS pool: wall throughput {:.3} Mpps (baseline {base:.3})",
+                    ps.wall_mpps
+                );
+            }
+        }
+        None => {
+            println!("FAIL pool: baseline has no \"pool\" entry (refresh with --write-baseline)");
+            failures += 1;
+        }
+    }
+    failures
 }
 
 /// Required modeled speedup at 8 workers over 1 worker. Absolute, not
@@ -423,7 +532,7 @@ fn flow_scale_json(fs: &FlowScale) -> String {
     )
 }
 
-fn baseline_json(measurements: &[Measurement], flow: &FlowScale) -> String {
+fn baseline_json(measurements: &[Measurement], flow: &FlowScale, pool: &PoolSteadyState) -> String {
     let mut out = String::from("{\n  \"scenarios\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let sep = if i + 1 == measurements.len() { "" } else { "," };
@@ -438,16 +547,26 @@ fn baseline_json(measurements: &[Measurement], flow: &FlowScale) -> String {
     // gates are absolute (ceilings baked into perfgate), so these are a
     // recorded point of comparison, not gated thresholds.
     out.push_str(&format!(
-        "  ],\n  \"flow_scale\": {{\"live_flows\": {}, \"lookup_p99_ns\": {}, \"peak_rss_mib\": {}, \"rss_ceiling_mib\": {}}}\n}}\n",
+        "  ],\n  \"flow_scale\": {{\"live_flows\": {}, \"lookup_p99_ns\": {}, \"peak_rss_mib\": {}, \"rss_ceiling_mib\": {}}},\n",
         flow.live_flows,
         flow.lookup_p99_ns,
         flow.peak_rss_mib.map_or_else(|| "null".to_owned(), |v| v.to_string()),
         FLOW_RSS_CEILING_MIB
     ));
+    // The pooled substrate's wall-clock reference point (gated with the
+    // generous WALL_TOLERANCE); the zero-miss gate is absolute.
+    out.push_str(&format!(
+        "  \"pool\": {{\"wall_mpps\": {:.6}, \"steady_misses\": {}}}\n}}\n",
+        pool.wall_mpps, pool.steady_misses
+    ));
     out
 }
 
-fn report_json(measurements: &[Measurement], scaling: &[ScalingPoint]) -> String {
+fn report_json(
+    measurements: &[Measurement],
+    scaling: &[ScalingPoint],
+    pool: &PoolSteadyState,
+) -> String {
     let mut out = String::from("{\n  \"scenarios\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let sep = if i + 1 == measurements.len() { "" } else { "," };
@@ -468,7 +587,10 @@ fn report_json(measurements: &[Measurement], scaling: &[ScalingPoint]) -> String
             p.workers, p.rate_mpps, p.p50_subsequent_cycles, p.churn_rounds
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str(&format!(
+        "  ],\n  \"pool\": {{\"wall_mpps\": {:.6}, \"steady_misses\": {}, \"steady_hits\": {}}}\n}}\n",
+        pool.wall_mpps, pool.steady_misses, pool.steady_hits
+    ));
     out
 }
 
@@ -501,6 +623,13 @@ fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
             Ok(BaselineEntry { name, hit_rate, p50_subsequent_cycles: p50 })
         })
         .collect()
+}
+
+/// The baseline's pool wall-clock reference, if the file has one (older
+/// baselines predate the pooled substrate).
+fn parse_baseline_pool_wall(text: &str) -> Option<f64> {
+    let root = Json::parse(text).ok()?;
+    root.get("pool").and_then(|p| p.get("wall_mpps")).and_then(Json::as_f64)
 }
 
 /// Gates `cur` against `base`. Returns the number of failures.
@@ -627,16 +756,21 @@ fn run() -> Result<bool, String> {
             p.workers, p.rate_mpps, p.p50_subsequent_cycles, p.churn_rounds
         );
     }
+    let pool_ss = pool_steady_state();
+    println!(
+        "  pool: {} steady-state misses, {} hits, {:.3} Mpps wall over {POOL_RERUNS} reruns",
+        pool_ss.steady_misses, pool_ss.steady_hits, pool_ss.wall_mpps
+    );
 
     if let Some(path) = value_of(&argv, "--out") {
-        std::fs::write(path, report_json(&measurements, &scaling))
+        std::fs::write(path, report_json(&measurements, &scaling, &pool_ss))
             .map_err(|e| format!("write {path}: {e}"))?;
         println!("report written to {path}");
     }
 
     if let Some(path) = value_of(&argv, "--write-baseline") {
         let flow = flow_scale();
-        std::fs::write(path, baseline_json(&measurements, &flow))
+        std::fs::write(path, baseline_json(&measurements, &flow, &pool_ss))
             .map_err(|e| format!("write {path}: {e}"))?;
         println!("baseline written to {path}");
         return Ok(true);
@@ -646,7 +780,9 @@ fn run() -> Result<bool, String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("read {baseline_path}: {e} (seed one with --write-baseline)"))?;
     let baseline = parse_baseline(&text)?;
-    let failures = gate(&measurements, &baseline, tolerance) + gate_scaling(&scaling);
+    let failures = gate(&measurements, &baseline, tolerance)
+        + gate_scaling(&scaling)
+        + gate_pool(&pool_ss, parse_baseline_pool_wall(&text));
     if failures == 0 {
         println!("perfgate: all metrics within tolerance");
     } else {

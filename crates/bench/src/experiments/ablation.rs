@@ -18,7 +18,9 @@ use speedybox_nf::synthetic::SyntheticNf;
 use speedybox_nf::Nf;
 use speedybox_platform::chains::ipfilter_chain;
 use speedybox_platform::cycles::CycleModel;
-use speedybox_platform::runtime::{fast_path, traverse_chain, SboxConfig, SpeedyBox};
+use speedybox_platform::runtime::{
+    fast_path, traverse_chain, FastPathScratch, SboxConfig, SpeedyBox,
+};
 use speedybox_stats::{table::pct_change, Table};
 
 use crate::harness::flow_packets;
@@ -77,7 +79,8 @@ fn fast_cycles(sbox: &SpeedyBox, fid: speedybox_packet::Fid) -> u64 {
     let model = CycleModel::new();
     let mut pkt = flow_packets(1, 2600, 10).pop().expect("one packet");
     pkt.set_fid(fid);
-    fast_path(sbox, &mut pkt, fid, &model).expect("rule installed").work_cycles
+    let mut scratch = FastPathScratch::default();
+    fast_path(sbox, &mut pkt, fid, &model, &mut scratch).expect("rule installed").work_cycles
 }
 
 fn a2() -> EventCheckCost {

@@ -157,6 +157,27 @@ pub struct Classification {
     pub closes_flow: bool,
 }
 
+/// One not-yet-steered packet of a batch (parse succeeded; awaiting its
+/// clock tick).
+#[derive(Debug)]
+struct Pending {
+    idx: usize,
+    fid: Fid,
+    tuple: FiveTuple,
+    now: u64,
+    is_syn: bool,
+    closes: bool,
+}
+
+/// Reusable intermediate storage for
+/// [`PacketClassifier::classify_batch_into`]; hold one per worker and the
+/// classifier allocates nothing per batch once the vectors are warm.
+#[derive(Debug, Default)]
+pub struct ClassifyScratch {
+    slots: Vec<Option<Result<Classification, speedybox_packet::PacketError>>>,
+    pending: Vec<Pending>,
+}
+
 impl PacketClassifier {
     /// Creates an empty classifier with the default shard count and an
     /// unbounded (full-FID-space) flow table.
@@ -350,18 +371,30 @@ impl PacketClassifier {
         packets: &mut [Packet],
         ops: &mut [OpCounter],
     ) -> Vec<Result<Classification, speedybox_packet::PacketError>> {
+        let mut out = Vec::with_capacity(packets.len());
+        self.classify_batch_into(packets, ops, &mut out, &mut ClassifyScratch::default());
+        out
+    }
+
+    /// [`PacketClassifier::classify_batch`] into caller-owned storage:
+    /// results are appended to `out` (cleared first) and all intermediate
+    /// state lives in `scratch`, so a warm caller reclassifies batch after
+    /// batch without touching the allocator.
+    ///
+    /// # Panics
+    /// Panics if `ops.len() != packets.len()`.
+    pub fn classify_batch_into(
+        &self,
+        packets: &mut [Packet],
+        ops: &mut [OpCounter],
+        out: &mut Vec<Result<Classification, speedybox_packet::PacketError>>,
+        scratch: &mut ClassifyScratch,
+    ) {
         assert_eq!(packets.len(), ops.len(), "one OpCounter per packet");
-        struct Pending {
-            idx: usize,
-            fid: Fid,
-            tuple: FiveTuple,
-            now: u64,
-            is_syn: bool,
-            closes: bool,
-        }
-        let mut slots: Vec<Option<Result<Classification, speedybox_packet::PacketError>>> =
-            (0..packets.len()).map(|_| None).collect();
-        let mut pending: Vec<Pending> = Vec::with_capacity(packets.len());
+        let ClassifyScratch { slots, pending } = scratch;
+        slots.clear();
+        slots.resize_with(packets.len(), || None);
+        pending.clear();
         for (idx, packet) in packets.iter_mut().enumerate() {
             match packet.five_tuple() {
                 Err(e) => slots[idx] = Some(Err(e)),
@@ -387,7 +420,7 @@ impl PacketClassifier {
         for (j, p) in pending.iter_mut().enumerate() {
             p.now = base + j as u64;
         }
-        for p in &pending {
+        for p in pending.iter() {
             let class = self.steer(p.fid, p.tuple, p.now, p.is_syn);
             if p.closes && class != PacketClass::Collision {
                 // Sequential teardown point: the per-packet caller removes
@@ -402,7 +435,8 @@ impl PacketClassifier {
             }
             slots[p.idx] = Some(Ok(Classification { fid: p.fid, class, closes_flow: p.closes }));
         }
-        slots.into_iter().map(|s| s.expect("every packet classified")).collect()
+        out.clear();
+        out.extend(slots.drain(..).map(|s| s.expect("every packet classified")));
     }
 
     /// Classifies by 5-tuple only (no packet mutation) — used by tests and

@@ -474,6 +474,14 @@ impl GlobalMat {
     #[must_use]
     pub fn prefetch(&self, fids: &[Fid]) -> HashMap<Fid, Arc<GlobalRule>> {
         let mut cache = HashMap::with_capacity(fids.len());
+        self.prefetch_into(fids, &mut cache);
+        cache
+    }
+
+    /// [`GlobalMat::prefetch`] into a caller-owned map (cleared first) —
+    /// a warm caller re-prefetches batch after batch without allocating.
+    pub fn prefetch_into(&self, fids: &[Fid], cache: &mut HashMap<Fid, Arc<GlobalRule>>) {
+        cache.clear();
         for &fid in fids {
             if cache.contains_key(&fid) {
                 continue;
@@ -482,7 +490,6 @@ impl GlobalMat {
                 cache.insert(fid, rule);
             }
         }
-        cache
     }
 
     /// [`GlobalMat::prepare`] against a prefetched rule handle: identical

@@ -70,7 +70,7 @@ pub mod track;
 
 pub use action::{EncapSpec, HeaderAction};
 pub use api::NfInstrument;
-pub use classifier::{Classification, PacketClass, PacketClassifier};
+pub use classifier::{Classification, ClassifyScratch, PacketClass, PacketClassifier};
 pub use compiled::{compile, Anchor, CompiledProgram, MicroOp};
 pub use consolidate::{consolidate, ConsolidatedAction};
 pub use error::MatError;

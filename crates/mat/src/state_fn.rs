@@ -122,17 +122,27 @@ impl StateFunction {
     /// payload is snapshotted around the call and any byte change is
     /// recorded as an [`crate::track::AccessViolation`] — a lying
     /// declaration becomes a diagnostic instead of silent corruption on a
-    /// parallel schedule. Release builds compile the snapshot out.
+    /// parallel schedule. Release builds compile the snapshot out; debug
+    /// builds snapshot into a reused thread-local buffer, so even the
+    /// instrumented fast path stays allocation-free once warm (the
+    /// `tests/zero_alloc.rs` gate runs with `debug_assertions` on).
     pub fn invoke(&self, ctx: &mut SfContext<'_>) {
         ctx.ops.sf_invocations += 1;
         if crate::track::enabled() && self.access != PayloadAccess::Write {
-            let before = ctx.packet.payload().ok().map(<[u8]>::to_vec);
-            (self.handler)(ctx);
-            if let Some(before) = before {
-                if ctx.packet.payload().map(|p| p != &before[..]).unwrap_or(false) {
-                    crate::track::record_write_violation(&self.name, self.access);
+            let mut before = crate::track::snapshot_buf();
+            before.clear();
+            let have = match ctx.packet.payload() {
+                Ok(p) => {
+                    before.extend_from_slice(p);
+                    true
                 }
+                Err(_) => false,
+            };
+            (self.handler)(ctx);
+            if have && ctx.packet.payload().map(|p| p != &before[..]).unwrap_or(false) {
+                crate::track::record_write_violation(&self.name, self.access);
             }
+            crate::track::return_snapshot_buf(before);
             return;
         }
         (self.handler)(ctx);

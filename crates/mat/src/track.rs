@@ -16,9 +16,33 @@
 //! `cfg!` constant); the recording functions remain callable but are never
 //! reached from the hot path.
 
+use std::cell::RefCell;
 use std::sync::Mutex;
 
 use crate::state_fn::PayloadAccess;
+
+thread_local! {
+    /// Reused payload-snapshot buffer for the debug tracker. Taking it out
+    /// (instead of borrowing across the handler call) keeps a nested
+    /// state-function invocation from panicking on a double borrow — the
+    /// inner call just works with a fresh, empty vector.
+    static SNAPSHOT: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Hands out the thread's reusable snapshot buffer (possibly empty).
+pub(crate) fn snapshot_buf() -> Vec<u8> {
+    SNAPSHOT.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
+/// Returns a snapshot buffer, keeping the larger capacity for next time.
+pub(crate) fn return_snapshot_buf(buf: Vec<u8>) {
+    SNAPSHOT.with(|s| {
+        let mut slot = s.borrow_mut();
+        if buf.capacity() > slot.capacity() {
+            *slot = buf;
+        }
+    });
+}
 
 /// One observed declared-vs-actual payload-access mismatch.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -119,22 +119,42 @@ impl PacketBuilder {
         self
     }
 
-    /// Builds the packet. Headers are written with valid lengths and
-    /// checksums.
-    #[must_use]
-    pub fn build(&self) -> Packet {
-        let l4_hdr = match self.protocol {
+    /// The L4 header length for the chosen protocol.
+    fn l4_hdr(&self) -> usize {
+        match self.protocol {
             Protocol::Tcp => TCP_LEN,
             Protocol::Udp => UDP_LEN,
-        };
-        let l2_len = ETHERNET_LEN + if self.vlan.is_some() { 4 } else { 0 };
+        }
+    }
+
+    /// The L2 header length (Ethernet, plus a VLAN tag when set).
+    fn l2_len(&self) -> usize {
+        ETHERNET_LEN + if self.vlan.is_some() { 4 } else { 0 }
+    }
+
+    /// The padded payload length [`PacketBuilder::build`] will emit.
+    fn payload_len(&self) -> usize {
         let mut payload_len = self.payload.len();
         if let Some(target) = self.pad_to {
-            let min_payload = target.saturating_sub(l2_len + IPV4_LEN + l4_hdr);
+            let min_payload = target.saturating_sub(self.l2_len() + IPV4_LEN + self.l4_hdr());
             payload_len = payload_len.max(min_payload);
         }
-        let total = l2_len + IPV4_LEN + l4_hdr + payload_len;
-        let mut frame = vec![0u8; total];
+        payload_len
+    }
+
+    /// The full frame length [`PacketBuilder::build`] will emit.
+    #[must_use]
+    pub fn frame_len(&self) -> usize {
+        self.l2_len() + IPV4_LEN + self.l4_hdr() + self.payload_len()
+    }
+
+    /// Writes the frame's headers and payload into `frame`, which must be
+    /// exactly [`PacketBuilder::frame_len`] zeroed bytes. Checksums are
+    /// not computed here.
+    fn write_frame(&self, frame: &mut [u8]) {
+        let l4_hdr = self.l4_hdr();
+        let l2_len = self.l2_len();
+        let payload_len = self.payload_len();
         match self.vlan {
             None => self.eth.write(&mut frame[..ETHERNET_LEN]),
             Some(id) => {
@@ -183,7 +203,29 @@ impl PacketBuilder {
             }
         }
         frame[l4_off + l4_hdr..l4_off + l4_hdr + self.payload.len()].copy_from_slice(&self.payload);
+    }
+
+    /// Builds the packet. Headers are written with valid lengths and
+    /// checksums.
+    #[must_use]
+    pub fn build(&self) -> Packet {
+        let mut frame = vec![0u8; self.frame_len()];
+        self.write_frame(&mut frame);
         let mut pkt = Packet::from_valid_frame(&frame);
+        pkt.fix_checksums().expect("builder produces parseable packets");
+        pkt
+    }
+
+    /// [`PacketBuilder::build`], writing directly into a pooled buffer from
+    /// `mag` — no intermediate frame vector, no heap allocation while the
+    /// pool holds out. Byte-identical output to `build()`.
+    #[must_use]
+    pub fn build_pooled(&self, mag: &mut crate::pool::Magazine) -> Packet {
+        let mut buf = mag.take();
+        buf.clear();
+        buf.resize(crate::packet::HEADROOM + self.frame_len(), 0);
+        self.write_frame(&mut buf[crate::packet::HEADROOM..]);
+        let mut pkt = Packet::from_pooled(buf);
         pkt.fix_checksums().expect("builder produces parseable packets");
         pkt
     }
@@ -220,6 +262,24 @@ mod tests {
         assert!(a.tcp_flags().syn());
         assert!(c.tcp_flags().fin());
         assert_eq!(a.five_tuple().unwrap(), c.five_tuple().unwrap());
+    }
+
+    #[test]
+    fn pooled_build_matches_heap_build() {
+        use crate::pool::{Magazine, PacketPool};
+        let pool = std::sync::Arc::new(PacketPool::with_capacity(2048, 8));
+        let mut mag = Magazine::new(pool);
+        for builder in [
+            PacketBuilder::tcp().payload(b"hello").flags(TcpFlags::SYN).clone(),
+            PacketBuilder::udp().payload(&[7u8; 90]).pad_to(128).clone(),
+            PacketBuilder::tcp().vlan(12).pad_to(64).clone(),
+        ] {
+            let heap = builder.build();
+            let pooled = builder.build_pooled(&mut mag);
+            assert_eq!(heap.as_bytes(), pooled.as_bytes());
+            assert_eq!(builder.frame_len(), heap.len());
+            assert!(pooled.verify_checksums().unwrap());
+        }
     }
 
     #[test]

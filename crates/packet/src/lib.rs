@@ -11,7 +11,9 @@
 //! * flow identity: [`FiveTuple`] extraction and the paper's 20-bit
 //!   [`Fid`] packet metadata (§VI-B of the paper),
 //! * internet checksums ([`checksum`]),
-//! * a [`pool::PacketPool`] that recycles buffers like a DPDK mempool,
+//! * a DPDK-mempool-style [`pool::PacketPool`] with per-worker
+//!   [`pool::Magazine`] caches so the steady-state data path never touches
+//!   the allocator,
 //! * a serde-backed [`trace`] format for recording and replaying workloads,
 //!   and
 //! * classic libpcap read/write ([`pcap`]) for interop with
@@ -54,7 +56,7 @@ pub use builder::PacketBuilder;
 pub use field::{FieldValue, HeaderField};
 pub use five_tuple::{Fid, FiveTuple, Protocol, FID_BITS, FID_MASK};
 pub use packet::{HeaderLayout, Packet, PacketError, TcpFlags};
-pub use pool::PacketPool;
+pub use pool::{Magazine, PacketPool, PoolStats, DEFAULT_POOL_BUFFERS, MAGAZINE_SIZE};
 
 /// Result alias used throughout this crate.
 pub type Result<T, E = PacketError> = core::result::Result<T, E>;

@@ -150,23 +150,41 @@ impl Packet {
     /// # Errors
     /// Any parse failure of the Ethernet, IPv4, AH chain or L4 header.
     pub fn from_frame(frame: &[u8]) -> Result<Self> {
-        let mut buf = BytesMut::with_capacity(HEADROOM + frame.len());
-        buf.resize(HEADROOM, 0);
-        buf.extend_from_slice(frame);
-        let pkt = Self { buf, start: HEADROOM, fid: None };
+        let pkt = Self::assemble(BytesMut::with_capacity(HEADROOM + frame.len()), frame);
         pkt.validate()?;
         Ok(pkt)
     }
 
     /// Builds a packet from pre-validated parts; used by [`crate::PacketBuilder`].
     pub(crate) fn from_valid_frame(frame: &[u8]) -> Self {
-        let mut buf = BytesMut::with_capacity(HEADROOM + frame.len());
+        Self::assemble(BytesMut::with_capacity(HEADROOM + frame.len()), frame)
+    }
+
+    /// The one buffer-setup path every constructor funnels through: lays
+    /// `frame` out after [`HEADROOM`] zero bytes in `buf` (cleared first),
+    /// whether `buf` is fresh from the heap or recycled from a
+    /// [`crate::PacketPool`]. No validation — callers layer that on.
+    pub(crate) fn assemble(mut buf: BytesMut, frame: &[u8]) -> Self {
+        buf.clear();
         buf.resize(HEADROOM, 0);
         buf.extend_from_slice(frame);
         Self { buf, start: HEADROOM, fid: None }
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Wraps a buffer whose frame bytes were written in place after
+    /// [`HEADROOM`] (the builder's direct-into-pooled-buffer path).
+    pub(crate) fn from_pooled(buf: BytesMut) -> Self {
+        debug_assert!(buf.len() >= HEADROOM);
+        Self { buf, start: HEADROOM, fid: None }
+    }
+
+    /// Surrenders the backing buffer for recycling into a
+    /// [`crate::PacketPool`].
+    pub(crate) fn into_buf(self) -> BytesMut {
+        self.buf
+    }
+
+    pub(crate) fn validate(&self) -> Result<()> {
         let ip = self.ipv4()?;
         // The declared datagram must fit its own headers and the frame
         // must carry all of it. A frame longer than `total_len` is fine

@@ -1,83 +1,315 @@
-//! A recycling packet pool, analogous to a DPDK mempool.
+//! The pooled packet-buffer substrate, analogous to a DPDK mempool.
 //!
-//! The simulators allocate and free millions of packets; recycling the
-//! backing buffers keeps allocation cost out of the measured path, the same
-//! role the DPDK mempool plays for the paper's prototype.
+//! The paper's prototype rides DPDK mempools so the measured path never
+//! touches the allocator. This module reproduces that discipline in safe
+//! Rust: a [`PacketPool`] owns a depot of fixed-size buffers (frame room
+//! plus [`HEADROOM`], the mbuf layout [`Packet`] already uses) behind one
+//! mutex, and per-worker [`Magazine`] caches front it DPDK
+//! mempool-cache style — buffers move between a magazine and the depot in
+//! batches, so the depot lock is touched once per half-magazine of
+//! packets, not once per packet.
+//!
+//! Exhaustion degrades gracefully: a dry pool falls back to plain heap
+//! allocation (counted as a miss) and an over-full pool drops returned
+//! buffers on the floor (plain heap free). Neither path blocks or panics,
+//! so a SYN storm stays bounded and observable instead of fatal. The
+//! counters behind [`PacketPool::stats`] are surfaced through
+//! `speedybox-telemetry` by the platform runtimes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use bytes::BytesMut;
 
-use crate::packet::HEADROOM;
+use crate::packet::{Packet, PacketError, HEADROOM};
 
-/// A pool of reusable packet buffers.
+/// Default number of buffers a pool retains (the depot's slab bound).
+pub const DEFAULT_POOL_BUFFERS: usize = 4096;
+
+/// Default per-worker magazine size, mirroring DPDK's per-lcore mempool
+/// cache. Refills and flushes move half a magazine at a time.
+pub const MAGAZINE_SIZE: usize = 32;
+
+/// Point-in-time pool counters (all monotonic except `depth`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffer requests served from the pool (magazine cache or depot).
+    pub hits: u64,
+    /// Buffer requests that fell back to a fresh heap allocation because
+    /// the pool was exhausted.
+    pub misses: u64,
+    /// Buffers accepted back for reuse (returns beyond the retention
+    /// capacity are dropped and not counted).
+    pub recycled: u64,
+    /// Magazine batch refills from the depot.
+    pub refills: u64,
+    /// Magazine batch flushes back to the depot.
+    pub flushes: u64,
+    /// Buffers currently idle in the depot (a gauge, not a counter).
+    pub depth: u64,
+}
+
+/// A shared pool of reusable packet buffers.
 ///
-/// Not thread-safe by design: each simulator worker owns one pool, as each
-/// DPDK lcore owns a mempool cache.
+/// Thread-safe: clone the [`Arc`] into every worker and front it with one
+/// [`Magazine`] per worker so the depot mutex stays off the per-packet
+/// path.
 #[derive(Debug)]
 pub struct PacketPool {
-    free: Vec<BytesMut>,
+    depot: Mutex<Vec<BytesMut>>,
     buf_capacity: usize,
-    allocated: u64,
-    recycled: u64,
+    /// Retention bound: the depot never holds more than this many idle
+    /// buffers. Adjustable at runtime (the sim's `pool=N` pressure fault).
+    capacity: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    refills: AtomicU64,
+    flushes: AtomicU64,
 }
 
 impl PacketPool {
-    /// Creates a pool that hands out buffers with room for frames up to
-    /// `max_frame` bytes plus [`HEADROOM`].
+    /// Creates an empty pool that hands out buffers with room for frames
+    /// up to `max_frame` bytes plus [`HEADROOM`], retaining at most
+    /// [`DEFAULT_POOL_BUFFERS`] idle buffers. The depot fills lazily as
+    /// finished packets are recycled into it.
     #[must_use]
     pub fn new(max_frame: usize) -> Self {
-        Self { free: Vec::new(), buf_capacity: HEADROOM + max_frame, allocated: 0, recycled: 0 }
+        Self::bounded(max_frame, DEFAULT_POOL_BUFFERS)
     }
 
-    /// Creates a pool pre-populated with `count` buffers.
+    /// Creates an empty pool with an explicit retention bound.
+    #[must_use]
+    pub fn bounded(max_frame: usize, capacity: usize) -> Self {
+        Self {
+            depot: Mutex::new(Vec::with_capacity(capacity)),
+            buf_capacity: HEADROOM + max_frame,
+            capacity: AtomicUsize::new(capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            refills: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a pool pre-populated with `count` buffers (and a retention
+    /// bound of `count`).
     #[must_use]
     pub fn with_capacity(max_frame: usize, count: usize) -> Self {
-        let mut pool = Self::new(max_frame);
-        for _ in 0..count {
-            let buf = BytesMut::with_capacity(pool.buf_capacity);
-            pool.free.push(buf);
+        let pool = Self::bounded(max_frame, count);
+        {
+            let mut depot = pool.depot();
+            for _ in 0..count {
+                depot.push(BytesMut::with_capacity(pool.buf_capacity));
+            }
         }
         pool
     }
 
-    /// Takes a cleared buffer from the pool, allocating if empty.
-    pub fn take(&mut self) -> BytesMut {
-        match self.free.pop() {
+    /// Poison-proof depot access: a panicking holder cannot corrupt a
+    /// `Vec<BytesMut>`, so the data is always valid.
+    fn depot(&self) -> MutexGuard<'_, Vec<BytesMut>> {
+        self.depot.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The fixed per-buffer capacity (frame room plus [`HEADROOM`]).
+    #[must_use]
+    pub fn buf_capacity(&self) -> usize {
+        self.buf_capacity
+    }
+
+    /// The current retention bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Relaxed)
+    }
+
+    /// Re-bounds the pool at runtime (the sim's `pool=N` pressure knob).
+    /// Shrinking below the current depth drops the excess idle buffers;
+    /// processing results never change — only buffer provenance does.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Relaxed);
+        let mut depot = self.depot();
+        if depot.len() > capacity {
+            depot.truncate(capacity);
+        }
+    }
+
+    /// Takes a cleared buffer, falling back to a heap allocation (counted
+    /// as a miss) when the depot is dry.
+    pub fn take(&self) -> BytesMut {
+        let popped = self.depot().pop();
+        match popped {
             Some(mut buf) => {
                 buf.clear();
-                self.recycled += 1;
+                self.hits.fetch_add(1, Relaxed);
                 buf
             }
             None => {
-                self.allocated += 1;
+                self.misses.fetch_add(1, Relaxed);
                 BytesMut::with_capacity(self.buf_capacity)
             }
         }
     }
 
-    /// Returns a buffer to the pool for reuse.
-    pub fn give(&mut self, buf: BytesMut) {
-        if buf.capacity() >= self.buf_capacity {
-            self.free.push(buf);
+    /// Returns a buffer for reuse. Undersized buffers and returns beyond
+    /// the retention bound are dropped (a plain heap free).
+    pub fn give(&self, buf: BytesMut) {
+        if buf.capacity() < self.buf_capacity {
+            return;
         }
-        // Undersized buffers (e.g. split-off remnants) are dropped.
+        let mut depot = self.depot();
+        if depot.len() < self.capacity.load(Relaxed) {
+            depot.push(buf);
+            self.recycled.fetch_add(1, Relaxed);
+        }
     }
 
-    /// Number of buffers currently idle in the pool.
+    /// Takes `n` cleared buffers with one depot-lock acquisition,
+    /// appending them to `out`. Shortfall is made up from the heap
+    /// (counted as misses).
+    pub fn take_batch(&self, n: usize, out: &mut Vec<BytesMut>) {
+        out.reserve(n);
+        let mut served = 0usize;
+        {
+            let mut depot = self.depot();
+            while served < n {
+                let Some(mut buf) = depot.pop() else { break };
+                buf.clear();
+                out.push(buf);
+                served += 1;
+            }
+        }
+        self.hits.fetch_add(served as u64, Relaxed);
+        let missed = n - served;
+        if missed > 0 {
+            self.misses.fetch_add(missed as u64, Relaxed);
+            for _ in 0..missed {
+                out.push(BytesMut::with_capacity(self.buf_capacity));
+            }
+        }
+    }
+
+    /// Returns a batch of buffers with one depot-lock acquisition.
+    pub fn give_batch(&self, bufs: impl IntoIterator<Item = BytesMut>) {
+        let cap = self.capacity.load(Relaxed);
+        let mut accepted = 0u64;
+        {
+            let mut depot = self.depot();
+            for buf in bufs {
+                if buf.capacity() < self.buf_capacity || depot.len() >= cap {
+                    continue;
+                }
+                depot.push(buf);
+                accepted += 1;
+            }
+        }
+        if accepted > 0 {
+            self.recycled.fetch_add(accepted, Relaxed);
+        }
+    }
+
+    /// Recycles a batch of finished packets' buffers with one depot-lock
+    /// acquisition.
+    pub fn free_batch(&self, packets: impl IntoIterator<Item = Packet>) {
+        self.give_batch(packets.into_iter().map(Packet::into_buf));
+    }
+
+    /// Builds a validated packet from `frame` in a pooled buffer.
+    ///
+    /// # Errors
+    /// Returns the parse error for malformed frames; the buffer goes back
+    /// to the pool.
+    pub fn alloc_frame(&self, frame: &[u8]) -> Result<Packet, PacketError> {
+        let pkt = Packet::assemble(self.take(), frame);
+        match pkt.validate() {
+            Ok(()) => Ok(pkt),
+            Err(e) => {
+                self.give(pkt.into_buf());
+                Err(e)
+            }
+        }
+    }
+
+    /// Builds validated packets for a batch of frames with one depot
+    /// visit. Each slot is `Some(packet)` or `None` for a malformed frame
+    /// (whose buffer goes straight back to the pool).
+    pub fn alloc_frames<'a, I>(&self, frames: I, out: &mut Vec<Option<Packet>>)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let frames = frames.into_iter();
+        let mut bufs: Vec<BytesMut> = Vec::with_capacity(frames.len());
+        self.take_batch(frames.len(), &mut bufs);
+        let mut rejected: Vec<BytesMut> = Vec::new();
+        for (frame, buf) in frames.zip(bufs) {
+            let pkt = Packet::assemble(buf, frame);
+            match pkt.validate() {
+                Ok(()) => out.push(Some(pkt)),
+                Err(_) => {
+                    rejected.push(pkt.into_buf());
+                    out.push(None);
+                }
+            }
+        }
+        if !rejected.is_empty() {
+            self.give_batch(rejected);
+        }
+    }
+
+    /// A pooled deep copy of `src` (frame bytes and flow id preserved).
+    #[must_use]
+    pub fn copy_packet(&self, src: &Packet) -> Packet {
+        let mut pkt = Packet::assemble(self.take(), src.as_bytes());
+        if let Some(fid) = src.fid() {
+            pkt.set_fid(fid);
+        }
+        pkt
+    }
+
+    /// Pooled deep copies of `src` with one depot-lock acquisition,
+    /// appended to `out` — the explicit clone-for-rerun the benches use
+    /// outside their measured regions (and, pool permitting, without any
+    /// allocator traffic inside them).
+    pub fn copy_packets_into(&self, src: &[Packet], out: &mut Vec<Packet>) {
+        let mut bufs: Vec<BytesMut> = Vec::with_capacity(src.len());
+        self.take_batch(src.len(), &mut bufs);
+        for (p, buf) in src.iter().zip(bufs) {
+            let mut pkt = Packet::assemble(buf, p.as_bytes());
+            if let Some(fid) = p.fid() {
+                pkt.set_fid(fid);
+            }
+            out.push(pkt);
+        }
+    }
+
+    /// [`PacketPool::copy_packets_into`], collecting into a fresh vector.
+    #[must_use]
+    pub fn copy_packets(&self, src: &[Packet]) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(src.len());
+        self.copy_packets_into(src, &mut out);
+        out
+    }
+
+    /// Number of buffers currently idle in the depot.
     #[must_use]
     pub fn idle(&self) -> usize {
-        self.free.len()
+        self.depot().len()
     }
 
-    /// Count of fresh allocations performed (pool misses).
+    /// Snapshot of the pool counters.
     #[must_use]
-    pub fn allocations(&self) -> u64 {
-        self.allocated
-    }
-
-    /// Count of successful buffer reuses (pool hits).
-    #[must_use]
-    pub fn recycles(&self) -> u64 {
-        self.recycled
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            recycled: self.recycled.load(Relaxed),
+            refills: self.refills.load(Relaxed),
+            flushes: self.flushes.load(Relaxed),
+            depth: self.idle() as u64,
+        }
     }
 }
 
@@ -87,42 +319,325 @@ impl Default for PacketPool {
     }
 }
 
+/// A per-worker buffer cache fronting a shared [`PacketPool`] — DPDK's
+/// per-lcore mempool cache.
+///
+/// Deliberately not `Sync`: each worker owns one magazine (`&mut`
+/// methods) and only batch refills/flushes touch the shared depot. A
+/// dropped magazine flushes its buffers back to the depot.
+#[derive(Debug)]
+pub struct Magazine {
+    pool: Arc<PacketPool>,
+    cache: Vec<BytesMut>,
+    size: usize,
+}
+
+impl Magazine {
+    /// A magazine of [`MAGAZINE_SIZE`] buffers over `pool`.
+    #[must_use]
+    pub fn new(pool: Arc<PacketPool>) -> Self {
+        Self::with_size(pool, MAGAZINE_SIZE)
+    }
+
+    /// A magazine with an explicit cache size (minimum 2 so half-batches
+    /// are non-empty).
+    #[must_use]
+    pub fn with_size(pool: Arc<PacketPool>, size: usize) -> Self {
+        let size = size.max(2);
+        Self { cache: Vec::with_capacity(size), pool, size }
+    }
+
+    /// The shared pool this magazine fronts.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PacketPool> {
+        &self.pool
+    }
+
+    /// Takes a cleared buffer: from the cache, else a half-magazine batch
+    /// refill from the depot, else a heap fallback (counted as a miss by
+    /// the pool).
+    pub fn take(&mut self) -> BytesMut {
+        if let Some(mut buf) = self.cache.pop() {
+            buf.clear();
+            self.pool.hits.fetch_add(1, Relaxed);
+            return buf;
+        }
+        // Batch refill: one depot lock buys up to half a magazine.
+        let want = self.size / 2;
+        {
+            let mut depot = self.pool.depot();
+            while self.cache.len() < want {
+                let Some(buf) = depot.pop() else { break };
+                self.cache.push(buf);
+            }
+        }
+        if self.cache.is_empty() {
+            self.pool.misses.fetch_add(1, Relaxed);
+            return BytesMut::with_capacity(self.pool.buf_capacity);
+        }
+        self.pool.refills.fetch_add(1, Relaxed);
+        self.pool.hits.fetch_add(1, Relaxed);
+        let mut buf = self.cache.pop().expect("refilled cache is non-empty");
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer for reuse. A full magazine first flushes half of
+    /// itself to the depot in one batch; undersized buffers are dropped.
+    pub fn give(&mut self, buf: BytesMut) {
+        if buf.capacity() < self.pool.buf_capacity {
+            return;
+        }
+        if self.cache.len() >= self.size {
+            self.flush_half();
+        }
+        self.cache.push(buf);
+        self.pool.recycled.fetch_add(1, Relaxed);
+    }
+
+    /// Recycles a finished packet's buffer.
+    pub fn give_packet(&mut self, packet: Packet) {
+        self.give(packet.into_buf());
+    }
+
+    /// A pooled deep copy of `src` through this magazine's cache (frame
+    /// bytes and flow id preserved).
+    #[must_use]
+    pub fn copy_packet(&mut self, src: &Packet) -> Packet {
+        let mut pkt = Packet::assemble(self.take(), src.as_bytes());
+        if let Some(fid) = src.fid() {
+            pkt.set_fid(fid);
+        }
+        pkt
+    }
+
+    /// Flushes half the cache to the depot with one lock acquisition.
+    fn flush_half(&mut self) {
+        let keep = self.size / 2;
+        let cap = self.pool.capacity.load(Relaxed);
+        {
+            let mut depot = self.pool.depot();
+            for buf in self.cache.drain(keep..) {
+                if depot.len() < cap {
+                    depot.push(buf);
+                }
+                // Beyond the retention bound: dropped (plain heap free).
+            }
+        }
+        self.pool.flushes.fetch_add(1, Relaxed);
+    }
+
+    /// Returns every cached buffer to the depot.
+    pub fn flush(&mut self) {
+        if self.cache.is_empty() {
+            return;
+        }
+        let cap = self.pool.capacity.load(Relaxed);
+        {
+            let mut depot = self.pool.depot();
+            for buf in self.cache.drain(..) {
+                if depot.len() < cap {
+                    depot.push(buf);
+                }
+            }
+        }
+        self.pool.flushes.fetch_add(1, Relaxed);
+    }
+
+    /// Buffers currently cached in this magazine.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl Drop for Magazine {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn take_give_recycles() {
-        let mut pool = PacketPool::new(512);
+        let pool = PacketPool::new(512);
         let b1 = pool.take();
-        assert_eq!(pool.allocations(), 1);
+        assert_eq!(pool.stats().misses, 1);
         pool.give(b1);
         assert_eq!(pool.idle(), 1);
         let _b2 = pool.take();
-        assert_eq!(pool.recycles(), 1);
-        assert_eq!(pool.allocations(), 1);
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.recycled, 1);
     }
 
     #[test]
     fn prepopulated_pool_has_idle_buffers() {
         let pool = PacketPool::with_capacity(512, 8);
         assert_eq!(pool.idle(), 8);
+        assert_eq!(pool.stats().depth, 8);
     }
 
     #[test]
     fn undersized_buffers_are_dropped() {
-        let mut pool = PacketPool::new(4096);
+        let pool = PacketPool::new(4096);
         pool.give(BytesMut::with_capacity(16));
         assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.stats().recycled, 0);
     }
 
     #[test]
     fn taken_buffers_are_empty() {
-        let mut pool = PacketPool::new(512);
+        let pool = PacketPool::new(512);
         let mut b = pool.take();
         b.extend_from_slice(&[1, 2, 3]);
         pool.give(b);
         let b2 = pool.take();
         assert!(b2.is_empty());
+    }
+
+    #[test]
+    fn retention_bound_drops_excess_returns() {
+        let pool = PacketPool::bounded(512, 2);
+        for _ in 0..5 {
+            pool.give(BytesMut::with_capacity(pool.buf_capacity()));
+        }
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().recycled, 2);
+    }
+
+    #[test]
+    fn set_capacity_shrinks_live() {
+        let pool = PacketPool::with_capacity(512, 8);
+        pool.set_capacity(3);
+        assert_eq!(pool.idle(), 3);
+        // Exhaustion after the shrink falls back to the heap, never panics.
+        let taken: Vec<_> = (0..6).map(|_| pool.take()).collect();
+        assert_eq!(pool.stats().misses, 3);
+        drop(taken);
+    }
+
+    #[test]
+    fn batch_take_mixes_pool_and_heap() {
+        let pool = PacketPool::with_capacity(256, 4);
+        let mut bufs = Vec::new();
+        pool.take_batch(6, &mut bufs);
+        assert_eq!(bufs.len(), 6);
+        let s = pool.stats();
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.misses, 2);
+        pool.give_batch(bufs);
+        assert_eq!(pool.idle(), 4); // bound is 4; the rest were dropped
+    }
+
+    #[test]
+    fn magazine_refills_and_flushes_in_batches() {
+        let pool = Arc::new(PacketPool::with_capacity(256, 64));
+        let mut mag = Magazine::with_size(Arc::clone(&pool), 8);
+        // First take triggers one batch refill of size/2 buffers.
+        let b = mag.take();
+        assert_eq!(pool.stats().refills, 1);
+        assert_eq!(mag.idle(), 3);
+        // Next takes are pure cache hits: no further refills.
+        let c = mag.take();
+        let d = mag.take();
+        assert_eq!(pool.stats().refills, 1);
+        assert_eq!(pool.stats().misses, 0);
+        // Overfilling the magazine flushes half back in one batch.
+        for buf in [b, c, d] {
+            mag.give(buf);
+        }
+        for _ in 0..8 {
+            mag.give(BytesMut::with_capacity(pool.buf_capacity()));
+        }
+        assert!(pool.stats().flushes >= 1);
+        assert!(mag.idle() <= 8);
+    }
+
+    #[test]
+    fn magazine_exhaustion_falls_back_to_heap() {
+        let pool = Arc::new(PacketPool::bounded(256, 0));
+        let mut mag = Magazine::with_size(Arc::clone(&pool), 4);
+        let bufs: Vec<_> = (0..10).map(|_| mag.take()).collect();
+        assert_eq!(bufs.len(), 10);
+        assert_eq!(pool.stats().misses, 10);
+        assert_eq!(pool.stats().hits, 0);
+    }
+
+    #[test]
+    fn dropped_magazine_flushes_to_depot() {
+        let pool = Arc::new(PacketPool::with_capacity(256, 16));
+        {
+            let mut mag = Magazine::with_size(Arc::clone(&pool), 8);
+            let b = mag.take();
+            mag.give(b);
+            assert!(pool.idle() < 16);
+        }
+        // The magazine's cached buffers are back in the depot.
+        assert_eq!(pool.idle(), 16);
+    }
+
+    #[test]
+    fn alloc_frame_round_trips_and_validates() {
+        let pool = PacketPool::with_capacity(512, 2);
+        let p = crate::PacketBuilder::tcp().payload(b"hello").build();
+        let pooled = pool.alloc_frame(p.as_bytes()).unwrap();
+        assert_eq!(pooled.as_bytes(), p.as_bytes());
+        // Garbage frames error and return their buffer to the pool.
+        assert!(pool.alloc_frame(&[0u8; 5]).is_err());
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn alloc_frames_batch_marks_malformed_slots() {
+        let pool = PacketPool::with_capacity(512, 4);
+        let good = crate::PacketBuilder::udp().payload(b"x").build();
+        let frames: Vec<&[u8]> = vec![good.as_bytes(), &[1, 2, 3], good.as_bytes()];
+        let mut out = Vec::new();
+        pool.alloc_frames(frames, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_some() && out[1].is_none() && out[2].is_some());
+    }
+
+    #[test]
+    fn copy_packets_preserves_bytes_and_fid() {
+        let pool = PacketPool::with_capacity(512, 8);
+        let mut p = crate::PacketBuilder::tcp().payload(b"abc").build();
+        let fid = p.five_tuple().unwrap().fid();
+        p.set_fid(fid);
+        let copies = pool.copy_packets(std::slice::from_ref(&p));
+        assert_eq!(copies.len(), 1);
+        assert_eq!(copies[0].as_bytes(), p.as_bytes());
+        assert_eq!(copies[0].fid(), Some(fid));
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn threaded_stress_stays_consistent() {
+        let pool = Arc::new(PacketPool::with_capacity(256, 128));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let mut mag = Magazine::with_size(pool, 16);
+                    for round in 0..500 {
+                        let mut held: Vec<BytesMut> =
+                            (0..(round % 7) + 1).map(|_| mag.take()).collect();
+                        for buf in held.drain(..) {
+                            mag.give(buf);
+                        }
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        // Conservation: everything taken was served from somewhere.
+        assert!(s.hits + s.misses >= 2000);
+        // Magazines drained back: no more idle buffers than the bound.
+        assert!(pool.idle() <= 128);
     }
 }

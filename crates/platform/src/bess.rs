@@ -10,22 +10,23 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use speedybox_mat::{GlobalRule, OpCounter, PacketClass};
+use speedybox_mat::{Classification, ClassifyScratch, GlobalRule, OpCounter, PacketClass};
 use speedybox_nf::Nf;
-use speedybox_packet::{Fid, Packet};
+use speedybox_packet::{Fid, Magazine, Packet, PacketError, PacketPool, PoolStats};
 use speedybox_telemetry::Telemetry;
 
 use crate::cycles::CycleModel;
 use crate::metrics::{observe, PathKind, ProcessedPacket, RunStats};
 use crate::runtime::{
     classify, fast_path, fast_path_cached, notify_flow_closed, tag_ingress, traverse_chain,
-    SboxConfig, SpeedyBox,
+    FastPathScratch, SboxConfig, SpeedyBox,
 };
 
 /// Per-batch fast-path state: rule handles prefetched with one read-lock
 /// acquisition per shard, plus the FIDs whose cached handle went stale
 /// (rule installed, patched or removed mid-batch — those fall back to the
 /// locked lookup for the rest of the batch).
+#[derive(Debug, Default)]
 pub(crate) struct BatchState {
     pub(crate) cache: HashMap<Fid, Arc<GlobalRule>>,
     pub(crate) stale: HashSet<Fid>,
@@ -37,10 +38,6 @@ pub(crate) struct BatchState {
 }
 
 impl BatchState {
-    pub(crate) fn new(cache: HashMap<Fid, Arc<GlobalRule>>) -> Self {
-        Self { cache, stale: HashSet::new(), last: None }
-    }
-
     /// Drops the memo if it holds `fid` (rule rewritten/removed/expired).
     pub(crate) fn forget(&mut self, fid: Fid) {
         if self.last.as_ref().is_some_and(|(lf, _)| *lf == fid) {
@@ -65,12 +62,32 @@ pub struct BessChain {
     /// Cumulative modeled wall cycles: per batch, the busiest worker's
     /// share (see [`RunStats::worker_wall_cycles`]).
     worker_wall: u64,
+    /// The chain's packet-buffer pool. Dropped packets are recycled here
+    /// per batch; traffic sources draw pooled buffers from the same pool
+    /// so the steady state allocates nothing.
+    pool: Arc<PacketPool>,
+    /// The chain's own magazine fronting `pool` (single-threaded chains
+    /// run one worker, so one cache suffices).
+    mag: Magazine,
+    /// Pool counters as of the last telemetry sync; deltas land in
+    /// `telemetry` at batch/run boundaries.
+    pool_seen: PoolStats,
+    /// Persistent scratch, reused across batches so the steady-state
+    /// batch path performs no heap allocation.
+    fp_scratch: FastPathScratch,
+    cls_scratch: ClassifyScratch,
+    classified: Vec<Result<Classification, PacketError>>,
+    fast_fids: Vec<Fid>,
+    ops_scratch: Vec<OpCounter>,
+    before_cycles: Vec<u64>,
+    batch_scratch: BatchState,
 }
 
 impl BessChain {
     /// The original (uninstrumented) chain — the paper's `BESS` baseline.
     #[must_use]
     pub fn original(nfs: Vec<Box<dyn Nf>>) -> Self {
+        let pool = Arc::new(PacketPool::default());
         Self {
             nfs,
             model: CycleModel::new(),
@@ -78,6 +95,16 @@ impl BessChain {
             telemetry: Arc::new(Telemetry::new(1)),
             worker_cycles: vec![0; 1],
             worker_wall: 0,
+            mag: Magazine::new(Arc::clone(&pool)),
+            pool,
+            pool_seen: PoolStats::default(),
+            fp_scratch: FastPathScratch::default(),
+            cls_scratch: ClassifyScratch::default(),
+            classified: Vec::new(),
+            fast_fids: Vec::new(),
+            ops_scratch: Vec::new(),
+            before_cycles: Vec::new(),
+            batch_scratch: BatchState::default(),
         }
     }
 
@@ -91,6 +118,7 @@ impl BessChain {
     #[must_use]
     pub fn speedybox_with(nfs: Vec<Box<dyn Nf>>, config: SboxConfig) -> Self {
         let workers = config.worker_count();
+        let pool = Arc::new(PacketPool::bounded(2048, config.pool_buffers));
         let sbox = SpeedyBox::new(nfs.len(), config);
         let telemetry = Arc::clone(&sbox.telemetry);
         Self {
@@ -100,6 +128,16 @@ impl BessChain {
             telemetry,
             worker_cycles: vec![0; workers],
             worker_wall: 0,
+            mag: Magazine::new(Arc::clone(&pool)),
+            pool,
+            pool_seen: PoolStats::default(),
+            fp_scratch: FastPathScratch::default(),
+            cls_scratch: ClassifyScratch::default(),
+            classified: Vec::new(),
+            fast_fids: Vec::new(),
+            ops_scratch: Vec::new(),
+            before_cycles: Vec::new(),
+            batch_scratch: BatchState::default(),
         }
     }
 
@@ -107,6 +145,30 @@ impl BessChain {
     #[must_use]
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The chain's packet-buffer pool. Traffic sources should draw their
+    /// buffers from here (via a [`Magazine`]) and callers should return
+    /// delivered packets with [`PacketPool::free_batch`] so the steady
+    /// state recycles instead of allocating.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PacketPool> {
+        &self.pool
+    }
+
+    /// Folds pool-counter deltas since the last sync into the telemetry
+    /// hub (shard 0: pool traffic is chain-global, not per-flow).
+    fn sync_pool_telemetry(&mut self) {
+        let now = self.pool.stats();
+        let seen = self.pool_seen;
+        let shard = self.telemetry.shard(0);
+        shard.add_pool_hits(now.hits - seen.hits);
+        shard.add_pool_misses(now.misses - seen.misses);
+        shard.add_pool_recycled(now.recycled - seen.recycled);
+        shard.add_pool_refills(now.refills - seen.refills);
+        shard.add_pool_flushes(now.flushes - seen.flushes);
+        shard.set_pool_depth(now.depth);
+        self.pool_seen = now;
     }
 
     /// Replaces the cycle model (calibration experiments).
@@ -186,10 +248,13 @@ impl BessChain {
                 }
                 let hint = packet.fid().map_or(0, |f| f.index() as u64);
                 let outcome = ProcessedPacket {
-                    packet: res.survived.then(|| {
+                    packet: if res.survived {
                         packet.clear_fid();
-                        packet
-                    }),
+                        Some(packet)
+                    } else {
+                        self.mag.give_packet(packet);
+                        None
+                    },
                     work_cycles: cycles,
                     latency_cycles: cycles,
                     path: PathKind::Baseline,
@@ -208,8 +273,11 @@ impl BessChain {
         let sbox = self.sbox.as_ref().expect("speedybox enabled");
         let mut cls_ops = OpCounter::default();
         let outcome = match classify(sbox, &mut packet, &mut cls_ops) {
-            // Unparseable packet: drop at the classifier.
-            Err(_) => self.classifier_drop(cls_ops),
+            // Unparseable packet: drop at the classifier (buffer recycled).
+            Err(_) => {
+                self.mag.give_packet(packet);
+                self.classifier_drop(cls_ops)
+            }
             Ok((fid, class, closes_flow)) => {
                 self.finish_speedybox(packet, fid, class, closes_flow, cls_ops, &mut None)
             }
@@ -282,10 +350,13 @@ impl BessChain {
                 ops.merge(&res.ops);
                 ops.merge(&install_ops);
                 ProcessedPacket {
-                    packet: res.survived.then(|| {
+                    packet: if res.survived {
                         packet.clear_fid();
-                        packet
-                    }),
+                        Some(packet)
+                    } else {
+                        self.mag.give_packet(packet);
+                        None
+                    },
                     work_cycles: cycles,
                     latency_cycles: cycles,
                     path: PathKind::Initial,
@@ -308,10 +379,13 @@ impl BessChain {
                 let mut ops = cls_ops;
                 ops.merge(&res.ops);
                 ProcessedPacket {
-                    packet: res.survived.then(|| {
+                    packet: if res.survived {
                         packet.clear_fid();
-                        packet
-                    }),
+                        Some(packet)
+                    } else {
+                        self.mag.give_packet(packet);
+                        None
+                    },
                     work_cycles: cycles,
                     latency_cycles: cycles,
                     path: PathKind::Baseline,
@@ -327,8 +401,14 @@ impl BessChain {
                         } else {
                             bs.cache.get(&fid)
                         };
-                        let (res, fired) =
-                            fast_path_cached(sbox, &mut packet, fid, &self.model, handle);
+                        let (res, fired) = fast_path_cached(
+                            sbox,
+                            &mut packet,
+                            fid,
+                            &self.model,
+                            handle,
+                            &mut self.fp_scratch,
+                        );
                         if fired {
                             bs.stale.insert(fid);
                             bs.last = None;
@@ -339,17 +419,20 @@ impl BessChain {
                         }
                         res
                     }
-                    _ => fast_path(sbox, &mut packet, fid, &self.model),
+                    _ => fast_path(sbox, &mut packet, fid, &self.model, &mut self.fp_scratch),
                 };
                 match fp {
                     Some(res) => {
                         let mut ops = cls_ops;
                         ops.merge(&res.ops);
                         ProcessedPacket {
-                            packet: res.survived.then(|| {
+                            packet: if res.survived {
                                 packet.clear_fid();
-                                packet
-                            }),
+                                Some(packet)
+                            } else {
+                                self.mag.give_packet(packet);
+                                None
+                            },
                             work_cycles: cls_cycles + res.work_cycles,
                             latency_cycles: cls_cycles + res.latency_cycles,
                             path: PathKind::Subsequent,
@@ -380,10 +463,13 @@ impl BessChain {
                         let mut ops = cls_ops;
                         ops.merge(&res.ops);
                         ProcessedPacket {
-                            packet: res.survived.then(|| {
+                            packet: if res.survived {
                                 packet.clear_fid();
-                                packet
-                            }),
+                                Some(packet)
+                            } else {
+                                self.mag.give_packet(packet);
+                                None
+                            },
                             work_cycles: cycles,
                             latency_cycles: cycles,
                             path: PathKind::Initial,
@@ -423,42 +509,85 @@ impl BessChain {
     /// Each packet's work is attributed to the worker owning its FID
     /// slice; the batch's modeled wall time is the busiest worker's share.
     pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<ProcessedPacket> {
-        if self.sbox.is_none() {
-            return packets.into_iter().map(|p| self.process(p)).collect();
-        }
         let mut packets = packets;
-        let mut ops = vec![OpCounter::default(); packets.len()];
-        let (classified, batch_state) = {
+        let mut out = Vec::with_capacity(packets.len());
+        self.process_batch_into(&mut packets, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`BessChain::process_batch`]: drains
+    /// `packets`, appends each outcome to `out` (cleared first), and keeps
+    /// every piece of per-batch scratch — classifier slots, prefetched
+    /// rule cache, op counters — alive inside the chain between calls. In
+    /// the steady state (all capacities warmed, pool populated) a call
+    /// touches the heap zero times; `tests/zero_alloc.rs` enforces this.
+    pub fn process_batch_into(
+        &mut self,
+        packets: &mut Vec<Packet>,
+        out: &mut Vec<ProcessedPacket>,
+    ) {
+        out.clear();
+        if self.sbox.is_none() {
+            out.extend(packets.drain(..).map(|p| self.process(p)));
+            self.sync_pool_telemetry();
+            return;
+        }
+        let n = packets.len();
+        self.ops_scratch.clear();
+        self.ops_scratch.resize(n, OpCounter::default());
+        // Persistent scratch moves out of `self` for the duration of the
+        // batch so `finish_speedybox` can borrow the chain mutably.
+        let mut bs = std::mem::take(&mut self.batch_scratch);
+        let mut classified = std::mem::take(&mut self.classified);
+        let mut fast_fids = std::mem::take(&mut self.fast_fids);
+        let mut cls_scratch = std::mem::take(&mut self.cls_scratch);
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        {
             let sbox = self.sbox.as_ref().expect("speedybox enabled");
-            let classified = sbox.classifier.classify_batch(&mut packets, &mut ops);
-            let fast_fids: Vec<Fid> = classified
-                .iter()
-                .filter_map(|r| r.as_ref().ok())
-                .filter(|c| c.class == PacketClass::Subsequent)
-                .map(|c| c.fid)
-                .collect();
-            let cache = sbox.global.prefetch(&fast_fids);
-            (classified, BatchState::new(cache))
-        };
-        let before = self.worker_cycles.clone();
-        let mut batch = Some(batch_state);
-        let outcomes: Vec<ProcessedPacket> = packets
-            .into_iter()
-            .zip(classified)
-            .zip(ops)
-            .map(|((pkt, cls), cls_ops)| match cls {
-                Err(_) => self.classifier_drop(cls_ops),
-                Ok(c) => {
-                    self.finish_speedybox(pkt, c.fid, c.class, c.closes_flow, cls_ops, &mut batch)
+            sbox.classifier.classify_batch_into(
+                packets,
+                &mut ops,
+                &mut classified,
+                &mut cls_scratch,
+            );
+            fast_fids.clear();
+            fast_fids.extend(
+                classified
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .filter(|c| c.class == PacketClass::Subsequent)
+                    .map(|c| c.fid),
+            );
+            sbox.global.prefetch_into(&fast_fids, &mut bs.cache);
+        }
+        bs.stale.clear();
+        bs.last = None;
+        self.before_cycles.clear();
+        self.before_cycles.extend_from_slice(&self.worker_cycles);
+        let mut batch = Some(bs);
+        for ((pkt, cls), cls_ops) in packets.drain(..).zip(classified.iter()).zip(ops.iter()) {
+            let outcome = match cls {
+                Err(_) => {
+                    self.mag.give_packet(pkt);
+                    self.classifier_drop(*cls_ops)
                 }
-            })
-            .collect();
+                Ok(c) => {
+                    self.finish_speedybox(pkt, c.fid, c.class, c.closes_flow, *cls_ops, &mut batch)
+                }
+            };
+            out.push(outcome);
+        }
+        self.batch_scratch = batch.take().expect("batch state survives the batch");
+        self.classified = classified;
+        self.fast_fids = fast_fids;
+        self.cls_scratch = cls_scratch;
+        self.ops_scratch = ops;
         // Symmetric workers drain their slices of the batch concurrently;
         // the busiest worker bounds the batch's wall time.
         self.worker_wall += self
             .worker_cycles
             .iter()
-            .zip(&before)
+            .zip(&self.before_cycles)
             .map(|(after, before)| after - before)
             .max()
             .unwrap_or(0);
@@ -466,7 +595,7 @@ impl BessChain {
         if let Some(sbox) = &self.sbox {
             sbox.tick_idle_eviction();
         }
-        outcomes
+        self.sync_pool_telemetry();
     }
 
     /// Runs a sequence of packets, collecting statistics. Processes in
@@ -486,6 +615,7 @@ impl BessChain {
         stats.worker_cycles =
             self.worker_cycles.iter().zip(&workers_before).map(|(a, b)| a - b).collect();
         stats.worker_wall_cycles = self.worker_wall - wall_before;
+        self.sync_pool_telemetry();
         stats
     }
 
@@ -501,17 +631,23 @@ impl BessChain {
         let workers_before = self.worker_cycles.clone();
         let wall_before = self.worker_wall;
         let mut stats = RunStats::default();
+        // One input buffer and one outcome buffer for the whole run:
+        // `process_batch_into` drains the former and refills the latter,
+        // so neither reallocates after the first full batch.
         let mut buf = Vec::with_capacity(batch_size);
+        let mut out = Vec::with_capacity(batch_size);
         for p in packets {
             buf.push(p);
             if buf.len() == batch_size {
-                for outcome in self.process_batch(std::mem::take(&mut buf)) {
+                self.process_batch_into(&mut buf, &mut out);
+                for outcome in out.drain(..) {
                     stats.record(outcome);
                 }
             }
         }
         if !buf.is_empty() {
-            for outcome in self.process_batch(buf) {
+            self.process_batch_into(&mut buf, &mut out);
+            for outcome in out.drain(..) {
                 stats.record(outcome);
             }
         }

@@ -16,9 +16,9 @@
 
 use std::sync::Arc;
 
-use speedybox_mat::{OpCounter, PacketClass};
+use speedybox_mat::{Classification, ClassifyScratch, OpCounter, PacketClass};
 use speedybox_nf::Nf;
-use speedybox_packet::{Fid, Packet};
+use speedybox_packet::{Fid, Magazine, Packet, PacketError, PacketPool, PoolStats};
 use speedybox_telemetry::Telemetry;
 
 use crate::bess::BatchState;
@@ -26,7 +26,7 @@ use crate::cycles::CycleModel;
 use crate::metrics::{observe, PathKind, ProcessedPacket, RunStats};
 use crate::runtime::{
     classify, fast_path, fast_path_cached, notify_flow_closed, tag_ingress, traverse_chain,
-    SboxConfig, SpeedyBox,
+    FastPathScratch, SboxConfig, SpeedyBox,
 };
 
 /// A service chain running in the OpenNetVM-style pipelined environment.
@@ -48,6 +48,20 @@ pub struct OnvmChain {
     /// Live counters. Shared with `sbox.telemetry` when SpeedyBox is on;
     /// a private hub for baseline chains.
     telemetry: Arc<Telemetry>,
+    /// The chain's packet-buffer pool; dropped packets are recycled here.
+    pool: Arc<PacketPool>,
+    /// The chain's own magazine fronting `pool`.
+    mag: Magazine,
+    /// Pool counters as of the last telemetry sync.
+    pool_seen: PoolStats,
+    /// Persistent per-batch scratch (see [`crate::bess::BessChain`]).
+    fp_scratch: FastPathScratch,
+    cls_scratch: ClassifyScratch,
+    classified: Vec<Result<Classification, PacketError>>,
+    fast_fids: Vec<Fid>,
+    ops_scratch: Vec<OpCounter>,
+    before_cycles: Vec<u64>,
+    batch_scratch: BatchState,
 }
 
 impl OnvmChain {
@@ -55,6 +69,7 @@ impl OnvmChain {
     #[must_use]
     pub fn original(nfs: Vec<Box<dyn Nf>>) -> Self {
         let stages = nfs.len() + 1;
+        let pool = Arc::new(PacketPool::default());
         Self {
             nfs,
             model: CycleModel::new(),
@@ -63,6 +78,16 @@ impl OnvmChain {
             worker_cycles: vec![0; 1],
             worker_wall: 0,
             telemetry: Arc::new(Telemetry::new(1)),
+            mag: Magazine::new(Arc::clone(&pool)),
+            pool,
+            pool_seen: PoolStats::default(),
+            fp_scratch: FastPathScratch::default(),
+            cls_scratch: ClassifyScratch::default(),
+            classified: Vec::new(),
+            fast_fids: Vec::new(),
+            ops_scratch: Vec::new(),
+            before_cycles: Vec::new(),
+            batch_scratch: BatchState::default(),
         }
     }
 
@@ -70,6 +95,27 @@ impl OnvmChain {
     #[must_use]
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The chain's packet-buffer pool (see [`crate::bess::BessChain::pool`]).
+    #[must_use]
+    pub fn pool(&self) -> &Arc<PacketPool> {
+        &self.pool
+    }
+
+    /// Folds pool-counter deltas since the last sync into the telemetry
+    /// hub (shard 0: pool traffic is chain-global, not per-flow).
+    fn sync_pool_telemetry(&mut self) {
+        let now = self.pool.stats();
+        let seen = self.pool_seen;
+        let shard = self.telemetry.shard(0);
+        shard.add_pool_hits(now.hits - seen.hits);
+        shard.add_pool_misses(now.misses - seen.misses);
+        shard.add_pool_recycled(now.recycled - seen.recycled);
+        shard.add_pool_refills(now.refills - seen.refills);
+        shard.add_pool_flushes(now.flushes - seen.flushes);
+        shard.set_pool_depth(now.depth);
+        self.pool_seen = now;
     }
 
     /// The chain with SpeedyBox — the paper's `ONVM w/ SBox`. The Global
@@ -84,6 +130,7 @@ impl OnvmChain {
     #[must_use]
     pub fn speedybox_with(nfs: Vec<Box<dyn Nf>>, config: SboxConfig) -> Self {
         let stages = nfs.len() + 1;
+        let pool = Arc::new(PacketPool::bounded(2048, config.pool_buffers));
         let sbox = SpeedyBox::new(nfs.len(), config);
         let telemetry = Arc::clone(&sbox.telemetry);
         Self {
@@ -94,6 +141,16 @@ impl OnvmChain {
             worker_cycles: vec![0; config.worker_count()],
             worker_wall: 0,
             telemetry,
+            mag: Magazine::new(Arc::clone(&pool)),
+            pool,
+            pool_seen: PoolStats::default(),
+            fp_scratch: FastPathScratch::default(),
+            cls_scratch: ClassifyScratch::default(),
+            classified: Vec::new(),
+            fast_fids: Vec::new(),
+            ops_scratch: Vec::new(),
+            before_cycles: Vec::new(),
+            batch_scratch: BatchState::default(),
         }
     }
 
@@ -185,10 +242,13 @@ impl OnvmChain {
                 }
                 let hint = packet.fid().map_or(0, |f| f.index() as u64);
                 let outcome = ProcessedPacket {
-                    packet: res.survived.then(|| {
+                    packet: if res.survived {
                         packet.clear_fid();
-                        packet
-                    }),
+                        Some(packet)
+                    } else {
+                        self.mag.give_packet(packet);
+                        None
+                    },
                     work_cycles: work,
                     latency_cycles: latency,
                     path: PathKind::Baseline,
@@ -207,7 +267,10 @@ impl OnvmChain {
         let sbox = self.sbox.as_ref().expect("speedybox enabled");
         let mut cls_ops = OpCounter::default();
         let outcome = match classify(sbox, &mut packet, &mut cls_ops) {
-            Err(_) => self.classifier_drop(cls_ops),
+            Err(_) => {
+                self.mag.give_packet(packet);
+                self.classifier_drop(cls_ops)
+            }
             Ok((fid, class, closes_flow)) => {
                 self.finish_speedybox(packet, fid, class, closes_flow, cls_ops, &mut None)
             }
@@ -290,10 +353,13 @@ impl OnvmChain {
                     + hop_count * self.model.ring_hop;
                 let latency = work + hop_count * self.model.ring_transit;
                 ProcessedPacket {
-                    packet: res.survived.then(|| {
+                    packet: if res.survived {
                         packet.clear_fid();
-                        packet
-                    }),
+                        Some(packet)
+                    } else {
+                        self.mag.give_packet(packet);
+                        None
+                    },
                     work_cycles: work,
                     latency_cycles: latency,
                     path: PathKind::Initial,
@@ -317,10 +383,13 @@ impl OnvmChain {
                     + hop_count * self.model.ring_hop;
                 let latency = work + hop_count * self.model.ring_transit;
                 ProcessedPacket {
-                    packet: res.survived.then(|| {
+                    packet: if res.survived {
                         packet.clear_fid();
-                        packet
-                    }),
+                        Some(packet)
+                    } else {
+                        self.mag.give_packet(packet);
+                        None
+                    },
                     work_cycles: work,
                     latency_cycles: latency,
                     path: PathKind::Baseline,
@@ -336,8 +405,14 @@ impl OnvmChain {
                         } else {
                             bs.cache.get(&fid)
                         };
-                        let (res, fired) =
-                            fast_path_cached(sbox, &mut packet, fid, &self.model, handle);
+                        let (res, fired) = fast_path_cached(
+                            sbox,
+                            &mut packet,
+                            fid,
+                            &self.model,
+                            handle,
+                            &mut self.fp_scratch,
+                        );
                         if fired {
                             bs.stale.insert(fid);
                             bs.last = None;
@@ -348,7 +423,7 @@ impl OnvmChain {
                         }
                         res
                     }
-                    _ => fast_path(sbox, &mut packet, fid, &self.model),
+                    _ => fast_path(sbox, &mut packet, fid, &self.model, &mut self.fp_scratch),
                 };
                 match fp {
                     Some(res) => {
@@ -359,23 +434,26 @@ impl OnvmChain {
                         // and therefore throughput — independent of chain
                         // depth.
                         let dispatched: u64 = if sbox.config.parallelize_sf {
-                            res.batch_cycles.iter().map(|&(_, c)| c).sum()
+                            self.fp_scratch.attr.iter().map(|&(_, c)| c).sum()
                         } else {
                             0
                         };
                         self.stage_cycles[0] += res.work_cycles - dispatched;
                         if sbox.config.parallelize_sf {
-                            for &(nf, c) in &res.batch_cycles {
+                            for &(nf, c) in &self.fp_scratch.attr {
                                 self.stage_cycles[nf.index() + 1] += c;
                             }
                         }
                         let mut ops = cls_ops;
                         ops.merge(&res.ops);
                         ProcessedPacket {
-                            packet: res.survived.then(|| {
+                            packet: if res.survived {
                                 packet.clear_fid();
-                                packet
-                            }),
+                                Some(packet)
+                            } else {
+                                self.mag.give_packet(packet);
+                                None
+                            },
                             work_cycles: cls_cycles + res.work_cycles,
                             latency_cycles: cls_cycles + res.latency_cycles,
                             path: PathKind::Subsequent,
@@ -408,10 +486,13 @@ impl OnvmChain {
                         let mut ops = cls_ops;
                         ops.merge(&res.ops);
                         ProcessedPacket {
-                            packet: res.survived.then(|| {
+                            packet: if res.survived {
                                 packet.clear_fid();
-                                packet
-                            }),
+                                Some(packet)
+                            } else {
+                                self.mag.give_packet(packet);
+                                None
+                            },
                             work_cycles: cycles,
                             latency_cycles: cycles,
                             path: PathKind::Initial,
@@ -446,42 +527,81 @@ impl OnvmChain {
     /// Each packet's work is attributed to the worker owning its FID
     /// slice; the batch's modeled wall time is the busiest worker's share.
     pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<ProcessedPacket> {
-        if self.sbox.is_none() {
-            return packets.into_iter().map(|p| self.process(p)).collect();
-        }
         let mut packets = packets;
-        let mut ops = vec![OpCounter::default(); packets.len()];
-        let (classified, batch_state) = {
+        let mut out = Vec::with_capacity(packets.len());
+        self.process_batch_into(&mut packets, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`OnvmChain::process_batch`]: drains
+    /// `packets` into `out` (cleared first) while reusing the chain's
+    /// persistent per-batch scratch (see
+    /// [`crate::bess::BessChain::process_batch_into`]).
+    pub fn process_batch_into(
+        &mut self,
+        packets: &mut Vec<Packet>,
+        out: &mut Vec<ProcessedPacket>,
+    ) {
+        out.clear();
+        if self.sbox.is_none() {
+            out.extend(packets.drain(..).map(|p| self.process(p)));
+            self.sync_pool_telemetry();
+            return;
+        }
+        let n = packets.len();
+        self.ops_scratch.clear();
+        self.ops_scratch.resize(n, OpCounter::default());
+        let mut bs = std::mem::take(&mut self.batch_scratch);
+        let mut classified = std::mem::take(&mut self.classified);
+        let mut fast_fids = std::mem::take(&mut self.fast_fids);
+        let mut cls_scratch = std::mem::take(&mut self.cls_scratch);
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        {
             let sbox = self.sbox.as_ref().expect("speedybox enabled");
-            let classified = sbox.classifier.classify_batch(&mut packets, &mut ops);
-            let fast_fids: Vec<Fid> = classified
-                .iter()
-                .filter_map(|r| r.as_ref().ok())
-                .filter(|c| c.class == PacketClass::Subsequent)
-                .map(|c| c.fid)
-                .collect();
-            let cache = sbox.global.prefetch(&fast_fids);
-            (classified, BatchState::new(cache))
-        };
-        let before = self.worker_cycles.clone();
-        let mut batch = Some(batch_state);
-        let outcomes: Vec<ProcessedPacket> = packets
-            .into_iter()
-            .zip(classified)
-            .zip(ops)
-            .map(|((pkt, cls), cls_ops)| match cls {
-                Err(_) => self.classifier_drop(cls_ops),
-                Ok(c) => {
-                    self.finish_speedybox(pkt, c.fid, c.class, c.closes_flow, cls_ops, &mut batch)
+            sbox.classifier.classify_batch_into(
+                packets,
+                &mut ops,
+                &mut classified,
+                &mut cls_scratch,
+            );
+            fast_fids.clear();
+            fast_fids.extend(
+                classified
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .filter(|c| c.class == PacketClass::Subsequent)
+                    .map(|c| c.fid),
+            );
+            sbox.global.prefetch_into(&fast_fids, &mut bs.cache);
+        }
+        bs.stale.clear();
+        bs.last = None;
+        self.before_cycles.clear();
+        self.before_cycles.extend_from_slice(&self.worker_cycles);
+        let mut batch = Some(bs);
+        for ((pkt, cls), cls_ops) in packets.drain(..).zip(classified.iter()).zip(ops.iter()) {
+            let outcome = match cls {
+                Err(_) => {
+                    self.mag.give_packet(pkt);
+                    self.classifier_drop(*cls_ops)
                 }
-            })
-            .collect();
+                Ok(c) => {
+                    self.finish_speedybox(pkt, c.fid, c.class, c.closes_flow, *cls_ops, &mut batch)
+                }
+            };
+            out.push(outcome);
+        }
+        self.batch_scratch = batch.take().expect("batch state survives the batch");
+        self.classified = classified;
+        self.fast_fids = fast_fids;
+        self.cls_scratch = cls_scratch;
+        self.ops_scratch = ops;
         // Symmetric workers drain their slices of the batch concurrently;
         // the busiest worker bounds the batch's wall time.
         self.worker_wall += self
             .worker_cycles
             .iter()
-            .zip(&before)
+            .zip(&self.before_cycles)
             .map(|(after, before)| after - before)
             .max()
             .unwrap_or(0);
@@ -489,7 +609,7 @@ impl OnvmChain {
         if let Some(sbox) = &self.sbox {
             sbox.tick_idle_eviction();
         }
-        outcomes
+        self.sync_pool_telemetry();
     }
 
     /// Runs a sequence of packets, collecting statistics (including the
@@ -513,6 +633,7 @@ impl OnvmChain {
         stats.worker_cycles =
             self.worker_cycles.iter().zip(&workers_before).map(|(a, b)| a - b).collect();
         stats.worker_wall_cycles = self.worker_wall - wall_before;
+        self.sync_pool_telemetry();
         stats
     }
 
@@ -529,17 +650,22 @@ impl OnvmChain {
         let workers_before = self.worker_cycles.clone();
         let wall_before = self.worker_wall;
         let mut stats = RunStats::default();
+        // Persistent input/outcome buffers: `process_batch_into` drains
+        // one and refills the other, so neither reallocates once warm.
         let mut buf = Vec::with_capacity(batch_size);
+        let mut out = Vec::with_capacity(batch_size);
         for p in packets {
             buf.push(p);
             if buf.len() == batch_size {
-                for outcome in self.process_batch(std::mem::take(&mut buf)) {
+                self.process_batch_into(&mut buf, &mut out);
+                for outcome in out.drain(..) {
                     stats.record(outcome);
                 }
             }
         }
         if !buf.is_empty() {
-            for outcome in self.process_batch(buf) {
+            self.process_batch_into(&mut buf, &mut out);
+            for outcome in out.drain(..) {
                 stats.record(outcome);
             }
         }

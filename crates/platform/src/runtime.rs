@@ -74,6 +74,11 @@ pub struct SboxConfig {
     /// evict the least-recently-seen flow to make room (default), or
     /// reject the newcomer (it rides the original chain, uninstrumented).
     pub admission: AdmissionPolicy,
+    /// Retention bound of the chain's packet-buffer pool (idle buffers the
+    /// depot keeps for reuse). Pooling never changes processing results —
+    /// only where buffers come from; an exhausted pool falls back to heap
+    /// allocation, counted in the `pool_misses` telemetry counter.
+    pub pool_buffers: usize,
 }
 
 impl Default for SboxConfig {
@@ -89,6 +94,7 @@ impl Default for SboxConfig {
             max_flows: FID_SPACE,
             idle_timeout: 0,
             admission: AdmissionPolicy::EvictOldest,
+            pool_buffers: speedybox_packet::DEFAULT_POOL_BUFFERS,
         }
     }
 }
@@ -280,7 +286,9 @@ pub fn traverse_chain(
     SlowPathResult { survived, per_nf_cycles, ops: total_ops }
 }
 
-/// Result of a fast-path execution.
+/// Result of a fast-path execution. Per-batch cycle attribution lives in
+/// the caller's [`FastPathScratch`] (`attr`), not here, so the result
+/// itself is allocation-free.
 #[derive(Debug)]
 pub struct FastPathResult {
     /// Whether the packet survived (false = early drop).
@@ -291,9 +299,20 @@ pub struct FastPathResult {
     pub latency_cycles: u64,
     /// Operations performed.
     pub ops: OpCounter,
-    /// Work per state-function batch `(owning NF, cycles)` — pipelined
-    /// environments use this to attribute batch execution to worker cores.
-    pub batch_cycles: Vec<(NfId, u64)>,
+}
+
+/// Reusable per-worker storage for [`fast_path`] /
+/// [`fast_path_cached`]: once warm, fast-path execution allocates
+/// nothing per packet.
+#[derive(Debug, Default)]
+pub struct FastPathScratch {
+    /// Per-batch modeled cycles in schedule order (internal).
+    cycles: Vec<u64>,
+    /// Work per state-function batch `(owning NF, cycles)` for the packet
+    /// most recently executed — pipelined environments read this to
+    /// attribute batch execution to worker cores. Empty after an early
+    /// drop or a fast-path miss.
+    pub attr: Vec<(NfId, u64)>,
 }
 
 /// Executes the consolidated fast path for a subsequent packet.
@@ -307,11 +326,13 @@ pub fn fast_path(
     packet: &mut Packet,
     fid: Fid,
     model: &CycleModel,
+    scratch: &mut FastPathScratch,
 ) -> Option<FastPathResult> {
     // Step 1: event check + rule lookup (re-consolidates if events fired).
     let mut ctl_ops = OpCounter::default();
+    scratch.attr.clear();
     let rule = sbox.global.prepare(fid, &mut ctl_ops)?;
-    Some(fast_path_execute(sbox, packet, fid, model, &rule, ctl_ops))
+    Some(fast_path_execute(sbox, packet, fid, model, &rule, ctl_ops, scratch))
 }
 
 /// [`fast_path`] against a prefetched rule handle (see
@@ -326,17 +347,22 @@ pub fn fast_path_cached(
     fid: Fid,
     model: &CycleModel,
     cached: Option<&Arc<speedybox_mat::GlobalRule>>,
+    scratch: &mut FastPathScratch,
 ) -> (Option<FastPathResult>, bool) {
     let mut ctl_ops = OpCounter::default();
+    scratch.attr.clear();
     let (rule, fired) = sbox.global.prepare_cached(fid, cached, &mut ctl_ops);
     match rule {
-        Some(rule) => (Some(fast_path_execute(sbox, packet, fid, model, &rule, ctl_ops)), fired),
+        Some(rule) => {
+            (Some(fast_path_execute(sbox, packet, fid, model, &rule, ctl_ops, scratch)), fired)
+        }
         None => (None, fired),
     }
 }
 
 /// Steps 2-3 of the fast path, shared by the locked and cached step-1
 /// variants.
+#[allow(clippy::too_many_arguments)]
 fn fast_path_execute(
     sbox: &SpeedyBox,
     packet: &mut Packet,
@@ -344,6 +370,7 @@ fn fast_path_execute(
     model: &CycleModel,
     rule: &speedybox_mat::GlobalRule,
     ctl_ops: OpCounter,
+    scratch: &mut FastPathScratch,
 ) -> FastPathResult {
     let ctl_cycles = model.cycles(&ctl_ops);
 
@@ -392,23 +419,22 @@ fn fast_path_execute(
             work_cycles: cycles,
             latency_cycles: cycles,
             ops,
-            batch_cycles: Vec::new(),
         };
     }
 
     // Step 3: state-function batches, costed per batch so the Table I
     // schedule's wall latency (max per wave) can be modeled.
-    let mut batch_cycles = Vec::with_capacity(rule.batches.len());
+    scratch.cycles.clear();
     let mut sf_ops = OpCounter::default();
     for batch in &rule.batches {
         let mut ops = OpCounter::default();
         batch.execute(packet, fid, &mut ops);
-        batch_cycles.push(model.cycles(&ops));
+        scratch.cycles.push(model.cycles(&ops));
         sf_ops.merge(&ops);
     }
-    let sf_work: u64 = batch_cycles.iter().sum();
+    let sf_work: u64 = scratch.cycles.iter().sum();
     let sf_latency = if sbox.config.parallelize_sf {
-        schedule_latency(&rule.schedule, &batch_cycles)
+        schedule_latency(&rule.schedule, &scratch.cycles)
     } else {
         sf_work
     };
@@ -423,13 +449,12 @@ fn fast_path_execute(
     let mut ops = ctl_ops;
     ops.merge(&ha_ops);
     ops.merge(&sf_ops);
-    let per_batch = rule.batches.iter().zip(&batch_cycles).map(|(b, &c)| (b.nf, c)).collect();
+    scratch.attr.extend(rule.batches.iter().zip(&scratch.cycles).map(|(b, &c)| (b.nf, c)));
     FastPathResult {
         survived: true,
         work_cycles: ctl_cycles + ha_cycles + sf_work + fixed,
         latency_cycles: ctl_cycles + ha_cycles + sf_latency + fixed,
         ops,
-        batch_cycles: per_batch,
     }
 }
 
@@ -529,7 +554,8 @@ mod tests {
         sbox.global.install(fid, &mut install_ops);
 
         let mut sub = packet(1000);
-        let out = fast_path(&sbox, &mut sub, fid, &model).unwrap();
+        let mut scratch = FastPathScratch::default();
+        let out = fast_path(&sbox, &mut sub, fid, &model, &mut scratch).unwrap();
         assert!(out.survived);
         // Latter NF's modify wins on the fast path, same as sequential.
         assert_eq!(sub.get_field(HeaderField::DstPort).unwrap().as_port(), 2222);
@@ -540,7 +566,8 @@ mod tests {
         let model = CycleModel::new();
         let sbox = SpeedyBox::new(1, SboxConfig::default());
         let mut p = packet(1000);
-        assert!(fast_path(&sbox, &mut p, Fid::new(7), &model).is_none());
+        let mut scratch = FastPathScratch::default();
+        assert!(fast_path(&sbox, &mut p, Fid::new(7), &model, &mut scratch).is_none());
     }
 
     #[test]
@@ -554,7 +581,8 @@ mod tests {
         traverse_chain(&mut nfs, Some(&consolidated.instruments), &mut initial, &model);
         let mut ops = OpCounter::default();
         consolidated.global.install(fid, &mut ops);
-        let fast = fast_path(&consolidated, &mut packet(1000), fid, &model).unwrap();
+        let mut scratch = FastPathScratch::default();
+        let fast = fast_path(&consolidated, &mut packet(1000), fid, &model, &mut scratch).unwrap();
 
         let unconsolidated = SpeedyBox::new(
             2,
@@ -565,7 +593,8 @@ mod tests {
         traverse_chain(&mut nfs2, Some(&unconsolidated.instruments), &mut initial2, &model);
         let mut ops2 = OpCounter::default();
         unconsolidated.global.install(fid, &mut ops2);
-        let slow = fast_path(&unconsolidated, &mut packet(1000), fid, &model).unwrap();
+        let slow =
+            fast_path(&unconsolidated, &mut packet(1000), fid, &model, &mut scratch).unwrap();
 
         assert!(
             slow.work_cycles > fast.work_cycles,
@@ -576,8 +605,8 @@ mod tests {
         // Both produce the same packet bytes.
         let mut a = packet(1000);
         let mut b = packet(1000);
-        fast_path(&consolidated, &mut a, fid, &model).unwrap();
-        fast_path(&unconsolidated, &mut b, fid, &model).unwrap();
+        fast_path(&consolidated, &mut a, fid, &model, &mut scratch).unwrap();
+        fast_path(&unconsolidated, &mut b, fid, &model, &mut scratch).unwrap();
         assert_eq!(a.as_bytes(), b.as_bytes());
     }
 
@@ -593,8 +622,10 @@ mod tests {
         assert!(!res.survived);
         let mut ops = OpCounter::default();
         sbox.global.install(fid, &mut ops);
-        let out = fast_path(&sbox, &mut packet(1000), fid, &model).unwrap();
+        let mut scratch = FastPathScratch::default();
+        let out = fast_path(&sbox, &mut packet(1000), fid, &model, &mut scratch).unwrap();
         assert!(!out.survived);
+        assert!(scratch.attr.is_empty(), "early drop leaves no batch attribution");
         // Early drop must be cheaper than the forward fixed overhead path.
         assert!(out.work_cycles < model.mat_lookup + model.fastpath_forward_fixed + 500);
     }
@@ -623,7 +654,8 @@ mod tests {
             traverse_chain(&mut nfs, Some(&sbox.instruments), &mut initial, &model);
             let mut ops = OpCounter::default();
             sbox.global.install(fid, &mut ops);
-            fast_path(&sbox, &mut packet(1000), fid, &model).unwrap()
+            fast_path(&sbox, &mut packet(1000), fid, &model, &mut FastPathScratch::default())
+                .unwrap()
         };
 
         let par = run(SboxConfig::default());

@@ -15,7 +15,7 @@ use std::time::Instant;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use speedybox_mat::{FastPathOutcome, OpCounter, PacketClass};
 use speedybox_nf::{Nf, NfContext};
-use speedybox_packet::{Fid, Packet};
+use speedybox_packet::{Fid, Magazine, Packet, PacketPool};
 use speedybox_telemetry::{PathClass, Telemetry, TelemetrySnapshot};
 
 use crate::runtime::{SboxConfig, SpeedyBox};
@@ -127,6 +127,10 @@ pub fn run_threaded_observed(
         Some(s) => Arc::clone(&s.telemetry),
         None => Arc::new(Telemetry::new(1)),
     };
+    // One shared buffer pool; the manager and every NF thread front it
+    // with a private magazine and recycle dropped packets into it.
+    let pool = Arc::new(PacketPool::default());
+    let mut mgr_mag = Magazine::new(Arc::clone(&pool));
 
     let (done_tx, done_rx) = bounded::<Done>(ring_capacity.max(total));
     // Build the ring chain back to front.
@@ -138,6 +142,7 @@ pub fn run_threaded_observed(
         let done = done_tx.clone();
         let instrument = sbox.as_ref().map(|s| s.instruments[i].clone());
         let telem = Arc::clone(&telemetry);
+        let mut mag = Magazine::new(Arc::clone(&pool));
         let handle = thread::spawn(move || {
             while let Ok(msg) = rx.recv() {
                 match msg {
@@ -155,6 +160,7 @@ pub fn run_threaded_observed(
                         };
                         telem.shard(seq as u64).add_ops(&ops.telemetry_totals());
                         if !verdict.survives() {
+                            mag.give_packet(pkt);
                             let _ = done.send(Done::Dropped { seq, sent_at });
                         } else {
                             match &downstream {
@@ -273,7 +279,8 @@ pub fn run_threaded_observed(
                               delivered: &mut Vec<Option<Packet>>,
                               latencies_ns: &mut Vec<u64>,
                               dropped: &mut usize,
-                              completed: &mut usize| {
+                              completed: &mut usize,
+                              mag: &mut Magazine| {
                 if run.is_empty() {
                     return;
                 }
@@ -307,12 +314,14 @@ pub fn run_threaded_observed(
                                     let lat = elapsed_ns(start);
                                     latencies_ns[seq] = lat;
                                     cell.record_packet(PathClass::Subsequent, lat, false);
+                                    mag.give_packet(pkt);
                                     *dropped += 1;
                                 }
                                 // Rule missing: treat as drop (does not
                                 // occur with the blocking install below).
                                 FastPathOutcome::NoRule => {
                                     cell.record_packet(PathClass::Subsequent, 0, false);
+                                    mag.give_packet(pkt);
                                     *dropped += 1;
                                 }
                             }
@@ -329,6 +338,9 @@ pub fn run_threaded_observed(
                         }
                         *dropped += meta.len();
                         *completed += meta.len();
+                        for pkt in pkts {
+                            mag.give_packet(pkt);
+                        }
                     }
                 }
                 for (_, fid, closes) in meta {
@@ -375,9 +387,11 @@ pub fn run_threaded_observed(
                                 &mut latencies_ns,
                                 &mut dropped,
                                 &mut completed,
+                                &mut mgr_mag,
                             );
                             path_class[seq] = PathClass::Initial;
                             telemetry.shard(seq as u64).record_packet(PathClass::Initial, 0, false);
+                            mgr_mag.give_packet(pkt);
                             dropped += 1;
                             completed += 1;
                             continue;
@@ -395,6 +409,7 @@ pub fn run_threaded_observed(
                         &mut latencies_ns,
                         &mut dropped,
                         &mut completed,
+                        &mut mgr_mag,
                     );
                     let record = c.class == PacketClass::Initial;
                     // Collision/Handshake packets traverse the original
@@ -457,6 +472,7 @@ pub fn run_threaded_observed(
                     &mut latencies_ns,
                     &mut dropped,
                     &mut completed,
+                    &mut mgr_mag,
                 );
                 while completed >= next_snap {
                     on_snapshot(&telemetry.snapshot());
@@ -489,6 +505,20 @@ pub fn run_threaded_observed(
     while let Ok(done) = done_rx.try_recv() {
         drain_one(done, &mut delivered, &mut latencies_ns, &mut dropped, &path_class);
     }
+
+    // Fold pool counters into the hub before the final snapshot (shard 0:
+    // pool traffic is run-global, not per-flow). NF-thread magazines have
+    // already flushed on drop; release the manager's too so the depth
+    // gauge reflects every idle buffer.
+    mgr_mag.flush();
+    let ps = pool.stats();
+    let shard = telemetry.shard(0);
+    shard.add_pool_hits(ps.hits);
+    shard.add_pool_misses(ps.misses);
+    shard.add_pool_recycled(ps.recycled);
+    shard.add_pool_refills(ps.refills);
+    shard.add_pool_flushes(ps.flushes);
+    shard.set_pool_depth(ps.depth);
 
     let snapshot = telemetry.snapshot();
     ThreadedReport {

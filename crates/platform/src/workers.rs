@@ -20,12 +20,12 @@ use std::thread;
 
 use speedybox_mat::{OpCounter, PacketClass};
 use speedybox_nf::Nf;
-use speedybox_packet::Packet;
+use speedybox_packet::{Magazine, Packet, PacketPool};
 use speedybox_telemetry::{PathClass, TelemetrySnapshot};
 
 use crate::cycles::CycleModel;
 use crate::runtime::{
-    classify, fast_path, notify_flow_closed, traverse_chain, SboxConfig, SpeedyBox,
+    classify, fast_path, notify_flow_closed, traverse_chain, FastPathScratch, SboxConfig, SpeedyBox,
 };
 
 /// Result of a worker-pool run.
@@ -85,6 +85,9 @@ pub fn run_workers(
 
     let sbox = Arc::new(SpeedyBox::new(nf_count, config));
     let telemetry = Arc::clone(&sbox.telemetry);
+    // One shared buffer pool; each worker fronts it with a private
+    // magazine so depot-lock traffic stays off the per-packet path.
+    let pool = Arc::new(PacketPool::bounded(2048, config.pool_buffers));
 
     // RSS steering: partition the trace by FID slice, preserving arrival
     // order within each slice (and therefore within each flow).
@@ -99,7 +102,8 @@ pub fn run_workers(
         let mut handles = Vec::with_capacity(workers);
         for (mut nfs, slice) in nf_sets.into_iter().zip(slices) {
             let sbox = Arc::clone(&sbox);
-            handles.push(scope.spawn(move || worker_loop(&sbox, &mut nfs, slice)));
+            let mut mag = Magazine::new(Arc::clone(&pool));
+            handles.push(scope.spawn(move || worker_loop(&sbox, &mut nfs, slice, &mut mag)));
         }
         for h in handles {
             lanes.push(h.join().expect("worker thread panicked"));
@@ -109,6 +113,17 @@ pub fn run_workers(
     // deterministic mid-run batch boundary, so idle flows are reclaimed
     // once all lanes drain. O(1) when nothing is due.
     sbox.tick_idle_eviction();
+
+    // Fold pool counters into the shared hub before snapshotting (shard 0:
+    // pool traffic is run-global, not per-flow).
+    let ps = pool.stats();
+    let shard = telemetry.shard(0);
+    shard.add_pool_hits(ps.hits);
+    shard.add_pool_misses(ps.misses);
+    shard.add_pool_recycled(ps.recycled);
+    shard.add_pool_refills(ps.refills);
+    shard.add_pool_flushes(ps.flushes);
+    shard.set_pool_depth(ps.depth);
 
     let mut delivered = Vec::new();
     let mut dropped = 0;
@@ -137,18 +152,20 @@ fn worker_loop(
     sbox: &SpeedyBox,
     nfs: &mut [Box<dyn Nf>],
     slice: Vec<Packet>,
+    mag: &mut Magazine,
 ) -> (Vec<Packet>, usize, usize, u64) {
     let model = CycleModel::new();
     let processed = slice.len();
     let mut delivered = Vec::with_capacity(slice.len());
     let mut dropped = 0usize;
     let mut cycles = 0u64;
+    let mut scratch = FastPathScratch::default();
     for mut pkt in slice {
         let mut cls_ops = OpCounter::default();
         let (fid, class, closes_flow) = match classify(sbox, &mut pkt, &mut cls_ops) {
             Ok(c) => c,
             Err(_) => {
-                // Unparseable: drop at the classifier.
+                // Unparseable: drop at the classifier (buffer recycled).
                 cls_ops.drops += 1;
                 let work = model.cycles(&cls_ops);
                 cycles += work;
@@ -156,6 +173,7 @@ fn worker_loop(
                 cell.record_packet(PathClass::Initial, work, false);
                 cell.add_ops(&cls_ops.telemetry_totals());
                 dropped += 1;
+                mag.give_packet(pkt);
                 continue;
             }
         };
@@ -174,7 +192,7 @@ fn worker_loop(
                 cls_ops.merge(&res.ops);
                 (res.survived, PathClass::Baseline, res.per_nf_cycles.iter().sum())
             }
-            PacketClass::Subsequent => match fast_path(sbox, &mut pkt, fid, &model) {
+            PacketClass::Subsequent => match fast_path(sbox, &mut pkt, fid, &model, &mut scratch) {
                 Some(res) => {
                     cls_ops.merge(&res.ops);
                     (res.survived, PathClass::Subsequent, res.work_cycles)
@@ -205,6 +223,7 @@ fn worker_loop(
             pkt.clear_fid();
             delivered.push(pkt);
         } else {
+            mag.give_packet(pkt);
             dropped += 1;
         }
     }

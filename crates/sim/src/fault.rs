@@ -20,6 +20,11 @@
 //!                        full teardown (SUT only; models capacity-pressure
 //!                        LRU eviction — evicted flows re-record on their
 //!                        next packet, so output bytes never change)
+//! pool@18=2              clamp the packet-buffer pool's retention capacity
+//!                        to 2 buffers (SUT only; starves the pooled
+//!                        substrate so takes fall back to the heap — a
+//!                        memory-pressure event that must never change
+//!                        packet results, only the pool_misses counter)
 //! ```
 //!
 //! Kill/recover apply to **both** the oracle and the SUT at the same
@@ -54,6 +59,11 @@ pub enum Fault {
     /// flow's next packet re-records via the slow path, so packet bytes
     /// must be unchanged.
     EvictOldest(u64),
+    /// Clamp the SUT's packet-buffer pool retention capacity (SUT only).
+    /// Models memory pressure on the pooled substrate: takes beyond the
+    /// clamp fall back to plain heap allocation (counted as pool misses),
+    /// which must be invisible to packet processing.
+    PoolPressure(u64),
 }
 
 /// A fault pinned to an original-trace packet index: it fires immediately
@@ -140,6 +150,18 @@ impl FaultPlan {
                         fault: Fault::EvictOldest(k),
                     });
                 }
+                "pool" => {
+                    let (at, cap) = rest
+                        .split_once('=')
+                        .ok_or_else(|| format!("missing '=<capacity>' in {clause:?}"))?;
+                    let cap = cap
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad capacity in {clause:?}: {e}"))?;
+                    faults.push(FaultAt {
+                        at: parse_index(at, clause)?,
+                        fault: Fault::PoolPressure(cap),
+                    });
+                }
                 "retire" => {
                     faults.push(FaultAt {
                         at: parse_index(rest, clause)?,
@@ -179,6 +201,7 @@ impl FaultPlan {
                 Fault::RemoveNextFlowRule => clauses.push(format!("remove@{}", f.at)),
                 Fault::RetireGenerations => clauses.push(format!("retire@{}", f.at)),
                 Fault::EvictOldest(k) => clauses.push(format!("evict@{}={k}", f.at)),
+                Fault::PoolPressure(cap) => clauses.push(format!("pool@{}={cap}", f.at)),
                 Fault::ChurnStart => pending_churn.push(f.at),
                 Fault::ChurnStop => {
                     let start = pending_churn.pop().unwrap_or(f.at);
@@ -210,9 +233,9 @@ mod tests {
     #[test]
     fn round_trips_every_verb() {
         let dsl =
-            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50;retire@55;evict@15=3";
+            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50;retire@55;evict@15=3;pool@18=2";
         let plan = FaultPlan::parse(dsl).unwrap();
-        assert_eq!(plan.faults.len(), 9);
+        assert_eq!(plan.faults.len(), 10);
         let re = FaultPlan::parse(&plan.to_dsl()).unwrap();
         assert_eq!(re, plan);
     }
@@ -224,6 +247,15 @@ mod tests {
         assert_eq!(plan.to_dsl(), "evict@15=3");
         assert!(FaultPlan::parse("evict@15").is_err());
         assert!(FaultPlan::parse("evict@15=x").is_err());
+    }
+
+    #[test]
+    fn pool_parses_and_renders() {
+        let plan = FaultPlan::parse("pool@18=2").unwrap();
+        assert_eq!(plan.faults[0].fault, Fault::PoolPressure(2));
+        assert_eq!(plan.to_dsl(), "pool@18=2");
+        assert!(FaultPlan::parse("pool@18").is_err());
+        assert!(FaultPlan::parse("pool@18=x").is_err());
     }
 
     #[test]

@@ -226,6 +226,13 @@ impl Sut {
             Sut::Onvm(c) => c.set_compiled(compiled),
         }
     }
+
+    fn clamp_pool(&self, capacity: usize) {
+        match self {
+            Sut::Bess(c) => c.pool().set_capacity(capacity),
+            Sut::Onvm(c) => c.pool().set_capacity(capacity),
+        }
+    }
 }
 
 /// The install/remove churn thread: hammers the Global MAT from a second
@@ -511,6 +518,12 @@ fn apply_fault(
                     sbox.force_evict_flows(k);
                 }
             }
+        }
+        Fault::PoolPressure(cap) => {
+            // SUT-only memory pressure: clamp the buffer pool's retention
+            // capacity. Subsequent takes beyond the clamp fall back to the
+            // heap (counted as pool misses) — packet bytes must not change.
+            sut.clamp_pool(usize::try_from(*cap).unwrap_or(usize::MAX));
         }
     }
 }

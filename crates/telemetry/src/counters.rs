@@ -129,6 +129,13 @@ pub struct CounterShard {
     // Compiled fast path.
     compiled_hits: AtomicU64,
     compiled_fallbacks: AtomicU64,
+    // Packet-pool substrate.
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    pool_recycled: AtomicU64,
+    pool_refills: AtomicU64,
+    pool_flushes: AtomicU64,
+    pool_depth: AtomicU64,
     // Abstract-operation mirror of `RunStats::ops`.
     ops: [AtomicU64; OP_KINDS],
 }
@@ -180,6 +187,24 @@ impl CounterShard {
         /// Counts fast-path packets that executed interpretively although
         /// a compiled program existed (`--interpreted` or ablation).
         add_compiled_fallbacks => compiled_fallbacks,
+        /// Counts packet-pool buffer requests served from the pool.
+        add_pool_hits => pool_hits,
+        /// Counts pool requests that fell back to heap allocation
+        /// (exhaustion — the graceful-degradation path).
+        add_pool_misses => pool_misses,
+        /// Counts buffers accepted back into the pool for reuse.
+        add_pool_recycled => pool_recycled,
+        /// Counts magazine batch refills from the pool depot.
+        add_pool_refills => pool_refills,
+        /// Counts magazine batch flushes back to the pool depot.
+        add_pool_flushes => pool_flushes,
+    }
+
+    /// Records the pool depot's current idle-buffer count (a sampled
+    /// gauge, unlike the monotone counters above).
+    #[inline]
+    pub fn set_pool_depth(&self, depth: u64) {
+        self.pool_depth.store(depth, Relaxed);
     }
 
     /// Records a finished packet: path mix, delivery outcome and latency
@@ -232,6 +257,12 @@ impl CounterShard {
         s.events_fired += self.events_fired.load(Relaxed);
         s.compiled_hits += self.compiled_hits.load(Relaxed);
         s.compiled_fallbacks += self.compiled_fallbacks.load(Relaxed);
+        s.pool_hits += self.pool_hits.load(Relaxed);
+        s.pool_misses += self.pool_misses.load(Relaxed);
+        s.pool_recycled += self.pool_recycled.load(Relaxed);
+        s.pool_refills += self.pool_refills.load(Relaxed);
+        s.pool_flushes += self.pool_flushes.load(Relaxed);
+        s.pool_depth += self.pool_depth.load(Relaxed);
         for (dst, src) in s.ops.0.iter_mut().zip(&self.ops) {
             *dst += src.load(Relaxed);
         }

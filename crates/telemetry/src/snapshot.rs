@@ -54,6 +54,18 @@ pub struct TelemetrySnapshot {
     /// Packets that fell back to the interpreted header action even though
     /// a compiled program was available (`--interpreted` or ablation).
     pub compiled_fallbacks: u64,
+    /// Packet-pool buffer requests served from the pool.
+    pub pool_hits: u64,
+    /// Pool requests that fell back to heap allocation (pool exhausted).
+    pub pool_misses: u64,
+    /// Buffers accepted back into the pool for reuse.
+    pub pool_recycled: u64,
+    /// Magazine batch refills from the pool depot.
+    pub pool_refills: u64,
+    /// Magazine batch flushes back to the pool depot.
+    pub pool_flushes: u64,
+    /// Idle buffers in the pool depot at snapshot time (sampled gauge).
+    pub pool_depth: u64,
     /// Mirror of the abstract-operation counters (see `OP_NAMES`).
     pub ops: OpTotals,
 }
@@ -85,6 +97,12 @@ impl TelemetrySnapshot {
         self.events_fired += other.events_fired;
         self.compiled_hits += other.compiled_hits;
         self.compiled_fallbacks += other.compiled_fallbacks;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.pool_recycled += other.pool_recycled;
+        self.pool_refills += other.pool_refills;
+        self.pool_flushes += other.pool_flushes;
+        self.pool_depth += other.pool_depth;
         self.ops.merge(&other.ops);
     }
 
@@ -111,7 +129,7 @@ impl TelemetrySnapshot {
     /// Named scalar counters in exposition order (everything except the
     /// per-path arrays, histograms and op mirror).
     #[must_use]
-    pub fn scalars(&self) -> [(&'static str, u64); 18] {
+    pub fn scalars(&self) -> [(&'static str, u64); 24] {
         [
             ("packets", self.packets),
             ("delivered", self.delivered),
@@ -131,6 +149,12 @@ impl TelemetrySnapshot {
             ("events_fired", self.events_fired),
             ("compiled_hits", self.compiled_hits),
             ("compiled_fallbacks", self.compiled_fallbacks),
+            ("pool_hits", self.pool_hits),
+            ("pool_misses", self.pool_misses),
+            ("pool_recycled", self.pool_recycled),
+            ("pool_refills", self.pool_refills),
+            ("pool_flushes", self.pool_flushes),
+            ("pool_depth", self.pool_depth),
         ]
     }
 
@@ -267,6 +291,12 @@ impl TelemetrySnapshot {
             events_fired: field("events_fired")?,
             compiled_hits: field("compiled_hits")?,
             compiled_fallbacks: field("compiled_fallbacks")?,
+            pool_hits: field("pool_hits")?,
+            pool_misses: field("pool_misses")?,
+            pool_recycled: field("pool_recycled")?,
+            pool_refills: field("pool_refills")?,
+            pool_flushes: field("pool_flushes")?,
+            pool_depth: field("pool_depth")?,
             ..TelemetrySnapshot::default()
         };
         let paths = doc.get("paths").ok_or("missing 'paths'")?;
@@ -329,6 +359,12 @@ mod tests {
         t.shard(2).add_fastpath_misses(1);
         t.shard(3).add_rules_installed(2);
         t.shard(0).add_events_fired(1);
+        t.shard(0).add_pool_hits(6);
+        t.shard(0).add_pool_misses(2);
+        t.shard(0).add_pool_recycled(5);
+        t.shard(0).add_pool_refills(1);
+        t.shard(0).add_pool_flushes(1);
+        t.shard(0).set_pool_depth(4);
         let mut ops = OpTotals::default();
         ops.0[0] = 12;
         ops.0[13] = 2;

@@ -123,6 +123,21 @@ impl Workload {
     /// Panics if `config.flows` exceeds the available port space (~60k).
     #[must_use]
     pub fn generate(config: &WorkloadConfig) -> Self {
+        Self::generate_impl(config, &mut PacketBuilder::build)
+    }
+
+    /// [`Workload::generate`], building every packet directly into pooled
+    /// buffers from `mag`. Byte-identical packets to `generate` (the RNG
+    /// stream does not depend on where buffers come from).
+    #[must_use]
+    pub fn generate_with(config: &WorkloadConfig, mag: &mut speedybox_packet::Magazine) -> Self {
+        Self::generate_impl(config, &mut |b| b.build_pooled(mag))
+    }
+
+    fn generate_impl(
+        config: &WorkloadConfig,
+        make: &mut dyn FnMut(&PacketBuilder) -> Packet,
+    ) -> Self {
         assert!(config.flows < 60_000, "flow count exceeds source-port space");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mu = config.median_packets.max(1.0).ln();
@@ -166,7 +181,7 @@ impl Workload {
                 gap_ns: rng.gen_range(500..5_000),
             });
         }
-        let arrivals = Self::interleave(&flows, config, &mut rng);
+        let arrivals = Self::interleave(&flows, config, &mut rng, make);
         Self { flows, arrivals }
     }
 
@@ -174,6 +189,7 @@ impl Workload {
         flows: &[FlowSpec],
         config: &WorkloadConfig,
         rng: &mut StdRng,
+        make: &mut dyn FnMut(&PacketBuilder) -> Packet,
     ) -> Vec<(u64, Packet)> {
         let mut arrivals: Vec<(u64, Packet)> = Vec::new();
         for spec in flows {
@@ -189,7 +205,7 @@ impl Workload {
             let mut seq = 0u32;
             if config.with_handshake && is_tcp {
                 builder.flags(TcpFlags::SYN).seq(seq).payload(&[]);
-                arrivals.push((ts, builder.build()));
+                arrivals.push((ts, make(&builder)));
                 ts += spec.gap_ns;
                 seq += 1;
             }
@@ -197,13 +213,13 @@ impl Workload {
                 let len = if config.imix { imix_payload_len(rng) } else { config.payload_len };
                 let payload = synthesize(&spec.payload, len, rng);
                 builder.flags(TcpFlags::ACK | TcpFlags::PSH).seq(seq).payload(&payload);
-                arrivals.push((ts, builder.build()));
+                arrivals.push((ts, make(&builder)));
                 ts += spec.gap_ns;
                 seq += 1;
             }
             if config.with_handshake && is_tcp {
                 builder.flags(TcpFlags::FIN | TcpFlags::ACK).seq(seq).payload(&[]);
-                arrivals.push((ts, builder.build()));
+                arrivals.push((ts, make(&builder)));
             }
         }
         arrivals.sort_by_key(|(ts, _)| *ts);
@@ -226,6 +242,14 @@ impl Workload {
     #[must_use]
     pub fn packets(&self) -> Vec<Packet> {
         self.arrivals.iter().map(|(_, p)| p.clone()).collect()
+    }
+
+    /// [`Workload::packets`] as pooled deep copies through `mag` — the
+    /// clone-for-rerun path that stays off the heap while the pool holds
+    /// out.
+    #[must_use]
+    pub fn packets_pooled(&self, mag: &mut speedybox_packet::Magazine) -> Vec<Packet> {
+        self.arrivals.iter().map(|(_, p)| mag.copy_packet(p)).collect()
     }
 
     /// Records the workload as a replayable [`speedybox_packet::trace::Trace`].
@@ -255,6 +279,26 @@ mod tests {
         for ((ta, pa), (tb, pb)) in a.arrivals.iter().zip(&b.arrivals) {
             assert_eq!(ta, tb);
             assert_eq!(pa.as_bytes(), pb.as_bytes());
+        }
+    }
+
+    #[test]
+    fn pooled_generation_matches_heap_generation() {
+        use speedybox_packet::{Magazine, PacketPool};
+        let cfg = WorkloadConfig { imix: true, udp_fraction: 0.2, ..small_config() };
+        let heap = Workload::generate(&cfg);
+        let pool = std::sync::Arc::new(PacketPool::with_capacity(2048, 64));
+        let mut mag = Magazine::new(std::sync::Arc::clone(&pool));
+        let pooled = Workload::generate_with(&cfg, &mut mag);
+        assert_eq!(heap.len(), pooled.len());
+        for ((ta, pa), (tb, pb)) in heap.arrivals.iter().zip(&pooled.arrivals) {
+            assert_eq!(ta, tb);
+            assert_eq!(pa.as_bytes(), pb.as_bytes());
+        }
+        // Pooled copies of the arrivals are byte-identical too.
+        let copies = pooled.packets_pooled(&mut mag);
+        for (copy, (_, orig)) in copies.iter().zip(&pooled.arrivals) {
+            assert_eq!(copy.as_bytes(), orig.as_bytes());
         }
     }
 

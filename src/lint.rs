@@ -23,7 +23,9 @@ use speedybox_mat::{OpCounter, PacketClass};
 use speedybox_nf::Nf;
 use speedybox_platform::chains;
 use speedybox_platform::cycles::CycleModel;
-use speedybox_platform::runtime::{classify, fast_path, traverse_chain, SboxConfig, SpeedyBox};
+use speedybox_platform::runtime::{
+    classify, fast_path, traverse_chain, FastPathScratch, SboxConfig, SpeedyBox,
+};
 use speedybox_traffic::{Workload, WorkloadConfig};
 use speedybox_verify::{check_access_log, verify_flow, EventSpec, NfActions, Report};
 
@@ -69,6 +71,7 @@ pub fn lint_nfs(chain_name: &str, mut nfs: Vec<Box<dyn Nf>>) -> Report {
     .packets();
 
     let mut fids = std::collections::BTreeSet::new();
+    let mut scratch = FastPathScratch::default();
     for mut packet in packets {
         let mut ops = OpCounter::default();
         let Ok((fid, class, _closes)) = classify(&sbox, &mut packet, &mut ops) else {
@@ -81,7 +84,7 @@ pub fn lint_nfs(chain_name: &str, mut nfs: Vec<Box<dyn Nf>>) -> Report {
                 fids.insert(fid);
             }
             PacketClass::Subsequent => {
-                if fast_path(&sbox, &mut packet, fid, &model).is_none() {
+                if fast_path(&sbox, &mut packet, fid, &model, &mut scratch).is_none() {
                     traverse_chain(&mut nfs, None, &mut packet, &model);
                 }
             }

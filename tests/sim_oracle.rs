@@ -13,7 +13,8 @@
 #![allow(clippy::cast_possible_truncation)] // test data built from loop indices
 
 use speedybox::sim::{
-    generate, run_case, shrink, BugKind, DivergenceKind, EnvKind, ScenarioConfig, SimCase,
+    generate, run_case, shrink, BugKind, DivergenceKind, EnvKind, Fault, FaultAt, FaultPlan,
+    ScenarioConfig, SimCase,
 };
 
 const SEEDS: u64 = 32;
@@ -231,6 +232,47 @@ fn bounded_table_sweep_is_equivalent() {
                     "chain={chain} seed={seed} batch={batch} under evict pressure: {:?}",
                     out.divergence
                 );
+            }
+        }
+    }
+}
+
+/// Pool-pressure sweep: the `pool=N` fault clamps the SUT's packet-buffer
+/// pool to a starvation capacity at packet 0 and lifts it mid-trace. Every
+/// take beyond the clamp falls back to the heap — a pure memory-management
+/// event, so the oracle comparison must see zero divergences on top of
+/// each scenario's regular fault plan.
+#[test]
+fn pool_pressure_sweep_is_equivalent() {
+    for chain in ["chain1", "chain2", "maglev-failover"] {
+        for seed in 0..6u64 {
+            let scenario =
+                generate(&ScenarioConfig { seed, chain: chain.to_owned(), with_faults: true });
+            let mid = scenario.items.len() / 2;
+            for cap in [0u64, 2] {
+                let mut faults = scenario.faults.faults.clone();
+                faults.push(FaultAt { at: 0, fault: Fault::PoolPressure(cap) });
+                faults.push(FaultAt { at: mid, fault: Fault::PoolPressure(4096) });
+                for batch in [1usize, 8] {
+                    let case = SimCase {
+                        chain: chain.to_owned(),
+                        env: EnvKind::Bess,
+                        compiled: true,
+                        batch,
+                        workers: 1,
+                        seed,
+                        max_flows: 0,
+                        bug: None,
+                        items: scenario.items.clone(),
+                        faults: FaultPlan::new(faults.clone()),
+                    };
+                    let out = run_case(&case).unwrap();
+                    assert!(
+                        out.divergence.is_none(),
+                        "chain={chain} seed={seed} cap={cap} batch={batch} under pool pressure: {:?}",
+                        out.divergence
+                    );
+                }
             }
         }
     }
