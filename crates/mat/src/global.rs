@@ -145,6 +145,14 @@ pub struct GlobalMat {
     /// flipped mid-run through a shared handle (fault-injection harnesses);
     /// every rule carries both forms, so a flip is always safe.
     compiled: std::sync::atomic::AtomicBool,
+    /// Bitmask of chain positions whose NF is currently dead/recovering.
+    /// While any bit is set, rule publication (`install` /
+    /// `reinstall_if_present`) is refused: a consolidated rule embeds
+    /// recordings from *every* NF, so no rule derived from a
+    /// half-recovered chain may reach readers. Readers are unaffected —
+    /// the platform tears down installed rules at kill time and routes
+    /// packets over the interpreted original walk until recovery.
+    quarantine: AtomicU64,
 }
 
 impl GlobalMat {
@@ -175,6 +183,7 @@ impl GlobalMat {
             events: Arc::new(EventTable::new()),
             sink: None,
             compiled: std::sync::atomic::AtomicBool::new(true),
+            quarantine: AtomicU64::new(0),
         }
     }
 
@@ -269,6 +278,32 @@ impl GlobalMat {
         &self.events
     }
 
+    /// Marks chain position `nf` as dead: rule publication is refused
+    /// until the matching [`GlobalMat::unquarantine_nf`]. Positions ≥ 64
+    /// share the top bit (the mask is a chain-wide gate, not a per-NF
+    /// reader filter, so aliasing only coarsens the window).
+    pub fn quarantine_nf(&self, nf: usize) {
+        self.quarantine.fetch_or(1u64 << nf.min(63), std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Clears chain position `nf`'s quarantine bit; publication resumes
+    /// once every quarantined NF has recovered.
+    pub fn unquarantine_nf(&self, nf: usize) {
+        self.quarantine.fetch_and(!(1u64 << nf.min(63)), std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// True while any NF in the chain is dead/recovering.
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantine_mask() != 0
+    }
+
+    /// The raw quarantine bitmask (bit *i* = chain position *i* dead).
+    #[must_use]
+    pub fn quarantine_mask(&self) -> u64 {
+        self.quarantine.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
     /// Consolidates the flow's Local-MAT rules into a [`GlobalRule`]
     /// without publishing it. Counts the consolidation.
     fn build_rule(&self, fid: Fid, ops: &mut OpCounter) -> Arc<GlobalRule> {
@@ -314,6 +349,14 @@ impl GlobalMat {
     /// rule is evicted first and fully torn down (Local MATs + Event
     /// Table), exactly like [`GlobalMat::remove_flow`].
     pub fn install(&self, fid: Fid, ops: &mut OpCounter) {
+        // Publication gate: while an NF is dead, freshly consolidated
+        // rules would embed its pre-crash recordings. The recovery
+        // protocol sets the mask *before* sweeping the table, so a racing
+        // install is either refused here or landed-then-swept — never
+        // left visible across the quarantine window.
+        if self.is_quarantined() {
+            return;
+        }
         let rule = self.build_rule(fid, ops);
         if let Some(cell) = self.cell(fid) {
             cell.add_rules_installed(1);
@@ -345,6 +388,9 @@ impl GlobalMat {
     /// publication in one writer-side critical section, so the outcome is
     /// always "fully rewritten" or "fully evicted", never a hybrid.
     fn reinstall_if_present(&self, fid: Fid, ops: &mut OpCounter) -> bool {
+        if self.is_quarantined() {
+            return false;
+        }
         let rule = self.build_rule(fid, ops);
         if !self.table.replace_if_present(fid, rule, self.next_tick()) {
             return false;
@@ -727,6 +773,34 @@ mod tests {
         let mut p = PacketBuilder::tcp().build();
         let mut ops = OpCounter::default();
         assert!(gm.process(&mut p, &mut ops).is_err());
+    }
+
+    #[test]
+    fn quarantine_refuses_publication_until_all_bits_clear() {
+        let locals = mats(2);
+        let gm = GlobalMat::new(locals.clone());
+        let (_, fid) = pkt_with_fid();
+        let mut ops = OpCounter::default();
+        locals[0].add_header_action(fid, HeaderAction::Forward, &mut ops);
+        assert!(!gm.is_quarantined());
+        gm.quarantine_nf(1);
+        gm.quarantine_nf(0);
+        assert_eq!(gm.quarantine_mask(), 0b11);
+        gm.install(fid, &mut ops);
+        assert!(!gm.contains(fid), "install refused while quarantined");
+        // One NF recovering is not enough — the rule embeds all NFs.
+        gm.unquarantine_nf(1);
+        gm.install(fid, &mut ops);
+        assert!(!gm.contains(fid));
+        gm.unquarantine_nf(0);
+        assert!(!gm.is_quarantined());
+        gm.install(fid, &mut ops);
+        assert!(gm.contains(fid), "publication resumes after full recovery");
+        // Out-of-range positions alias onto bit 63 rather than panicking.
+        gm.quarantine_nf(200);
+        assert_eq!(gm.quarantine_mask(), 1u64 << 63);
+        gm.unquarantine_nf(200);
+        assert!(!gm.is_quarantined());
     }
 
     #[test]

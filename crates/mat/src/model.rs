@@ -2,7 +2,7 @@
 //! built on `speedybox-check`'s virtual primitives so the checker can
 //! exhaustively enumerate interleavings within a preemption bound.
 //!
-//! Two protocols are distilled here:
+//! Three protocols are distilled here:
 //!
 //! * [`FlowTableModel`] — the slab slot protocol of
 //!   [`crate::flow_table::FlowTable`], shrunk to one shard, two FIDs and
@@ -22,9 +22,15 @@
 //!   proved invariants are memo-run generation consistency and liveness
 //!   of the memoized handle (the memo holds a strong clone, so a
 //!   republication plus drain cannot free it).
+//! * [`QuarantineModel`] — the NF-recovery quarantine/republish
+//!   handshake of [`crate::global::GlobalMat::quarantine_nf`] and the
+//!   platform supervisor's kill path: quarantine → sweep → restore →
+//!   replay → reopen → republish, raced by a wait-free fast-path reader
+//!   and a churn install. The proved invariant is that no reader ever
+//!   serves a rule consolidated from restored-but-not-replayed NF state.
 //!
 //! Each model carries seeded-bug mutations ([`FtMutation`],
-//! [`ClMutation`]) that weaken the protocol the way a plausible
+//! [`ClMutation`], [`QMutation`]) that weaken the protocol the way a plausible
 //! refactoring would; the checker must catch every one, which is the
 //! evidence a clean run means something. The correspondence argument
 //! between these distillations and the real code is written out in
@@ -326,9 +332,135 @@ impl Default for ClassifierModel {
     }
 }
 
+/// NF state epoch at the last chain-consistent checkpoint.
+const EPOCH_SNAPSHOT: u64 = 3;
+/// NF state epoch after the bounded in-flight log replays — the live,
+/// fully recovered state.
+const EPOCH_LIVE: u64 = 5;
+
+/// Seeded bugs for the NF-recovery quarantine/republish handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QMutation {
+    /// Faithful port of the recovery protocol: quarantine, sweep,
+    /// restore, replay, reopen publication, republish from live state.
+    None,
+    /// The recovery path republishes the flow's rule right after the
+    /// snapshot restore, before the in-flight log replays — the "get the
+    /// fast path back up early" refactoring. A reader can then serve a
+    /// rule consolidated from half-recovered NF state.
+    RepublishBeforeReplay,
+}
+
+/// Distilled quarantine/republish handshake for one NF and one flow: the
+/// model twin of the Global MAT quarantine mask
+/// ([`crate::global::GlobalMat::quarantine_nf`]) plus the supervisor's
+/// kill → quarantine → replay → republish sequence. The rule cell
+/// carries the NF-state *epoch* the rule was consolidated from, which is
+/// all the invariant needs: a published rule is only valid if it was
+/// consolidated from fully replayed (live) state.
+pub struct QuarantineModel {
+    /// Model twin of the quarantine bit mask (`AtomicU64` in the real
+    /// MAT; one NF here, so one bit).
+    mask: ModelAtomicUsize,
+    /// The flow's published rule slot: `None` = swept (fast path misses),
+    /// `Some(epoch)` = a rule consolidated from NF state at `epoch`.
+    rule: ArcSwapModel<Option<u64>>,
+    /// The NF's state, reduced to the epoch it has advanced to — guarded
+    /// like the `Arc<Mutex<..>>` state containers of the real NFs.
+    nf_state: ModelMutex<u64>,
+    /// Shared empty value: sweeping stores a clone of this, retiring the
+    /// old rule through the cell's RCU path.
+    empty: ModelArc<Option<u64>>,
+    mutation: QMutation,
+}
+
+impl std::fmt::Debug for QuarantineModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuarantineModel").field("mutation", &self.mutation).finish_non_exhaustive()
+    }
+}
+
+impl QuarantineModel {
+    /// Creates the steady-state model: live NF state, a rule consolidated
+    /// from it already published (must run inside a checker execution).
+    pub fn new(mutation: QMutation) -> Self {
+        QuarantineModel {
+            mask: ModelAtomicUsize::new("q.mask", 0),
+            rule: ArcSwapModel::new("q.rule.live", Some(EPOCH_LIVE), CellMutation::None),
+            nf_state: ModelMutex::new("q.nf-state", EPOCH_LIVE),
+            empty: ModelArc::new("q.empty", None),
+            mutation,
+        }
+    }
+
+    /// Mirror of `GlobalMat::install` under recovery: the quarantine gate
+    /// refuses publication while the mask is set; otherwise a rule
+    /// consolidated from `epoch` state publishes through the RCU cell.
+    pub fn install(&self, epoch: u64) -> bool {
+        if self.mask.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        self.rule.store(ModelArc::new("q.rule", Some(epoch)));
+        true
+    }
+
+    /// Mirror of the worker fast path: the per-packet quarantine check
+    /// routes to the baseline walk (`None`) while the mask is set;
+    /// otherwise the published rule, if any, is served. Wait-free.
+    pub fn serve(&self) -> Option<u64> {
+        if self.mask.load(Ordering::SeqCst) != 0 {
+            return None;
+        }
+        *self.rule.load().value()
+    }
+
+    /// Mirror of the supervisor's kill path: quarantine first, sweep the
+    /// published rule, roll the NF back to the checkpoint, replay the
+    /// in-flight log, reopen publication, then republish from the
+    /// now-live state (the organic slow-path re-record).
+    pub fn kill_and_recover(&self) {
+        self.mask.store(1, Ordering::SeqCst);
+        self.rule.store(self.empty.clone());
+        *self.nf_state.lock() = EPOCH_SNAPSHOT;
+        if self.mutation == QMutation::RepublishBeforeReplay {
+            // Seeded bug: consolidate and republish from the restored
+            // state before the in-flight log has replayed.
+            let epoch = *self.nf_state.lock();
+            self.rule.store(ModelArc::new("q.rule.stale", Some(epoch)));
+        }
+        *self.nf_state.lock() = EPOCH_LIVE;
+        self.mask.store(0, Ordering::SeqCst);
+        let epoch = *self.nf_state.lock();
+        self.install(epoch);
+    }
+
+    /// Quiescent-state invariant: mask clear, state fully replayed, and
+    /// the republished rule consolidated from live state.
+    pub fn check_quiescent(&self) {
+        assert_eq!(self.mask.load(Ordering::SeqCst), 0, "quarantine mask left set");
+        assert_eq!(*self.nf_state.lock(), EPOCH_LIVE, "NF state not fully replayed");
+        match self.rule.load().value() {
+            Some(epoch) => {
+                assert_eq!(*epoch, EPOCH_LIVE, "quiescent rule consolidated from epoch {epoch}")
+            }
+            None => panic!("recovered flow left with no republished rule"),
+        }
+    }
+
+    /// Retired rule generations not yet reclaimed.
+    pub fn pending(&self) -> usize {
+        self.rule.pending()
+    }
+
+    /// Attempts to reclaim retired generations; returns how many freed.
+    pub fn collect(&self) -> usize {
+        self.rule.collect()
+    }
+}
+
 /// Checker scenarios over the MAT models, shared by the `cargo test`
-/// exhaustive tier (tests/model_flow_table.rs, tests/model_classifier.rs)
-/// and the `speedybox-check` binary.
+/// exhaustive tier (tests/model_flow_table.rs, tests/model_classifier.rs,
+/// tests/model_quarantine.rs) and the `speedybox-check` binary.
 pub mod scenarios {
     use super::*;
 
@@ -424,6 +556,52 @@ pub mod scenarios {
             publisher.join();
             cl.collect();
             assert_eq!(cl.pending(), 0, "retired rule generation not drained");
+        }
+    }
+
+    /// An NF kill/recovery racing a wait-free fast-path reader and a
+    /// churn install. In every schedule a reader that hits the fast path
+    /// must observe a rule consolidated from fully replayed (live) NF
+    /// state — mid-window it falls back to the baseline walk instead —
+    /// and the quiescent model must end with the mask clear and a live
+    /// rule republished. [`QMutation::RepublishBeforeReplay`] must be
+    /// caught: it lets the reader serve a rule consolidated from
+    /// restored-but-not-replayed state.
+    pub fn q_kill_vs_reader(mutation: QMutation) -> impl Fn() + Send + Sync + 'static {
+        move || {
+            let q = StdArc::new(QuarantineModel::new(mutation));
+            let m = q.clone();
+            let supervisor = speedybox_check::spawn(move || {
+                m.kill_and_recover();
+            });
+            let m = q.clone();
+            let reader = speedybox_check::spawn(move || match m.serve() {
+                Some(epoch) => {
+                    assert_eq!(
+                        epoch, EPOCH_LIVE,
+                        "fast path served a rule consolidated from un-replayed state"
+                    );
+                    fact("reader hit the fast path");
+                }
+                None => fact("reader fell back to the baseline walk"),
+            });
+            let m = q.clone();
+            let installer = speedybox_check::spawn(move || {
+                // Churn consolidating a still-valid recording (recordings
+                // are made from live state; the sweep tears them down, so
+                // a mid-window rebuild can only be refused by the gate).
+                if m.install(EPOCH_LIVE) {
+                    fact("churn install landed");
+                } else {
+                    fact("churn install refused by the quarantine gate");
+                }
+            });
+            supervisor.join();
+            reader.join();
+            installer.join();
+            q.check_quiescent();
+            q.collect();
+            assert_eq!(q.pending(), 0, "retired rule generations not drained");
         }
     }
 }

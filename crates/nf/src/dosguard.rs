@@ -18,7 +18,10 @@ use speedybox_mat::state_fn::PayloadAccess;
 use speedybox_mat::{HeaderAction, StateFunction};
 use speedybox_packet::{Fid, Packet};
 
-use crate::nf::{Nf, NfContext, NfVerdict};
+use crate::nf::{Nf, NfContext, NfVerdict, StateSnapshot};
+
+/// The two per-flow maps a [`DosGuard`] checkpoint captures.
+type DosGuardCapture = (HashMap<Fid, u64>, HashMap<Fid, bool>);
 
 /// The DoS-prevention NF.
 #[derive(Debug, Clone)]
@@ -116,6 +119,30 @@ impl Nf for DosGuard {
     fn flow_closed(&mut self, fid: Fid) {
         self.syn_counts.lock().remove(&fid);
         self.blocked.lock().remove(&fid);
+    }
+
+    fn has_flow_state(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<StateSnapshot> {
+        let capture: DosGuardCapture =
+            (self.syn_counts.lock().clone(), self.blocked.lock().clone());
+        Some(StateSnapshot::new(capture))
+    }
+
+    fn restore_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let Some((counts, blocked)) = snapshot.downcast::<DosGuardCapture>() else {
+            return false;
+        };
+        *self.syn_counts.lock() = counts.clone();
+        *self.blocked.lock() = blocked.clone();
+        true
+    }
+
+    fn crash(&mut self) {
+        self.syn_counts.lock().clear();
+        self.blocked.lock().clear();
     }
 }
 
@@ -216,6 +243,33 @@ mod tests {
         let fired = events.check(fid, &mut ops);
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].1.header_actions, Some(vec![HeaderAction::Drop]));
+    }
+
+    #[test]
+    fn snapshot_restores_syn_counts_across_crash() {
+        let mut guard = DosGuard::new(3);
+        let mut ops = OpCounter::default();
+        for _ in 0..2 {
+            let mut p = syn_packet();
+            let mut ctx = NfContext::baseline(&mut ops);
+            guard.process(&mut p, &mut ctx);
+        }
+        let fid = syn_packet().fid().unwrap();
+        let snap = guard.snapshot_state().unwrap();
+        // Two more SYNs push the flow over the threshold, then the crash
+        // forgets the attack entirely.
+        for _ in 0..2 {
+            let mut p = syn_packet();
+            let mut ctx = NfContext::baseline(&mut ops);
+            guard.process(&mut p, &mut ctx);
+        }
+        assert!(guard.is_blocked(fid));
+        guard.crash();
+        assert_eq!(guard.syn_count(fid), 0);
+        assert!(guard.restore_state(&snap));
+        assert_eq!(guard.syn_count(fid), 2, "restored to the checkpointed count");
+        assert!(!guard.is_blocked(fid));
+        assert!(!guard.restore_state(&StateSnapshot::new(1i64)));
     }
 
     #[test]

@@ -239,6 +239,31 @@ impl Nf for IpFilter {
     fn flow_closed(&mut self, fid: speedybox_packet::Fid) {
         self.cache.lock().remove(&fid);
     }
+
+    fn has_flow_state(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<crate::nf::StateSnapshot> {
+        Some(crate::nf::StateSnapshot::new(self.cache.lock().clone()))
+    }
+
+    fn restore_state(&mut self, snapshot: &crate::nf::StateSnapshot) -> bool {
+        let Some(cache) =
+            snapshot.downcast::<std::collections::HashMap<speedybox_packet::Fid, AclVerdict>>()
+        else {
+            return false;
+        };
+        *self.cache.lock() = cache.clone();
+        true
+    }
+
+    fn crash(&mut self) {
+        // The verdict cache is recomputable from the ACL, so a crash only
+        // costs the flows their cached scans — still captured/restored so
+        // recovery does not change which packets pay the linear scan.
+        self.cache.lock().clear();
+    }
 }
 
 #[cfg(test)]

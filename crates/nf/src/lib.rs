@@ -42,7 +42,7 @@ pub mod synthetic;
 pub mod vpn;
 
 pub use inspect::AhoCorasick;
-pub use nf::{Nf, NfContext, NfVerdict};
+pub use nf::{Nf, NfContext, NfVerdict, StateSnapshot};
 pub use regex::Regex;
 
 /// Result alias re-exported for NF implementations.

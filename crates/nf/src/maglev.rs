@@ -22,7 +22,7 @@ use speedybox_mat::event::RulePatch;
 use speedybox_mat::HeaderAction;
 use speedybox_packet::{Fid, HeaderField, Packet};
 
-use crate::nf::{Nf, NfContext, NfVerdict};
+use crate::nf::{Nf, NfContext, NfVerdict, StateSnapshot};
 
 /// A load-balancer backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +44,7 @@ fn hash_str(s: &str, seed: u64) -> u64 {
     h
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct State {
     backends: Vec<Backend>,
     /// Lookup table mapping hash slots to backend indices; empty when no
@@ -347,6 +347,34 @@ impl Nf for Maglev {
         st.connections.remove(&fid);
         st.rule_target.remove(&fid);
     }
+
+    fn has_flow_state(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<StateSnapshot> {
+        Some(StateSnapshot::new(self.state.lock().clone()))
+    }
+
+    fn restore_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let Some(captured) = snapshot.downcast::<State>() else {
+            return false;
+        };
+        *self.state.lock() = captured.clone();
+        true
+    }
+
+    fn crash(&mut self) {
+        // A restarted Maglev re-reads its backend config (all healthy) and
+        // rebuilds the lookup table, but connection tracking is gone.
+        let mut st = self.state.lock();
+        st.connections.clear();
+        st.rule_target.clear();
+        for b in &mut st.backends {
+            b.healthy = true;
+        }
+        st.rebuild_table();
+    }
 }
 
 #[cfg(test)]
@@ -615,5 +643,28 @@ mod tests {
         }
         // Recurring event: still registered, but quiescent after reroute.
         assert!(events.check(fid, &mut ops).is_empty());
+    }
+
+    #[test]
+    fn snapshot_restores_connection_tracking_and_health() {
+        let mut lb = lb();
+        let mut ops = OpCounter::default();
+        let mut p = packet(1000);
+        {
+            let mut ctx = NfContext::baseline(&mut ops);
+            lb.process(&mut p, &mut ctx);
+        }
+        let fid = p.fid().unwrap();
+        let assigned = lb.assigned_backend(fid).unwrap();
+        lb.fail_backend("backend-0");
+        assert!(lb.has_flow_state());
+        let snap = lb.snapshot_state().unwrap();
+        lb.crash();
+        assert_eq!(lb.connection_count(), 0, "crash loses connection tracking");
+        assert_eq!(lb.table_shares().len(), 4, "restart sees all backends healthy");
+        assert!(lb.restore_state(&snap));
+        assert_eq!(lb.assigned_backend(fid), Some(assigned));
+        assert_eq!(lb.table_shares().len(), 3, "backend-0's failure was part of the snapshot");
+        assert!(!lb.restore_state(&StateSnapshot::new(0u8)));
     }
 }

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use speedybox_mat::HeaderAction;
 use speedybox_packet::{Fid, FiveTuple, HeaderField, Packet};
 
-use crate::nf::{Nf, NfContext, NfVerdict};
+use crate::nf::{Nf, NfContext, NfVerdict, StateSnapshot};
 
 /// One NAT translation entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +28,7 @@ pub struct Mapping {
     pub external_port: u16,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct NatState {
     /// Forward map: flow -> translation.
     by_fid: HashMap<Fid, Mapping>,
@@ -203,6 +203,33 @@ impl Nf for MazuNat {
             st.by_port.remove(&m.external_port);
             st.free_ports.push(m.external_port);
         }
+    }
+
+    fn has_flow_state(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<StateSnapshot> {
+        Some(StateSnapshot::new(self.state.lock().clone()))
+    }
+
+    fn restore_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let Some(captured) = snapshot.downcast::<NatState>() else {
+            return false;
+        };
+        *self.state.lock() = captured.clone();
+        true
+    }
+
+    fn crash(&mut self) {
+        // A re-exec'd NAT keeps its configuration (external IP, port
+        // range) but loses every translation and the allocator cursor.
+        let mut st = self.state.lock();
+        let lo = st.port_range.0;
+        st.by_fid.clear();
+        st.by_port.clear();
+        st.free_ports.clear();
+        st.next_port = lo;
     }
 }
 
@@ -417,6 +444,43 @@ mod tests {
             }
             other => panic!("expected inbound modify, got {other}"),
         }
+    }
+
+    #[test]
+    fn snapshot_restores_mappings_and_allocator_cursor() {
+        let mut nat = nat();
+        let mut ops = OpCounter::default();
+        let mut p = packet(1000);
+        {
+            let mut ctx = NfContext::baseline(&mut ops);
+            nat.process(&mut p, &mut ctx);
+        }
+        let fid = p.fid().unwrap();
+        let port = nat.mapping(fid).unwrap().external_port;
+        assert!(nat.has_flow_state());
+        let snap = nat.snapshot_state().unwrap();
+        // A second mapping after the checkpoint, then the crash.
+        let mut p2 = packet(2000);
+        {
+            let mut ctx = NfContext::baseline(&mut ops);
+            nat.process(&mut p2, &mut ctx);
+        }
+        nat.crash();
+        assert_eq!(nat.mapping_count(), 0, "crash drops every translation");
+        assert!(nat.restore_state(&snap));
+        assert_eq!(nat.mapping_count(), 1);
+        assert_eq!(nat.mapping(fid).unwrap().external_port, port);
+        assert_eq!(nat.flow_for_port(port), Some(fid));
+        // The allocator cursor was restored too: re-processing the
+        // post-checkpoint flow allocates the same port it got before.
+        let prev2 = p2.get_field(HeaderField::SrcPort).unwrap().as_port();
+        let mut p2_again = packet(2000);
+        {
+            let mut ctx = NfContext::baseline(&mut ops);
+            nat.process(&mut p2_again, &mut ctx);
+        }
+        assert_eq!(p2_again.get_field(HeaderField::SrcPort).unwrap().as_port(), prev2);
+        assert!(!nat.restore_state(&StateSnapshot::new("foreign")));
     }
 
     #[test]

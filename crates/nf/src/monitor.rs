@@ -14,7 +14,7 @@ use speedybox_mat::state_fn::PayloadAccess;
 use speedybox_mat::{HeaderAction, StateFunction};
 use speedybox_packet::{Fid, Packet};
 
-use crate::nf::{Nf, NfContext, NfVerdict};
+use crate::nf::{Nf, NfContext, NfVerdict, StateSnapshot};
 
 /// Per-flow traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -99,6 +99,26 @@ impl Nf for Monitor {
 
     fn flow_closed(&mut self, fid: Fid) {
         self.counters.lock().remove(&fid);
+    }
+
+    fn has_flow_state(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<StateSnapshot> {
+        Some(StateSnapshot::new(self.counters.lock().clone()))
+    }
+
+    fn restore_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let Some(map) = snapshot.downcast::<HashMap<Fid, FlowCounters>>() else {
+            return false;
+        };
+        *self.counters.lock() = map.clone();
+        true
+    }
+
+    fn crash(&mut self) {
+        self.counters.lock().clear();
     }
 }
 
@@ -191,5 +211,28 @@ mod tests {
     fn unknown_flow_has_no_counters() {
         let mon = Monitor::new();
         assert!(mon.counters(Fid::new(123)).is_none());
+    }
+
+    #[test]
+    fn snapshot_restores_counters_after_crash() {
+        let mut mon = Monitor::new();
+        let mut ops = OpCounter::default();
+        let mut ctx = NfContext::baseline(&mut ops);
+        let mut p = packet(1000, b"counted");
+        mon.process(&mut p, &mut ctx);
+        let fid = p.fid().unwrap();
+        assert!(mon.has_flow_state());
+        let snap = mon.snapshot_state().unwrap();
+        // More traffic after the checkpoint, then a crash wipes everything.
+        let mut p2 = packet(1000, b"post-checkpoint");
+        mon.process(&mut p2, &mut ctx);
+        mon.crash();
+        assert_eq!(mon.flow_count(), 0);
+        assert!(mon.restore_state(&snap));
+        let c = mon.counters(fid).unwrap();
+        assert_eq!(c.packets, 1, "restored to the checkpoint, not the crash point");
+        // A foreign snapshot is rejected and leaves state alone.
+        assert!(!mon.restore_state(&StateSnapshot::new(42u64)));
+        assert_eq!(mon.counters(fid).unwrap().packets, 1);
     }
 }

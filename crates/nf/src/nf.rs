@@ -7,7 +7,9 @@
 //! through `process`; the NF records its per-flow behaviour through the
 //! instrument so subsequent packets can take the consolidated fast path.
 
+use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 use speedybox_mat::{NfInstrument, OpCounter};
 use speedybox_packet::{Fid, Packet};
@@ -53,6 +55,43 @@ impl<'a> NfContext<'a> {
     }
 }
 
+/// An opaque, immutable capture of one NF's internal state at a packet
+/// boundary.
+///
+/// The payload is type-erased so the platform's checkpoint/recovery
+/// machinery can hold a uniform `Vec<Option<StateSnapshot>>` per chain
+/// without knowing any NF's concrete state type. Each NF downcasts its own
+/// snapshots back in [`Nf::restore_state`]; a snapshot handed to the wrong
+/// NF simply fails to downcast and restore reports `false`.
+///
+/// Snapshots are cheap to clone (the payload is behind an `Arc`) and must
+/// be *deep* captures: an NF whose live state sits in an
+/// `Arc<Mutex<...>>` clones the contents, not the handle, so later
+/// processing never mutates a taken snapshot.
+#[derive(Clone)]
+pub struct StateSnapshot {
+    payload: Arc<dyn Any + Send + Sync>,
+}
+
+impl StateSnapshot {
+    /// Wraps a concrete state capture.
+    pub fn new<T: Any + Send + Sync>(state: T) -> Self {
+        Self { payload: Arc::new(state) }
+    }
+
+    /// The concrete capture, if this snapshot holds a `T`.
+    #[must_use]
+    pub fn downcast<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for StateSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StateSnapshot(..)")
+    }
+}
+
 /// A network function in a service chain.
 ///
 /// Object-safe: chains hold `Box<dyn Nf>`. Implementations live in this
@@ -72,6 +111,34 @@ pub trait Nf: Send {
     fn flow_closed(&mut self, fid: Fid) {
         let _ = fid;
     }
+
+    /// True if this NF keeps per-flow state that a crash would lose (NAT
+    /// mappings, flow counters, connection tracking, ...). Stateless NFs
+    /// keep the `false` default. An NF that returns `true` here but leaves
+    /// [`Nf::snapshot_state`] unimplemented is flagged by the verifier
+    /// (SBX013): its state is unrecoverable after a crash.
+    fn has_flow_state(&self) -> bool {
+        false
+    }
+
+    /// Captures the NF's internal state at the current packet boundary.
+    /// Default: `None` (nothing to capture).
+    fn snapshot_state(&self) -> Option<StateSnapshot> {
+        None
+    }
+
+    /// Replaces the NF's internal state with a previously captured
+    /// snapshot. Returns `true` if the snapshot was recognized and
+    /// applied; `false` (the default) means the payload was foreign and
+    /// the state is unchanged.
+    fn restore_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let _ = snapshot;
+        false
+    }
+
+    /// Simulates a crash-restart: drops all internal state, as a freshly
+    /// exec'd NF process would start. Default: nothing to lose.
+    fn crash(&mut self) {}
 }
 
 impl fmt::Debug for dyn Nf {
@@ -111,5 +178,25 @@ mod tests {
     fn verdict_survival() {
         assert!(NfVerdict::Forward.survives());
         assert!(!NfVerdict::Drop.survives());
+    }
+
+    #[test]
+    fn stateless_defaults_decline_snapshots() {
+        let mut nf: Box<dyn Nf> = Box::new(Nop);
+        assert!(!nf.has_flow_state());
+        assert!(nf.snapshot_state().is_none());
+        assert!(!nf.restore_state(&StateSnapshot::new(7u32)));
+        nf.crash(); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn snapshot_downcasts_to_its_own_type_only() {
+        let snap = StateSnapshot::new(vec![1u8, 2, 3]);
+        assert_eq!(snap.downcast::<Vec<u8>>(), Some(&vec![1u8, 2, 3]));
+        assert!(snap.downcast::<String>().is_none());
+        // Cloning shares the payload.
+        let dup = snap.clone();
+        assert_eq!(dup.downcast::<Vec<u8>>(), Some(&vec![1u8, 2, 3]));
+        assert_eq!(format!("{snap:?}"), "StateSnapshot(..)");
     }
 }

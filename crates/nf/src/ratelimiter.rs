@@ -20,7 +20,7 @@ use speedybox_mat::state_fn::PayloadAccess;
 use speedybox_mat::{HeaderAction, StateFunction};
 use speedybox_packet::{Fid, Packet};
 
-use crate::nf::{Nf, NfContext, NfVerdict};
+use crate::nf::{Nf, NfContext, NfVerdict, StateSnapshot};
 
 /// The per-flow quota-enforcement NF.
 #[derive(Debug, Clone)]
@@ -105,6 +105,26 @@ impl Nf for QuotaLimiter {
 
     fn flow_closed(&mut self, fid: Fid) {
         self.consumed.lock().remove(&fid);
+    }
+
+    fn has_flow_state(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<StateSnapshot> {
+        Some(StateSnapshot::new(self.consumed.lock().clone()))
+    }
+
+    fn restore_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let Some(map) = snapshot.downcast::<HashMap<Fid, u64>>() else {
+            return false;
+        };
+        *self.consumed.lock() = map.clone();
+        true
+    }
+
+    fn crash(&mut self) {
+        self.consumed.lock().clear();
     }
 }
 

@@ -22,7 +22,7 @@ use speedybox_mat::{HeaderAction, StateFunction};
 use speedybox_packet::{Fid, Packet, Protocol};
 
 use crate::inspect::AhoCorasick;
-use crate::nf::{Nf, NfContext, NfVerdict};
+use crate::nf::{Nf, NfContext, NfVerdict, StateSnapshot};
 use crate::regex::Regex;
 
 /// Rule action, in Snort's classic three flavours.
@@ -446,6 +446,28 @@ impl Nf for SnortLite {
         }
         // SPEEDYBOX-INTEGRATION-END
         NfVerdict::Forward
+    }
+
+    fn has_flow_state(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> Option<StateSnapshot> {
+        Some(StateSnapshot::new(self.engine.log.lock().clone()))
+    }
+
+    fn restore_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let Some(log) = snapshot.downcast::<Vec<LogEntry>>() else {
+            return false;
+        };
+        *self.engine.log.lock() = log.clone();
+        true
+    }
+
+    fn crash(&mut self) {
+        // Rules and automaton are configuration and survive a re-exec;
+        // the accumulated alert/log output does not.
+        self.engine.log.lock().clear();
     }
 }
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use speedybox_mat::{EncapSpec, HeaderAction};
 use speedybox_packet::Packet;
 
-use crate::nf::{Nf, NfContext, NfVerdict};
+use crate::nf::{Nf, NfContext, NfVerdict, StateSnapshot};
 
 /// Direction of the VPN gateway.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +90,25 @@ impl Nf for VpnGateway {
         }
         // SPEEDYBOX-INTEGRATION-END
         NfVerdict::Forward
+    }
+
+    fn snapshot_state(&self) -> Option<StateSnapshot> {
+        // The tunnel sequence counter is aggregate (not per-flow, so
+        // `has_flow_state` stays false) but still survives recovery so
+        // `packets_tunneled` stays monotone across a crash.
+        Some(StateSnapshot::new(self.seq.load(Ordering::Relaxed)))
+    }
+
+    fn restore_state(&mut self, snapshot: &StateSnapshot) -> bool {
+        let Some(seq) = snapshot.downcast::<u32>() else {
+            return false;
+        };
+        self.seq.store(*seq, Ordering::Relaxed);
+        true
+    }
+
+    fn crash(&mut self) {
+        self.seq.store(0, Ordering::Relaxed);
     }
 }
 

@@ -21,6 +21,7 @@ use crate::runtime::{
     classify, fast_path, fast_path_cached, notify_flow_closed, tag_ingress, traverse_chain,
     FastPathScratch, SboxConfig, SpeedyBox,
 };
+use crate::supervisor::{default_log_bound, Supervisor};
 
 /// Per-batch fast-path state: rule handles prefetched with one read-lock
 /// acquisition per shard, plus the FIDs whose cached handle went stale
@@ -81,6 +82,10 @@ pub struct BessChain {
     ops_scratch: Vec<OpCounter>,
     before_cycles: Vec<u64>,
     batch_scratch: BatchState,
+    /// NF crash/restart supervision (checkpoints + in-flight log).
+    /// `None` unless [`SboxConfig::checkpoint_interval`] is non-zero or
+    /// [`BessChain::enable_supervision`] was called.
+    supervisor: Option<Supervisor>,
 }
 
 impl BessChain {
@@ -105,6 +110,7 @@ impl BessChain {
             ops_scratch: Vec::new(),
             before_cycles: Vec::new(),
             batch_scratch: BatchState::default(),
+            supervisor: None,
         }
     }
 
@@ -121,6 +127,13 @@ impl BessChain {
         let pool = Arc::new(PacketPool::bounded(2048, config.pool_buffers));
         let sbox = SpeedyBox::new(nfs.len(), config);
         let telemetry = Arc::clone(&sbox.telemetry);
+        let supervisor = (config.checkpoint_interval > 0).then(|| {
+            Supervisor::new(
+                &nfs,
+                config.checkpoint_interval,
+                default_log_bound(config.checkpoint_interval),
+            )
+        });
         Self {
             nfs,
             model: CycleModel::new(),
@@ -138,6 +151,7 @@ impl BessChain {
             ops_scratch: Vec::new(),
             before_cycles: Vec::new(),
             batch_scratch: BatchState::default(),
+            supervisor,
         }
     }
 
@@ -214,6 +228,81 @@ impl BessChain {
     pub fn set_compiled(&mut self, compiled: bool) {
         if let Some(sbox) = self.sbox.as_mut() {
             sbox.set_compiled(compiled);
+        }
+    }
+
+    /// Turns NF crash/restart supervision on (or re-tunes it): takes an
+    /// immediate chain-consistent checkpoint and starts the bounded
+    /// in-flight log. Idempotent; `interval`/`log_bound` of 0 clamp to 1.
+    pub fn enable_supervision(&mut self, interval: u64, log_bound: usize) {
+        self.supervisor = Some(Supervisor::new(&self.nfs, interval, log_bound));
+    }
+
+    /// Whether NF crash/restart supervision is active.
+    #[must_use]
+    pub fn supervised(&self) -> bool {
+        self.supervisor.is_some()
+    }
+
+    /// Takes an on-demand chain-consistent checkpoint (the sim harness's
+    /// `snap@N` fault). No-op without supervision.
+    pub fn checkpoint_now(&mut self) {
+        if let Some(sup) = self.supervisor.as_mut() {
+            sup.checkpoint(&self.nfs);
+            self.telemetry.shard(0).add_snapshots_taken(1);
+        }
+    }
+
+    /// Handles a crash of NF `nf`: quarantines its consolidated rules in
+    /// the Global MAT (the fast path falls back to the original walk),
+    /// sweeps all fast-path flow state, rolls the whole chain back to the
+    /// last chain-consistent checkpoint, and replays the bounded in-flight
+    /// log — so post-recovery NF state matches a crash-free run exactly.
+    /// `replay: false` is the seeded-bug mutation (`skip-snapshot-replay`)
+    /// that the sim oracle must flag. Returns the replay depth. No-op
+    /// without supervision.
+    pub fn kill_nf(&mut self, nf: usize, replay: bool) -> usize {
+        let Some(sup) = self.supervisor.as_mut() else {
+            return 0;
+        };
+        if let Some(sbox) = self.sbox.as_ref() {
+            // Mask first, then sweep: a reader that races the sweep hits
+            // the mask and falls back to the original walk.
+            sbox.global.quarantine_nf(nf);
+            sbox.force_evict_flows(usize::MAX);
+        }
+        // The prefetched rule cache may hold pre-crash handles.
+        self.batch_scratch.cache.clear();
+        self.batch_scratch.stale.clear();
+        self.batch_scratch.last = None;
+        let depth = sup.kill(&mut self.nfs, replay);
+        let shard = self.telemetry.shard(0);
+        shard.add_nf_kills(1);
+        shard.add_replay_depth(depth as u64);
+        // `kill` ends with a fresh post-recovery checkpoint.
+        shard.add_snapshots_taken(1);
+        depth
+    }
+
+    /// Closes NF `nf`'s quarantine window: consolidated rules may be
+    /// installed and served again, and quarantined flows re-record on
+    /// their next packet. No-op without supervision.
+    pub fn recover_nf(&mut self, nf: usize) {
+        if self.supervisor.is_none() {
+            return;
+        }
+        if let Some(sbox) = self.sbox.as_ref() {
+            sbox.global.unquarantine_nf(nf);
+        }
+        self.telemetry.shard(0).add_nf_recoveries(1);
+    }
+
+    /// Logs a non-packet NF state mutation (e.g. a backend health flip)
+    /// into the in-flight log so crash replay reproduces it in order.
+    /// No-op without supervision.
+    pub fn log_external(&mut self, event: Arc<dyn Fn() + Send + Sync>) {
+        if let Some(sup) = self.supervisor.as_mut() {
+            sup.log_external(event);
         }
     }
 
@@ -322,7 +411,27 @@ impl BessChain {
         cls_ops: OpCounter,
         batch: &mut Option<BatchState>,
     ) -> ProcessedPacket {
+        // Supervision first (NF state has not mutated yet): log the frame
+        // and its teardown decision for crash replay.
+        if let Some(sup) = self.supervisor.as_mut() {
+            let teardown = closes_flow && class != PacketClass::Collision;
+            if sup.note_packet(packet.as_bytes(), teardown, &self.nfs) {
+                self.telemetry.shard(0).add_snapshots_taken(1);
+            }
+        }
         let sbox = self.sbox.as_ref().expect("speedybox enabled");
+        // Open quarantine window: would-be fast-path packets ride the
+        // uninstrumented original walk instead — no recording (pre-crash
+        // recordings are untrusted), no install (the MAT gate refuses
+        // anyway), exactly the Handshake arm below.
+        let class = if sbox.global.is_quarantined()
+            && matches!(class, PacketClass::Initial | PacketClass::Subsequent)
+        {
+            self.telemetry.shard(fid.index() as u64).add_quarantine_packets(1);
+            PacketClass::Handshake
+        } else {
+            class
+        };
         let cls_cycles = self.model.cycles(&cls_ops);
 
         let outcome = match class {
@@ -778,6 +887,70 @@ mod tests {
         let mut chain = BessChain::speedybox(vec![]);
         let stats = chain.run(packets(1000, 2));
         assert_eq!(stats.delivered, 2);
+    }
+
+    #[test]
+    fn kill_quarantines_then_recover_republishes() {
+        let mon = Monitor::new();
+        let nfs: Vec<Box<dyn Nf>> = vec![Box::new(mon.clone())];
+        let config = SboxConfig { checkpoint_interval: 4, ..SboxConfig::default() };
+        let mut chain = BessChain::speedybox_with(nfs, config);
+        assert!(chain.supervised());
+        chain.run(packets(1000, 6));
+        let fid = {
+            let p = packets(1000, 1).pop().unwrap();
+            p.five_tuple().unwrap().fid()
+        };
+        let before = mon.counters(fid).unwrap();
+
+        let depth = chain.kill_nf(0, true);
+        assert!(depth > 0, "in-flight packets must replay");
+        assert_eq!(
+            mon.counters(fid).unwrap(),
+            before,
+            "rollback + replay reconstructs the crash-free state"
+        );
+        let sbox = chain.sbox().unwrap();
+        assert!(sbox.global.is_quarantined());
+        assert!(sbox.classifier.is_empty(), "fast-path flow state swept");
+
+        // Open window: everything rides the uninstrumented original walk.
+        let stats = chain.run(packets(1000, 3));
+        assert_eq!(stats.path_counts, [3, 0, 0]);
+
+        chain.recover_nf(0);
+        assert!(!chain.sbox().unwrap().global.is_quarantined());
+        // Post-window: the flow re-records organically, then rides the
+        // fast path again — and the monitor saw every packet exactly once.
+        let stats = chain.run(packets(1000, 4));
+        assert_eq!(stats.path_counts, [0, 1, 3]);
+        assert_eq!(mon.counters(fid).unwrap().packets, before.packets + 3 + 4);
+
+        let snap = chain.telemetry().snapshot();
+        assert_eq!(snap.nf_kills, 1);
+        assert_eq!(snap.nf_recoveries, 1);
+        assert_eq!(snap.replay_depth, depth as u64);
+        assert_eq!(snap.quarantine_packets, 3);
+        assert!(snap.snapshots_taken >= 2, "initial + post-recovery checkpoints");
+    }
+
+    #[test]
+    fn skipping_replay_diverges() {
+        let mon = Monitor::new();
+        let nfs: Vec<Box<dyn Nf>> = vec![Box::new(mon.clone())];
+        let config = SboxConfig { checkpoint_interval: 100, ..SboxConfig::default() };
+        let mut chain = BessChain::speedybox_with(nfs, config);
+        chain.run(packets(1000, 5));
+        let fid = {
+            let p = packets(1000, 1).pop().unwrap();
+            p.five_tuple().unwrap().fid()
+        };
+        let before = mon.counters(fid).unwrap();
+        chain.kill_nf(0, false);
+        assert!(
+            mon.counters(fid).is_none_or(|c| c.packets < before.packets),
+            "the seeded recovery bug must lose in-flight state"
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod metrics;
 pub mod onvm;
 pub mod parallel_exec;
 pub mod runtime;
+pub mod supervisor;
 pub mod threaded;
 pub mod workers;
 
@@ -64,5 +65,8 @@ pub use cycles::CycleModel;
 pub use metrics::{PathKind, ProcessedPacket, RunStats};
 pub use onvm::OnvmChain;
 pub use runtime::{SboxConfig, SpeedyBox};
-pub use threaded::{run_threaded, run_threaded_batched, ThreadedOnvm, ThreadedReport};
-pub use workers::{run_workers, WorkerReport};
+pub use supervisor::{ReplayEntry, Supervisor};
+pub use threaded::{
+    run_threaded, run_threaded_batched, run_threaded_on, ThreadedOnvm, ThreadedReport,
+};
+pub use workers::{run_workers, run_workers_on, WorkerReport};

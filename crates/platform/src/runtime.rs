@@ -79,6 +79,14 @@ pub struct SboxConfig {
     /// only where buffers come from; an exhausted pool falls back to heap
     /// allocation, counted in the `pool_misses` telemetry counter.
     pub pool_buffers: usize,
+    /// Chain-consistent checkpoint interval in packets for the NF
+    /// crash/restart supervisor. `0` (the default) disables supervision —
+    /// no snapshots are taken, no in-flight log is kept, and the data path
+    /// stays allocation-free. When non-zero, every NF's state is
+    /// checkpointed at one packet boundary every this-many packets (or
+    /// sooner if the in-flight log hits its bound), and `kill_nf` can roll
+    /// the chain back to the checkpoint and replay the log.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for SboxConfig {
@@ -95,6 +103,7 @@ impl Default for SboxConfig {
             idle_timeout: 0,
             admission: AdmissionPolicy::EvictOldest,
             pool_buffers: speedybox_packet::DEFAULT_POOL_BUFFERS,
+            checkpoint_interval: 0,
         }
     }
 }

@@ -114,11 +114,47 @@ pub fn run_threaded_observed(
     ring_capacity: usize,
     batch_size: usize,
     snapshot_every: usize,
-    mut on_snapshot: impl FnMut(&TelemetrySnapshot),
+    on_snapshot: impl FnMut(&TelemetrySnapshot),
 ) -> ThreadedReport {
     let nf_count = nfs.len();
     let sbox = speedybox
         .then(|| SpeedyBox::new(nf_count, SboxConfig { batch_size, ..SboxConfig::default() }));
+    run_threaded_on(
+        sbox.as_ref(),
+        nfs,
+        packets,
+        ring_capacity,
+        batch_size,
+        snapshot_every,
+        on_snapshot,
+    )
+}
+
+/// [`run_threaded_observed`] over a caller-owned runtime (`None` for a
+/// baseline run), so rules, flow tables, telemetry — and a quarantine
+/// window opened by a crash handler — carry across runs. While the window
+/// is open, would-be fast-path packets ride the NF rings uninstrumented
+/// (no recording, no install), exactly like the deterministic
+/// environments' original-walk fallback.
+///
+/// Closing the window takes two steps here: `unquarantine_nf` *and* a
+/// `force_evict_flows` sweep. Window-era flows hold classifier entries
+/// with no installed rule, and unlike the deterministic environments the
+/// threaded fast path has no slow-path fallback for that state — the
+/// sweep makes those flows re-record as flow-initial instead.
+///
+/// # Panics
+/// Panics if an NF thread panics.
+#[must_use]
+pub fn run_threaded_on(
+    sbox: Option<&SpeedyBox>,
+    nfs: Vec<Box<dyn Nf>>,
+    packets: Vec<Packet>,
+    ring_capacity: usize,
+    batch_size: usize,
+    snapshot_every: usize,
+    mut on_snapshot: impl FnMut(&TelemetrySnapshot),
+) -> ThreadedReport {
     let total = packets.len();
     // Speedybox runs share the runtime's hub so classifier/MAT/Event Table
     // counters and per-packet records land in one place; baseline runs get
@@ -397,7 +433,17 @@ pub fn run_threaded_observed(
                             continue;
                         }
                     };
-                    if c.class == PacketClass::Subsequent {
+                    // Open quarantine window: consolidated state is
+                    // untrusted, so would-be fast-path packets ride the NF
+                    // rings uninstrumented instead (no recording, no
+                    // install — flushing a quarantined Subsequent through
+                    // the swept MAT would hit `NoRule` and drop it).
+                    let quarantined = sbox.global.is_quarantined()
+                        && matches!(c.class, PacketClass::Initial | PacketClass::Subsequent);
+                    if quarantined {
+                        telemetry.shard(seq as u64).add_quarantine_packets(1);
+                    }
+                    if c.class == PacketClass::Subsequent && !quarantined {
                         path_class[seq] = PathClass::Subsequent;
                         fast_run.push((seq, pkt, c.fid, c.closes_flow));
                         continue;
@@ -411,7 +457,7 @@ pub fn run_threaded_observed(
                         &mut completed,
                         &mut mgr_mag,
                     );
-                    let record = c.class == PacketClass::Initial;
+                    let record = c.class == PacketClass::Initial && !quarantined;
                     // Collision/Handshake packets traverse the original
                     // chain without recording, mirroring the deterministic
                     // environments' `Baseline` attribution.
@@ -704,6 +750,38 @@ mod tests {
         assert!(!seen.is_empty(), "periodic hook never fired");
         assert!(seen.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(report.snapshot.packets, 50);
+    }
+
+    #[test]
+    fn quarantine_window_rides_the_rings() {
+        let sbox = SpeedyBox::new(1, SboxConfig::default());
+        let mon = Monitor::new();
+        let chain = || vec![Box::new(mon.clone()) as Box<dyn Nf>];
+
+        // Warm run: flows record and ride the consolidated fast path.
+        let warm = run_threaded_on(Some(&sbox), chain(), packets(12, 2), 256, 1, 0, |_| {});
+        assert_eq!(warm.delivered.len(), 12);
+        assert!(warm.snapshot.paths[2] > 0, "expected fast-path traffic");
+
+        // Crash handling: mask first, then sweep (same order as kill_nf).
+        sbox.global.quarantine_nf(0);
+        sbox.force_evict_flows(usize::MAX);
+        let q = run_threaded_on(Some(&sbox), chain(), packets(12, 2), 256, 1, 0, |_| {});
+        assert_eq!(q.delivered.len(), 12, "window must be loss-free");
+        assert_eq!(q.snapshot.paths[2], warm.snapshot.paths[2], "no fast path in the window");
+        assert_eq!(q.snapshot.paths[1], warm.snapshot.paths[1], "no recording in the window");
+        assert_eq!(q.snapshot.quarantine_packets - warm.snapshot.quarantine_packets, 12);
+
+        // Close the window: unquarantine AND sweep (window-era flows hold
+        // classifier entries with no rule — see `run_threaded_on`).
+        sbox.global.unquarantine_nf(0);
+        sbox.force_evict_flows(usize::MAX);
+        let r = run_threaded_on(Some(&sbox), chain(), packets(12, 2), 256, 1, 0, |_| {});
+        assert_eq!(r.delivered.len(), 12);
+        assert_eq!(r.snapshot.paths[1] - q.snapshot.paths[1], 2, "flows re-record");
+        assert_eq!(r.snapshot.paths[2] - q.snapshot.paths[2], 10);
+        // The monitor saw every packet of all three runs exactly once.
+        assert_eq!(mon.snapshot().values().map(|c| c.packets).sum::<u64>(), 36);
     }
 
     #[test]

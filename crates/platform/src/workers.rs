@@ -78,12 +78,31 @@ pub fn run_workers(
     packets: Vec<Packet>,
     config: SboxConfig,
 ) -> WorkerReport {
+    let nf_count = nf_sets.first().map_or(0, Vec::len);
+    let sbox = Arc::new(SpeedyBox::new(nf_count, config));
+    run_workers_on(&sbox, nf_sets, packets)
+}
+
+/// Like [`run_workers`], but over a caller-owned runtime, so state — rules,
+/// flow tables, telemetry, a quarantine window opened by a crash handler —
+/// carries across runs. The worker count and pool size come from
+/// `sbox.config`.
+///
+/// # Panics
+/// Panics if `nf_sets.len() != sbox.config.worker_count()`, if chain
+/// lengths differ, or if a worker thread panics.
+#[must_use]
+pub fn run_workers_on(
+    sbox: &Arc<SpeedyBox>,
+    nf_sets: Vec<Vec<Box<dyn Nf>>>,
+    packets: Vec<Packet>,
+) -> WorkerReport {
+    let config = &sbox.config;
     let workers = config.worker_count();
     assert_eq!(nf_sets.len(), workers, "need one NF chain per worker");
     let nf_count = nf_sets.first().map_or(0, Vec::len);
     assert!(nf_sets.iter().all(|s| s.len() == nf_count), "uneven NF chains");
 
-    let sbox = Arc::new(SpeedyBox::new(nf_count, config));
     let telemetry = Arc::clone(&sbox.telemetry);
     // One shared buffer pool; each worker fronts it with a private
     // magazine so depot-lock traffic stays off the per-packet path.
@@ -101,7 +120,7 @@ pub fn run_workers(
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for (mut nfs, slice) in nf_sets.into_iter().zip(slices) {
-            let sbox = Arc::clone(&sbox);
+            let sbox = Arc::clone(sbox);
             let mut mag = Magazine::new(Arc::clone(&pool));
             handles.push(scope.spawn(move || worker_loop(&sbox, &mut nfs, slice, &mut mag)));
         }
@@ -176,6 +195,17 @@ fn worker_loop(
                 mag.give_packet(pkt);
                 continue;
             }
+        };
+        // Open quarantine window: consolidated state is untrusted, so
+        // would-be fast-path packets ride the uninstrumented original walk
+        // (no recording, no install) until the window closes.
+        let class = if sbox.global.is_quarantined()
+            && matches!(class, PacketClass::Initial | PacketClass::Subsequent)
+        {
+            sbox.telemetry.shard(fid.index() as u64).add_quarantine_packets(1);
+            PacketClass::Handshake
+        } else {
+            class
         };
         let (survived, path, work) = match class {
             PacketClass::Initial => {
@@ -348,6 +378,35 @@ mod tests {
         let report = run_workers(nf_sets, pkts, config(2));
         assert_eq!(report.dropped, 0);
         assert_eq!(monitors.iter().map(Monitor::flow_count).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn quarantine_window_rides_the_original_walk() {
+        let sbox = Arc::new(SpeedyBox::new(1, config(2)));
+        // Warm run: flows record and ride the consolidated fast path.
+        let warm = run_workers_on(&sbox, fw_sets(2, 1), packets(16, 2));
+        assert_eq!(warm.delivered.len(), 16);
+        assert!(warm.snapshot.paths[2] > 0, "expected fast-path traffic");
+
+        // Crash handling: mask first, then sweep (same order as kill_nf).
+        sbox.global.quarantine_nf(0);
+        sbox.force_evict_flows(usize::MAX);
+        let quarantined = run_workers_on(&sbox, fw_sets(2, 1), packets(16, 2));
+        assert_eq!(quarantined.delivered.len(), 16, "window must be loss-free");
+        assert_eq!(
+            quarantined.snapshot.paths[0] - warm.snapshot.paths[0],
+            16,
+            "open window: everything on the uninstrumented original walk"
+        );
+        assert_eq!(quarantined.snapshot.paths[1], warm.snapshot.paths[1]);
+        assert_eq!(quarantined.snapshot.paths[2], warm.snapshot.paths[2]);
+        assert_eq!(quarantined.snapshot.quarantine_packets - warm.snapshot.quarantine_packets, 16);
+
+        // Window closes: both flows re-record, then fast path again.
+        sbox.global.unquarantine_nf(0);
+        let recovered = run_workers_on(&sbox, fw_sets(2, 1), packets(16, 2));
+        assert_eq!(recovered.snapshot.paths[1] - quarantined.snapshot.paths[1], 2);
+        assert_eq!(recovered.snapshot.paths[2] - quarantined.snapshot.paths[2], 14);
     }
 
     #[test]

@@ -111,7 +111,12 @@ mod tests {
 
     #[test]
     fn artifact_round_trips_a_case() {
-        let s = generate(&ScenarioConfig { seed: 9, chain: "chain1".into(), with_faults: true });
+        let s = generate(&ScenarioConfig {
+            seed: 9,
+            chain: "chain1".into(),
+            with_faults: true,
+            nf_faults: false,
+        });
         let case = SimCase {
             chain: "chain1".into(),
             env: EnvKind::Onvm,
@@ -145,6 +150,67 @@ mod tests {
     }
 
     #[test]
+    fn nf_fault_verbs_round_trip() {
+        // The recovery verbs travel as DSL text inside the artifact; a
+        // replayed case must get back the identical plan and bug.
+        let s = generate(&ScenarioConfig {
+            seed: 3,
+            chain: "snort-monitor".into(),
+            with_faults: false,
+            nf_faults: true,
+        });
+        assert!(s.faults.to_dsl().contains("nfkill"), "{}", s.faults.to_dsl());
+        let case = SimCase {
+            chain: "snort-monitor".into(),
+            env: EnvKind::Bess,
+            compiled: true,
+            batch: 1,
+            workers: 1,
+            seed: 3,
+            max_flows: 0,
+            bug: Some(BugKind::SkipSnapshotReplay),
+            items: s.items,
+            faults: s.faults,
+        };
+        let text = to_json(&case, None);
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.faults, case.faults);
+        assert_eq!(back.bug, case.bug);
+        assert_eq!(back.faults.to_dsl(), case.faults.to_dsl());
+    }
+
+    #[test]
+    fn pre_recovery_artifacts_still_parse() {
+        // Artifacts written before the nfkill/nfrecover/snap verbs (and
+        // the skip-snapshot-replay bug) existed carry only the old fault
+        // vocabulary; they must keep replaying unchanged.
+        let s = generate(&ScenarioConfig {
+            seed: 5,
+            chain: "chain2".into(),
+            with_faults: false,
+            nf_faults: false,
+        });
+        let case = SimCase {
+            chain: "chain2".into(),
+            env: EnvKind::Bess,
+            compiled: true,
+            batch: 1,
+            workers: 1,
+            seed: 5,
+            max_flows: 0,
+            bug: None,
+            items: s.items,
+            faults: FaultPlan::parse("churn@0..8;retire@4;evict@6=2").unwrap(),
+        };
+        let text = to_json(&case, None);
+        for verb in ["nfkill", "nfrecover", "snap@"] {
+            assert!(!text.contains(verb), "old-style artifact must not carry {verb}");
+        }
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.faults, case.faults);
+    }
+
+    #[test]
     fn rejects_bad_artifacts() {
         assert!(from_json("{}").is_err());
         assert!(from_json("not json").is_err());
@@ -153,7 +219,12 @@ mod tests {
 
     #[test]
     fn pre_worker_artifacts_replay_single_worker() {
-        let s = generate(&ScenarioConfig { seed: 2, chain: "chain1".into(), with_faults: false });
+        let s = generate(&ScenarioConfig {
+            seed: 2,
+            chain: "chain1".into(),
+            with_faults: false,
+            nf_faults: false,
+        });
         let case = SimCase {
             chain: "chain1".into(),
             env: EnvKind::Bess,

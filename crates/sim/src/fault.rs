@@ -25,6 +25,14 @@
 //!                        substrate so takes fall back to the heap — a
 //!                        memory-pressure event that must never change
 //!                        packet results, only the pool_misses counter)
+//! nfkill@20=1            crash NF 1 before packet 20 (SUT only): the chain
+//!                        rolls back to its last checkpoint and replays the
+//!                        in-flight log, and the crashed NF's consolidated
+//!                        rules are quarantined until the matching recover
+//! nfrecover@40=1         close NF 1's quarantine window — consolidated
+//!                        rules may be installed and served again
+//! snap@30                take an on-demand chain-consistent checkpoint
+//!                        before packet 30 (SUT only)
 //! ```
 //!
 //! Kill/recover apply to **both** the oracle and the SUT at the same
@@ -64,6 +72,16 @@ pub enum Fault {
     /// clamp fall back to plain heap allocation (counted as pool misses),
     /// which must be invisible to packet processing.
     PoolPressure(u64),
+    /// Crash this NF (SUT only): rollback to the last chain-consistent
+    /// checkpoint, replay the in-flight log, quarantine the NF's
+    /// consolidated rules until the matching [`Fault::RecoverNf`]. The
+    /// whole sequence must be invisible in packet bytes — that is the
+    /// recovery protocol's correctness claim.
+    KillNf(usize),
+    /// Close an NF's quarantine window (SUT only).
+    RecoverNf(usize),
+    /// Take an on-demand chain-consistent checkpoint (SUT only).
+    Snapshot,
 }
 
 /// A fault pinned to an original-trace packet index: it fires immediately
@@ -168,6 +186,19 @@ impl FaultPlan {
                         fault: Fault::RetireGenerations,
                     });
                 }
+                "nfkill" | "nfrecover" => {
+                    let (at, nf) = rest
+                        .split_once('=')
+                        .ok_or_else(|| format!("missing '=<nf>' in {clause:?}"))?;
+                    let nf =
+                        nf.parse::<usize>().map_err(|e| format!("bad nf in {clause:?}: {e}"))?;
+                    let fault =
+                        if verb == "nfkill" { Fault::KillNf(nf) } else { Fault::RecoverNf(nf) };
+                    faults.push(FaultAt { at: parse_index(at, clause)?, fault });
+                }
+                "snap" => {
+                    faults.push(FaultAt { at: parse_index(rest, clause)?, fault: Fault::Snapshot });
+                }
                 "churn" => {
                     let (a, b) = rest
                         .split_once("..")
@@ -202,6 +233,9 @@ impl FaultPlan {
                 Fault::RetireGenerations => clauses.push(format!("retire@{}", f.at)),
                 Fault::EvictOldest(k) => clauses.push(format!("evict@{}={k}", f.at)),
                 Fault::PoolPressure(cap) => clauses.push(format!("pool@{}={cap}", f.at)),
+                Fault::KillNf(nf) => clauses.push(format!("nfkill@{}={nf}", f.at)),
+                Fault::RecoverNf(nf) => clauses.push(format!("nfrecover@{}={nf}", f.at)),
+                Fault::Snapshot => clauses.push(format!("snap@{}", f.at)),
                 Fault::ChurnStart => pending_churn.push(f.at),
                 Fault::ChurnStop => {
                     let start = pending_churn.pop().unwrap_or(f.at);
@@ -233,11 +267,23 @@ mod tests {
     #[test]
     fn round_trips_every_verb() {
         let dsl =
-            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50;retire@55;evict@15=3;pool@18=2";
+            "kill@12=backend-0;recover@40=backend-0;flip@20;expire@30=4;remove@25;churn@10..50;retire@55;evict@15=3;pool@18=2;nfkill@20=1;nfrecover@40=1;snap@30";
         let plan = FaultPlan::parse(dsl).unwrap();
-        assert_eq!(plan.faults.len(), 10);
+        assert_eq!(plan.faults.len(), 13);
         let re = FaultPlan::parse(&plan.to_dsl()).unwrap();
         assert_eq!(re, plan);
+    }
+
+    #[test]
+    fn nf_verbs_parse_and_render() {
+        let plan = FaultPlan::parse("nfkill@20=1;nfrecover@40=1;snap@30").unwrap();
+        assert_eq!(plan.faults[0].fault, Fault::KillNf(1));
+        assert_eq!(plan.faults[1].fault, Fault::Snapshot);
+        assert_eq!(plan.faults[2].fault, Fault::RecoverNf(1));
+        assert_eq!(plan.to_dsl(), "nfkill@20=1;snap@30;nfrecover@40=1");
+        assert!(FaultPlan::parse("nfkill@20").is_err());
+        assert!(FaultPlan::parse("nfrecover@20=x").is_err());
+        assert!(FaultPlan::parse("snap@x").is_err());
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub enum BugKind {
     /// flow's next packet re-records on the slow path and the stale
     /// Local-MAT rules double up, corrupting the re-consolidated rule.
     EvictOrdering,
+    /// Emulate a recovery that rolls the chain back to its checkpoint but
+    /// "forgets" to replay the in-flight log: every packet processed since
+    /// the last checkpoint vanishes from NF state, which the end-of-run
+    /// counter sweep must flag.
+    SkipSnapshotReplay,
 }
 
 impl BugKind {
@@ -87,6 +92,7 @@ impl BugKind {
         match self {
             BugKind::SkipChecksumFix => "skip-checksum-fix",
             BugKind::EvictOrdering => "evict-ordering",
+            BugKind::SkipSnapshotReplay => "skip-snapshot-replay",
         }
     }
 
@@ -98,9 +104,10 @@ impl BugKind {
         match text {
             "skip-checksum-fix" => Ok(BugKind::SkipChecksumFix),
             "evict-ordering" => Ok(BugKind::EvictOrdering),
-            other => {
-                Err(format!("unknown bug {other:?} (expected skip-checksum-fix|evict-ordering)"))
-            }
+            "skip-snapshot-replay" => Ok(BugKind::SkipSnapshotReplay),
+            other => Err(format!(
+                "unknown bug {other:?} (expected skip-checksum-fix|evict-ordering|skip-snapshot-replay)"
+            )),
         }
     }
 }
@@ -233,6 +240,41 @@ impl Sut {
             Sut::Onvm(c) => c.pool().set_capacity(capacity),
         }
     }
+
+    fn supervised(&self) -> bool {
+        match self {
+            Sut::Bess(c) => c.supervised(),
+            Sut::Onvm(c) => c.supervised(),
+        }
+    }
+
+    fn kill_nf(&mut self, nf: usize, replay: bool) -> usize {
+        match self {
+            Sut::Bess(c) => c.kill_nf(nf, replay),
+            Sut::Onvm(c) => c.kill_nf(nf, replay),
+        }
+    }
+
+    fn recover_nf(&mut self, nf: usize) {
+        match self {
+            Sut::Bess(c) => c.recover_nf(nf),
+            Sut::Onvm(c) => c.recover_nf(nf),
+        }
+    }
+
+    fn checkpoint_now(&mut self) {
+        match self {
+            Sut::Bess(c) => c.checkpoint_now(),
+            Sut::Onvm(c) => c.checkpoint_now(),
+        }
+    }
+
+    fn log_external(&mut self, event: Arc<dyn Fn() + Send + Sync>) {
+        match self {
+            Sut::Bess(c) => c.log_external(event),
+            Sut::Onvm(c) => c.log_external(event),
+        }
+    }
 }
 
 /// The install/remove churn thread: hammers the Global MAT from a second
@@ -358,6 +400,16 @@ pub fn run_case(case: &SimCase) -> Result<RunOutcome, String> {
     if case.max_flows > 0 {
         config.max_flows = case.max_flows;
     }
+    // NF crash/restart verbs need supervision: a small interval keeps the
+    // in-flight log (and therefore every kill's replay) non-trivial.
+    let has_nf_faults = case
+        .faults
+        .faults
+        .iter()
+        .any(|f| matches!(f.fault, Fault::KillNf(_) | Fault::RecoverNf(_) | Fault::Snapshot));
+    if has_nf_faults {
+        config.checkpoint_interval = 32;
+    }
     let mut sut = match case.env {
         EnvKind::Bess => Sut::Bess(BessChain::speedybox_with(sut_nfs, config)),
         EnvKind::Onvm => Sut::Onvm(OnvmChain::speedybox_with(sut_nfs, config)),
@@ -466,6 +518,12 @@ fn apply_fault(
             }
             if let Some(m) = &sut_hooks.maglev {
                 m.fail_backend(name);
+                // Health flips mutate NF state outside the packet stream:
+                // log them so a crash replay reproduces the flip in order.
+                if sut.supervised() {
+                    let (m, name) = (m.clone(), name.clone());
+                    sut.log_external(Arc::new(move || m.fail_backend(&name)));
+                }
             }
         }
         Fault::RecoverBackend(name) => {
@@ -474,6 +532,10 @@ fn apply_fault(
             }
             if let Some(m) = &sut_hooks.maglev {
                 m.recover_backend(name);
+                if sut.supervised() {
+                    let (m, name) = (m.clone(), name.clone());
+                    sut.log_external(Arc::new(move || m.recover_backend(&name)));
+                }
             }
         }
         Fault::FlipMode => {
@@ -524,6 +586,18 @@ fn apply_fault(
             // capacity. Subsequent takes beyond the clamp fall back to the
             // heap (counted as pool misses) — packet bytes must not change.
             sut.clamp_pool(usize::try_from(*cap).unwrap_or(usize::MAX));
+        }
+        Fault::KillNf(nf) => {
+            // SUT-only crash: rollback + replay + quarantine window. With
+            // the seeded recovery bug, the replay half is "forgotten".
+            let replay = bug != Some(BugKind::SkipSnapshotReplay);
+            sut.kill_nf(*nf, replay);
+        }
+        Fault::RecoverNf(nf) => {
+            sut.recover_nf(*nf);
+        }
+        Fault::Snapshot => {
+            sut.checkpoint_now();
         }
     }
 }
@@ -787,7 +861,12 @@ mod tests {
     use crate::scenario::{generate, ScenarioConfig};
 
     fn case(chain: &str, env: EnvKind, batch: usize, faults: bool) -> SimCase {
-        let s = generate(&ScenarioConfig { seed: 11, chain: chain.into(), with_faults: faults });
+        let s = generate(&ScenarioConfig {
+            seed: 11,
+            chain: chain.into(),
+            with_faults: faults,
+            nf_faults: false,
+        });
         SimCase {
             chain: chain.into(),
             env,
@@ -863,6 +942,56 @@ mod tests {
         c.faults = FaultPlan::parse("evict@5=8;evict@20=8").unwrap();
         let out = run_case(&c).unwrap();
         assert!(out.divergence.is_some(), "half-done eviction teardown must diverge");
+    }
+
+    #[test]
+    fn nf_crash_recovery_is_equivalence_preserving() {
+        for env in [EnvKind::Bess, EnvKind::Onvm] {
+            let mut c = case("chain2", env, 1, false);
+            c.faults = FaultPlan::parse("snap@5;nfkill@15=1;nfrecover@30=1;nfkill@45=0").unwrap();
+            let out = run_case(&c).unwrap();
+            assert!(out.divergence.is_none(), "{}: {:?}", env.as_str(), out.divergence);
+        }
+    }
+
+    #[test]
+    fn skip_snapshot_replay_bug_is_caught() {
+        // The seeded recovery bug restores the checkpoint but "forgets"
+        // the in-flight log: every packet since the last checkpoint
+        // vanishes from NF state — the counter sweep must notice.
+        let mut c = case("snort-monitor", EnvKind::Bess, 1, false);
+        c.bug = Some(BugKind::SkipSnapshotReplay);
+        c.faults = FaultPlan::parse("nfkill@25=0").unwrap();
+        let out = run_case(&c).unwrap();
+        let d = out.divergence.expect("skipped replay must diverge");
+        assert_eq!(d.kind, DivergenceKind::Counters);
+    }
+
+    #[test]
+    fn nf_faults_scenario_stays_equivalent() {
+        // Generator-produced NF fault plans (kills layered over backend
+        // churn and the usual perturbations) on the full chain1 stack.
+        let s = generate(&ScenarioConfig {
+            seed: 4,
+            chain: "chain1".into(),
+            with_faults: true,
+            nf_faults: true,
+        });
+        assert!(s.faults.faults.iter().any(|f| matches!(f.fault, Fault::KillNf(_))));
+        let c = SimCase {
+            chain: "chain1".into(),
+            env: EnvKind::Bess,
+            compiled: true,
+            batch: 1,
+            workers: 1,
+            seed: 4,
+            max_flows: 0,
+            bug: None,
+            items: s.items,
+            faults: s.faults,
+        };
+        let out = run_case(&c).unwrap();
+        assert!(out.divergence.is_none(), "{:?}", out.divergence);
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct ScenarioConfig {
     pub chain: String,
     /// Include a scripted fault plan.
     pub with_faults: bool,
+    /// Add NF crash/restart verbs (`nfkill`/`nfrecover`/`snap`) to the
+    /// plan. Composable with `with_faults`; the runner auto-enables
+    /// checkpointing when any NF verb is present.
+    pub nf_faults: bool,
 }
 
 /// A generated scenario.
@@ -122,11 +126,16 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
     // Close the long-lived flows last.
     frames.extend(fins);
 
-    let faults = if cfg.with_faults {
+    let mut faults = if cfg.with_faults {
         fault_plan(&mut rng, &cfg.chain, frames.len())
     } else {
         FaultPlan::empty()
     };
+    if cfg.nf_faults {
+        let mut all = faults.faults;
+        all.extend(nf_fault_plan(&mut rng, &cfg.chain, frames.len()));
+        faults = FaultPlan::new(all);
+    }
 
     let items =
         frames.into_iter().enumerate().map(|(orig, frame)| TraceItem { orig, frame }).collect();
@@ -304,6 +313,42 @@ fn has_maglev(chain: &str) -> bool {
     chain == "chain1" || chain == "maglev-failover"
 }
 
+/// NF count of a registry chain, mirroring the `chains` registry — kill
+/// targets must stay in range.
+fn chain_len(chain: &str) -> usize {
+    if let Some(n) = chain.strip_prefix("ipfilter:").or_else(|| chain.strip_prefix("synthetic:")) {
+        return n.parse().unwrap_or(1).max(1);
+    }
+    match chain {
+        "chain1" => 4,
+        "chain2" | "vpn-tunnel" => 3,
+        "snort-monitor" | "dos-mitigation" => 2,
+        _ => 1, // maglev-failover, snort
+    }
+}
+
+/// NF crash/restart verbs: an on-demand checkpoint, a kill with the
+/// quarantine window held open across live traffic, a recovery, and
+/// (half the time) a second crash late in the trace.
+fn nf_fault_plan(rng: &mut StdRng, chain: &str, n: usize) -> Vec<FaultAt> {
+    let pct = |p: usize| (n * p) / 100;
+    let nfs = chain_len(chain);
+    let victim = rng.gen_range(0..nfs);
+    let kill_at = rng.gen_range(25..45);
+    let recover_at = rng.gen_range(50..70);
+    let mut faults = vec![
+        FaultAt { at: pct(20), fault: Fault::Snapshot },
+        FaultAt { at: pct(kill_at), fault: Fault::KillNf(victim) },
+        FaultAt { at: pct(recover_at), fault: Fault::RecoverNf(victim) },
+    ];
+    if rng.gen_bool(0.5) {
+        let second = rng.gen_range(0..nfs);
+        faults.push(FaultAt { at: pct(80), fault: Fault::KillNf(second) });
+        faults.push(FaultAt { at: pct(95), fault: Fault::RecoverNf(second) });
+    }
+    faults
+}
+
 /// Builds the scripted fault plan, positions scaled to the trace length.
 fn fault_plan(rng: &mut StdRng, chain: &str, n: usize) -> FaultPlan {
     let pct = |p: usize| (n * p) / 100;
@@ -362,7 +407,8 @@ mod tests {
 
     #[test]
     fn same_seed_same_scenario() {
-        let cfg = ScenarioConfig { seed: 7, chain: "chain1".into(), with_faults: true };
+        let cfg =
+            ScenarioConfig { seed: 7, chain: "chain1".into(), with_faults: true, nf_faults: false };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.items, b.items);
@@ -372,8 +418,18 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&ScenarioConfig { seed: 1, chain: "snort".into(), with_faults: false });
-        let b = generate(&ScenarioConfig { seed: 2, chain: "snort".into(), with_faults: false });
+        let a = generate(&ScenarioConfig {
+            seed: 1,
+            chain: "snort".into(),
+            with_faults: false,
+            nf_faults: false,
+        });
+        let b = generate(&ScenarioConfig {
+            seed: 2,
+            chain: "snort".into(),
+            with_faults: false,
+            nf_faults: false,
+        });
         assert_ne!(a.items, b.items);
         assert!(a.faults.is_empty());
     }
@@ -384,6 +440,7 @@ mod tests {
             seed: 3,
             chain: "dos-mitigation".into(),
             with_faults: false,
+            nf_faults: false,
         });
         let syns = s
             .items

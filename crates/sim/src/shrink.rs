@@ -135,8 +135,12 @@ mod tests {
 
     #[test]
     fn shrinks_seeded_bug_to_a_handful_of_packets() {
-        let s =
-            generate(&ScenarioConfig { seed: 5, chain: "ipfilter:3".into(), with_faults: false });
+        let s = generate(&ScenarioConfig {
+            seed: 5,
+            chain: "ipfilter:3".into(),
+            with_faults: false,
+            nf_faults: false,
+        });
         let case = SimCase {
             chain: "ipfilter:3".into(),
             env: EnvKind::Bess,

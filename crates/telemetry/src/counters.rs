@@ -136,6 +136,12 @@ pub struct CounterShard {
     pool_refills: AtomicU64,
     pool_flushes: AtomicU64,
     pool_depth: AtomicU64,
+    // NF crash/restart supervision.
+    snapshots_taken: AtomicU64,
+    replay_depth: AtomicU64,
+    quarantine_packets: AtomicU64,
+    nf_kills: AtomicU64,
+    nf_recoveries: AtomicU64,
     // Abstract-operation mirror of `RunStats::ops`.
     ops: [AtomicU64; OP_KINDS],
 }
@@ -198,6 +204,18 @@ impl CounterShard {
         add_pool_refills => pool_refills,
         /// Counts magazine batch flushes back to the pool depot.
         add_pool_flushes => pool_flushes,
+        /// Counts chain-consistent checkpoints taken (periodic, bound-forced
+        /// or on demand).
+        add_snapshots_taken => snapshots_taken,
+        /// Counts in-flight log entries replayed during NF recovery.
+        add_replay_depth => replay_depth,
+        /// Counts packets that rode the baseline walk because a quarantine
+        /// window was open.
+        add_quarantine_packets => quarantine_packets,
+        /// Counts NF crash (kill) events handled by the supervisor.
+        add_nf_kills => nf_kills,
+        /// Counts quarantine windows closed (NF recoveries).
+        add_nf_recoveries => nf_recoveries,
     }
 
     /// Records the pool depot's current idle-buffer count (a sampled
@@ -263,6 +281,11 @@ impl CounterShard {
         s.pool_refills += self.pool_refills.load(Relaxed);
         s.pool_flushes += self.pool_flushes.load(Relaxed);
         s.pool_depth += self.pool_depth.load(Relaxed);
+        s.snapshots_taken += self.snapshots_taken.load(Relaxed);
+        s.replay_depth += self.replay_depth.load(Relaxed);
+        s.quarantine_packets += self.quarantine_packets.load(Relaxed);
+        s.nf_kills += self.nf_kills.load(Relaxed);
+        s.nf_recoveries += self.nf_recoveries.load(Relaxed);
         for (dst, src) in s.ops.0.iter_mut().zip(&self.ops) {
             *dst += src.load(Relaxed);
         }

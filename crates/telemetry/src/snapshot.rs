@@ -66,6 +66,17 @@ pub struct TelemetrySnapshot {
     pub pool_flushes: u64,
     /// Idle buffers in the pool depot at snapshot time (sampled gauge).
     pub pool_depth: u64,
+    /// Chain-consistent checkpoints taken (periodic, bound-forced or on
+    /// demand).
+    pub snapshots_taken: u64,
+    /// In-flight log entries replayed during NF recovery.
+    pub replay_depth: u64,
+    /// Packets steered to the baseline walk by an open quarantine window.
+    pub quarantine_packets: u64,
+    /// NF crash (kill) events handled by the supervisor.
+    pub nf_kills: u64,
+    /// Quarantine windows closed (NF recoveries).
+    pub nf_recoveries: u64,
     /// Mirror of the abstract-operation counters (see `OP_NAMES`).
     pub ops: OpTotals,
 }
@@ -103,6 +114,11 @@ impl TelemetrySnapshot {
         self.pool_refills += other.pool_refills;
         self.pool_flushes += other.pool_flushes;
         self.pool_depth += other.pool_depth;
+        self.snapshots_taken += other.snapshots_taken;
+        self.replay_depth += other.replay_depth;
+        self.quarantine_packets += other.quarantine_packets;
+        self.nf_kills += other.nf_kills;
+        self.nf_recoveries += other.nf_recoveries;
         self.ops.merge(&other.ops);
     }
 
@@ -129,7 +145,7 @@ impl TelemetrySnapshot {
     /// Named scalar counters in exposition order (everything except the
     /// per-path arrays, histograms and op mirror).
     #[must_use]
-    pub fn scalars(&self) -> [(&'static str, u64); 24] {
+    pub fn scalars(&self) -> [(&'static str, u64); 29] {
         [
             ("packets", self.packets),
             ("delivered", self.delivered),
@@ -155,6 +171,11 @@ impl TelemetrySnapshot {
             ("pool_refills", self.pool_refills),
             ("pool_flushes", self.pool_flushes),
             ("pool_depth", self.pool_depth),
+            ("snapshots_taken", self.snapshots_taken),
+            ("replay_depth", self.replay_depth),
+            ("quarantine_packets", self.quarantine_packets),
+            ("nf_kills", self.nf_kills),
+            ("nf_recoveries", self.nf_recoveries),
         ]
     }
 
@@ -272,6 +293,9 @@ impl TelemetrySnapshot {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("missing or non-integer field '{name}'"))
         };
+        // Recovery counters postdate the format; absent means zero so dumps
+        // written before NF supervision existed still parse.
+        let lenient = |name: &str| doc.get(name).and_then(Json::as_u64).unwrap_or(0);
         let mut snap = TelemetrySnapshot {
             packets: field("packets")?,
             delivered: field("delivered")?,
@@ -297,6 +321,11 @@ impl TelemetrySnapshot {
             pool_refills: field("pool_refills")?,
             pool_flushes: field("pool_flushes")?,
             pool_depth: field("pool_depth")?,
+            snapshots_taken: lenient("snapshots_taken"),
+            replay_depth: lenient("replay_depth"),
+            quarantine_packets: lenient("quarantine_packets"),
+            nf_kills: lenient("nf_kills"),
+            nf_recoveries: lenient("nf_recoveries"),
             ..TelemetrySnapshot::default()
         };
         let paths = doc.get("paths").ok_or("missing 'paths'")?;
@@ -365,6 +394,11 @@ mod tests {
         t.shard(0).add_pool_refills(1);
         t.shard(0).add_pool_flushes(1);
         t.shard(0).set_pool_depth(4);
+        t.shard(0).add_snapshots_taken(3);
+        t.shard(0).add_replay_depth(7);
+        t.shard(1).add_quarantine_packets(5);
+        t.shard(0).add_nf_kills(1);
+        t.shard(0).add_nf_recoveries(1);
         let mut ops = OpTotals::default();
         ops.0[0] = 12;
         ops.0[13] = 2;

@@ -79,11 +79,15 @@ pub enum LintCode {
     /// length, AH depth) — proven by exhaustive enumeration of the
     /// geometry domain, not by sampling.
     MicroOpOutOfBounds,
+    /// SBX013: an NF declares per-flow state (`has_flow_state`) but
+    /// produces no snapshot, so crash recovery cannot restore it — every
+    /// packet older than the in-flight log is silently lost on a kill.
+    SnapshotMissing,
 }
 
 impl LintCode {
     /// Every code, in numeric order.
-    pub const ALL: [LintCode; 12] = [
+    pub const ALL: [LintCode; 13] = [
         LintCode::DeadActionAfterDrop,
         LintCode::DecapSpecMismatch,
         LintCode::DecapUnderflow,
@@ -96,6 +100,7 @@ impl LintCode {
         LintCode::AccessViolation,
         LintCode::CompiledDivergence,
         LintCode::MicroOpOutOfBounds,
+        LintCode::SnapshotMissing,
     ];
 
     /// The stable code string (`SBX001`...).
@@ -114,6 +119,7 @@ impl LintCode {
             LintCode::AccessViolation => "SBX010",
             LintCode::CompiledDivergence => "SBX011",
             LintCode::MicroOpOutOfBounds => "SBX012",
+            LintCode::SnapshotMissing => "SBX013",
         }
     }
 
@@ -133,6 +139,7 @@ impl LintCode {
             LintCode::AccessViolation => "access-violation",
             LintCode::CompiledDivergence => "compiled-divergence",
             LintCode::MicroOpOutOfBounds => "microop-out-of-bounds",
+            LintCode::SnapshotMissing => "snapshot-missing",
         }
     }
 
@@ -151,7 +158,8 @@ impl LintCode {
             | LintCode::MicroOpOutOfBounds => Severity::Error,
             LintCode::DecapUnderflow
             | LintCode::ConflictingModify
-            | LintCode::EarlyTrailingWrite => Severity::Warn,
+            | LintCode::EarlyTrailingWrite
+            | LintCode::SnapshotMissing => Severity::Warn,
         }
     }
 }
@@ -376,7 +384,7 @@ mod tests {
             codes,
             vec![
                 "SBX001", "SBX002", "SBX003", "SBX004", "SBX005", "SBX006", "SBX007", "SBX008",
-                "SBX009", "SBX010", "SBX011", "SBX012"
+                "SBX009", "SBX010", "SBX011", "SBX012", "SBX013"
             ]
         );
         let names: std::collections::HashSet<&str> =

@@ -27,6 +27,9 @@
 //!   window is proven in-frame by exhaustive enumeration of the admissible
 //!   header geometries — VLAN tagging, IPv4/TCP options, AH depth, minimal
 //!   payloads (SBX012).
+//! * **Pass 6 — recovery-snapshot coverage** ([`snapshots`]): every NF
+//!   that declares per-flow state must produce a state snapshot, or crash
+//!   recovery silently loses its history (SBX013).
 //!
 //! Findings carry stable `SBX0xx` codes ([`diag::LintCode`]) with fixed
 //! severities; `speedybox lint <chain>` renders them as text or JSON and
@@ -42,6 +45,7 @@ pub mod compiled;
 pub mod diag;
 pub mod events;
 pub mod schedule;
+pub mod snapshots;
 pub mod symbolic;
 
 pub use bounds::{check_bounds, check_program_bounds};
@@ -49,6 +53,7 @@ pub use compiled::check_compiled;
 pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
 pub use events::{check_event_rewrites, EventSpec};
 pub use schedule::{check_access_log, check_rule_schedule, check_schedule};
+pub use snapshots::{check_snapshots, NfStateSpec};
 pub use symbolic::{check_consolidation, interpret, NfActions, SymbolicState};
 
 /// Runs every applicable pass over one flow's recorded rule: pass 1 on the

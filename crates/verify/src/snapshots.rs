@@ -1,0 +1,97 @@
+//! Pass 6 — recovery-snapshot coverage (SBX013).
+//!
+//! The crash-recovery protocol restores every NF from its last
+//! `Nf::snapshot_state` capture and replays the bounded in-flight log. An
+//! NF that *declares* per-flow state (`Nf::has_flow_state` → `true`) but
+//! produces no snapshot breaks that contract silently: after a kill its
+//! state restarts empty, the replay reconstructs only what the log holds,
+//! and everything older is gone — a loss the differential oracle can only
+//! catch once a crash actually happens. This pass surfaces the gap
+//! statically, before any fault-injection run.
+//!
+//! The check is deliberately declaration-driven and decoupled from the
+//! `Nf` trait object: the lint driver reduces each chain member to an
+//! [`NfStateSpec`] triple, so the pass also covers externally-defined NFs
+//! without this crate depending on the NF crate.
+
+use crate::diag::{LintCode, Report, Span};
+
+/// What the snapshot-coverage pass needs to know about one chain member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NfStateSpec {
+    /// Diagnostic name of the NF.
+    pub name: String,
+    /// The NF's own declaration that it keeps per-flow state a crash
+    /// would lose (`Nf::has_flow_state`).
+    pub has_flow_state: bool,
+    /// Whether the NF actually produces a capture (`Nf::snapshot_state`
+    /// returned `Some` on a live instance).
+    pub has_snapshot: bool,
+}
+
+impl NfStateSpec {
+    /// Builds a spec from plain parts.
+    pub fn new(name: impl Into<String>, has_flow_state: bool, has_snapshot: bool) -> Self {
+        Self { name: name.into(), has_flow_state, has_snapshot }
+    }
+}
+
+/// Flags every NF whose state declaration and snapshot support disagree
+/// (SBX013, Warn): stateful-but-unsnapshottable means unrecoverable state
+/// after a crash. The chain still runs correctly fault-free, hence Warn
+/// rather than Error.
+#[must_use]
+pub fn check_snapshots(chain: &str, nfs: &[NfStateSpec]) -> Report {
+    let mut report = Report::new(chain);
+    for (i, spec) in nfs.iter().enumerate() {
+        if spec.has_flow_state && !spec.has_snapshot {
+            report.push(
+                LintCode::SnapshotMissing,
+                Span::nf(i, &spec.name),
+                format!(
+                    "`{}` declares per-flow state (`has_flow_state`) but produces no \
+                     snapshot: its state cannot be restored after a crash, so recovery \
+                     silently loses everything older than the in-flight log",
+                    spec.name
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn stateful_without_snapshot_is_flagged() {
+        let nfs = [
+            NfStateSpec::new("filter", false, false),
+            NfStateSpec::new("nat", true, false),
+            NfStateSpec::new("monitor", true, true),
+        ];
+        let report = check_snapshots("test", &nfs);
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, LintCode::SnapshotMissing);
+        assert_eq!(d.severity, Severity::Warn);
+        assert_eq!(d.span.nf, Some(1));
+        assert_eq!(d.span.nf_name.as_deref(), Some("nat"));
+        assert!(!report.has_errors(), "SBX013 is a warning, not an error");
+    }
+
+    #[test]
+    fn covered_and_stateless_nfs_are_clean() {
+        let nfs = [
+            NfStateSpec::new("filter", false, false),
+            NfStateSpec::new("monitor", true, true),
+            // Snapshot without the declaration is fine too: the capture is
+            // simply restored on recovery like any other.
+            NfStateSpec::new("vpn", false, true),
+        ];
+        let report = check_snapshots("test", &nfs);
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+}

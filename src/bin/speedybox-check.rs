@@ -24,7 +24,7 @@ use std::process::ExitCode;
 
 use arcswap::model::{scenarios as rcu, Mutation};
 use speedybox_check::{BugKind, Checker, Config, Outcome};
-use speedybox_mat::model::{scenarios as mat, ClMutation, FtMutation};
+use speedybox_mat::model::{scenarios as mat, ClMutation, FtMutation, QMutation};
 
 /// A boxed scenario, callable many times by the explorer.
 type Scenario = Box<dyn Fn() + Send + Sync + 'static>;
@@ -108,6 +108,16 @@ const MODELS: &[Model] = &[
             name: "cl-memo-raw-handle",
             expected: BugKind::UseAfterFree,
             build: || Box::new(mat::cl_memo_vs_republish(ClMutation::MemoRawHandle)),
+        }],
+    },
+    Model {
+        name: "q-kill-vs-reader",
+        bound: 2,
+        clean: || Box::new(mat::q_kill_vs_reader(QMutation::None)),
+        twins: &[Twin {
+            name: "q-republish-before-replay",
+            expected: BugKind::Panic,
+            build: || Box::new(mat::q_kill_vs_reader(QMutation::RepublishBeforeReplay)),
         }],
     },
 ];

@@ -64,6 +64,11 @@ RUN OPTIONS:
                       table is at --max-flows: evict the least-recently-seen
                       flow (default) or reject the newcomer (it rides the
                       original chain uninstrumented)
+  --checkpoint-interval <N>
+                      snapshot every NF's state every N packets and keep a
+                      bounded in-flight log, enabling chain-consistent
+                      crash/restart recovery (default: 0 = disabled; the
+                      data path stays allocation-free when off)
   --dump-mat          print the Global MAT after the run (implies --speedybox)
   --metrics <FILE>    write the run's telemetry snapshot; *.prom gets
                       Prometheus text exposition, anything else JSON
@@ -86,11 +91,15 @@ SIM OPTIONS:
                       with --all)
   --interpreted       start in interpreted rule execution
   --no-faults         disable the scripted fault plans
+  --nf-faults         add NF crash/restart verbs (nfkill/nfrecover/snap) to
+                      the fault plans; the runner auto-enables
+                      checkpointing and the recovery protocol under test
   --evict-pressure    bound the SUT flow table at 64 entries so installs
                       continuously displace LRU flows mid-trace — the
                       capacity-eviction path under byte-equivalence check
   --inject-bug <B>    seed a deliberate SUT bug to validate the harness
-                      (skip-checksum-fix | evict-ordering)
+                      (skip-checksum-fix | evict-ordering |
+                      skip-snapshot-replay)
   --artifact-dir <D>  write shrunk divergence reproducers here as JSON
   --replay <FILE>     re-run a divergence artifact byte-for-byte
   exit code: 0 = equivalent, 1 = divergence found, 2 = usage error
@@ -277,6 +286,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         max_flows: args.usize_value("--max-flows", default_cfg.max_flows)?,
         idle_timeout: args.usize_value("--idle-timeout", 0)? as u64,
         admission,
+        checkpoint_interval: args.usize_value("--checkpoint-interval", 0)? as u64,
         ..default_cfg
     };
     if args.flag("--verify") {
@@ -435,6 +445,7 @@ fn cmd_sim(args: &Args) -> Result<ExitCode, String> {
         None => (0..args.usize_value("--seeds", 8)? as u64).collect(),
     };
     let with_faults = !args.flag("--no-faults");
+    let nf_faults = args.flag("--nf-faults");
     let bug = args.value("--inject-bug").map(sim::BugKind::parse).transpose()?;
     let artifact_dir = args.value("--artifact-dir");
     // Pressure mode: a tiny flow-table bound keeps every case under
@@ -453,6 +464,7 @@ fn cmd_sim(args: &Args) -> Result<ExitCode, String> {
                 seed,
                 chain: config.chain.clone(),
                 with_faults,
+                nf_faults,
             });
             let case = sim::SimCase {
                 chain: config.chain.clone(),

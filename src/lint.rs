@@ -11,7 +11,9 @@
 //! * every registered Event Table entry → pass 2 (rewrite safety);
 //! * the installed rule's precomputed wavefront schedule → pass 3
 //!   (Table I schedule safety);
-//! * the access tracker's observed-write log → `SBX010`.
+//! * the access tracker's observed-write log → `SBX010`;
+//! * each NF's flow-state declaration vs its snapshot support → pass 6
+//!   (`SBX013`, recovery-snapshot coverage).
 //!
 //! The driver always builds a **fresh** chain instance: pass 2 invokes
 //! update handlers statically, and a handler is allowed to mutate its NF's
@@ -27,7 +29,9 @@ use speedybox_platform::runtime::{
     classify, fast_path, traverse_chain, FastPathScratch, SboxConfig, SpeedyBox,
 };
 use speedybox_traffic::{Workload, WorkloadConfig};
-use speedybox_verify::{check_access_log, verify_flow, EventSpec, NfActions, Report};
+use speedybox_verify::{
+    check_access_log, check_snapshots, verify_flow, EventSpec, NfActions, NfStateSpec, Report,
+};
 
 /// The concrete chain names `lint --all` verifies (parameterized entries
 /// pinned to representative sizes).
@@ -58,6 +62,13 @@ pub fn lint_nfs(chain_name: &str, mut nfs: Vec<Box<dyn Nf>>) -> Report {
     let sbox = SpeedyBox::new(nfs.len(), SboxConfig::default());
     let model = CycleModel::new();
     let names: Vec<String> = nfs.iter().map(|nf| nf.name().to_string()).collect();
+
+    // Pass 6 input, taken before traffic flows: the declaration triple is
+    // a property of the NF type, not of accumulated state.
+    let state_specs: Vec<NfStateSpec> = nfs
+        .iter()
+        .map(|nf| NfStateSpec::new(nf.name(), nf.has_flow_state(), nf.snapshot_state().is_some()))
+        .collect();
 
     // Deterministic workload: enough flows to hit every NF code path
     // (suspicious payloads included for Snort-bearing chains), enough
@@ -117,6 +128,8 @@ pub fn lint_nfs(chain_name: &str, mut nfs: Vec<Box<dyn Nf>>) -> Report {
     // Close the declared-vs-observed loop: any state function the debug
     // build caught writing the payload under a Read/Ignore declaration.
     report.merge(check_access_log(chain_name, &track::take_violations()));
+    // And the recovery contract: declared flow state must be recoverable.
+    report.merge(check_snapshots(chain_name, &state_specs));
     report
 }
 
@@ -142,5 +155,46 @@ mod tests {
     fn lint_vpn_tunnel_is_clean() {
         let report = lint_chain("vpn-tunnel").unwrap();
         assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn stateful_nf_without_snapshot_gets_sbx013() {
+        use speedybox_nf::{NfContext, NfVerdict};
+        use speedybox_packet::Packet;
+        use speedybox_verify::LintCode;
+
+        /// Counts packets (per-flow state) but cannot snapshot them.
+        struct Amnesiac {
+            count: u64,
+        }
+
+        impl Nf for Amnesiac {
+            fn name(&self) -> &str {
+                "amnesiac"
+            }
+
+            fn process(&mut self, _packet: &mut Packet, _ctx: &mut NfContext<'_>) -> NfVerdict {
+                self.count += 1;
+                NfVerdict::Forward
+            }
+
+            fn has_flow_state(&self) -> bool {
+                true
+            }
+        }
+
+        let report = lint_nfs("amnesiac-chain", vec![Box::new(Amnesiac { count: 0 })]);
+        assert!(report.has_code(LintCode::SnapshotMissing), "{}", report.render_text());
+        assert!(!report.has_errors(), "SBX013 must stay a warning");
+
+        // Every registry chain keeps its recovery contract.
+        for name in LINT_ALL {
+            let report = lint_chain(name).unwrap();
+            assert!(
+                !report.has_code(LintCode::SnapshotMissing),
+                "{name} has unrecoverable flow state:\n{}",
+                report.render_text()
+            );
+        }
     }
 }

@@ -231,6 +231,72 @@ fn sim_seeded_bug_is_caught_shrunk_and_replayable() {
 }
 
 #[test]
+fn sim_nf_faults_sweep_is_clean_and_deterministic() {
+    let args = ["sim", "--chain", "chain2", "--seeds", "2", "--nf-faults"];
+    let a = speedybox(&args);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("sim: zero divergences"), "{text}");
+    let b = speedybox(&args);
+    assert!(b.status.success());
+    assert_eq!(a.stdout, b.stdout, "nf-fault sim output must be deterministic");
+}
+
+#[test]
+fn sim_recovery_bug_is_caught_and_artifact_replays_nf_verbs() {
+    let dir = std::env::temp_dir().join("speedybox-sim-cli-nf-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap();
+    // A recovery path that restores the snapshot but skips the in-flight
+    // log replay must be caught by the sweep once kills are in the plan,
+    // shrunk, and dumped with the nfkill verb intact in the artifact.
+    let out = speedybox(&[
+        "sim",
+        "--chain",
+        "snort-monitor",
+        "--seeds",
+        "4",
+        "--no-faults",
+        "--nf-faults",
+        "--env",
+        "bess",
+        "--inject-bug",
+        "skip-snapshot-replay",
+        "--artifact-dir",
+        dir_s,
+    ]);
+    assert!(!out.status.success(), "skipped replay must fail the sweep");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DIVERGENCE"), "{text}");
+
+    let artifact = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().starts_with("sim-"))
+        .expect("an artifact was written");
+    let path = artifact.path();
+    let path_s = path.to_str().unwrap();
+
+    // The shrunk reproducer kept the kill (dropping it would lose the
+    // divergence) and round-trips through replay deterministically.
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("nfkill@"), "artifact must carry the kill verb: {json}");
+    assert!(json.contains("skip-snapshot-replay"), "artifact must carry the bug: {json}");
+    let r1 = speedybox(&["sim", "--replay", path_s]);
+    assert_eq!(r1.status.code(), Some(1), "replay of the recovery bug exits 1");
+    assert!(String::from_utf8_lossy(&r1.stdout).contains("DIVERGENCE"));
+    let r2 = speedybox(&["sim", "--replay", path_s]);
+    assert_eq!(r1.stdout, r2.stdout, "replay must be deterministic");
+
+    // The shrunk reproducer is small.
+    let packets = json.matches("\"frame\"").count();
+    assert!(packets <= 20, "shrunk artifact has {packets} packets (> 20)");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sim_replay_of_missing_file_is_a_clean_error() {
     let out = speedybox(&["sim", "--replay", "/nonexistent/sim-artifact.json"]);
     assert!(!out.status.success());

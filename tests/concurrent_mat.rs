@@ -623,6 +623,139 @@ fn evict_vs_install_vs_event_fire_settles_with_zero_leak() {
     }
 }
 
+/// Quarantine-flip racing install/remove churn: the crash-recovery
+/// protocol flips the Global MAT's quarantine mask while manager threads
+/// are mid-install and readers are mid-batch. The mask is a pure
+/// fast-path *gate* — it must never perturb table contents, block a
+/// wait-free reader, or leak a generation.
+///
+/// Contracts enforced:
+///
+/// * installed rules keep executing while quarantined — masking is the
+///   platform's classification decision, not a table mutation;
+/// * the mask itself is exact: after every flipper finishes its
+///   balanced quarantine/unquarantine pairs, the mask reads zero;
+/// * after churn settles, the stable rule set is intact, churn FIDs
+///   are gone, and the retired-generation backlog drains to zero.
+#[test]
+fn quarantine_flip_vs_install_churn_leaks_nothing() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use speedybox::mat::FastPathOutcome;
+
+    const STABLE: u32 = 48;
+    const CHURN_FIDS: u32 = 384;
+    const STABLE_BASE: u32 = 20_000;
+    const FLIPS: u64 = 4_000;
+
+    let local = Arc::new(LocalMat::new(NfId::new(0)));
+    for i in 0..CHURN_FIDS {
+        local.set_header_actions(Fid::new(i), vec![HeaderAction::Forward]);
+    }
+    for i in 0..STABLE {
+        local.set_header_actions(Fid::new(STABLE_BASE + i), vec![HeaderAction::Forward]);
+    }
+    let gm = GlobalMat::with_shards(vec![local], 8);
+    let mut ops = OpCounter::default();
+    for i in 0..STABLE {
+        gm.install(Fid::new(STABLE_BASE + i), &mut ops);
+    }
+
+    let stop = AtomicBool::new(false);
+    let quarantined_batches = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // Four churn threads: install + remove over a shared FID range,
+        // exactly the traffic pattern a recovery re-record storm creates.
+        for t in 0..THREADS as u32 {
+            let gm = &gm;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut ops = OpCounter::default();
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let fid = Fid::new(i % CHURN_FIDS);
+                    gm.install(fid, &mut ops);
+                    gm.remove_flow(fid);
+                    i = i.wrapping_add(THREADS as u32);
+                }
+            });
+        }
+        // Two flippers on distinct chain positions: balanced pairs for
+        // the whole stress window, so lost updates (a fetch_and
+        // clobbering a concurrent fetch_or on another bit) would leave
+        // the mask non-zero at the end.
+        for nf in [0usize, 1] {
+            let gm = &gm;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut flips = 0u64;
+                while !stop.load(Ordering::Relaxed) || flips < FLIPS {
+                    gm.quarantine_nf(nf);
+                    assert!(gm.is_quarantined(), "own quarantine bit visible immediately");
+                    gm.unquarantine_nf(nf);
+                    flips += 1;
+                }
+            });
+        }
+        // Reader: batches over the stable set; installed rules must keep
+        // executing regardless of the mask state observed mid-batch.
+        {
+            let gm = &gm;
+            let stop = &stop;
+            let quarantined_batches = &quarantined_batches;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let was_quarantined = gm.is_quarantined();
+                    let mut batch: Vec<Packet> = (0..STABLE)
+                        .map(|i| {
+                            let mut p = packet_for(
+                                &FiveTuple::new(
+                                    Ipv4Addr::new(10, 11, 0, 1),
+                                    7000,
+                                    Ipv4Addr::new(10, 0, 0, 2),
+                                    80,
+                                    Protocol::Tcp,
+                                ),
+                                i,
+                            );
+                            p.set_fid(Fid::new(STABLE_BASE + i));
+                            p
+                        })
+                        .collect();
+                    let mut per_ops = vec![OpCounter::default(); batch.len()];
+                    let outcomes = gm.process_batch(&mut batch, &mut per_ops).unwrap();
+                    for (i, o) in outcomes.iter().enumerate() {
+                        assert_eq!(
+                            *o,
+                            FastPathOutcome::Forwarded,
+                            "stable fid {} failed mid-flip: mask perturbed the table",
+                            STABLE_BASE + i as u32
+                        );
+                    }
+                    if was_quarantined {
+                        quarantined_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    gm.collect_generations();
+                }
+            });
+        }
+        // Run the churn for as long as the flippers need, plus a beat.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(gm.quarantine_mask(), 0, "balanced flips must cancel: a bit-flip was lost");
+    assert!(
+        quarantined_batches.load(Ordering::Relaxed) > 0,
+        "no batch ever overlapped a quarantine window: stress did not interleave"
+    );
+    gm.collect_generations();
+    assert_eq!(gm.pending_generations(), 0, "retired generations leak after quarantine churn");
+    for i in 0..STABLE {
+        assert!(gm.contains(Fid::new(STABLE_BASE + i)), "stable rule {i} lost");
+    }
+}
+
 #[test]
 fn concurrent_expire_idle_expires_each_flow_once() {
     let classifier = PacketClassifier::with_shards(4);

@@ -23,8 +23,12 @@ fn sweep_chain(chain: &str) {
     let mut cases = 0usize;
     let mut delivered = 0usize;
     for seed in 0..SEEDS {
-        let scenario =
-            generate(&ScenarioConfig { seed, chain: chain.to_owned(), with_faults: true });
+        let scenario = generate(&ScenarioConfig {
+            seed,
+            chain: chain.to_owned(),
+            with_faults: true,
+            nf_faults: false,
+        });
         for env in [EnvKind::Bess, EnvKind::Onvm] {
             for compiled in [true, false] {
                 for batch in [1usize, 8] {
@@ -114,8 +118,12 @@ fn seeded_bug_is_caught_and_shrunk() {
     let chain = "ipfilter:3";
     let mut caught = None;
     for seed in 0..8u64 {
-        let scenario =
-            generate(&ScenarioConfig { seed, chain: chain.to_owned(), with_faults: false });
+        let scenario = generate(&ScenarioConfig {
+            seed,
+            chain: chain.to_owned(),
+            with_faults: false,
+            nf_faults: false,
+        });
         let case = SimCase {
             chain: chain.to_owned(),
             env: EnvKind::Bess,
@@ -166,8 +174,12 @@ fn worker_sweep_is_divergence_free_and_hash_stable() {
     let mut cases = 0usize;
     for chain in chains {
         for seed in 0..SEEDS {
-            let scenario =
-                generate(&ScenarioConfig { seed, chain: chain.to_owned(), with_faults: true });
+            let scenario = generate(&ScenarioConfig {
+                seed,
+                chain: chain.to_owned(),
+                with_faults: true,
+                nf_faults: false,
+            });
             let mut base_hash = None;
             for workers in [1usize, 2, 4, 8] {
                 let case = SimCase {
@@ -211,8 +223,12 @@ fn worker_sweep_is_divergence_free_and_hash_stable() {
 fn bounded_table_sweep_is_equivalent() {
     for chain in ["chain1", "chain2", "maglev-failover"] {
         for seed in 0..8u64 {
-            let scenario =
-                generate(&ScenarioConfig { seed, chain: chain.to_owned(), with_faults: true });
+            let scenario = generate(&ScenarioConfig {
+                seed,
+                chain: chain.to_owned(),
+                with_faults: true,
+                nf_faults: false,
+            });
             for batch in [1usize, 8] {
                 let case = SimCase {
                     chain: chain.to_owned(),
@@ -246,8 +262,12 @@ fn bounded_table_sweep_is_equivalent() {
 fn pool_pressure_sweep_is_equivalent() {
     for chain in ["chain1", "chain2", "maglev-failover"] {
         for seed in 0..6u64 {
-            let scenario =
-                generate(&ScenarioConfig { seed, chain: chain.to_owned(), with_faults: true });
+            let scenario = generate(&ScenarioConfig {
+                seed,
+                chain: chain.to_owned(),
+                with_faults: true,
+                nf_faults: false,
+            });
             let mid = scenario.items.len() / 2;
             for cap in [0u64, 2] {
                 let mut faults = scenario.faults.faults.clone();
@@ -282,8 +302,12 @@ fn pool_pressure_sweep_is_equivalent() {
 /// guarantee replay artifacts rely on.
 #[test]
 fn run_case_is_deterministic() {
-    let scenario =
-        generate(&ScenarioConfig { seed: 11, chain: "chain2".to_owned(), with_faults: true });
+    let scenario = generate(&ScenarioConfig {
+        seed: 11,
+        chain: "chain2".to_owned(),
+        with_faults: true,
+        nf_faults: false,
+    });
     let case = SimCase {
         chain: "chain2".to_owned(),
         env: EnvKind::Onvm,
